@@ -1,0 +1,141 @@
+// E4 (paper Section 7.3.6): CreTime/DelTime strategies.
+//
+// The paper: "Traversing the deltas is straightforward, but can easy
+// become a bottleneck if CreTime is a frequently used operator. In this
+// case the best alternative will be to use an additional index."
+//
+// Series: CreTime by backward delta traversal as a function of the
+// element's age (number of deltas between the anchor version and the
+// creating version) vs the O(1) lifetime-index lookup. DelTime forward
+// traversal likewise.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/query/time_ops.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+constexpr size_t kVersions = 256;
+
+struct Setup {
+  std::unique_ptr<TemporalXmlDatabase> db;
+  /// An element created at roughly version kVersions - age, per age knob.
+  std::map<int64_t, Teid> by_age;
+};
+
+Setup* Shared() {
+  static Setup setup = [] {
+    Setup s;
+    HistorySpec spec;
+    spec.versions = kVersions;
+    spec.items = 60;
+    spec.mutations_per_version = 6;
+    s.db = BuildHistory(spec);
+    const VersionedDocument* doc = s.db->store().FindByUrl("doc0");
+    Timestamp anchor = doc->delta_index().last_timestamp();
+    // Find elements inserted at chosen creation versions by scanning the
+    // deltas (insert ops carry the new subtree with its XIDs); anchor all
+    // TEIDs at the current version so traversal distance == age.
+    for (int64_t age : {4L, 32L, 128L, 250L}) {
+      VersionNum create_version =
+          static_cast<VersionNum>(kVersions - static_cast<size_t>(age));
+      // Search transitions near the target for an insert that survives to
+      // the current version.
+      for (VersionNum t = create_version;
+           t + 1 >= 2 && s.by_age.find(age) == s.by_age.end(); --t) {
+        if (t < 2) break;
+        for (const EditOp& op : doc->TransitionDelta(t - 1).ops()) {
+          if (op.kind != EditOp::Kind::kInsert) continue;
+          Xid xid = op.subtree->xid();
+          if (doc->current()->FindByXid(xid) != nullptr) {
+            s.by_age[age] = Teid{Eid{doc->doc_id(), xid}, anchor};
+            break;
+          }
+        }
+      }
+    }
+    return s;
+  }();
+  return &setup;
+}
+
+void BM_CreTimeTraversal(benchmark::State& state) {
+  Setup* s = Shared();
+  auto it = s->by_age.find(state.range(0));
+  if (it == s->by_age.end()) {
+    state.SkipWithError("no element of requested age found");
+    return;
+  }
+  QueryContext ctx = s->db->Context();
+  for (auto _ : state) {
+    auto ts = CreTime(ctx, it->second, LifetimeStrategy::kTraversal);
+    if (!ts.ok()) state.SkipWithError("CreTime failed");
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_CreTimeTraversal)
+    ->Arg(4)->Arg(32)->Arg(128)->Arg(250)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CreTimeIndex(benchmark::State& state) {
+  Setup* s = Shared();
+  auto it = s->by_age.find(state.range(0));
+  if (it == s->by_age.end()) {
+    state.SkipWithError("no element of requested age found");
+    return;
+  }
+  QueryContext ctx = s->db->Context();
+  for (auto _ : state) {
+    auto ts = CreTime(ctx, it->second, LifetimeStrategy::kIndex);
+    if (!ts.ok()) state.SkipWithError("CreTime failed");
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_CreTimeIndex)
+    ->Arg(4)->Arg(32)->Arg(128)->Arg(250)
+    ->Unit(benchmark::kMicrosecond);
+
+/// DelTime of a long-gone element, anchored at its creation: forward
+/// traversal over most of the chain vs the index.
+void BM_DelTimeTraversalVsIndex(benchmark::State& state) {
+  Setup* s = Shared();
+  QueryContext ctx = s->db->Context();
+  const VersionedDocument* doc = s->db->store().FindByUrl("doc0");
+  // An element deleted early: take a delete op from an early transition.
+  Teid victim{};
+  for (VersionNum t = 8; t < kVersions && victim.eid.xid == kInvalidXid;
+       ++t) {
+    for (const EditOp& op : doc->TransitionDelta(t).ops()) {
+      if (op.kind == EditOp::Kind::kDelete) {
+        victim = Teid{Eid{doc->doc_id(), op.subtree->xid()},
+                      doc->delta_index().TimestampOf(2)};
+        break;
+      }
+    }
+  }
+  if (victim.eid.xid == kInvalidXid) {
+    state.SkipWithError("no deleted element found");
+    return;
+  }
+  bool use_index = state.range(0) != 0;
+  for (auto _ : state) {
+    auto ts = DelTime(ctx, victim,
+                      use_index ? LifetimeStrategy::kIndex
+                                : LifetimeStrategy::kTraversal);
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_DelTimeTraversalVsIndex)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E8 (paper Section 7.3.7): PreviousTS / NextTS / CurrentTS.
+//
+// "These operators can be evaluated by a lookup in the delta index" — a
+// memory-resident array per document. The series shows the lookups stay
+// effectively flat in history length (binary search), while actually
+// *fetching* the neighbouring version (Reconstruct) costs orders of
+// magnitude more — the reason the operators return timestamps, not trees.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/query/history_ops.h"
+#include "src/query/time_ops.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+TemporalXmlDatabase* For(size_t versions) {
+  static std::map<size_t, std::unique_ptr<TemporalXmlDatabase>> cache;
+  auto it = cache.find(versions);
+  if (it == cache.end()) {
+    HistorySpec spec;
+    spec.versions = versions;
+    spec.items = 40;
+    spec.mutations_per_version = 3;
+    it = cache.emplace(versions, BuildHistory(spec)).first;
+  }
+  return it->second.get();
+}
+
+Teid MidTeid(TemporalXmlDatabase* db, size_t versions) {
+  const VersionedDocument* doc = db->store().FindByUrl("doc0");
+  return Teid{Eid{doc->doc_id(), doc->current()->xid()},
+              DayN(versions / 2)};
+}
+
+void BM_PreviousTS(benchmark::State& state) {
+  size_t versions = static_cast<size_t>(state.range(0));
+  TemporalXmlDatabase* db = For(versions);
+  Teid teid = MidTeid(db, versions);
+  QueryContext ctx = db->Context();
+  for (auto _ : state) {
+    auto ts = PreviousTS(ctx, teid);
+    if (!ts.ok()) state.SkipWithError("PreviousTS failed");
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_PreviousTS)
+    ->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_NextTS(benchmark::State& state) {
+  size_t versions = static_cast<size_t>(state.range(0));
+  TemporalXmlDatabase* db = For(versions);
+  Teid teid = MidTeid(db, versions);
+  QueryContext ctx = db->Context();
+  for (auto _ : state) {
+    auto ts = NextTS(ctx, teid);
+    if (!ts.ok()) state.SkipWithError("NextTS failed");
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_NextTS)
+    ->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_CurrentTS(benchmark::State& state) {
+  size_t versions = static_cast<size_t>(state.range(0));
+  TemporalXmlDatabase* db = For(versions);
+  Eid eid = MidTeid(db, versions).eid;
+  QueryContext ctx = db->Context();
+  for (auto _ : state) {
+    auto ts = CurrentTS(ctx, eid);
+    if (!ts.ok()) state.SkipWithError("CurrentTS failed");
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_CurrentTS)
+    ->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
+/// For contrast: PreviousTS + Reconstruct — retrieving the previous
+/// version's content, as "SELECT PREVIOUS(R)" must.
+void BM_PreviousVersionFetch(benchmark::State& state) {
+  size_t versions = static_cast<size_t>(state.range(0));
+  TemporalXmlDatabase* db = For(versions);
+  Teid teid = MidTeid(db, versions);
+  QueryContext ctx = db->Context();
+  for (auto _ : state) {
+    auto prev_ts = PreviousTS(ctx, teid);
+    if (!prev_ts.ok() || !prev_ts->has_value()) {
+      state.SkipWithError("PreviousTS failed");
+      return;
+    }
+    auto tree = Reconstruct(ctx, Teid{teid.eid, **prev_ts});
+    if (!tree.ok()) state.SkipWithError("Reconstruct failed");
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_PreviousVersionFetch)
+    ->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E11 (ablation of a design choice): reopening a database — persisted
+// indexes vs rebuild-by-replay.
+//
+// The paper assumes a long-lived system where the FTI exists alongside
+// the repository; this ablation quantifies why the indexes are persisted
+// with a store fingerprint rather than rebuilt on every start: a rebuild
+// replays every version of every document (reconstruction cost included),
+// while loading decodes posting lists.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+std::string Dir() {
+  return (std::filesystem::temp_directory_path() / "txml_bench_open")
+      .string();
+}
+
+void EnsureSaved() {
+  static bool saved = [] {
+    HistorySpec spec;
+    spec.documents = 4;
+    spec.versions = 64;
+    spec.items = 60;
+    spec.mutations_per_version = 4;
+    auto db = BuildHistory(spec);
+    std::filesystem::remove_all(Dir());
+    if (!db->Save(Dir()).ok()) std::abort();
+    return true;
+  }();
+  (void)saved;
+}
+
+void BM_OpenWithPersistedIndexes(benchmark::State& state) {
+  EnsureSaved();
+  size_t postings = 0;
+  for (auto _ : state) {
+    auto db = TemporalXmlDatabase::Open(Dir());
+    if (!db.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    postings = (*db)->fti().posting_count();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["postings"] = static_cast<double>(postings);
+}
+BENCHMARK(BM_OpenWithPersistedIndexes)->Unit(benchmark::kMillisecond);
+
+void BM_OpenWithIndexRebuild(benchmark::State& state) {
+  EnsureSaved();
+  // Force the rebuild path by deleting the index file once.
+  std::filesystem::remove(Dir() + "/indexes.txml");
+  size_t postings = 0;
+  for (auto _ : state) {
+    auto db = TemporalXmlDatabase::Open(Dir());
+    if (!db.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    postings = (*db)->fti().posting_count();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["postings"] = static_cast<double>(postings);
+}
+BENCHMARK(BM_OpenWithIndexRebuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::filesystem::remove_all(txml::bench::Dir());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E2 (paper Sections 7.1, 7.3.3): version reconstruction cost.
+//
+// The paper's claims: reconstructing an old version "can be very
+// expensive" because it applies one delta per intervening version, and
+// intermediate snapshots bound that cost ("processing start using the
+// oldest snapshot with timestamp greater or equal to t").
+//
+// Series 1 (distance): fixed 256-version history, no snapshots —
+//   reconstruction time grows linearly with the distance from the current
+//   version (deltas applied = 256 - target).
+// Series 2 (snapshot spacing): reconstruct version 1 with snapshots every
+//   {0 = none, 64, 16, 4} versions — time is capped by the spacing.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+constexpr size_t kVersions = 256;
+
+std::unique_ptr<TemporalXmlDatabase> SharedHistory(uint32_t snapshot_every) {
+  HistorySpec spec;
+  spec.versions = kVersions;
+  spec.items = 60;
+  spec.mutations_per_version = 4;
+  spec.snapshot_every = snapshot_every;
+  return BuildHistory(spec);
+}
+
+void BM_ReconstructDistance(benchmark::State& state) {
+  static auto db = SharedHistory(0);
+  auto target = static_cast<VersionNum>(state.range(0));
+  const VersionedDocument* doc = db->store().FindByUrl("doc0");
+  VersionedDocument::ReconstructStats stats;
+  for (auto _ : state) {
+    auto tree = doc->ReconstructVersion(target, &stats);
+    if (!tree.ok()) state.SkipWithError("reconstruct failed");
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["deltas_applied"] = static_cast<double>(stats.deltas_applied);
+}
+BENCHMARK(BM_ReconstructDistance)
+    ->Arg(256)->Arg(224)->Arg(192)->Arg(128)->Arg(64)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ReconstructWithSnapshots(benchmark::State& state) {
+  auto spacing = static_cast<uint32_t>(state.range(0));
+  // One history per spacing, built once and cached.
+  static std::map<uint32_t, std::unique_ptr<TemporalXmlDatabase>> cache;
+  auto it = cache.find(spacing);
+  if (it == cache.end()) {
+    it = cache.emplace(spacing, SharedHistory(spacing)).first;
+  }
+  const VersionedDocument* doc = it->second->store().FindByUrl("doc0");
+  VersionedDocument::ReconstructStats stats;
+  for (auto _ : state) {
+    auto tree = doc->ReconstructVersion(1, &stats);
+    if (!tree.ok()) state.SkipWithError("reconstruct failed");
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["deltas_applied"] = static_cast<double>(stats.deltas_applied);
+  state.counters["snapshot_bytes"] =
+      static_cast<double>(it->second->store().SnapshotBytes());
+}
+BENCHMARK(BM_ReconstructWithSnapshots)
+    ->Arg(0)->Arg(64)->Arg(16)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+/// ReconstructAt through the time -> version mapping (delta index).
+void BM_ReconstructAtTimestamp(benchmark::State& state) {
+  static auto db = SharedHistory(16);
+  const VersionedDocument* doc = db->store().FindByUrl("doc0");
+  Timestamp mid = DayN(kVersions / 2);
+  for (auto _ : state) {
+    auto tree = doc->ReconstructAt(mid);
+    if (!tree.ok()) state.SkipWithError("reconstruct failed");
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_ReconstructAtTimestamp)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E7 (paper Sections 1, 7.1): storage space — why the physical model is
+// "complete current version + completed deltas (+ snapshots)".
+//
+// Table: encoded bytes for (a) every version stored complete (the stratum
+// / full-copy layout), (b) current + delta chain, (c) current + deltas +
+// snapshots every 16 versions — across change volumes and history lengths.
+// Expected shape: deltas win by a factor that grows as the per-version
+// change ratio shrinks; snapshots add back a bounded overhead.
+//
+// The benchmark measures ingestion (Put) throughput, i.e. the write-side
+// cost of maintaining the delta representation (diff + index updates).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+struct Sizes {
+  size_t full_copies;
+  size_t deltas_only;
+  size_t with_snapshots;
+  size_t versions;
+  size_t mutations;
+};
+
+Sizes MeasureSizes(size_t versions, size_t mutations) {
+  HistorySpec spec;
+  spec.versions = versions;
+  spec.items = 100;
+  spec.mutations_per_version = mutations;
+
+  auto plain = BuildHistory(spec);
+  Sizes sizes;
+  sizes.versions = versions;
+  sizes.mutations = mutations;
+  sizes.deltas_only =
+      plain->store().CurrentBytes() + plain->store().DeltaBytes();
+  auto stratum = MirrorToStratum(*plain);
+  sizes.full_copies = stratum->StorageBytes();
+
+  spec.snapshot_every = 16;
+  auto snapshotted = BuildHistory(spec);
+  sizes.with_snapshots = snapshotted->store().CurrentBytes() +
+                         snapshotted->store().DeltaBytes() +
+                         snapshotted->store().SnapshotBytes();
+  return sizes;
+}
+
+void BM_IngestVersions(benchmark::State& state) {
+  size_t mutations = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    HistorySpec spec;
+    spec.versions = 32;
+    spec.items = 100;
+    spec.mutations_per_version = mutations;
+    auto db = BuildHistory(spec);
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_IngestVersions)
+    ->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+int main(int argc, char** argv) {
+  using txml::bench::MeasureSizes;
+  using txml::bench::PrintRow;
+  for (size_t versions : {32UL, 128UL}) {
+    for (size_t mutations : {1UL, 4UL, 16UL, 64UL}) {
+      auto sizes = MeasureSizes(versions, mutations);
+      PrintRow(
+          "E7",
+          "versions=" + std::to_string(sizes.versions) +
+              " mutations_per_version=" + std::to_string(sizes.mutations) +
+              " full_copies_bytes=" + std::to_string(sizes.full_copies) +
+              " deltas_bytes=" + std::to_string(sizes.deltas_only) +
+              " deltas_plus_snapshots_bytes=" +
+              std::to_string(sizes.with_snapshots) + " full_to_delta_ratio=" +
+              std::to_string(static_cast<double>(sizes.full_copies) /
+                             static_cast<double>(sizes.deltas_only)));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

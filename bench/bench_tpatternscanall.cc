@@ -1,0 +1,91 @@
+// E6 (paper Section 7.3.2): TPatternScanAll — the temporal multiway join.
+//
+// "TPatternScanAll ... can be viewed as a temporal multiway join" over
+// FTI_lookup_H posting lists, joining on document, hierarchical
+// relationship and temporal validity. Cost should track the total posting
+// volume touched: it grows with history length (more postings per term)
+// and with pattern width (more lists to join).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/query/scan.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+TemporalXmlDatabase* For(size_t versions) {
+  static std::map<size_t, std::unique_ptr<TemporalXmlDatabase>> cache;
+  auto it = cache.find(versions);
+  if (it == cache.end()) {
+    HistorySpec spec;
+    spec.versions = versions;
+    spec.items = 60;
+    spec.mutations_per_version = 6;
+    it = cache.emplace(versions, BuildHistory(spec)).first;
+  }
+  return it->second.get();
+}
+
+/// Patterns of width 1..4: item; item/name; item/name[~w]; +price.
+Pattern PatternOfWidth(int width) {
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf, "item",
+                                /*projected=*/true);
+  if (width >= 2) {
+    auto* name = root->AddChild(
+        PatternNode::Make(PatternNode::Test::kElementName,
+                          PatternNode::Axis::kChild, "name"));
+    if (width >= 3) {
+      name->AddChild(PatternNode::Make(PatternNode::Test::kWord,
+                                       PatternNode::Axis::kSelf, "wa0"));
+    }
+  }
+  if (width >= 4) {
+    root->AddChild(PatternNode::Make(PatternNode::Test::kElementName,
+                                     PatternNode::Axis::kChild, "price"));
+  }
+  return Pattern(std::move(root));
+}
+
+void BM_TPatternScanAll(benchmark::State& state) {
+  TemporalXmlDatabase* db = For(static_cast<size_t>(state.range(0)));
+  Pattern pattern = PatternOfWidth(static_cast<int>(state.range(1)));
+  size_t runs = 0;
+  for (auto _ : state) {
+    auto matches = TPatternScanAll(db->Context(), pattern);
+    if (!matches.ok()) state.SkipWithError("scan failed");
+    runs = matches->size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["result_runs"] = static_cast<double>(runs);
+  state.counters["fti_postings"] =
+      static_cast<double>(db->fti().posting_count());
+}
+BENCHMARK(BM_TPatternScanAll)
+    ->ArgsProduct({{16, 64, 256}, {1, 2, 3, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// The snapshot scan on the same data, for the All-vs-snapshot contrast.
+void BM_TPatternScanSnapshot(benchmark::State& state) {
+  TemporalXmlDatabase* db = For(static_cast<size_t>(state.range(0)));
+  Pattern pattern = PatternOfWidth(3);
+  Timestamp mid = DayN(static_cast<size_t>(state.range(0)) / 2);
+  for (auto _ : state) {
+    auto matches = TPatternScan(db->Context(), pattern, mid);
+    if (!matches.ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_TPatternScanSnapshot)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+BENCHMARK_MAIN();

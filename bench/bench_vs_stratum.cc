@@ -1,0 +1,136 @@
+// E5 (paper Section 1): native temporal XML database vs the stratum /
+// full-copy baseline.
+//
+// The paper's motivation: "the easiest way ... is to store all versions of
+// all documents ... and use a middleware layer", but "it can be difficult
+// to achieve good performance: temporal query processing is in general
+// costly, and the cost of storing the complete document versions can be
+// too high."
+//
+// Table: storage bytes, temporal store (current + deltas [+ snapshots])
+// vs stratum (every version complete), as history length grows.
+// Benchmarks: snapshot pattern queries — FTI-backed TPatternScan vs the
+// stratum's scan-and-match — on the same data.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/query/scan.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+struct Setup {
+  std::unique_ptr<TemporalXmlDatabase> db;
+  std::unique_ptr<StratumStore> stratum;
+};
+
+Setup* For(size_t versions) {
+  static std::map<size_t, Setup> cache;
+  auto it = cache.find(versions);
+  if (it == cache.end()) {
+    Setup s;
+    HistorySpec spec;
+    spec.documents = 4;
+    spec.versions = versions;
+    spec.items = 60;
+    spec.mutations_per_version = 4;
+    s.db = BuildHistory(spec);
+    s.stratum = MirrorToStratum(*s.db);
+    it = cache.emplace(versions, std::move(s)).first;
+  }
+  return &it->second;
+}
+
+void BM_TemporalSnapshotScan(benchmark::State& state) {
+  Setup* s = For(static_cast<size_t>(state.range(0)));
+  Pattern pattern = ItemWithWordPattern("wa0");
+  Timestamp mid = DayN(static_cast<size_t>(state.range(0)) / 2);
+  size_t results = 0;
+  for (auto _ : state) {
+    auto matches = TPatternScan(s->db->Context(), pattern, mid);
+    if (!matches.ok()) state.SkipWithError("scan failed");
+    results = matches->size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_TemporalSnapshotScan)
+    ->Arg(16)->Arg(64)->Arg(192)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StratumSnapshotScan(benchmark::State& state) {
+  Setup* s = For(static_cast<size_t>(state.range(0)));
+  Pattern pattern = ItemWithWordPattern("wa0");
+  Timestamp mid = DayN(static_cast<size_t>(state.range(0)) / 2);
+  size_t results = 0;
+  for (auto _ : state) {
+    auto matches = s->stratum->ScanSnapshot(pattern, mid);
+    results = matches.size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_StratumSnapshotScan)
+    ->Arg(16)->Arg(64)->Arg(192)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TemporalHistoryScan(benchmark::State& state) {
+  Setup* s = For(static_cast<size_t>(state.range(0)));
+  Pattern pattern = ItemWithWordPattern("wa0");
+  size_t results = 0;
+  for (auto _ : state) {
+    auto matches = TPatternScanAll(s->db->Context(), pattern);
+    if (!matches.ok()) state.SkipWithError("scan failed");
+    results = matches->size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["result_runs"] = static_cast<double>(results);
+}
+BENCHMARK(BM_TemporalHistoryScan)
+    ->Arg(16)->Arg(64)->Arg(192)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StratumHistoryScan(benchmark::State& state) {
+  Setup* s = For(static_cast<size_t>(state.range(0)));
+  Pattern pattern = ItemWithWordPattern("wa0");
+  size_t results = 0;
+  for (auto _ : state) {
+    auto matches = s->stratum->ScanAllVersions(pattern);
+    results = matches.size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["result_versions"] = static_cast<double>(results);
+}
+BENCHMARK(BM_StratumHistoryScan)
+    ->Arg(16)->Arg(64)->Arg(192)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+int main(int argc, char** argv) {
+  using txml::bench::For;
+  using txml::bench::PrintRow;
+  for (size_t versions : {16UL, 64UL, 192UL}) {
+    auto* s = For(versions);
+    size_t temporal = s->db->store().CurrentBytes() +
+                      s->db->store().DeltaBytes() +
+                      s->db->store().SnapshotBytes();
+    size_t stratum = s->stratum->StorageBytes();
+    PrintRow("E5",
+             "versions=" + std::to_string(versions) +
+                 " temporal_bytes=" + std::to_string(temporal) +
+                 " stratum_bytes=" + std::to_string(stratum) + " ratio=" +
+                 std::to_string(static_cast<double>(stratum) /
+                                static_cast<double>(temporal)));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

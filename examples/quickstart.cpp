@@ -1,0 +1,88 @@
+// Quickstart: store a few versions of an XML document and ask temporal
+// questions about them.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/database.h"
+
+using txml::DatabaseOptions;
+using txml::TemporalXmlDatabase;
+using txml::Timestamp;
+
+namespace {
+
+void Run(TemporalXmlDatabase* db, const char* query) {
+  std::printf("query> %s\n", query);
+  auto result = db->QueryToString(query);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n\n", result->c_str());
+}
+
+}  // namespace
+
+int main() {
+  // A database with periodic snapshots every 4 versions (bounds how many
+  // deltas a reconstruction ever applies).
+  TemporalXmlDatabase db(DatabaseOptions{.snapshot_every = 4});
+
+  // Three versions of a tiny product catalogue; explicit transaction
+  // times (PutDocument without a timestamp uses the database clock).
+  struct Version {
+    const char* date;
+    const char* xml;
+  };
+  const Version kVersions[] = {
+      {"01/03/2001",
+       "<catalog><product><name>Widget</name><price>10</price></product>"
+       "</catalog>"},
+      {"10/03/2001",
+       "<catalog><product><name>Widget</name><price>12</price></product>"
+       "<product><name>Gadget</name><price>30</price></product></catalog>"},
+      {"20/03/2001",
+       "<catalog><product><name>Widget</name><price>12</price></product>"
+       "</catalog>"},
+  };
+  for (const Version& version : kVersions) {
+    auto ts = Timestamp::ParseDate(version.date);
+    auto put = db.PutDocumentAt("http://shop.example/catalog.xml",
+                                version.xml, *ts);
+    if (!put.ok()) {
+      std::fprintf(stderr, "put failed: %s\n",
+                   put.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    std::printf("stored version %u at %s\n", put->version, version.date);
+  }
+  std::printf("\n");
+
+  // Snapshot query: the catalogue as of 15/03/2001.
+  Run(&db,
+      "SELECT P FROM doc(\"http://shop.example/catalog.xml\")"
+      "[15/03/2001]/product P");
+
+  // History query: every price the Widget ever had, with timestamps.
+  Run(&db,
+      "SELECT TIME(P), P/price "
+      "FROM doc(\"http://shop.example/catalog.xml\")[EVERY]/product P "
+      "WHERE P/name = \"Widget\"");
+
+  // When did the Gadget appear and disappear?
+  Run(&db,
+      "SELECT CREATE TIME(P), DELETE TIME(P) "
+      "FROM doc(\"http://shop.example/catalog.xml\")[15/03/2001]/product P "
+      "WHERE P/name = \"Gadget\"");
+
+  // What changed between the 15/03 state and now?
+  Run(&db,
+      "SELECT DIFF(C1, C2) "
+      "FROM doc(\"http://shop.example/catalog.xml\")[15/03/2001]/catalog C1, "
+      "doc(\"http://shop.example/catalog.xml\")[NOW]/catalog C2 "
+      "WHERE C1 == C2");
+
+  return EXIT_SUCCESS;
+}

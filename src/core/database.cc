@@ -1,0 +1,269 @@
+#include "src/core/database.h"
+
+#include <utility>
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+#include "src/util/env.h"
+#include "src/util/logging.h"
+#include "src/util/macros.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace txml {
+
+TemporalXmlDatabase::TemporalXmlDatabase(DatabaseOptions options)
+    : TemporalXmlDatabase(options,
+                          std::make_unique<VersionedDocumentStore>(
+                              StoreOptions{options.snapshot_every}),
+                          /*attach_indexes=*/true) {}
+
+TemporalXmlDatabase::TemporalXmlDatabase(
+    DatabaseOptions options, std::unique_ptr<VersionedDocumentStore> store,
+    bool attach_indexes)
+    : options_(options), store_(std::move(store)) {
+  if (attach_indexes) AttachIndexes(nullptr, nullptr);
+}
+
+TemporalXmlDatabase::~TemporalXmlDatabase() = default;
+
+void TemporalXmlDatabase::AttachIndexes(
+    std::unique_ptr<TemporalFullTextIndex> fti,
+    std::unique_ptr<LifetimeIndex> lifetime) {
+  fti_ = fti != nullptr ? std::move(fti)
+                        : std::make_unique<TemporalFullTextIndex>(store_.get());
+  store_->AddObserver(fti_.get());
+  if (options_.lifetime_index) {
+    lifetime_ = lifetime != nullptr ? std::move(lifetime)
+                                    : std::make_unique<LifetimeIndex>();
+    store_->AddObserver(lifetime_.get());
+  }
+  if (options_.delta_content_index) {
+    delta_index_ = std::make_unique<DeltaContentIndex>();
+    store_->AddObserver(delta_index_.get());
+  }
+  if (!options_.document_time_path.empty()) {
+    auto path = PathExpr::Parse(options_.document_time_path);
+    if (path.ok()) {
+      doctime_ = std::make_unique<DocumentTimeIndex>(std::move(*path));
+      store_->AddObserver(doctime_.get());
+    } else {
+      TXML_LOG_WARN("invalid document_time_path '%s': %s",
+                    options_.document_time_path.c_str(),
+                    path.status().ToString().c_str());
+    }
+  }
+}
+
+void TemporalXmlDatabase::ReplayIntoIndexes(bool include_fti,
+                                            bool include_lifetime) {
+  bool needs_versions = include_fti || include_lifetime ||
+                        delta_index_ != nullptr || doctime_ != nullptr;
+  for (const VersionedDocument* doc : store_->AllDocuments()) {
+    if (needs_versions) {
+      for (VersionNum v = 1; v <= doc->version_count(); ++v) {
+        auto tree = doc->ReconstructVersion(v);
+        TXML_CHECK(tree.ok());
+        Timestamp ts = doc->delta_index().TimestampOf(v);
+        const EditScript* delta =
+            v > 1 ? &doc->TransitionDelta(v - 1) : nullptr;
+        if (include_fti) {
+          fti_->OnVersionStored(doc->doc_id(), v, ts, **tree, delta);
+        }
+        if (include_lifetime && lifetime_ != nullptr) {
+          lifetime_->OnVersionStored(doc->doc_id(), v, ts, **tree, delta);
+        }
+        if (delta_index_ != nullptr) {
+          delta_index_->OnVersionStored(doc->doc_id(), v, ts, **tree, delta);
+        }
+        if (doctime_ != nullptr) {
+          doctime_->OnVersionStored(doc->doc_id(), v, ts, **tree, delta);
+        }
+      }
+      if (doc->deleted()) {
+        if (include_fti) {
+          fti_->OnDocumentDeleted(doc->doc_id(), doc->version_count(),
+                                  doc->delete_time());
+        }
+        if (include_lifetime && lifetime_ != nullptr) {
+          lifetime_->OnDocumentDeleted(doc->doc_id(), doc->version_count(),
+                                       doc->delete_time());
+        }
+        if (delta_index_ != nullptr) {
+          delta_index_->OnDocumentDeleted(doc->doc_id(),
+                                          doc->version_count(),
+                                          doc->delete_time());
+        }
+      }
+    }
+    clock_.AdvanceTo(doc->delta_index().last_timestamp().AddMicros(1));
+    if (doc->deleted()) clock_.AdvanceTo(doc->delete_time().AddMicros(1));
+  }
+}
+
+StatusOr<TemporalXmlDatabase::PutResult> TemporalXmlDatabase::PutDocument(
+    const std::string& url, std::string_view xml_text) {
+  return PutDocumentAt(url, xml_text, clock_.Next());
+}
+
+StatusOr<TemporalXmlDatabase::PutResult> TemporalXmlDatabase::PutDocumentAt(
+    const std::string& url, std::string_view xml_text, Timestamp ts) {
+  TXML_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml_text));
+  return PutDocumentTree(url, doc.ReleaseRoot(), ts);
+}
+
+StatusOr<TemporalXmlDatabase::PutResult> TemporalXmlDatabase::PutDocumentTree(
+    const std::string& url, std::unique_ptr<XmlNode> tree, Timestamp ts) {
+  TXML_ASSIGN_OR_RETURN(VersionedDocumentStore::PutResult stored,
+                        store_->Put(url, std::move(tree), ts));
+  clock_.AdvanceTo(ts.AddMicros(1));
+  return PutResult{stored.doc_id, stored.version, ts};
+}
+
+Status TemporalXmlDatabase::DeleteDocument(const std::string& url) {
+  return DeleteDocumentAt(url, clock_.Next());
+}
+
+Status TemporalXmlDatabase::DeleteDocumentAt(const std::string& url,
+                                             Timestamp ts) {
+  TXML_RETURN_IF_ERROR(store_->Delete(url, ts));
+  clock_.AdvanceTo(ts.AddMicros(1));
+  return Status::OK();
+}
+
+QueryContext TemporalXmlDatabase::Context() const {
+  QueryContext ctx;
+  ctx.store = store_.get();
+  ctx.fti = fti_.get();
+  ctx.lifetime = lifetime_.get();
+  return ctx;
+}
+
+StatusOr<XmlDocument> TemporalXmlDatabase::Query(
+    std::string_view query_text) {
+  ExecOptions exec_options;
+  exec_options.now = clock_.Last();
+  exec_options.lifetime_strategy = lifetime_ != nullptr
+                                       ? LifetimeStrategy::kIndex
+                                       : LifetimeStrategy::kTraversal;
+  QueryExecutor executor(Context(), exec_options);
+  auto result = executor.Execute(query_text);
+  last_stats_ = executor.stats();
+  return result;
+}
+
+StatusOr<std::string> TemporalXmlDatabase::Explain(
+    std::string_view query_text) {
+  ExecOptions exec_options;
+  exec_options.now = clock_.Last();
+  QueryExecutor executor(Context(), exec_options);
+  return executor.Explain(query_text);
+}
+
+StatusOr<std::string> TemporalXmlDatabase::QueryToString(
+    std::string_view query_text, bool pretty) {
+  TXML_ASSIGN_OR_RETURN(XmlDocument results, Query(query_text));
+  SerializeOptions options;
+  options.pretty = pretty;
+  return SerializeXml(*results.root(), options);
+}
+
+StatusOr<XmlDocument> TemporalXmlDatabase::Snapshot(const std::string& url,
+                                                    Timestamp t) const {
+  const VersionedDocument* doc = store_->FindByUrl(url);
+  if (doc == nullptr) {
+    return Status::NotFound("no document at '" + url + "'");
+  }
+  TXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> tree, doc->ReconstructAt(t));
+  return XmlDocument(std::move(tree));
+}
+
+StatusOr<std::vector<MaterializedVersion>> TemporalXmlDatabase::History(
+    const std::string& url, Timestamp t1, Timestamp t2) const {
+  const VersionedDocument* doc = store_->FindByUrl(url);
+  if (doc == nullptr) {
+    return Status::NotFound("no document at '" + url + "'");
+  }
+  return DocHistory(Context(), doc->doc_id(), t1, t2);
+}
+
+namespace {
+
+constexpr char kIndexFileName[] = "indexes.txml";
+constexpr uint32_t kIndexMagic = 0x54495831;  // "TIX1"
+
+}  // namespace
+
+Status TemporalXmlDatabase::Save(const std::string& dir) const {
+  TXML_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  std::string store_blob;
+  store_->EncodeTo(&store_blob);
+  TXML_RETURN_IF_ERROR(WriteStringToFile(dir + "/store.txml", store_blob));
+
+  // Persist the always-on indexes, fingerprinted against the store blob so
+  // a stale index file is detected and rebuilt instead of trusted.
+  std::string index_blob;
+  PutFixed32(&index_blob, kIndexMagic);
+  PutFixed32(&index_blob, crc32c::Mask(crc32c::Value(store_blob)));
+  std::string fti_blob;
+  fti_->EncodeTo(&fti_blob);
+  PutLengthPrefixed(&index_blob, fti_blob);
+  PutVarint32(&index_blob, lifetime_ != nullptr ? 1 : 0);
+  if (lifetime_ != nullptr) {
+    std::string lifetime_blob;
+    lifetime_->EncodeTo(&lifetime_blob);
+    PutLengthPrefixed(&index_blob, lifetime_blob);
+  }
+  return WriteStringToFile(dir + "/" + kIndexFileName, index_blob);
+}
+
+StatusOr<std::unique_ptr<TemporalXmlDatabase>> TemporalXmlDatabase::Open(
+    const std::string& dir, DatabaseOptions options) {
+  TXML_ASSIGN_OR_RETURN(std::string store_blob,
+                        ReadFileToString(dir + "/store.txml"));
+  TXML_ASSIGN_OR_RETURN(std::unique_ptr<VersionedDocumentStore> store,
+                        VersionedDocumentStore::Decode(store_blob));
+  options.snapshot_every = store->options().snapshot_every;
+  std::unique_ptr<TemporalXmlDatabase> db(new TemporalXmlDatabase(
+      options, std::move(store), /*attach_indexes=*/false));
+
+  // Try the persisted indexes; on any mismatch fall back to a rebuild.
+  std::unique_ptr<TemporalFullTextIndex> fti;
+  std::unique_ptr<LifetimeIndex> lifetime;
+  auto load_indexes = [&]() -> Status {
+    TXML_ASSIGN_OR_RETURN(std::string blob,
+                          ReadFileToString(dir + "/" + kIndexFileName));
+    Decoder decoder(blob);
+    TXML_ASSIGN_OR_RETURN(uint32_t magic, decoder.ReadFixed32());
+    if (magic != kIndexMagic) return Status::Corruption("bad index magic");
+    TXML_ASSIGN_OR_RETURN(uint32_t fingerprint, decoder.ReadFixed32());
+    if (crc32c::Unmask(fingerprint) != crc32c::Value(store_blob)) {
+      return Status::Corruption("index file does not match store");
+    }
+    TXML_ASSIGN_OR_RETURN(std::string_view fti_blob,
+                          decoder.ReadLengthPrefixed());
+    TXML_ASSIGN_OR_RETURN(
+        fti, TemporalFullTextIndex::Decode(fti_blob, db->store_.get()));
+    TXML_ASSIGN_OR_RETURN(uint32_t has_lifetime, decoder.ReadVarint32());
+    if (has_lifetime != 0) {
+      TXML_ASSIGN_OR_RETURN(std::string_view lifetime_blob,
+                            decoder.ReadLengthPrefixed());
+      TXML_ASSIGN_OR_RETURN(lifetime, LifetimeIndex::Decode(lifetime_blob));
+    }
+    return Status::OK();
+  };
+  Status loaded = load_indexes();
+  if (!loaded.ok()) {
+    fti = nullptr;
+    lifetime = nullptr;
+  }
+  bool have_fti = fti != nullptr;
+  bool have_lifetime =
+      lifetime != nullptr || !options.lifetime_index;
+  db->AttachIndexes(std::move(fti), std::move(lifetime));
+  db->ReplayIntoIndexes(/*include_fti=*/!have_fti,
+                        /*include_lifetime=*/!have_lifetime);
+  return db;
+}
+
+}  // namespace txml

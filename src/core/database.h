@@ -1,0 +1,157 @@
+#ifndef TXML_SRC_CORE_DATABASE_H_
+#define TXML_SRC_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/index/delta_fti.h"
+#include "src/index/doctime_index.h"
+#include "src/index/fti.h"
+#include "src/index/lifetime_index.h"
+#include "src/lang/executor.h"
+#include "src/query/context.h"
+#include "src/query/history_ops.h"
+#include "src/storage/store.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Configuration of a TemporalXmlDatabase.
+struct DatabaseOptions {
+  /// Keep a complete snapshot of every k-th version of each document
+  /// (Section 7.3.3's reconstruction shortcut); 0 = pure delta chains.
+  uint32_t snapshot_every = 0;
+  /// Maintain the EID lifetime index (Section 7.3.6's auxiliary index).
+  /// When off, CREATE TIME / DELETE TIME fall back to delta traversal.
+  bool lifetime_index = true;
+  /// Additionally maintain the delta-operation index (alternative B of
+  /// Section 7.2). The version-content FTI (alternative A, the paper's
+  /// choice) is always maintained; enabling this too gives alternative C.
+  bool delta_content_index = false;
+  /// When non-empty, maintain a *document time* index (Section 3.1's third
+  /// case): the location path to the in-document timestamp, e.g.
+  /// "//published". Queried through document_time_index().
+  std::string document_time_path;
+};
+
+/// The temporal XML database: the public façade tying together the
+/// versioned repository, the temporal indexes, the algebra operators and
+/// the query language.
+///
+///   TemporalXmlDatabase db;
+///   db.PutDocument("http://guide.com", "<guide>…</guide>");
+///   db.PutDocument("http://guide.com", "<guide>…updated…</guide>");
+///   auto results = db.Query(
+///       "SELECT R FROM doc(\"http://guide.com\")[26/01/2001]/restaurant R");
+///
+/// Transaction-time semantics: every successful PutDocument/DeleteDocument
+/// gets a strictly increasing commit timestamp from the database clock;
+/// the *At variants let a warehouse loader supply crawl times instead
+/// (Section 3.1's two cases).
+class TemporalXmlDatabase {
+ public:
+  explicit TemporalXmlDatabase(DatabaseOptions options = {});
+  ~TemporalXmlDatabase();
+
+  TemporalXmlDatabase(const TemporalXmlDatabase&) = delete;
+  TemporalXmlDatabase& operator=(const TemporalXmlDatabase&) = delete;
+
+  struct PutResult {
+    DocId doc_id = 0;
+    VersionNum version = 0;
+    Timestamp commit_ts;
+  };
+
+  /// Stores a new version of the document at `url`, parsing `xml_text`.
+  /// Creates the document on first contact.
+  StatusOr<PutResult> PutDocument(const std::string& url,
+                                  std::string_view xml_text);
+
+  /// Warehouse variant: explicit (crawl) timestamp; must exceed every
+  /// timestamp already recorded for the document.
+  StatusOr<PutResult> PutDocumentAt(const std::string& url,
+                                    std::string_view xml_text, Timestamp ts);
+
+  /// Stores an already-built tree.
+  StatusOr<PutResult> PutDocumentTree(const std::string& url,
+                                      std::unique_ptr<XmlNode> tree,
+                                      Timestamp ts);
+
+  Status DeleteDocument(const std::string& url);
+  Status DeleteDocumentAt(const std::string& url, Timestamp ts);
+
+  /// Executes a query of the Section-5 dialect; returns the
+  /// <results><result>…</result></results> document.
+  StatusOr<XmlDocument> Query(std::string_view query_text);
+
+  /// Convenience: Query + serialize (pretty by default).
+  StatusOr<std::string> QueryToString(std::string_view query_text,
+                                      bool pretty = true);
+
+  /// The query plan, rendered as text without executing (which scan
+  /// operator per variable, resolved snapshot time, effective pattern with
+  /// pushed-down word tests, whether content is materialized).
+  StatusOr<std::string> Explain(std::string_view query_text);
+
+  /// Counters of the most recent Query call.
+  const ExecStats& last_query_stats() const { return last_stats_; }
+
+  /// Snapshot of one document at time t (the paper's plain snapshot
+  /// retrieval): a fresh tree.
+  StatusOr<XmlDocument> Snapshot(const std::string& url, Timestamp t) const;
+
+  /// All versions of a document valid in [t1, t2), most recent first.
+  StatusOr<std::vector<MaterializedVersion>> History(const std::string& url,
+                                                     Timestamp t1,
+                                                     Timestamp t2) const;
+
+  /// Operator-level access for benchmarks and tests.
+  QueryContext Context() const;
+  const VersionedDocumentStore& store() const { return *store_; }
+  const TemporalFullTextIndex& fti() const { return *fti_; }
+  const LifetimeIndex* lifetime_index() const { return lifetime_.get(); }
+  const DeltaContentIndex* delta_content_index() const {
+    return delta_index_.get();
+  }
+  const DocumentTimeIndex* document_time_index() const {
+    return doctime_.get();
+  }
+  CommitClock* clock() { return &clock_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Persists the repository and the FTI/lifetime indexes to a directory.
+  /// Open loads the persisted indexes when they are present and match the
+  /// store (checksum fingerprint); otherwise it rebuilds them by replaying
+  /// the stored histories. Optional indexes (delta-content, document-time)
+  /// are always rebuilt by replay when enabled.
+  Status Save(const std::string& dir) const;
+  static StatusOr<std::unique_ptr<TemporalXmlDatabase>> Open(
+      const std::string& dir, DatabaseOptions options = {});
+
+ private:
+  TemporalXmlDatabase(DatabaseOptions options,
+                      std::unique_ptr<VersionedDocumentStore> store,
+                      bool attach_indexes);
+  /// Registers indexes as store observers; preloaded ones are adopted,
+  /// missing ones constructed empty.
+  void AttachIndexes(std::unique_ptr<TemporalFullTextIndex> fti,
+                     std::unique_ptr<LifetimeIndex> lifetime);
+  void ReplayIntoIndexes(bool include_fti, bool include_lifetime);
+
+  DatabaseOptions options_;
+  CommitClock clock_;
+  std::unique_ptr<VersionedDocumentStore> store_;
+  std::unique_ptr<TemporalFullTextIndex> fti_;
+  std::unique_ptr<LifetimeIndex> lifetime_;
+  std::unique_ptr<DeltaContentIndex> delta_index_;
+  std::unique_ptr<DocumentTimeIndex> doctime_;
+  ExecStats last_stats_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_CORE_DATABASE_H_

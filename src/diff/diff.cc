@@ -1,0 +1,364 @@
+#include "src/diff/diff.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/macros.h"
+
+namespace txml {
+namespace {
+
+/// Assigns final XIDs to the new tree: matched nodes inherit, new nodes
+/// allocate.
+void AssignXids(const NodeMatching& matching, XmlNode* new_node,
+                XidAllocator* alloc) {
+  const XmlNode* old_node = matching.OldFor(new_node);
+  if (old_node != nullptr) {
+    TXML_DCHECK(old_node->xid() != kInvalidXid);
+    new_node->set_xid(old_node->xid());
+  } else {
+    new_node->set_xid(alloc->Allocate());
+  }
+  for (size_t i = 0; i < new_node->child_count(); ++i) {
+    AssignXids(matching, new_node->child(i), alloc);
+  }
+}
+
+/// True if no node of the new subtree is matched (safe to emit as one
+/// insert operation).
+bool FullyUnmatched(const NodeMatching& matching, const XmlNode* new_node) {
+  if (matching.NewMatched(new_node)) return false;
+  for (const auto& child : new_node->children()) {
+    if (!FullyUnmatched(matching, child.get())) return false;
+  }
+  return true;
+}
+
+/// Shallow clone: the node itself without children, keeping xid/timestamp.
+std::unique_ptr<XmlNode> ShallowClone(const XmlNode& node) {
+  std::unique_ptr<XmlNode> copy;
+  switch (node.kind()) {
+    case XmlNode::Kind::kElement:
+      copy = XmlNode::Element(node.name());
+      break;
+    case XmlNode::Kind::kText:
+      copy = XmlNode::Text(node.value());
+      break;
+    case XmlNode::Kind::kAttribute:
+      copy = XmlNode::Attribute(node.name(), node.value());
+      break;
+    case XmlNode::Kind::kComment:
+      copy = XmlNode::Comment(node.value());
+      break;
+  }
+  copy->set_xid(node.xid());
+  copy->set_timestamp(node.timestamp());
+  return copy;
+}
+
+/// Generates the edit script by simulating it on a working copy of the old
+/// tree. See DiffTrees documentation for the three passes.
+class ScriptBuilder {
+ public:
+  ScriptBuilder(const XmlNode& old_root, const XmlNode& new_root,
+                const NodeMatching& matching)
+      : new_root_(new_root), matching_(matching) {
+    working_ = old_root.Clone();
+    IndexSubtree(working_.get());
+  }
+
+  StatusOr<EditScript> Build() {
+    // Root rename (roots are force-matched).
+    if (working_->name() != new_root_.name()) {
+      EditOp op;
+      op.kind = EditOp::Kind::kRename;
+      op.target = working_->xid();
+      op.old_value = working_->name();
+      op.new_value = new_root_.name();
+      working_->set_name(new_root_.name());
+      script_.Add(std::move(op));
+    }
+    // Pass 1: place every new node (moves + inserts), top-down.
+    TXML_RETURN_IF_ERROR(Arrange(&new_root_));
+    // Pass 2: delete leftovers (now fully-unmatched old content).
+    TXML_RETURN_IF_ERROR(DeleteLeftovers(&new_root_));
+    // Pass 3: value updates of matched text/attribute nodes.
+    EmitUpdates(&new_root_);
+    return std::move(script_);
+  }
+
+  const XmlNode* working_root() const { return working_.get(); }
+
+ private:
+  void IndexSubtree(XmlNode* node) {
+    by_xid_[node->xid()] = node;
+    for (size_t i = 0; i < node->child_count(); ++i) {
+      IndexSubtree(node->child(i));
+    }
+  }
+
+  void UnindexSubtree(const XmlNode* node) {
+    by_xid_.erase(node->xid());
+    for (const auto& child : node->children()) {
+      UnindexSubtree(child.get());
+    }
+  }
+
+  /// Ensures the working-copy element for `new_node` contains the desired
+  /// children *in relative order* (leftover old children may stay
+  /// interleaved until the delete pass); recurses. Placements are relative
+  /// to the previously placed sibling rather than to absolute positions —
+  /// a deleted or inserted sibling therefore does not cascade into move
+  /// operations for everything after it.
+  Status Arrange(const XmlNode* new_node) {
+    XmlNode* w = by_xid_.at(new_node->xid());
+    // Position of the most recently placed desired child in w.
+    size_t last_placed = 0;
+    bool any_placed = false;
+    for (size_t i = 0; i < new_node->child_count(); ++i) {
+      const XmlNode* c = new_node->child(i);
+      auto it = by_xid_.find(c->xid());
+      if (it == by_xid_.end()) {
+        // Newly inserted node. If its whole subtree is new, one insert op
+        // covers it; otherwise insert it shallow and let recursion pull
+        // the matched descendants in via moves.
+        bool whole = FullyUnmatched(matching_, c);
+        size_t pos = any_placed ? last_placed + 1 : 0;
+        EditOp op;
+        op.kind = EditOp::Kind::kInsert;
+        op.parent = w->xid();
+        op.pos = static_cast<uint32_t>(pos);
+        op.subtree = whole ? c->Clone() : ShallowClone(*c);
+        XmlNode* inserted = w->InsertChild(pos, op.subtree->Clone());
+        IndexSubtree(inserted);
+        script_.Add(std::move(op));
+        last_placed = pos;
+        any_placed = true;
+        if (!whole) {
+          TXML_RETURN_IF_ERROR(Arrange(c));
+        }
+        continue;
+      }
+      XmlNode* wc = it->second;
+      XmlNode* current_parent = wc->parent();
+      if (current_parent == nullptr) {
+        return Status::Internal("matched node is the working root but "
+                                "appears as a child in the new version");
+      }
+      size_t current_pos = current_parent->IndexOfChild(wc);
+      if (current_parent == w &&
+          (!any_placed || current_pos > last_placed)) {
+        // Already in place relative to the previously placed sibling.
+        last_placed = current_pos;
+        any_placed = true;
+      } else {
+        // Detaching from before last_placed shifts it left by one.
+        size_t pos;
+        if (current_parent == w) {
+          pos = any_placed ? last_placed : 0;
+        } else {
+          pos = any_placed ? last_placed + 1 : 0;
+        }
+        EditOp op;
+        op.kind = EditOp::Kind::kMove;
+        op.target = wc->xid();
+        op.from_parent = current_parent->xid();
+        op.from_pos = static_cast<uint32_t>(current_pos);
+        op.to_parent = w->xid();
+        op.to_pos = static_cast<uint32_t>(pos);
+        std::unique_ptr<XmlNode> detached =
+            current_parent->RemoveChild(current_pos);
+        w->InsertChild(pos, std::move(detached));
+        script_.Add(std::move(op));
+        last_placed = pos;
+        any_placed = true;
+      }
+      TXML_RETURN_IF_ERROR(Arrange(c));
+    }
+    return Status::OK();
+  }
+
+  /// After Arrange every matched node sits under its final parent, so any
+  /// remaining child that is not part of the new version is a fully
+  /// unmatched leftover: delete it (positions recorded at emit time).
+  Status DeleteLeftovers(const XmlNode* new_node) {
+    XmlNode* w = by_xid_.at(new_node->xid());
+    std::unordered_set<Xid> desired;
+    desired.reserve(new_node->child_count());
+    for (const auto& child : new_node->children()) {
+      desired.insert(child->xid());
+    }
+    for (size_t i = 0; i < w->child_count();) {
+      XmlNode* child = w->child(i);
+      if (desired.contains(child->xid())) {
+        ++i;
+        continue;
+      }
+      EditOp op;
+      op.kind = EditOp::Kind::kDelete;
+      op.parent = w->xid();
+      op.pos = static_cast<uint32_t>(i);
+      op.subtree = child->Clone();
+      UnindexSubtree(child);
+      w->RemoveChild(i);
+      script_.Add(std::move(op));
+    }
+    for (size_t i = 0; i < new_node->child_count(); ++i) {
+      TXML_RETURN_IF_ERROR(DeleteLeftovers(new_node->child(i)));
+    }
+    return Status::OK();
+  }
+
+  void EmitUpdates(const XmlNode* new_node) {
+    const XmlNode* old_node = matching_.OldFor(new_node);
+    if (old_node != nullptr && old_node->value() != new_node->value()) {
+      EditOp op;
+      op.kind = EditOp::Kind::kUpdate;
+      op.target = new_node->xid();
+      op.old_value = old_node->value();
+      op.new_value = new_node->value();
+      by_xid_.at(new_node->xid())->set_value(new_node->value());
+      script_.Add(std::move(op));
+    }
+    for (const auto& child : new_node->children()) {
+      EmitUpdates(child.get());
+    }
+  }
+
+  const XmlNode& new_root_;
+  const NodeMatching& matching_;
+  std::unique_ptr<XmlNode> working_;
+  std::unordered_map<Xid, XmlNode*> by_xid_;
+  EditScript script_;
+};
+
+/// Records surviving nodes whose timestamp changed (old stamp), so delta
+/// application can restore/refresh stamps in both directions.
+void CollectRestamps(const NodeMatching& matching, const XmlNode& new_node,
+                     EditScript* script) {
+  const XmlNode* old_node = matching.OldFor(&new_node);
+  if (old_node != nullptr &&
+      old_node->timestamp() != new_node.timestamp()) {
+    script->AddRestamp(new_node.xid(), old_node->timestamp());
+  }
+  for (const auto& child : new_node.children()) {
+    CollectRestamps(matching, *child, script);
+  }
+}
+
+}  // namespace
+
+StatusOr<DiffResult> DiffTrees(const XmlNode& old_root, XmlNode* new_root,
+                               XidAllocator* alloc, Timestamp commit_ts) {
+  DiffResult result;
+  result.matching = MatchTrees(old_root, *new_root);
+  result.old_node_count = old_root.CountNodes();
+  result.new_node_count = new_root->CountNodes();
+  AssignXids(result.matching, new_root, alloc);
+  PropagateTimestamps(old_root, new_root, result.matching, commit_ts);
+
+  ScriptBuilder builder(old_root, *new_root, result.matching);
+  auto script = builder.Build();
+  if (!script.ok()) return script.status();
+  result.script = std::move(*script);
+  result.script.set_commit_ts(commit_ts);
+  CollectRestamps(result.matching, *new_root, &result.script);
+#ifndef NDEBUG
+  if (!builder.working_root()->ContentEquals(*new_root)) {
+    return Status::Internal("diff self-check failed: script does not "
+                            "reproduce the new version");
+  }
+#endif
+  return result;
+}
+
+namespace {
+
+void CopySubtreeTimestamps(const XmlNode& old_node, XmlNode* new_node) {
+  new_node->set_timestamp(old_node.timestamp());
+  TXML_DCHECK(old_node.child_count() == new_node->child_count());
+  for (size_t i = 0; i < new_node->child_count(); ++i) {
+    CopySubtreeTimestamps(*old_node.child(i), new_node->child(i));
+  }
+}
+
+/// Returns the subtree hash while assigning timestamps: unchanged matched
+/// subtrees keep old stamps, changed ones get commit_ts.
+void AssignTimestamps(const NodeMatching& matching, XmlNode* new_node,
+                      Timestamp commit_ts,
+                      const std::unordered_map<const XmlNode*, uint64_t>&
+                          old_hashes,
+                      const std::unordered_map<const XmlNode*, uint64_t>&
+                          new_hashes) {
+  const XmlNode* old_node = matching.OldFor(new_node);
+  if (old_node != nullptr &&
+      old_hashes.at(old_node) == new_hashes.at(new_node) &&
+      old_node->child_count() == new_node->child_count()) {
+    CopySubtreeTimestamps(*old_node, new_node);
+    return;
+  }
+  new_node->set_timestamp(commit_ts);
+  for (size_t i = 0; i < new_node->child_count(); ++i) {
+    AssignTimestamps(matching, new_node->child(i), commit_ts, old_hashes,
+                     new_hashes);
+  }
+}
+
+uint64_t HashInto(const XmlNode& node,
+                  std::unordered_map<const XmlNode*, uint64_t>* out);
+
+uint64_t HashInto(const XmlNode& node,
+                  std::unordered_map<const XmlNode*, uint64_t>* out) {
+  // SubtreeHash recomputed per node would be quadratic; memoize bottom-up.
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  auto mix_bytes = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(node.kind()));
+  mix_bytes(node.name());
+  mix_bytes(node.value());
+  for (const auto& child : node.children()) {
+    mix(HashInto(*child, out));
+  }
+  (*out)[&node] = h;
+  return h;
+}
+
+}  // namespace
+
+void PropagateTimestamps(const XmlNode& old_root, XmlNode* new_root,
+                         const NodeMatching& matching, Timestamp commit_ts) {
+  std::unordered_map<const XmlNode*, uint64_t> old_hashes;
+  std::unordered_map<const XmlNode*, uint64_t> new_hashes;
+  HashInto(old_root, &old_hashes);
+  HashInto(*new_root, &new_hashes);
+  AssignTimestamps(matching, new_root, commit_ts, old_hashes, new_hashes);
+}
+
+void StampAll(XmlNode* root, Timestamp commit_ts) {
+  root->set_timestamp(commit_ts);
+  for (size_t i = 0; i < root->child_count(); ++i) {
+    StampAll(root->child(i), commit_ts);
+  }
+}
+
+void AssignFreshXids(XmlNode* root, XidAllocator* alloc) {
+  root->set_xid(alloc->Allocate());
+  for (size_t i = 0; i < root->child_count(); ++i) {
+    AssignFreshXids(root->child(i), alloc);
+  }
+}
+
+}  // namespace txml

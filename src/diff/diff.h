@@ -1,0 +1,62 @@
+#ifndef TXML_SRC_DIFF_DIFF_H_
+#define TXML_SRC_DIFF_DIFF_H_
+
+#include "src/diff/edit_script.h"
+#include "src/diff/matcher.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Output of DiffTrees.
+struct DiffResult {
+  /// Completed delta transforming the old version into the new one when
+  /// applied forward (and back when applied backward).
+  EditScript script;
+  /// The node correspondence the script was derived from; pointers refer
+  /// into the two input trees.
+  NodeMatching matching;
+  size_t old_node_count = 0;
+  size_t new_node_count = 0;
+};
+
+/// Diffs two versions of a document and assigns persistent XIDs to the new
+/// version:
+///
+///  * every node of `old_root` must already carry a valid XID;
+///  * on return every node of `*new_root` carries its final XID — matched
+///    nodes inherit the old node's XID (identity persists across versions,
+///    Section 3.2), unmatched nodes receive fresh XIDs from `alloc` (never
+///    reused);
+///  * the returned script, applied forward to a copy of the old tree,
+///    reproduces the new tree (verified internally in debug builds).
+///
+/// The script generation simulates application on a working copy, so every
+/// operation's positions are valid in the tree state at its turn — the
+/// property both ApplyForward and ApplyBackward rely on.
+///
+/// `commit_ts` is the transaction time of the new version: timestamps are
+/// propagated (see PropagateTimestamps) before the script is generated, so
+/// subtrees carried in the delta hold correct stamps.
+StatusOr<DiffResult> DiffTrees(const XmlNode& old_root, XmlNode* new_root,
+                               XidAllocator* alloc, Timestamp commit_ts);
+
+/// Implements the data model's timestamp rule (Section 4): an element's
+/// timestamp is the time of the last update of the element or one of its
+/// children, propagating up to the root. Nodes whose subtree is unchanged
+/// from their matched counterpart keep the old timestamp; every other node
+/// gets `commit_ts`. Must run after DiffTrees (XIDs assigned).
+void PropagateTimestamps(const XmlNode& old_root, XmlNode* new_root,
+                         const NodeMatching& matching, Timestamp commit_ts);
+
+/// Stamps every node of a first version with `commit_ts`.
+void StampAll(XmlNode* root, Timestamp commit_ts);
+
+/// Assigns fresh XIDs to every node of a first version.
+void AssignFreshXids(XmlNode* root, XidAllocator* alloc);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_DIFF_DIFF_H_

@@ -1,0 +1,129 @@
+#ifndef TXML_SRC_DIFF_EDIT_SCRIPT_H_
+#define TXML_SRC_DIFF_EDIT_SCRIPT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/timestamp.h"
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// One operation of an edit script. Operations address nodes by XID and are
+/// applied *in sequence*: positions refer to the tree state after all
+/// preceding operations of the same script.
+///
+/// Every operation carries enough information to be inverted, which is what
+/// makes a script a *completed delta* (paper Section 7.1: "completed deltas
+/// can be used both as forward and backward deltas"):
+///  * kInsert stores the inserted subtree (so backward application knows it
+///    may simply remove it — and forward application has the content);
+///  * kDelete stores the deleted subtree and its position;
+///  * kUpdate stores both old and new value;
+///  * kMove stores both source and destination position.
+struct EditOp {
+  enum class Kind { kInsert, kDelete, kUpdate, kMove, kRename };
+
+  Kind kind = Kind::kUpdate;
+
+  /// kInsert/kDelete: XID of the parent element.
+  Xid parent = kInvalidXid;
+  /// kInsert/kDelete: position among the parent's children.
+  uint32_t pos = 0;
+  /// kInsert/kDelete: the subtree, with final XIDs assigned.
+  std::unique_ptr<XmlNode> subtree;
+
+  /// kUpdate/kMove/kRename: the addressed node.
+  Xid target = kInvalidXid;
+  /// kUpdate: old/new text or attribute value. kRename: old/new name.
+  std::string old_value;
+  std::string new_value;
+
+  /// kMove: source location.
+  Xid from_parent = kInvalidXid;
+  uint32_t from_pos = 0;
+  /// kMove: destination location (in the tree state at application time).
+  Xid to_parent = kInvalidXid;
+  uint32_t to_pos = 0;
+
+  EditOp Clone() const;
+};
+
+/// A completed delta between two consecutive versions of a document:
+/// applying it forward turns version n into version n+1; applying it
+/// backward turns n+1 into n. Scripts serialize both as XML (the paper's
+/// closure requirement: "as long as an edit script is represented in XML
+/// this operator does not break closure properties") and in a compact
+/// binary form for the repository.
+class EditScript {
+ public:
+  EditScript() = default;
+  EditScript(EditScript&&) = default;
+  EditScript& operator=(EditScript&&) = default;
+
+  std::vector<EditOp>& ops() { return ops_; }
+  const std::vector<EditOp>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty() && restamps_.empty(); }
+  size_t size() const { return ops_.size(); }
+
+  void Add(EditOp op) { ops_.push_back(std::move(op)); }
+
+  /// Timestamp bookkeeping. Surviving (matched) nodes whose timestamp
+  /// changed in this version transition are listed with their *old* stamp;
+  /// the new stamp is uniformly the version's commit timestamp. Forward
+  /// application stamps them with commit_ts, backward application restores
+  /// the old stamps — so reconstructed versions answer TIME() correctly.
+  void set_commit_ts(Timestamp ts) { commit_ts_ = ts; }
+  Timestamp commit_ts() const { return commit_ts_; }
+  void AddRestamp(Xid xid, Timestamp old_ts) {
+    restamps_.emplace_back(xid, old_ts);
+  }
+  const std::vector<std::pair<Xid, Timestamp>>& restamps() const {
+    return restamps_;
+  }
+
+  /// Applies the script to `root` (version n), producing version n+1 in
+  /// place. Fails with Corruption if an addressed XID is missing or a
+  /// position is out of range.
+  Status ApplyForward(XmlNode* root) const;
+
+  /// Applies the inverse script to `root` (version n+1), producing version
+  /// n in place.
+  Status ApplyBackward(XmlNode* root) const;
+
+  EditScript Clone() const;
+
+  /// The XML representation, e.g.
+  ///   <delta>
+  ///     <update xid="7" old="15" new="18"/>
+  ///     <insert parent="1" pos="2">…subtree…</insert>
+  ///   </delta>
+  /// Subtrees carry xid attributes so the delta is self-contained.
+  XmlDocument ToXml() const;
+
+  /// Parses the XML representation back (inverse of ToXml).
+  static StatusOr<EditScript> FromXml(const XmlNode& delta_root);
+
+  /// Compact binary representation for the repository.
+  void EncodeTo(std::string* dst) const;
+  static StatusOr<EditScript> Decode(std::string_view data);
+
+  /// Total number of nodes carried in insert/delete subtrees (a size
+  /// measure used by the storage-space experiments).
+  size_t PayloadNodeCount() const;
+
+ private:
+  std::vector<EditOp> ops_;
+  Timestamp commit_ts_;
+  std::vector<std::pair<Xid, Timestamp>> restamps_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_DIFF_EDIT_SCRIPT_H_

@@ -1,0 +1,222 @@
+#include "src/diff/matcher.h"
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+namespace txml {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t HashBytes(uint64_t h, std::string_view data) {
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct NodeInfo {
+  uint64_t hash = 0;
+  uint64_t weight = 0;  // subtree size + total text length
+};
+
+/// Per-tree side data computed in one post-order pass.
+class TreeInfo {
+ public:
+  explicit TreeInfo(const XmlNode& root) { Compute(root); }
+
+  const NodeInfo& info(const XmlNode* node) const { return infos_.at(node); }
+
+  /// Nodes in post-order (children before parents).
+  const std::vector<const XmlNode*>& postorder() const { return postorder_; }
+
+ private:
+  NodeInfo Compute(const XmlNode& node) {
+    NodeInfo info;
+    uint64_t h = kFnvOffset;
+    h = HashU64(h, static_cast<uint64_t>(node.kind()));
+    h = HashBytes(h, node.name());
+    h = HashBytes(h, node.value());
+    info.weight = 1 + node.name().size() + node.value().size();
+    for (const auto& child : node.children()) {
+      NodeInfo child_info = Compute(*child);
+      h = HashU64(h, child_info.hash);
+      info.weight += child_info.weight;
+    }
+    info.hash = h;
+    infos_[&node] = info;
+    postorder_.push_back(&node);
+    return info;
+  }
+
+  std::unordered_map<const XmlNode*, NodeInfo> infos_;
+  std::vector<const XmlNode*> postorder_;
+};
+
+/// Matches the full subtrees rooted at old_node/new_node, pairwise. Only
+/// called for content-identical subtrees, so shapes agree.
+void MatchSubtreesRecursively(const XmlNode* old_node,
+                              const XmlNode* new_node,
+                              NodeMatching* matching) {
+  matching->AddPair(old_node, new_node);
+  for (size_t i = 0; i < old_node->child_count(); ++i) {
+    MatchSubtreesRecursively(old_node->child(i), new_node->child(i),
+                             matching);
+  }
+}
+
+/// True if no node of the subtree is matched yet (old side). Needed in
+/// phase 1: with duplicated content, a descendant of a hash-identical old
+/// subtree may already be matched into a different location, and matching
+/// the ancestor pairwise would then double-assign it.
+bool OldSubtreeFullyUnmatched(const XmlNode& node,
+                              const NodeMatching& matching) {
+  if (matching.OldMatched(&node)) return false;
+  for (const auto& child : node.children()) {
+    if (!OldSubtreeFullyUnmatched(*child, matching)) return false;
+  }
+  return true;
+}
+
+bool CanPair(const XmlNode& a, const XmlNode& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case XmlNode::Kind::kElement:
+      // Elements pair by name; renames are only recognised at the root.
+      return a.name() == b.name();
+    case XmlNode::Kind::kAttribute:
+      return a.name() == b.name();
+    case XmlNode::Kind::kText:
+    case XmlNode::Kind::kComment:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t SubtreeHash(const XmlNode& node) {
+  uint64_t h = kFnvOffset;
+  h = HashU64(h, static_cast<uint64_t>(node.kind()));
+  h = HashBytes(h, node.name());
+  h = HashBytes(h, node.value());
+  for (const auto& child : node.children()) {
+    h = HashU64(h, SubtreeHash(*child));
+  }
+  return h;
+}
+
+NodeMatching MatchTrees(const XmlNode& old_root, const XmlNode& new_root) {
+  NodeMatching matching;
+  TreeInfo old_info(old_root);
+  TreeInfo new_info(new_root);
+
+  // Index old subtrees by hash.
+  std::unordered_map<uint64_t, std::vector<const XmlNode*>> old_by_hash;
+  for (const XmlNode* node : old_info.postorder()) {
+    old_by_hash[old_info.info(node).hash].push_back(node);
+  }
+
+  // Phase 1: greedy identical-subtree matching, heaviest new subtrees
+  // first. A subtree whose ancestor is already matched is skipped — the
+  // ancestor match already covered it.
+  std::vector<const XmlNode*> new_nodes = new_info.postorder();
+  std::sort(new_nodes.begin(), new_nodes.end(),
+            [&](const XmlNode* a, const XmlNode* b) {
+              return new_info.info(a).weight > new_info.info(b).weight;
+            });
+  matching.AddPair(&old_root, &new_root);  // roots force-matched
+  for (const XmlNode* new_node : new_nodes) {
+    if (matching.NewMatched(new_node)) continue;
+    // Skip if any ancestor matched into an identical subtree (covered).
+    auto it = old_by_hash.find(new_info.info(new_node).hash);
+    if (it == old_by_hash.end()) continue;
+    const XmlNode* best = nullptr;
+    for (const XmlNode* candidate : it->second) {
+      if (candidate == &old_root) continue;  // root already matched
+      if (!OldSubtreeFullyUnmatched(*candidate, matching)) continue;
+      best = candidate;
+      // Prefer a candidate whose parent corresponds to the new node's
+      // parent — keeps content in place instead of fabricating moves.
+      const XmlNode* new_parent = new_node->parent();
+      if (new_parent != nullptr &&
+          matching.OldFor(new_parent) == candidate->parent() &&
+          matching.NewMatched(new_parent)) {
+        break;
+      }
+      const XmlNode* old_parent = candidate->parent();
+      if (new_parent != nullptr && old_parent != nullptr &&
+          matching.NewFor(old_parent) == new_parent) {
+        break;
+      }
+    }
+    if (best != nullptr && new_node != &new_root) {
+      MatchSubtreesRecursively(best, new_node, &matching);
+    }
+  }
+
+  // Phase 2: upward propagation. Post-order over the new tree: if a node is
+  // matched and parents are unmatched but pairable, match the parents.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const XmlNode* new_node : new_info.postorder()) {
+      if (!matching.NewMatched(new_node)) continue;
+      const XmlNode* old_node = matching.OldFor(new_node);
+      const XmlNode* new_parent = new_node->parent();
+      const XmlNode* old_parent = old_node->parent();
+      if (new_parent == nullptr || old_parent == nullptr) continue;
+      if (matching.NewMatched(new_parent) || matching.OldMatched(old_parent)) {
+        continue;
+      }
+      if (CanPair(*old_parent, *new_parent)) {
+        matching.AddPair(old_parent, new_parent);
+        changed = true;
+      }
+    }
+  }
+
+  // Phase 3: downward completion. Visit matched pairs parents-first
+  // (reverse post-order); children still unmatched on both sides are paired
+  // by kind+name in document order. Pairs created here are themselves
+  // visited later in the sweep, so completion cascades to the leaves.
+  const std::vector<const XmlNode*>& postorder = new_info.postorder();
+  for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+    const XmlNode* new_node = *it;
+    if (!matching.NewMatched(new_node)) continue;
+    const XmlNode* old_node = matching.OldFor(new_node);
+    std::vector<const XmlNode*> old_unmatched;
+    for (const auto& child : old_node->children()) {
+      if (!matching.OldMatched(child.get())) {
+        old_unmatched.push_back(child.get());
+      }
+    }
+    std::vector<bool> old_used(old_unmatched.size(), false);
+    for (const auto& child : new_node->children()) {
+      if (matching.NewMatched(child.get())) continue;
+      for (size_t i = 0; i < old_unmatched.size(); ++i) {
+        if (old_used[i]) continue;
+        if (CanPair(*old_unmatched[i], *child)) {
+          matching.AddPair(old_unmatched[i], child.get());
+          old_used[i] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  return matching;
+}
+
+}  // namespace txml

@@ -1,0 +1,71 @@
+#ifndef TXML_SRC_DIFF_MATCHER_H_
+#define TXML_SRC_DIFF_MATCHER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// A correspondence between the nodes of an old and a new version of a
+/// tree, as computed by MatchTrees. Matched pairs are nodes considered "the
+/// same node" across the update — the basis for XID propagation and for
+/// minimal edit scripts.
+class NodeMatching {
+ public:
+  void AddPair(const XmlNode* old_node, const XmlNode* new_node) {
+    old_to_new_[old_node] = new_node;
+    new_to_old_[new_node] = old_node;
+  }
+
+  const XmlNode* NewFor(const XmlNode* old_node) const {
+    auto it = old_to_new_.find(old_node);
+    return it == old_to_new_.end() ? nullptr : it->second;
+  }
+
+  const XmlNode* OldFor(const XmlNode* new_node) const {
+    auto it = new_to_old_.find(new_node);
+    return it == new_to_old_.end() ? nullptr : it->second;
+  }
+
+  bool OldMatched(const XmlNode* old_node) const {
+    return old_to_new_.contains(old_node);
+  }
+  bool NewMatched(const XmlNode* new_node) const {
+    return new_to_old_.contains(new_node);
+  }
+
+  size_t size() const { return old_to_new_.size(); }
+
+ private:
+  std::unordered_map<const XmlNode*, const XmlNode*> old_to_new_;
+  std::unordered_map<const XmlNode*, const XmlNode*> new_to_old_;
+};
+
+/// Computes a matching between two versions of a tree, in the style of
+/// XyDiff (Cobéna/Abiteboul/Marian — the paper's reference [7]):
+///
+///  1. Bottom-up content hashing of every subtree, with a weight
+///     (subtree size + text length).
+///  2. Greedy matching of identical subtrees, heaviest first, preferring
+///     candidates whose parents are already matched (keeps moves local).
+///     Matching a subtree pair matches all descendants pairwise.
+///  3. Upward propagation: parents of matched pairs with equal kind and
+///     name are matched.
+///  4. Downward completion: for each matched element pair, remaining
+///     unmatched children are paired by kind+name in document order, which
+///     turns small text edits into cheap update operations instead of
+///     delete+insert.
+///
+/// Roots are force-matched (two versions of one document are always "the
+/// same document"); a root rename surfaces as a rename edit.
+NodeMatching MatchTrees(const XmlNode& old_root, const XmlNode& new_root);
+
+/// 64-bit content hash of a subtree (kind, name, value, ordered children).
+/// Exposed for tests and for snapshot integrity checks.
+uint64_t SubtreeHash(const XmlNode& node);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_DIFF_MATCHER_H_

@@ -1,0 +1,47 @@
+#include "src/index/doctime_index.h"
+
+#include "src/util/strings.h"
+
+namespace txml {
+
+void DocumentTimeIndex::OnVersionStored(DocId doc_id, VersionNum version,
+                                        Timestamp /*ts*/,
+                                        const XmlNode& current,
+                                        const EditScript* /*delta*/) {
+  std::vector<const XmlNode*> nodes = path_.Evaluate(current);
+  for (const XmlNode* node : nodes) {
+    std::string text(
+        Trim(node->is_attribute() ? node->value() : node->TextContent()));
+    auto parsed = Timestamp::ParseFlexible(text);
+    if (!parsed.ok()) continue;  // unparseable metadata: skip, don't fail
+    by_time_.emplace(*parsed, std::make_pair(doc_id, version));
+    by_version_[{doc_id, version}] = *parsed;
+    return;  // first parseable occurrence wins
+  }
+}
+
+void DocumentTimeIndex::OnDocumentDeleted(DocId /*doc_id*/,
+                                          VersionNum /*last*/,
+                                          Timestamp /*ts*/) {
+  // Document time describes content, not storage lifecycle: entries for
+  // historical versions stay queryable after the document is deleted.
+}
+
+std::vector<DocumentTimeIndex::Entry> DocumentTimeIndex::Between(
+    Timestamp t1, Timestamp t2) const {
+  std::vector<Entry> entries;
+  for (auto it = by_time_.lower_bound(t1);
+       it != by_time_.end() && it->first < t2; ++it) {
+    entries.push_back(Entry{it->first, it->second.first, it->second.second});
+  }
+  return entries;
+}
+
+std::optional<Timestamp> DocumentTimeIndex::DocTimeOf(
+    DocId doc_id, VersionNum version) const {
+  auto it = by_version_.find({doc_id, version});
+  if (it == by_version_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace txml

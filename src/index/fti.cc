@@ -1,0 +1,264 @@
+#include "src/index/fti.h"
+
+#include <utility>
+
+#include "src/util/coding.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace txml {
+namespace {
+
+/// Stable string key identifying one occurrence: kind, term, element and
+/// path. A moved element's occurrence changes key (its path changed), so a
+/// move closes the old posting and opens a fresh one — paths stored in
+/// postings stay immutable.
+std::string OccurrenceKey(TermKind kind, std::string_view term, Xid element,
+                          const std::vector<Xid>& path) {
+  std::string key;
+  key.reserve(term.size() + 2 + 5 * (path.size() + 1));
+  key.push_back(static_cast<char>(kind));
+  key.append(term);
+  key.push_back('\0');
+  PutVarint32(&key, element);
+  for (Xid xid : path) PutVarint32(&key, xid);
+  return key;
+}
+
+}  // namespace
+
+void TemporalFullTextIndex::OnVersionStored(DocId doc_id, VersionNum version,
+                                            Timestamp /*ts*/,
+                                            const XmlNode& current,
+                                            const EditScript* /*delta*/) {
+  std::vector<Occurrence> occurrences = ExtractOccurrences(current);
+  auto& open = open_[doc_id];
+
+  std::unordered_set<std::string> present;
+  present.reserve(occurrences.size());
+  for (Occurrence& occ : occurrences) {
+    std::string key = OccurrenceKey(occ.kind, occ.term, occ.element, occ.path);
+    present.insert(key);
+    if (open.contains(key)) continue;  // occurrence survives, posting stays
+    std::vector<Posting>& list = MapFor(occ.kind)[occ.term];
+    list.push_back(Posting{doc_id, occ.element, std::move(occ.path), version,
+                           kOpenVersion});
+    open.emplace(std::move(key),
+                 OpenRef{occ.kind, std::move(occ.term), list.size() - 1});
+  }
+
+  // Close postings for occurrences that vanished in this version.
+  for (auto it = open.begin(); it != open.end();) {
+    if (present.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    const OpenRef& ref = it->second;
+    MapFor(ref.kind).at(ref.term)[ref.index].end = version;
+    it = open.erase(it);
+  }
+}
+
+void TemporalFullTextIndex::OnDocumentDeleted(DocId doc_id, VersionNum last,
+                                              Timestamp /*ts*/) {
+  auto it = open_.find(doc_id);
+  if (it == open_.end()) return;
+  // The last version remains valid up to the delete time; postings close
+  // just after it so ValidAt(last) still holds while LookupCurrent (which
+  // wants open-ended postings only) no longer sees the document.
+  for (auto& [key, ref] : it->second) {
+    MapFor(ref.kind).at(ref.term)[ref.index].end = last + 1;
+  }
+  open_.erase(it);
+}
+
+std::vector<const Posting*> TemporalFullTextIndex::LookupCurrent(
+    TermKind kind, std::string_view term) const {
+  std::vector<const Posting*> result;
+  auto it = MapFor(kind).find(ToLower(term));
+  if (it == MapFor(kind).end()) return result;
+  for (const Posting& posting : it->second) {
+    if (posting.OpenEnded()) result.push_back(&posting);
+  }
+  return result;
+}
+
+std::vector<const Posting*> TemporalFullTextIndex::LookupT(
+    TermKind kind, std::string_view term, Timestamp t) const {
+  std::vector<const Posting*> result;
+  auto it = MapFor(kind).find(ToLower(term));
+  if (it == MapFor(kind).end()) return result;
+  // Resolve time -> version once per document touched by this list.
+  std::unordered_map<DocId, VersionNum> resolved;
+  for (const Posting& posting : it->second) {
+    auto cached = resolved.find(posting.doc_id);
+    if (cached == resolved.end()) {
+      VersionNum v = 0;  // 0 = document absent at t
+      const VersionedDocument* doc = store_->FindById(posting.doc_id);
+      if (doc != nullptr && doc->ExistsAt(t)) {
+        auto version = doc->delta_index().VersionAt(t);
+        if (version.has_value()) v = *version;
+      }
+      cached = resolved.emplace(posting.doc_id, v).first;
+    }
+    if (cached->second != 0 && posting.ValidAt(cached->second)) {
+      result.push_back(&posting);
+    }
+  }
+  return result;
+}
+
+std::vector<const Posting*> TemporalFullTextIndex::LookupH(
+    TermKind kind, std::string_view term) const {
+  std::vector<const Posting*> result;
+  auto it = MapFor(kind).find(ToLower(term));
+  if (it == MapFor(kind).end()) return result;
+  result.reserve(it->second.size());
+  for (const Posting& posting : it->second) result.push_back(&posting);
+  return result;
+}
+
+std::unique_ptr<TemporalFullTextIndex> TemporalFullTextIndex::Rebuild(
+    const VersionedDocumentStore& store) {
+  auto index = std::make_unique<TemporalFullTextIndex>(&store);
+  for (const VersionedDocument* doc : store.AllDocuments()) {
+    for (VersionNum v = 1; v <= doc->version_count(); ++v) {
+      auto tree = doc->ReconstructVersion(v);
+      TXML_CHECK(tree.ok());
+      index->OnVersionStored(doc->doc_id(), v,
+                             doc->delta_index().TimestampOf(v), **tree,
+                             nullptr);
+    }
+    if (doc->deleted()) {
+      index->OnDocumentDeleted(doc->doc_id(), doc->version_count(),
+                               doc->delete_time());
+    }
+  }
+  return index;
+}
+
+namespace {
+
+void EncodePostingList(const std::string& term,
+                       const std::vector<Posting>& list, std::string* dst) {
+  PutLengthPrefixed(dst, term);
+  PutVarint64(dst, list.size());
+  for (const Posting& posting : list) {
+    PutVarint32(dst, posting.doc_id);
+    PutVarint32(dst, posting.element);
+    PutVarint64(dst, posting.path.size());
+    Xid prev = 0;
+    for (Xid xid : posting.path) {
+      PutVarintSigned64(dst,
+                        static_cast<int64_t>(xid) - static_cast<int64_t>(prev));
+      prev = xid;
+    }
+    PutVarint32(dst, posting.start);
+    // 0 = open-ended, otherwise run length (always >= 1).
+    PutVarint32(dst, posting.end == kOpenVersion ? 0
+                                                 : posting.end - posting.start);
+  }
+}
+
+StatusOr<std::pair<std::string, std::vector<Posting>>> DecodePostingList(
+    Decoder* decoder) {
+  auto term = decoder->ReadLengthPrefixed();
+  if (!term.ok()) return term.status();
+  auto count = decoder->ReadVarint64();
+  if (!count.ok()) return count.status();
+  std::vector<Posting> list;
+  if (*count > decoder->remaining()) {
+    return Status::Corruption("implausible posting count");
+  }
+  list.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    Posting posting;
+    auto doc = decoder->ReadVarint32();
+    if (!doc.ok()) return doc.status();
+    posting.doc_id = *doc;
+    auto element = decoder->ReadVarint32();
+    if (!element.ok()) return element.status();
+    posting.element = *element;
+    auto path_len = decoder->ReadVarint64();
+    if (!path_len.ok()) return path_len.status();
+    if (*path_len > decoder->remaining()) {
+      return Status::Corruption("implausible path length");
+    }
+    int64_t prev = 0;
+    for (uint64_t p = 0; p < *path_len; ++p) {
+      auto gap = decoder->ReadVarintSigned64();
+      if (!gap.ok()) return gap.status();
+      prev += *gap;
+      posting.path.push_back(static_cast<Xid>(prev));
+    }
+    auto start = decoder->ReadVarint32();
+    if (!start.ok()) return start.status();
+    posting.start = *start;
+    auto run = decoder->ReadVarint32();
+    if (!run.ok()) return run.status();
+    posting.end = *run == 0 ? kOpenVersion : posting.start + *run;
+    list.push_back(std::move(posting));
+  }
+  return std::make_pair(std::string(*term), std::move(list));
+}
+
+}  // namespace
+
+void TemporalFullTextIndex::EncodeTo(std::string* dst) const {
+  for (const PostingMap* map : {&names_, &words_}) {
+    PutVarint64(dst, map->size());
+    for (const auto& [term, list] : *map) {
+      EncodePostingList(term, list, dst);
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<TemporalFullTextIndex>> TemporalFullTextIndex::Decode(
+    std::string_view data, const VersionedDocumentStore* store) {
+  auto index = std::make_unique<TemporalFullTextIndex>(store);
+  Decoder decoder(data);
+  for (PostingMap* map : {&index->names_, &index->words_}) {
+    TermKind kind = map == &index->names_ ? TermKind::kElementName
+                                          : TermKind::kWord;
+    auto term_count = decoder.ReadVarint64();
+    if (!term_count.ok()) return term_count.status();
+    for (uint64_t i = 0; i < *term_count; ++i) {
+      auto list = DecodePostingList(&decoder);
+      if (!list.ok()) return list.status();
+      // Rebuild the open-occurrence map from open-ended postings so
+      // incremental maintenance continues seamlessly.
+      std::vector<Posting>& stored =
+          (*map)[list->first] = std::move(list->second);
+      for (size_t p = 0; p < stored.size(); ++p) {
+        if (!stored[p].OpenEnded()) continue;
+        std::string key = OccurrenceKey(kind, list->first,
+                                        stored[p].element, stored[p].path);
+        index->open_[stored[p].doc_id].emplace(
+            std::move(key), OpenRef{kind, list->first, p});
+      }
+    }
+  }
+  if (!decoder.AtEnd()) {
+    return Status::Corruption("trailing bytes after FTI");
+  }
+  return index;
+}
+
+size_t TemporalFullTextIndex::term_count() const {
+  return names_.size() + words_.size();
+}
+
+size_t TemporalFullTextIndex::posting_count() const {
+  size_t count = 0;
+  for (const auto& [term, list] : names_) count += list.size();
+  for (const auto& [term, list] : words_) count += list.size();
+  return count;
+}
+
+size_t TemporalFullTextIndex::EncodedSizeBytes() const {
+  std::string scratch;
+  EncodeTo(&scratch);
+  return scratch.size();
+}
+
+}  // namespace txml

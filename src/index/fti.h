@@ -1,0 +1,106 @@
+#ifndef TXML_SRC_INDEX_FTI_H_
+#define TXML_SRC_INDEX_FTI_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/index/posting.h"
+#include "src/storage/store.h"
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// The temporal full-text index of Section 7.2, built with the paper's
+/// chosen alternative: *index the contents of the versions*. Postings carry
+/// version-number validity ranges; occurrences surviving from one version
+/// to the next keep their posting (one entry covers the whole run), so
+/// index growth is proportional to change volume, not to version count.
+///
+/// Maintained incrementally as a StoreObserver: on each stored version the
+/// occurrence set of the new tree is diffed against the open occurrences —
+/// vanished ones are closed at the new version, new ones opened.
+///
+/// The three access functions of Section 7.2:
+///  * LookupCurrent  — FTI_lookup(word): occurrences in currently-valid
+///    (last, undeleted) versions;
+///  * LookupT        — FTI_lookup_T(word, t): occurrences in the snapshot
+///    at time t (version resolution through the delta indexes);
+///  * LookupH        — FTI_lookup_H(word): all occurrences over all time.
+///
+/// Returned pointers are invalidated by the next write to the index.
+class TemporalFullTextIndex : public StoreObserver {
+ public:
+  /// `store` is consulted for version-number <-> timestamp resolution; not
+  /// owned, must outlive the index.
+  explicit TemporalFullTextIndex(const VersionedDocumentStore* store)
+      : store_(store) {}
+
+  // StoreObserver:
+  void OnVersionStored(DocId doc_id, VersionNum version, Timestamp ts,
+                       const XmlNode& current,
+                       const EditScript* delta) override;
+  void OnDocumentDeleted(DocId doc_id, VersionNum last,
+                         Timestamp ts) override;
+
+  /// FTI_lookup: postings valid in the current version of live documents.
+  std::vector<const Posting*> LookupCurrent(TermKind kind,
+                                            std::string_view term) const;
+
+  /// FTI_lookup_T: postings valid in the snapshot at time t.
+  std::vector<const Posting*> LookupT(TermKind kind, std::string_view term,
+                                      Timestamp t) const;
+
+  /// FTI_lookup_H: every posting for the term, all versions.
+  std::vector<const Posting*> LookupH(TermKind kind,
+                                      std::string_view term) const;
+
+  /// Rebuilds an index from scratch by replaying a store's history (used
+  /// after loading a persisted store).
+  static std::unique_ptr<TemporalFullTextIndex> Rebuild(
+      const VersionedDocumentStore& store);
+
+  /// Compact persistence: posting lists with delta/varint encoding. The
+  /// incremental-maintenance state (open-occurrence map) is rebuilt from
+  /// the open-ended postings on decode, so a loaded index keeps accepting
+  /// writes.
+  void EncodeTo(std::string* dst) const;
+  static StatusOr<std::unique_ptr<TemporalFullTextIndex>> Decode(
+      std::string_view data, const VersionedDocumentStore* store);
+
+  /// Statistics for the E3 index-size experiment.
+  size_t term_count() const;
+  size_t posting_count() const;
+  /// Size of the compressed (varint/delta) encoding of all posting lists.
+  size_t EncodedSizeBytes() const;
+
+ private:
+  using PostingMap = std::unordered_map<std::string, std::vector<Posting>>;
+
+  struct OpenRef {
+    TermKind kind;
+    std::string term;
+    size_t index;  // into the term's posting vector
+  };
+
+  PostingMap& MapFor(TermKind kind) {
+    return kind == TermKind::kElementName ? names_ : words_;
+  }
+  const PostingMap& MapFor(TermKind kind) const {
+    return kind == TermKind::kElementName ? names_ : words_;
+  }
+
+  const VersionedDocumentStore* store_;
+  PostingMap names_;
+  PostingMap words_;
+  /// Per document: occurrence key -> open posting, for incremental
+  /// maintenance.
+  std::unordered_map<DocId, std::unordered_map<std::string, OpenRef>> open_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_INDEX_FTI_H_

@@ -1,0 +1,107 @@
+#include "src/index/lifetime_index.h"
+
+#include <memory>
+
+#include "src/util/coding.h"
+
+namespace txml {
+namespace {
+
+void CollectXids(const XmlNode& node, std::unordered_set<Xid>* out) {
+  if (node.xid() != kInvalidXid) out->insert(node.xid());
+  for (const auto& child : node.children()) {
+    CollectXids(*child, out);
+  }
+}
+
+}  // namespace
+
+void LifetimeIndex::OnVersionStored(DocId doc_id, VersionNum /*version*/,
+                                    Timestamp ts, const XmlNode& current,
+                                    const EditScript* /*delta*/) {
+  std::unordered_set<Xid> now;
+  CollectXids(current, &now);
+  std::unordered_set<Xid>& before = alive_[doc_id];
+
+  for (Xid xid : now) {
+    if (!before.contains(xid)) {
+      lifetimes_[Eid{doc_id, xid}] = Lifetime{ts, Timestamp::Infinity()};
+    }
+  }
+  for (Xid xid : before) {
+    if (!now.contains(xid)) {
+      lifetimes_[Eid{doc_id, xid}].del = ts;
+    }
+  }
+  before = std::move(now);
+}
+
+void LifetimeIndex::OnDocumentDeleted(DocId doc_id, VersionNum /*last*/,
+                                      Timestamp ts) {
+  auto it = alive_.find(doc_id);
+  if (it == alive_.end()) return;
+  for (Xid xid : it->second) {
+    lifetimes_[Eid{doc_id, xid}].del = ts;
+  }
+  alive_.erase(it);
+}
+
+std::optional<Timestamp> LifetimeIndex::CreTime(const Eid& eid) const {
+  auto it = lifetimes_.find(eid);
+  if (it == lifetimes_.end()) return std::nullopt;
+  return it->second.create;
+}
+
+std::optional<Timestamp> LifetimeIndex::DelTime(const Eid& eid) const {
+  auto it = lifetimes_.find(eid);
+  if (it == lifetimes_.end() || it->second.del.IsInfinite()) {
+    return std::nullopt;
+  }
+  return it->second.del;
+}
+
+bool LifetimeIndex::IsAlive(const Eid& eid) const {
+  auto it = lifetimes_.find(eid);
+  return it != lifetimes_.end() && it->second.del.IsInfinite();
+}
+
+void LifetimeIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, lifetimes_.size());
+  for (const auto& [eid, lifetime] : lifetimes_) {
+    PutVarint32(dst, eid.doc_id);
+    PutVarint32(dst, eid.xid);
+    PutVarintSigned64(dst, lifetime.create.micros());
+    PutVarintSigned64(dst, lifetime.del.micros());
+  }
+}
+
+StatusOr<std::unique_ptr<LifetimeIndex>> LifetimeIndex::Decode(
+    std::string_view data) {
+  auto index = std::make_unique<LifetimeIndex>();
+  Decoder decoder(data);
+  auto count = decoder.ReadVarint64();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto doc = decoder.ReadVarint32();
+    if (!doc.ok()) return doc.status();
+    auto xid = decoder.ReadVarint32();
+    if (!xid.ok()) return xid.status();
+    auto create = decoder.ReadVarintSigned64();
+    if (!create.ok()) return create.status();
+    auto del = decoder.ReadVarintSigned64();
+    if (!del.ok()) return del.status();
+    Eid eid{*doc, *xid};
+    Lifetime lifetime{Timestamp::FromMicros(*create),
+                      Timestamp::FromMicros(*del)};
+    if (lifetime.del.IsInfinite()) {
+      index->alive_[eid.doc_id].insert(eid.xid);
+    }
+    index->lifetimes_[eid] = lifetime;
+  }
+  if (!decoder.AtEnd()) {
+    return Status::Corruption("trailing bytes after lifetime index");
+  }
+  return index;
+}
+
+}  // namespace txml

@@ -1,0 +1,74 @@
+#include "src/index/posting.h"
+
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "src/util/strings.h"
+
+namespace txml {
+namespace {
+
+using OccKey = std::tuple<TermKind, std::string, Xid>;
+
+void Extract(const XmlNode& node, std::vector<Xid>* path,
+             std::set<OccKey>* seen, std::vector<Occurrence>* out) {
+  if (!node.is_element()) return;
+  path->push_back(node.xid());
+
+  auto emit = [&](TermKind kind, std::string term) {
+    OccKey key{kind, term, node.xid()};
+    if (!seen->insert(key).second) return;
+    out->push_back(Occurrence{kind, std::move(term), node.xid(), *path});
+  };
+
+  emit(TermKind::kElementName, ToLower(node.name()));
+  for (const auto& child : node.children()) {
+    if (child->is_attribute()) {
+      // Attribute names are searchable words but must not satisfy element
+      // tag tests, so they join the word vocabulary.
+      emit(TermKind::kWord, ToLower(child->name()));
+      for (std::string& token : TokenizeWords(child->value())) {
+        emit(TermKind::kWord, std::move(token));
+      }
+    } else if (child->is_text()) {
+      for (std::string& token : TokenizeWords(child->value())) {
+        emit(TermKind::kWord, std::move(token));
+      }
+    }
+  }
+  for (const auto& child : node.children()) {
+    Extract(*child, path, seen, out);
+  }
+  path->pop_back();
+}
+
+}  // namespace
+
+std::vector<Occurrence> ExtractOccurrences(const XmlNode& root) {
+  std::vector<Occurrence> out;
+  std::vector<Xid> path;
+  std::set<OccKey> seen;
+  Extract(root, &path, &seen, &out);
+  return out;
+}
+
+bool PathIsParentOf(const std::vector<Xid>& parent,
+                    const std::vector<Xid>& child) {
+  if (child.size() != parent.size() + 1) return false;
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] != child[i]) return false;
+  }
+  return true;
+}
+
+bool PathIsAncestorOf(const std::vector<Xid>& ancestor,
+                      const std::vector<Xid>& descendant) {
+  if (descendant.size() <= ancestor.size()) return false;
+  for (size_t i = 0; i < ancestor.size(); ++i) {
+    if (ancestor[i] != descendant[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace txml

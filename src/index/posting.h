@@ -1,0 +1,78 @@
+#ifndef TXML_SRC_INDEX_POSTING_H_
+#define TXML_SRC_INDEX_POSTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Vocabulary partition of the FTI. Element (and attribute) names live in
+/// the same index as text words — "this index indexes all words in the
+/// documents, including element names" (Section 7.2) — but the two are
+/// distinguishable so a pattern can ask for the element <name> rather than
+/// the word "name".
+enum class TermKind : uint8_t {
+  kElementName = 0,
+  kWord = 1,
+};
+
+/// Marks a posting that is still valid in the current version.
+constexpr VersionNum kOpenVersion = UINT32_MAX;
+
+/// One entry of a temporal posting list: an occurrence of a term in a
+/// document, valid for the version range [start, end) (end == kOpenVersion
+/// while current). The occurrence is attached to its directly-containing
+/// element and carries the root-to-element XID path — "information that can
+/// be used to determine hierarchical relationships between elements from
+/// the same document" (Section 7.2). Parent/ancestor join predicates become
+/// prefix tests on these paths. Timestamps are deliberately absent: version
+/// numbers map to timestamps through the per-document delta index
+/// (Section 7.1).
+struct Posting {
+  DocId doc_id = 0;
+  /// XID of the element the occurrence is attached to (for an element-name
+  /// occurrence: the element itself).
+  Xid element = kInvalidXid;
+  /// XIDs from the root down to `element`, inclusive.
+  std::vector<Xid> path;
+  VersionNum start = 0;
+  VersionNum end = kOpenVersion;
+
+  bool OpenEnded() const { return end == kOpenVersion; }
+
+  /// True if the occurrence is valid in version v.
+  bool ValidAt(VersionNum v) const { return start <= v && v < end; }
+};
+
+/// A term occurrence extracted from one version of a document (no validity
+/// yet — the index assigns version ranges by diffing consecutive
+/// occurrence sets).
+struct Occurrence {
+  TermKind kind;
+  std::string term;
+  Xid element;
+  std::vector<Xid> path;
+
+  bool operator==(const Occurrence&) const = default;
+};
+
+/// Extracts the full, de-duplicated occurrence set of a version:
+///  * every element contributes its (lower-cased) tag name;
+///  * attribute names, attribute values and direct text content are word
+///    occurrences on the owning element (attribute names deliberately do
+///    not satisfy element tag tests).
+std::vector<Occurrence> ExtractOccurrences(const XmlNode& root);
+
+/// Relationship tests on XID paths (the join predicates of Section 7.3.1).
+bool PathIsParentOf(const std::vector<Xid>& parent,
+                    const std::vector<Xid>& child);
+bool PathIsAncestorOf(const std::vector<Xid>& ancestor,
+                      const std::vector<Xid>& descendant);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_INDEX_POSTING_H_

@@ -1,0 +1,108 @@
+#ifndef TXML_SRC_LANG_AST_H_
+#define TXML_SRC_LANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/timestamp.h"
+#include "src/xml/path.h"
+
+namespace txml {
+
+/// Expression node of the query dialect. One tagged struct rather than a
+/// class hierarchy: the language is small and the executor switches on
+/// kind anyway.
+struct Expr {
+  enum class Kind {
+    kString,      // "Napoli"
+    kNumber,      // 10, 12.5
+    kDate,        // 26/01/2001
+    kNow,         // NOW
+    kVar,         // R
+    kPath,        // R/price, R/name/@lang
+    kTimeOf,      // TIME(R)
+    kCreateTime,  // CREATE TIME(R)
+    kDeleteTime,  // DELETE TIME(R)
+    kNav,         // CURRENT(R)[/path], PREVIOUS(R)[/path], NEXT(R)[/path]
+    kDiff,        // DIFF(a, b)
+    kAggregate,   // SUM/COUNT/MIN/MAX/AVG(expr)
+    kBinary,      // comparisons, AND, OR
+    kNot,         // NOT cond
+    kContains,    // CONTAINS(R/path, "words") — word containment, the
+                  // FTI's native predicate (Section 6.1)
+    kTimeArith,   // <time expr> ± n DAYS/WEEKS/...
+  };
+
+  enum class Nav { kCurrent, kPrevious, kNext };
+  enum class Agg { kSum, kCount, kMin, kMax, kAvg };
+
+  /// Comparison/logic operators. kEq is value equality ('='), kIdEq is
+  /// node identity ('==', compares EIDs), kSim is the similarity operator
+  /// ('~') — the three flavours discussed in Section 7.4.
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kIdEq, kSim, kAnd, kOr };
+
+  Kind kind;
+
+  // kString / kNumber / kDate
+  std::string str;
+  double number = 0;
+  Timestamp date;
+
+  // kVar / kPath / kNav: the variable and (for kPath/kNav) optional path.
+  std::string var;
+  std::optional<PathExpr> path;
+  Nav nav = Nav::kCurrent;
+
+  // kAggregate
+  Agg agg = Agg::kCount;
+
+  // kBinary / kTimeArith / kDiff / kAggregate operands.
+  Op op = Op::kEq;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  // kTimeArith: lhs ± duration.
+  int64_t duration_micros = 0;
+
+  /// Debug rendering.
+  std::string ToString() const;
+};
+
+/// One FROM-clause binding: doc("url")[timespec]/path Var, or the
+/// warehouse form collection("prefix*")[timespec]/path Var which binds
+/// across every document whose URL matches (the Xyleme-style collection
+/// scan — pattern operators take "a forest of trees" as input, Section 6).
+struct FromItem {
+  enum class Mode {
+    kCurrent,   // no timestamp: the current snapshot
+    kSnapshot,  // [26/01/2001], [NOW - 14 DAYS], ...
+    kEvery,     // [EVERY] — all versions (Section 5)
+  };
+
+  /// Exact URL for doc(); for collection() a literal prefix optionally
+  /// followed by '*'.
+  std::string url;
+  bool is_collection = false;
+  Mode mode = Mode::kCurrent;
+  /// Constant time expression for kSnapshot (evaluated at plan time).
+  std::unique_ptr<Expr> snapshot_time;
+  /// The location path binding the variable, e.g. /guide/restaurant.
+  PathExpr path;
+  std::string var;
+};
+
+/// A parsed query.
+struct Query {
+  bool distinct = false;
+  std::vector<std::unique_ptr<Expr>> select;
+  std::vector<FromItem> from;
+  std::unique_ptr<Expr> where;  // null if absent
+
+  std::string ToString() const;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_LANG_AST_H_

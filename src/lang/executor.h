@@ -1,0 +1,75 @@
+#ifndef TXML_SRC_LANG_EXECUTOR_H_
+#define TXML_SRC_LANG_EXECUTOR_H_
+
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/query/context.h"
+#include "src/query/time_ops.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Execution knobs.
+struct ExecOptions {
+  /// The value of NOW in queries; the database façade passes its commit
+  /// clock's latest time.
+  Timestamp now;
+  /// Strategy for CREATE TIME / DELETE TIME (Section 7.3.6).
+  LifetimeStrategy lifetime_strategy = LifetimeStrategy::kIndex;
+  /// When false, disables the Q2-style optimization that skips document
+  /// reconstruction for queries that never look at element content — used
+  /// by the E10 benchmark to quantify that optimization.
+  bool skip_unneeded_reconstruction = true;
+};
+
+/// Counters exposed for the benchmarks.
+struct ExecStats {
+  size_t snapshot_reconstructions = 0;
+  size_t rows_considered = 0;
+  size_t rows_emitted = 0;
+};
+
+/// Plans and executes one query against a QueryContext:
+///
+///  * each FROM item becomes a pattern scan — PatternScan on the current
+///    snapshot, TPatternScan at an explicit timestamp, TPatternScanAll for
+///    [EVERY] (Sections 6-7);
+///  * WHERE equality constants on paths below the binding variable are
+///    pushed into the pattern as word tests (the FTI-containment-then-
+///    equality strategy of Section 6.1), and re-verified after the scan;
+///  * bindings materialize element versions via Reconstruct only when the
+///    query actually reads content;
+///  * results are delivered as <results><result>…</result></results>
+///    (Section 5's convention).
+class QueryExecutor {
+ public:
+  QueryExecutor(const QueryContext& ctx, ExecOptions options)
+      : ctx_(ctx), options_(options) {}
+
+  /// Parses and executes.
+  StatusOr<XmlDocument> Execute(std::string_view query_text);
+
+  /// Executes a parsed query.
+  StatusOr<XmlDocument> Execute(const Query& query);
+
+  /// Renders the execution plan without running it: one line per FROM
+  /// item (scan operator, resolved snapshot time, pattern with pushed-down
+  /// word tests, whether content is materialized) plus the post-scan
+  /// predicate and output shape. For developers and tests.
+  StatusOr<std::string> Explain(std::string_view query_text);
+  StatusOr<std::string> Explain(const Query& query);
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  QueryContext ctx_;
+  ExecOptions options_;
+  ExecStats stats_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_LANG_EXECUTOR_H_

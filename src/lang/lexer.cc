@@ -1,0 +1,215 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_set>
+
+namespace txml {
+
+bool IsKeyword(std::string_view upper) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "SELECT", "DISTINCT", "FROM",    "WHERE",   "AND",     "OR",
+      "DOC",    "COLLECTION", "EVERY", "NOW",     "AS",      "TIME",    "CREATE",
+      "DELETE", "CURRENT",  "PREVIOUS","NEXT",    "DIFF",    "SUM",
+      "COUNT",  "MIN",      "MAX",     "AVG",     "DAY",     "DAYS",
+      "WEEK",   "WEEKS",    "HOUR",    "HOURS",   "MINUTE",  "MINUTES",
+      "SECOND", "SECONDS",  "NOT",   "CONTAINS",
+  };
+  return kKeywords.contains(upper);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+std::string ToUpperAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// True if positions [pos, pos+len) are all digits.
+bool DigitsAt(std::string_view text, size_t pos, size_t len) {
+  if (pos + len > text.size()) return false;
+  for (size_t i = 0; i < len; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[pos + i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto error = [&](const std::string& message) {
+    return Status::ParseError("query offset " + std::to_string(pos) + ": " +
+                              message);
+  };
+
+  while (pos < query.size()) {
+    char c = query[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    Token token;
+    token.offset = pos + 1;
+
+    // Date literal dd/mm/yyyy (optionally with hh:mm:ss) — checked before
+    // numbers and paths.
+    if (DigitsAt(query, pos, 2) && pos + 10 <= query.size() &&
+        query[pos + 2] == '/' && DigitsAt(query, pos + 3, 2) &&
+        query[pos + 5] == '/' && DigitsAt(query, pos + 6, 4)) {
+      size_t len = 10;
+      // Optional time part: " hh:mm:ss".
+      if (pos + 19 <= query.size() && query[pos + 10] == ' ' &&
+          DigitsAt(query, pos + 11, 2) && query[pos + 13] == ':' &&
+          DigitsAt(query, pos + 14, 2) && query[pos + 16] == ':' &&
+          DigitsAt(query, pos + 17, 2)) {
+        len = 19;
+      }
+      auto date = Timestamp::ParseDate(query.substr(pos, len));
+      if (!date.ok()) return date.status();
+      token.kind = TokenKind::kDate;
+      token.date = *date;
+      token.text = std::string(query.substr(pos, len));
+      pos += len;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos;
+      while (pos < query.size() &&
+             std::isdigit(static_cast<unsigned char>(query[pos]))) {
+        ++pos;
+      }
+      if (pos < query.size() && query[pos] == '.' &&
+          DigitsAt(query, pos + 1, 1)) {
+        ++pos;
+        while (pos < query.size() &&
+               std::isdigit(static_cast<unsigned char>(query[pos]))) {
+          ++pos;
+        }
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(query.substr(start, pos - start));
+      token.number = std::stod(token.text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t start = pos;
+      while (pos < query.size() && IsIdentChar(query[pos])) ++pos;
+      std::string_view text = query.substr(start, pos - start);
+      std::string upper = ToUpperAscii(text);
+      if (IsKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = std::move(upper);
+      } else {
+        token.kind = TokenKind::kIdent;
+        token.text = std::string(text);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = ++pos;
+      while (pos < query.size() && query[pos] != quote) ++pos;
+      if (pos >= query.size()) return error("unterminated string literal");
+      token.kind = TokenKind::kString;
+      token.text = std::string(query.substr(start, pos - start));
+      ++pos;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    auto single = [&](TokenKind kind) {
+      token.kind = kind;
+      token.text = std::string(1, c);
+      ++pos;
+    };
+    switch (c) {
+      case ',': single(TokenKind::kComma); break;
+      case '(': single(TokenKind::kLParen); break;
+      case ')': single(TokenKind::kRParen); break;
+      case '[': single(TokenKind::kLBracket); break;
+      case ']': single(TokenKind::kRBracket); break;
+      case '@': single(TokenKind::kAt); break;
+      case '*': single(TokenKind::kStar); break;
+      case '+': single(TokenKind::kPlus); break;
+      case '-': single(TokenKind::kMinus); break;
+      case '~': single(TokenKind::kSim); break;
+      case '/':
+        if (pos + 1 < query.size() && query[pos + 1] == '/') {
+          token.kind = TokenKind::kSlashSlash;
+          token.text = "//";
+          pos += 2;
+        } else {
+          single(TokenKind::kSlash);
+        }
+        break;
+      case '=':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kIdEq;
+          token.text = "==";
+          pos += 2;
+        } else {
+          single(TokenKind::kEq);
+        }
+        break;
+      case '!':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kNe;
+          token.text = "!=";
+          pos += 2;
+        } else {
+          return error("unexpected '!'");
+        }
+        break;
+      case '<':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kLe;
+          token.text = "<=";
+          pos += 2;
+        } else {
+          single(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kGe;
+          token.text = ">=";
+          pos += 2;
+        } else {
+          single(TokenKind::kGt);
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = query.size() + 1;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace txml

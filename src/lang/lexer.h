@@ -1,0 +1,23 @@
+#ifndef TXML_SRC_LANG_LEXER_H_
+#define TXML_SRC_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// Tokenizes a query string. Keywords are recognised case-insensitively
+/// (SQL style); identifiers keep their case (XML names are case-
+/// sensitive). Date literals `dd/mm/yyyy` are disambiguated from paths by
+/// their all-digit shape.
+StatusOr<std::vector<Token>> Tokenize(std::string_view query);
+
+/// True if `text` (upper-cased) is one of the dialect's keywords.
+bool IsKeyword(std::string_view upper);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_LANG_LEXER_H_

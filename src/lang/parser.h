@@ -1,0 +1,28 @@
+#ifndef TXML_SRC_LANG_PARSER_H_
+#define TXML_SRC_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// Parses one query of the Section-5 dialect, e.g.
+///
+///   SELECT R
+///   FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R
+///   WHERE R/price < 10
+///
+///   SELECT TIME(R), R/price
+///   FROM doc("http://guide.com/restaurants.xml")[EVERY]/restaurant R
+///   WHERE R/name = "Napoli"
+///
+///   SELECT DIFF(R1, R2)
+///   FROM doc("u")[01/01/2001]/r R1, doc("u")[NOW]/r R2
+///   WHERE R1 == R2
+StatusOr<Query> ParseQuery(std::string_view text);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_LANG_PARSER_H_

@@ -1,0 +1,52 @@
+#ifndef TXML_SRC_LANG_TOKEN_H_
+#define TXML_SRC_LANG_TOKEN_H_
+
+#include <string>
+
+#include "src/util/timestamp.h"
+
+namespace txml {
+
+/// Token kinds of the temporal query dialect (Section 5 of the paper: a mix
+/// of Lorel, the Xyleme query language and elements of XPath/XQuery).
+enum class TokenKind {
+  kEnd,
+  kIdent,    // element names, variables — case preserved
+  kKeyword,  // SELECT, FROM, ... — matched case-insensitively, text upper
+  kString,   // "..."
+  kNumber,   // 123 or 12.5
+  kDate,     // dd/mm/yyyy or dd/mm/yyyy hh:mm:ss
+  kComma,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kSlash,        // '/'
+  kSlashSlash,   // '//'
+  kAt,           // '@'
+  kStar,         // '*'
+  kPlus,
+  kMinus,
+  kEq,           // '='
+  kNe,           // '!='
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIdEq,         // '==' (node identity, Section 7.4)
+  kSim,          // '~'  (similarity)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier text (original case) or upper-cased keyword.
+  std::string text;
+  double number = 0;
+  Timestamp date;
+  /// 1-based position in the query string, for error messages.
+  size_t offset = 0;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_LANG_TOKEN_H_

@@ -1,0 +1,23 @@
+#ifndef TXML_SRC_QUERY_CONTEXT_H_
+#define TXML_SRC_QUERY_CONTEXT_H_
+
+#include "src/index/fti.h"
+#include "src/index/lifetime_index.h"
+#include "src/storage/store.h"
+
+namespace txml {
+
+/// Everything a query operator needs to run: the repository (current
+/// versions, delta chains, delta indexes) and the access structures of
+/// Section 7. Non-owning; the database façade owns the real objects.
+struct QueryContext {
+  const VersionedDocumentStore* store = nullptr;
+  const TemporalFullTextIndex* fti = nullptr;
+  /// Optional: when null, CreTime/DelTime fall back to delta-chain
+  /// traversal (the first strategy of Section 7.3.6).
+  const LifetimeIndex* lifetime = nullptr;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_QUERY_CONTEXT_H_

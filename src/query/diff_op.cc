@@ -1,0 +1,64 @@
+#include "src/query/diff_op.h"
+
+#include <memory>
+
+#include "src/diff/diff.h"
+#include "src/query/history_ops.h"
+#include "src/util/macros.h"
+
+namespace txml {
+
+StatusOr<XmlDocument> DiffTreesOp(const XmlNode& from, const XmlNode& to) {
+  // Work on scratch copies with scratch XIDs: the edit script addresses
+  // nodes of the operand trees, not repository state.
+  std::unique_ptr<XmlNode> old_tree = from.Clone();
+  std::unique_ptr<XmlNode> new_tree = to.Clone();
+  XidAllocator scratch;
+  AssignFreshXids(old_tree.get(), &scratch);
+  std::vector<XmlNode*> stack = {new_tree.get()};
+  while (!stack.empty()) {
+    XmlNode* node = stack.back();
+    stack.pop_back();
+    node->set_xid(kInvalidXid);
+    for (size_t i = 0; i < node->child_count(); ++i) {
+      stack.push_back(node->child(i));
+    }
+  }
+  TXML_ASSIGN_OR_RETURN(
+      DiffResult result,
+      DiffTrees(*old_tree, new_tree.get(), &scratch, to.timestamp()));
+  return result.script.ToXml();
+}
+
+StatusOr<XmlDocument> DiffOp(const QueryContext& ctx, const Teid& from,
+                             const Teid& to) {
+  TXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> old_tree,
+                        Reconstruct(ctx, from));
+  TXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> new_tree,
+                        Reconstruct(ctx, to));
+  if (from.eid == to.eid) {
+    // Same element: XIDs are already aligned across the two versions, so
+    // the native differ can work on them directly — matched nodes are the
+    // ones with equal XIDs, and the script is expressed in the element's
+    // persistent identifiers.
+    const VersionedDocument* doc = ctx.store->FindById(from.eid.doc_id);
+    XidAllocator scratch(doc->next_xid());
+    std::unique_ptr<XmlNode> new_copy = new_tree->Clone();
+    std::vector<XmlNode*> stack = {new_copy.get()};
+    while (!stack.empty()) {
+      XmlNode* node = stack.back();
+      stack.pop_back();
+      node->set_xid(kInvalidXid);
+      for (size_t i = 0; i < node->child_count(); ++i) {
+        stack.push_back(node->child(i));
+      }
+    }
+    TXML_ASSIGN_OR_RETURN(
+        DiffResult result,
+        DiffTrees(*old_tree, new_copy.get(), &scratch, to.timestamp));
+    return result.script.ToXml();
+  }
+  return DiffTreesOp(*old_tree, *new_tree);
+}
+
+}  // namespace txml

@@ -1,0 +1,26 @@
+#ifndef TXML_SRC_QUERY_DIFF_OP_H_
+#define TXML_SRC_QUERY_DIFF_OP_H_
+
+#include "src/query/context.h"
+#include "src/util/statusor.h"
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Diff(E1, E2) — Section 6.1/7.3.9: the changes between two element
+/// versions, returned as an *edit script represented as an XML tree* so
+/// query closure is preserved ("as long as an edit script is represented
+/// in XML this operator does not break closure properties of queries").
+/// E1 and E2 may be versions of the same element, or entirely different
+/// elements/documents/subtrees.
+StatusOr<XmlDocument> DiffOp(const QueryContext& ctx, const Teid& from,
+                             const Teid& to);
+
+/// Diff of two already-materialized trees (used when operands come from an
+/// enclosing query rather than the store).
+StatusOr<XmlDocument> DiffTreesOp(const XmlNode& from, const XmlNode& to);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_QUERY_DIFF_OP_H_

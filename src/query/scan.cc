@@ -1,0 +1,233 @@
+#include "src/query/scan.h"
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "src/index/posting.h"
+#include "src/util/logging.h"
+
+namespace txml {
+namespace {
+
+/// Per-document candidate postings for every pattern node.
+using DocCandidates = std::map<DocId, std::vector<std::vector<const Posting*>>>;
+
+/// Pattern nodes in id order plus each node's parent id (-1 for the root).
+struct PatternShape {
+  std::vector<const PatternNode*> nodes;
+  std::vector<int> parent;
+};
+
+PatternShape ShapeOf(const Pattern& pattern) {
+  PatternShape shape;
+  shape.nodes = pattern.NodesPreorder();
+  shape.parent.assign(shape.nodes.size(), -1);
+  for (const PatternNode* node : shape.nodes) {
+    for (const auto& child : node->children) {
+      shape.parent[static_cast<size_t>(child->id)] = node->id;
+    }
+  }
+  return shape;
+}
+
+/// Does `child` stand in the node's axis relationship to `parent`?
+bool AxisHolds(PatternNode::Axis axis, const Posting& parent,
+               const Posting& child) {
+  switch (axis) {
+    case PatternNode::Axis::kSelf:
+      return parent.path == child.path;
+    case PatternNode::Axis::kChild:
+      return PathIsParentOf(parent.path, child.path);
+    case PatternNode::Axis::kDescendant:
+      return PathIsAncestorOf(parent.path, child.path);
+    case PatternNode::Axis::kDescendantOrSelf:
+      return parent.path == child.path ||
+             PathIsAncestorOf(parent.path, child.path);
+  }
+  return false;
+}
+
+/// Root axis is interpreted against the document node: kSelf/kChild bind
+/// the document's root element, kDescendant anything strictly below it,
+/// kDescendantOrSelf anything.
+bool RootAxisHolds(PatternNode::Axis axis, const Posting& posting) {
+  switch (axis) {
+    case PatternNode::Axis::kSelf:
+    case PatternNode::Axis::kChild:
+      return posting.path.size() == 1;
+    case PatternNode::Axis::kDescendant:
+      return posting.path.size() > 1;
+    case PatternNode::Axis::kDescendantOrSelf:
+      return true;
+  }
+  return false;
+}
+
+struct VersionRun {
+  VersionNum start;
+  VersionNum end;  // exclusive; kOpenVersion while current
+  bool Intersect(const Posting& posting) {
+    if (posting.start > start) start = posting.start;
+    if (posting.end < end) end = posting.end;
+    return start < end;
+  }
+};
+
+/// Recursive multiway join within one document: picks a posting for every
+/// pattern node such that all axis predicates hold and the version ranges
+/// intersect (the "temporal join" of Section 7.3.2).
+class DocJoiner {
+ public:
+  DocJoiner(const PatternShape& shape,
+            const std::vector<std::vector<const Posting*>>& candidates,
+            std::vector<ScanMatch>* out)
+      : shape_(shape), candidates_(candidates), out_(out) {
+    chosen_.resize(shape.nodes.size(), nullptr);
+  }
+
+  void Run() {
+    VersionRun run{0, kOpenVersion};
+    Extend(0, run);
+  }
+
+ private:
+  void Extend(size_t node_idx, VersionRun run) {
+    if (node_idx == shape_.nodes.size()) {
+      Emit(run);
+      return;
+    }
+    const PatternNode& pnode = *shape_.nodes[node_idx];
+    int parent_id = shape_.parent[node_idx];
+    for (const Posting* posting : candidates_[node_idx]) {
+      if (parent_id < 0) {
+        if (!RootAxisHolds(pnode.axis, *posting)) continue;
+      } else {
+        const Posting& parent = *chosen_[static_cast<size_t>(parent_id)];
+        if (!AxisHolds(pnode.axis, parent, *posting)) continue;
+      }
+      VersionRun next = run;
+      if (!next.Intersect(*posting)) continue;
+      chosen_[node_idx] = posting;
+      Extend(node_idx + 1, next);
+      chosen_[node_idx] = nullptr;
+    }
+  }
+
+  void Emit(const VersionRun& run) {
+    ScanMatch match;
+    match.doc_id = chosen_[0]->doc_id;
+    match.first_version = run.start;
+    match.end_version = run.end;
+    match.elements.reserve(chosen_.size());
+    match.paths.reserve(chosen_.size());
+    for (const Posting* posting : chosen_) {
+      match.elements.push_back(posting->element);
+      match.paths.push_back(posting->path);
+    }
+    out_->push_back(std::move(match));
+  }
+
+  const PatternShape& shape_;
+  const std::vector<std::vector<const Posting*>>& candidates_;
+  std::vector<ScanMatch>* out_;
+  std::vector<const Posting*> chosen_;
+};
+
+/// Looks up postings per pattern node with `lookup`, groups them by
+/// document, joins per document, then resolves version runs to time
+/// intervals through the delta indexes.
+template <typename LookupFn>
+StatusOr<std::vector<ScanMatch>> ScanWith(const QueryContext& ctx,
+                                          const Pattern& pattern,
+                                          LookupFn lookup) {
+  std::vector<ScanMatch> results;
+  if (pattern.empty()) return results;
+  TXML_CHECK(ctx.store != nullptr && ctx.fti != nullptr);
+
+  PatternShape shape = ShapeOf(pattern);
+  size_t node_count = shape.nodes.size();
+
+  DocCandidates by_doc;
+  for (size_t i = 0; i < node_count; ++i) {
+    const PatternNode& pnode = *shape.nodes[i];
+    TermKind kind = pnode.test == PatternNode::Test::kElementName
+                        ? TermKind::kElementName
+                        : TermKind::kWord;
+    for (const Posting* posting : lookup(kind, pnode.term)) {
+      auto& lists = by_doc[posting->doc_id];
+      if (lists.empty()) lists.resize(node_count);
+      lists[i].push_back(posting);
+    }
+  }
+
+  for (auto& [doc_id, lists] : by_doc) {
+    // Every pattern node needs at least one candidate in this document.
+    bool complete = true;
+    for (const auto& list : lists) {
+      if (list.empty()) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+    DocJoiner(shape, lists, &results).Run();
+  }
+
+  // Resolve version runs to time validity.
+  for (ScanMatch& match : results) {
+    const VersionedDocument* doc = ctx.store->FindById(match.doc_id);
+    TXML_CHECK(doc != nullptr);
+    match.validity.start = doc->delta_index().TimestampOf(match.first_version);
+    if (match.end_version != kOpenVersion &&
+        match.end_version <= doc->version_count()) {
+      match.validity.end = doc->delta_index().TimestampOf(match.end_version);
+    } else {
+      // Open-ended run, or a run closed by document deletion.
+      match.validity.end = doc->delete_time();
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ScanMatch>> PatternScanCurrent(const QueryContext& ctx,
+                                                    const Pattern& pattern) {
+  return ScanWith(ctx, pattern, [&](TermKind kind, const std::string& term) {
+    return ctx.fti->LookupCurrent(kind, term);
+  });
+}
+
+StatusOr<std::vector<ScanMatch>> TPatternScan(const QueryContext& ctx,
+                                              const Pattern& pattern,
+                                              Timestamp t) {
+  return ScanWith(ctx, pattern, [&](TermKind kind, const std::string& term) {
+    return ctx.fti->LookupT(kind, term, t);
+  });
+}
+
+StatusOr<std::vector<ScanMatch>> TPatternScanAll(const QueryContext& ctx,
+                                                 const Pattern& pattern) {
+  return ScanWith(ctx, pattern, [&](TermKind kind, const std::string& term) {
+    return ctx.fti->LookupH(kind, term);
+  });
+}
+
+StatusOr<std::vector<ScanMatch>> TPatternScanRange(const QueryContext& ctx,
+                                                   const Pattern& pattern,
+                                                   Timestamp t1,
+                                                   Timestamp t2) {
+  auto all = TPatternScanAll(ctx, pattern);
+  if (!all.ok()) return all.status();
+  TimeInterval window{t1, t2};
+  std::vector<ScanMatch> filtered;
+  for (ScanMatch& match : *all) {
+    if (match.validity.Overlaps(window)) {
+      filtered.push_back(std::move(match));
+    }
+  }
+  return filtered;
+}
+
+}  // namespace txml

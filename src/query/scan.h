@@ -1,0 +1,73 @@
+#ifndef TXML_SRC_QUERY_SCAN_H_
+#define TXML_SRC_QUERY_SCAN_H_
+
+#include <vector>
+
+#include "src/query/context.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/ids.h"
+#include "src/xml/pattern.h"
+
+namespace txml {
+
+/// One result of a pattern-scan operator: an embedding of the pattern into
+/// one document, valid over a (maximal) run of consecutive versions.
+///
+///  * For snapshot scans (PatternScan / TPatternScan) the run is the single
+///    version valid at the scan time.
+///  * For TPatternScanAll the run is the maximal version range over which
+///    this embedding holds — adjacent versions where every pattern node's
+///    occurrence is unchanged collapse into one match, which is what makes
+///    history scans proportional to change volume.
+struct ScanMatch {
+  DocId doc_id = 0;
+  /// Version run [first_version, end_version).
+  VersionNum first_version = 0;
+  VersionNum end_version = 0;
+  /// Time validity of the run: [commit ts of first version, commit ts of
+  /// end version), capped by the document delete time; open-ended for
+  /// still-current matches.
+  TimeInterval validity;
+  /// Matched element XID per pattern-node id, and its root-to-element path.
+  std::vector<Xid> elements;
+  std::vector<std::vector<Xid>> paths;
+
+  /// The TEID of the projected node (Section 6.1: operators output sets of
+  /// TEIDs). The timestamp is the start of the run's validity.
+  Teid ProjectedTeid(const Pattern& pattern) const {
+    int id = pattern.ProjectedId();
+    return Teid{Eid{doc_id, id >= 0 ? elements[static_cast<size_t>(id)]
+                                    : kInvalidXid},
+                validity.start};
+  }
+};
+
+/// PatternScan over current versions only (the non-temporal operator of
+/// Aguilera et al. that the temporal operators extend): FTI_lookup per
+/// pattern word, then a multiway join on (document, relationship).
+StatusOr<std::vector<ScanMatch>> PatternScanCurrent(const QueryContext& ctx,
+                                                    const Pattern& pattern);
+
+/// TPatternScan(Δ, pattern, t) — Section 7.3.1: like PatternScan but using
+/// FTI_lookup_T, considering only entries valid at time t.
+StatusOr<std::vector<ScanMatch>> TPatternScan(const QueryContext& ctx,
+                                              const Pattern& pattern,
+                                              Timestamp t);
+
+/// TPatternScanAll(Δ, pattern) — Section 7.3.2: FTI_lookup_H per word and a
+/// temporal multiway join — the relationship predicates plus "words in the
+/// pattern valid at the same time" (non-empty version-range intersection).
+StatusOr<std::vector<ScanMatch>> TPatternScanAll(const QueryContext& ctx,
+                                                 const Pattern& pattern);
+
+/// TPatternScanAll restricted to matches whose validity overlaps
+/// [t1, t2) — used by range-restricted history queries.
+StatusOr<std::vector<ScanMatch>> TPatternScanRange(const QueryContext& ctx,
+                                                   const Pattern& pattern,
+                                                   Timestamp t1,
+                                                   Timestamp t2);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_QUERY_SCAN_H_

@@ -1,0 +1,137 @@
+#include "src/query/time_ops.h"
+
+#include "src/util/logging.h"
+
+namespace txml {
+namespace {
+
+bool SubtreeContainsXid(const XmlNode& node, Xid xid) {
+  if (node.xid() == xid) return true;
+  for (const auto& child : node.children()) {
+    if (SubtreeContainsXid(*child, xid)) return true;
+  }
+  return false;
+}
+
+StatusOr<const VersionedDocument*> DocOf(const QueryContext& ctx,
+                                         const Eid& eid) {
+  TXML_CHECK(ctx.store != nullptr);
+  const VersionedDocument* doc = ctx.store->FindById(eid.doc_id);
+  if (doc == nullptr) {
+    return Status::NotFound("no document with id " +
+                            std::to_string(eid.doc_id));
+  }
+  if (eid.xid == kInvalidXid || eid.xid >= doc->next_xid()) {
+    return Status::NotFound("EID " + eid.ToString() + " was never allocated");
+  }
+  return doc;
+}
+
+StatusOr<VersionNum> VersionOf(const VersionedDocument& doc, Timestamp ts) {
+  auto v = doc.delta_index().VersionAt(ts);
+  if (!v.has_value()) {
+    return Status::NotFound("document " + std::to_string(doc.doc_id()) +
+                            " has no version at " + ts.ToString());
+  }
+  return *v;
+}
+
+}  // namespace
+
+StatusOr<Timestamp> CreTime(const QueryContext& ctx, const Teid& teid,
+                            LifetimeStrategy strategy) {
+  auto doc = DocOf(ctx, teid.eid);
+  if (!doc.ok()) return doc.status();
+
+  if (strategy == LifetimeStrategy::kIndex) {
+    TXML_CHECK(ctx.lifetime != nullptr);
+    auto ts = ctx.lifetime->CreTime(teid.eid);
+    if (!ts.has_value()) {
+      return Status::NotFound("EID " + teid.eid.ToString() +
+                              " not in lifetime index");
+    }
+    return *ts;
+  }
+
+  // Traversal (Section 7.3.6): walk deltas backwards from the version the
+  // TEID anchors, looking for the insert that introduced the element. No
+  // reconstruction is necessary — this is why the operator wants a TEID
+  // with its timestamp rather than a bare EID.
+  auto v = VersionOf(**doc, teid.timestamp);
+  if (!v.ok()) return v.status();
+  for (VersionNum i = *v; i >= 2; --i) {
+    // Transition i-1 produced version i.
+    const EditScript& delta = (*doc)->TransitionDelta(i - 1);
+    for (const EditOp& op : delta.ops()) {
+      if (op.kind == EditOp::Kind::kInsert &&
+          SubtreeContainsXid(*op.subtree, teid.eid.xid)) {
+        return (*doc)->delta_index().TimestampOf(i);
+      }
+    }
+  }
+  // Not introduced by any delta below the anchor: the element has existed
+  // since the first version.
+  return (*doc)->delta_index().TimestampOf(1);
+}
+
+StatusOr<std::optional<Timestamp>> DelTime(const QueryContext& ctx,
+                                           const Teid& teid,
+                                           LifetimeStrategy strategy) {
+  auto doc = DocOf(ctx, teid.eid);
+  if (!doc.ok()) return doc.status();
+
+  if (strategy == LifetimeStrategy::kIndex) {
+    TXML_CHECK(ctx.lifetime != nullptr);
+    return ctx.lifetime->DelTime(teid.eid);
+  }
+
+  // If the element is still in the last stored version, its delete time is
+  // the document's delete time (if deleted) or it is still alive.
+  if (SubtreeContainsXid(*(*doc)->current(), teid.eid.xid)) {
+    if ((*doc)->deleted()) {
+      return std::optional<Timestamp>((*doc)->delete_time());
+    }
+    return std::optional<Timestamp>();
+  }
+
+  // Otherwise traverse the deltas forward from the anchored version until
+  // the delete that removed it (Section 7.3.6).
+  auto v = VersionOf(**doc, teid.timestamp);
+  if (!v.ok()) return v.status();
+  for (VersionNum i = *v; i < (*doc)->version_count(); ++i) {
+    const EditScript& delta = (*doc)->TransitionDelta(i);
+    for (const EditOp& op : delta.ops()) {
+      if (op.kind == EditOp::Kind::kDelete &&
+          SubtreeContainsXid(*op.subtree, teid.eid.xid)) {
+        return std::optional<Timestamp>(
+            (*doc)->delta_index().TimestampOf(i + 1));
+      }
+    }
+  }
+  return Status::NotFound("element " + teid.eid.ToString() +
+                          " not present at " + teid.timestamp.ToString());
+}
+
+StatusOr<std::optional<Timestamp>> PreviousTS(const QueryContext& ctx,
+                                              const Teid& teid) {
+  auto doc = DocOf(ctx, teid.eid);
+  if (!doc.ok()) return doc.status();
+  return (*doc)->delta_index().PreviousTS(teid.timestamp);
+}
+
+StatusOr<std::optional<Timestamp>> NextTS(const QueryContext& ctx,
+                                          const Teid& teid) {
+  auto doc = DocOf(ctx, teid.eid);
+  if (!doc.ok()) return doc.status();
+  return (*doc)->delta_index().NextTS(teid.timestamp);
+}
+
+StatusOr<std::optional<Timestamp>> CurrentTS(const QueryContext& ctx,
+                                             const Eid& eid) {
+  auto doc = DocOf(ctx, eid);
+  if (!doc.ok()) return doc.status();
+  if ((*doc)->deleted()) return std::optional<Timestamp>();
+  return (*doc)->delta_index().CurrentTS();
+}
+
+}  // namespace txml

@@ -1,0 +1,54 @@
+#ifndef TXML_SRC_QUERY_TIME_OPS_H_
+#define TXML_SRC_QUERY_TIME_OPS_H_
+
+#include <optional>
+
+#include "src/query/context.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/ids.h"
+
+namespace txml {
+
+/// How CreTime/DelTime are evaluated — the two strategies of
+/// Section 7.3.6.
+enum class LifetimeStrategy {
+  /// Traverse the document's delta chain looking for the operation that
+  /// introduced/removed the element. No reconstruction needed, but cost
+  /// grows with the number of deltas between the TEID's version and the
+  /// create/delete point.
+  kTraversal,
+  /// O(1) lookup in the auxiliary EID -> (create, delete) index. Requires
+  /// ctx.lifetime.
+  kIndex,
+};
+
+/// CreTime(TEID): transaction time at which the element was created. The
+/// timestamp in the TEID anchors the backward traversal (the reason the
+/// operator takes a TEID rather than a bare EID — Section 6.1). NotFound if
+/// the element does not exist in the version at the TEID's timestamp.
+StatusOr<Timestamp> CreTime(const QueryContext& ctx, const Teid& teid,
+                            LifetimeStrategy strategy);
+
+/// DelTime(TEID): transaction time at which the element was deleted —
+/// nullopt if it is still alive. Forward traversal from the TEID's version,
+/// or the document's delete time if the element survived to the end
+/// (Section 7.3.6).
+StatusOr<std::optional<Timestamp>> DelTime(const QueryContext& ctx,
+                                           const Teid& teid,
+                                           LifetimeStrategy strategy);
+
+/// PreviousTS / NextTS / CurrentTS — Section 7.3.7: pure delta-index
+/// lookups. Given one element version, the timestamp of the document
+/// version preceding/following it, or of the current version. nullopt when
+/// there is no such version.
+StatusOr<std::optional<Timestamp>> PreviousTS(const QueryContext& ctx,
+                                              const Teid& teid);
+StatusOr<std::optional<Timestamp>> NextTS(const QueryContext& ctx,
+                                          const Teid& teid);
+StatusOr<std::optional<Timestamp>> CurrentTS(const QueryContext& ctx,
+                                             const Eid& eid);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_QUERY_TIME_OPS_H_

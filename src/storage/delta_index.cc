@@ -1,0 +1,55 @@
+#include "src/storage/delta_index.h"
+
+#include <algorithm>
+
+namespace txml {
+
+std::optional<VersionNum> DeltaIndex::VersionAt(Timestamp t) const {
+  // First stamp strictly greater than t; the version before it is valid.
+  auto it = std::upper_bound(stamps_.begin(), stamps_.end(), t);
+  if (it == stamps_.begin()) return std::nullopt;
+  return static_cast<VersionNum>(it - stamps_.begin());
+}
+
+std::optional<Timestamp> DeltaIndex::PreviousTS(Timestamp ts) const {
+  auto v = VersionAt(ts);
+  if (!v.has_value() || *v <= 1) return std::nullopt;
+  return TimestampOf(*v - 1);
+}
+
+std::optional<Timestamp> DeltaIndex::NextTS(Timestamp ts) const {
+  auto v = VersionAt(ts);
+  if (!v.has_value()) {
+    // Before the first version: the "next" is the first.
+    return stamps_.empty() ? std::nullopt
+                           : std::optional<Timestamp>(stamps_.front());
+  }
+  if (*v >= version_count()) return std::nullopt;
+  return TimestampOf(*v + 1);
+}
+
+void DeltaIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, stamps_.size());
+  int64_t prev = 0;
+  for (Timestamp ts : stamps_) {
+    // Delta-encode: stamps are increasing, so gaps are small varints.
+    PutVarintSigned64(dst, ts.micros() - prev);
+    prev = ts.micros();
+  }
+}
+
+StatusOr<DeltaIndex> DeltaIndex::Decode(Decoder* decoder) {
+  auto count = decoder->ReadVarint64();
+  if (!count.ok()) return count.status();
+  DeltaIndex index;
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto gap = decoder->ReadVarintSigned64();
+    if (!gap.ok()) return gap.status();
+    prev += *gap;
+    index.Append(Timestamp::FromMicros(prev));
+  }
+  return index;
+}
+
+}  // namespace txml

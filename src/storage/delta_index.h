@@ -1,0 +1,78 @@
+#ifndef TXML_SRC_STORAGE_DELTA_INDEX_H_
+#define TXML_SRC_STORAGE_DELTA_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/coding.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/ids.h"
+
+namespace txml {
+
+/// The per-document delta index of Section 7.1: maps dense version numbers
+/// to the timestamps of the corresponding versions ("for each numbered
+/// delta, we store the timestamp of the actual version in the delta
+/// index"). Kept memory-resident, as the paper assumes; an array suffices
+/// because versions are appended in timestamp order.
+///
+/// This is also the structure behind the PreviousTS / NextTS / CurrentTS
+/// operators (Section 7.3.7): each is one lookup here.
+class DeltaIndex {
+ public:
+  /// Appends a version; timestamps must be strictly increasing.
+  void Append(Timestamp ts) { stamps_.push_back(ts); }
+
+  /// Number of versions recorded.
+  VersionNum version_count() const {
+    return static_cast<VersionNum>(stamps_.size());
+  }
+  bool empty() const { return stamps_.empty(); }
+
+  /// Timestamp of version v (1-based). Precondition: 1 <= v <= count.
+  Timestamp TimestampOf(VersionNum v) const {
+    return stamps_[v - 1];
+  }
+
+  Timestamp first_timestamp() const { return stamps_.front(); }
+  Timestamp last_timestamp() const { return stamps_.back(); }
+
+  /// The version valid at time t: the largest v with TimestampOf(v) <= t,
+  /// or nullopt if t precedes the first version. (Whether the document was
+  /// already deleted at t is the owner's business — the index only maps
+  /// times to versions.)
+  std::optional<VersionNum> VersionAt(Timestamp t) const;
+
+  /// Validity interval of version v: [ts(v), ts(v+1)) — open-ended for the
+  /// last version. The caller caps the last interval at the document's
+  /// delete time if any.
+  TimeInterval ValidityOf(VersionNum v) const {
+    return TimeInterval{TimestampOf(v), v < version_count()
+                                            ? TimestampOf(v + 1)
+                                            : Timestamp::Infinity()};
+  }
+
+  /// Timestamp of the version preceding the one valid at `ts`, if any.
+  std::optional<Timestamp> PreviousTS(Timestamp ts) const;
+
+  /// Timestamp of the version following the one valid at `ts`, if any.
+  std::optional<Timestamp> NextTS(Timestamp ts) const;
+
+  /// Timestamp of the current (latest) version.
+  std::optional<Timestamp> CurrentTS() const {
+    if (stamps_.empty()) return std::nullopt;
+    return stamps_.back();
+  }
+
+  void EncodeTo(std::string* dst) const;
+  static StatusOr<DeltaIndex> Decode(Decoder* decoder);
+
+ private:
+  std::vector<Timestamp> stamps_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_STORAGE_DELTA_INDEX_H_

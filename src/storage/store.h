@@ -1,0 +1,112 @@
+#ifndef TXML_SRC_STORAGE_STORE_H_
+#define TXML_SRC_STORAGE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/versioned_document.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Notification interface for index maintenance: the store calls observers
+/// after every successful version append / document delete, handing them
+/// the new current tree and the completed delta of the transition. All
+/// indexing strategies of Section 7.2 are built as observers.
+class StoreObserver {
+ public:
+  virtual ~StoreObserver() = default;
+
+  /// A new version was stored. `delta` is null for the first version.
+  virtual void OnVersionStored(DocId doc_id, VersionNum version,
+                               Timestamp ts, const XmlNode& current,
+                               const EditScript* delta) = 0;
+
+  /// The document was deleted at `ts` (its last version was `last`).
+  virtual void OnDocumentDeleted(DocId doc_id, VersionNum last,
+                                 Timestamp ts) = 0;
+};
+
+/// Configuration for a VersionedDocumentStore.
+struct StoreOptions {
+  /// Keep a complete snapshot of every k-th version of each document
+  /// (0 = pure delta chains, the paper's baseline configuration).
+  uint32_t snapshot_every = 0;
+};
+
+/// The repository: a catalog of URL-addressed versioned documents. This is
+/// the "local storage of documents" / warehouse substrate of Section 3.1;
+/// commit timestamps come from the caller (the database façade's commit
+/// clock, or crawl times in the warehouse setting).
+class VersionedDocumentStore {
+ public:
+  explicit VersionedDocumentStore(StoreOptions options = {})
+      : options_(options) {}
+
+  /// Registers an observer; not owned. Must outlive the store's writes.
+  void AddObserver(StoreObserver* observer) {
+    observers_.push_back(observer);
+  }
+
+  struct PutResult {
+    DocId doc_id = 0;
+    VersionNum version = 0;
+  };
+
+  /// Stores a new version of the document at `url`, creating the document
+  /// on first contact. `ts` must exceed every timestamp already recorded
+  /// for the document.
+  StatusOr<PutResult> Put(const std::string& url,
+                          std::unique_ptr<XmlNode> content, Timestamp ts);
+
+  /// Marks the document deleted at `ts` (terminal; see VersionedDocument).
+  Status Delete(const std::string& url, Timestamp ts);
+
+  /// Lookup by URL / id. Null when absent.
+  VersionedDocument* FindByUrl(const std::string& url);
+  const VersionedDocument* FindByUrl(const std::string& url) const;
+  VersionedDocument* FindById(DocId doc_id);
+  const VersionedDocument* FindById(DocId doc_id) const;
+
+  /// All documents, in DocId order (stable iteration for scans).
+  std::vector<const VersionedDocument*> AllDocuments() const;
+  std::vector<VersionedDocument*> AllDocuments();
+
+  size_t document_count() const { return by_id_.size(); }
+  const StoreOptions& options() const { return options_; }
+
+  /// Total storage accounting (encoded bytes), for the space experiments.
+  size_t CurrentBytes() const;
+  size_t DeltaBytes() const;
+  size_t SnapshotBytes() const;
+
+  /// Persists the whole store to `<dir>/store.txml` (CRC-framed records)
+  /// and reloads it. Observers are not persisted; indexes are rebuilt (or
+  /// loaded from their own file) by the database façade on load.
+  Status Save(const std::string& dir) const;
+  static StatusOr<std::unique_ptr<VersionedDocumentStore>> Load(
+      const std::string& dir);
+
+  /// In-memory (de)serialization, used by Save/Load and by the database
+  /// façade to fingerprint the store when persisting indexes.
+  void EncodeTo(std::string* dst) const;
+  static StatusOr<std::unique_ptr<VersionedDocumentStore>> Decode(
+      std::string_view data);
+
+ private:
+  StoreOptions options_;
+  DocId next_doc_id_ = 1;
+  std::map<DocId, std::unique_ptr<VersionedDocument>> by_id_;
+  std::unordered_map<std::string, VersionedDocument*> by_url_;
+  std::vector<StoreObserver*> observers_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_STORAGE_STORE_H_

@@ -1,0 +1,231 @@
+#include "src/storage/versioned_document.h"
+
+#include <utility>
+
+#include "src/diff/diff.h"
+#include "src/util/coding.h"
+#include "src/util/macros.h"
+#include "src/xml/codec.h"
+
+namespace txml {
+
+VersionedDocument::VersionedDocument(DocId doc_id, std::string url,
+                                     uint32_t snapshot_every)
+    : doc_id_(doc_id), url_(std::move(url)), snapshot_every_(snapshot_every) {}
+
+StatusOr<VersionedDocument::AppendResult> VersionedDocument::AppendVersion(
+    std::unique_ptr<XmlNode> content, Timestamp ts) {
+  if (content == nullptr || !content->is_element()) {
+    return Status::InvalidArgument("document version must be an element tree");
+  }
+  if (deleted()) {
+    return Status::InvalidArgument("document '" + url_ +
+                                   "' was deleted; EIDs are not reused");
+  }
+  if (version_count() > 0 && ts <= delta_index_.last_timestamp()) {
+    return Status::InvalidArgument(
+        "version timestamps must be strictly increasing (transaction time)");
+  }
+
+  AppendResult result;
+  if (current_ == nullptr) {
+    AssignFreshXids(content.get(), &xids_);
+    StampAll(content.get(), ts);
+    current_ = std::move(content);
+    delta_index_.Append(ts);
+    result.version = 1;
+    return result;
+  }
+
+  TXML_ASSIGN_OR_RETURN(DiffResult diff,
+                        DiffTrees(*current_, content.get(), &xids_, ts));
+  deltas_.push_back(std::move(diff.script));
+  delta_index_.Append(ts);
+  current_ = std::move(content);
+  result.version = version_count();
+  result.delta = &deltas_.back();
+
+  if (snapshot_every_ > 0 && result.version % snapshot_every_ == 0) {
+    snapshots_[result.version] = current_->Clone();
+  }
+  return result;
+}
+
+Status VersionedDocument::MarkDeleted(Timestamp ts) {
+  if (version_count() == 0) {
+    return Status::InvalidArgument("cannot delete an empty document");
+  }
+  if (deleted()) {
+    return Status::InvalidArgument("document already deleted");
+  }
+  if (ts <= delta_index_.last_timestamp()) {
+    return Status::InvalidArgument(
+        "delete timestamp must follow the last version");
+  }
+  delete_ts_ = ts;
+  return Status::OK();
+}
+
+TimeInterval VersionedDocument::VersionValidity(VersionNum v) const {
+  TimeInterval iv = delta_index_.ValidityOf(v);
+  if (iv.end > delete_ts_) iv.end = delete_ts_;
+  return iv;
+}
+
+StatusOr<std::unique_ptr<XmlNode>> VersionedDocument::ReconstructVersion(
+    VersionNum v, ReconstructStats* stats) const {
+  if (v < 1 || v > version_count()) {
+    return Status::OutOfRange("version " + std::to_string(v) +
+                              " out of range [1, " +
+                              std::to_string(version_count()) + "]");
+  }
+  // Pick the nearest complete version at or after v: the current version
+  // or the oldest snapshot with version >= v (Section 7.3.3).
+  VersionNum base = version_count();
+  bool from_snapshot = false;
+  auto it = snapshots_.lower_bound(v);
+  if (it != snapshots_.end() && it->first < base) {
+    base = it->first;
+    from_snapshot = true;
+  }
+  std::unique_ptr<XmlNode> tree =
+      from_snapshot ? it->second->Clone() : current_->Clone();
+
+  // Apply deltas backwards: transition i turns version i+1 into i.
+  for (VersionNum i = base - 1; i >= v; --i) {
+    TXML_RETURN_IF_ERROR(TransitionDelta(i).ApplyBackward(tree.get()));
+    if (i == 1) break;  // VersionNum is unsigned
+  }
+  if (stats != nullptr) {
+    stats->deltas_applied = base - v;
+    stats->used_snapshot = from_snapshot;
+    stats->base_version = base;
+  }
+  return tree;
+}
+
+StatusOr<std::unique_ptr<XmlNode>> VersionedDocument::ReconstructAt(
+    Timestamp t, ReconstructStats* stats) const {
+  if (!ExistsAt(t)) {
+    return Status::NotFound("document '" + url_ + "' does not exist at " +
+                            t.ToString());
+  }
+  auto v = delta_index_.VersionAt(t);
+  TXML_DCHECK(v.has_value());
+  return ReconstructVersion(*v, stats);
+}
+
+std::vector<VersionNum> VersionedDocument::SnapshotVersions() const {
+  std::vector<VersionNum> versions;
+  versions.reserve(snapshots_.size());
+  for (const auto& [v, tree] : snapshots_) versions.push_back(v);
+  return versions;
+}
+
+size_t VersionedDocument::CurrentBytes() const {
+  if (current_ == nullptr) return 0;
+  return EncodeNodeToString(*current_).size();
+}
+
+size_t VersionedDocument::DeltaBytes() const {
+  size_t total = 0;
+  std::string buf;
+  for (const EditScript& delta : deltas_) {
+    buf.clear();
+    delta.EncodeTo(&buf);
+    total += buf.size();
+  }
+  return total;
+}
+
+size_t VersionedDocument::SnapshotBytes() const {
+  size_t total = 0;
+  for (const auto& [v, tree] : snapshots_) {
+    total += EncodeNodeToString(*tree).size();
+  }
+  return total;
+}
+
+void VersionedDocument::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, doc_id_);
+  PutLengthPrefixed(dst, url_);
+  PutVarint32(dst, snapshot_every_);
+  PutVarint32(dst, xids_.next());
+  PutVarintSigned64(dst, delete_ts_.micros());
+  delta_index_.EncodeTo(dst);
+  PutVarint32(dst, current_ != nullptr ? 1 : 0);
+  if (current_ != nullptr) EncodeNode(*current_, dst);
+  PutVarint64(dst, deltas_.size());
+  for (const EditScript& delta : deltas_) {
+    std::string buf;
+    delta.EncodeTo(&buf);
+    PutLengthPrefixed(dst, buf);
+  }
+  PutVarint64(dst, snapshots_.size());
+  for (const auto& [v, tree] : snapshots_) {
+    PutVarint32(dst, v);
+    EncodeNode(*tree, dst);
+  }
+}
+
+StatusOr<std::unique_ptr<VersionedDocument>> VersionedDocument::Decode(
+    std::string_view data) {
+  Decoder decoder(data);
+  auto doc_id = decoder.ReadVarint32();
+  if (!doc_id.ok()) return doc_id.status();
+  auto url = decoder.ReadLengthPrefixed();
+  if (!url.ok()) return url.status();
+  auto snapshot_every = decoder.ReadVarint32();
+  if (!snapshot_every.ok()) return snapshot_every.status();
+  auto next_xid = decoder.ReadVarint32();
+  if (!next_xid.ok()) return next_xid.status();
+  auto delete_ts = decoder.ReadVarintSigned64();
+  if (!delete_ts.ok()) return delete_ts.status();
+
+  auto doc = std::make_unique<VersionedDocument>(
+      *doc_id, std::string(*url), *snapshot_every);
+  doc->xids_ = XidAllocator(*next_xid);
+  doc->delete_ts_ = Timestamp::FromMicros(*delete_ts);
+
+  auto index = DeltaIndex::Decode(&decoder);
+  if (!index.ok()) return index.status();
+  doc->delta_index_ = std::move(*index);
+
+  auto has_current = decoder.ReadVarint32();
+  if (!has_current.ok()) return has_current.status();
+  if (*has_current != 0) {
+    auto current = DecodeNode(&decoder);
+    if (!current.ok()) return current.status();
+    doc->current_ = std::move(*current);
+  }
+
+  auto delta_count = decoder.ReadVarint64();
+  if (!delta_count.ok()) return delta_count.status();
+  if (doc->delta_index_.version_count() !=
+      (*has_current != 0 ? *delta_count + 1 : 0)) {
+    return Status::Corruption("delta chain length does not match index");
+  }
+  for (uint64_t i = 0; i < *delta_count; ++i) {
+    auto buf = decoder.ReadLengthPrefixed();
+    if (!buf.ok()) return buf.status();
+    auto delta = EditScript::Decode(*buf);
+    if (!delta.ok()) return delta.status();
+    doc->deltas_.push_back(std::move(*delta));
+  }
+
+  auto snapshot_count = decoder.ReadVarint64();
+  if (!snapshot_count.ok()) return snapshot_count.status();
+  for (uint64_t i = 0; i < *snapshot_count; ++i) {
+    auto v = decoder.ReadVarint32();
+    if (!v.ok()) return v.status();
+    auto tree = DecodeNode(&decoder);
+    if (!tree.ok()) return tree.status();
+    doc->snapshots_[*v] = std::move(*tree);
+  }
+  if (!decoder.AtEnd()) {
+    return Status::Corruption("trailing bytes after versioned document");
+  }
+  return doc;
+}
+
+}  // namespace txml

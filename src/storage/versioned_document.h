@@ -1,0 +1,137 @@
+#ifndef TXML_SRC_STORAGE_VERSIONED_DOCUMENT_H_
+#define TXML_SRC_STORAGE_VERSIONED_DOCUMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/diff/edit_script.h"
+#include "src/storage/delta_index.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// One document and its full transaction-time history, stored per the
+/// paper's physical model (Section 7.1):
+///
+///  * the *current* version is stored complete;
+///  * previous versions are stored as a chain of *completed deltas*
+///    (TransitionDelta(i) turns version i into i+1 forward, i+1 into i
+///    backward);
+///  * optional periodic *snapshots* (complete intermediate versions) bound
+///    the number of deltas a reconstruction must apply (Section 7.3.3);
+///  * the per-document delta index maps version numbers to timestamps.
+///
+/// XIDs are document-scoped and never reused; the embedded XidAllocator is
+/// threaded through every diff.
+///
+/// Deletion is terminal: a deleted document keeps its history (and stays
+/// queryable for all t < delete_time()), but accepts no further versions —
+/// content reappearing later at the same URL is a new document with new
+/// EIDs, which is exactly the Web-warehouse identity caveat of Section 7.4.
+class VersionedDocument {
+ public:
+  /// `snapshot_every` = k keeps a complete copy of every k-th version as a
+  /// reconstruction shortcut; 0 disables snapshots (pure delta chain).
+  VersionedDocument(DocId doc_id, std::string url, uint32_t snapshot_every);
+
+  DocId doc_id() const { return doc_id_; }
+  const std::string& url() const { return url_; }
+
+  VersionNum version_count() const { return delta_index_.version_count(); }
+  bool deleted() const { return !delete_ts_.IsInfinite(); }
+  Timestamp delete_time() const { return delete_ts_; }
+
+  /// True if the document exists (has a version valid) at time t.
+  bool ExistsAt(Timestamp t) const {
+    return version_count() > 0 && t >= delta_index_.first_timestamp() &&
+           t < delete_ts_;
+  }
+
+  const DeltaIndex& delta_index() const { return delta_index_; }
+  XidAllocator* xid_allocator() { return &xids_; }
+  /// First XID not yet allocated; xids in [1, next_xid) have been used.
+  Xid next_xid() const { return xids_.next(); }
+
+  /// The complete stored current version — the *last* version even after
+  /// deletion (needed to walk the history backwards). Never null once a
+  /// version was appended.
+  const XmlNode* current() const { return current_.get(); }
+
+  struct AppendResult {
+    VersionNum version = 0;
+    /// Delta from the previous version; null for the first version.
+    const EditScript* delta = nullptr;
+  };
+
+  /// Appends a new version with commit time `ts` (must exceed the last
+  /// version's). `content` arrives XID-free (fresh parse); on return it has
+  /// become the current version, with XIDs propagated from the previous
+  /// version by the differ and timestamps per the data model.
+  StatusOr<AppendResult> AppendVersion(std::unique_ptr<XmlNode> content,
+                                       Timestamp ts);
+
+  /// Marks the document deleted at `ts`. The last version's validity ends
+  /// at `ts`.
+  Status MarkDeleted(Timestamp ts);
+
+  /// Validity interval of version v, capped at the delete time.
+  TimeInterval VersionValidity(VersionNum v) const;
+
+  /// The completed delta for the transition version `from` -> `from`+1.
+  /// Precondition: 1 <= from < version_count().
+  const EditScript& TransitionDelta(VersionNum from) const {
+    return deltas_[from - 1];
+  }
+
+  struct ReconstructStats {
+    size_t deltas_applied = 0;
+    bool used_snapshot = false;
+    VersionNum base_version = 0;
+  };
+
+  /// Materializes version v (the Reconstruct operator's engine,
+  /// Section 7.3.3): starts from the nearest complete version at or after v
+  /// (the current version or an intermediate snapshot) and applies deltas
+  /// backwards.
+  StatusOr<std::unique_ptr<XmlNode>> ReconstructVersion(
+      VersionNum v, ReconstructStats* stats = nullptr) const;
+
+  /// Materializes the version valid at time t; NotFound if the document
+  /// does not exist at t.
+  StatusOr<std::unique_ptr<XmlNode>> ReconstructAt(
+      Timestamp t, ReconstructStats* stats = nullptr) const;
+
+  /// Snapshot versions currently kept (for tests/benches).
+  std::vector<VersionNum> SnapshotVersions() const;
+
+  /// Storage accounting for the space experiments, in encoded bytes.
+  size_t CurrentBytes() const;
+  size_t DeltaBytes() const;
+  size_t SnapshotBytes() const;
+
+  void EncodeTo(std::string* dst) const;
+  static StatusOr<std::unique_ptr<VersionedDocument>> Decode(
+      std::string_view data);
+
+ private:
+  DocId doc_id_;
+  std::string url_;
+  uint32_t snapshot_every_;
+  XidAllocator xids_;
+  Timestamp delete_ts_ = Timestamp::Infinity();
+  std::unique_ptr<XmlNode> current_;
+  /// deltas_[i] is the transition from version i+1 to version i+2.
+  std::vector<EditScript> deltas_;
+  DeltaIndex delta_index_;
+  /// Periodic complete versions, keyed by version number.
+  std::map<VersionNum, std::unique_ptr<XmlNode>> snapshots_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_STORAGE_VERSIONED_DOCUMENT_H_

@@ -1,0 +1,100 @@
+#include "src/util/coding.h"
+
+namespace txml {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarintSigned64(std::string* dst, int64_t value) {
+  uint64_t zigzag =
+      (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint64(dst, zigzag);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+StatusOr<uint64_t> Decoder::ReadVarint64() {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+  }
+  return Status::Corruption("varint too long");
+}
+
+StatusOr<uint32_t> Decoder::ReadVarint32() {
+  auto v = ReadVarint64();
+  if (!v.ok()) return v.status();
+  if (*v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  return static_cast<uint32_t>(*v);
+}
+
+StatusOr<int64_t> Decoder::ReadVarintSigned64() {
+  auto v = ReadVarint64();
+  if (!v.ok()) return v.status();
+  uint64_t zigzag = *v;
+  return static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+}
+
+StatusOr<std::string_view> Decoder::ReadLengthPrefixed() {
+  auto len = ReadVarint64();
+  if (!len.ok()) return len.status();
+  if (*len > remaining()) {
+    return Status::Corruption("truncated length-prefixed value");
+  }
+  std::string_view result = data_.substr(pos_, *len);
+  pos_ += *len;
+  return result;
+}
+
+StatusOr<uint32_t> Decoder::ReadFixed32() {
+  if (remaining() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+StatusOr<uint64_t> Decoder::ReadFixed64() {
+  if (remaining() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+}  // namespace txml

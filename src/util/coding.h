@@ -1,0 +1,53 @@
+#ifndef TXML_SRC_UTIL_CODING_H_
+#define TXML_SRC_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// LEB128-style variable-length integer encoding, as used by the on-disk
+/// record format and posting-list compression.
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// ZigZag-maps a signed value so small magnitudes encode small.
+void PutVarintSigned64(std::string* dst, int64_t value);
+
+/// Appends a varint length prefix followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Appends fixed-width little-endian integers.
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Sequential decoder over a byte buffer. All Read* methods fail with
+/// Corruption when the input is exhausted or malformed; the cursor is not
+/// advanced past the end.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  StatusOr<uint32_t> ReadVarint32();
+  StatusOr<uint64_t> ReadVarint64();
+  StatusOr<int64_t> ReadVarintSigned64();
+  StatusOr<std::string_view> ReadLengthPrefixed();
+  StatusOr<uint32_t> ReadFixed32();
+  StatusOr<uint64_t> ReadFixed64();
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_CODING_H_

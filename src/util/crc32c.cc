@@ -1,0 +1,40 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace txml {
+namespace crc32c {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, std::string_view data) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace crc32c
+}  // namespace txml

@@ -1,0 +1,31 @@
+#ifndef TXML_SRC_UTIL_CRC32C_H_
+#define TXML_SRC_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace txml {
+namespace crc32c {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41), software table
+/// implementation. Used to frame on-disk records so corruption is detected
+/// at read time rather than surfacing as garbage documents.
+uint32_t Extend(uint32_t crc, std::string_view data);
+
+inline uint32_t Value(std::string_view data) { return Extend(0, data); }
+
+/// Masks a CRC so that storing a CRC of data that itself contains CRCs does
+/// not degrade error detection (same trick as LevelDB/RocksDB).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_CRC32C_H_

@@ -1,0 +1,77 @@
+#include "src/util/env.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace txml {
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  // Write to a temp file and rename, so readers never see a torn file.
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + tmp + "' for writing");
+  }
+  size_t written = contents.empty()
+                       ? 0
+                       : std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::IoError("error reading '" + path + "'");
+  }
+  return contents;
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    return Status::IoError("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace txml

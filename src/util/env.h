@@ -1,0 +1,22 @@
+#ifndef TXML_SRC_UTIL_ENV_H_
+#define TXML_SRC_UTIL_ENV_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// Thin filesystem helpers used by the persistence layer. All failures
+/// surface as IoError with the path in the message.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+StatusOr<std::string> ReadFileToString(const std::string& path);
+Status CreateDirIfMissing(const std::string& path);
+bool FileExists(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_ENV_H_

@@ -1,0 +1,38 @@
+#ifndef TXML_SRC_UTIL_LOGGING_H_
+#define TXML_SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Minimal logging / assertion macros. TXML_LOG_FATAL aborts after printing;
+/// TXML_CHECK is always on; TXML_DCHECK compiles away in NDEBUG builds.
+
+#define TXML_LOG_FATAL(...)                                            \
+  do {                                                                 \
+    std::fprintf(stderr, "[FATAL %s:%d] ", __FILE__, __LINE__);        \
+    std::fprintf(stderr, __VA_ARGS__);                                 \
+    std::fprintf(stderr, "\n");                                        \
+    std::abort();                                                      \
+  } while (0)
+
+#define TXML_LOG_WARN(...)                                             \
+  do {                                                                 \
+    std::fprintf(stderr, "[WARN  %s:%d] ", __FILE__, __LINE__);        \
+    std::fprintf(stderr, __VA_ARGS__);                                 \
+    std::fprintf(stderr, "\n");                                        \
+  } while (0)
+
+#define TXML_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) TXML_LOG_FATAL("check failed: %s", #cond);            \
+  } while (0)
+
+#ifdef NDEBUG
+#define TXML_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define TXML_DCHECK(cond) TXML_CHECK(cond)
+#endif
+
+#endif  // TXML_SRC_UTIL_LOGGING_H_

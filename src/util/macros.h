@@ -1,0 +1,27 @@
+#ifndef TXML_SRC_UTIL_MACROS_H_
+#define TXML_SRC_UTIL_MACROS_H_
+
+/// Control-flow helpers for Status / StatusOr plumbing.
+
+#define TXML_CONCAT_IMPL(a, b) a##b
+#define TXML_CONCAT(a, b) TXML_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define TXML_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::txml::Status txml_status__ = (expr);           \
+    if (!txml_status__.ok()) return txml_status__;   \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns its status, otherwise
+/// moves the value into `lhs` (which may be a declaration).
+#define TXML_ASSIGN_OR_RETURN(lhs, expr)                              \
+  TXML_ASSIGN_OR_RETURN_IMPL(TXML_CONCAT(txml_statusor__, __LINE__),  \
+                             lhs, expr)
+
+#define TXML_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value();
+
+#endif  // TXML_SRC_UTIL_MACROS_H_

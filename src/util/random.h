@@ -1,0 +1,86 @@
+#ifndef TXML_SRC_UTIL_RANDOM_H_
+#define TXML_SRC_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace txml {
+
+/// Deterministic xorshift64* PRNG. Workloads, tests and benchmarks all seed
+/// it explicitly so runs are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    TXML_DCHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    TXML_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed sampler over ranks [0, n): rank r has probability
+/// proportional to 1/(r+1)^theta. Precomputes the CDF; O(log n) per sample.
+/// Used to skew word choice in generated documents, matching the skewed
+/// vocabularies of Web text the paper's warehouse setting implies.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta) : cdf_(n) {
+    TXML_CHECK(n > 0);
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  uint64_t Sample(Random* rng) const {
+    double u = rng->NextDouble();
+    // Binary search for the first CDF entry >= u.
+    uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_RANDOM_H_

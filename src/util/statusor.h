@@ -1,0 +1,72 @@
+#ifndef TXML_SRC_UTIL_STATUSOR_H_
+#define TXML_SRC_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace txml {
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. The usual accessor pattern is:
+///
+///   StatusOr<XmlDocument> doc = ParseXml(text);
+///   if (!doc.ok()) return doc.status();
+///   Use(doc.value());
+///
+/// or, inside a Status-returning function, TXML_ASSIGN_OR_RETURN from
+/// src/util/macros.h.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error (there would be no value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      TXML_LOG_FATAL("StatusOr constructed from OK status without a value");
+    }
+  }
+
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      TXML_LOG_FATAL("StatusOr::value() on error status: %s",
+                     status_.ToString().c_str());
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_STATUSOR_H_

@@ -1,0 +1,86 @@
+#include "src/util/strings.h"
+
+#include <cctype>
+
+namespace txml {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(text.substr(start));
+      break;
+    }
+    pieces.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += sep;
+    result += pieces[i];
+  }
+  return result;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+  };
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '_' || c == '-' || c == '.') {
+      current.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return words;
+}
+
+}  // namespace txml

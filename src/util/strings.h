@@ -1,0 +1,36 @@
+#ifndef TXML_SRC_UTIL_STRINGS_H_
+#define TXML_SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace txml {
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// ASCII lower-casing (the FTI is case-insensitive, like typical text
+/// indexes over Web documents).
+std::string ToLower(std::string_view text);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Tokenizes text content into index terms: maximal runs of alphanumeric
+/// characters (plus '_', '-', '.', useful for prices like "15.50"),
+/// lower-cased. Element and attribute names pass through the same function
+/// so name lookups and word lookups share one vocabulary, as in the paper's
+/// FTI ("indexes all words in the documents, including element names").
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_STRINGS_H_

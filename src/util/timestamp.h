@@ -1,0 +1,135 @@
+#ifndef TXML_SRC_UTIL_TIMESTAMP_H_
+#define TXML_SRC_UTIL_TIMESTAMP_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// A transaction-time instant with microsecond resolution, counted from the
+/// Unix epoch (UTC). The paper's query dialect writes timestamps as
+/// `dd/mm/yyyy` (e.g. `26/01/2001`); ParseDate/ToString use that format.
+///
+/// Timestamp::Infinity() is the open upper bound of a "still current"
+/// validity interval (the paper's implicit `NOW`/`UC` bound).
+class Timestamp {
+ public:
+  /// Default-constructs the epoch instant (01/01/1970).
+  constexpr Timestamp() = default;
+
+  static constexpr Timestamp FromMicros(int64_t micros) {
+    return Timestamp(micros);
+  }
+
+  /// Largest representable instant; used as the open end of the validity
+  /// interval of the current (not yet superseded) version.
+  static constexpr Timestamp Infinity() {
+    return Timestamp(INT64_MAX);
+  }
+
+  /// Smallest representable instant.
+  static constexpr Timestamp NegInfinity() {
+    return Timestamp(INT64_MIN);
+  }
+
+  /// Builds a timestamp for midnight UTC of a civil date. Does not validate
+  /// calendar correctness beyond what the day-count algorithm needs; use
+  /// ParseDate for validated input.
+  static Timestamp FromDate(int year, int month, int day);
+
+  /// Parses `dd/mm/yyyy` or `dd/mm/yyyy hh:mm:ss`.
+  static StatusOr<Timestamp> ParseDate(std::string_view text);
+
+  /// Parses dates as found in document metadata (the "document time" of
+  /// Section 3.1): `dd/mm/yyyy` or ISO `yyyy-mm-dd`, each with an optional
+  /// ` hh:mm:ss` suffix.
+  static StatusOr<Timestamp> ParseFlexible(std::string_view text);
+
+  constexpr int64_t micros() const { return micros_; }
+
+  constexpr bool IsInfinite() const { return micros_ == INT64_MAX; }
+
+  Timestamp AddMicros(int64_t n) const { return Timestamp(micros_ + n); }
+  Timestamp AddSeconds(int64_t n) const;
+  Timestamp AddMinutes(int64_t n) const;
+  Timestamp AddHours(int64_t n) const;
+  Timestamp AddDays(int64_t n) const;
+  Timestamp AddWeeks(int64_t n) const;
+
+  /// Renders `dd/mm/yyyy` when the instant is midnight-aligned, otherwise
+  /// `dd/mm/yyyy hh:mm:ss[.uuuuuu]`; infinities render as "inf"/"-inf".
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Timestamp a, Timestamp b) {
+    return a.micros_ <=> b.micros_;
+  }
+  friend constexpr bool operator==(Timestamp a, Timestamp b) {
+    return a.micros_ == b.micros_;
+  }
+
+ private:
+  explicit constexpr Timestamp(int64_t micros) : micros_(micros) {}
+
+  int64_t micros_ = 0;
+};
+
+constexpr int64_t kMicrosPerSecond = 1000000;
+constexpr int64_t kMicrosPerDay = 24LL * 3600 * kMicrosPerSecond;
+
+/// Half-open validity interval [start, end), the representation used for
+/// element/document version validity and the DocHistory/ElementHistory
+/// operator arguments ("[t1, t2) ... including t1 but not t2").
+struct TimeInterval {
+  Timestamp start;
+  Timestamp end = Timestamp::Infinity();
+
+  bool Contains(Timestamp t) const { return start <= t && t < end; }
+  bool Overlaps(const TimeInterval& other) const {
+    return start < other.end && other.start < end;
+  }
+  bool operator==(const TimeInterval& other) const = default;
+
+  /// "[start, end)".
+  std::string ToString() const;
+};
+
+/// Coalesces a set of half-open intervals: sorts by start and merges
+/// overlapping or adjacent ones — the *coalescing* operation the paper
+/// notes a valid-time variant of the system would add as an operator
+/// (Section 3.1). Also used to merge match runs from multiple pattern
+/// embeddings.
+std::vector<TimeInterval> Coalesce(std::vector<TimeInterval> intervals);
+
+/// Monotone commit clock: issues strictly increasing timestamps, starting
+/// from a seed instant and advancing by at least one microsecond per call.
+/// A deterministic seed makes test runs and benchmarks reproducible.
+class CommitClock {
+ public:
+  /// Seeds at 01/01/2001 by default — in-band with the paper's examples.
+  CommitClock() : CommitClock(Timestamp::FromDate(2001, 1, 1)) {}
+  explicit CommitClock(Timestamp seed) : last_(seed.micros() - 1) {}
+
+  /// Returns a timestamp strictly greater than every previous return value.
+  Timestamp Next() { return Timestamp::FromMicros(++last_); }
+
+  /// Advances the clock so the next issued timestamp is >= t.
+  void AdvanceTo(Timestamp t) {
+    if (t.micros() - 1 > last_) last_ = t.micros() - 1;
+  }
+
+  /// The last issued timestamp (or seed-1 if none issued yet).
+  Timestamp Last() const { return Timestamp::FromMicros(last_); }
+
+ private:
+  int64_t last_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_TIMESTAMP_H_

@@ -1,0 +1,71 @@
+#ifndef TXML_SRC_WORKLOAD_RESTAURANT_H_
+#define TXML_SRC_WORKLOAD_RESTAURANT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/timestamp.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// The paper's running example (Figure 1): the restaurant list at
+/// guide.com as retrieved on January 1st, 15th and 31st, 2001:
+///
+///   01/01: Napoli 15
+///   15/01: Napoli 15, Akropolis 13
+///   31/01: Napoli 18
+struct Figure1Version {
+  Timestamp ts;
+  std::string xml;
+};
+std::vector<Figure1Version> Figure1History();
+
+/// The canonical URL used by examples and tests for the Figure-1 data.
+inline const char kGuideUrl[] = "http://guide.com/restaurants.xml";
+
+/// A scaled-up restaurant-guide workload for benchmarks: `restaurants`
+/// entries whose prices drift, entries opening and closing over time —
+/// Figure 1 writ large, with deterministic seeds.
+class RestaurantWorkload {
+ public:
+  struct Options {
+    size_t restaurants = 100;
+    /// Per-version probability that a given restaurant's price changes.
+    double price_change_prob = 0.05;
+    /// Per-version expected number of openings / closings.
+    double churn = 0.5;
+    uint64_t seed = 7;
+  };
+
+  explicit RestaurantWorkload(Options options);
+
+  /// Renders the current state as a <guide> document.
+  std::unique_ptr<XmlNode> CurrentVersion() const;
+
+  /// Advances the simulated city by one step (prices drift, restaurants
+  /// open/close).
+  void Step();
+
+  size_t restaurant_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    int price;
+    std::string city;
+  };
+
+  std::string FreshName();
+
+  Options options_;
+  Random rng_;
+  std::vector<Entry> entries_;
+  uint64_t next_name_ = 0;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_WORKLOAD_RESTAURANT_H_

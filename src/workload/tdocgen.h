@@ -1,0 +1,79 @@
+#ifndef TXML_SRC_WORKLOAD_TDOCGEN_H_
+#define TXML_SRC_WORKLOAD_TDOCGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Configuration of the temporal document generator.
+struct TDocGenOptions {
+  /// Items (record elements) in the initial version of a document.
+  size_t initial_items = 50;
+  /// Distinct words in the synthetic vocabulary.
+  size_t vocabulary = 500;
+  /// Zipf skew of word selection (0 = uniform).
+  double zipf_theta = 0.8;
+  /// Words per generated text node.
+  size_t words_per_text = 4;
+  /// Mutations applied per version transition (the change volume knob —
+  /// the change ratio is roughly mutations / items).
+  size_t mutations_per_version = 4;
+  /// Mutation mix; must sum to <= 1, the remainder are subtree moves.
+  double update_ratio = 0.6;
+  double insert_ratio = 0.2;
+  double delete_ratio = 0.15;
+  uint64_t seed = 42;
+};
+
+/// Synthesises document histories for tests and benchmarks, in the spirit
+/// of TDocGen (the author's follow-up generator for temporal document
+/// workloads): an initial document of `initial_items` record elements,
+/// then versions derived by randomized updates / inserts / deletes /
+/// moves with Zipf-skewed vocabulary — the knobs the paper's algorithms
+/// are sensitive to (document size, change volume, vocabulary skew).
+///
+/// Documents look like
+///   <collection>
+///     <item key="k17"><name>w1 w2</name><info>w3 w4 w5</info>
+///          <price>42</price></item>
+///     …
+///   </collection>
+///
+/// Trees are returned XID-free: the storage layer assigns identity, so
+/// generated histories exercise the matcher exactly like parsed input.
+class TDocGen {
+ public:
+  explicit TDocGen(TDocGenOptions options);
+
+  /// A fresh initial version.
+  std::unique_ptr<XmlNode> InitialDocument();
+
+  /// The next version derived from `current` (which may carry XIDs; the
+  /// returned tree never does).
+  std::unique_ptr<XmlNode> NextVersion(const XmlNode& current);
+
+  /// A Zipf-distributed vocabulary word.
+  const std::string& RandomWord();
+
+  Random* rng() { return &rng_; }
+
+ private:
+  std::unique_ptr<XmlNode> MakeItem();
+  std::string MakeText();
+  void StripXids(XmlNode* node);
+
+  TDocGenOptions options_;
+  Random rng_;
+  ZipfSampler zipf_;
+  std::vector<std::string> vocabulary_;
+  uint64_t next_key_ = 1;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_WORKLOAD_TDOCGEN_H_

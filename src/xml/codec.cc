@@ -1,0 +1,84 @@
+#include "src/xml/codec.h"
+
+#include <utility>
+
+namespace txml {
+
+void EncodeNode(const XmlNode& node, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(node.kind()));
+  PutVarint32(dst, node.xid());
+  PutVarintSigned64(dst, node.timestamp().micros());
+  PutLengthPrefixed(dst, node.name());
+  PutLengthPrefixed(dst, node.value());
+  PutVarint64(dst, node.child_count());
+  for (const auto& child : node.children()) {
+    EncodeNode(*child, dst);
+  }
+}
+
+StatusOr<std::unique_ptr<XmlNode>> DecodeNode(Decoder* decoder) {
+  auto kind_raw = decoder->ReadVarint32();
+  if (!kind_raw.ok()) return kind_raw.status();
+  if (*kind_raw > static_cast<uint32_t>(XmlNode::Kind::kComment)) {
+    return Status::Corruption("bad node kind " + std::to_string(*kind_raw));
+  }
+  auto kind = static_cast<XmlNode::Kind>(*kind_raw);
+  auto xid = decoder->ReadVarint32();
+  if (!xid.ok()) return xid.status();
+  auto ts = decoder->ReadVarintSigned64();
+  if (!ts.ok()) return ts.status();
+  auto name = decoder->ReadLengthPrefixed();
+  if (!name.ok()) return name.status();
+  auto value = decoder->ReadLengthPrefixed();
+  if (!value.ok()) return value.status();
+  auto child_count = decoder->ReadVarint64();
+  if (!child_count.ok()) return child_count.status();
+
+  std::unique_ptr<XmlNode> node;
+  switch (kind) {
+    case XmlNode::Kind::kElement:
+      node = XmlNode::Element(std::string(*name));
+      break;
+    case XmlNode::Kind::kText:
+      node = XmlNode::Text(std::string(*value));
+      break;
+    case XmlNode::Kind::kAttribute:
+      node = XmlNode::Attribute(std::string(*name), std::string(*value));
+      break;
+    case XmlNode::Kind::kComment:
+      node = XmlNode::Comment(std::string(*value));
+      break;
+  }
+  node->set_xid(*xid);
+  node->set_timestamp(Timestamp::FromMicros(*ts));
+  if (*child_count > decoder->remaining()) {
+    // Each child needs at least one byte; cheap sanity bound against
+    // corrupt counts causing huge loops.
+    return Status::Corruption("implausible child count");
+  }
+  for (uint64_t i = 0; i < *child_count; ++i) {
+    auto child = DecodeNode(decoder);
+    if (!child.ok()) return child.status();
+    node->AddChild(std::move(*child));
+  }
+  return node;
+}
+
+std::string EncodeNodeToString(const XmlNode& node) {
+  std::string out;
+  EncodeNode(node, &out);
+  return out;
+}
+
+StatusOr<std::unique_ptr<XmlNode>> DecodeNodeFromString(
+    std::string_view data) {
+  Decoder decoder(data);
+  auto node = DecodeNode(&decoder);
+  if (!node.ok()) return node.status();
+  if (!decoder.AtEnd()) {
+    return Status::Corruption("trailing bytes after encoded node");
+  }
+  return node;
+}
+
+}  // namespace txml

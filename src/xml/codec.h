@@ -1,0 +1,28 @@
+#ifndef TXML_SRC_XML_CODEC_H_
+#define TXML_SRC_XML_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/util/coding.h"
+#include "src/util/statusor.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Compact binary encoding of an XML subtree, preserving XIDs and
+/// timestamps. Used for complete stored versions, snapshots, and the
+/// subtrees carried inside completed deltas. Varint-based; framing and
+/// checksumming are the storage layer's job.
+void EncodeNode(const XmlNode& node, std::string* dst);
+
+/// Decodes one subtree produced by EncodeNode, consuming from `decoder`.
+StatusOr<std::unique_ptr<XmlNode>> DecodeNode(Decoder* decoder);
+
+/// Convenience: encode to a fresh string / decode an entire buffer.
+std::string EncodeNodeToString(const XmlNode& node);
+StatusOr<std::unique_ptr<XmlNode>> DecodeNodeFromString(std::string_view data);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_XML_CODEC_H_

@@ -1,0 +1,95 @@
+#ifndef TXML_SRC_XML_IDS_H_
+#define TXML_SRC_XML_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/timestamp.h"
+
+namespace txml {
+
+/// Identifies a document within one database (assigned by the catalog,
+/// never reused).
+using DocId = uint32_t;
+
+/// Persistent element identifier within one document (the paper's XID,
+/// following Xyleme): identifies an element "in a time independent manner,
+/// and will not be reused when an element is deleted" (Section 3.2).
+/// 0 is reserved for "unassigned".
+using Xid = uint32_t;
+
+constexpr Xid kInvalidXid = 0;
+
+/// Dense version number of a document, starting at 1 for the first stored
+/// version. The physical layer keys delta chains and posting lists by
+/// version number; the per-document delta index maps them to timestamps
+/// (Section 7.1: "Each version is numbered, so that we do not have to store
+/// the timestamps in the text indexes").
+using VersionNum = uint32_t;
+
+constexpr VersionNum kInvalidVersion = 0;
+
+/// EID: concatenation of document id and XID — uniquely identifies a
+/// particular element in a particular document, across all time
+/// (Section 3.2).
+struct Eid {
+  DocId doc_id = 0;
+  Xid xid = kInvalidXid;
+
+  friend constexpr auto operator<=>(const Eid&, const Eid&) = default;
+
+  /// "doc:xid".
+  std::string ToString() const {
+    return std::to_string(doc_id) + ":" + std::to_string(xid);
+  }
+};
+
+/// TEID: concatenation of EID and timestamp — uniquely identifies a
+/// particular *version* of a particular element (Section 3.2).
+struct Teid {
+  Eid eid;
+  Timestamp timestamp;
+
+  friend constexpr auto operator<=>(const Teid&, const Teid&) = default;
+
+  /// "doc:xid@timestamp".
+  std::string ToString() const {
+    return eid.ToString() + "@" + timestamp.ToString();
+  }
+};
+
+/// Allocates XIDs for one document: a monotone counter starting at 1.
+/// XIDs are never reused — a deleted element's XID stays retired, and a
+/// re-inserted identical element receives a fresh XID (the identity caveat
+/// of Section 7.4).
+class XidAllocator {
+ public:
+  XidAllocator() = default;
+  explicit XidAllocator(Xid next) : next_(next) {}
+
+  Xid Allocate() { return next_++; }
+
+  /// Ensures future allocations are > xid; used when loading persisted
+  /// documents.
+  void AdvancePast(Xid xid) {
+    if (xid >= next_) next_ = xid + 1;
+  }
+
+  Xid next() const { return next_; }
+
+ private:
+  Xid next_ = 1;
+};
+
+struct EidHash {
+  size_t operator()(const Eid& eid) const {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(eid.doc_id) << 32) | eid.xid);
+  }
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_XML_IDS_H_

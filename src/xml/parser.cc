@@ -1,0 +1,349 @@
+#include "src/xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "src/util/strings.h"
+
+namespace txml {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsWhitespaceOnly(std::string_view text) {
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Recursive-descent XML parser over a string_view with line tracking.
+class Parser {
+ public:
+  Parser(std::string_view text, ParseOptions options)
+      : text_(text), options_(options) {}
+
+  StatusOr<std::unique_ptr<XmlNode>> ParseDocument(bool allow_prolog) {
+    SkipMisc(allow_prolog);
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc(allow_prolog);
+    if (!AtEnd()) {
+      return Error("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  bool Consume(std::string_view expected) {
+    if (text_.substr(pos_).substr(0, expected.size()) != expected) {
+      return false;
+    }
+    for (size_t i = 0; i < expected.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& message) {
+    return Status::ParseError("line " + std::to_string(line_) + ": " +
+                              message);
+  }
+
+  /// Skips whitespace, comments, PIs, the XML declaration and DOCTYPE.
+  void SkipMisc(bool allow_prolog) {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '<') return;
+      if (PeekAt(1) == '?') {
+        // Processing instruction or XML declaration.
+        while (!AtEnd() && !(Peek() == '?' && PeekAt(1) == '>')) Advance();
+        if (!AtEnd()) {
+          Advance();
+          Advance();
+        }
+      } else if (PeekAt(1) == '!' && PeekAt(2) == '-' && PeekAt(3) == '-') {
+        SkipOrKeepComment(nullptr);
+      } else if (allow_prolog && PeekAt(1) == '!') {
+        // DOCTYPE — skip to matching '>'. Internal subsets with nested
+        // brackets are skipped bracket-aware.
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = Peek();
+          Advance();
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// At a "<!--"; consumes it. If out != nullptr and comments are kept,
+  /// appends a comment node.
+  void SkipOrKeepComment(XmlNode* out) {
+    Consume("<!--");
+    std::string body;
+    while (!AtEnd() && !(Peek() == '-' && PeekAt(1) == '-' &&
+                         PeekAt(2) == '>')) {
+      body.push_back(Peek());
+      Advance();
+    }
+    Consume("-->");
+    if (out != nullptr && options_.keep_comments) {
+      out->AddChild(XmlNode::Comment(std::move(body)));
+    }
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected name");
+    }
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name.push_back(Peek());
+      Advance();
+    }
+    return name;
+  }
+
+  /// Decodes one entity reference positioned at '&'.
+  StatusOr<std::string> ParseEntity() {
+    Advance();  // '&'
+    std::string entity;
+    while (!AtEnd() && Peek() != ';' && entity.size() < 10) {
+      entity.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd() || Peek() != ';') return Error("unterminated entity");
+    Advance();  // ';'
+    if (entity == "lt") return std::string("<");
+    if (entity == "gt") return std::string(">");
+    if (entity == "amp") return std::string("&");
+    if (entity == "quot") return std::string("\"");
+    if (entity == "apos") return std::string("'");
+    if (!entity.empty() && entity[0] == '#') {
+      int base = 10;
+      std::string_view digits(entity);
+      digits.remove_prefix(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits.remove_prefix(1);
+      }
+      if (digits.empty()) return Error("empty character reference");
+      uint32_t code = 0;
+      for (char c : digits) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          return Error("bad character reference '&" + entity + ";'");
+        }
+        code = code * static_cast<uint32_t>(base) +
+               static_cast<uint32_t>(digit);
+        if (code > 0x10FFFF) return Error("character reference out of range");
+      }
+      return EncodeUtf8(code);
+    }
+    return Error("unknown entity '&" + entity + ";'");
+  }
+
+  static std::string EncodeUtf8(uint32_t code) {
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  StatusOr<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        auto entity = ParseEntity();
+        if (!entity.ok()) return entity.status();
+        value += *entity;
+      } else if (Peek() == '<') {
+        return Error("'<' in attribute value");
+      } else {
+        value.push_back(Peek());
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  StatusOr<std::unique_ptr<XmlNode>> ParseElement() {
+    Advance();  // '<'
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto element = XmlNode::Element(std::move(*name));
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '='");
+      Advance();
+      SkipWhitespace();
+      auto attr_value = ParseAttributeValue();
+      if (!attr_value.ok()) return attr_value.status();
+      if (element->FindAttribute(*attr_name) != nullptr) {
+        return Error("duplicate attribute '" + *attr_name + "'");
+      }
+      element->AddChild(
+          XmlNode::Attribute(std::move(*attr_name), std::move(*attr_value)));
+    }
+
+    if (Peek() == '/') {
+      Advance();
+      if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
+      Advance();
+      return element;
+    }
+    Advance();  // '>'
+
+    // Content.
+    std::string text;
+    auto flush_text = [&] {
+      if (text.empty()) return;
+      if (options_.keep_whitespace_text || !IsWhitespaceOnly(text)) {
+        element->AddChild(XmlNode::Text(std::move(text)));
+      }
+      text.clear();
+    };
+
+    while (true) {
+      if (AtEnd()) {
+        return Error("unterminated element '" + element->name() + "'");
+      }
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          flush_text();
+          Advance();
+          Advance();
+          auto close_name = ParseName();
+          if (!close_name.ok()) return close_name.status();
+          if (*close_name != element->name()) {
+            return Error("mismatched close tag '</" + *close_name +
+                         ">' for '<" + element->name() + ">'");
+          }
+          SkipWhitespace();
+          if (AtEnd() || Peek() != '>') return Error("expected '>'");
+          Advance();
+          return element;
+        }
+        if (PeekAt(1) == '!' && PeekAt(2) == '-' && PeekAt(3) == '-') {
+          flush_text();
+          SkipOrKeepComment(element.get());
+          continue;
+        }
+        if (PeekAt(1) == '!' && Consume("<![CDATA[")) {
+          while (!AtEnd() && !(Peek() == ']' && PeekAt(1) == ']' &&
+                               PeekAt(2) == '>')) {
+            text.push_back(Peek());
+            Advance();
+          }
+          if (!Consume("]]>")) return Error("unterminated CDATA section");
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          flush_text();
+          while (!AtEnd() && !(Peek() == '?' && PeekAt(1) == '>')) Advance();
+          if (!Consume("?>")) return Error("unterminated processing instruction");
+          continue;
+        }
+        // Child element.
+        flush_text();
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        element->AddChild(std::move(*child));
+        continue;
+      }
+      if (Peek() == '&') {
+        auto entity = ParseEntity();
+        if (!entity.ok()) return entity.status();
+        text += *entity;
+        continue;
+      }
+      text.push_back(Peek());
+      Advance();
+    }
+  }
+
+  std::string_view text_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+StatusOr<XmlDocument> ParseXml(std::string_view text, ParseOptions options) {
+  Parser parser(text, options);
+  auto root = parser.ParseDocument(/*allow_prolog=*/true);
+  if (!root.ok()) return root.status();
+  return XmlDocument(std::move(*root));
+}
+
+StatusOr<std::unique_ptr<XmlNode>> ParseXmlFragment(std::string_view text,
+                                                    ParseOptions options) {
+  Parser parser(text, options);
+  return parser.ParseDocument(/*allow_prolog=*/false);
+}
+
+}  // namespace txml

@@ -1,0 +1,39 @@
+#ifndef TXML_SRC_XML_PARSER_H_
+#define TXML_SRC_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/util/statusor.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Parsing options.
+struct ParseOptions {
+  /// Keep text nodes that consist only of whitespace (between-element
+  /// indentation). Off by default: the data model and diff are about
+  /// content, and pretty-printing noise would show up as spurious changes.
+  bool keep_whitespace_text = false;
+  /// Keep comment nodes. Off by default.
+  bool keep_comments = false;
+};
+
+/// Parses one well-formed XML document (non-validating): optional prolog
+/// and doctype, one root element, attributes, text with entity references
+/// (&lt; &gt; &amp; &quot; &apos; and numeric &#n; / &#xh;), CDATA sections,
+/// comments and processing instructions (skipped unless kept by options).
+///
+/// Returns ParseError with a line number on malformed input. XIDs and
+/// timestamps of the produced nodes are unassigned; the storage layer
+/// assigns them when the document is stored.
+StatusOr<XmlDocument> ParseXml(std::string_view text,
+                               ParseOptions options = {});
+
+/// Parses a fragment rooted at a single element (no prolog allowed).
+StatusOr<std::unique_ptr<XmlNode>> ParseXmlFragment(std::string_view text,
+                                                    ParseOptions options = {});
+
+}  // namespace txml
+
+#endif  // TXML_SRC_XML_PARSER_H_

@@ -1,0 +1,152 @@
+#include "src/xml/path.h"
+
+#include <unordered_set>
+
+namespace txml {
+namespace {
+
+bool StepMatches(const PathStep& step, const XmlNode& node) {
+  if (step.is_attribute) {
+    return node.is_attribute() &&
+           (step.name == "*" || node.name() == step.name);
+  }
+  return node.is_element() && (step.name == "*" || node.name() == step.name);
+}
+
+void CollectChildren(const PathStep& step, const XmlNode& context,
+                     std::vector<const XmlNode*>* out) {
+  for (const auto& child : context.children()) {
+    if (StepMatches(step, *child)) out->push_back(child.get());
+  }
+}
+
+void CollectDescendants(const PathStep& step, const XmlNode& context,
+                        std::vector<const XmlNode*>* out) {
+  for (const auto& child : context.children()) {
+    if (StepMatches(step, *child)) out->push_back(child.get());
+    CollectDescendants(step, *child, out);
+  }
+}
+
+std::vector<const XmlNode*> Dedup(std::vector<const XmlNode*> nodes) {
+  std::unordered_set<const XmlNode*> seen;
+  std::vector<const XmlNode*> out;
+  out.reserve(nodes.size());
+  for (const XmlNode* node : nodes) {
+    if (seen.insert(node).second) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<const XmlNode*> EvaluateSteps(
+    const std::vector<PathStep>& steps, size_t first_step,
+    std::vector<const XmlNode*> current) {
+  for (size_t i = first_step; i < steps.size(); ++i) {
+    const PathStep& step = steps[i];
+    std::vector<const XmlNode*> next;
+    for (const XmlNode* node : current) {
+      if (step.axis == PathStep::Axis::kChild) {
+        CollectChildren(step, *node, &next);
+      } else {
+        CollectDescendants(step, *node, &next);
+      }
+    }
+    current = Dedup(std::move(next));
+  }
+  return current;
+}
+
+}  // namespace
+
+StatusOr<PathExpr> PathExpr::Parse(std::string_view text) {
+  PathExpr expr;
+  size_t pos = 0;
+  if (text.empty()) {
+    return Status::ParseError("empty path expression");
+  }
+  if (text[0] == '/') {
+    expr.absolute_ = true;
+  }
+
+  while (pos < text.size()) {
+    PathStep step;
+    if (text[pos] == '/') {
+      ++pos;
+      if (pos < text.size() && text[pos] == '/') {
+        step.axis = PathStep::Axis::kDescendant;
+        ++pos;
+      }
+    } else if (!expr.steps_.empty()) {
+      return Status::ParseError("expected '/' in path '" + std::string(text) +
+                                "'");
+    }
+    if (pos < text.size() && text[pos] == '@') {
+      step.is_attribute = true;
+      ++pos;
+    }
+    size_t start = pos;
+    while (pos < text.size() && text[pos] != '/') ++pos;
+    step.name = std::string(text.substr(start, pos - start));
+    if (step.name.empty()) {
+      return Status::ParseError("empty step in path '" + std::string(text) +
+                                "'");
+    }
+    if (step.is_attribute && pos != text.size()) {
+      return Status::ParseError(
+          "attribute step must be last in path '" + std::string(text) + "'");
+    }
+    expr.steps_.push_back(std::move(step));
+  }
+  if (expr.steps_.empty()) {
+    return Status::ParseError("path has no steps: '" + std::string(text) +
+                              "'");
+  }
+  return expr;
+}
+
+std::vector<const XmlNode*> PathExpr::Evaluate(const XmlNode& root) const {
+  if (steps_.empty()) return {};
+  std::vector<const XmlNode*> current;
+  if (absolute_) {
+    // First step applies to the document node, whose only element child is
+    // the root element.
+    const PathStep& first = steps_[0];
+    if (first.axis == PathStep::Axis::kChild) {
+      if (StepMatches(first, root)) current.push_back(&root);
+    } else {
+      if (StepMatches(first, root)) current.push_back(&root);
+      CollectDescendants(first, root, &current);
+      current = Dedup(std::move(current));
+    }
+  } else {
+    // Relative paths bind anywhere, as FROM-clause variables do: implicit
+    // descendant-or-self from the document node.
+    const PathStep& first = steps_[0];
+    if (StepMatches(first, root)) current.push_back(&root);
+    CollectDescendants(first, root, &current);
+    current = Dedup(std::move(current));
+  }
+  return EvaluateSteps(steps_, 1, std::move(current));
+}
+
+std::vector<const XmlNode*> PathExpr::EvaluateRelative(
+    const XmlNode& context) const {
+  return EvaluateSteps(steps_, 0, {&context});
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const PathStep& step = steps_[i];
+    if (i > 0 || absolute_) {
+      out += step.axis == PathStep::Axis::kDescendant ? "//" : "/";
+    } else if (step.axis == PathStep::Axis::kDescendant) {
+      out += "//";
+    }
+    if (step.is_attribute) out += "@";
+    out += step.name;
+  }
+  return out;
+}
+
+}  // namespace txml

@@ -1,0 +1,69 @@
+#ifndef TXML_SRC_XML_PATH_H_
+#define TXML_SRC_XML_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/statusor.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// One step of a path expression: an axis plus a name test.
+struct PathStep {
+  enum class Axis {
+    kChild,       // "/name"
+    kDescendant,  // "//name"
+  };
+
+  Axis axis = Axis::kChild;
+  /// Element (or attribute) name; "*" matches any element.
+  std::string name;
+  /// True for attribute steps ("@name"); only valid as the final step.
+  bool is_attribute = false;
+
+  bool operator==(const PathStep&) const = default;
+};
+
+/// A parsed XPath-like location path: the subset used by the paper's query
+/// dialect — child and descendant axes, name tests, '*' wildcard, and a
+/// final attribute step. Examples:
+///
+///   /guide/restaurant        (absolute)
+///   restaurant/name          (relative)
+///   //restaurant//price      (descendant axes)
+///   restaurant/@rating       (attribute)
+class PathExpr {
+ public:
+  /// Parses a path. A leading '/' makes the path absolute (evaluated from
+  /// the document node, so "/guide" selects a root element named guide);
+  /// a leading "//" selects descendants at any depth.
+  static StatusOr<PathExpr> Parse(std::string_view text);
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+  bool absolute() const { return absolute_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// Selects matching nodes starting from `root` taken as the document's
+  /// root *element*. Relative paths are evaluated as if starting with a
+  /// descendant-or-self step from the document node (so "restaurant" finds
+  /// restaurants anywhere — matching how the paper's FROM-clause variables
+  /// bind). Results are in document order, without duplicates.
+  std::vector<const XmlNode*> Evaluate(const XmlNode& root) const;
+
+  /// Evaluates relative to a context node: the first step's axis applies to
+  /// `context`'s children/descendants. Used for WHERE-clause paths like
+  /// R/price.
+  std::vector<const XmlNode*> EvaluateRelative(const XmlNode& context) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PathStep> steps_;
+  bool absolute_ = false;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_XML_PATH_H_

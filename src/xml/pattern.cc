@@ -1,0 +1,250 @@
+#include "src/xml/pattern.h"
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace txml {
+
+std::unique_ptr<PatternNode> PatternNode::Make(Test test, Axis axis,
+                                               std::string_view term,
+                                               bool projected) {
+  auto node = std::make_unique<PatternNode>();
+  node->test = test;
+  node->axis = axis;
+  node->term = ToLower(term);
+  node->projected = projected;
+  return node;
+}
+
+StatusOr<Pattern> Pattern::FromPath(const PathExpr& path, bool project_last) {
+  if (path.empty()) {
+    return Status::InvalidArgument("cannot build pattern from empty path");
+  }
+  std::unique_ptr<PatternNode> root;
+  PatternNode* tail = nullptr;
+  for (size_t i = 0; i < path.steps().size(); ++i) {
+    const PathStep& step = path.steps()[i];
+    if (step.name == "*") {
+      return Status::Unimplemented(
+          "wildcard steps are not representable as FTI patterns");
+    }
+    PatternNode::Axis axis;
+    if (i == 0) {
+      // The root pattern node binds relative to the document node.
+      axis = (path.absolute() && step.axis == PathStep::Axis::kChild)
+                 ? PatternNode::Axis::kSelf
+                 : PatternNode::Axis::kDescendantOrSelf;
+    } else {
+      axis = step.axis == PathStep::Axis::kChild
+                 ? PatternNode::Axis::kChild
+                 : PatternNode::Axis::kDescendant;
+    }
+    auto node =
+        PatternNode::Make(PatternNode::Test::kElementName, axis, step.name);
+    if (root == nullptr) {
+      root = std::move(node);
+      tail = root.get();
+    } else {
+      tail = tail->AddChild(std::move(node));
+    }
+  }
+  if (project_last && tail != nullptr) tail->projected = true;
+  return Pattern(std::move(root));
+}
+
+namespace {
+
+void CollectPreorder(const PatternNode* node,
+                     std::vector<const PatternNode*>* out) {
+  out->push_back(node);
+  for (const auto& child : node->children) {
+    CollectPreorder(child.get(), out);
+  }
+}
+
+int AssignIds(PatternNode* node, int next) {
+  node->id = next++;
+  for (auto& child : node->children) {
+    next = AssignIds(child.get(), next);
+  }
+  return next;
+}
+
+std::unique_ptr<PatternNode> CloneNode(const PatternNode& node) {
+  auto copy = std::make_unique<PatternNode>();
+  copy->test = node.test;
+  copy->axis = node.axis;
+  copy->term = node.term;
+  copy->projected = node.projected;
+  copy->id = node.id;
+  for (const auto& child : node.children) {
+    copy->children.push_back(CloneNode(*child));
+  }
+  return copy;
+}
+
+void NodeToString(const PatternNode& node, std::string* out) {
+  switch (node.axis) {
+    case PatternNode::Axis::kSelf:
+      out->append(".");
+      break;
+    case PatternNode::Axis::kChild:
+      break;
+    case PatternNode::Axis::kDescendant:
+      out->append("//");
+      break;
+    case PatternNode::Axis::kDescendantOrSelf:
+      out->append(".//");
+      break;
+  }
+  if (node.test == PatternNode::Test::kWord) {
+    out->append("~'");
+    out->append(node.term);
+    out->append("'");
+  } else {
+    out->append(node.term);
+  }
+  if (node.projected) out->append("*");
+  if (!node.children.empty()) {
+    out->append("[");
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) out->append(", ");
+      NodeToString(*node.children[i], out);
+    }
+    out->append("]");
+  }
+}
+
+}  // namespace
+
+void Pattern::Finalize() {
+  size_ = root_ ? AssignIds(root_.get(), 0) : 0;
+}
+
+std::vector<const PatternNode*> Pattern::NodesPreorder() const {
+  std::vector<const PatternNode*> out;
+  if (root_) CollectPreorder(root_.get(), &out);
+  return out;
+}
+
+int Pattern::ProjectedId() const {
+  for (const PatternNode* node : NodesPreorder()) {
+    if (node->projected) return node->id;
+  }
+  return -1;
+}
+
+Pattern Pattern::Clone() const {
+  Pattern copy;
+  if (root_) copy.root_ = CloneNode(*root_);
+  copy.size_ = size_;
+  return copy;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  if (root_) NodeToString(*root_, &out);
+  return out;
+}
+
+bool ElementDirectlyContainsWord(const XmlNode& element,
+                                 std::string_view word) {
+  std::string lower = ToLower(word);
+  for (const auto& child : element.children()) {
+    if (child->is_text() || child->is_attribute()) {
+      for (const std::string& token : TokenizeWords(child->value())) {
+        if (token == lower) return true;
+      }
+    }
+    // Attribute names are words of the owning element too (mirrors the
+    // FTI's occurrence extraction).
+    if (child->is_attribute() && ToLower(child->name()) == lower) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool NodeTestMatches(const PatternNode& pnode, const XmlNode& element) {
+  if (!element.is_element()) return false;
+  if (pnode.test == PatternNode::Test::kElementName) {
+    return ToLower(element.name()) == pnode.term;
+  }
+  return ElementDirectlyContainsWord(element, pnode.term);
+}
+
+/// Collects candidate elements for `pnode` given the element matched by its
+/// parent pattern node (`base`).
+void CandidatesFor(const PatternNode& pnode, const XmlNode& base,
+                   std::vector<const XmlNode*>* out) {
+  auto collect_descendants = [&](const XmlNode& from, auto&& self) -> void {
+    for (const auto& child : from.children()) {
+      if (NodeTestMatches(pnode, *child)) out->push_back(child.get());
+      self(*child, self);
+    }
+  };
+  switch (pnode.axis) {
+    case PatternNode::Axis::kSelf:
+      if (NodeTestMatches(pnode, base)) out->push_back(&base);
+      break;
+    case PatternNode::Axis::kChild:
+      for (const auto& child : base.children()) {
+        if (NodeTestMatches(pnode, *child)) out->push_back(child.get());
+      }
+      break;
+    case PatternNode::Axis::kDescendant:
+      collect_descendants(base, collect_descendants);
+      break;
+    case PatternNode::Axis::kDescendantOrSelf:
+      if (NodeTestMatches(pnode, base)) out->push_back(&base);
+      collect_descendants(base, collect_descendants);
+      break;
+  }
+}
+
+/// Extends partial embeddings by matching `pnode` (and recursively its
+/// subtree) against candidates under `base`.
+void MatchSubtree(const PatternNode& pnode, const XmlNode& base,
+                  PatternMatch* current,
+                  std::vector<PatternMatch>* results) {
+  std::vector<const XmlNode*> candidates;
+  CandidatesFor(pnode, base, &candidates);
+  for (const XmlNode* candidate : candidates) {
+    (*current)[static_cast<size_t>(pnode.id)] = candidate;
+    if (pnode.children.empty()) {
+      results->push_back(*current);
+    } else {
+      // Match children patterns one by one, accumulating the cross product.
+      std::vector<PatternMatch> partial = {*current};
+      for (const auto& child_pattern : pnode.children) {
+        std::vector<PatternMatch> extended;
+        for (PatternMatch& embedding : partial) {
+          std::vector<PatternMatch> sub;
+          PatternMatch scratch = embedding;
+          MatchSubtree(*child_pattern, *candidate, &scratch, &sub);
+          for (PatternMatch& m : sub) extended.push_back(std::move(m));
+        }
+        partial = std::move(extended);
+        if (partial.empty()) break;
+      }
+      for (PatternMatch& m : partial) results->push_back(std::move(m));
+    }
+    (*current)[static_cast<size_t>(pnode.id)] = nullptr;
+  }
+}
+
+}  // namespace
+
+std::vector<PatternMatch> MatchPattern(const XmlNode& root,
+                                       const Pattern& pattern) {
+  std::vector<PatternMatch> results;
+  if (pattern.empty()) return results;
+  TXML_DCHECK(pattern.root()->id == 0);
+  PatternMatch current(static_cast<size_t>(pattern.size()), nullptr);
+  MatchSubtree(*pattern.root(), root, &current, &results);
+  return results;
+}
+
+}  // namespace txml

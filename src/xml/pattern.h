@@ -1,0 +1,124 @@
+#ifndef TXML_SRC_XML_PATTERN_H_
+#define TXML_SRC_XML_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/statusor.h"
+#include "src/xml/node.h"
+#include "src/xml/path.h"
+
+namespace txml {
+
+/// The pattern-tree input of the PatternScan family of operators, after
+/// Aguilera et al.'s Xyleme pattern trees (paper Section 6): each node
+/// carries a word test plus the structural relationship (isParentOf /
+/// isAscendantOf) to its parent pattern node, and projection information.
+///
+/// Two kinds of test:
+///  * kElementName — matches an element whose tag name equals the term;
+///  * kWord        — matches an element that *directly contains* the term
+///                   as a word of its text or attribute values. This is how
+///                   value constants like "Napoli" enter a pattern: the FTI
+///                   indexes words and element names in one vocabulary, and
+///                   equality testing is finished after the scan
+///                   (Section 6.1's remark on containment vs. equality).
+struct PatternNode {
+  enum class Test { kElementName, kWord };
+
+  /// Relationship between this node's match and the parent pattern node's
+  /// match.
+  enum class Axis {
+    kSelf,              // same element (word contained directly in parent)
+    kChild,             // parent isParentOf this
+    kDescendant,        // parent isAscendantOf this (strict)
+    kDescendantOrSelf,  // parent is this, or isAscendantOf this
+  };
+
+  Test test = Test::kElementName;
+  Axis axis = Axis::kChild;
+  /// Lower-cased term (element name or word).
+  std::string term;
+  /// If true, this node's matched element is part of the scan output.
+  bool projected = false;
+  /// Pre-order id, assigned by Pattern::Finalize().
+  int id = -1;
+
+  std::vector<std::unique_ptr<PatternNode>> children;
+
+  PatternNode* AddChild(std::unique_ptr<PatternNode> child) {
+    children.push_back(std::move(child));
+    return children.back().get();
+  }
+
+  static std::unique_ptr<PatternNode> Make(Test test, Axis axis,
+                                           std::string_view term,
+                                           bool projected = false);
+};
+
+/// A whole pattern: one root PatternNode (its axis is interpreted relative
+/// to the document node, so kDescendantOrSelf means "anywhere in the
+/// document", which is how FROM-clause variables bind).
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::unique_ptr<PatternNode> root) : root_(std::move(root)) {
+    Finalize();
+  }
+
+  Pattern(Pattern&&) = default;
+  Pattern& operator=(Pattern&&) = default;
+
+  /// Builds a linear pattern from a path expression: one kElementName node
+  /// per step. `projected` marks the last step's node as the output.
+  static StatusOr<Pattern> FromPath(const PathExpr& path,
+                                    bool project_last = true);
+
+  const PatternNode* root() const { return root_.get(); }
+  PatternNode* mutable_root() { return root_.get(); }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Number of pattern nodes; ids are 0..size()-1 in pre-order.
+  int size() const { return size_; }
+
+  /// All nodes in pre-order (id order).
+  std::vector<const PatternNode*> NodesPreorder() const;
+
+  /// Id of the first projected node (the scan output), or -1.
+  int ProjectedId() const;
+
+  /// Re-assigns pre-order ids; call after structural edits.
+  void Finalize();
+
+  /// Deep copy.
+  Pattern Clone() const;
+
+  /// Debug rendering, e.g. "restaurant[name[.~'napoli'], price*]".
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<PatternNode> root_;
+  int size_ = 0;
+};
+
+/// One embedding of a pattern into a tree: matched element per pattern node,
+/// indexed by pattern-node id.
+using PatternMatch = std::vector<const XmlNode*>;
+
+/// Evaluates a pattern directly against a tree (no index). This is both the
+/// fallback scan used by the stratum baseline and the test oracle for the
+/// FTI-based join algorithms. Returns every embedding.
+std::vector<PatternMatch> MatchPattern(const XmlNode& root,
+                                       const Pattern& pattern);
+
+/// True if `element` directly contains `word` (lower-cased token of its
+/// immediate text children or attribute values). Mirrors the FTI's posting
+/// attachment rule.
+bool ElementDirectlyContainsWord(const XmlNode& element,
+                                 std::string_view word);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_XML_PATTERN_H_

@@ -1,0 +1,113 @@
+#include "src/xml/serializer.h"
+
+namespace txml {
+namespace {
+
+void Indent(std::string* out, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+bool HasNonAttributeChild(const XmlNode& node) {
+  for (const auto& child : node.children()) {
+    if (!child->is_attribute()) return true;
+  }
+  return false;
+}
+
+void SerializeNode(const XmlNode& node, const SerializeOptions& options,
+                   int depth, std::string* out) {
+  switch (node.kind()) {
+    case XmlNode::Kind::kText:
+      out->append(EscapeXml(node.value()));
+      return;
+    case XmlNode::Kind::kComment:
+      out->append("<!--");
+      out->append(node.value());
+      out->append("-->");
+      return;
+    case XmlNode::Kind::kAttribute:
+      // Attributes are emitted by their parent element.
+      return;
+    case XmlNode::Kind::kElement:
+      break;
+  }
+
+  out->push_back('<');
+  out->append(node.name());
+  if (options.emit_xids && node.xid() != kInvalidXid) {
+    out->append(" xid=\"");
+    out->append(std::to_string(node.xid()));
+    out->append("\"");
+  }
+  for (const auto& child : node.children()) {
+    if (!child->is_attribute()) continue;
+    out->push_back(' ');
+    out->append(child->name());
+    out->append("=\"");
+    out->append(EscapeXml(child->value()));
+    out->push_back('"');
+  }
+  if (!HasNonAttributeChild(node)) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+
+  bool pretty_children = options.pretty;
+  // Keep elements whose content is a single text node on one line.
+  if (pretty_children) {
+    bool only_text = true;
+    for (const auto& child : node.children()) {
+      if (!child->is_attribute() && !child->is_text()) only_text = false;
+    }
+    if (only_text) pretty_children = false;
+  }
+
+  for (const auto& child : node.children()) {
+    if (child->is_attribute()) continue;
+    if (pretty_children) Indent(out, depth + 1);
+    SerializeNode(*child, options, depth + 1, out);
+  }
+  if (pretty_children) Indent(out, depth);
+  out->append("</");
+  out->append(node.name());
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&apos;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string SerializeXml(const XmlNode& node, SerializeOptions options) {
+  std::string out;
+  SerializeNode(node, options, 0, &out);
+  return out;
+}
+
+}  // namespace txml

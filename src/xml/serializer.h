@@ -1,0 +1,29 @@
+#ifndef TXML_SRC_XML_SERIALIZER_H_
+#define TXML_SRC_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Serialization options.
+struct SerializeOptions {
+  /// Indent with two spaces per level and newlines between elements.
+  bool pretty = false;
+  /// Emit xid="…" bookkeeping attributes on elements (useful for debugging
+  /// and for the edit-script XML representation).
+  bool emit_xids = false;
+};
+
+/// Serializes a subtree to XML text. Attribute children are folded into the
+/// start tag; text is escaped.
+std::string SerializeXml(const XmlNode& node, SerializeOptions options = {});
+
+/// Escapes &, <, >, " and ' for use in text content / attribute values.
+std::string EscapeXml(std::string_view text);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_XML_SERIALIZER_H_

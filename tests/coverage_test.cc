@@ -1,0 +1,155 @@
+// Coverage for corners the other suites reach only incidentally: pattern
+// cloning and projection control, serializer options on nested trees,
+// AST round-trips for the newer syntax (NOT, collection), TDocGen
+// distribution properties, and Expr rendering.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/lang/parser.h"
+#include "src/workload/tdocgen.h"
+#include "src/xml/parser.h"
+#include "src/xml/pattern.h"
+#include "src/xml/serializer.h"
+
+namespace txml {
+namespace {
+
+TEST(PatternCoverageTest, CloneIsIndependent) {
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf, "a",
+                                /*projected=*/true);
+  root->AddChild(PatternNode::Make(PatternNode::Test::kWord,
+                                   PatternNode::Axis::kSelf, "w"));
+  Pattern original(std::move(root));
+  Pattern copy = original.Clone();
+  EXPECT_EQ(copy.ToString(), original.ToString());
+  EXPECT_EQ(copy.size(), original.size());
+  // Mutating the copy leaves the original untouched.
+  copy.mutable_root()->AddChild(PatternNode::Make(
+      PatternNode::Test::kElementName, PatternNode::Axis::kChild, "extra"));
+  copy.Finalize();
+  EXPECT_NE(copy.size(), original.size());
+  EXPECT_EQ(original.ToString(), ".//a*[.~'w']");
+}
+
+TEST(PatternCoverageTest, FromPathWithoutProjection) {
+  auto path = PathExpr::Parse("/a/b");
+  ASSERT_TRUE(path.ok());
+  auto pattern = Pattern::FromPath(*path, /*project_last=*/false);
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(pattern->ProjectedId(), -1);
+}
+
+TEST(PatternCoverageTest, EmptyPatternProperties) {
+  Pattern empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.ProjectedId(), -1);
+  EXPECT_EQ(empty.ToString(), "");
+  auto doc = ParseXml("<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(MatchPattern(*doc->root(), empty).empty());
+}
+
+TEST(SerializerCoverageTest, EmitXidsNested) {
+  auto doc = ParseXml("<a><b>t</b></a>");
+  ASSERT_TRUE(doc.ok());
+  doc->root()->set_xid(1);
+  doc->root()->child(0)->set_xid(2);
+  SerializeOptions options;
+  options.emit_xids = true;
+  EXPECT_EQ(SerializeXml(*doc->root(), options),
+            "<a xid=\"1\"><b xid=\"2\">t</b></a>");
+}
+
+TEST(SerializerCoverageTest, PrettyWithAttributesAndEmptyElements) {
+  auto doc = ParseXml("<a x=\"1\"><b/><c>t</c></a>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions options;
+  options.pretty = true;
+  EXPECT_EQ(SerializeXml(*doc->root(), options),
+            "<a x=\"1\">\n  <b/>\n  <c>t</c>\n</a>");
+}
+
+TEST(SerializerCoverageTest, CommentsRoundTrip) {
+  ParseOptions keep;
+  keep.keep_comments = true;
+  auto doc = ParseXml("<a><!-- note -->x</a>", keep);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(SerializeXml(*doc->root()), "<a><!-- note -->x</a>");
+}
+
+TEST(AstCoverageTest, NotAndCollectionRoundTrip) {
+  const char* kQueries[] = {
+      "SELECT R FROM doc(\"u\")/r R WHERE NOT R/price = 10",
+      "SELECT COUNT(I) FROM collection(\"http://site*\")[NOW]/item I",
+      "SELECT R FROM doc(\"u\")/r R WHERE NOT (R/a = 1 AND R/b = 2)",
+  };
+  for (const char* text : kQueries) {
+    auto query = ParseQuery(text);
+    ASSERT_TRUE(query.ok()) << text;
+    auto again = ParseQuery(query->ToString());
+    ASSERT_TRUE(again.ok()) << query->ToString();
+    EXPECT_EQ(query->ToString(), again->ToString());
+  }
+}
+
+TEST(AstCoverageTest, ExprToStringForms) {
+  auto query = ParseQuery(
+      "SELECT DIFF(PREVIOUS(R), R), AVG(R/p), NOW - 2 WEEKS "
+      "FROM doc(\"u\")[EVERY]/r R WHERE NOT R/x ~ \"y\"");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->select[0]->ToString(), "DIFF(PREVIOUS(R), R)");
+  EXPECT_EQ(query->select[1]->ToString(), "AVG(R/p)");
+  EXPECT_EQ(query->select[2]->ToString(), "(NOW - 14 DAYS)");
+  EXPECT_EQ(query->where->ToString(), "NOT (R/x ~ \"y\")");
+}
+
+TEST(TDocGenCoverageTest, VocabularyIsZipfSkewed) {
+  TDocGenOptions options;
+  options.vocabulary = 100;
+  options.zipf_theta = 1.0;
+  TDocGen gen(options);
+  std::map<std::string, size_t> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[gen.RandomWord()];
+  // The head word must be far more frequent than a mid-rank word.
+  EXPECT_GT(counts["wa0"], 300u);
+  size_t mid = counts.contains("wy50") ? counts["wy50"] : 0;
+  EXPECT_GT(counts["wa0"], mid * 5);
+}
+
+TEST(TDocGenCoverageTest, MutationMixRespectsDeleteFloor) {
+  // With aggressive deletes, the document never loses its last item.
+  TDocGenOptions options;
+  options.initial_items = 2;
+  options.update_ratio = 0.0;
+  options.insert_ratio = 0.0;
+  options.delete_ratio = 1.0;
+  options.mutations_per_version = 10;
+  TDocGen gen(options);
+  auto doc = gen.InitialDocument();
+  for (int v = 0; v < 5; ++v) {
+    doc = gen.NextVersion(*doc);
+    size_t items = 0;
+    for (const auto& child : doc->children()) {
+      if (child->is_element()) ++items;
+    }
+    EXPECT_GE(items, 1u);
+  }
+}
+
+TEST(PathCoverageTest, EvaluateRelativeWithDescendantFirstStep) {
+  auto doc = ParseXml("<a><m><x>1</x></m><x>2</x></a>");
+  ASSERT_TRUE(doc.ok());
+  auto path = PathExpr::Parse("//x");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->EvaluateRelative(*doc->root()).size(), 2u);
+  auto child_only = PathExpr::Parse("/x");
+  ASSERT_TRUE(child_only.ok());
+  EXPECT_EQ(child_only->EvaluateRelative(*doc->root()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace txml

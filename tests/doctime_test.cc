@@ -1,0 +1,128 @@
+// Document time (paper Section 3.1, third case): timestamps carried in
+// the documents themselves ("the time the document was written, or when
+// it was posted" — XMLNews-Meta-style metadata), indexed independently of
+// transaction time. Plus the coalescing utility a valid-time variant
+// would build on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/database.h"
+#include "src/index/doctime_index.h"
+#include "src/util/timestamp.h"
+
+namespace txml {
+namespace {
+
+Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+TEST(ParseFlexibleTest, AcceptsBothLayouts) {
+  EXPECT_EQ(*Timestamp::ParseFlexible("26/01/2001"), Day(26));
+  EXPECT_EQ(*Timestamp::ParseFlexible("2001-01-26"), Day(26));
+  EXPECT_EQ(*Timestamp::ParseFlexible("2001-01-26 10:30:00"),
+            Day(26).AddHours(10).AddMinutes(30));
+  EXPECT_FALSE(Timestamp::ParseFlexible("January 26, 2001").ok());
+  EXPECT_FALSE(Timestamp::ParseFlexible("2001-13-01").ok());
+  EXPECT_FALSE(Timestamp::ParseFlexible("").ok());
+}
+
+TEST(CoalesceTest, MergesOverlappingAndAdjacent) {
+  std::vector<TimeInterval> intervals = {
+      {Day(10), Day(15)},
+      {Day(1), Day(5)},
+      {Day(5), Day(8)},    // adjacent to the first — merges
+      {Day(12), Day(20)},  // overlaps the second
+  };
+  auto merged = Coalesce(std::move(intervals));
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (TimeInterval{Day(1), Day(8)}));
+  EXPECT_EQ(merged[1], (TimeInterval{Day(10), Day(20)}));
+}
+
+TEST(CoalesceTest, EdgeCases) {
+  EXPECT_TRUE(Coalesce({}).empty());
+  auto one = Coalesce({{Day(1), Day(2)}});
+  ASSERT_EQ(one.size(), 1u);
+  // Contained intervals collapse.
+  auto nested = Coalesce({{Day(1), Day(20)}, {Day(5), Day(6)}});
+  ASSERT_EQ(nested.size(), 1u);
+  EXPECT_EQ(nested[0], (TimeInterval{Day(1), Day(20)}));
+  // Open-ended intervals absorb everything after their start.
+  auto open = Coalesce({{Day(10)}, {Day(12), Day(13)}, {Day(1), Day(2)}});
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_TRUE(open[1].end.IsInfinite());
+}
+
+class DocTimeTest : public ::testing::Test {
+ protected:
+  DocTimeTest() : db_(DatabaseOptions{.document_time_path = "//published"}) {}
+
+  TemporalXmlDatabase db_;
+};
+
+TEST_F(DocTimeTest, IndexesPublicationDates) {
+  // Crawled on the 20th, but *published* on the 3rd — document time and
+  // transaction time disagree, as in the paper's news-feed motivation.
+  ASSERT_TRUE(db_.PutDocumentAt(
+      "http://news/a", "<article><published>2001-01-03</published>"
+      "<body>storm hits coast</body></article>", Day(20)).ok());
+  ASSERT_TRUE(db_.PutDocumentAt(
+      "http://news/b", "<article><published>05/01/2001</published>"
+      "<body>flood recedes</body></article>", Day(21)).ok());
+  ASSERT_TRUE(db_.PutDocumentAt(
+      "http://news/c", "<article><published>sometime last week</published>"
+      "<body>unparseable metadata</body></article>", Day(22)).ok());
+
+  const DocumentTimeIndex* index = db_.document_time_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->entry_count(), 2u);  // the unparseable one is skipped
+
+  auto in_window = index->Between(Day(1), Day(4));
+  ASSERT_EQ(in_window.size(), 1u);
+  EXPECT_EQ(in_window[0].doc_time, Day(3));
+  EXPECT_EQ(in_window[0].doc_id,
+            db_.store().FindByUrl("http://news/a")->doc_id());
+
+  EXPECT_EQ(index->Between(Day(1), Day(10)).size(), 2u);
+  EXPECT_TRUE(index->Between(Day(10), Day(30)).empty());
+}
+
+TEST_F(DocTimeTest, PerVersionDocumentTimes) {
+  // A republished article: each version carries its own publication date.
+  ASSERT_TRUE(db_.PutDocumentAt(
+      "u", "<article><published>01/01/2001</published>"
+      "<body>v1</body></article>", Day(10)).ok());
+  ASSERT_TRUE(db_.PutDocumentAt(
+      "u", "<article><published>14/01/2001</published>"
+      "<body>v2</body></article>", Day(20)).ok());
+  const DocumentTimeIndex* index = db_.document_time_index();
+  DocId doc = db_.store().FindByUrl("u")->doc_id();
+  EXPECT_EQ(*index->DocTimeOf(doc, 1), Day(1));
+  EXPECT_EQ(*index->DocTimeOf(doc, 2), Day(14));
+  EXPECT_FALSE(index->DocTimeOf(doc, 3).has_value());
+}
+
+TEST_F(DocTimeTest, SurvivesDocumentDeletion) {
+  ASSERT_TRUE(db_.PutDocumentAt(
+      "u", "<article><published>02/01/2001</published></article>",
+      Day(10)).ok());
+  ASSERT_TRUE(db_.DeleteDocumentAt("u", Day(11)).ok());
+  // Historical versions keep their document time after deletion.
+  EXPECT_EQ(db_.document_time_index()->Between(Day(1), Day(5)).size(), 1u);
+}
+
+TEST(DocTimeOptionsTest, AttributePathAndAbsence) {
+  TemporalXmlDatabase db(
+      DatabaseOptions{.document_time_path = "/article/@date"});
+  ASSERT_TRUE(db.PutDocumentAt(
+      "u", "<article date=\"07/01/2001\"><body>x</body></article>",
+      Timestamp::FromDate(2001, 2, 1)).ok());
+  ASSERT_NE(db.document_time_index(), nullptr);
+  EXPECT_EQ(db.document_time_index()->entry_count(), 1u);
+
+  TemporalXmlDatabase plain;
+  EXPECT_EQ(plain.document_time_index(), nullptr);
+}
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,174 @@
+// Edge cases across module boundaries that the per-module suites do not
+// reach: degenerate history windows, empty patterns, operator misuse, and
+// boundary arithmetic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/index/fti.h"
+#include "src/query/context.h"
+#include "src/query/diff_op.h"
+#include "src/query/history_ops.h"
+#include "src/query/scan.h"
+#include "src/storage/store.h"
+#include "src/xml/parser.h"
+
+namespace txml {
+namespace {
+
+Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+std::unique_ptr<XmlNode> Parse(const std::string& text) {
+  auto doc = ParseXml(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc->ReleaseRoot();
+}
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  EdgeTest() : fti_(&store_) {
+    store_.AddObserver(&fti_);
+    ctx_.store = &store_;
+    ctx_.fti = &fti_;
+  }
+
+  VersionedDocumentStore store_;
+  TemporalFullTextIndex fti_;
+  QueryContext ctx_;
+};
+
+TEST_F(EdgeTest, HistoryWindowsOutsideDocumentLifetime) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>1</x></d>"), Day(10)).ok());
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>2</x></d>"), Day(20)).ok());
+  DocId doc = store_.FindByUrl("u")->doc_id();
+
+  // Entirely before the first version.
+  auto before = DocHistory(ctx_, doc, Day(1), Day(5));
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->empty());
+  // Window covering only the boundary instant of v2.
+  auto at_boundary = DocHistory(ctx_, doc, Day(20), Day(21));
+  ASSERT_TRUE(at_boundary.ok());
+  ASSERT_EQ(at_boundary->size(), 1u);
+  EXPECT_EQ((*at_boundary)[0].validity.start, Day(20));
+  // Window ending exactly at a version start excludes that version.
+  auto half_open = DocHistory(ctx_, doc, Day(1), Day(20));
+  ASSERT_TRUE(half_open.ok());
+  ASSERT_EQ(half_open->size(), 1u);
+  EXPECT_EQ((*half_open)[0].validity.start, Day(10));
+}
+
+TEST_F(EdgeTest, HistoryAfterDeletion) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>1</x></d>"), Day(10)).ok());
+  ASSERT_TRUE(store_.Delete("u", Day(15)).ok());
+  DocId doc = store_.FindByUrl("u")->doc_id();
+  // A window entirely after the delete sees nothing.
+  auto after = DocHistory(ctx_, doc, Day(16), Day(30));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->empty());
+  // A window spanning the delete sees the capped last version.
+  auto spanning = DocHistory(ctx_, doc, Day(12), Day(30));
+  ASSERT_TRUE(spanning.ok());
+  ASSERT_EQ(spanning->size(), 1u);
+  EXPECT_EQ((*spanning)[0].validity.end, Day(15));
+}
+
+TEST_F(EdgeTest, ElementHistoryOfVanishingAndReturningPattern) {
+  // x exists in v1 and v3 but not v2 (deleted and re-added as new EID):
+  // the history of the *first* EID has exactly one entry.
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>a</x></d>"), Day(1)).ok());
+  auto v1_xid = store_.FindByUrl("u")->current()->child(0)->xid();
+  ASSERT_TRUE(store_.Put("u", Parse("<d><y>b</y></d>"), Day(2)).ok());
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>a</x></d>"), Day(3)).ok());
+  Eid first{store_.FindByUrl("u")->doc_id(), v1_xid};
+  auto history =
+      ElementHistory(ctx_, first, Timestamp::NegInfinity(),
+                     Timestamp::Infinity());
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 1u);
+  EXPECT_EQ((*history)[0].validity, (TimeInterval{Day(1), Day(2)}));
+  // The re-added x has a different EID.
+  EXPECT_NE(store_.FindByUrl("u")->current()->child(0)->xid(), v1_xid);
+}
+
+TEST_F(EdgeTest, EmptyPatternScansAreEmpty) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>1</x></d>"), Day(1)).ok());
+  Pattern empty;
+  auto current = PatternScanCurrent(ctx_, empty);
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(current->empty());
+  auto all = TPatternScanAll(ctx_, empty);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty());
+}
+
+TEST_F(EdgeTest, ScanForUnknownTermIsEmpty) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>1</x></d>"), Day(1)).ok());
+  Pattern pattern(PatternNode::Make(PatternNode::Test::kElementName,
+                                    PatternNode::Axis::kDescendantOrSelf,
+                                    "nosuchelement", true));
+  auto runs = TPatternScanAll(ctx_, pattern);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_TRUE(runs->empty());
+}
+
+TEST_F(EdgeTest, SelfAxisRootPatternMatchesOnlyRootElement) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><d><x>nested d</x></d></d>"),
+                         Day(1)).ok());
+  Pattern self_only(PatternNode::Make(PatternNode::Test::kElementName,
+                                      PatternNode::Axis::kSelf, "d", true));
+  auto matches = PatternScanCurrent(ctx_, self_only);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);  // root only, not the nested d
+  Pattern anywhere(PatternNode::Make(PatternNode::Test::kElementName,
+                                     PatternNode::Axis::kDescendantOrSelf,
+                                     "d", true));
+  auto both = PatternScanCurrent(ctx_, anywhere);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->size(), 2u);
+}
+
+TEST_F(EdgeTest, DiffOpWithMissingOperands) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>1</x></d>"), Day(10)).ok());
+  DocId doc = store_.FindByUrl("u")->doc_id();
+  Xid root = store_.FindByUrl("u")->current()->xid();
+  // Operand before the document existed.
+  EXPECT_TRUE(DiffOp(ctx_, Teid{{doc, root}, Day(1)},
+                     Teid{{doc, root}, Day(10)}).status().IsNotFound());
+  // Unknown document.
+  EXPECT_TRUE(DiffOp(ctx_, Teid{{99, 1}, Day(10)},
+                     Teid{{doc, root}, Day(10)}).status().IsNotFound());
+}
+
+TEST_F(EdgeTest, FromPathWildcardPatternRejected) {
+  auto path = PathExpr::Parse("/a/*/b");
+  ASSERT_TRUE(path.ok());
+  auto pattern = Pattern::FromPath(*path);
+  EXPECT_EQ(pattern.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(EdgeTest, SingleVersionDocumentOperators) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>only</x></d>"), Day(5)).ok());
+  const VersionedDocument* doc = store_.FindByUrl("u");
+  EXPECT_EQ(doc->version_count(), 1u);
+  EXPECT_FALSE(doc->delta_index().PreviousTS(Day(5)).has_value());
+  EXPECT_FALSE(doc->delta_index().NextTS(Day(5)).has_value());
+  EXPECT_EQ(*doc->delta_index().CurrentTS(), Day(5));
+  auto v1 = doc->ReconstructVersion(1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE((*v1)->ContentEquals(*doc->current()));
+  EXPECT_EQ(doc->DeltaBytes(), 0u);
+}
+
+TEST_F(EdgeTest, TimestampBoundaryQueries) {
+  ASSERT_TRUE(store_.Put("u", Parse("<d><x>1</x></d>"), Day(10)).ok());
+  // Snapshot exactly at the commit instant sees the version (closed start).
+  EXPECT_EQ(fti_.LookupT(TermKind::kElementName, "x", Day(10)).size(), 1u);
+  // One microsecond earlier does not.
+  EXPECT_TRUE(fti_.LookupT(TermKind::kElementName, "x",
+                           Day(10).AddMicros(-1)).empty());
+}
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,92 @@
+// EXPLAIN: the plan rendering must expose the planner's decisions —
+// operator selection per time mode, WHERE-constant pushdown into patterns,
+// and the materialization analysis.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/database.h"
+
+namespace txml {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.PutDocumentAt(
+        "u", "<g><r><name>Napoli</name><price>15</price></r></g>",
+        Timestamp::FromDate(2001, 1, 1)).ok());
+  }
+
+  std::string Explain(const std::string& query) {
+    auto plan = db_.Explain(query);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : "";
+  }
+
+  TemporalXmlDatabase db_;
+};
+
+TEST_F(ExplainTest, OperatorSelectionPerTimeMode) {
+  EXPECT_NE(Explain("SELECT R FROM doc(\"u\")/r R")
+                .find("PatternScan[current]"), std::string::npos);
+  EXPECT_NE(Explain("SELECT R FROM doc(\"u\")[26/01/2001]/r R")
+                .find("TPatternScan[t=26/01/2001]"), std::string::npos);
+  EXPECT_NE(Explain("SELECT R FROM doc(\"u\")[EVERY]/r R")
+                .find("TPatternScanAll"), std::string::npos);
+}
+
+TEST_F(ExplainTest, SnapshotTimeArithmeticIsFolded) {
+  std::string plan =
+      Explain("SELECT R FROM doc(\"u\")[26/01/2001 + 2 WEEKS]/r R");
+  EXPECT_NE(plan.find("TPatternScan[t=09/02/2001]"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, PushdownVisibleInPattern) {
+  std::string plan = Explain(
+      "SELECT R FROM doc(\"u\")[EVERY]/r R WHERE R/name = \"Napoli\"");
+  // The constant became a word test under name, and the filter remains.
+  EXPECT_NE(plan.find("name[.~'napoli']"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("filter: (R/name = \"Napoli\")"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, ContainsPushesEveryWord) {
+  std::string plan = Explain(
+      "SELECT R FROM doc(\"u\")[EVERY]/r R "
+      "WHERE CONTAINS(R/name, \"cheap blue\")");
+  EXPECT_NE(plan.find("'cheap'"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("'blue'"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("filter: CONTAINS(R/name, \"cheap blue\")"),
+            std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, MaterializationAnalysis) {
+  EXPECT_NE(Explain("SELECT COUNT(R) FROM doc(\"u\")/r R")
+                .find("materialize=no"), std::string::npos);
+  EXPECT_NE(Explain("SELECT R/price FROM doc(\"u\")/r R")
+                .find("materialize=yes"), std::string::npos);
+  // TIME-only queries need no content either.
+  EXPECT_NE(Explain("SELECT TIME(R), CREATE TIME(R) FROM doc(\"u\")/r R")
+                .find("materialize=no"), std::string::npos);
+}
+
+TEST_F(ExplainTest, CollectionsAndMultipleVariables) {
+  std::string plan = Explain(
+      "SELECT R1/name FROM doc(\"u\")[01/01/2001]/r R1, "
+      "collection(\"http://*\")/r R2 WHERE R1 == R2");
+  EXPECT_NE(plan.find("R1: TPatternScan"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("R2: PatternScan[current]"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("collection=\"http://*\""), std::string::npos) << plan;
+  EXPECT_NE(plan.find("output: R1/name"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, ErrorsStillSurface) {
+  EXPECT_TRUE(db_.Explain("SELECT").status().IsParseError());
+  EXPECT_TRUE(db_.Explain("SELECT X FROM doc(\"u\")/r R")
+                  .status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,131 @@
+// Index-correctness property sweep: FTI_lookup_T at every version
+// boundary (and between boundaries) must return exactly the occurrences
+// that ExtractOccurrences finds in the reconstructed snapshot — for every
+// term in the vocabulary, on randomized histories with deletions. This
+// pins the incremental open/close maintenance of the interval postings
+// against ground truth.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/index/fti.h"
+#include "src/index/posting.h"
+#include "src/storage/store.h"
+#include "src/util/random.h"
+#include "src/workload/tdocgen.h"
+
+namespace txml {
+namespace {
+
+Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+/// Term -> multiset of (doc, element) attachments, for one snapshot.
+using TermMap =
+    std::map<std::tuple<TermKind, std::string>,
+             std::multiset<std::pair<DocId, Xid>>>;
+
+TermMap OracleAt(const VersionedDocumentStore& store, Timestamp t) {
+  TermMap oracle;
+  for (const VersionedDocument* doc : store.AllDocuments()) {
+    if (!doc->ExistsAt(t)) continue;
+    auto tree = doc->ReconstructAt(t);
+    EXPECT_TRUE(tree.ok());
+    for (const Occurrence& occ : ExtractOccurrences(**tree)) {
+      oracle[{occ.kind, occ.term}].insert({doc->doc_id(), occ.element});
+    }
+  }
+  return oracle;
+}
+
+/// Collects the full vocabulary ever seen across the history.
+std::set<std::tuple<TermKind, std::string>> Vocabulary(
+    const VersionedDocumentStore& store) {
+  std::set<std::tuple<TermKind, std::string>> vocab;
+  for (const VersionedDocument* doc : store.AllDocuments()) {
+    for (VersionNum v = 1; v <= doc->version_count(); ++v) {
+      auto tree = doc->ReconstructVersion(v);
+      EXPECT_TRUE(tree.ok());
+      for (const Occurrence& occ : ExtractOccurrences(**tree)) {
+        vocab.insert({occ.kind, occ.term});
+      }
+    }
+  }
+  return vocab;
+}
+
+class FtiOracleTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(FtiOracleTest, LookupTMatchesSnapshotExtraction) {
+  auto [seed, mutations] = GetParam();
+  VersionedDocumentStore store;
+  TemporalFullTextIndex fti(&store);
+  store.AddObserver(&fti);
+
+  constexpr int kDocs = 2;
+  constexpr int kVersions = 8;
+  for (int d = 0; d < kDocs; ++d) {
+    TDocGenOptions options;
+    options.initial_items = 10;
+    options.vocabulary = 40;  // small vocabulary -> heavy term sharing
+    options.mutations_per_version = static_cast<size_t>(mutations);
+    options.seed = static_cast<uint64_t>(seed * 31 + d);
+    TDocGen gen(options);
+    std::string url = "doc" + std::to_string(d);
+    ASSERT_TRUE(store.Put(url, gen.InitialDocument(), Day(1 + d)).ok());
+    for (int v = 2; v <= kVersions; ++v) {
+      auto next = gen.NextVersion(*store.FindByUrl(url)->current());
+      ASSERT_TRUE(store.Put(url, std::move(next), Day(1 + d + 4 * v)).ok());
+    }
+  }
+  ASSERT_TRUE(store.Delete("doc1", Day(60)).ok());
+
+  auto vocab = Vocabulary(store);
+  ASSERT_FALSE(vocab.empty());
+
+  // Probe before creation, at every version commit instant, between
+  // versions, and after the delete.
+  std::vector<Timestamp> probes = {Day(0), Day(200)};
+  for (const VersionedDocument* doc : store.AllDocuments()) {
+    for (VersionNum v = 1; v <= doc->version_count(); ++v) {
+      Timestamp ts = doc->delta_index().TimestampOf(v);
+      probes.push_back(ts);
+      probes.push_back(ts.AddHours(7));
+    }
+  }
+  probes.push_back(Day(61));  // just after the delete
+
+  for (Timestamp t : probes) {
+    TermMap oracle = OracleAt(store, t);
+    for (const auto& [key, term] : vocab) {
+      std::multiset<std::pair<DocId, Xid>> actual;
+      for (const Posting* posting : fti.LookupT(key, term, t)) {
+        actual.insert({posting->doc_id, posting->element});
+      }
+      auto it = oracle.find({key, term});
+      const std::multiset<std::pair<DocId, Xid>> empty;
+      const auto& expected = it == oracle.end() ? empty : it->second;
+      EXPECT_EQ(actual, expected)
+          << "term '" << term << "' at " << t.ToString();
+    }
+  }
+
+  // LookupCurrent must equal LookupT at a far-future instant for live
+  // docs (doc1 is deleted, so only doc0 contributes).
+  for (const auto& [key, term] : vocab) {
+    EXPECT_EQ(fti.LookupCurrent(key, term).size(),
+              fti.LookupT(key, term, Day(500)).size())
+        << term;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FtiOracleTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                                            ::testing::Values(2, 8)));
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+
+namespace txml {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize(
+      "SELECT R, 10 12.5 \"Napoli\" 26/01/2001 == = != <= < ~ //a/b @x [ ]");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kKeyword, TokenKind::kIdent,   TokenKind::kComma,
+      TokenKind::kNumber,  TokenKind::kNumber,  TokenKind::kString,
+      TokenKind::kDate,    TokenKind::kIdEq,    TokenKind::kEq,
+      TokenKind::kNe,      TokenKind::kLe,      TokenKind::kLt,
+      TokenKind::kSim,     TokenKind::kSlashSlash, TokenKind::kIdent,
+      TokenKind::kSlash,   TokenKind::kIdent,   TokenKind::kAt,
+      TokenKind::kIdent,   TokenKind::kLBracket, TokenKind::kRBracket,
+      TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitiveIdentsNot) {
+  auto tokens = Tokenize("select Restaurant FROM");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[1].text, "Restaurant");
+  EXPECT_EQ((*tokens)[2].text, "FROM");
+}
+
+TEST(LexerTest, DateVsPathDisambiguation) {
+  auto tokens = Tokenize("26/01/2001 a/b 26/01/2001 13:05:59");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kDate);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kSlash);
+  // Date with time-of-day is one token.
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kDate);
+  EXPECT_EQ((*tokens)[4].text, "26/01/2001 13:05:59");
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("32/01/2001").ok());  // invalid calendar date
+}
+
+TEST(ParserTest, PaperQ1) {
+  auto query = ParseQuery(
+      "SELECT R "
+      "FROM doc(\"http://guide.com/restaurants.xml\")[26/01/2001]"
+      "/restaurant R");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->select.size(), 1u);
+  EXPECT_EQ(query->select[0]->kind, Expr::Kind::kVar);
+  ASSERT_EQ(query->from.size(), 1u);
+  const FromItem& item = query->from[0];
+  EXPECT_EQ(item.url, "http://guide.com/restaurants.xml");
+  EXPECT_EQ(item.mode, FromItem::Mode::kSnapshot);
+  EXPECT_EQ(item.snapshot_time->date, Timestamp::FromDate(2001, 1, 26));
+  EXPECT_EQ(item.path.ToString(), "/restaurant");
+  EXPECT_EQ(item.var, "R");
+  EXPECT_EQ(query->where, nullptr);
+}
+
+TEST(ParserTest, PaperQ3WithEvery) {
+  auto query = ParseQuery(
+      "SELECT TIME(R), R/price "
+      "FROM doc(\"http://guide.com\")[EVERY]/guide/restaurant R "
+      "WHERE R/name = \"Napoli\"");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->select.size(), 2u);
+  EXPECT_EQ(query->select[0]->kind, Expr::Kind::kTimeOf);
+  EXPECT_EQ(query->select[0]->var, "R");
+  EXPECT_EQ(query->select[1]->kind, Expr::Kind::kPath);
+  EXPECT_EQ(query->from[0].mode, FromItem::Mode::kEvery);
+  ASSERT_NE(query->where, nullptr);
+  EXPECT_EQ(query->where->op, Expr::Op::kEq);
+  EXPECT_EQ(query->where->ToString(), "(R/name = \"Napoli\")");
+}
+
+TEST(ParserTest, AggregatesAndPredicates) {
+  auto query = ParseQuery(
+      "SELECT SUM(R) FROM doc(\"u\")[26/01/2001]/restaurant R "
+      "WHERE R/price < 10 AND CREATE TIME(R) >= 11/01/2001 "
+      "OR R/name ~ \"Napolli\"");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->select[0]->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(query->select[0]->agg, Expr::Agg::kSum);
+  // OR binds weaker than AND.
+  EXPECT_EQ(query->where->op, Expr::Op::kOr);
+  EXPECT_EQ(query->where->lhs->op, Expr::Op::kAnd);
+  EXPECT_EQ(query->where->lhs->rhs->lhs->kind, Expr::Kind::kCreateTime);
+}
+
+TEST(ParserTest, RelativeTimeArithmetic) {
+  auto query = ParseQuery(
+      "SELECT R FROM doc(\"u\")[NOW - 14 DAYS]/r R "
+      "WHERE TIME(R) > 26/01/2001 + 2 WEEKS");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const Expr& spec = *query->from[0].snapshot_time;
+  EXPECT_EQ(spec.kind, Expr::Kind::kTimeArith);
+  EXPECT_EQ(spec.lhs->kind, Expr::Kind::kNow);
+  EXPECT_EQ(spec.duration_micros, -14 * kMicrosPerDay);
+  const Expr& cmp_rhs = *query->where->rhs;
+  EXPECT_EQ(cmp_rhs.kind, Expr::Kind::kTimeArith);
+  EXPECT_EQ(cmp_rhs.duration_micros, 14 * kMicrosPerDay);
+}
+
+TEST(ParserTest, NavigationAndDiff) {
+  auto query = ParseQuery(
+      "SELECT DISTINCT CURRENT(R)/name, PREVIOUS(R), DIFF(R1, R2), "
+      "DIFF(PREVIOUS(R), R) "
+      "FROM doc(\"u\")/r R, doc(\"u\")/r R1, doc(\"u\")/r R2 "
+      "WHERE R1 == R2");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(query->distinct);
+  EXPECT_EQ(query->select[0]->kind, Expr::Kind::kNav);
+  EXPECT_EQ(query->select[0]->nav, Expr::Nav::kCurrent);
+  ASSERT_TRUE(query->select[0]->path.has_value());
+  EXPECT_EQ(query->select[0]->path->ToString(), "/name");
+  EXPECT_EQ(query->select[1]->nav, Expr::Nav::kPrevious);
+  EXPECT_FALSE(query->select[1]->path.has_value());
+  EXPECT_EQ(query->select[2]->kind, Expr::Kind::kDiff);
+  EXPECT_EQ(query->select[3]->lhs->kind, Expr::Kind::kNav);
+  EXPECT_EQ(query->where->op, Expr::Op::kIdEq);
+  EXPECT_EQ(query->from.size(), 3u);
+  EXPECT_EQ(query->from[0].mode, FromItem::Mode::kCurrent);
+}
+
+TEST(ParserTest, DescendantPathsInFromAndWhere) {
+  auto query = ParseQuery(
+      "SELECT R//name FROM doc(\"u\")//restaurant R WHERE R//price = 10");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->from[0].path.ToString(), "//restaurant");
+  EXPECT_EQ(query->select[0]->path->ToString(), "//name");
+}
+
+TEST(ParserTest, AttributePath) {
+  auto query = ParseQuery(
+      "SELECT R/@rating FROM doc(\"u\")/restaurant R");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->select[0]->path->ToString(), "/@rating");
+}
+
+TEST(ParserTest, AsKeywordOptional) {
+  auto query = ParseQuery("SELECT R FROM doc(\"u\")/r AS R");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->from[0].var, "R");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT R").ok());                 // no FROM
+  EXPECT_FALSE(ParseQuery("SELECT R FROM doc(u)/r R").ok()); // unquoted URL
+  EXPECT_FALSE(ParseQuery("SELECT R FROM doc(\"u\") R").ok());  // no path
+  EXPECT_FALSE(ParseQuery("SELECT R FROM doc(\"u\")/r").ok());  // no var
+  EXPECT_FALSE(ParseQuery("SELECT R FROM doc(\"u\")/r R extra").ok());
+  EXPECT_FALSE(ParseQuery(
+      "SELECT R FROM doc(\"u\")[26/01/2001/r R").ok());  // bad bracket
+  EXPECT_FALSE(ParseQuery(
+      "SELECT CREATE(R) FROM doc(\"u\")/r R").ok());  // CREATE needs TIME
+  EXPECT_FALSE(ParseQuery(
+      "SELECT R FROM doc(\"u\")[NOW - 3]/r R").ok());  // missing unit
+}
+
+TEST(ParserTest, QueryToStringRoundTripsThroughParser) {
+  const char* kQueries[] = {
+      "SELECT R FROM doc(\"u\")[26/01/2001]/restaurant R",
+      "SELECT TIME(R), R/price FROM doc(\"u\")[EVERY]/r R "
+      "WHERE R/name = \"Napoli\"",
+      "SELECT DISTINCT CURRENT(R)/name FROM doc(\"u\")/r R",
+  };
+  for (const char* text : kQueries) {
+    auto query = ParseQuery(text);
+    ASSERT_TRUE(query.ok()) << text;
+    auto again = ParseQuery(query->ToString());
+    ASSERT_TRUE(again.ok()) << query->ToString();
+    EXPECT_EQ(query->ToString(), again->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,155 @@
+// Robustness sweeps: hostile input must produce typed errors, never
+// crashes or silent corruption — parser fuzzing, codec fuzzing, and
+// query-text fuzzing over mutated valid inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/database.h"
+#include "src/diff/edit_script.h"
+#include "src/lang/parser.h"
+#include "src/util/random.h"
+#include "src/xml/codec.h"
+#include "src/xml/parser.h"
+#include "tests/testutil.h"
+
+namespace txml {
+namespace {
+
+/// Random byte strings into the XML parser: always a Status, never UB.
+TEST(RobustnessTest, ParserSurvivesRandomBytes) {
+  Random rng(7);
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    size_t length = rng.Uniform(200);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto result = ParseXml(input);
+    if (result.ok()) {
+      // If it parsed, it must re-serialize and re-parse consistently.
+      auto again = ParseXml(result->root()->ToString());
+      EXPECT_TRUE(again.ok());
+    }
+  }
+}
+
+/// Mutated *valid* XML: flip bytes of a well-formed serialization.
+TEST(RobustnessTest, ParserSurvivesMutatedXml) {
+  Random rng(11);
+  auto tree = testing::RandomTree(&rng, 60);
+  std::string valid = tree->ToString();
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    auto result = ParseXml(mutated);  // ok or ParseError, both fine
+    (void)result;
+  }
+}
+
+/// Random bytes into the binary node codec.
+TEST(RobustnessTest, CodecSurvivesRandomBytes) {
+  Random rng(13);
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    size_t length = rng.Uniform(150);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto result = DecodeNodeFromString(input);
+    (void)result;
+  }
+}
+
+/// Truncations and bit flips of a valid encoded tree.
+TEST(RobustnessTest, CodecSurvivesMutatedEncodings) {
+  Random rng(17);
+  auto tree = testing::RandomTree(&rng, 80);
+  std::string encoded = EncodeNodeToString(*tree);
+  for (size_t cut = 0; cut < encoded.size(); cut += 7) {
+    auto result = DecodeNodeFromString(encoded.substr(0, cut));
+    EXPECT_FALSE(result.ok());  // every strict prefix is invalid
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = encoded;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    auto result = DecodeNodeFromString(mutated);
+    (void)result;  // ok (benign flip) or Corruption, never a crash
+  }
+}
+
+/// Random bytes into the edit-script decoder.
+TEST(RobustnessTest, EditScriptDecoderSurvivesRandomBytes) {
+  Random rng(19);
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    size_t length = rng.Uniform(120);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto result = EditScript::Decode(input);
+    (void)result;
+  }
+}
+
+/// Query parser: random printable garbage and mutations of valid queries.
+TEST(RobustnessTest, QueryParserSurvivesGarbage) {
+  Random rng(23);
+  const std::string valid =
+      "SELECT TIME(R), R/price FROM doc(\"u\")[EVERY]/guide/restaurant R "
+      "WHERE R/name = \"Napoli\" AND R/price < 10 OR R/name ~ \"x\"";
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    size_t flips = 1 + rng.Uniform(5);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(32 + rng.Uniform(95));
+    }
+    auto result = ParseQuery(mutated);
+    (void)result;
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    size_t length = rng.Uniform(80);
+    for (size_t i = 0; i < length; ++i) {
+      garbage.push_back(static_cast<char>(32 + rng.Uniform(95)));
+    }
+    auto result = ParseQuery(garbage);
+    (void)result;
+  }
+}
+
+/// Executing syntactically valid queries against an empty database and a
+/// deleted-everything database never crashes.
+TEST(RobustnessTest, QueriesAgainstDegenerateDatabases) {
+  TemporalXmlDatabase empty;
+  EXPECT_TRUE(empty.Query("SELECT R FROM doc(\"u\")/r R").status()
+                  .IsNotFound());
+  EXPECT_EQ(empty.Query("SELECT R FROM collection(\"*\")/r R")
+                ->root()->child_count(), 0u);
+
+  TemporalXmlDatabase dead;
+  ASSERT_TRUE(dead.PutDocumentAt("u", "<r><x>1</x></r>",
+                                 Timestamp::FromDate(2001, 1, 1)).ok());
+  ASSERT_TRUE(dead.DeleteDocumentAt("u",
+                                    Timestamp::FromDate(2001, 1, 2)).ok());
+  for (const char* query : {
+           "SELECT R FROM doc(\"u\")/r R",
+           "SELECT R FROM doc(\"u\")[NOW]/r R",
+           "SELECT COUNT(R) FROM doc(\"u\")[EVERY]/r R",
+           "SELECT CURRENT(R) FROM doc(\"u\")[01/01/2001]/r R",
+           "SELECT DELETE TIME(R) FROM doc(\"u\")[01/01/2001]/r R",
+       }) {
+    auto result = dead.Query(query);
+    EXPECT_TRUE(result.ok()) << query << " -> "
+                             << result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,140 @@
+// Property sweep for the temporal multiway join: TPatternScanAll's runs,
+// expanded version by version, must agree exactly with the oracle that
+// reconstructs every version of every document and runs the direct
+// pattern matcher on it — across randomized histories, pattern shapes,
+// deletions and multi-document stores.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/index/fti.h"
+#include "src/query/context.h"
+#include "src/query/scan.h"
+#include "src/storage/store.h"
+#include "src/util/random.h"
+#include "src/workload/tdocgen.h"
+
+namespace txml {
+namespace {
+
+Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+/// (doc, version) -> multiset of projected element XIDs.
+using VersionMatches = std::map<std::pair<DocId, VersionNum>,
+                                std::multiset<Xid>>;
+
+VersionMatches ExpandRuns(const std::vector<ScanMatch>& matches,
+                          const Pattern& pattern,
+                          const VersionedDocumentStore& store) {
+  VersionMatches expanded;
+  for (const ScanMatch& match : matches) {
+    const VersionedDocument* doc = store.FindById(match.doc_id);
+    VersionNum end = match.end_version == kOpenVersion ||
+                             match.end_version > doc->version_count()
+                         ? doc->version_count() + 1
+                         : match.end_version;
+    for (VersionNum v = match.first_version; v < end; ++v) {
+      expanded[{match.doc_id, v}].insert(
+          match.ProjectedTeid(pattern).eid.xid);
+    }
+  }
+  return expanded;
+}
+
+VersionMatches Oracle(const Pattern& pattern,
+                      const VersionedDocumentStore& store) {
+  VersionMatches expected;
+  int projected = pattern.ProjectedId();
+  for (const VersionedDocument* doc : store.AllDocuments()) {
+    for (VersionNum v = 1; v <= doc->version_count(); ++v) {
+      auto tree = doc->ReconstructVersion(v);
+      EXPECT_TRUE(tree.ok());
+      for (const PatternMatch& match : MatchPattern(**tree, pattern)) {
+        expected[{doc->doc_id(), v}].insert(
+            match[static_cast<size_t>(projected)]->xid());
+      }
+    }
+  }
+  return expected;
+}
+
+class ScanAllOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScanAllOracleTest, RunsMatchPerVersionOracle) {
+  auto [seed, mutations] = GetParam();
+  VersionedDocumentStore store;
+  TemporalFullTextIndex fti(&store);
+  store.AddObserver(&fti);
+  QueryContext ctx{&store, &fti, nullptr};
+
+  constexpr int kDocs = 2;
+  constexpr int kVersions = 10;
+  for (int d = 0; d < kDocs; ++d) {
+    TDocGenOptions options;
+    options.initial_items = 15;
+    options.mutations_per_version = static_cast<size_t>(mutations);
+    options.seed = static_cast<uint64_t>(seed * 100 + d);
+    TDocGen gen(options);
+    std::string url = "doc" + std::to_string(d);
+    ASSERT_TRUE(
+        store.Put(url, gen.InitialDocument(), Day(1 + d)).ok());
+    for (int v = 2; v <= kVersions; ++v) {
+      auto next = gen.NextVersion(*store.FindByUrl(url)->current());
+      ASSERT_TRUE(
+          store.Put(url, std::move(next), Day(1 + d + 3 * v)).ok());
+    }
+  }
+  // Delete one document mid-test to cover closed-by-deletion postings.
+  ASSERT_TRUE(store.Delete("doc0", Day(100)).ok());
+
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern(PatternNode::Make(
+      PatternNode::Test::kElementName, PatternNode::Axis::kDescendantOrSelf,
+      "item", true)));
+  {
+    auto with_child = PatternNode::Make(
+        PatternNode::Test::kElementName,
+        PatternNode::Axis::kDescendantOrSelf, "item", true);
+    with_child->AddChild(PatternNode::Make(PatternNode::Test::kElementName,
+                                           PatternNode::Axis::kChild,
+                                           "price"));
+    patterns.push_back(Pattern(std::move(with_child)));
+  }
+  {
+    auto with_word = PatternNode::Make(
+        PatternNode::Test::kElementName,
+        PatternNode::Axis::kDescendantOrSelf, "name", true);
+    with_word->AddChild(PatternNode::Make(
+        PatternNode::Test::kWord, PatternNode::Axis::kSelf, "wa0"));
+    patterns.push_back(Pattern(std::move(with_word)));
+  }
+  {
+    auto deep = PatternNode::Make(PatternNode::Test::kElementName,
+                                  PatternNode::Axis::kDescendantOrSelf,
+                                  "collection", false);
+    deep->AddChild(PatternNode::Make(PatternNode::Test::kElementName,
+                                     PatternNode::Axis::kDescendant, "info",
+                                     true));
+    patterns.push_back(Pattern(std::move(deep)));
+  }
+
+  for (const Pattern& pattern : patterns) {
+    auto runs = TPatternScanAll(ctx, pattern);
+    ASSERT_TRUE(runs.ok());
+    EXPECT_EQ(ExpandRuns(*runs, pattern, store), Oracle(pattern, store))
+        << "pattern " << pattern.ToString() << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScanAllOracleTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5,
+                                                              6),
+                                            ::testing::Values(1, 4, 12)));
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,120 @@
+#ifndef TXML_TESTS_TESTUTIL_H_
+#define TXML_TESTS_TESTUTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/xml/node.h"
+
+namespace txml {
+namespace testing {
+
+/// Small word list used to label random trees.
+inline const std::vector<std::string>& Words() {
+  static const std::vector<std::string> kWords = {
+      "guide",   "restaurant", "name",   "price",  "napoli", "akropolis",
+      "address", "city",       "rating", "menu",   "dish",   "pasta",
+      "pizza",   "paris",      "rome",   "note",   "star",   "chef",
+      "wine",    "dessert",    "open",   "closed", "street", "phone"};
+  return kWords;
+}
+
+/// Builds a random element tree with approximately `target_nodes` nodes:
+/// elements with random names, text leaves, occasional attributes. XIDs and
+/// timestamps unassigned.
+inline std::unique_ptr<XmlNode> RandomTree(Random* rng, size_t target_nodes) {
+  auto root = XmlNode::Element("root");
+  std::vector<XmlNode*> elements = {root.get()};
+  size_t nodes = 1;
+  while (nodes < target_nodes) {
+    XmlNode* parent = elements[rng->Uniform(elements.size())];
+    double roll = rng->NextDouble();
+    const std::string& word = Words()[rng->Uniform(Words().size())];
+    if (roll < 0.45) {
+      XmlNode* el = parent->AddChild(XmlNode::Element(word));
+      elements.push_back(el);
+    } else if (roll < 0.85) {
+      parent->AddChild(XmlNode::Text(
+          word + " " + std::to_string(rng->Uniform(1000))));
+    } else {
+      if (parent->FindAttribute(word) == nullptr) {
+        parent->InsertChild(0, XmlNode::Attribute(
+                                   word, std::to_string(rng->Uniform(100))));
+      }
+    }
+    ++nodes;
+  }
+  return root;
+}
+
+/// Applies `count` random structural/value mutations to the tree in place:
+/// text updates, subtree inserts, deletes, and local moves. Never touches
+/// the root itself.
+inline void MutateTree(Random* rng, XmlNode* root, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    // Collect elements (possible parents) and all non-root nodes.
+    std::vector<XmlNode*> elements;
+    std::vector<XmlNode*> non_root;
+    std::vector<XmlNode*> stack = {root};
+    while (!stack.empty()) {
+      XmlNode* node = stack.back();
+      stack.pop_back();
+      if (node->is_element()) elements.push_back(node);
+      if (node != root) non_root.push_back(node);
+      for (size_t c = 0; c < node->child_count(); ++c) {
+        stack.push_back(node->child(c));
+      }
+    }
+    const std::string& word = Words()[rng->Uniform(Words().size())];
+    switch (rng->Uniform(4)) {
+      case 0: {  // update a value
+        std::vector<XmlNode*> leaves;
+        for (XmlNode* node : non_root) {
+          if (node->is_text() || node->is_attribute()) leaves.push_back(node);
+        }
+        if (leaves.empty()) break;
+        leaves[rng->Uniform(leaves.size())]->set_value(
+            word + " " + std::to_string(rng->Uniform(1000)));
+        break;
+      }
+      case 1: {  // insert a small subtree
+        XmlNode* parent = elements[rng->Uniform(elements.size())];
+        auto el = XmlNode::Element(word);
+        el->AddChild(XmlNode::Text(std::to_string(rng->Uniform(1000))));
+        parent->InsertChild(rng->Uniform(parent->child_count() + 1),
+                            std::move(el));
+        break;
+      }
+      case 2: {  // delete a subtree
+        if (non_root.empty()) break;
+        XmlNode* victim = non_root[rng->Uniform(non_root.size())];
+        XmlNode* parent = victim->parent();
+        parent->RemoveChild(parent->IndexOfChild(victim));
+        break;
+      }
+      case 3: {  // move a subtree under another element
+        if (non_root.empty() || elements.size() < 2) break;
+        XmlNode* victim = non_root[rng->Uniform(non_root.size())];
+        XmlNode* dest = elements[rng->Uniform(elements.size())];
+        // The destination must not be inside the moved subtree.
+        bool inside = false;
+        for (const XmlNode* p = dest; p != nullptr; p = p->parent()) {
+          if (p == victim) inside = true;
+        }
+        if (inside || victim->is_attribute()) break;
+        XmlNode* parent = victim->parent();
+        auto detached = parent->RemoveChild(parent->IndexOfChild(victim));
+        dest->InsertChild(rng->Uniform(dest->child_count() + 1),
+                          std::move(detached));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace txml
+
+#endif  // TXML_TESTS_TESTUTIL_H_

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+#include "src/util/macros.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+#include "src/util/strings.h"
+#include "src/util/timestamp.h"
+
+namespace txml {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such document");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: no such document");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  TXML_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(UseMacros(-1, &out).IsInvalidArgument());
+}
+
+TEST(TimestampTest, DateRoundTrip) {
+  Timestamp ts = Timestamp::FromDate(2001, 1, 26);
+  EXPECT_EQ(ts.ToString(), "26/01/2001");
+  auto parsed = Timestamp::ParseDate("26/01/2001");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ts);
+}
+
+TEST(TimestampTest, DateTimeRoundTrip) {
+  auto parsed = Timestamp::ParseDate("15/06/2020 13:45:09");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), "15/06/2020 13:45:09");
+}
+
+TEST(TimestampTest, EpochIsZero) {
+  EXPECT_EQ(Timestamp::FromDate(1970, 1, 1).micros(), 0);
+}
+
+TEST(TimestampTest, RejectsMalformedDates) {
+  EXPECT_FALSE(Timestamp::ParseDate("2001-01-26").ok());
+  EXPECT_FALSE(Timestamp::ParseDate("32/01/2001").ok());
+  EXPECT_FALSE(Timestamp::ParseDate("29/02/2001").ok());  // not a leap year
+  EXPECT_TRUE(Timestamp::ParseDate("29/02/2000").ok());   // leap year
+  EXPECT_FALSE(Timestamp::ParseDate("01/13/2001").ok());
+  EXPECT_FALSE(Timestamp::ParseDate("1/1/2001").ok());
+  EXPECT_FALSE(Timestamp::ParseDate("26/01/2001 25:00:00").ok());
+}
+
+TEST(TimestampTest, Arithmetic) {
+  Timestamp ts = Timestamp::FromDate(2001, 1, 26);
+  EXPECT_EQ(ts.AddDays(5).ToString(), "31/01/2001");
+  EXPECT_EQ(ts.AddWeeks(1).ToString(), "02/02/2001");
+  EXPECT_EQ(ts.AddDays(-25).ToString(), "01/01/2001");
+  EXPECT_EQ(ts.AddHours(24).ToString(), "27/01/2001");
+  EXPECT_EQ(ts.AddSeconds(90).ToString(), "26/01/2001 00:01:30");
+}
+
+TEST(TimestampTest, MonthBoundaries) {
+  EXPECT_EQ(Timestamp::FromDate(2001, 1, 31).AddDays(1).ToString(),
+            "01/02/2001");
+  EXPECT_EQ(Timestamp::FromDate(2000, 12, 31).AddDays(1).ToString(),
+            "01/01/2001");
+  EXPECT_EQ(Timestamp::FromDate(2000, 2, 28).AddDays(1).ToString(),
+            "29/02/2000");
+}
+
+TEST(TimestampTest, Ordering) {
+  EXPECT_LT(Timestamp::FromDate(2001, 1, 1), Timestamp::FromDate(2001, 1, 2));
+  EXPECT_LT(Timestamp::FromDate(2001, 1, 1), Timestamp::Infinity());
+  EXPECT_LT(Timestamp::NegInfinity(), Timestamp::FromDate(1900, 1, 1));
+  EXPECT_TRUE(Timestamp::Infinity().IsInfinite());
+}
+
+TEST(TimeIntervalTest, ContainsIsHalfOpen) {
+  TimeInterval iv{Timestamp::FromDate(2001, 1, 1),
+                  Timestamp::FromDate(2001, 1, 15)};
+  EXPECT_TRUE(iv.Contains(Timestamp::FromDate(2001, 1, 1)));
+  EXPECT_TRUE(iv.Contains(Timestamp::FromDate(2001, 1, 14)));
+  EXPECT_FALSE(iv.Contains(Timestamp::FromDate(2001, 1, 15)));
+  EXPECT_FALSE(iv.Contains(Timestamp::FromDate(2000, 12, 31)));
+}
+
+TEST(TimeIntervalTest, Overlaps) {
+  TimeInterval a{Timestamp::FromDate(2001, 1, 1),
+                 Timestamp::FromDate(2001, 1, 15)};
+  TimeInterval b{Timestamp::FromDate(2001, 1, 14),
+                 Timestamp::FromDate(2001, 2, 1)};
+  TimeInterval c{Timestamp::FromDate(2001, 1, 15),
+                 Timestamp::FromDate(2001, 2, 1)};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));  // [,15) and [15,) just touch
+  TimeInterval open{Timestamp::FromDate(2001, 1, 10)};
+  EXPECT_TRUE(open.Overlaps(a));
+  EXPECT_TRUE(open.Contains(Timestamp::FromDate(2030, 1, 1)));
+}
+
+TEST(CommitClockTest, StrictlyIncreasing) {
+  CommitClock clock;
+  Timestamp prev = clock.Next();
+  for (int i = 0; i < 100; ++i) {
+    Timestamp next = clock.Next();
+    EXPECT_LT(prev, next);
+    prev = next;
+  }
+}
+
+TEST(CommitClockTest, AdvanceTo) {
+  CommitClock clock;
+  Timestamp target = Timestamp::FromDate(2001, 1, 15);
+  clock.AdvanceTo(target);
+  EXPECT_GE(clock.Next(), target);
+  // Advancing backwards is a no-op.
+  clock.AdvanceTo(Timestamp::FromDate(2000, 1, 1));
+  EXPECT_GT(clock.Next(), target);
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::vector<uint64_t> values = {0,   1,    127,        128,
+                                  300, 1234, 1ULL << 31, UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder decoder(buf);
+  for (uint64_t v : values) {
+    auto got = decoder.ReadVarint64();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(decoder.AtEnd());
+}
+
+TEST(CodingTest, SignedVarintRoundTrip) {
+  std::vector<int64_t> values = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  std::string buf;
+  for (int64_t v : values) PutVarintSigned64(&buf, v);
+  Decoder decoder(buf);
+  for (int64_t v : values) {
+    auto got = decoder.ReadVarintSigned64();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(CodingTest, SmallSignedValuesEncodeSmall) {
+  std::string buf;
+  PutVarintSigned64(&buf, -3);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder decoder(buf);
+  EXPECT_EQ(*decoder.ReadLengthPrefixed(), "hello");
+  EXPECT_EQ(*decoder.ReadLengthPrefixed(), "");
+  EXPECT_EQ(decoder.ReadLengthPrefixed()->size(), 1000u);
+  EXPECT_TRUE(decoder.AtEnd());
+}
+
+TEST(CodingTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.resize(buf.size() - 1);
+  Decoder decoder(buf);
+  EXPECT_TRUE(decoder.ReadVarint64().status().IsCorruption());
+
+  std::string buf2;
+  PutLengthPrefixed(&buf2, "hello");
+  buf2.resize(buf2.size() - 2);
+  Decoder decoder2(buf2);
+  EXPECT_TRUE(decoder2.ReadLengthPrefixed().status().IsCorruption());
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  Decoder decoder(buf);
+  EXPECT_EQ(*decoder.ReadFixed32(), 0xDEADBEEFu);
+  EXPECT_EQ(*decoder.ReadFixed64(), 0x0123456789ABCDEFULL);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vector.
+  EXPECT_EQ(crc32c::Value("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c::Value(""), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWholeBuffer) {
+  std::string data = "temporal xml database";
+  uint32_t whole = crc32c::Value(data);
+  uint32_t split = crc32c::Extend(crc32c::Value(data.substr(0, 8)),
+                                  data.substr(8));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = crc32c::Value("abc");
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+TEST(StringsTest, Split) {
+  auto pieces = Split("a/b//c", '/');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(StringsTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  hi\t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("NaPoLi"), "napoli");
+}
+
+TEST(StringsTest, TokenizeWords) {
+  auto words = TokenizeWords("The price is $15.50, OK?");
+  std::vector<std::string> expected = {"the", "price", "is", "15.50", "ok"};
+  EXPECT_EQ(words, expected);
+  EXPECT_TRUE(TokenizeWords("  \t ").empty());
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("restaurant", "rest"));
+  EXPECT_FALSE(StartsWith("rest", "restaurant"));
+  EXPECT_TRUE(EndsWith("guide.xml", ".xml"));
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  Random rng(1);
+  ZipfSampler zipf(100, 1.0);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (zipf.Sample(&rng) < 10) ++low;
+  }
+  // With theta=1 over 100 ranks, the top 10 ranks carry well over a third
+  // of the mass.
+  EXPECT_GT(low, total / 3);
+}
+
+}  // namespace
+}  // namespace txml

@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/xml/codec.h"
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+#include "src/xml/parser.h"
+#include "src/xml/path.h"
+#include "src/xml/pattern.h"
+#include "src/xml/serializer.h"
+
+namespace txml {
+namespace {
+
+TEST(XmlNodeTest, BuildAndNavigate) {
+  auto root = XmlNode::Element("guide");
+  XmlNode* r = root->AddChild(XmlNode::Element("restaurant"));
+  r->AddChild(XmlNode::Element("name"))->AddChild(XmlNode::Text("Napoli"));
+  r->AddChild(XmlNode::Element("price"))->AddChild(XmlNode::Text("15"));
+
+  EXPECT_EQ(root->child_count(), 1u);
+  EXPECT_EQ(r->parent(), root.get());
+  EXPECT_EQ(r->FindChildElement("price")->TextContent(), "15");
+  EXPECT_EQ(root->TextContent(), "Napoli15");
+  EXPECT_EQ(root->CountNodes(), 6u);
+}
+
+TEST(XmlNodeTest, InsertRemoveChild) {
+  auto root = XmlNode::Element("a");
+  root->AddChild(XmlNode::Element("one"));
+  root->InsertChild(0, XmlNode::Element("zero"));
+  root->AddChild(XmlNode::Element("two"));
+  EXPECT_EQ(root->child(0)->name(), "zero");
+  EXPECT_EQ(root->child(1)->name(), "one");
+  auto removed = root->RemoveChild(1);
+  EXPECT_EQ(removed->name(), "one");
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_EQ(root->child_count(), 2u);
+  EXPECT_EQ(root->IndexOfChild(root->child(1)), 1u);
+}
+
+TEST(XmlNodeTest, CloneIsDeepAndKeepsIds) {
+  auto root = XmlNode::Element("a");
+  root->set_xid(7);
+  root->set_timestamp(Timestamp::FromDate(2001, 1, 1));
+  root->AddChild(XmlNode::Text("hello"))->set_xid(8);
+  auto copy = root->Clone();
+  EXPECT_TRUE(copy->ContentEquals(*root));
+  EXPECT_EQ(copy->xid(), 7u);
+  EXPECT_EQ(copy->child(0)->xid(), 8u);
+  EXPECT_EQ(copy->timestamp(), Timestamp::FromDate(2001, 1, 1));
+  // Mutating the copy leaves the original untouched.
+  copy->child(0)->set_value("bye");
+  EXPECT_EQ(root->child(0)->value(), "hello");
+}
+
+TEST(XmlNodeTest, ContentEqualsIgnoresXids) {
+  auto a = XmlNode::Element("x");
+  a->AddChild(XmlNode::Text("v"));
+  auto b = a->Clone();
+  b->set_xid(99);
+  EXPECT_TRUE(a->ContentEquals(*b));
+  b->AddChild(XmlNode::Text("w"));
+  EXPECT_FALSE(a->ContentEquals(*b));
+}
+
+TEST(XmlNodeTest, FindByXid) {
+  auto root = XmlNode::Element("a");
+  root->set_xid(1);
+  XmlNode* child = root->AddChild(XmlNode::Element("b"));
+  child->set_xid(2);
+  child->AddChild(XmlNode::Text("t"))->set_xid(3);
+  EXPECT_EQ(root->FindByXid(3)->value(), "t");
+  EXPECT_EQ(root->FindByXid(99), nullptr);
+}
+
+TEST(ParserTest, ParsesPaperExample) {
+  auto doc = ParseXml(R"(<?xml version="1.0"?>
+    <guide>
+      <restaurant><name>Napoli</name><price>15</price></restaurant>
+      <restaurant><name>Akropolis</name><price>13</price></restaurant>
+    </guide>)");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const XmlNode* root = doc->root();
+  EXPECT_EQ(root->name(), "guide");
+  ASSERT_EQ(root->child_count(), 2u);
+  EXPECT_EQ(root->child(0)->FindChildElement("name")->TextContent(),
+            "Napoli");
+  EXPECT_EQ(root->child(1)->FindChildElement("price")->TextContent(), "13");
+}
+
+TEST(ParserTest, Attributes) {
+  auto doc = ParseXml(R"(<r a="1" b='two &amp; three'/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->FindAttribute("a")->value(), "1");
+  EXPECT_EQ(doc->root()->FindAttribute("b")->value(), "two & three");
+}
+
+TEST(ParserTest, EntitiesAndCdata) {
+  auto doc = ParseXml("<t>&lt;a&gt; &amp; &#65;&#x42;<![CDATA[<raw>&]]></t>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root()->TextContent(), "<a> & AB<raw>&");
+}
+
+TEST(ParserTest, NumericEntityUtf8) {
+  auto doc = ParseXml("<t>&#233;&#x20AC;</t>");  // é €
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->TextContent(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(ParserTest, SkipsCommentsAndPis) {
+  auto doc = ParseXml(
+      "<!-- head --><t><!-- in -->x<?pi data?>y</t><!-- tail -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->TextContent(), "xy");
+}
+
+TEST(ParserTest, KeepsCommentsWhenAsked) {
+  ParseOptions options;
+  options.keep_comments = true;
+  auto doc = ParseXml("<t><!--note-->x</t>", options);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root()->child_count(), 2u);
+  EXPECT_EQ(doc->root()->child(0)->kind(), XmlNode::Kind::kComment);
+  EXPECT_EQ(doc->root()->child(0)->value(), "note");
+}
+
+TEST(ParserTest, WhitespaceTextDroppedByDefault) {
+  auto doc = ParseXml("<a>\n  <b>x</b>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->child_count(), 1u);
+  ParseOptions keep;
+  keep.keep_whitespace_text = true;
+  auto doc2 = ParseXml("<a>\n  <b>x</b>\n</a>", keep);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2->root()->child_count(), 3u);
+}
+
+TEST(ParserTest, Doctype) {
+  auto doc = ParseXml(
+      "<!DOCTYPE guide [<!ELEMENT guide (r*)>]><guide/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root()->name(), "guide");
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto doc = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("no xml here").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a><a/>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=\"1\" x=\"2\"/>").ok());
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#xZZ;</a>").ok());
+}
+
+TEST(SerializerTest, RoundTripsThroughParser) {
+  const char* kInput =
+      R"(<guide version="2"><restaurant><name>Café &amp; Bar</name>)"
+      R"(<price>15</price></restaurant><empty/></guide>)";
+  auto doc = ParseXml(kInput);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = SerializeXml(*doc->root());
+  auto doc2 = ParseXml(serialized);
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString() << " in " << serialized;
+  EXPECT_TRUE(doc->root()->ContentEquals(*doc2->root()));
+}
+
+TEST(SerializerTest, EscapesSpecials) {
+  auto root = XmlNode::Element("t");
+  root->AddChild(XmlNode::Attribute("a", "x\"<>&"));
+  root->AddChild(XmlNode::Text("1 < 2 & 3"));
+  std::string out = SerializeXml(*root);
+  EXPECT_EQ(out,
+            "<t a=\"x&quot;&lt;&gt;&amp;\">1 &lt; 2 &amp; 3</t>");
+}
+
+TEST(SerializerTest, PrettyPrinting) {
+  auto doc = ParseXml("<a><b>x</b><c><d>y</d></c></a>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions options;
+  options.pretty = true;
+  std::string out = SerializeXml(*doc->root(), options);
+  EXPECT_EQ(out, "<a>\n  <b>x</b>\n  <c>\n    <d>y</d>\n  </c>\n</a>");
+}
+
+TEST(SerializerTest, EmitsXids) {
+  auto root = XmlNode::Element("a");
+  root->set_xid(5);
+  SerializeOptions options;
+  options.emit_xids = true;
+  EXPECT_EQ(SerializeXml(*root, options), "<a xid=\"5\"/>");
+}
+
+TEST(CodecTest, RoundTripPreservesEverything) {
+  auto doc = ParseXml(
+      R"(<guide v="1"><r><name>Napoli</name><price>15</price></r></guide>)");
+  ASSERT_TRUE(doc.ok());
+  XidAllocator alloc;
+  // Assign ids and stamps so we can check they survive.
+  std::vector<XmlNode*> stack = {doc->root()};
+  while (!stack.empty()) {
+    XmlNode* node = stack.back();
+    stack.pop_back();
+    node->set_xid(alloc.Allocate());
+    node->set_timestamp(Timestamp::FromDate(2001, 1, 15));
+    for (size_t i = 0; i < node->child_count(); ++i) {
+      stack.push_back(node->child(i));
+    }
+  }
+  std::string encoded = EncodeNodeToString(*doc->root());
+  auto decoded = DecodeNodeFromString(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE((*decoded)->ContentEquals(*doc->root()));
+  EXPECT_EQ((*decoded)->xid(), doc->root()->xid());
+  const XmlNode* name =
+      (*decoded)->FindChildElement("r")->FindChildElement("name");
+  EXPECT_EQ(
+      name->xid(),
+      doc->root()->FindChildElement("r")->FindChildElement("name")->xid());
+  EXPECT_EQ(name->timestamp(), Timestamp::FromDate(2001, 1, 15));
+}
+
+TEST(CodecTest, CorruptInputRejected) {
+  auto root = XmlNode::Element("a");
+  std::string encoded = EncodeNodeToString(*root);
+  EXPECT_FALSE(DecodeNodeFromString(encoded.substr(0, 2)).ok());
+  EXPECT_FALSE(DecodeNodeFromString(encoded + "junk").ok());
+  std::string bad = encoded;
+  bad[0] = 0x7F;  // invalid node kind
+  EXPECT_FALSE(DecodeNodeFromString(bad).ok());
+}
+
+class PathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = ParseXml(
+        R"(<guide><restaurant rating="3"><name>Napoli</name>)"
+        R"(<price>15</price><menu><dish>pasta</dish></menu></restaurant>)"
+        R"(<restaurant><name>Akropolis</name><price>13</price>)"
+        R"(</restaurant><hotel><name>Ritz</name></hotel></guide>)");
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::move(*doc);
+  }
+  XmlDocument doc_;
+};
+
+TEST_F(PathTest, AbsoluteChildPath) {
+  auto path = PathExpr::Parse("/guide/restaurant/name");
+  ASSERT_TRUE(path.ok());
+  auto nodes = path->Evaluate(*doc_.root());
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0]->TextContent(), "Napoli");
+  EXPECT_EQ(nodes[1]->TextContent(), "Akropolis");
+}
+
+TEST_F(PathTest, DescendantPath) {
+  auto path = PathExpr::Parse("//name");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(*doc_.root()).size(), 3u);
+  auto deep = PathExpr::Parse("/guide//dish");
+  ASSERT_TRUE(deep.ok());
+  ASSERT_EQ(deep->Evaluate(*doc_.root()).size(), 1u);
+}
+
+TEST_F(PathTest, RelativePathBindsAnywhere) {
+  auto path = PathExpr::Parse("restaurant/price");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(*doc_.root()).size(), 2u);
+}
+
+TEST_F(PathTest, Wildcard) {
+  auto path = PathExpr::Parse("/guide/*/name");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(*doc_.root()).size(), 3u);
+}
+
+TEST_F(PathTest, AttributeStep) {
+  auto path = PathExpr::Parse("restaurant/@rating");
+  ASSERT_TRUE(path.ok());
+  auto nodes = path->Evaluate(*doc_.root());
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0]->value(), "3");
+}
+
+TEST_F(PathTest, EvaluateRelative) {
+  auto restaurant_path = PathExpr::Parse("restaurant");
+  ASSERT_TRUE(restaurant_path.ok());
+  const XmlNode* restaurant =
+      restaurant_path->Evaluate(*doc_.root())[0];
+  auto price = PathExpr::Parse("price");
+  ASSERT_TRUE(price.ok());
+  auto nodes = price->EvaluateRelative(*restaurant);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0]->TextContent(), "15");
+}
+
+TEST_F(PathTest, ParseErrors) {
+  EXPECT_FALSE(PathExpr::Parse("").ok());
+  EXPECT_FALSE(PathExpr::Parse("/").ok());
+  EXPECT_FALSE(PathExpr::Parse("a//").ok());
+  EXPECT_FALSE(PathExpr::Parse("@a/b").ok());
+}
+
+TEST_F(PathTest, ToStringRoundTrip) {
+  for (const char* text :
+       {"/guide/restaurant", "//name", "restaurant/price", "a//b",
+        "restaurant/@rating"}) {
+    auto path = PathExpr::Parse(text);
+    ASSERT_TRUE(path.ok());
+    EXPECT_EQ(path->ToString(), text);
+  }
+}
+
+TEST_F(PathTest, PatternFromPathMatchesLikePath) {
+  auto path = PathExpr::Parse("/guide/restaurant/name");
+  ASSERT_TRUE(path.ok());
+  auto pattern = Pattern::FromPath(*path);
+  ASSERT_TRUE(pattern.ok());
+  auto matches = MatchPattern(*doc_.root(), *pattern);
+  ASSERT_EQ(matches.size(), 2u);
+  int projected = pattern->ProjectedId();
+  ASSERT_GE(projected, 0);
+  EXPECT_EQ(matches[0][static_cast<size_t>(projected)]->TextContent(),
+            "Napoli");
+}
+
+TEST_F(PathTest, PatternWithWordLeaf) {
+  // restaurant[name[~'napoli']] — restaurants named Napoli.
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf,
+                                "restaurant", /*projected=*/true);
+  auto* name = root->AddChild(PatternNode::Make(
+      PatternNode::Test::kElementName, PatternNode::Axis::kChild, "name"));
+  name->AddChild(PatternNode::Make(PatternNode::Test::kWord,
+                                   PatternNode::Axis::kSelf, "Napoli"));
+  Pattern pattern(std::move(root));
+  auto matches = MatchPattern(*doc_.root(), pattern);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0][0]->FindChildElement("price")->TextContent(), "15");
+}
+
+TEST_F(PathTest, PatternWordMatchesAttributeValues) {
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf,
+                                "restaurant", true);
+  root->AddChild(PatternNode::Make(PatternNode::Test::kWord,
+                                   PatternNode::Axis::kSelf, "3"));
+  Pattern pattern(std::move(root));
+  EXPECT_EQ(MatchPattern(*doc_.root(), pattern).size(), 1u);
+}
+
+TEST_F(PathTest, PatternBranching) {
+  // restaurant with both a name and a price child.
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf,
+                                "restaurant", true);
+  root->AddChild(PatternNode::Make(PatternNode::Test::kElementName,
+                                   PatternNode::Axis::kChild, "name"));
+  root->AddChild(PatternNode::Make(PatternNode::Test::kElementName,
+                                   PatternNode::Axis::kChild, "price"));
+  Pattern pattern(std::move(root));
+  EXPECT_EQ(MatchPattern(*doc_.root(), pattern).size(), 2u);
+}
+
+TEST_F(PathTest, PatternDescendantAxis) {
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf,
+                                "restaurant", true);
+  root->AddChild(PatternNode::Make(PatternNode::Test::kElementName,
+                                   PatternNode::Axis::kDescendant, "dish"));
+  Pattern pattern(std::move(root));
+  auto matches = MatchPattern(*doc_.root(), pattern);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0][0]->FindChildElement("name")->TextContent(),
+            "Napoli");
+}
+
+TEST_F(PathTest, PatternCaseInsensitive) {
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf,
+                                "RESTAURANT", true);
+  Pattern pattern(std::move(root));
+  EXPECT_EQ(MatchPattern(*doc_.root(), pattern).size(), 2u);
+}
+
+TEST(PatternTest, ToStringShowsShape) {
+  auto root = PatternNode::Make(PatternNode::Test::kElementName,
+                                PatternNode::Axis::kDescendantOrSelf,
+                                "restaurant", true);
+  root->AddChild(PatternNode::Make(PatternNode::Test::kWord,
+                                   PatternNode::Axis::kSelf, "napoli"));
+  Pattern pattern(std::move(root));
+  EXPECT_EQ(pattern.ToString(), ".//restaurant*[.~'napoli']");
+  EXPECT_EQ(pattern.size(), 2);
+  EXPECT_EQ(pattern.ProjectedId(), 0);
+}
+
+TEST(PatternTest, ElementDirectlyContainsWord) {
+  auto doc = ParseXml("<r code=\"ABC\">The Napoli place<sub>hidden</sub></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(ElementDirectlyContainsWord(*doc->root(), "napoli"));
+  EXPECT_TRUE(ElementDirectlyContainsWord(*doc->root(), "abc"));
+  EXPECT_FALSE(ElementDirectlyContainsWord(*doc->root(), "hidden"));
+  EXPECT_FALSE(ElementDirectlyContainsWord(*doc->root(), "nap"));
+}
+
+TEST(IdsTest, EidTeidOrderingAndFormat) {
+  Eid a{1, 2}, b{1, 3}, c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "1:2");
+  Teid ta{a, Timestamp::FromDate(2001, 1, 26)};
+  EXPECT_EQ(ta.ToString(), "1:2@26/01/2001");
+  Teid tb{a, Timestamp::FromDate(2001, 1, 27)};
+  EXPECT_LT(ta, tb);
+}
+
+TEST(IdsTest, XidAllocatorNeverReuses) {
+  XidAllocator alloc;
+  Xid first = alloc.Allocate();
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(alloc.Allocate(), 2u);
+  alloc.AdvancePast(10);
+  EXPECT_EQ(alloc.Allocate(), 11u);
+  alloc.AdvancePast(5);  // no effect backwards
+  EXPECT_EQ(alloc.Allocate(), 12u);
+}
+
+}  // namespace
+}  // namespace txml
