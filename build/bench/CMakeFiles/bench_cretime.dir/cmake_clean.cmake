@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cretime.dir/bench_cretime.cc.o"
+  "CMakeFiles/bench_cretime.dir/bench_cretime.cc.o.d"
+  "bench_cretime"
+  "bench_cretime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cretime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_index.dir/bench_delta_index.cc.o"
+  "CMakeFiles/bench_delta_index.dir/bench_delta_index.cc.o.d"
+  "bench_delta_index"
+  "bench_delta_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

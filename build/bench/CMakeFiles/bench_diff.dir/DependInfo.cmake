@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_diff.cc" "bench/CMakeFiles/bench_diff.dir/bench_diff.cc.o" "gcc" "bench/CMakeFiles/bench_diff.dir/bench_diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/txml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/txml_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/txml_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/txml_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/txml_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/txml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/txml_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/txml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/txml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diff.dir/bench_diff.cc.o"
+  "CMakeFiles/bench_diff.dir/bench_diff.cc.o.d"
+  "bench_diff"
+  "bench_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

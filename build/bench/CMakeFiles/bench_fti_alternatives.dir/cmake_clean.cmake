@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fti_alternatives.dir/bench_fti_alternatives.cc.o"
+  "CMakeFiles/bench_fti_alternatives.dir/bench_fti_alternatives.cc.o.d"
+  "bench_fti_alternatives"
+  "bench_fti_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fti_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

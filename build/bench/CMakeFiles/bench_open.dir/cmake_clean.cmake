@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open.dir/bench_open.cc.o"
+  "CMakeFiles/bench_open.dir/bench_open.cc.o.d"
+  "bench_open"
+  "bench_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_open.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_queries.dir/bench_paper_queries.cc.o"
+  "CMakeFiles/bench_paper_queries.dir/bench_paper_queries.cc.o.d"
+  "bench_paper_queries"
+  "bench_paper_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconstruct.dir/bench_reconstruct.cc.o"
+  "CMakeFiles/bench_reconstruct.dir/bench_reconstruct.cc.o.d"
+  "bench_reconstruct"
+  "bench_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_space.dir/bench_storage_space.cc.o"
+  "CMakeFiles/bench_storage_space.dir/bench_storage_space.cc.o.d"
+  "bench_storage_space"
+  "bench_storage_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpatternscanall.dir/bench_tpatternscanall.cc.o"
+  "CMakeFiles/bench_tpatternscanall.dir/bench_tpatternscanall.cc.o.d"
+  "bench_tpatternscanall"
+  "bench_tpatternscanall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpatternscanall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

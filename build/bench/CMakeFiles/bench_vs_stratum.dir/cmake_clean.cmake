@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_stratum.dir/bench_vs_stratum.cc.o"
+  "CMakeFiles/bench_vs_stratum.dir/bench_vs_stratum.cc.o.d"
+  "bench_vs_stratum"
+  "bench_vs_stratum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_stratum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_audit.dir/change_audit.cpp.o"
+  "CMakeFiles/change_audit.dir/change_audit.cpp.o.d"
+  "change_audit"
+  "change_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_feed.dir/news_feed.cpp.o"
+  "CMakeFiles/news_feed.dir/news_feed.cpp.o.d"
+  "news_feed"
+  "news_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

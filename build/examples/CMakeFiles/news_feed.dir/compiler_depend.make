@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for news_feed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_guide.dir/restaurant_guide.cpp.o"
+  "CMakeFiles/restaurant_guide.dir/restaurant_guide.cpp.o.d"
+  "restaurant_guide"
+  "restaurant_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

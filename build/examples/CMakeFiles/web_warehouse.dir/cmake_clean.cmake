@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_warehouse.dir/web_warehouse.cpp.o"
+  "CMakeFiles/web_warehouse.dir/web_warehouse.cpp.o.d"
+  "web_warehouse"
+  "web_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_core.dir/database.cc.o"
+  "CMakeFiles/txml_core.dir/database.cc.o.d"
+  "libtxml_core.a"
+  "libtxml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

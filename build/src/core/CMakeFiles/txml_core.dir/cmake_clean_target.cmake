@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtxml_core.a"
+)

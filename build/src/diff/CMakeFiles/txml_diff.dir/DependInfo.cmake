@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diff/diff.cc" "src/diff/CMakeFiles/txml_diff.dir/diff.cc.o" "gcc" "src/diff/CMakeFiles/txml_diff.dir/diff.cc.o.d"
+  "/root/repo/src/diff/edit_script.cc" "src/diff/CMakeFiles/txml_diff.dir/edit_script.cc.o" "gcc" "src/diff/CMakeFiles/txml_diff.dir/edit_script.cc.o.d"
+  "/root/repo/src/diff/matcher.cc" "src/diff/CMakeFiles/txml_diff.dir/matcher.cc.o" "gcc" "src/diff/CMakeFiles/txml_diff.dir/matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/txml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/txml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

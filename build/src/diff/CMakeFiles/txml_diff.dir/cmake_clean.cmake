@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_diff.dir/diff.cc.o"
+  "CMakeFiles/txml_diff.dir/diff.cc.o.d"
+  "CMakeFiles/txml_diff.dir/edit_script.cc.o"
+  "CMakeFiles/txml_diff.dir/edit_script.cc.o.d"
+  "CMakeFiles/txml_diff.dir/matcher.cc.o"
+  "CMakeFiles/txml_diff.dir/matcher.cc.o.d"
+  "libtxml_diff.a"
+  "libtxml_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for txml_diff.
+# This may be replaced when dependencies are built.

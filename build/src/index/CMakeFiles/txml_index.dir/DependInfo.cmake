@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/delta_fti.cc" "src/index/CMakeFiles/txml_index.dir/delta_fti.cc.o" "gcc" "src/index/CMakeFiles/txml_index.dir/delta_fti.cc.o.d"
+  "/root/repo/src/index/doctime_index.cc" "src/index/CMakeFiles/txml_index.dir/doctime_index.cc.o" "gcc" "src/index/CMakeFiles/txml_index.dir/doctime_index.cc.o.d"
+  "/root/repo/src/index/fti.cc" "src/index/CMakeFiles/txml_index.dir/fti.cc.o" "gcc" "src/index/CMakeFiles/txml_index.dir/fti.cc.o.d"
+  "/root/repo/src/index/lifetime_index.cc" "src/index/CMakeFiles/txml_index.dir/lifetime_index.cc.o" "gcc" "src/index/CMakeFiles/txml_index.dir/lifetime_index.cc.o.d"
+  "/root/repo/src/index/posting.cc" "src/index/CMakeFiles/txml_index.dir/posting.cc.o" "gcc" "src/index/CMakeFiles/txml_index.dir/posting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/txml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/txml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/txml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/txml_diff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

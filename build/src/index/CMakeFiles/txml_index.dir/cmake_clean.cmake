@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_index.dir/delta_fti.cc.o"
+  "CMakeFiles/txml_index.dir/delta_fti.cc.o.d"
+  "CMakeFiles/txml_index.dir/doctime_index.cc.o"
+  "CMakeFiles/txml_index.dir/doctime_index.cc.o.d"
+  "CMakeFiles/txml_index.dir/fti.cc.o"
+  "CMakeFiles/txml_index.dir/fti.cc.o.d"
+  "CMakeFiles/txml_index.dir/lifetime_index.cc.o"
+  "CMakeFiles/txml_index.dir/lifetime_index.cc.o.d"
+  "CMakeFiles/txml_index.dir/posting.cc.o"
+  "CMakeFiles/txml_index.dir/posting.cc.o.d"
+  "libtxml_index.a"
+  "libtxml_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_lang.dir/ast.cc.o"
+  "CMakeFiles/txml_lang.dir/ast.cc.o.d"
+  "CMakeFiles/txml_lang.dir/executor.cc.o"
+  "CMakeFiles/txml_lang.dir/executor.cc.o.d"
+  "CMakeFiles/txml_lang.dir/lexer.cc.o"
+  "CMakeFiles/txml_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/txml_lang.dir/parser.cc.o"
+  "CMakeFiles/txml_lang.dir/parser.cc.o.d"
+  "libtxml_lang.a"
+  "libtxml_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

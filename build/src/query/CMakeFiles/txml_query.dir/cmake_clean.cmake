@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_query.dir/diff_op.cc.o"
+  "CMakeFiles/txml_query.dir/diff_op.cc.o.d"
+  "CMakeFiles/txml_query.dir/history_ops.cc.o"
+  "CMakeFiles/txml_query.dir/history_ops.cc.o.d"
+  "CMakeFiles/txml_query.dir/scan.cc.o"
+  "CMakeFiles/txml_query.dir/scan.cc.o.d"
+  "CMakeFiles/txml_query.dir/time_ops.cc.o"
+  "CMakeFiles/txml_query.dir/time_ops.cc.o.d"
+  "libtxml_query.a"
+  "libtxml_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

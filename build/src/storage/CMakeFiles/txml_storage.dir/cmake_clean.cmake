@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_storage.dir/delta_index.cc.o"
+  "CMakeFiles/txml_storage.dir/delta_index.cc.o.d"
+  "CMakeFiles/txml_storage.dir/store.cc.o"
+  "CMakeFiles/txml_storage.dir/store.cc.o.d"
+  "CMakeFiles/txml_storage.dir/stratum_store.cc.o"
+  "CMakeFiles/txml_storage.dir/stratum_store.cc.o.d"
+  "CMakeFiles/txml_storage.dir/versioned_document.cc.o"
+  "CMakeFiles/txml_storage.dir/versioned_document.cc.o.d"
+  "libtxml_storage.a"
+  "libtxml_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

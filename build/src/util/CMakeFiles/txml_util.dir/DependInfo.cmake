@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/coding.cc" "src/util/CMakeFiles/txml_util.dir/coding.cc.o" "gcc" "src/util/CMakeFiles/txml_util.dir/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/util/CMakeFiles/txml_util.dir/crc32c.cc.o" "gcc" "src/util/CMakeFiles/txml_util.dir/crc32c.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/util/CMakeFiles/txml_util.dir/env.cc.o" "gcc" "src/util/CMakeFiles/txml_util.dir/env.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/txml_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/txml_util.dir/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/txml_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/txml_util.dir/strings.cc.o.d"
+  "/root/repo/src/util/timestamp.cc" "src/util/CMakeFiles/txml_util.dir/timestamp.cc.o" "gcc" "src/util/CMakeFiles/txml_util.dir/timestamp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

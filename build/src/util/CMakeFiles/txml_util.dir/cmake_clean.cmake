@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_util.dir/coding.cc.o"
+  "CMakeFiles/txml_util.dir/coding.cc.o.d"
+  "CMakeFiles/txml_util.dir/crc32c.cc.o"
+  "CMakeFiles/txml_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/txml_util.dir/env.cc.o"
+  "CMakeFiles/txml_util.dir/env.cc.o.d"
+  "CMakeFiles/txml_util.dir/status.cc.o"
+  "CMakeFiles/txml_util.dir/status.cc.o.d"
+  "CMakeFiles/txml_util.dir/strings.cc.o"
+  "CMakeFiles/txml_util.dir/strings.cc.o.d"
+  "CMakeFiles/txml_util.dir/timestamp.cc.o"
+  "CMakeFiles/txml_util.dir/timestamp.cc.o.d"
+  "libtxml_util.a"
+  "libtxml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

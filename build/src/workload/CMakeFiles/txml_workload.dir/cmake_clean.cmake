@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_workload.dir/restaurant.cc.o"
+  "CMakeFiles/txml_workload.dir/restaurant.cc.o.d"
+  "CMakeFiles/txml_workload.dir/tdocgen.cc.o"
+  "CMakeFiles/txml_workload.dir/tdocgen.cc.o.d"
+  "libtxml_workload.a"
+  "libtxml_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/codec.cc" "src/xml/CMakeFiles/txml_xml.dir/codec.cc.o" "gcc" "src/xml/CMakeFiles/txml_xml.dir/codec.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/xml/CMakeFiles/txml_xml.dir/node.cc.o" "gcc" "src/xml/CMakeFiles/txml_xml.dir/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/xml/CMakeFiles/txml_xml.dir/parser.cc.o" "gcc" "src/xml/CMakeFiles/txml_xml.dir/parser.cc.o.d"
+  "/root/repo/src/xml/path.cc" "src/xml/CMakeFiles/txml_xml.dir/path.cc.o" "gcc" "src/xml/CMakeFiles/txml_xml.dir/path.cc.o.d"
+  "/root/repo/src/xml/pattern.cc" "src/xml/CMakeFiles/txml_xml.dir/pattern.cc.o" "gcc" "src/xml/CMakeFiles/txml_xml.dir/pattern.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/xml/CMakeFiles/txml_xml.dir/serializer.cc.o" "gcc" "src/xml/CMakeFiles/txml_xml.dir/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/txml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txml_xml.dir/codec.cc.o"
+  "CMakeFiles/txml_xml.dir/codec.cc.o.d"
+  "CMakeFiles/txml_xml.dir/node.cc.o"
+  "CMakeFiles/txml_xml.dir/node.cc.o.d"
+  "CMakeFiles/txml_xml.dir/parser.cc.o"
+  "CMakeFiles/txml_xml.dir/parser.cc.o.d"
+  "CMakeFiles/txml_xml.dir/path.cc.o"
+  "CMakeFiles/txml_xml.dir/path.cc.o.d"
+  "CMakeFiles/txml_xml.dir/pattern.cc.o"
+  "CMakeFiles/txml_xml.dir/pattern.cc.o.d"
+  "CMakeFiles/txml_xml.dir/serializer.cc.o"
+  "CMakeFiles/txml_xml.dir/serializer.cc.o.d"
+  "libtxml_xml.a"
+  "libtxml_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txml_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

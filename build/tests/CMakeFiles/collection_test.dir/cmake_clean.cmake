@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_test.dir/collection_test.cc.o"
+  "CMakeFiles/collection_test.dir/collection_test.cc.o.d"
+  "collection_test"
+  "collection_test.pdb"
+  "collection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/diff_test.cc" "tests/CMakeFiles/diff_test.dir/diff_test.cc.o" "gcc" "tests/CMakeFiles/diff_test.dir/diff_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diff/CMakeFiles/txml_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/txml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/txml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_test.dir/diff_test.cc.o"
+  "CMakeFiles/diff_test.dir/diff_test.cc.o.d"
+  "diff_test"
+  "diff_test.pdb"
+  "diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doctime_test.dir/doctime_test.cc.o"
+  "CMakeFiles/doctime_test.dir/doctime_test.cc.o.d"
+  "doctime_test"
+  "doctime_test.pdb"
+  "doctime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doctime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_test.dir/executor_test.cc.o"
+  "CMakeFiles/executor_test.dir/executor_test.cc.o.d"
+  "executor_test"
+  "executor_test.pdb"
+  "executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

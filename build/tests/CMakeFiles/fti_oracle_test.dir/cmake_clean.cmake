@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_oracle_test.dir/fti_oracle_test.cc.o"
+  "CMakeFiles/fti_oracle_test.dir/fti_oracle_test.cc.o.d"
+  "fti_oracle_test"
+  "fti_oracle_test.pdb"
+  "fti_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

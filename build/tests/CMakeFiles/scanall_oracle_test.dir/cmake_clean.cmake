@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanall_oracle_test.dir/scanall_oracle_test.cc.o"
+  "CMakeFiles/scanall_oracle_test.dir/scanall_oracle_test.cc.o.d"
+  "scanall_oracle_test"
+  "scanall_oracle_test.pdb"
+  "scanall_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanall_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_test.dir/warehouse_test.cc.o"
+  "CMakeFiles/warehouse_test.dir/warehouse_test.cc.o.d"
+  "warehouse_test"
+  "warehouse_test.pdb"
+  "warehouse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

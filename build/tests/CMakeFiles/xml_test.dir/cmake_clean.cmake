@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_test.dir/xml_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml_test.cc.o.d"
+  "xml_test"
+  "xml_test.pdb"
+  "xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

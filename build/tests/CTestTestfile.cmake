@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/diff_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/doctime_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/scanall_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/collection_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/warehouse_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/fti_oracle_test[1]_include.cmake")
