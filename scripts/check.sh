@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds and tests the two configurations that gate a change:
+#
+#   1. Release (RelWithDebInfo, the tier-1 configuration) — full ctest;
+#   2. ThreadSanitizer (-DTXML_SANITIZE=thread)           — concurrency
+#      tests (service layer). Pass --tsan-all to run the whole suite under
+#      TSan instead (slow: TSan costs ~5-15x).
+#
+# Usage: scripts/check.sh [--tsan-all] [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Concurrency suites (tests/service_test.cc). Matching is against gtest
+# case names, not binary names; --no-tests=error guards filter rot.
+TSAN_FILTER="-R Service|ThreadPool|StoreObserver"
+JOBS=$(nproc)
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tsan-all) TSAN_FILTER=""; shift ;;
+    -j) JOBS="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+run() { echo "+ $*" >&2; "$@"; }
+
+echo "=== Release configuration (build/) ==="
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run cmake --build build -j "$JOBS"
+run ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== ThreadSanitizer configuration (build-tsan/) ==="
+run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTXML_SANITIZE=thread
+run cmake --build build-tsan -j "$JOBS"
+# shellcheck disable=SC2086  # intentional word-splitting of the filter
+run ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+    -j "$JOBS" $TSAN_FILTER
+
+echo "=== All checks passed ==="

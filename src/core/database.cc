@@ -136,20 +136,25 @@ QueryContext TemporalXmlDatabase::Context() const {
   ctx.store = store_.get();
   ctx.fti = fti_.get();
   ctx.lifetime = lifetime_.get();
+  ctx.snapshot_cache = snapshot_cache_;
   return ctx;
 }
 
 StatusOr<XmlDocument> TemporalXmlDatabase::Query(
     std::string_view query_text) {
+  last_stats_ = ExecStats{};
+  return QueryAt(query_text, clock_.Last(), &last_stats_);
+}
+
+StatusOr<XmlDocument> TemporalXmlDatabase::QueryAt(
+    std::string_view query_text, Timestamp epoch, ExecStats* stats) const {
   ExecOptions exec_options;
-  exec_options.now = clock_.Last();
+  exec_options.now = epoch;
   exec_options.lifetime_strategy = lifetime_ != nullptr
                                        ? LifetimeStrategy::kIndex
                                        : LifetimeStrategy::kTraversal;
   QueryExecutor executor(Context(), exec_options);
-  auto result = executor.Execute(query_text);
-  last_stats_ = executor.stats();
-  return result;
+  return executor.Execute(query_text, stats);
 }
 
 StatusOr<std::string> TemporalXmlDatabase::Explain(

@@ -88,6 +88,15 @@ class TemporalXmlDatabase {
   /// <results><result>…</result></results> document.
   StatusOr<XmlDocument> Query(std::string_view query_text);
 
+  /// Const read path for the service layer: executes as of commit epoch
+  /// `epoch` (the value of NOW) with counters accumulating into
+  /// caller-owned `stats` (never null). Safe to call from many threads
+  /// concurrently provided no write (Put/Delete) runs at the same time —
+  /// the caller serializes writers against readers (the service layer's
+  /// commit lock).
+  StatusOr<XmlDocument> QueryAt(std::string_view query_text, Timestamp epoch,
+                                ExecStats* stats) const;
+
   /// Convenience: Query + serialize (pretty by default).
   StatusOr<std::string> QueryToString(std::string_view query_text,
                                       bool pretty = true);
@@ -112,6 +121,13 @@ class TemporalXmlDatabase {
   /// Operator-level access for benchmarks and tests.
   QueryContext Context() const;
   const VersionedDocumentStore& store() const { return *store_; }
+
+  /// Registers an additional store observer (beyond the indexes the
+  /// database attaches itself); see VersionedDocumentStore::AddObserver
+  /// for the single-writer contract and the `allow_late` escape hatch.
+  void AddStoreObserver(StoreObserver* observer, bool allow_late = false) {
+    store_->AddObserver(observer, allow_late);
+  }
   const TemporalFullTextIndex& fti() const { return *fti_; }
   const LifetimeIndex* lifetime_index() const { return lifetime_.get(); }
   const DeltaContentIndex* delta_content_index() const {
@@ -121,7 +137,18 @@ class TemporalXmlDatabase {
     return doctime_.get();
   }
   CommitClock* clock() { return &clock_; }
+  /// The latest issued commit timestamp — the epoch a new reader pins.
+  Timestamp latest_commit() const { return clock_.Last(); }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Plugs a shared snapshot cache into query execution (consulted before
+  /// delta-chain reconstruction; see src/query/snapshot_cache.h). Not
+  /// owned; pass null to detach. The service layer owns the production
+  /// sharded LRU implementation.
+  void set_snapshot_cache(SnapshotCacheInterface* cache) {
+    snapshot_cache_ = cache;
+  }
+  SnapshotCacheInterface* snapshot_cache() const { return snapshot_cache_; }
 
   /// Persists the repository and the FTI/lifetime indexes to a directory.
   /// Open loads the persisted indexes when they are present and match the
@@ -149,6 +176,7 @@ class TemporalXmlDatabase {
   std::unique_ptr<LifetimeIndex> lifetime_;
   std::unique_ptr<DeltaContentIndex> delta_index_;
   std::unique_ptr<DocumentTimeIndex> doctime_;
+  SnapshotCacheInterface* snapshot_cache_ = nullptr;
   ExecStats last_stats_;
 };
 

@@ -685,23 +685,45 @@ class Execution {
     }
   }
 
-  /// Reconstruction cache: one materialized tree per (doc, version).
+  /// Reconstruction cache: one materialized tree per (doc, version). The
+  /// local map serves repeats within this execution; the shared cache of
+  /// QueryContext (when present) serves repeats across executions and
+  /// threads.
   StatusOr<std::shared_ptr<const XmlNode>> SnapshotOf(
       const VersionedDocument& doc, VersionNum version) {
     auto key = std::make_pair(doc.doc_id(), version);
     auto it = snapshot_cache_.find(key);
     if (it != snapshot_cache_.end()) return it->second;
-    ++stats_->snapshot_reconstructions;
-    if (version == doc.version_count() && !doc.deleted()) {
-      // Current version: alias the stored tree, no reconstruction.
-      std::shared_ptr<const XmlNode> tree(doc.current(),
-                                          [](const XmlNode*) {});
-      snapshot_cache_[key] = tree;
-      return tree;
+    if (ctx_.snapshot_cache != nullptr) {
+      if (auto shared = ctx_.snapshot_cache->Lookup(doc.doc_id(), version)) {
+        ++stats_->snapshot_cache_hits;
+        snapshot_cache_[key] = shared;
+        return shared;
+      }
     }
-    TXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> tree,
-                          doc.ReconstructVersion(version));
-    std::shared_ptr<const XmlNode> shared(tree.release());
+    ++stats_->snapshot_reconstructions;
+    std::shared_ptr<const XmlNode> shared;
+    if (version == doc.version_count() && !doc.deleted()) {
+      if (ctx_.snapshot_cache != nullptr) {
+        // Shared entries outlive this execution, so they must own their
+        // tree: the stored current version is mutated/replaced by the next
+        // append and may only be aliased within one execution.
+        shared = std::shared_ptr<const XmlNode>(doc.current()->Clone());
+      } else {
+        // Current version, single execution: alias the stored tree.
+        shared = std::shared_ptr<const XmlNode>(doc.current(),
+                                                [](const XmlNode*) {});
+        snapshot_cache_[key] = shared;
+        return shared;
+      }
+    } else {
+      TXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> tree,
+                            doc.ReconstructVersion(version));
+      shared = std::shared_ptr<const XmlNode>(std::move(tree));
+    }
+    if (ctx_.snapshot_cache != nullptr) {
+      ctx_.snapshot_cache->Insert(doc.doc_id(), version, shared);
+    }
     snapshot_cache_[key] = shared;
     return shared;
   }
@@ -1126,7 +1148,18 @@ class Execution {
 }  // namespace
 
 StatusOr<XmlDocument> QueryExecutor::Execute(const Query& query) {
-  Execution execution(ctx_, options_, &stats_);
+  return Execute(query, &stats_);
+}
+
+StatusOr<XmlDocument> QueryExecutor::Execute(std::string_view query_text,
+                                             ExecStats* stats) const {
+  TXML_ASSIGN_OR_RETURN(Query query, ParseQuery(query_text));
+  return Execute(query, stats);
+}
+
+StatusOr<XmlDocument> QueryExecutor::Execute(const Query& query,
+                                             ExecStats* stats) const {
+  Execution execution(ctx_, options_, stats);
   return execution.Run(query);
 }
 

@@ -28,6 +28,9 @@ struct ExecOptions {
 /// Counters exposed for the benchmarks.
 struct ExecStats {
   size_t snapshot_reconstructions = 0;
+  /// Snapshots served by the shared cache (QueryContext::snapshot_cache)
+  /// instead of delta-chain reconstruction.
+  size_t snapshot_cache_hits = 0;
   size_t rows_considered = 0;
   size_t rows_emitted = 0;
 };
@@ -54,6 +57,15 @@ class QueryExecutor {
 
   /// Executes a parsed query.
   StatusOr<XmlDocument> Execute(const Query& query);
+
+  /// Const read path: counters accumulate into caller-owned `stats`
+  /// (never null). Many threads may execute concurrently through one
+  /// executor — or per-thread copies — as long as nothing mutates the
+  /// stores/indexes behind ctx meanwhile; the service layer guarantees
+  /// that with its commit lock.
+  StatusOr<XmlDocument> Execute(std::string_view query_text,
+                                ExecStats* stats) const;
+  StatusOr<XmlDocument> Execute(const Query& query, ExecStats* stats) const;
 
   /// Renders the execution plan without running it: one line per FROM
   /// item (scan operator, resolved snapshot time, pattern with pushed-down

@@ -3,6 +3,7 @@
 
 #include "src/index/fti.h"
 #include "src/index/lifetime_index.h"
+#include "src/query/snapshot_cache.h"
 #include "src/storage/store.h"
 
 namespace txml {
@@ -16,6 +17,11 @@ struct QueryContext {
   /// Optional: when null, CreTime/DelTime fall back to delta-chain
   /// traversal (the first strategy of Section 7.3.6).
   const LifetimeIndex* lifetime = nullptr;
+  /// Optional shared memoization of reconstructed snapshots. Non-const:
+  /// lookups update recency and insert entries, but implementations are
+  /// internally synchronized, so the pointer is safe to share across
+  /// concurrent reader threads.
+  SnapshotCacheInterface* snapshot_cache = nullptr;
 };
 
 }  // namespace txml

@@ -1,0 +1,137 @@
+#include "src/service/service.h"
+
+#include <mutex>
+#include <utility>
+
+#include "src/service/session.h"
+#include "src/util/macros.h"
+#include "src/xml/serializer.h"
+
+namespace txml {
+
+TemporalQueryService::TemporalQueryService(ServiceOptions options)
+    : TemporalQueryService(
+          options, std::make_unique<TemporalXmlDatabase>(options.database)) {}
+
+TemporalQueryService::TemporalQueryService(
+    ServiceOptions options, std::unique_ptr<TemporalXmlDatabase> db)
+    : options_(options), db_(std::move(db)), pool_(options.worker_threads) {
+  if (options_.snapshot_cache_capacity > 0) {
+    SnapshotCacheOptions cache_options;
+    cache_options.capacity = options_.snapshot_cache_capacity;
+    cache_options.shards = options_.snapshot_cache_shards;
+    cache_ = std::make_unique<ShardedSnapshotCache>(cache_options);
+    db_->set_snapshot_cache(cache_.get());
+    // Invalidation rides the store's observer hooks. The cache tolerates
+    // missing the events before it was attached (late registration), so an
+    // adopted pre-populated database is fine.
+    db_->AddStoreObserver(cache_.get(), /*allow_late=*/true);
+  }
+}
+
+TemporalQueryService::~TemporalQueryService() {
+  // ThreadPool's destructor (first in destruction order) drains pending
+  // tasks while db_/cache_ are still alive.
+}
+
+StatusOr<XmlDocument> TemporalQueryService::ExecuteQuery(
+    std::string_view query_text, ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  StatusOr<XmlDocument> result = [&] {
+    // Reader: shared commit lock for the whole execution, pinned to the
+    // epoch of the latest commit — see the class comment.
+    std::shared_lock<std::shared_mutex> lock(commit_mu_);
+    return db_->QueryAt(query_text, db_->latest_commit(), stats);
+  }();
+  if (result.ok()) {
+    queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+StatusOr<std::string> TemporalQueryService::ExecuteQueryToString(
+    std::string_view query_text, bool pretty, ExecStats* stats) {
+  TXML_ASSIGN_OR_RETURN(XmlDocument results,
+                        ExecuteQuery(query_text, stats));
+  SerializeOptions serialize_options;
+  serialize_options.pretty = pretty;
+  return SerializeXml(*results.root(), serialize_options);
+}
+
+StatusOr<TemporalQueryService::PutResult> TemporalQueryService::Put(
+    const std::string& url, std::string_view xml_text) {
+  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  auto result = db_->PutDocument(url, xml_text);
+  (result.ok() ? writes_committed_ : writes_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutAt(
+    const std::string& url, std::string_view xml_text, Timestamp ts) {
+  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  auto result = db_->PutDocumentAt(url, xml_text, ts);
+  (result.ok() ? writes_committed_ : writes_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Status TemporalQueryService::Delete(const std::string& url) {
+  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  Status status = db_->DeleteDocument(url);
+  (status.ok() ? writes_committed_ : writes_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+StatusOr<XmlDocument> TemporalQueryService::Snapshot(const std::string& url,
+                                                     Timestamp t) {
+  std::shared_lock<std::shared_mutex> lock(commit_mu_);
+  return db_->Snapshot(url, t);
+}
+
+std::future<StatusOr<XmlDocument>> TemporalQueryService::SubmitQuery(
+    std::string query_text) {
+  return Enqueue([this, query_text = std::move(query_text)] {
+    return ExecuteQuery(query_text);
+  });
+}
+
+std::future<StatusOr<std::string>> TemporalQueryService::SubmitQueryToString(
+    std::string query_text, bool pretty) {
+  return Enqueue([this, query_text = std::move(query_text), pretty] {
+    return ExecuteQueryToString(query_text, pretty);
+  });
+}
+
+std::future<StatusOr<TemporalQueryService::PutResult>>
+TemporalQueryService::SubmitPut(std::string url, std::string xml_text) {
+  return Enqueue([this, url = std::move(url),
+                  xml_text = std::move(xml_text)] { return Put(url, xml_text); });
+}
+
+std::unique_ptr<ClientSession> TemporalQueryService::OpenSession() {
+  uint64_t id = sessions_opened_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return std::make_unique<ClientSession>(this, id);
+}
+
+Timestamp TemporalQueryService::Epoch() const {
+  std::shared_lock<std::shared_mutex> lock(commit_mu_);
+  return db_->latest_commit();
+}
+
+ServiceStats TemporalQueryService::Stats() const {
+  ServiceStats stats;
+  stats.queries_executed = queries_executed_.load(std::memory_order_relaxed);
+  stats.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  stats.writes_committed = writes_committed_.load(std::memory_order_relaxed);
+  stats.writes_failed = writes_failed_.load(std::memory_order_relaxed);
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) stats.snapshot_cache = cache_->Stats();
+  return stats;
+}
+
+}  // namespace txml

@@ -1,0 +1,149 @@
+#ifndef TXML_SRC_SERVICE_SERVICE_H_
+#define TXML_SRC_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/core/database.h"
+#include "src/service/snapshot_cache.h"
+#include "src/service/stats.h"
+#include "src/service/thread_pool.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+
+namespace txml {
+
+class ClientSession;
+
+/// Configuration of a TemporalQueryService.
+struct ServiceOptions {
+  /// Worker threads executing submitted (asynchronous) requests.
+  size_t worker_threads = 4;
+  /// Shared snapshot cache budget in entries; 0 disables the cache.
+  size_t snapshot_cache_capacity = 1024;
+  size_t snapshot_cache_shards = 16;
+  /// Options of the owned database (ignored when a database is adopted).
+  DatabaseOptions database;
+};
+
+/// The multi-client façade over one TemporalXmlDatabase: accepts textual
+/// queries and writes from many concurrent sessions and executes them with
+/// single-writer / multi-reader concurrency.
+///
+/// Concurrency model:
+///  * writers (Put/Delete) take the exclusive side of the commit lock; a
+///    version and all its index/cache updates are published atomically —
+///    the store notifies observers inside the write, still under the lock
+///    (see StoreObserver's ordering contract in src/storage/store.h);
+///  * readers take the shared side and pin a commit-timestamp *epoch* —
+///    the latest commit at query start, bound to NOW — for the whole
+///    execution, so an in-flight query never sees a half-applied version
+///    or index update and two scans in one query agree on time;
+///  * reconstructed snapshots are memoized in a sharded LRU keyed by
+///    (DocId, resolved version), shared by all readers, invalidated
+///    through the store's observer hooks.
+///
+/// Synchronous calls run on the caller's thread (the caller provides the
+/// parallelism, e.g. one thread per connection); Submit* variants run on
+/// the bounded worker pool and return futures.
+class TemporalQueryService {
+ public:
+  explicit TemporalQueryService(ServiceOptions options = {});
+  /// Adopts an existing database (e.g. restored via
+  /// TemporalXmlDatabase::Open, or pre-populated single-threaded).
+  TemporalQueryService(ServiceOptions options,
+                       std::unique_ptr<TemporalXmlDatabase> db);
+  ~TemporalQueryService();
+
+  TemporalQueryService(const TemporalQueryService&) = delete;
+  TemporalQueryService& operator=(const TemporalQueryService&) = delete;
+
+  using PutResult = TemporalXmlDatabase::PutResult;
+
+  // ---- synchronous API (thread-safe; callable from many threads) ----
+
+  /// Executes a query at the current commit epoch. `stats` (optional)
+  /// receives this query's counters.
+  StatusOr<XmlDocument> ExecuteQuery(std::string_view query_text,
+                                     ExecStats* stats = nullptr);
+  StatusOr<std::string> ExecuteQueryToString(std::string_view query_text,
+                                             bool pretty = true,
+                                             ExecStats* stats = nullptr);
+
+  /// Serialized writes (exclusive commit lock).
+  StatusOr<PutResult> Put(const std::string& url, std::string_view xml_text);
+  StatusOr<PutResult> PutAt(const std::string& url, std::string_view xml_text,
+                            Timestamp ts);
+  Status Delete(const std::string& url);
+
+  /// Snapshot of one document at time t (shared lock; consults the cache
+  /// through the query path only — plain retrieval reconstructs).
+  StatusOr<XmlDocument> Snapshot(const std::string& url, Timestamp t);
+
+  // ---- asynchronous API (bounded worker pool) ----
+
+  std::future<StatusOr<XmlDocument>> SubmitQuery(std::string query_text);
+  std::future<StatusOr<std::string>> SubmitQueryToString(
+      std::string query_text, bool pretty = true);
+  std::future<StatusOr<PutResult>> SubmitPut(std::string url,
+                                             std::string xml_text);
+
+  // ---- sessions ----
+
+  /// Opens a client session: a lightweight per-caller handle carrying its
+  /// own last-query stats. Sessions must not outlive the service.
+  std::unique_ptr<ClientSession> OpenSession();
+
+  // ---- introspection ----
+
+  /// The commit epoch a reader starting now would pin.
+  Timestamp Epoch() const;
+  ServiceStats Stats() const;
+  const ServiceOptions& options() const { return options_; }
+  size_t worker_threads() const { return pool_.thread_count(); }
+
+  /// Test/benchmark access. Unsynchronized — do not touch while
+  /// readers/writers are in flight unless the access is read-only and you
+  /// hold no expectations against concurrent commits.
+  const TemporalXmlDatabase& database() const { return *db_; }
+  ShardedSnapshotCache* snapshot_cache() { return cache_.get(); }
+
+ private:
+  friend class ClientSession;
+
+  /// Wraps `fn` in a packaged task on the pool; returns its future.
+  template <typename Fn>
+  auto Enqueue(Fn fn) -> std::future<decltype(fn())> {
+    auto task =
+        std::make_shared<std::packaged_task<decltype(fn())()>>(std::move(fn));
+    auto future = task->get_future();
+    pool_.Submit([task] { (*task)(); });
+    return future;
+  }
+
+  ServiceOptions options_;
+  std::unique_ptr<TemporalXmlDatabase> db_;
+  std::unique_ptr<ShardedSnapshotCache> cache_;  // null when disabled
+
+  /// The commit lock: writers exclusive, readers shared (see class docs).
+  mutable std::shared_mutex commit_mu_;
+
+  std::atomic<uint64_t> queries_executed_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> writes_committed_{0};
+  std::atomic<uint64_t> writes_failed_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+
+  /// Last: joins workers before db_/cache_ die. Declared after everything
+  /// the tasks touch.
+  ThreadPool pool_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_SERVICE_SERVICE_H_

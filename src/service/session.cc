@@ -1,0 +1,35 @@
+#include "src/service/session.h"
+
+namespace txml {
+
+StatusOr<XmlDocument> ClientSession::Query(std::string_view query_text) {
+  ++queries_issued_;
+  last_stats_ = ExecStats{};
+  return service_->ExecuteQuery(query_text, &last_stats_);
+}
+
+StatusOr<std::string> ClientSession::QueryToString(
+    std::string_view query_text, bool pretty) {
+  ++queries_issued_;
+  last_stats_ = ExecStats{};
+  return service_->ExecuteQueryToString(query_text, pretty, &last_stats_);
+}
+
+StatusOr<TemporalQueryService::PutResult> ClientSession::Put(
+    const std::string& url, std::string_view xml_text) {
+  ++writes_issued_;
+  return service_->Put(url, xml_text);
+}
+
+StatusOr<TemporalQueryService::PutResult> ClientSession::PutAt(
+    const std::string& url, std::string_view xml_text, Timestamp ts) {
+  ++writes_issued_;
+  return service_->PutAt(url, xml_text, ts);
+}
+
+Status ClientSession::Delete(const std::string& url) {
+  ++writes_issued_;
+  return service_->Delete(url);
+}
+
+}  // namespace txml

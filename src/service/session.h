@@ -1,0 +1,55 @@
+#ifndef TXML_SRC_SERVICE_SESSION_H_
+#define TXML_SRC_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/service/service.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// One client's handle onto the service: forwards queries/writes and keeps
+/// the counters of the session's most recent query (the per-caller
+/// equivalent of TemporalXmlDatabase::last_query_stats, which the shared
+/// service cannot offer without a race).
+///
+/// A session is NOT itself thread-safe — it models one connection, used by
+/// one thread at a time. Concurrency comes from many sessions: all calls
+/// funnel into the service's thread-safe API.
+class ClientSession {
+ public:
+  ClientSession(TemporalQueryService* service, uint64_t id)
+      : service_(service), id_(id) {}
+
+  uint64_t id() const { return id_; }
+
+  StatusOr<XmlDocument> Query(std::string_view query_text);
+  StatusOr<std::string> QueryToString(std::string_view query_text,
+                                      bool pretty = true);
+  StatusOr<TemporalQueryService::PutResult> Put(const std::string& url,
+                                                std::string_view xml_text);
+  StatusOr<TemporalQueryService::PutResult> PutAt(const std::string& url,
+                                                  std::string_view xml_text,
+                                                  Timestamp ts);
+  Status Delete(const std::string& url);
+
+  /// Counters of this session's most recent query.
+  const ExecStats& last_query_stats() const { return last_stats_; }
+  uint64_t queries_issued() const { return queries_issued_; }
+  uint64_t writes_issued() const { return writes_issued_; }
+
+ private:
+  TemporalQueryService* service_;
+  uint64_t id_;
+  ExecStats last_stats_;
+  uint64_t queries_issued_ = 0;
+  uint64_t writes_issued_ = 0;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_SERVICE_SESSION_H_

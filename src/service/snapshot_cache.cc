@@ -1,0 +1,130 @@
+#include "src/service/snapshot_cache.h"
+
+#include <utility>
+
+namespace txml {
+
+ShardedSnapshotCache::ShardedSnapshotCache(SnapshotCacheOptions options)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  // Spread the budget; a tiny budget still gets one entry per used shard
+  // only up to the total, so round up and cap at eviction time instead of
+  // starving shards.
+  per_shard_capacity_ =
+      (options_.capacity + options_.shards - 1) / options_.shards;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedSnapshotCache::Shard& ShardedSnapshotCache::ShardOf(uint64_t key) {
+  // Mix the bits so consecutive versions of one document spread across
+  // shards (they are exactly the keys hot at the same time).
+  uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  return *shards_[(h >> 32) % shards_.size()];
+}
+
+std::shared_ptr<const XmlNode> ShardedSnapshotCache::Lookup(
+    DocId doc_id, VersionNum version) {
+  uint64_t key = KeyOf(doc_id, version);
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Move to the front (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->tree;
+}
+
+void ShardedSnapshotCache::Insert(DocId doc_id, VersionNum version,
+                                  std::shared_ptr<const XmlNode> tree) {
+  if (options_.capacity == 0 || tree == nullptr) return;
+  uint64_t key = KeyOf(doc_id, version);
+  Shard& shard = ShardOf(key);
+  // Evicted trees are released outside the lock (destruction of a large
+  // tree is not free).
+  std::vector<std::shared_ptr<const XmlNode>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Someone inserted concurrently; keep the resident entry (equal by
+      // the immutability invariant) and just refresh recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.push_front(Shard::Entry{key, std::move(tree)});
+    shard.index[key] = shard.lru.begin();
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.lru.size() > per_shard_capacity_) {
+      doomed.push_back(std::move(shard.lru.back().tree));
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ShardedSnapshotCache::OnVersionStored(DocId /*doc_id*/,
+                                           VersionNum /*version*/,
+                                           Timestamp /*ts*/,
+                                           const XmlNode& /*current*/,
+                                           const EditScript* /*delta*/) {
+  // Nothing to invalidate: version numbers are never reused and already
+  // cached versions are immutable. The new version enters the cache the
+  // first time a query materializes it.
+}
+
+void ShardedSnapshotCache::OnDocumentDeleted(DocId doc_id,
+                                             VersionNum /*last*/,
+                                             Timestamp /*ts*/) {
+  EraseDocument(doc_id);
+}
+
+void ShardedSnapshotCache::EraseDocument(DocId doc_id) {
+  std::vector<std::shared_ptr<const XmlNode>> doomed;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (static_cast<DocId>(it->key >> 32) == doc_id) {
+        doomed.push_back(std::move(it->tree));
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ShardedSnapshotCache::Clear() {
+  std::vector<std::shared_ptr<const XmlNode>> doomed;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& entry : shard->lru) doomed.push_back(std::move(entry.tree));
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+SnapshotCacheStats ShardedSnapshotCache::Stats() const {
+  SnapshotCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace txml

@@ -1,0 +1,103 @@
+#ifndef TXML_SRC_SERVICE_SNAPSHOT_CACHE_H_
+#define TXML_SRC_SERVICE_SNAPSHOT_CACHE_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/query/snapshot_cache.h"
+#include "src/service/stats.h"
+#include "src/storage/store.h"
+#include "src/xml/ids.h"
+#include "src/xml/node.h"
+
+namespace txml {
+
+/// Configuration of a ShardedSnapshotCache.
+struct SnapshotCacheOptions {
+  /// Total entry budget across all shards (each entry is one materialized
+  /// document version). 0 is a valid degenerate cache that never stores.
+  size_t capacity = 1024;
+  /// Lock shards; keys are spread by hash. More shards = less contention
+  /// between concurrent readers, at slightly coarser LRU accuracy (each
+  /// shard evicts independently from its slice of the budget).
+  size_t shards = 16;
+};
+
+/// The service layer's shared snapshot cache: memoizes reconstructed
+/// document versions keyed by (DocId, version number) so hot snapshot and
+/// path queries stop re-applying delta chains.
+///
+/// Thread safety: every shard is guarded by its own mutex; Lookup/Insert
+/// may be called from any number of reader threads concurrently (the
+/// RadegastXDB-style shared buffer the ROADMAP points at). Counters are
+/// atomics. Entries hold *owned* immutable trees (see
+/// SnapshotCacheInterface) shared with in-flight queries via shared_ptr,
+/// so eviction never invalidates a tree a query is still reading.
+///
+/// Staleness: (DocId, version) pairs are never reused and committed
+/// version trees are immutable, so entries cannot go stale. Invalidation
+/// rides the StoreObserver interface purely as a memory policy: deleting a
+/// document drops its entries (its history stops being hot); appending a
+/// version drops nothing (prior versions stay valid).
+class ShardedSnapshotCache final : public SnapshotCacheInterface,
+                                   public StoreObserver {
+ public:
+  explicit ShardedSnapshotCache(SnapshotCacheOptions options = {});
+
+  // SnapshotCacheInterface:
+  std::shared_ptr<const XmlNode> Lookup(DocId doc_id,
+                                        VersionNum version) override;
+  void Insert(DocId doc_id, VersionNum version,
+              std::shared_ptr<const XmlNode> tree) override;
+
+  // StoreObserver (invalidation hooks; registered with allow_late — the
+  // cache tolerates a truncated event stream by construction):
+  void OnVersionStored(DocId doc_id, VersionNum version, Timestamp ts,
+                       const XmlNode& current,
+                       const EditScript* delta) override;
+  void OnDocumentDeleted(DocId doc_id, VersionNum last,
+                         Timestamp ts) override;
+
+  /// Drops every entry of one document / of all documents.
+  void EraseDocument(DocId doc_id);
+  void Clear();
+
+  SnapshotCacheStats Stats() const;
+  const SnapshotCacheOptions& options() const { return options_; }
+
+ private:
+  /// One lock shard: an LRU list of (key, tree) with an index into it.
+  struct Shard {
+    std::mutex mu;
+    struct Entry {
+      uint64_t key;
+      std::shared_ptr<const XmlNode> tree;
+    };
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  static uint64_t KeyOf(DocId doc_id, VersionNum version) {
+    return (static_cast<uint64_t>(doc_id) << 32) | version;
+  }
+  Shard& ShardOf(uint64_t key);
+
+  SnapshotCacheOptions options_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_SERVICE_SNAPSHOT_CACHE_H_

@@ -1,0 +1,36 @@
+#ifndef TXML_SRC_SERVICE_STATS_H_
+#define TXML_SRC_SERVICE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace txml {
+
+/// Point-in-time counters of the sharded snapshot cache. A snapshot is
+/// internally consistent per counter but not across counters (counters are
+/// independent atomics read without a global lock).
+struct SnapshotCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Entries dropped by observer-driven invalidation (document deletes).
+  uint64_t invalidations = 0;
+  /// Entries currently resident across all shards.
+  size_t entries = 0;
+};
+
+/// Aggregate counters of a TemporalQueryService, for monitoring and the
+/// service benchmarks.
+struct ServiceStats {
+  uint64_t queries_executed = 0;
+  uint64_t queries_failed = 0;
+  uint64_t writes_committed = 0;
+  uint64_t writes_failed = 0;
+  uint64_t sessions_opened = 0;
+  SnapshotCacheStats snapshot_cache;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_SERVICE_STATS_H_

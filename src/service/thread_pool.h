@@ -1,0 +1,49 @@
+#ifndef TXML_SRC_SERVICE_THREAD_POOL_H_
+#define TXML_SRC_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace txml {
+
+/// A bounded worker pool: fixed thread count, FIFO task queue. Tasks are
+/// type-erased thunks; result plumbing (futures) lives with the caller
+/// (TemporalQueryService wraps packaged_tasks). The destructor drains the
+/// queue — every submitted task runs — then joins.
+class ThreadPool {
+ public:
+  /// `threads` = 0 falls back to 1 (a pool that executes nothing would
+  /// deadlock every future).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; wakes one worker. Must not be called during/after
+  /// destruction.
+  void Submit(std::function<void()> task);
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Tasks currently queued (excluding running ones); monitoring only.
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_SERVICE_THREAD_POOL_H_

@@ -34,6 +34,7 @@ StatusOr<std::string_view> ReadFramedRecord(Decoder* decoder) {
 
 StatusOr<VersionedDocumentStore::PutResult> VersionedDocumentStore::Put(
     const std::string& url, std::unique_ptr<XmlNode> content, Timestamp ts) {
+  writes_begun_ = true;
   VersionedDocument* doc = FindByUrl(url);
   if (doc == nullptr) {
     auto owned = std::make_unique<VersionedDocument>(
@@ -52,6 +53,7 @@ StatusOr<VersionedDocumentStore::PutResult> VersionedDocumentStore::Put(
 }
 
 Status VersionedDocumentStore::Delete(const std::string& url, Timestamp ts) {
+  writes_begun_ = true;
   VersionedDocument* doc = FindByUrl(url);
   if (doc == nullptr) {
     return Status::NotFound("no document at '" + url + "'");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/storage/versioned_document.h"
+#include "src/util/logging.h"
 #include "src/util/statusor.h"
 #include "src/util/timestamp.h"
 #include "src/xml/ids.h"
@@ -19,6 +20,19 @@ namespace txml {
 /// after every successful version append / document delete, handing them
 /// the new current tree and the completed delta of the transition. All
 /// indexing strategies of Section 7.2 are built as observers.
+///
+/// Ordering guarantees (the contract the service layer's concurrency model
+/// builds on):
+///  * observers are notified *synchronously inside* Put/Delete, after the
+///    store's own state (version chain, delta index) is fully updated — an
+///    observer may read the store and sees the post-write state;
+///  * observers are notified in registration order, one write at a time —
+///    the store itself takes no locks, so Put/Delete *and* registration
+///    must be externally serialized (single-writer contract; the service
+///    layer holds its exclusive commit lock around every write);
+///  * a reader that is prevented from running concurrently with Put/Delete
+///    (e.g. via the service layer's shared commit lock) therefore never
+///    observes a version without its index/cache updates, or vice versa.
 class StoreObserver {
  public:
   virtual ~StoreObserver() = default;
@@ -50,7 +64,17 @@ class VersionedDocumentStore {
       : options_(options) {}
 
   /// Registers an observer; not owned. Must outlive the store's writes.
-  void AddObserver(StoreObserver* observer) {
+  ///
+  /// Index-maintaining observers must see *every* write or none, so
+  /// registration after writes have begun on this instance CHECK-fails
+  /// unless `allow_late` is set. Late registration is reserved for
+  /// observers that tolerate a truncated event stream (the service layer's
+  /// snapshot cache); a decoded store counts as write-free — the database
+  /// façade replays its history into late-attached indexes explicitly.
+  /// Like writes, registration is the single writer's job: it must not
+  /// race Put/Delete or queries (the observer list is unsynchronized).
+  void AddObserver(StoreObserver* observer, bool allow_late = false) {
+    TXML_CHECK(allow_late || !writes_begun_);
     observers_.push_back(observer);
   }
 
@@ -105,6 +129,8 @@ class VersionedDocumentStore {
   std::map<DocId, std::unique_ptr<VersionedDocument>> by_id_;
   std::unordered_map<std::string, VersionedDocument*> by_url_;
   std::vector<StoreObserver*> observers_;
+  /// Set by the first Put/Delete on this instance; guards AddObserver.
+  bool writes_begun_ = false;
 };
 
 }  // namespace txml

@@ -1,0 +1,383 @@
+// Tests of the service layer (src/service/): the concurrent query service,
+// its sessions and thread pool, and the shared sharded snapshot cache —
+// including the multi-threaded stress test of the single-writer /
+// multi-reader model (run it under ThreadSanitizer: scripts/check.sh).
+#include <atomic>
+#include <future>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/service/service.h"
+#include "src/service/session.h"
+#include "src/service/snapshot_cache.h"
+#include "src/service/thread_pool.h"
+#include "src/xml/parser.h"
+
+namespace txml {
+namespace {
+
+Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+std::string ItemXml(const std::string& name, int price) {
+  return "<item><name>" + name + "</name><price>" + std::to_string(price) +
+         "</price></item>";
+}
+
+/// The immutable "hot" history every test queries: six versions of one
+/// document at days 1..6 (alpha's price moves, beta comes and goes,
+/// gamma appears on day 3).
+void PutHotHistory(TemporalQueryService* service) {
+  auto put = [&](int day, const std::string& body) {
+    auto result = service->PutAt("hot", "<guide>" + body + "</guide>", Day(day));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  };
+  put(1, ItemXml("alpha", 10) + ItemXml("beta", 20));
+  put(2, ItemXml("alpha", 12) + ItemXml("beta", 20));
+  put(3, ItemXml("alpha", 12) + ItemXml("beta", 20) + ItemXml("gamma", 30));
+  put(4, ItemXml("alpha", 15) + ItemXml("beta", 25) + ItemXml("gamma", 30));
+  put(5, ItemXml("alpha", 15) + ItemXml("gamma", 30));
+  put(6, ItemXml("alpha", 18) + ItemXml("gamma", 31));
+}
+
+/// Queries over the hot history whose answers never change (explicit
+/// timestamps / element histories on an immutable prefix — no NOW).
+const char* kStableQueries[] = {
+    "SELECT R/price FROM doc(\"hot\")[03/01/2001]/item R "
+    "WHERE R/name = \"alpha\"",
+    "SELECT COUNT(R) FROM doc(\"hot\")[05/01/2001]/item R",
+    "SELECT R FROM doc(\"hot\")[04/01/2001]/item R WHERE R/price = 25",
+    "SELECT TIME(R), R/price FROM doc(\"hot\")[EVERY]/item R "
+    "WHERE R/name = \"gamma\"",
+    "SELECT CREATE TIME(R) FROM doc(\"hot\")[04/01/2001]/item R "
+    "WHERE R/name = \"beta\"",
+    "SELECT MIN(R/price), MAX(R/price) FROM doc(\"hot\")[06/01/2001]/item R",
+};
+
+TEST(ServiceTest, BasicQueryAndWriteFlow) {
+  TemporalQueryService service;
+  PutHotHistory(&service);
+
+  auto count = service.ExecuteQueryToString(
+      "SELECT COUNT(R) FROM doc(\"hot\")[03/01/2001]/item R");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_NE(count->find("3"), std::string::npos);
+
+  // Epoch advances with commits.
+  Timestamp before = service.Epoch();
+  ASSERT_TRUE(service.Put("other", "<d><x>1</x></d>").ok());
+  EXPECT_GT(service.Epoch(), before);
+
+  // A malformed query fails and is counted as such.
+  EXPECT_FALSE(service.ExecuteQuery("SELECT").ok());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.writes_committed, 7u);  // 6 hot versions + 1 other
+  EXPECT_EQ(stats.queries_executed, 1u);
+  EXPECT_EQ(stats.queries_failed, 1u);
+}
+
+TEST(ServiceTest, SessionsCarryPerCallerStats) {
+  TemporalQueryService service;
+  PutHotHistory(&service);
+  auto s1 = service.OpenSession();
+  auto s2 = service.OpenSession();
+  EXPECT_NE(s1->id(), s2->id());
+
+  ASSERT_TRUE(s1->Query(kStableQueries[0]).ok());
+  EXPECT_EQ(s1->queries_issued(), 1u);
+  EXPECT_EQ(s2->queries_issued(), 0u);
+  // The materializing snapshot query reconstructed (or fetched) a tree.
+  EXPECT_GT(s1->last_query_stats().snapshot_reconstructions +
+                s1->last_query_stats().snapshot_cache_hits,
+            0u);
+  EXPECT_EQ(service.Stats().sessions_opened, 2u);
+}
+
+TEST(ServiceTest, SnapshotCacheServesRepeatedQueries) {
+  ServiceOptions options;
+  options.snapshot_cache_capacity = 64;
+  TemporalQueryService service(options);
+  PutHotHistory(&service);
+
+  ExecStats first, second;
+  auto a = service.ExecuteQueryToString(kStableQueries[0], true, &first);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GT(first.snapshot_reconstructions, 0u);
+  EXPECT_EQ(first.snapshot_cache_hits, 0u);
+
+  auto b = service.ExecuteQueryToString(kStableQueries[0], true, &second);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(second.snapshot_reconstructions, 0u);
+  EXPECT_GT(second.snapshot_cache_hits, 0u);
+
+  SnapshotCacheStats cache = service.Stats().snapshot_cache;
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_GT(cache.insertions, 0u);
+  EXPECT_GT(cache.entries, 0u);
+}
+
+TEST(ServiceTest, CachedAnswersEqualUncachedAnswers) {
+  ServiceOptions cached_options;
+  cached_options.snapshot_cache_capacity = 64;
+  TemporalQueryService cached(cached_options);
+  ServiceOptions plain_options;
+  plain_options.snapshot_cache_capacity = 0;  // disabled
+  TemporalQueryService plain(plain_options);
+  PutHotHistory(&cached);
+  PutHotHistory(&plain);
+
+  for (const char* query : kStableQueries) {
+    // Twice through the cached service: populate, then hit.
+    auto c1 = cached.ExecuteQueryToString(query);
+    auto c2 = cached.ExecuteQueryToString(query);
+    auto p = plain.ExecuteQueryToString(query);
+    ASSERT_TRUE(c1.ok() && c2.ok() && p.ok()) << query;
+    EXPECT_EQ(*c1, *p) << query;
+    EXPECT_EQ(*c2, *p) << query;
+  }
+  EXPECT_EQ(plain.Stats().snapshot_cache.hits, 0u);
+}
+
+// The guard for caching the *current* version: an entry cloned from the
+// stored current tree must still be the right answer after later appends
+// turn that version into a delta-chain reconstruction.
+TEST(ServiceTest, CacheStaysCoherentAcrossAppends) {
+  ServiceOptions options;
+  options.snapshot_cache_capacity = 64;
+  TemporalQueryService service(options);
+
+  auto snapshot_query = [](int day) {
+    return "SELECT R FROM doc(\"hot\")[0" + std::to_string(day) +
+           "/01/2001]/item R";
+  };
+
+  // Build the history version by version, querying the *current* snapshot
+  // right after each append so it enters the cache as a clone-of-current.
+  std::vector<std::string> live_answers;
+  auto put = [&](int day, const std::string& body) {
+    auto result =
+        service.PutAt("hot", "<guide>" + body + "</guide>", Day(day));
+    ASSERT_TRUE(result.ok());
+  };
+  const std::string bodies[] = {
+      ItemXml("alpha", 10) + ItemXml("beta", 20),
+      ItemXml("alpha", 12) + ItemXml("beta", 20),
+      ItemXml("alpha", 12) + ItemXml("beta", 20) + ItemXml("gamma", 30),
+  };
+  for (int v = 0; v < 3; ++v) {
+    put(v + 1, bodies[v]);
+    auto live = service.ExecuteQueryToString(snapshot_query(v + 1));
+    ASSERT_TRUE(live.ok());
+    live_answers.push_back(*live);
+  }
+
+  // Every earlier snapshot must read identically now that newer versions
+  // exist — both from the cache and from a cache-free replay.
+  ServiceOptions plain_options;
+  plain_options.snapshot_cache_capacity = 0;
+  TemporalQueryService plain(plain_options);
+  for (int v = 0; v < 3; ++v) {
+    auto put2 = plain.PutAt("hot", "<guide>" + bodies[v] + "</guide>",
+                            Day(v + 1));
+    ASSERT_TRUE(put2.ok());
+  }
+  for (int v = 0; v < 3; ++v) {
+    auto from_cache = service.ExecuteQueryToString(snapshot_query(v + 1));
+    auto from_plain = plain.ExecuteQueryToString(snapshot_query(v + 1));
+    ASSERT_TRUE(from_cache.ok() && from_plain.ok());
+    EXPECT_EQ(*from_cache, live_answers[static_cast<size_t>(v)]);
+    EXPECT_EQ(*from_cache, *from_plain);
+  }
+}
+
+TEST(ServiceTest, CacheEvictsBeyondCapacity) {
+  ServiceOptions options;
+  options.snapshot_cache_capacity = 2;
+  options.snapshot_cache_shards = 1;
+  TemporalQueryService service(options);
+  PutHotHistory(&service);
+
+  for (int day = 1; day <= 6; ++day) {
+    auto result = service.ExecuteQuery(
+        "SELECT R FROM doc(\"hot\")[0" + std::to_string(day) +
+        "/01/2001]/item R");
+    ASSERT_TRUE(result.ok());
+  }
+  SnapshotCacheStats cache = service.Stats().snapshot_cache;
+  EXPECT_GT(cache.evictions, 0u);
+  EXPECT_LE(cache.entries, 2u);
+  // Evicted versions still answer correctly (they just reconstruct again).
+  auto again = service.ExecuteQueryToString(
+      "SELECT COUNT(R) FROM doc(\"hot\")[01/01/2001]/item R");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again->find("2"), std::string::npos);
+}
+
+TEST(ServiceTest, DeleteInvalidatesCachedDocument) {
+  ServiceOptions options;
+  options.snapshot_cache_capacity = 64;
+  TemporalQueryService service(options);
+  PutHotHistory(&service);
+
+  ASSERT_TRUE(service.ExecuteQuery(kStableQueries[0]).ok());
+  ASSERT_GT(service.Stats().snapshot_cache.entries, 0u);
+
+  ASSERT_TRUE(service.Delete("hot").ok());
+  SnapshotCacheStats cache = service.Stats().snapshot_cache;
+  EXPECT_GT(cache.invalidations, 0u);
+  EXPECT_EQ(cache.entries, 0u);
+
+  // The deleted document's history is still queryable at old timestamps.
+  auto old = service.ExecuteQueryToString(kStableQueries[0]);
+  ASSERT_TRUE(old.ok());
+  EXPECT_NE(old->find("12"), std::string::npos);
+}
+
+TEST(ServiceTest, AsyncSubmissionRunsOnWorkerPool) {
+  ServiceOptions options;
+  options.worker_threads = 2;
+  TemporalQueryService service(options);
+  PutHotHistory(&service);
+
+  std::vector<std::future<StatusOr<XmlDocument>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.SubmitQuery(kStableQueries[0]));
+  }
+  auto put_future = service.SubmitPut("async", "<d><x>1</x></d>");
+  for (auto& future : futures) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  auto put_result = put_future.get();
+  ASSERT_TRUE(put_result.ok());
+  EXPECT_EQ(service.Stats().queries_executed, 8u);
+}
+
+TEST(ThreadPoolTest, DrainsEverySubmittedTaskOnShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.thread_count(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor drains + joins
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(StoreObserverContractDeathTest, LateRegistrationWithoutOptInAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VersionedDocumentStore store;
+  auto parsed = ParseXml("<d><x>1</x></d>");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(store.Put("u", parsed->ReleaseRoot(), Day(1)).ok());
+  ShardedSnapshotCache cache;
+  EXPECT_DEATH(store.AddObserver(&cache), "check failed");
+  store.AddObserver(&cache, /*allow_late=*/true);  // the sanctioned path
+}
+
+// ------------------------------------------------------------------ stress
+
+// N reader sessions run the stable query set against the immutable "hot"
+// prefix while one writer commits new versions/documents and a delete.
+// Every reader answer must equal the serial oracle; the suite must be
+// ThreadSanitizer-clean (scripts/check.sh builds the TSan configuration).
+TEST(ServiceStressTest, ConcurrentReadersMatchSerialOracleUnderWrites) {
+  ServiceOptions options;
+  options.snapshot_cache_capacity = 32;  // small: force concurrent eviction
+  options.snapshot_cache_shards = 4;
+  TemporalQueryService service(options);
+  PutHotHistory(&service);
+
+  // Serial oracle, computed before any concurrency starts.
+  std::vector<std::string> oracle;
+  for (const char* query : kStableQueries) {
+    auto answer = service.ExecuteQueryToString(query);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    oracle.push_back(*answer);
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kIterationsPerReader = 60;
+  constexpr int kWriterCommits = 40;
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&service, &oracle, &failed, r] {
+      auto session = service.OpenSession();
+      for (int i = 0; i < kIterationsPerReader && !failed.load(); ++i) {
+        size_t q = static_cast<size_t>(r + i) % std::size(kStableQueries);
+        auto answer = session->QueryToString(kStableQueries[q]);
+        if (!answer.ok() || *answer != oracle[q]) {
+          failed.store(true);
+          ADD_FAILURE() << "reader " << r << " query " << q << ": "
+                        << (answer.ok() ? "answer diverged from oracle"
+                                        : answer.status().ToString());
+          return;
+        }
+        // Collection queries race benignly with the writer: results vary,
+        // but every answer must be well-formed.
+        auto live = session->Query(
+            "SELECT COUNT(I) FROM collection(\"aux*\")/item I");
+        if (!live.ok()) {
+          failed.store(true);
+          ADD_FAILURE() << "live query: " << live.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+
+  std::thread writer([&service, &failed] {
+    auto session = service.OpenSession();
+    for (int i = 0; i < kWriterCommits && !failed.load(); ++i) {
+      // Deletion is terminal (EIDs are never reused), so aux3 leaves the
+      // rotation once the midpoint delete has happened.
+      int live_docs = i > kWriterCommits / 2 ? 3 : 4;
+      std::string url = "aux" + std::to_string(i % live_docs);
+      auto put = session->Put(
+          url, "<d>" + ItemXml("w" + std::to_string(i), i) + "</d>");
+      if (!put.ok()) {
+        failed.store(true);
+        ADD_FAILURE() << "writer: " << put.status().ToString();
+        return;
+      }
+      if (i == kWriterCommits / 2) {
+        Status deleted = session->Delete("aux3");
+        if (!deleted.ok()) {
+          failed.store(true);
+          ADD_FAILURE() << "delete: " << deleted.ToString();
+          return;
+        }
+      }
+    }
+  });
+
+  for (std::thread& reader : readers) reader.join();
+  writer.join();
+  ASSERT_FALSE(failed.load());
+
+  // Post-conditions: the oracle still holds serially, counters add up.
+  for (size_t q = 0; q < std::size(kStableQueries); ++q) {
+    auto answer = service.ExecuteQueryToString(kStableQueries[q]);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(*answer, oracle[q]);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_GE(stats.queries_executed,
+            static_cast<uint64_t>(kReaders * kIterationsPerReader));
+  EXPECT_EQ(stats.writes_committed,
+            static_cast<uint64_t>(6 + kWriterCommits + 1));  // hot + aux + del
+}
+
+}  // namespace
+}  // namespace txml

@@ -56,8 +56,11 @@ TEST_P(WarehouseConsistencyTest, LanguageAgreesWithStratumOracle) {
   ++day;
 
   // Persist and reload: consistency must survive the round trip.
+  // Unique per test parameter: parallel ctest runs the sweep's cases
+  // concurrently, and two cases sharing a directory race Save/remove_all.
   std::string dir = (std::filesystem::temp_directory_path() /
-                     ("txml_warehouse_consistency" + std::to_string(seed)))
+                     ("txml_warehouse_consistency" + std::to_string(seed) +
+                      "_" + std::to_string(mutations)))
                         .string();
   std::filesystem::remove_all(dir);
   ASSERT_TRUE(db.Save(dir).ok());
