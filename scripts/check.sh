@@ -3,16 +3,17 @@
 #
 #   1. Release (RelWithDebInfo, the tier-1 configuration) — full ctest;
 #   2. ThreadSanitizer (-DTXML_SANITIZE=thread)           — concurrency
-#      tests (service layer). Pass --tsan-all to run the whole suite under
-#      TSan instead (slow: TSan costs ~5-15x).
+#      tests (service layer + network front end). Pass --tsan-all to run
+#      the whole suite under TSan instead (slow: TSan costs ~5-15x).
 #
 # Usage: scripts/check.sh [--tsan-all] [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Concurrency suites (tests/service_test.cc). Matching is against gtest
-# case names, not binary names; --no-tests=error guards filter rot.
-TSAN_FILTER="-R Service|ThreadPool|StoreObserver"
+# Concurrency suites (tests/service_test.cc, tests/net_test.cc). Matching
+# is against gtest case names, not binary names; --no-tests=error guards
+# filter rot.
+TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire"
 JOBS=$(nproc)
 while [[ $# -gt 0 ]]; do
   case "$1" in

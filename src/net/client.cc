@@ -1,0 +1,97 @@
+#include "src/net/client.h"
+
+#include <utility>
+
+#include "src/util/macros.h"
+
+namespace txml {
+
+StatusOr<TxmlClient> TxmlClient::Connect(const std::string& host,
+                                         uint16_t port,
+                                         ClientOptions options) {
+  TXML_ASSIGN_OR_RETURN(Socket socket,
+                        Socket::Connect(host, port, options.connect_timeout_ms));
+  TXML_RETURN_IF_ERROR(
+      socket.SetTimeouts(options.read_timeout_ms, options.write_timeout_ms));
+  return TxmlClient(std::move(socket), options);
+}
+
+StatusOr<QueryResponse> TxmlClient::Execute(const QueryRequest& request) {
+  return RoundTrip(FrameType::kQueryRequest, EncodeQueryRequest(request));
+}
+
+StatusOr<QueryResponse> TxmlClient::Execute(const PutRequest& request) {
+  return RoundTrip(FrameType::kPutRequest, EncodePutRequest(request));
+}
+
+StatusOr<QueryResponse> TxmlClient::RoundTrip(FrameType type,
+                                              std::string payload) {
+  if (!socket_.valid()) {
+    return Status::Unavailable("client connection is closed");
+  }
+  Status sent = WriteFrame(&socket_, type, payload);
+  if (!sent.ok()) {
+    socket_.Close();
+    return sent;
+  }
+
+  auto first = ReadFrame(&socket_, options_.max_frame_bytes);
+  if (!first.ok()) {
+    socket_.Close();
+    return first.status();
+  }
+  if (first->type != FrameType::kResponseHeader) {
+    socket_.Close();
+    return Status::InvalidFrame("expected response header, got frame type " +
+                                std::to_string(static_cast<int>(first->type)));
+  }
+  auto decoded = DecodeResponseHeader(first->payload);
+  if (!decoded.ok()) {
+    socket_.Close();
+    return decoded.status();
+  }
+  const ResponseHeader& header = *decoded;
+
+  QueryResponse response;
+  response.stats = header.stats;
+  response.payload.reserve(static_cast<size_t>(header.payload_bytes));
+  while (true) {
+    auto next = ReadFrame(&socket_, options_.max_frame_bytes);
+    if (!next.ok()) {
+      socket_.Close();
+      return next.status();
+    }
+    if (next->type == FrameType::kResponseChunk) {
+      response.payload.append(next->payload);
+      if (response.payload.size() > header.payload_bytes) {
+        socket_.Close();
+        return Status::InvalidFrame("response chunks exceed announced size");
+      }
+      continue;
+    }
+    if (next->type == FrameType::kResponseEnd) {
+      auto announced_or = DecodeResponseEnd(next->payload);
+      if (!announced_or.ok()) {
+        socket_.Close();
+        return announced_or.status();
+      }
+      uint64_t announced = *announced_or;
+      if (announced != response.payload.size() ||
+          announced != header.payload_bytes) {
+        socket_.Close();
+        return Status::InvalidFrame("response payload size mismatch");
+      }
+      break;
+    }
+    socket_.Close();
+    return Status::InvalidFrame("unexpected frame inside response stream");
+  }
+
+  if (header.status_code != StatusCode::kOk) {
+    // The server reported a request failure; the connection stays usable.
+    return Status(header.status_code, header.error_message);
+  }
+  return response;
+}
+
+}  // namespace txml

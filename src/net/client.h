@@ -1,0 +1,66 @@
+#ifndef TXML_SRC_NET_CLIENT_H_
+#define TXML_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/service/request.h"
+
+namespace txml {
+
+/// Configuration of a TxmlClient connection.
+struct ClientOptions {
+  int connect_timeout_ms = 5000;
+  /// Read deadline per response *frame* — a slow large result keeps the
+  /// clock fresh with every chunk that arrives.
+  int read_timeout_ms = 30000;
+  int write_timeout_ms = 30000;
+  /// Largest response frame body accepted (the server chunks payloads, so
+  /// this bounds per-frame allocations, not result size).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// The C++ client of the wire protocol: one TCP connection, synchronous
+/// request/response (src/net/wire.h; DESIGN.md §7). Reassembles chunked
+/// response payloads, so callers see exactly the envelope the in-process
+/// TemporalQueryService::Execute returns — a non-OK wire status comes
+/// back as the same Status (code and message) the server-side execution
+/// produced.
+///
+/// Not thread-safe (one conversation at a time); open one client per
+/// thread, mirroring one ClientSession per connection server-side.
+class TxmlClient {
+ public:
+  static StatusOr<TxmlClient> Connect(const std::string& host, uint16_t port,
+                                      ClientOptions options = {});
+
+  TxmlClient(TxmlClient&&) = default;
+  TxmlClient& operator=(TxmlClient&&) = default;
+
+  /// Executes a query on the server; byte-for-byte the payload the
+  /// in-process Execute would return.
+  StatusOr<QueryResponse> Execute(const QueryRequest& request);
+
+  /// Stores a new document version on the server.
+  StatusOr<QueryResponse> Execute(const PutRequest& request);
+
+  /// Closes the connection (also done by the destructor).
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  TxmlClient(Socket socket, ClientOptions options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  /// Sends one request frame and collects header + chunks + end.
+  StatusOr<QueryResponse> RoundTrip(FrameType type, std::string payload);
+
+  Socket socket_;
+  ClientOptions options_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_NET_CLIENT_H_

@@ -1,0 +1,177 @@
+#include "src/net/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/service/session.h"
+#include "src/util/macros.h"
+
+namespace txml {
+
+TxmlServer::TxmlServer(TemporalQueryService* service, ServerOptions options)
+    : service_(service), options_(options) {}
+
+TxmlServer::~TxmlServer() { Stop(); }
+
+Status TxmlServer::Start() {
+  if (options_.connection_threads == 0) {
+    return Status::InvalidArgument("ServerOptions.connection_threads must be > 0");
+  }
+  if (options_.response_chunk_bytes == 0) {
+    return Status::InvalidArgument("ServerOptions.response_chunk_bytes must be > 0");
+  }
+  if (options_.max_frame_bytes == 0) {
+    return Status::InvalidArgument("ServerOptions.max_frame_bytes must be > 0");
+  }
+  TXML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
+  pool_ = std::make_unique<ThreadPool>(options_.connection_threads);
+  accept_thread_ = std::thread(&TxmlServer::AcceptLoop, this);
+  started_ = true;
+  return Status::OK();
+}
+
+void TxmlServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  // No new connections; a blocked Accept wakes with kUnavailable.
+  listener_.Shutdown();
+  // Wake handlers blocked reading a request. Their write side stays open:
+  // a handler mid-query finishes and sends its response before exiting.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, socket] : connections_) socket->ShutdownRead();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drains queued connections (they see stopping_ and exit) and joins the
+  // handlers still sending in-flight responses.
+  pool_.reset();
+  listener_.Close();
+  started_ = false;
+}
+
+ServerStats TxmlServer::Stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+  stats.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void TxmlServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) break;  // shut down (kUnavailable) or fatal
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto socket = std::make_shared<Socket>(std::move(*accepted));
+    pool_->Submit([this, socket] { HandleConnection(socket); });
+  }
+}
+
+void TxmlServer::HandleConnection(std::shared_ptr<Socket> socket) {
+  Status timeouts_set =
+      socket->SetTimeouts(options_.read_timeout_ms, options_.write_timeout_ms);
+  if (!timeouts_set.ok()) return;
+
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) return;  // drained during shutdown
+    id = next_connection_id_++;
+    connections_[id] = socket.get();
+  }
+
+  std::unique_ptr<ClientSession> session = service_->OpenSession();
+  while (!stopping_.load()) {
+    auto frame = ReadFrame(socket.get(), options_.max_frame_bytes);
+    if (!frame.ok()) {
+      const Status& status = frame.status();
+      if (status.IsTimeout()) {
+        // Idle past the read deadline: tell the peer why, then hang up.
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        SendResponse(socket.get(),
+                     Status::Timeout("idle connection timed out"), {});
+      } else if (status.IsInvalidFrame()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendResponse(socket.get(), status, {});
+      }
+      // kUnavailable is the clean goodbye (EOF between frames); IO errors
+      // and everything above close without further ceremony.
+      break;
+    }
+    if (!HandleFrame(socket.get(), *frame, session.get())) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.erase(id);
+  }
+}
+
+bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
+                             ClientSession* session) {
+  StatusOr<QueryResponse> response = [&]() -> StatusOr<QueryResponse> {
+    switch (frame.type) {
+      case FrameType::kQueryRequest: {
+        TXML_ASSIGN_OR_RETURN(QueryRequest request,
+                              DecodeQueryRequest(frame.payload));
+        return session->Execute(request);
+      }
+      case FrameType::kPutRequest: {
+        TXML_ASSIGN_OR_RETURN(PutRequest request,
+                              DecodePutRequest(frame.payload));
+        return session->Execute(request);
+      }
+      default:
+        return Status::InvalidFrame("unexpected frame type from client");
+    }
+  }();
+
+  if (response.ok()) {
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    return SendResponse(socket, Status::OK(), *response);
+  }
+  if (response.status().IsInvalidFrame()) {
+    // Protocol violation: report, then drop the connection — there is no
+    // trustworthy frame boundary to resynchronize on.
+    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(socket, response.status(), {});
+    return false;
+  }
+  // Query-level failure (parse error, not found, …): the connection is
+  // healthy, report the status and keep serving.
+  requests_failed_.fetch_add(1, std::memory_order_relaxed);
+  return SendResponse(socket, response.status(), {});
+}
+
+bool TxmlServer::SendResponse(Socket* socket, const Status& status,
+                              const QueryResponse& response) {
+  ResponseHeader header;
+  header.status_code = status.code();
+  header.error_message = status.message();
+  header.payload_bytes = status.ok() ? response.payload.size() : 0;
+  header.stats = response.stats;
+  if (!WriteFrame(socket, FrameType::kResponseHeader,
+                  EncodeResponseHeader(header))
+           .ok()) {
+    return false;
+  }
+  if (status.ok()) {
+    std::string_view rest = response.payload;
+    while (!rest.empty()) {
+      size_t chunk = std::min(rest.size(), options_.response_chunk_bytes);
+      if (!WriteFrame(socket, FrameType::kResponseChunk, rest.substr(0, chunk))
+               .ok()) {
+        return false;
+      }
+      rest.remove_prefix(chunk);
+    }
+  }
+  return WriteFrame(socket, FrameType::kResponseEnd,
+                    EncodeResponseEnd(header.payload_bytes))
+      .ok();
+}
+
+}  // namespace txml

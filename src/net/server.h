@@ -1,0 +1,121 @@
+#ifndef TXML_SRC_NET_SERVER_H_
+#define TXML_SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/service/service.h"
+#include "src/service/thread_pool.h"
+
+namespace txml {
+
+/// Configuration of a TxmlServer.
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see
+  /// TxmlServer::port(), used by tests and the CLI's startup banner).
+  uint16_t port = 0;
+  /// Connection-handler threads: each accepted connection occupies one
+  /// pool thread for its lifetime (blocking I/O, one ClientSession per
+  /// connection). Connections beyond this count queue in the pool until a
+  /// handler frees up.
+  size_t connection_threads = 8;
+  /// Per-connection socket deadlines. A read timeout on an idle
+  /// connection closes it (the client reconnects); mid-frame timeouts are
+  /// protocol errors.
+  int read_timeout_ms = 30000;
+  int write_timeout_ms = 30000;
+  /// Largest request frame body accepted before dropping the connection.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Slice size for streaming response payloads.
+  size_t response_chunk_bytes = kDefaultResponseChunkBytes;
+};
+
+/// Aggregate counters of a TxmlServer (monotonic; read with Stats()).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_failed = 0;
+  uint64_t frames_rejected = 0;
+  uint64_t timeouts = 0;
+};
+
+/// The network front end: a TCP server speaking the length-prefixed frame
+/// protocol of src/net/wire.h, mapping each connection onto one
+/// ClientSession of a TemporalQueryService (DESIGN.md §7).
+///
+/// Threading: one accept-loop thread plus a bounded ThreadPool of
+/// connection handlers (blocking I/O — the connection-thread model; the
+/// service itself adds no threads for synchronous execution, so total
+/// parallelism is connection_threads).
+///
+/// Shutdown (Stop) is graceful: the listener closes (no new connections),
+/// every open connection's read side is shut down so idle handlers wake
+/// with EOF, and handlers finish the request they are executing — the
+/// response of an in-flight query is still serialized and sent — before
+/// the pool joins.
+class TxmlServer {
+ public:
+  /// The service outlives the server and is not owned.
+  TxmlServer(TemporalQueryService* service, ServerOptions options);
+  ~TxmlServer();
+
+  TxmlServer(const TxmlServer&) = delete;
+  TxmlServer& operator=(const TxmlServer&) = delete;
+
+  /// Binds, listens and starts the accept loop. Fails with the bind/listen
+  /// error (e.g. kIoError for a port in use).
+  Status Start();
+
+  /// Graceful shutdown; idempotent, also run by the destructor.
+  void Stop();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return listener_.port(); }
+
+  ServerStats Stats() const;
+
+ private:
+  void AcceptLoop();
+  /// shared_ptr because the handler thunk must be copyable (std::function)
+  /// while Socket is move-only; the handler is the only lasting owner.
+  void HandleConnection(std::shared_ptr<Socket> socket);
+  /// Runs one decoded request frame; returns false when the connection
+  /// should close (protocol error already reported to the peer).
+  bool HandleFrame(Socket* socket, const Frame& frame, ClientSession* session);
+  /// Sends header + chunked payload + end. Any socket error aborts the
+  /// connection (returns false).
+  bool SendResponse(Socket* socket, const Status& status,
+                    const QueryResponse& response);
+
+  TemporalQueryService* service_;
+  ServerOptions options_;
+  ListenSocket listener_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  /// Live connection sockets by id, so Stop can wake blocked reads.
+  /// Handlers own their Socket; entries hold raw fds guarded by mu_.
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Socket*> connections_;
+  uint64_t next_connection_id_ = 0;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_failed_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+  std::atomic<uint64_t> timeouts_{0};
+
+  std::thread accept_thread_;
+  /// Declared last: its destructor drains queued connections first.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_NET_SERVER_H_

@@ -1,0 +1,110 @@
+// txml_client — command-line client of txml_server (src/net/).
+//
+//   txml_client [--host=H] [--port=N] [--compact] [--stats] query "SELECT …"
+//   txml_client [--host=H] [--port=N] put URL XML
+//   txml_client [--host=H] [--port=N] put URL XML dd/mm/yyyy
+//
+// Prints the response payload (the serialized <results> document, or the
+// <put-result/> confirmation) to stdout; --stats adds the execution
+// counters on stderr. Exit status: 0 on OK, 1 on a failed request (the
+// server's status is printed), 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/util/timestamp.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: txml_client [--host=H] [--port=N] [--compact] "
+               "[--stats] query \"SELECT …\"\n"
+               "       txml_client [--host=H] [--port=N] put URL XML "
+               "[dd/mm/yyyy]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7400;
+  bool pretty = true;
+  bool print_stats = false;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--host", &value)) {
+      host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      port = static_cast<uint16_t>(std::stoi(value));
+    } else if (std::strcmp(argv[i], "--compact") == 0) {
+      pretty = false;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) return Usage();
+
+  auto client = txml::TxmlClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  txml::StatusOr<txml::QueryResponse> response = [&]()
+      -> txml::StatusOr<txml::QueryResponse> {
+    if (positional[0] == "query" && positional.size() == 2) {
+      txml::QueryRequest request;
+      request.query_text = positional[1];
+      request.pretty = pretty;
+      return client->Execute(request);
+    }
+    if (positional[0] == "put" &&
+        (positional.size() == 3 || positional.size() == 4)) {
+      txml::PutRequest request;
+      request.url = positional[1];
+      request.xml_text = positional[2];
+      if (positional.size() == 4) {
+        auto ts = txml::Timestamp::ParseDate(positional[3]);
+        if (!ts.ok()) return ts.status();
+        request.timestamp = *ts;
+      }
+      return client->Execute(request);
+    }
+    return txml::Status::InvalidArgument("usage");
+  }();
+
+  if (!response.ok()) {
+    if (response.status().IsInvalidArgument() &&
+        response.status().message() == "usage") {
+      return Usage();
+    }
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stdout, "%s\n", response->payload.c_str());
+  if (print_stats) {
+    std::fprintf(stderr,
+                 "stats: reconstructions=%zu cache_hits=%zu "
+                 "rows_considered=%zu rows_emitted=%zu\n",
+                 response->stats.snapshot_reconstructions,
+                 response->stats.snapshot_cache_hits,
+                 response->stats.rows_considered,
+                 response->stats.rows_emitted);
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// txml_server — the network front end as a process: serves a
+// TemporalQueryService over TCP (src/net/, DESIGN.md §7).
+//
+//   txml_server [--port=N] [--threads=N] [--db=DIR] [--seed-demo]
+//
+//   --port=N      bind 127.0.0.1:N (default 7400; 0 = ephemeral, printed)
+//   --threads=N   connection-handler threads (default 8)
+//   --db=DIR      open a persisted database (TemporalXmlDatabase::Open);
+//                 omitted = start empty
+//   --seed-demo   load a small restaurant-guide history (handy for trying
+//                 txml_client without a data directory)
+//
+// Runs until SIGINT/SIGTERM, then shuts down gracefully (in-flight
+// queries finish and their responses are sent).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <semaphore>
+#include <string>
+
+#include "src/net/server.h"
+#include "src/service/service.h"
+
+namespace {
+
+/// Released by the signal handler; awaited by main. A semaphore is one of
+/// the few things that is both async-signal-safe to release and blockable.
+std::binary_semaphore g_shutdown(0);
+
+void HandleSignal(int) { g_shutdown.release(); }
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+void SeedDemo(txml::TemporalQueryService* service) {
+  const char* versions[] = {
+      "<guide><restaurant><name>Napoli</name><price>30</price></restaurant>"
+      "</guide>",
+      "<guide><restaurant><name>Napoli</name><price>35</price></restaurant>"
+      "<restaurant><name>Sorrento</name><price>28</price></restaurant>"
+      "</guide>",
+      "<guide><restaurant><name>Napoli</name><price>38</price></restaurant>"
+      "<restaurant><name>Sorrento</name><price>28</price></restaurant>"
+      "</guide>",
+  };
+  int day = 1;
+  for (const char* xml : versions) {
+    txml::PutRequest put;
+    put.url = "guide";
+    put.xml_text = xml;
+    put.timestamp = txml::Timestamp::FromDate(2001, 1, day++);
+    auto result = service->Execute(put);
+    if (!result.ok()) {
+      std::fprintf(stderr, "seed-demo put failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::fprintf(stderr,
+               "seeded doc(\"guide\") with 3 versions (01-03/01/2001)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txml::ServerOptions server_options;
+  server_options.port = 7400;
+  std::string db_dir;
+  bool seed_demo = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      server_options.port = static_cast<uint16_t>(std::stoi(value));
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      server_options.connection_threads =
+          static_cast<size_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--db", &value)) {
+      db_dir = value;
+    } else if (std::strcmp(argv[i], "--seed-demo") == 0) {
+      seed_demo = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: txml_server [--port=N] [--threads=N] [--db=DIR] "
+                   "[--seed-demo]\n");
+      return 2;
+    }
+  }
+
+  txml::ServiceOptions service_options;
+  txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> service =
+      [&]() -> txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> {
+    if (db_dir.empty()) {
+      return txml::TemporalQueryService::Create(service_options);
+    }
+    auto db = txml::TemporalXmlDatabase::Open(db_dir);
+    if (!db.ok()) return db.status();
+    return txml::TemporalQueryService::Create(service_options,
+                                              std::move(*db));
+  }();
+  if (!service.ok()) {
+    std::fprintf(stderr, "cannot start service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  if (seed_demo) SeedDemo(service->get());
+
+  txml::TxmlServer server(service->get(), server_options);
+  txml::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "txml_server listening on 127.0.0.1:%u (%zu threads)\n",
+               server.port(), server_options.connection_threads);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  g_shutdown.acquire();
+
+  std::fprintf(stderr, "shutting down (draining in-flight queries)…\n");
+  server.Stop();
+  txml::ServerStats stats = server.Stats();
+  std::fprintf(stderr,
+               "served %llu requests (%llu failed) over %llu connections\n",
+               static_cast<unsigned long long>(stats.requests_served),
+               static_cast<unsigned long long>(stats.requests_failed),
+               static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "src/net/wire.h"
+
+#include <utility>
+
+#include "src/util/coding.h"
+#include "src/util/macros.h"
+
+namespace txml {
+namespace {
+
+/// Reads and checks the leading envelope version: anything newer than this
+/// build understands is rejected (older versions would be handled here
+/// when version 2 exists).
+Status CheckVersion(Decoder* decoder, std::string_view what) {
+  auto version = decoder->ReadVarint32();
+  if (!version.ok()) {
+    return Status::InvalidFrame(std::string(what) + ": missing version");
+  }
+  if (*version == 0 || *version > kEnvelopeVersion) {
+    return Status::InvalidFrame(std::string(what) + ": unsupported version " +
+                                std::to_string(*version));
+  }
+  return Status::OK();
+}
+
+/// Decoder failures are Corruption (its disk-format vocabulary); on the
+/// wire the same condition is an invalid frame.
+Status AsInvalidFrame(const Status& status, std::string_view what) {
+  return Status::InvalidFrame(std::string(what) + ": " + status.message());
+}
+
+/// A cleanly decoded envelope must also consume its payload exactly:
+/// trailing bytes mean the sender framed something we don't understand.
+Status CheckFullyConsumed(const Decoder& decoder, std::string_view what) {
+  if (!decoder.AtEnd()) {
+    return Status::InvalidFrame(std::string(what) + ": " +
+                                std::to_string(decoder.remaining()) +
+                                " trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendFrame(FrameType type, std::string_view payload, std::string* dst) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size() + 1));
+  dst->push_back(static_cast<char>(type));
+  dst->append(payload);
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutLengthPrefixed(&out, request.query_text);
+  PutVarint32(&out, request.pretty ? 1 : 0);
+  return out;
+}
+
+StatusOr<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "QueryRequest"));
+  auto text = decoder.ReadLengthPrefixed();
+  if (!text.ok()) return AsInvalidFrame(text.status(), "QueryRequest");
+  QueryRequest request;
+  request.query_text = std::string(*text);
+  auto pretty = decoder.ReadVarint32();
+  if (!pretty.ok()) return AsInvalidFrame(pretty.status(), "QueryRequest");
+  request.pretty = *pretty != 0;
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "QueryRequest"));
+  return request;
+}
+
+std::string EncodePutRequest(const PutRequest& request) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutLengthPrefixed(&out, request.url);
+  PutLengthPrefixed(&out, request.xml_text);
+  PutVarint32(&out, request.timestamp.has_value() ? 1 : 0);
+  if (request.timestamp.has_value()) {
+    PutFixed64(&out, static_cast<uint64_t>(request.timestamp->micros()));
+  }
+  return out;
+}
+
+StatusOr<PutRequest> DecodePutRequest(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "PutRequest"));
+  auto url = decoder.ReadLengthPrefixed();
+  if (!url.ok()) return AsInvalidFrame(url.status(), "PutRequest");
+  auto xml = decoder.ReadLengthPrefixed();
+  if (!xml.ok()) return AsInvalidFrame(xml.status(), "PutRequest");
+  PutRequest request;
+  request.url = std::string(*url);
+  request.xml_text = std::string(*xml);
+  auto has_timestamp = decoder.ReadVarint32();
+  if (!has_timestamp.ok()) {
+    return AsInvalidFrame(has_timestamp.status(), "PutRequest");
+  }
+  if (*has_timestamp != 0) {
+    auto micros = decoder.ReadFixed64();
+    if (!micros.ok()) return AsInvalidFrame(micros.status(), "PutRequest");
+    request.timestamp =
+        Timestamp::FromMicros(static_cast<int64_t>(*micros));
+  }
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "PutRequest"));
+  return request;
+}
+
+std::string EncodeResponseHeader(const ResponseHeader& header) {
+  std::string out;
+  PutVarint32(&out, header.envelope_version);
+  PutVarint32(&out, static_cast<uint32_t>(header.status_code));
+  PutLengthPrefixed(&out, header.error_message);
+  PutFixed64(&out, header.payload_bytes);
+  PutVarint64(&out, header.stats.snapshot_reconstructions);
+  PutVarint64(&out, header.stats.snapshot_cache_hits);
+  PutVarint64(&out, header.stats.rows_considered);
+  PutVarint64(&out, header.stats.rows_emitted);
+  return out;
+}
+
+StatusOr<ResponseHeader> DecodeResponseHeader(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "ResponseHeader"));
+  ResponseHeader header;
+  auto code = decoder.ReadVarint32();
+  if (!code.ok()) return AsInvalidFrame(code.status(), "ResponseHeader");
+  if (!StatusCodeFromWire(static_cast<int>(*code), &header.status_code)) {
+    return Status::InvalidFrame("ResponseHeader: unknown status code " +
+                                std::to_string(*code));
+  }
+  auto message = decoder.ReadLengthPrefixed();
+  if (!message.ok()) return AsInvalidFrame(message.status(), "ResponseHeader");
+  header.error_message = std::string(*message);
+  auto bytes = decoder.ReadFixed64();
+  if (!bytes.ok()) return AsInvalidFrame(bytes.status(), "ResponseHeader");
+  header.payload_bytes = *bytes;
+  size_t* counters[] = {
+      &header.stats.snapshot_reconstructions, &header.stats.snapshot_cache_hits,
+      &header.stats.rows_considered, &header.stats.rows_emitted};
+  for (size_t* counter : counters) {
+    auto value = decoder.ReadVarint64();
+    if (!value.ok()) return AsInvalidFrame(value.status(), "ResponseHeader");
+    *counter = static_cast<size_t>(*value);
+  }
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ResponseHeader"));
+  return header;
+}
+
+std::string EncodeResponseEnd(uint64_t payload_bytes) {
+  std::string out;
+  PutFixed64(&out, payload_bytes);
+  return out;
+}
+
+StatusOr<uint64_t> DecodeResponseEnd(std::string_view payload) {
+  Decoder decoder(payload);
+  auto bytes = decoder.ReadFixed64();
+  if (!bytes.ok()) return AsInvalidFrame(bytes.status(), "ResponseEnd");
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ResponseEnd"));
+  return *bytes;
+}
+
+}  // namespace txml

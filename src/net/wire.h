@@ -1,0 +1,95 @@
+#ifndef TXML_SRC_NET_WIRE_H_
+#define TXML_SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/service/request.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// The wire protocol: length-prefixed frames carrying the versioned
+/// request/response envelope of src/service/request.h (DESIGN.md §7).
+///
+/// Frame layout (all integers little-endian):
+///
+///   fixed32  body_length          // length of what follows, >= 1
+///   uint8    frame_type           // FrameType
+///   byte[body_length-1] payload   // envelope bytes, per frame type
+///
+/// A conversation is strictly request → response. The client sends one
+/// kQueryRequest or kPutRequest frame; the server answers with exactly one
+/// kResponseHeader frame followed by zero or more kResponseChunk frames
+/// (the payload, split so a multi-megabyte document never needs one
+/// contiguous send) and one terminating kResponseEnd frame echoing the
+/// total payload byte count. Connections are reused for any number of
+/// such exchanges.
+///
+/// Versioning: every request envelope and the response header lead with a
+/// varint envelope version (kEnvelopeVersion). A peer rejects versions
+/// newer than its own with kInvalidFrame instead of misparsing; new fields
+/// are appended behind a version bump, never inserted.
+///
+/// Robustness: body_length == 0, an unknown frame type, a body_length
+/// above the receiver's max-frame budget, or an envelope that does not
+/// decode cleanly (including trailing garbage) all yield
+/// Status kInvalidFrame, after which the receiver drops the connection —
+/// a framing error leaves no trustworthy resynchronization point.
+
+/// Frame type tags. Stable wire values; append, never renumber.
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,
+  kPutRequest = 2,
+  kResponseHeader = 3,
+  kResponseChunk = 4,
+  kResponseEnd = 5,
+};
+
+/// Upper bound a receiver imposes on one frame body (guards a hostile or
+/// corrupt 4-byte length prefix from driving a giant allocation).
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Size the server slices response payloads into. Anything above one
+/// chunk streams as multiple kResponseChunk frames.
+inline constexpr size_t kDefaultResponseChunkBytes = 64u << 10;  // 64 KiB
+
+/// One decoded frame: its type tag and raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kQueryRequest;
+  std::string payload;
+};
+
+/// The response header envelope: the Status of the request (code mapped
+/// 1:1 from StatusCode, message verbatim), the total payload size the
+/// chunks will add up to, and the execution counters.
+struct ResponseHeader {
+  uint32_t envelope_version = kEnvelopeVersion;
+  StatusCode status_code = StatusCode::kOk;
+  std::string error_message;
+  uint64_t payload_bytes = 0;
+  ExecStats stats;
+};
+
+/// Appends a complete frame (length prefix + type + payload) to *dst.
+void AppendFrame(FrameType type, std::string_view payload, std::string* dst);
+
+// ---- envelope encoding (payload bytes only, no frame header) ----
+
+std::string EncodeQueryRequest(const QueryRequest& request);
+std::string EncodePutRequest(const PutRequest& request);
+std::string EncodeResponseHeader(const ResponseHeader& header);
+std::string EncodeResponseEnd(uint64_t payload_bytes);
+
+// ---- envelope decoding; every failure is Status kInvalidFrame ----
+
+StatusOr<QueryRequest> DecodeQueryRequest(std::string_view payload);
+StatusOr<PutRequest> DecodePutRequest(std::string_view payload);
+StatusOr<ResponseHeader> DecodeResponseHeader(std::string_view payload);
+StatusOr<uint64_t> DecodeResponseEnd(std::string_view payload);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_NET_WIRE_H_

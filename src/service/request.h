@@ -1,0 +1,53 @@
+#ifndef TXML_SRC_SERVICE_REQUEST_H_
+#define TXML_SRC_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/lang/executor.h"
+#include "src/util/timestamp.h"
+
+namespace txml {
+
+/// Version of the request/response envelope. Bumped when a field is added
+/// or its meaning changes; the wire layer (src/net/wire.h) transmits it in
+/// every request and response header, and a server rejects envelopes newer
+/// than it understands rather than misparse them.
+inline constexpr uint32_t kEnvelopeVersion = 1;
+
+/// A read request against the service: one textual query of the Section-5
+/// dialect, executed at the current commit epoch. This is the single entry
+/// point the service exposes (TemporalQueryService::Execute); the network
+/// front end decodes wire frames into exactly this struct, so in-process
+/// and remote callers take the same path.
+struct QueryRequest {
+  std::string query_text;
+  /// Serialize the result document with indentation (pretty) or compact.
+  bool pretty = true;
+};
+
+/// A write request: store a new version of the document at `url`. When
+/// `timestamp` is set this is the warehouse variant (explicit crawl time,
+/// must exceed every timestamp already recorded for the document);
+/// otherwise the service's commit clock stamps it.
+struct PutRequest {
+  std::string url;
+  std::string xml_text;
+  std::optional<Timestamp> timestamp;
+};
+
+/// What every request produces on success. For queries, `payload` is the
+/// serialized <results>…</results> document; for puts it is a one-element
+/// <put-result> confirmation (url, version, commit timestamp). Failures
+/// travel as the non-OK Status of StatusOr<QueryResponse> — on the wire,
+/// as the response header's {status_code, error_message} pair.
+struct QueryResponse {
+  std::string payload;
+  /// Counters of this execution (zeroed for writes).
+  ExecStats stats;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_SERVICE_REQUEST_H_

@@ -4,10 +4,35 @@
 #include <utility>
 
 #include "src/service/session.h"
+#include "src/util/logging.h"
 #include "src/util/macros.h"
 #include "src/xml/serializer.h"
 
 namespace txml {
+
+Status ValidateServiceOptions(const ServiceOptions& options) {
+  if (options.worker_threads == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions.worker_threads must be > 0");
+  }
+  if (options.snapshot_cache_shards == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions.snapshot_cache_shards must be > 0");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<TemporalQueryService>> TemporalQueryService::Create(
+    ServiceOptions options) {
+  TXML_RETURN_IF_ERROR(ValidateServiceOptions(options));
+  return std::make_unique<TemporalQueryService>(options);
+}
+
+StatusOr<std::unique_ptr<TemporalQueryService>> TemporalQueryService::Create(
+    ServiceOptions options, std::unique_ptr<TemporalXmlDatabase> db) {
+  TXML_RETURN_IF_ERROR(ValidateServiceOptions(options));
+  return std::make_unique<TemporalQueryService>(options, std::move(db));
+}
 
 TemporalQueryService::TemporalQueryService(ServiceOptions options)
     : TemporalQueryService(
@@ -16,6 +41,7 @@ TemporalQueryService::TemporalQueryService(ServiceOptions options)
 TemporalQueryService::TemporalQueryService(
     ServiceOptions options, std::unique_ptr<TemporalXmlDatabase> db)
     : options_(options), db_(std::move(db)), pool_(options.worker_threads) {
+  TXML_CHECK(ValidateServiceOptions(options_).ok());
   if (options_.snapshot_cache_capacity > 0) {
     SnapshotCacheOptions cache_options;
     cache_options.capacity = options_.snapshot_cache_capacity;
@@ -52,13 +78,51 @@ StatusOr<XmlDocument> TemporalQueryService::ExecuteQuery(
   return result;
 }
 
+StatusOr<QueryResponse> TemporalQueryService::Execute(
+    const QueryRequest& request) {
+  QueryResponse response;
+  TXML_ASSIGN_OR_RETURN(XmlDocument results,
+                        ExecuteQuery(request.query_text, &response.stats));
+  SerializeOptions serialize_options;
+  serialize_options.pretty = request.pretty;
+  response.payload = SerializeXml(*results.root(), serialize_options);
+  return response;
+}
+
+StatusOr<QueryResponse> TemporalQueryService::Execute(
+    const PutRequest& request) {
+  TXML_ASSIGN_OR_RETURN(
+      PutResult result,
+      request.timestamp.has_value()
+          ? PutAt(request.url, request.xml_text, *request.timestamp)
+          : Put(request.url, request.xml_text));
+  QueryResponse response;
+  response.payload = "<put-result url=\"" + EscapeXml(request.url) +
+                     "\" version=\"" + std::to_string(result.version) +
+                     "\" commit=\"" + result.commit_ts.ToString() + "\"/>";
+  return response;
+}
+
+std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
+    QueryRequest request) {
+  return Enqueue(
+      [this, request = std::move(request)] { return Execute(request); });
+}
+
+std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
+    PutRequest request) {
+  return Enqueue(
+      [this, request = std::move(request)] { return Execute(request); });
+}
+
 StatusOr<std::string> TemporalQueryService::ExecuteQueryToString(
     std::string_view query_text, bool pretty, ExecStats* stats) {
-  TXML_ASSIGN_OR_RETURN(XmlDocument results,
-                        ExecuteQuery(query_text, stats));
-  SerializeOptions serialize_options;
-  serialize_options.pretty = pretty;
-  return SerializeXml(*results.root(), serialize_options);
+  QueryRequest request;
+  request.query_text = std::string(query_text);
+  request.pretty = pretty;
+  TXML_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+  if (stats != nullptr) *stats = response.stats;
+  return std::move(response.payload);
 }
 
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::Put(

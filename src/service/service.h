@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/core/database.h"
+#include "src/service/request.h"
 #include "src/service/snapshot_cache.h"
 #include "src/service/stats.h"
 #include "src/service/thread_pool.h"
@@ -22,14 +23,23 @@ class ClientSession;
 
 /// Configuration of a TemporalQueryService.
 struct ServiceOptions {
-  /// Worker threads executing submitted (asynchronous) requests.
+  /// Worker threads executing submitted (asynchronous) requests. Must be
+  /// > 0 (a pool that executes nothing would deadlock every future).
   size_t worker_threads = 4;
   /// Shared snapshot cache budget in entries; 0 disables the cache.
   size_t snapshot_cache_capacity = 1024;
+  /// Lock shards of the snapshot cache. Must be > 0 (keys are spread by
+  /// hash modulo the shard count).
   size_t snapshot_cache_shards = 16;
   /// Options of the owned database (ignored when a database is adopted).
   DatabaseOptions database;
 };
+
+/// Checks an options struct for values that would be undefined behavior
+/// downstream (zero worker threads deadlocks futures, zero cache shards is
+/// a division by zero in the shard spread). Returns InvalidArgument naming
+/// the offending field; OK otherwise.
+Status ValidateServiceOptions(const ServiceOptions& options);
 
 /// The multi-client façade over one TemporalXmlDatabase: accepts textual
 /// queries and writes from many concurrent sessions and executes them with
@@ -53,6 +63,16 @@ struct ServiceOptions {
 /// the bounded worker pool and return futures.
 class TemporalQueryService {
  public:
+  /// Validating factories: the only constructors that *reject* bad options
+  /// (ValidateServiceOptions) instead of aborting. The network front end
+  /// and CLIs build services through these.
+  static StatusOr<std::unique_ptr<TemporalQueryService>> Create(
+      ServiceOptions options);
+  static StatusOr<std::unique_ptr<TemporalQueryService>> Create(
+      ServiceOptions options, std::unique_ptr<TemporalXmlDatabase> db);
+
+  /// Direct construction CHECK-fails on invalid options (use Create to get
+  /// a Status instead).
   explicit TemporalQueryService(ServiceOptions options = {});
   /// Adopts an existing database (e.g. restored via
   /// TemporalXmlDatabase::Open, or pre-populated single-threaded).
@@ -65,17 +85,37 @@ class TemporalQueryService {
 
   using PutResult = TemporalXmlDatabase::PutResult;
 
-  // ---- synchronous API (thread-safe; callable from many threads) ----
+  // ---- the request/response API (thread-safe; many threads) ----
 
-  /// Executes a query at the current commit epoch. `stats` (optional)
-  /// receives this query's counters.
+  /// THE query entry point: executes `request` at the current commit epoch
+  /// and returns the serialized result document plus this execution's
+  /// counters. Both in-process callers and the network front end
+  /// (src/net/) funnel through here.
+  StatusOr<QueryResponse> Execute(const QueryRequest& request);
+
+  /// The write entry point (exclusive commit lock): stores a new version
+  /// per `request` and returns a <put-result url=… version=… commit=…/>
+  /// confirmation payload.
+  StatusOr<QueryResponse> Execute(const PutRequest& request);
+
+  /// Async variants of Execute on the bounded worker pool.
+  std::future<StatusOr<QueryResponse>> Submit(QueryRequest request);
+  std::future<StatusOr<QueryResponse>> Submit(PutRequest request);
+
+  // ---- deprecated shims (prefer Execute/Submit above) ----
+
+  /// \deprecated Thin shim over the Execute path, kept so pre-envelope
+  /// callers compile; returns the unserialized result document. `stats`
+  /// (optional) receives this query's counters.
   StatusOr<XmlDocument> ExecuteQuery(std::string_view query_text,
                                      ExecStats* stats = nullptr);
+  /// \deprecated Shim: Execute(QueryRequest{query_text, pretty}).
   StatusOr<std::string> ExecuteQueryToString(std::string_view query_text,
                                              bool pretty = true,
                                              ExecStats* stats = nullptr);
 
-  /// Serialized writes (exclusive commit lock).
+  /// Serialized writes (exclusive commit lock). Put/PutAt are the typed
+  /// equivalents of Execute(PutRequest) and remain first-class.
   StatusOr<PutResult> Put(const std::string& url, std::string_view xml_text);
   StatusOr<PutResult> PutAt(const std::string& url, std::string_view xml_text,
                             Timestamp ts);
@@ -85,8 +125,7 @@ class TemporalQueryService {
   /// through the query path only — plain retrieval reconstructs).
   StatusOr<XmlDocument> Snapshot(const std::string& url, Timestamp t);
 
-  // ---- asynchronous API (bounded worker pool) ----
-
+  /// \deprecated Async shims over the worker pool; prefer Submit.
   std::future<StatusOr<XmlDocument>> SubmitQuery(std::string query_text);
   std::future<StatusOr<std::string>> SubmitQueryToString(
       std::string query_text, bool pretty = true);

@@ -2,6 +2,19 @@
 
 namespace txml {
 
+StatusOr<QueryResponse> ClientSession::Execute(const QueryRequest& request) {
+  ++queries_issued_;
+  last_stats_ = ExecStats{};
+  auto response = service_->Execute(request);
+  if (response.ok()) last_stats_ = response->stats;
+  return response;
+}
+
+StatusOr<QueryResponse> ClientSession::Execute(const PutRequest& request) {
+  ++writes_issued_;
+  return service_->Execute(request);
+}
+
 StatusOr<XmlDocument> ClientSession::Query(std::string_view query_text) {
   ++queries_issued_;
   last_stats_ = ExecStats{};

@@ -27,6 +27,11 @@ class ClientSession {
 
   uint64_t id() const { return id_; }
 
+  /// The envelope entry points the network front end drives: forward to
+  /// the service's Execute and keep this session's last-query stats.
+  StatusOr<QueryResponse> Execute(const QueryRequest& request);
+  StatusOr<QueryResponse> Execute(const PutRequest& request);
+
   StatusOr<XmlDocument> Query(std::string_view query_text);
   StatusOr<std::string> QueryToString(std::string_view query_text,
                                       bool pretty = true);

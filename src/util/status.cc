@@ -24,8 +24,20 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInvalidFrame:
+      return "InvalidFrame";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromWire(int wire_value, StatusCode* code) {
+  if (wire_value < 0 || wire_value > kMaxStatusCode) return false;
+  *code = static_cast<StatusCode>(wire_value);
+  return true;
 }
 
 std::string Status::ToString() const {

@@ -10,6 +10,11 @@ namespace txml {
 /// Error category of a Status. Mirrors the usual database-system taxonomy
 /// (RocksDB/Arrow style): a small closed set of codes plus a free-form
 /// message for context.
+///
+/// The numeric values are a *stable, versioned API surface*: they travel
+/// verbatim as the wire protocol's response status codes (src/net/wire.h
+/// maps them 1:1). Never renumber or reuse a value; append new codes at
+/// the end and bump kMaxStatusCode.
 enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument = 1,
@@ -21,10 +26,27 @@ enum class StatusCode : int {
   kParseError = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  /// A blocking operation (socket read/write, query deadline) expired.
+  kTimeout = 10,
+  /// A wire frame violated the protocol: bad length prefix, unknown frame
+  /// type, oversized frame, truncated or unparsable envelope.
+  kInvalidFrame = 11,
+  /// The peer or service is gone (connection closed, server shutting
+  /// down); retrying against a live endpoint may succeed.
+  kUnavailable = 12,
 };
+
+/// The largest valid StatusCode value; wire decoding rejects anything
+/// above it (see StatusCodeFromWire).
+inline constexpr int kMaxStatusCode = 12;
 
 /// Returns a human-readable name for a status code ("NotFound", ...).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Maps a wire-transmitted integer back onto the enum. Returns false (and
+/// leaves *code* untouched) for values outside the known range — the
+/// caller should treat the frame as invalid rather than trust a cast.
+bool StatusCodeFromWire(int wire_value, StatusCode* code);
 
 /// Result of an operation that can fail. Cheap to copy in the OK case
 /// (no allocation); carries a code and message otherwise.
@@ -67,6 +89,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status InvalidFrame(std::string msg) {
+    return Status(StatusCode::kInvalidFrame, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -79,6 +110,9 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsInvalidFrame() const { return code_ == StatusCode::kInvalidFrame; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,0 +1,567 @@
+// Tests of the network front end (src/net/): the wire codec (including
+// malformed-frame fuzzing), the TCP server/client pair end to end against
+// the in-process oracle, robustness (oversized/garbage frames, idle
+// timeouts) and graceful shutdown. The Net*/Wire* suites run under
+// ThreadSanitizer via scripts/check.sh.
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/service/service.h"
+#include "src/util/coding.h"
+#include "src/util/random.h"
+
+namespace txml {
+namespace {
+
+Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+// ------------------------------------------------------------- wire codec
+
+TEST(WireTest, FrameLayout) {
+  std::string out;
+  AppendFrame(FrameType::kResponseChunk, "abc", &out);
+  ASSERT_EQ(out.size(), 8u);  // fixed32 length + type + 3 payload bytes
+  Decoder decoder(out);
+  auto length = decoder.ReadFixed32();
+  ASSERT_TRUE(length.ok());
+  EXPECT_EQ(*length, 4u);  // type byte + payload
+  EXPECT_EQ(out[4], static_cast<char>(FrameType::kResponseChunk));
+  EXPECT_EQ(out.substr(5), "abc");
+}
+
+TEST(WireTest, QueryRequestRoundTrip) {
+  QueryRequest request;
+  request.query_text = "SELECT R FROM doc(\"u\")[01/01/2001]/item R";
+  request.pretty = false;
+  auto decoded = DecodeQueryRequest(EncodeQueryRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->query_text, request.query_text);
+  EXPECT_EQ(decoded->pretty, false);
+}
+
+TEST(WireTest, PutRequestRoundTrip) {
+  PutRequest request;
+  request.url = "http://example.com/doc.xml";
+  request.xml_text = "<d><x>1</x></d>";
+  auto plain = DecodePutRequest(EncodePutRequest(request));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->url, request.url);
+  EXPECT_EQ(plain->xml_text, request.xml_text);
+  EXPECT_FALSE(plain->timestamp.has_value());
+
+  request.timestamp = Day(17);
+  auto stamped = DecodePutRequest(EncodePutRequest(request));
+  ASSERT_TRUE(stamped.ok());
+  ASSERT_TRUE(stamped->timestamp.has_value());
+  EXPECT_EQ(*stamped->timestamp, Day(17));
+}
+
+TEST(WireTest, ResponseHeaderRoundTrip) {
+  ResponseHeader header;
+  header.status_code = StatusCode::kNotFound;
+  header.error_message = "no document at 'u'";
+  header.payload_bytes = 12345;
+  header.stats.snapshot_reconstructions = 3;
+  header.stats.snapshot_cache_hits = 5;
+  header.stats.rows_considered = 70;
+  header.stats.rows_emitted = 7;
+  auto decoded = DecodeResponseHeader(EncodeResponseHeader(header));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status_code, StatusCode::kNotFound);
+  EXPECT_EQ(decoded->error_message, header.error_message);
+  EXPECT_EQ(decoded->payload_bytes, header.payload_bytes);
+  EXPECT_EQ(decoded->stats.snapshot_cache_hits, 5u);
+  EXPECT_EQ(decoded->stats.rows_emitted, 7u);
+
+  auto end = DecodeResponseEnd(EncodeResponseEnd(987));
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, 987u);
+}
+
+TEST(WireTest, DecodeRejectsUnsupportedVersion) {
+  std::string payload;
+  PutVarint32(&payload, kEnvelopeVersion + 1);
+  PutLengthPrefixed(&payload, "SELECT");
+  PutVarint32(&payload, 1);
+  auto decoded = DecodeQueryRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidFrame);
+}
+
+TEST(WireTest, DecodeRejectsTruncationAndTrailingGarbage) {
+  std::string good = EncodeQueryRequest(
+      QueryRequest{"SELECT R FROM doc(\"u\")[01/01/2001]/item R", true});
+  // Every strict prefix must fail cleanly, never crash.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    auto decoded = DecodeQueryRequest(std::string_view(good).substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidFrame);
+  }
+  // Trailing bytes after a well-formed envelope are also a violation.
+  auto trailing = DecodeQueryRequest(good + "x");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), StatusCode::kInvalidFrame);
+}
+
+// Fuzz-ish: random byte strings through every decoder must return
+// kInvalidFrame or a value, never crash or mislabel the error.
+TEST(WireTest, RandomBytesNeverCrashDecoders) {
+  Random rng(301);
+  for (int round = 0; round < 2000; ++round) {
+    size_t size = rng.Uniform(64);
+    std::string bytes;
+    bytes.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      bytes.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    for (int which = 0; which < 4; ++which) {
+      Status status = Status::OK();
+      switch (which) {
+        case 0: status = DecodeQueryRequest(bytes).status(); break;
+        case 1: status = DecodePutRequest(bytes).status(); break;
+        case 2: status = DecodeResponseHeader(bytes).status(); break;
+        case 3: status = DecodeResponseEnd(bytes).status(); break;
+      }
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), StatusCode::kInvalidFrame)
+            << status.ToString();
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- test fixtures
+
+std::string RestaurantXml(const std::string& name, int price) {
+  return "<restaurant><name>" + name + "</name><price>" +
+         std::to_string(price) + "</price></restaurant>";
+}
+
+/// The paper's restaurant guide, six versions at days 1..6 — Napoli's
+/// price moves, Roma comes and goes, Sorrento appears on day 3.
+void PutGuideHistory(TemporalQueryService* service) {
+  auto put = [&](int day, const std::string& body) {
+    auto result =
+        service->PutAt("guide", "<guide>" + body + "</guide>", Day(day));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  };
+  put(1, RestaurantXml("Napoli", 30) + RestaurantXml("Roma", 20));
+  put(2, RestaurantXml("Napoli", 35) + RestaurantXml("Roma", 20));
+  put(3, RestaurantXml("Napoli", 35) + RestaurantXml("Roma", 22) +
+             RestaurantXml("Sorrento", 28));
+  put(4, RestaurantXml("Napoli", 38) + RestaurantXml("Roma", 22) +
+             RestaurantXml("Sorrento", 28));
+  put(5, RestaurantXml("Napoli", 38) + RestaurantXml("Sorrento", 28));
+  put(6, RestaurantXml("Napoli", 40) + RestaurantXml("Sorrento", 30));
+}
+
+/// The paper's worked queries Q1-Q3 (Figure 1 / Section 6.2 shapes).
+const char* kPaperQueries[] = {
+    // Q1: snapshot listing at an explicit time.
+    "SELECT R FROM doc(\"guide\")[03/01/2001]/restaurant R",
+    // Q2: aggregate-only snapshot (no reconstruction needed).
+    "SELECT COUNT(R) FROM doc(\"guide\")[05/01/2001]/restaurant R",
+    // Q3: full temporal history of one element's subpath.
+    "SELECT TIME(R), R/price FROM doc(\"guide\")[EVERY]/guide/restaurant R "
+    "WHERE R/name = \"Napoli\"",
+};
+
+struct ServerFixture {
+  std::unique_ptr<TemporalQueryService> service;
+  std::unique_ptr<TxmlServer> server;
+
+  explicit ServerFixture(ServerOptions options = {},
+                         ServiceOptions service_options = {}) {
+    auto created = TemporalQueryService::Create(service_options);
+    TXML_CHECK(created.ok());
+    service = std::move(*created);
+    options.port = 0;  // ephemeral
+    server = std::make_unique<TxmlServer>(service.get(), options);
+    Status started = server->Start();
+    TXML_CHECK(started.ok());
+  }
+
+  StatusOr<TxmlClient> Connect(ClientOptions options = {}) {
+    return TxmlClient::Connect("127.0.0.1", server->port(), options);
+  }
+};
+
+// ------------------------------------------------------------ end to end
+
+TEST(NetTest, PaperQueriesMatchInProcessByteForByte) {
+  ServerFixture fixture;
+  PutGuideHistory(fixture.service.get());
+
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  for (bool pretty : {true, false}) {
+    for (const char* query : kPaperQueries) {
+      auto in_process =
+          fixture.service->ExecuteQueryToString(query, pretty);
+      ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+
+      QueryRequest request;
+      request.query_text = query;
+      request.pretty = pretty;
+      auto over_wire = client->Execute(request);
+      ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+      EXPECT_EQ(over_wire->payload, *in_process) << query;
+    }
+  }
+  // One connection, one session, all requests on it.
+  EXPECT_EQ(fixture.server->Stats().connections_accepted, 1u);
+  EXPECT_EQ(fixture.server->Stats().requests_served, 6u);
+}
+
+TEST(NetTest, ExecStatsTravelOverTheWire) {
+  ServiceOptions service_options;
+  service_options.snapshot_cache_capacity = 64;
+  ServerFixture fixture({}, service_options);
+  PutGuideHistory(fixture.service.get());
+
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok());
+  QueryRequest request;
+  request.query_text = kPaperQueries[0];
+
+  auto cold = client->Execute(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold->stats.snapshot_reconstructions, 0u);
+  EXPECT_EQ(cold->stats.snapshot_cache_hits, 0u);
+
+  auto warm = client->Execute(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.snapshot_reconstructions, 0u);
+  EXPECT_GT(warm->stats.snapshot_cache_hits, 0u);
+  EXPECT_EQ(warm->payload, cold->payload);
+}
+
+TEST(NetTest, PutsOverTheWireCommitAndConfirm) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok());
+
+  PutRequest put;
+  put.url = "wire";
+  put.xml_text = "<d><item><name>alpha</name></item></d>";
+  put.timestamp = Day(2);
+  auto first = client->Execute(put);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->payload,
+            "<put-result url=\"wire\" version=\"1\" commit=\"02/01/2001\"/>");
+
+  // Clock-stamped variant: version advances.
+  put.timestamp.reset();
+  put.xml_text = "<d><item><name>alpha</name><price>2</price></item></d>";
+  auto second = client->Execute(put);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->payload.find("version=\"2\""), std::string::npos);
+
+  // The writes are queryable over the same connection.
+  QueryRequest query;
+  query.query_text = "SELECT COUNT(I) FROM doc(\"wire\")[02/01/2001]/item I";
+  auto count = client->Execute(query);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NE(count->payload.find("1"), std::string::npos);
+}
+
+TEST(NetTest, ErrorStatusCodesSurviveTheRoundTrip) {
+  ServerFixture fixture;
+  PutGuideHistory(fixture.service.get());
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok());
+
+  QueryRequest malformed;
+  malformed.query_text = "SELECT";
+  auto parse_error = client->Execute(malformed);
+  ASSERT_FALSE(parse_error.ok());
+  EXPECT_EQ(parse_error.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(parse_error.status().message().empty());
+
+  QueryRequest missing;
+  missing.query_text =
+      "SELECT R FROM doc(\"nowhere\")[01/01/2001]/item R";
+  auto not_found = client->Execute(missing);
+  ASSERT_FALSE(not_found.ok());
+  EXPECT_EQ(not_found.status().code(), StatusCode::kNotFound);
+
+  // The connection survives request-level failures.
+  QueryRequest good;
+  good.query_text = kPaperQueries[1];
+  EXPECT_TRUE(client->Execute(good).ok());
+  EXPECT_EQ(fixture.server->Stats().requests_failed, 2u);
+}
+
+TEST(NetTest, LargePayloadStreamsInChunks) {
+  ServerOptions server_options;
+  server_options.response_chunk_bytes = 512;  // force many chunks
+  ServerFixture fixture(server_options);
+
+  std::string body;
+  for (int i = 0; i < 400; ++i) {
+    body += "<item><name>n" + std::to_string(i) + "</name><price>" +
+            std::to_string(i) + "</price></item>";
+  }
+  ASSERT_TRUE(
+      fixture.service->PutAt("big", "<d>" + body + "</d>", Day(1)).ok());
+
+  const char* query = "SELECT R FROM doc(\"big\")[01/01/2001]/item R";
+  auto in_process = fixture.service->ExecuteQueryToString(query);
+  ASSERT_TRUE(in_process.ok());
+  ASSERT_GT(in_process->size(), 8 * server_options.response_chunk_bytes);
+
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok());
+  QueryRequest request;
+  request.query_text = query;
+  auto over_wire = client->Execute(request);
+  ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+  EXPECT_EQ(over_wire->payload, *in_process);
+}
+
+// ------------------------------------------------------------ robustness
+
+TEST(NetTest, GarbageFrameGetsInvalidFrameAndConnectionCloses) {
+  ServerFixture fixture;
+  auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetTimeouts(2000, 2000).ok());
+
+  // A well-framed body with an unknown frame type.
+  std::string frame;
+  AppendFrame(static_cast<FrameType>(99), "junk", &frame);
+  ASSERT_TRUE(raw->WriteAll(frame).ok());
+
+  auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, FrameType::kResponseHeader);
+  auto header = DecodeResponseHeader(reply->payload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->status_code, StatusCode::kInvalidFrame);
+
+  auto end = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->type, FrameType::kResponseEnd);
+
+  // After the report the server hangs up.
+  auto eof = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(fixture.server->Stats().frames_rejected, 1u);
+}
+
+TEST(NetTest, UndecodableEnvelopeIsRejected) {
+  ServerFixture fixture;
+  auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetTimeouts(2000, 2000).ok());
+
+  // Correct frame type, garbage envelope bytes.
+  std::string frame;
+  AppendFrame(FrameType::kQueryRequest, "\xff\xff\xff\xff\xff", &frame);
+  ASSERT_TRUE(raw->WriteAll(frame).ok());
+
+  auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(reply.ok());
+  auto header = DecodeResponseHeader(reply->payload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->status_code, StatusCode::kInvalidFrame);
+}
+
+TEST(NetTest, ZeroAndOversizedLengthPrefixesDropTheConnection) {
+  ServerOptions server_options;
+  server_options.max_frame_bytes = 1024;
+  ServerFixture fixture(server_options);
+
+  {
+    // Length prefix zero: no type byte can follow.
+    auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw->SetTimeouts(2000, 2000).ok());
+    std::string zero;
+    PutFixed32(&zero, 0);
+    ASSERT_TRUE(raw->WriteAll(zero).ok());
+    auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(reply.ok());
+    auto header = DecodeResponseHeader(reply->payload);
+    ASSERT_TRUE(header.ok());
+    EXPECT_EQ(header->status_code, StatusCode::kInvalidFrame);
+  }
+  {
+    // Length prefix over the server's budget: rejected before any
+    // allocation; the body bytes are never read.
+    auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw->SetTimeouts(2000, 2000).ok());
+    std::string huge;
+    PutFixed32(&huge, 64u << 20);
+    ASSERT_TRUE(raw->WriteAll(huge).ok());
+    auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(reply.ok());
+    auto header = DecodeResponseHeader(reply->payload);
+    ASSERT_TRUE(header.ok());
+    EXPECT_EQ(header->status_code, StatusCode::kInvalidFrame);
+    EXPECT_NE(header->error_message.find("exceeds limit"),
+              std::string::npos);
+  }
+}
+
+TEST(NetTest, IdleConnectionTimesOut) {
+  ServerOptions server_options;
+  server_options.read_timeout_ms = 150;
+  ServerFixture fixture(server_options);
+
+  auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetTimeouts(5000, 5000).ok());
+
+  // Send nothing; the server reports the timeout, then hangs up.
+  auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  auto header = DecodeResponseHeader(reply->payload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->status_code, StatusCode::kTimeout);
+  EXPECT_EQ(fixture.server->Stats().timeouts, 1u);
+}
+
+TEST(NetTest, ConnectionsBeyondThePoolQueueUntilAHandlerFrees) {
+  ServerOptions server_options;
+  server_options.connection_threads = 1;
+  ServerFixture fixture(server_options);
+  PutGuideHistory(fixture.service.get());
+
+  auto first = fixture.Connect();
+  ASSERT_TRUE(first.ok());
+  QueryRequest request;
+  request.query_text = kPaperQueries[1];
+  ASSERT_TRUE(first->Execute(request).ok());
+
+  // The second connection is accepted but waits in the pool queue while
+  // the first one occupies the only handler thread…
+  auto second = fixture.Connect();
+  ASSERT_TRUE(second.ok());
+  // …and is served as soon as the first connection closes.
+  first->Close();
+  auto served = second->Execute(request);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+}
+
+// ----------------------------------------------------- shutdown + stress
+
+TEST(NetTest, GracefulShutdownDrainsInFlightQueries) {
+  ServerFixture fixture;
+  PutGuideHistory(fixture.service.get());
+
+  std::string oracle;
+  {
+    auto answer = fixture.service->ExecuteQueryToString(kPaperQueries[0]);
+    ASSERT_TRUE(answer.ok());
+    oracle = *answer;
+  }
+
+  constexpr int kClients = 4;
+  std::atomic<uint64_t> completed{0};
+  std::atomic<bool> corrupted{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&fixture, &oracle, &completed, &corrupted] {
+      auto client = fixture.Connect();
+      if (!client.ok()) return;
+      QueryRequest request;
+      request.query_text = kPaperQueries[0];
+      while (true) {
+        auto response = client->Execute(request);
+        if (!response.ok()) return;  // server went away: expected
+        // Every response that *does* arrive must be complete and correct,
+        // shutdown or not — that is the drain guarantee.
+        if (response->payload != oracle) {
+          corrupted.store(true);
+          return;
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  // Let the clients get in flight, then pull the plug. (Bounded wait so a
+  // wedged server fails the assertion below instead of hanging the test.)
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (completed.load() < 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  fixture.server->Stop();
+  for (auto& client : clients) client.join();
+
+  EXPECT_FALSE(corrupted.load());
+  EXPECT_GE(completed.load(), 8u);
+  // The server is really gone.
+  auto after = fixture.Connect();
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(NetStressTest, ConcurrentClientsMatchSerialOracle) {
+  ServerFixture fixture;
+  PutGuideHistory(fixture.service.get());
+
+  std::vector<std::string> oracle;
+  for (const char* query : kPaperQueries) {
+    auto answer = fixture.service->ExecuteQueryToString(query);
+    ASSERT_TRUE(answer.ok());
+    oracle.push_back(*answer);
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 25;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&fixture, &oracle, &failed, c] {
+      auto client = fixture.Connect();
+      if (!client.ok()) {
+        failed.store(true);
+        ADD_FAILURE() << "connect: " << client.status().ToString();
+        return;
+      }
+      for (int i = 0; i < kQueriesPerClient && !failed.load(); ++i) {
+        size_t q = static_cast<size_t>(c + i) % std::size(kPaperQueries);
+        QueryRequest request;
+        request.query_text = kPaperQueries[q];
+        auto response = client->Execute(request);
+        if (!response.ok() || response->payload != oracle[q]) {
+          failed.store(true);
+          ADD_FAILURE() << "client " << c << " query " << q << ": "
+                        << (response.ok() ? "answer diverged"
+                                          : response.status().ToString());
+          return;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  ASSERT_FALSE(failed.load());
+
+  ServerStats stats = fixture.server->Stats();
+  EXPECT_EQ(stats.requests_served,
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_EQ(stats.frames_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace txml

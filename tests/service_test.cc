@@ -81,6 +81,78 @@ TEST(ServiceTest, BasicQueryAndWriteFlow) {
   EXPECT_EQ(stats.queries_failed, 1u);
 }
 
+TEST(ServiceTest, OptionValidationRejectsDegenerateConfigurations) {
+  ServiceOptions zero_workers;
+  zero_workers.worker_threads = 0;
+  Status s = ValidateServiceOptions(zero_workers);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  ServiceOptions zero_shards;
+  zero_shards.snapshot_cache_shards = 0;
+  s = ValidateServiceOptions(zero_shards);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  EXPECT_TRUE(ValidateServiceOptions(ServiceOptions()).ok());
+
+  // The factory surfaces the same Status instead of crashing.
+  auto bad = TemporalQueryService::Create(zero_workers);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  auto good = TemporalQueryService::Create(ServiceOptions());
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_NE(*good, nullptr);
+}
+
+TEST(ServiceTest, UnifiedExecuteMatchesDeprecatedShims) {
+  TemporalQueryService service;
+  PutHotHistory(&service);
+
+  for (const char* query : kStableQueries) {
+    QueryRequest request;
+    request.query_text = query;
+    auto unified = service.Execute(request);
+    ASSERT_TRUE(unified.ok()) << unified.status().ToString();
+    auto shim = service.ExecuteQueryToString(query);
+    ASSERT_TRUE(shim.ok()) << shim.status().ToString();
+    EXPECT_EQ(unified->payload, *shim);
+  }
+
+  // Compact serialization is a request knob, not a separate entry point.
+  QueryRequest compact;
+  compact.query_text = kStableQueries[0];
+  compact.pretty = false;
+  auto response = service.Execute(compact);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->payload.find('\n'), std::string::npos);
+
+  // Parse errors come back through the StatusOr, tagged kParseError.
+  QueryRequest bad;
+  bad.query_text = "SELECT";
+  auto failed = service.Execute(bad);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsParseError()) << failed.status().ToString();
+}
+
+TEST(ServiceTest, UnifiedExecuteHandlesWritesAndAsyncSubmission) {
+  TemporalQueryService service;
+
+  PutRequest put;
+  put.url = "hot";
+  put.xml_text = "<guide>" + ItemXml("alpha", 10) + "</guide>";
+  put.timestamp = Day(1);
+  auto committed = service.Execute(put);
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_NE(committed->payload.find("url=\"hot\""), std::string::npos);
+  EXPECT_NE(committed->payload.find("version=\"1\""), std::string::npos);
+
+  QueryRequest query;
+  query.query_text = kStableQueries[0];
+  auto future = service.Submit(query);
+  auto response = future.get();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->payload.find("10"), std::string::npos);
+}
+
 TEST(ServiceTest, SessionsCarryPerCallerStats) {
   TemporalQueryService service;
   PutHotHistory(&service);
