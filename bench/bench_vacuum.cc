@@ -1,0 +1,161 @@
+// E14: vacuum/retention (src/storage/vacuum.*).
+//
+// Two questions, per EXPERIMENTS.md:
+//
+//   * What does a vacuum pass cost, and how many bytes does it reclaim?
+//     BM_VacuumDrop / BM_VacuumCoarsen run one pass over a freshly built
+//     64-version history (setup excluded from timing) and report the
+//     before/after store bytes as counters.
+//   * How much cheaper do *old* versions get? After coarsening, a version
+//     near the front of the history reconstructs *forward* from the
+//     materialized base snapshot through a handful of merged deltas,
+//     instead of walking the whole dense chain backward from the current
+//     version. BM_ReconstructOldVersion (dense) vs
+//     BM_ReconstructOldVersionAfterCoarsen (same versions, vacuumed
+//     store) isolates that speedup; both use snapshot_every = 0 so the
+//     delta chain is the only reconstruction path before vacuuming.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/storage/vacuum.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+constexpr size_t kVersions = 64;
+/// Coarsen horizon: everything before day 48 (version 49) thins to every
+/// 8th version; drop horizon for the drop benchmark sits at the same day.
+constexpr size_t kHorizonDay = 48;
+constexpr uint32_t kKeepEvery = 8;
+
+HistorySpec Spec(uint32_t snapshot_every) {
+  HistorySpec spec;
+  spec.versions = kVersions;
+  spec.items = 50;
+  spec.mutations_per_version = 4;
+  spec.snapshot_every = snapshot_every;
+  return spec;
+}
+
+void RunVacuumPass(benchmark::State& state, const RetentionPolicy& policy) {
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+  uint64_t versions_dropped = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = BuildHistory(Spec(/*snapshot_every=*/4));
+    state.ResumeTiming();
+    auto stats = db->Vacuum(policy);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(stats);
+    bytes_before = stats->bytes_before;
+    bytes_after = stats->bytes_after;
+    versions_dropped = stats->versions_dropped;
+  }
+  state.counters["bytes_before"] = static_cast<double>(bytes_before);
+  state.counters["bytes_after"] = static_cast<double>(bytes_after);
+  state.counters["reclaimed_bytes"] =
+      static_cast<double>(bytes_before - bytes_after);
+  state.counters["versions_dropped"] = static_cast<double>(versions_dropped);
+}
+
+void BM_VacuumDrop(benchmark::State& state) {
+  RunVacuumPass(state, RetentionPolicy::DropBefore(DayN(kHorizonDay)));
+}
+BENCHMARK(BM_VacuumDrop)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_VacuumCoarsen(benchmark::State& state) {
+  RunVacuumPass(
+      state, RetentionPolicy::CoarsenOlderThan(DayN(kHorizonDay), kKeepEvery));
+}
+BENCHMARK(BM_VacuumCoarsen)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+/// Shared pure-delta-chain histories: [0] dense, [1] coarsened.
+TemporalXmlDatabase* SharedHistory(bool coarsened) {
+  static std::unique_ptr<TemporalXmlDatabase> dbs[2];
+  auto& slot = dbs[coarsened ? 1 : 0];
+  if (slot == nullptr) {
+    slot = BuildHistory(Spec(/*snapshot_every=*/0));
+    if (coarsened) {
+      auto stats = slot->Vacuum(
+          RetentionPolicy::CoarsenOlderThan(DayN(kHorizonDay), kKeepEvery));
+      if (!stats.ok()) std::abort();
+    }
+  }
+  return slot.get();
+}
+
+/// Reconstructs version `state.range(0)` — with kKeepEvery = 8, versions
+/// 9 and 17 are retained by the coarsened history too, so both variants
+/// materialize the identical tree.
+void ReconstructOld(benchmark::State& state, bool coarsened) {
+  const VersionedDocument* doc =
+      SharedHistory(coarsened)->store().FindByUrl("doc0");
+  VersionNum v = static_cast<VersionNum>(state.range(0));
+  VersionedDocument::ReconstructStats stats;
+  for (auto _ : state) {
+    auto tree = doc->ReconstructVersion(v, &stats);
+    if (!tree.ok()) {
+      state.SkipWithError(tree.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["deltas_applied"] = static_cast<double>(stats.deltas_applied);
+  state.counters["used_base"] = stats.used_base ? 1 : 0;
+}
+
+void BM_ReconstructOldVersion(benchmark::State& state) {
+  ReconstructOld(state, /*coarsened=*/false);
+}
+BENCHMARK(BM_ReconstructOldVersion)
+    ->Arg(1)->Arg(9)->Arg(17)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ReconstructOldVersionAfterCoarsen(benchmark::State& state) {
+  ReconstructOld(state, /*coarsened=*/true);
+}
+BENCHMARK(BM_ReconstructOldVersionAfterCoarsen)
+    ->Arg(1)->Arg(9)->Arg(17)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The same contrast one layer up: a snapshot query anchored at an old
+/// day, through pattern matching and serialization.
+void SnapshotQueryOld(benchmark::State& state, bool coarsened) {
+  TemporalXmlDatabase* db = SharedHistory(coarsened);
+  // Day 8 resolves to version 9, retained in both histories. A
+  // materializing listing — aggregates would sidestep reconstruction.
+  std::string query =
+      "SELECT R FROM doc(\"doc0\")[" + DayN(8).ToString() + "]/item R";
+  for (auto _ : state) {
+    auto out = db->QueryToString(query);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_SnapshotQueryOldDay(benchmark::State& state) {
+  SnapshotQueryOld(state, /*coarsened=*/false);
+}
+BENCHMARK(BM_SnapshotQueryOldDay)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotQueryOldDayAfterCoarsen(benchmark::State& state) {
+  SnapshotQueryOld(state, /*coarsened=*/true);
+}
+BENCHMARK(BM_SnapshotQueryOldDayAfterCoarsen)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+BENCHMARK_MAIN();

@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
-# Builds and tests the two configurations that gate a change:
+# Builds and tests the three configurations that gate a change:
 #
 #   1. Release (RelWithDebInfo, the tier-1 configuration) — full ctest;
 #   2. ThreadSanitizer (-DTXML_SANITIZE=thread)           — concurrency
-#      tests (service layer + network front end). Pass --tsan-all to run
-#      the whole suite under TSan instead (slow: TSan costs ~5-15x).
+#      tests (service layer, network front end, vacuum-vs-readers
+#      stress). Pass --tsan-all to run the whole suite under TSan
+#      instead (slow: TSan costs ~5-15x).
+#   3. Address+UB sanitizers (-DTXML_SANITIZE=address)    — the history
+#      rewriting suites (vacuum splices delta chains in place; ASan/UBSan
+#      catch lifetime and aliasing mistakes TSan cannot).
 #
-# Usage: scripts/check.sh [--tsan-all] [-j N]
+# Usage: scripts/check.sh [--tsan-all] [--asan-all] [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Concurrency suites (tests/service_test.cc, tests/net_test.cc). Matching
-# is against gtest case names, not binary names; --no-tests=error guards
-# filter rot.
-TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire"
+# Concurrency suites (tests/service_test.cc, tests/net_test.cc) plus the
+# vacuum battery (tests/vacuum_test.cc — ServiceStressTest covers the
+# vacuum-racing-readers case). Matching is against gtest case names, not
+# binary names; --no-tests=error guards filter rot.
+TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum"
+# History-rewriting suites for the ASan/UBSan pass: the storage layer,
+# the vacuum oracle battery, and persistence round trips.
+ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service"
 JOBS=$(nproc)
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --tsan-all) TSAN_FILTER=""; shift ;;
+    --asan-all) ASAN_FILTER=""; shift ;;
     -j) JOBS="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -36,5 +45,12 @@ run cmake --build build-tsan -j "$JOBS"
 # shellcheck disable=SC2086  # intentional word-splitting of the filter
 run ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -j "$JOBS" $TSAN_FILTER
+
+echo "=== Address+UB sanitizer configuration (build-asan/) ==="
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTXML_SANITIZE=address
+run cmake --build build-asan -j "$JOBS"
+# shellcheck disable=SC2086  # intentional word-splitting of the filter
+run ctest --test-dir build-asan --output-on-failure --no-tests=error \
+    -j "$JOBS" $ASAN_FILTER
 
 echo "=== All checks passed ==="

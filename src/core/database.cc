@@ -61,12 +61,17 @@ void TemporalXmlDatabase::ReplayIntoIndexes(bool include_fti,
                         delta_index_ != nullptr || doctime_ != nullptr;
   for (const VersionedDocument* doc : store_->AllDocuments()) {
     if (needs_versions) {
-      for (VersionNum v = 1; v <= doc->version_count(); ++v) {
+      // Replay walks the retained chain: a vacuumed document's history
+      // starts at first_retained() and may skip coarsened-away versions.
+      for (VersionNum v = doc->first_retained();
+           v != 0 && v <= doc->version_count(); v = doc->NextRetained(v)) {
         auto tree = doc->ReconstructVersion(v);
         TXML_CHECK(tree.ok());
         Timestamp ts = doc->delta_index().TimestampOf(v);
         const EditScript* delta =
-            v > 1 ? &doc->TransitionDelta(v - 1) : nullptr;
+            v > doc->first_retained()
+                ? &doc->RetainedTransition(doc->PrevRetained(v))
+                : nullptr;
         if (include_fti) {
           fti_->OnVersionStored(doc->doc_id(), v, ts, **tree, delta);
         }
@@ -129,6 +134,11 @@ Status TemporalXmlDatabase::DeleteDocumentAt(const std::string& url,
   TXML_RETURN_IF_ERROR(store_->Delete(url, ts));
   clock_.AdvanceTo(ts.AddMicros(1));
   return Status::OK();
+}
+
+StatusOr<VacuumStats> TemporalXmlDatabase::Vacuum(
+    const RetentionPolicy& policy) {
+  return store_->Vacuum(policy);
 }
 
 QueryContext TemporalXmlDatabase::Context() const {

@@ -84,6 +84,13 @@ class TemporalXmlDatabase {
   Status DeleteDocument(const std::string& url);
   Status DeleteDocumentAt(const std::string& url, Timestamp ts);
 
+  /// Rewrites every document's history below the policy's horizon
+  /// (Section 7.1's vacuuming): versions are dropped or coarsened, version
+  /// numbers are never reused, and every answer about a time at or after
+  /// the horizon is unchanged. Requires the same external exclusion as
+  /// PutDocument (single writer); attached indexes are updated in place.
+  StatusOr<VacuumStats> Vacuum(const RetentionPolicy& policy);
+
   /// Executes a query of the Section-5 dialect; returns the
   /// <results><result>…</result></results> document.
   StatusOr<XmlDocument> Query(std::string_view query_text);

@@ -148,6 +148,17 @@ Status EditScript::ApplyForward(XmlNode* root) const {
       }
     }
   }
+  if (merged_) {
+    // Merged scripts carry explicit target stamps: a node restamped by an
+    // intermediate (vacuumed-away) transition keeps that transition's
+    // timestamp, not the merge's commit_ts.
+    for (const auto& [xid, new_ts] : forward_stamps_) {
+      XmlNode* node = index.Find(xid);
+      if (node == nullptr) return MissingXid(xid);
+      node->set_timestamp(new_ts);
+    }
+    return Status::OK();
+  }
   for (const auto& [xid, old_ts] : restamps_) {
     (void)old_ts;
     XmlNode* node = index.Find(xid);
@@ -228,6 +239,8 @@ EditScript EditScript::Clone() const {
   for (const EditOp& op : ops_) copy.ops_.push_back(op.Clone());
   copy.commit_ts_ = commit_ts_;
   copy.restamps_ = restamps_;
+  copy.merged_ = merged_;
+  copy.forward_stamps_ = forward_stamps_;
   return copy;
 }
 
@@ -319,6 +332,16 @@ XmlDocument EditScript::ToXml() const {
                                     std::to_string(old_ts.micros())));
     delta->AddChild(std::move(el));
   }
+  if (merged_) {
+    delta->AddChild(XmlNode::Attribute("merged", "1"));
+    for (const auto& [xid, new_ts] : forward_stamps_) {
+      auto el = XmlNode::Element("fstamp");
+      AddIntAttr(el.get(), "xid", xid);
+      el->AddChild(XmlNode::Attribute("new-ts",
+                                      std::to_string(new_ts.micros())));
+      delta->AddChild(std::move(el));
+    }
+  }
   return XmlDocument(std::move(delta));
 }
 
@@ -335,10 +358,29 @@ StatusOr<EditScript> EditScript::FromXml(const XmlNode& delta_root) {
                                              nullptr, 10)));
     }
   }
+  bool merged = false;
+  std::vector<std::pair<Xid, Timestamp>> forward_stamps;
+  {
+    const XmlNode* merged_attr = delta_root.FindAttribute("merged");
+    merged = merged_attr != nullptr && merged_attr->value() == "1";
+  }
   for (const auto& child : delta_root.children()) {
     if (!child->is_element()) continue;
     EditOp op;
     const std::string& tag = child->name();
+    if (tag == "fstamp") {
+      auto xid = GetIntAttr(*child, "xid");
+      if (!xid.ok()) return xid.status();
+      const XmlNode* new_ts = child->FindAttribute("new-ts");
+      if (new_ts == nullptr) {
+        return Status::Corruption("<fstamp> missing new-ts");
+      }
+      forward_stamps.emplace_back(
+          static_cast<Xid>(*xid),
+          Timestamp::FromMicros(
+              std::strtoll(new_ts->value().c_str(), nullptr, 10)));
+      continue;
+    }
     if (tag == "stamp") {
       auto xid = GetIntAttr(*child, "xid");
       if (!xid.ok()) return xid.status();
@@ -398,6 +440,12 @@ StatusOr<EditScript> EditScript::FromXml(const XmlNode& delta_root) {
     }
     script.Add(std::move(op));
   }
+  if (merged) {
+    auto backward = std::move(script.restamps_);
+    script.SetMergedStamps(std::move(backward), std::move(forward_stamps));
+  } else if (!forward_stamps.empty()) {
+    return Status::Corruption("<fstamp> in a non-merged delta");
+  }
   return script;
 }
 
@@ -433,6 +481,17 @@ void EditScript::EncodeTo(std::string* dst) const {
         PutVarint32(dst, op.to_parent);
         PutVarint32(dst, op.to_pos);
         break;
+    }
+  }
+  // Trailing merged-stamps section, present only for merged scripts so
+  // plain scripts keep the original byte layout (Decode distinguishes the
+  // two via AtEnd).
+  if (merged_) {
+    PutVarint32(dst, 1);
+    PutVarint64(dst, forward_stamps_.size());
+    for (const auto& [xid, new_ts] : forward_stamps_) {
+      PutVarint32(dst, xid);
+      PutVarintSigned64(dst, new_ts.micros());
     }
   }
 }
@@ -509,6 +568,25 @@ StatusOr<EditScript> EditScript::Decode(std::string_view data) {
       }
     }
     script.Add(std::move(op));
+  }
+  if (!decoder.AtEnd()) {
+    auto merged_flag = decoder.ReadVarint32();
+    if (!merged_flag.ok()) return merged_flag.status();
+    if (*merged_flag != 1) {
+      return Status::Corruption("bad merged-stamps flag");
+    }
+    auto forward_count = decoder.ReadVarint64();
+    if (!forward_count.ok()) return forward_count.status();
+    std::vector<std::pair<Xid, Timestamp>> forward;
+    for (uint64_t i = 0; i < *forward_count; ++i) {
+      auto xid = decoder.ReadVarint32();
+      if (!xid.ok()) return xid.status();
+      auto new_ts = decoder.ReadVarintSigned64();
+      if (!new_ts.ok()) return new_ts.status();
+      forward.emplace_back(*xid, Timestamp::FromMicros(*new_ts));
+    }
+    auto backward = std::move(script.restamps_);
+    script.SetMergedStamps(std::move(backward), std::move(forward));
   }
   if (!decoder.AtEnd()) {
     return Status::Corruption("trailing bytes after edit script");

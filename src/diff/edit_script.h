@@ -88,6 +88,29 @@ class EditScript {
     return restamps_;
   }
 
+  /// Marks this script as a *merged* delta spanning several original
+  /// version transitions (produced by the vacuum subsystem,
+  /// src/storage/vacuum.h). A merged script cannot restamp uniformly with
+  /// commit_ts on forward application — a node restamped mid-range keeps
+  /// the stamp of the last transition that touched it — so it carries two
+  /// explicit stamp lists:
+  ///  * `backward` (stored as restamps()): per surviving XID, the stamp the
+  ///    node has in the merge's *base* version — restored by
+  ///    ApplyBackward exactly like a plain script;
+  ///  * `forward` (forward_stamps()): per XID that survives to the merge's
+  ///    *target* version with a changed stamp, the stamp it has there —
+  ///    applied by ApplyForward instead of the uniform commit_ts rule.
+  void SetMergedStamps(std::vector<std::pair<Xid, Timestamp>> backward,
+                       std::vector<std::pair<Xid, Timestamp>> forward) {
+    restamps_ = std::move(backward);
+    forward_stamps_ = std::move(forward);
+    merged_ = true;
+  }
+  bool merged() const { return merged_; }
+  const std::vector<std::pair<Xid, Timestamp>>& forward_stamps() const {
+    return forward_stamps_;
+  }
+
   /// Applies the script to `root` (version n), producing version n+1 in
   /// place. Fails with Corruption if an addressed XID is missing or a
   /// position is out of range.
@@ -122,6 +145,9 @@ class EditScript {
   std::vector<EditOp> ops_;
   Timestamp commit_ts_;
   std::vector<std::pair<Xid, Timestamp>> restamps_;
+  /// See SetMergedStamps().
+  bool merged_ = false;
+  std::vector<std::pair<Xid, Timestamp>> forward_stamps_;
 };
 
 }  // namespace txml

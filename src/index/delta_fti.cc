@@ -1,5 +1,6 @@
 #include "src/index/delta_fti.h"
 
+#include <map>
 #include <utility>
 
 #include "src/util/coding.h"
@@ -55,6 +56,41 @@ void DeltaContentIndex::OnDocumentDeleted(DocId doc_id, VersionNum last,
         doc_id, occ.element, occ.path, last + 1, Event::kRemoved});
   }
   previous_.erase(it);
+}
+
+void DeltaContentIndex::OnHistoryVacuumed(const VersionedDocument& doc) {
+  const DocId doc_id = doc.doc_id();
+  const VersionNum horizon = doc.first_retained();
+  if (horizon <= 1) return;
+  for (EventMap* map : {&names_, &words_}) {
+    for (auto it = map->begin(); it != map->end();) {
+      std::vector<EventPosting>& list = it->second;
+      // Per occurrence (element, path) run: position of the last "removed"
+      // event at or below the horizon. Everything up to it — the adds it
+      // cancels included — is invisible from every retained version.
+      std::map<std::pair<Xid, std::vector<Xid>>, size_t> cutoff;
+      for (size_t i = 0; i < list.size(); ++i) {
+        const EventPosting& event = list[i];
+        if (event.doc_id == doc_id && event.event == Event::kRemoved &&
+            event.version <= horizon) {
+          cutoff[{event.element, event.path}] = i;
+        }
+      }
+      if (!cutoff.empty()) {
+        std::vector<EventPosting> keep;
+        keep.reserve(list.size());
+        for (size_t i = 0; i < list.size(); ++i) {
+          if (list[i].doc_id == doc_id) {
+            auto c = cutoff.find({list[i].element, list[i].path});
+            if (c != cutoff.end() && i <= c->second) continue;
+          }
+          keep.push_back(std::move(list[i]));
+        }
+        list = std::move(keep);
+      }
+      it = list.empty() ? map->erase(it) : std::next(it);
+    }
+  }
 }
 
 std::vector<const DeltaContentIndex::EventPosting*>

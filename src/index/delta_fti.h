@@ -40,6 +40,11 @@ class DeltaContentIndex : public StoreObserver {
                        const EditScript* delta) override;
   void OnDocumentDeleted(DocId doc_id, VersionNum last,
                          Timestamp ts) override;
+  /// Compacts event runs that fully cancel below the document's drop
+  /// horizon (an add/remove pair entirely in dropped history is
+  /// unobservable from any retained version). Coarse-zone events are kept:
+  /// they still fold correctly for every retained snapshot version.
+  void OnHistoryVacuumed(const VersionedDocument& doc) override;
 
   /// Change query: all add/remove events for a term (optionally filtered
   /// by event kind by the caller). This is the cheap direction.

@@ -27,6 +27,26 @@ void DocumentTimeIndex::OnDocumentDeleted(DocId /*doc_id*/,
   // historical versions stay queryable after the document is deleted.
 }
 
+void DocumentTimeIndex::OnHistoryVacuumed(const VersionedDocument& doc) {
+  const DocId doc_id = doc.doc_id();
+  auto lo = by_version_.lower_bound({doc_id, 0});
+  for (auto it = lo; it != by_version_.end() && it->first.first == doc_id;) {
+    if (doc.IsRetained(it->first.second)) {
+      ++it;
+      continue;
+    }
+    const std::pair<DocId, VersionNum> key = it->first;
+    auto [t_lo, t_hi] = by_time_.equal_range(it->second);
+    for (auto t_it = t_lo; t_it != t_hi; ++t_it) {
+      if (t_it->second == key) {
+        by_time_.erase(t_it);
+        break;
+      }
+    }
+    it = by_version_.erase(it);
+  }
+}
+
 std::vector<DocumentTimeIndex::Entry> DocumentTimeIndex::Between(
     Timestamp t1, Timestamp t2) const {
   std::vector<Entry> entries;

@@ -35,6 +35,9 @@ class DocumentTimeIndex : public StoreObserver {
                        const EditScript* delta) override;
   void OnDocumentDeleted(DocId doc_id, VersionNum last,
                          Timestamp ts) override;
+  /// Drops entries for versions the vacuum removed (a range scan must not
+  /// hand out versions that no longer reconstruct).
+  void OnHistoryVacuumed(const VersionedDocument& doc) override;
 
   struct Entry {
     Timestamp doc_time;

@@ -72,6 +72,52 @@ void TemporalFullTextIndex::OnDocumentDeleted(DocId doc_id, VersionNum last,
   open_.erase(it);
 }
 
+void TemporalFullTextIndex::OnHistoryVacuumed(const VersionedDocument& doc) {
+  const DocId doc_id = doc.doc_id();
+  bool erased_any = false;
+  for (PostingMap* map : {&names_, &words_}) {
+    for (auto it = map->begin(); it != map->end();) {
+      std::vector<Posting>& list = it->second;
+      const size_t before = list.size();
+      std::erase_if(list, [&](Posting& posting) {
+        if (posting.doc_id != doc_id) return false;
+        VersionNum end = posting.end == kOpenVersion
+                             ? doc.version_count() + 1
+                             : posting.end;
+        if (!doc.AnyRetainedIn(posting.start, end)) return true;
+        // Coarse-zone starts keep their original version number (their
+        // timestamps survive coarsening), but nothing below
+        // first_retained() has a timestamp anymore.
+        if (posting.start < doc.first_retained()) {
+          posting.start = doc.first_retained();
+        }
+        return false;
+      });
+      erased_any |= list.size() != before;
+      it = list.empty() ? map->erase(it) : std::next(it);
+    }
+  }
+  // Erasing list entries shifts posting indices, and term vectors are
+  // shared across documents — every OpenRef is suspect.
+  if (erased_any) RebuildOpenRefs();
+}
+
+void TemporalFullTextIndex::RebuildOpenRefs() {
+  open_.clear();
+  for (PostingMap* map : {&names_, &words_}) {
+    TermKind kind =
+        map == &names_ ? TermKind::kElementName : TermKind::kWord;
+    for (auto& [term, list] : *map) {
+      for (size_t p = 0; p < list.size(); ++p) {
+        if (!list[p].OpenEnded()) continue;
+        open_[list[p].doc_id].emplace(
+            OccurrenceKey(kind, term, list[p].element, list[p].path),
+            OpenRef{kind, term, p});
+      }
+    }
+  }
+}
+
 std::vector<const Posting*> TemporalFullTextIndex::LookupCurrent(
     TermKind kind, std::string_view term) const {
   std::vector<const Posting*> result;
@@ -97,7 +143,9 @@ std::vector<const Posting*> TemporalFullTextIndex::LookupT(
       const VersionedDocument* doc = store_->FindById(posting.doc_id);
       if (doc != nullptr && doc->ExistsAt(t)) {
         auto version = doc->delta_index().VersionAt(t);
-        if (version.has_value()) v = *version;
+        // The snapshot presented for t is the nearest *retained* version
+        // (identity below a coarsened horizon).
+        if (version.has_value()) v = doc->SnapToRetained(*version);
       }
       cached = resolved.emplace(posting.doc_id, v).first;
     }
@@ -122,7 +170,10 @@ std::unique_ptr<TemporalFullTextIndex> TemporalFullTextIndex::Rebuild(
     const VersionedDocumentStore& store) {
   auto index = std::make_unique<TemporalFullTextIndex>(&store);
   for (const VersionedDocument* doc : store.AllDocuments()) {
-    for (VersionNum v = 1; v <= doc->version_count(); ++v) {
+    // Walk the retained chain only — vacuumed-away versions have no
+    // timestamps and no reconstructible content.
+    for (VersionNum v = doc->first_retained();
+         v != 0 && v <= doc->version_count(); v = doc->NextRetained(v)) {
       auto tree = doc->ReconstructVersion(v);
       TXML_CHECK(tree.ok());
       index->OnVersionStored(doc->doc_id(), v,

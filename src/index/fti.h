@@ -45,6 +45,11 @@ class TemporalFullTextIndex : public StoreObserver {
                        const EditScript* delta) override;
   void OnDocumentDeleted(DocId doc_id, VersionNum last,
                          Timestamp ts) override;
+  /// Compacts the document's posting lists to its retained history:
+  /// postings whose validity range holds no retained version are dropped,
+  /// and surviving ranges are re-anchored at first_retained() (stamps
+  /// below it are gone from the delta index).
+  void OnHistoryVacuumed(const VersionedDocument& doc) override;
 
   /// FTI_lookup: postings valid in the current version of live documents.
   std::vector<const Posting*> LookupCurrent(TermKind kind,
@@ -85,6 +90,10 @@ class TemporalFullTextIndex : public StoreObserver {
     std::string term;
     size_t index;  // into the term's posting vector
   };
+
+  /// Rebuilds open_ from the open-ended postings (posting indices shift
+  /// when a vacuum erases list entries).
+  void RebuildOpenRefs();
 
   PostingMap& MapFor(TermKind kind) {
     return kind == TermKind::kElementName ? names_ : words_;

@@ -46,6 +46,18 @@ void LifetimeIndex::OnDocumentDeleted(DocId doc_id, VersionNum /*last*/,
   alive_.erase(it);
 }
 
+void LifetimeIndex::OnHistoryVacuumed(const VersionedDocument& doc) {
+  if (doc.first_retained() <= 1 || doc.version_count() == 0) {
+    return;  // coarsen-only vacuum: every element stays reachable
+  }
+  const Timestamp horizon =
+      doc.delta_index().TimestampOf(doc.first_retained());
+  const DocId doc_id = doc.doc_id();
+  std::erase_if(lifetimes_, [&](const auto& entry) {
+    return entry.first.doc_id == doc_id && entry.second.del <= horizon;
+  });
+}
+
 std::optional<Timestamp> LifetimeIndex::CreTime(const Eid& eid) const {
   auto it = lifetimes_.find(eid);
   if (it == lifetimes_.end()) return std::nullopt;

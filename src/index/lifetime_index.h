@@ -26,6 +26,11 @@ class LifetimeIndex : public StoreObserver {
                        const EditScript* delta) override;
   void OnDocumentDeleted(DocId doc_id, VersionNum last,
                          Timestamp ts) override;
+  /// Prunes entries for elements that vanished before the document's drop
+  /// horizon — no retained version contains them, so no scan can produce
+  /// their EIDs. Entries for elements still reachable keep their exact
+  /// create times even when those precede the horizon.
+  void OnHistoryVacuumed(const VersionedDocument& doc) override;
 
   /// Create time of the element (commit time of the version that
   /// introduced it); nullopt for unknown EIDs.

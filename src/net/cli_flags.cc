@@ -1,0 +1,55 @@
+#include "src/net/cli_flags.h"
+
+#include <cstring>
+#include <limits>
+
+namespace txml {
+namespace {
+
+/// Parses an unsigned decimal with an explicit cap; rejects empty input,
+/// non-digits and overflow (no exceptions, no silent truncation).
+StatusOr<uint64_t> ParseUnsigned(const std::string& value, uint64_t max,
+                                 const char* what) {
+  if (value.empty()) {
+    return Status::InvalidArgument(std::string(what) + " is empty");
+  }
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string(what) + " '" + value +
+                                     "' is not a number");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (parsed > (max - digit) / 10) {
+      return Status::InvalidArgument(std::string(what) + " '" + value +
+                                     "' is out of range (max " +
+                                     std::to_string(max) + ")");
+    }
+    parsed = parsed * 10 + digit;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+bool ParseFlagValue(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+StatusOr<uint16_t> ParsePortFlag(const std::string& value) {
+  auto parsed = ParseUnsigned(value, 65535, "port");
+  if (!parsed.ok()) return parsed.status();
+  return static_cast<uint16_t>(*parsed);
+}
+
+StatusOr<size_t> ParseSizeFlag(const std::string& value) {
+  auto parsed =
+      ParseUnsigned(value, std::numeric_limits<size_t>::max(), "count");
+  if (!parsed.ok()) return parsed.status();
+  return static_cast<size_t>(*parsed);
+}
+
+}  // namespace txml

@@ -1,0 +1,33 @@
+#ifndef TXML_SRC_NET_CLI_FLAGS_H_
+#define TXML_SRC_NET_CLI_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/statusor.h"
+
+namespace txml {
+
+/// Tiny shared flag helpers for the txml_server / txml_client mains.
+///
+/// The parsers exist because raw std::stoi / std::stoul are the wrong tool
+/// for argv: `--port=abc` throws an uncaught std::invalid_argument
+/// (terminating the process with no usage message), and `--port=99999`
+/// silently truncates through the uint16_t cast instead of being rejected.
+/// These return InvalidArgument so the mains can print usage and exit 2.
+
+/// Matches `--name=value` style arguments: when `arg` starts with `name`
+/// followed by '=', stores the remainder in *value and returns true.
+bool ParseFlagValue(const char* arg, const char* name, std::string* value);
+
+/// Parses a TCP port: digits only, in [0, 65535] (0 means "ephemeral" to
+/// the callers that allow it).
+StatusOr<uint16_t> ParsePortFlag(const std::string& value);
+
+/// Parses a non-negative size/count flag (e.g. --threads): digits only,
+/// must fit a size_t.
+StatusOr<size_t> ParseSizeFlag(const std::string& value);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_NET_CLI_FLAGS_H_

@@ -24,6 +24,10 @@ StatusOr<QueryResponse> TxmlClient::Execute(const PutRequest& request) {
   return RoundTrip(FrameType::kPutRequest, EncodePutRequest(request));
 }
 
+StatusOr<QueryResponse> TxmlClient::Execute(const VacuumRequest& request) {
+  return RoundTrip(FrameType::kVacuumRequest, EncodeVacuumRequest(request));
+}
+
 StatusOr<QueryResponse> TxmlClient::RoundTrip(FrameType type,
                                               std::string payload) {
   if (!socket_.valid()) {

@@ -46,6 +46,9 @@ class TxmlClient {
   /// Stores a new document version on the server.
   StatusOr<QueryResponse> Execute(const PutRequest& request);
 
+  /// Vacuums the server's store per the request's retention horizons.
+  StatusOr<QueryResponse> Execute(const VacuumRequest& request);
+
   /// Closes the connection (also done by the destructor).
   void Close() { socket_.Close(); }
   bool connected() const { return socket_.valid(); }

@@ -14,17 +14,17 @@ TxmlServer::TxmlServer(TemporalQueryService* service, ServerOptions options)
 TxmlServer::~TxmlServer() { Stop(); }
 
 Status TxmlServer::Start() {
-  if (options_.connection_threads == 0) {
-    return Status::InvalidArgument("ServerOptions.connection_threads must be > 0");
-  }
   if (options_.response_chunk_bytes == 0) {
     return Status::InvalidArgument("ServerOptions.response_chunk_bytes must be > 0");
   }
   if (options_.max_frame_bytes == 0) {
     return Status::InvalidArgument("ServerOptions.max_frame_bytes must be > 0");
   }
+  effective_connection_threads_ = options_.connection_threads != 0
+                                      ? options_.connection_threads
+                                      : kDefaultConnectionThreads;
   TXML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
-  pool_ = std::make_unique<ThreadPool>(options_.connection_threads);
+  pool_ = std::make_unique<ThreadPool>(effective_connection_threads_);
   accept_thread_ = std::thread(&TxmlServer::AcceptLoop, this);
   started_ = true;
   return Status::OK();
@@ -122,6 +122,11 @@ bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
       case FrameType::kPutRequest: {
         TXML_ASSIGN_OR_RETURN(PutRequest request,
                               DecodePutRequest(frame.payload));
+        return session->Execute(request);
+      }
+      case FrameType::kVacuumRequest: {
+        TXML_ASSIGN_OR_RETURN(VacuumRequest request,
+                              DecodeVacuumRequest(frame.payload));
         return session->Execute(request);
       }
       default:

@@ -15,6 +15,9 @@
 
 namespace txml {
 
+/// What ServerOptions.connection_threads == 0 resolves to at Start.
+inline constexpr size_t kDefaultConnectionThreads = 8;
+
 /// Configuration of a TxmlServer.
 struct ServerOptions {
   /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see
@@ -23,8 +26,9 @@ struct ServerOptions {
   /// Connection-handler threads: each accepted connection occupies one
   /// pool thread for its lifetime (blocking I/O, one ClientSession per
   /// connection). Connections beyond this count queue in the pool until a
-  /// handler frees up.
-  size_t connection_threads = 8;
+  /// handler frees up. 0 means "use the default" — callers report the
+  /// actual count via TxmlServer::connection_threads() after Start.
+  size_t connection_threads = 0;
   /// Per-connection socket deadlines. A read timeout on an idle
   /// connection closes it (the client reconnects); mid-frame timeouts are
   /// protocol errors.
@@ -78,6 +82,11 @@ class TxmlServer {
   /// The bound port (valid after Start).
   uint16_t port() const { return listener_.port(); }
 
+  /// The *effective* connection-handler thread count (valid after Start):
+  /// the configured value, or kDefaultConnectionThreads when the options
+  /// left it 0. Startup banners must print this, not the raw option.
+  size_t connection_threads() const { return effective_connection_threads_; }
+
   ServerStats Stats() const;
 
  private:
@@ -95,6 +104,7 @@ class TxmlServer {
 
   TemporalQueryService* service_;
   ServerOptions options_;
+  size_t effective_connection_threads_ = 0;
   ListenSocket listener_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;

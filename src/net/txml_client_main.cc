@@ -3,35 +3,40 @@
 //   txml_client [--host=H] [--port=N] [--compact] [--stats] query "SELECT …"
 //   txml_client [--host=H] [--port=N] put URL XML
 //   txml_client [--host=H] [--port=N] put URL XML dd/mm/yyyy
+//   txml_client [--host=H] [--port=N] vacuum [--drop-before=dd/mm/yyyy]
+//               [--coarsen-older-than=dd/mm/yyyy] [--keep-every=K]
 //
-// Prints the response payload (the serialized <results> document, or the
-// <put-result/> confirmation) to stdout; --stats adds the execution
-// counters on stderr. Exit status: 0 on OK, 1 on a failed request (the
-// server's status is printed), 2 on usage errors.
+// Prints the response payload (the serialized <results> document, the
+// <put-result/> confirmation, or the <vacuum-result/> summary) to stdout;
+// --stats adds the execution counters on stderr. Exit status: 0 on OK, 1
+// on a failed request (the server's status is printed), 2 on usage errors.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/net/cli_flags.h"
 #include "src/net/client.h"
 #include "src/util/timestamp.h"
 
 namespace {
-
-bool ParseFlag(const char* arg, const char* name, std::string* value) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
-}
 
 int Usage() {
   std::fprintf(stderr,
                "usage: txml_client [--host=H] [--port=N] [--compact] "
                "[--stats] query \"SELECT …\"\n"
                "       txml_client [--host=H] [--port=N] put URL XML "
-               "[dd/mm/yyyy]\n");
+               "[dd/mm/yyyy]\n"
+               "       txml_client [--host=H] [--port=N] vacuum "
+               "[--drop-before=dd/mm/yyyy]\n"
+               "               [--coarsen-older-than=dd/mm/yyyy] "
+               "[--keep-every=K]\n");
   return 2;
+}
+
+int FlagError(const txml::Status& status) {
+  std::fprintf(stderr, "txml_client: %s\n", status.message().c_str());
+  return Usage();
 }
 
 }  // namespace
@@ -41,14 +46,34 @@ int main(int argc, char** argv) {
   uint16_t port = 7400;
   bool pretty = true;
   bool print_stats = false;
+  txml::VacuumRequest vacuum;
   std::vector<std::string> positional;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    if (ParseFlag(argv[i], "--host", &value)) {
+    if (txml::ParseFlagValue(argv[i], "--host", &value)) {
       host = value;
-    } else if (ParseFlag(argv[i], "--port", &value)) {
-      port = static_cast<uint16_t>(std::stoi(value));
+    } else if (txml::ParseFlagValue(argv[i], "--port", &value)) {
+      auto parsed = txml::ParsePortFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      port = *parsed;
+    } else if (txml::ParseFlagValue(argv[i], "--drop-before", &value)) {
+      auto ts = txml::Timestamp::ParseDate(value);
+      if (!ts.ok()) return FlagError(ts.status());
+      vacuum.drop_before = *ts;
+    } else if (txml::ParseFlagValue(argv[i], "--coarsen-older-than", &value)) {
+      auto ts = txml::Timestamp::ParseDate(value);
+      if (!ts.ok()) return FlagError(ts.status());
+      vacuum.coarsen_older_than = *ts;
+    } else if (txml::ParseFlagValue(argv[i], "--keep-every", &value)) {
+      auto parsed = txml::ParseSizeFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      if (*parsed == 0 || *parsed > UINT32_MAX) {
+        std::fprintf(stderr, "txml_client: --keep-every must be in [1, %u]\n",
+                     UINT32_MAX);
+        return Usage();
+      }
+      vacuum.keep_every = static_cast<uint32_t>(*parsed);
     } else if (std::strcmp(argv[i], "--compact") == 0) {
       pretty = false;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -58,6 +83,14 @@ int main(int argc, char** argv) {
     }
   }
   if (positional.empty()) return Usage();
+  if (positional[0] == "vacuum" &&
+      !vacuum.drop_before.has_value() &&
+      !vacuum.coarsen_older_than.has_value()) {
+    std::fprintf(stderr,
+                 "txml_client: vacuum needs --drop-before and/or "
+                 "--coarsen-older-than\n");
+    return Usage();
+  }
 
   auto client = txml::TxmlClient::Connect(host, port);
   if (!client.ok()) {
@@ -84,6 +117,9 @@ int main(int argc, char** argv) {
         request.timestamp = *ts;
       }
       return client->Execute(request);
+    }
+    if (positional[0] == "vacuum" && positional.size() == 1) {
+      return client->Execute(vacuum);
     }
     return txml::Status::InvalidArgument("usage");
   }();

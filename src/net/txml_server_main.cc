@@ -4,7 +4,7 @@
 //   txml_server [--port=N] [--threads=N] [--db=DIR] [--seed-demo]
 //
 //   --port=N      bind 127.0.0.1:N (default 7400; 0 = ephemeral, printed)
-//   --threads=N   connection-handler threads (default 8)
+//   --threads=N   connection-handler threads (0 or omitted = server default)
 //   --db=DIR      open a persisted database (TemporalXmlDatabase::Open);
 //                 omitted = start empty
 //   --seed-demo   load a small restaurant-guide history (handy for trying
@@ -17,25 +17,62 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <semaphore>
 #include <string>
 
+#include <errno.h>
+#include <unistd.h>
+
+#include "src/net/cli_flags.h"
 #include "src/net/server.h"
 #include "src/service/service.h"
 
 namespace {
 
-/// Released by the signal handler; awaited by main. A semaphore is one of
-/// the few things that is both async-signal-safe to release and blockable.
-std::binary_semaphore g_shutdown(0);
+// Shutdown signalling. The previous implementation released a
+// std::binary_semaphore from the handler; semaphore release is NOT on
+// POSIX's async-signal-safe list (it may lock a futex mutex internally),
+// so a signal landing at the wrong moment could deadlock or corrupt state.
+// The handler now only sets a sig_atomic_t flag and write()s one byte to a
+// self-pipe — both async-signal-safe — and main blocks in read().
+volatile std::sig_atomic_t g_signal = 0;
+int g_wake_fds[2] = {-1, -1};
 
-void HandleSignal(int) { g_shutdown.release(); }
+void HandleSignal(int signum) {
+  g_signal = signum;
+  // Wake the main thread. EAGAIN (pipe full) is fine: a byte is already
+  // pending, so main wakes regardless. errno is preserved for the
+  // interrupted code.
+  int saved_errno = errno;
+  unsigned char byte = 1;
+  ssize_t ignored = write(g_wake_fds[1], &byte, 1);
+  (void)ignored;
+  errno = saved_errno;
+}
 
-bool ParseFlag(const char* arg, const char* name, std::string* value) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
+void AwaitShutdownSignal() {
+  unsigned char byte;
+  while (true) {
+    ssize_t n = read(g_wake_fds[0], &byte, 1);
+    if (n == 1) return;
+    if (n < 0 && errno == EINTR) {
+      // A signal interrupted the read itself; the flag says which.
+      if (g_signal != 0) return;
+      continue;
+    }
+    if (n == 0) return;  // pipe closed — treat as shutdown
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: txml_server [--port=N] [--threads=N] [--db=DIR] "
+               "[--seed-demo]\n");
+  return 2;
+}
+
+int FlagError(const txml::Status& status) {
+  std::fprintf(stderr, "txml_server: %s\n", status.message().c_str());
+  return Usage();
 }
 
 void SeedDemo(txml::TemporalQueryService* service) {
@@ -76,20 +113,20 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    if (ParseFlag(argv[i], "--port", &value)) {
-      server_options.port = static_cast<uint16_t>(std::stoi(value));
-    } else if (ParseFlag(argv[i], "--threads", &value)) {
-      server_options.connection_threads =
-          static_cast<size_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--db", &value)) {
+    if (txml::ParseFlagValue(argv[i], "--port", &value)) {
+      auto parsed = txml::ParsePortFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      server_options.port = *parsed;
+    } else if (txml::ParseFlagValue(argv[i], "--threads", &value)) {
+      auto parsed = txml::ParseSizeFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      server_options.connection_threads = *parsed;
+    } else if (txml::ParseFlagValue(argv[i], "--db", &value)) {
       db_dir = value;
     } else if (std::strcmp(argv[i], "--seed-demo") == 0) {
       seed_demo = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: txml_server [--port=N] [--threads=N] [--db=DIR] "
-                   "[--seed-demo]\n");
-      return 2;
+      return Usage();
     }
   }
 
@@ -111,6 +148,21 @@ int main(int argc, char** argv) {
   }
   if (seed_demo) SeedDemo(service->get());
 
+  // Install the shutdown plumbing BEFORE the server starts accepting: a
+  // SIGTERM racing startup must not hit the default handler (which would
+  // kill the process without draining in-flight queries).
+  if (pipe(g_wake_fds) != 0) {
+    std::fprintf(stderr, "cannot create shutdown pipe: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: read() must see EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
   txml::TxmlServer server(service->get(), server_options);
   txml::Status started = server.Start();
   if (!started.ok()) {
@@ -118,15 +170,18 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
+  // Report the *effective* thread count: with --threads=0 (or omitted in a
+  // future default) the server resolves the default itself, and echoing
+  // the raw option here would print "0 threads".
   std::fprintf(stderr, "txml_server listening on 127.0.0.1:%u (%zu threads)\n",
-               server.port(), server_options.connection_threads);
+               server.port(), server.connection_threads());
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-  g_shutdown.acquire();
+  AwaitShutdownSignal();
 
   std::fprintf(stderr, "shutting down (draining in-flight queries)…\n");
   server.Stop();
+  close(g_wake_fds[0]);
+  close(g_wake_fds[1]);
   txml::ServerStats stats = server.Stats();
   std::fprintf(stderr,
                "served %llu requests (%llu failed) over %llu connections\n",

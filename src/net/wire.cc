@@ -106,6 +106,45 @@ StatusOr<PutRequest> DecodePutRequest(std::string_view payload) {
   return request;
 }
 
+std::string EncodeVacuumRequest(const VacuumRequest& request) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  for (const std::optional<Timestamp>& horizon :
+       {request.drop_before, request.coarsen_older_than}) {
+    PutVarint32(&out, horizon.has_value() ? 1 : 0);
+    if (horizon.has_value()) {
+      PutFixed64(&out, static_cast<uint64_t>(horizon->micros()));
+    }
+  }
+  PutVarint32(&out, request.keep_every);
+  return out;
+}
+
+StatusOr<VacuumRequest> DecodeVacuumRequest(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "VacuumRequest"));
+  VacuumRequest request;
+  for (std::optional<Timestamp>* horizon :
+       {&request.drop_before, &request.coarsen_older_than}) {
+    auto has_horizon = decoder.ReadVarint32();
+    if (!has_horizon.ok()) {
+      return AsInvalidFrame(has_horizon.status(), "VacuumRequest");
+    }
+    if (*has_horizon != 0) {
+      auto micros = decoder.ReadFixed64();
+      if (!micros.ok()) return AsInvalidFrame(micros.status(), "VacuumRequest");
+      *horizon = Timestamp::FromMicros(static_cast<int64_t>(*micros));
+    }
+  }
+  auto keep_every = decoder.ReadVarint32();
+  if (!keep_every.ok()) {
+    return AsInvalidFrame(keep_every.status(), "VacuumRequest");
+  }
+  request.keep_every = *keep_every;
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "VacuumRequest"));
+  return request;
+}
+
 std::string EncodeResponseHeader(const ResponseHeader& header) {
   std::string out;
   PutVarint32(&out, header.envelope_version);

@@ -46,6 +46,10 @@ enum class FrameType : uint8_t {
   kResponseHeader = 3,
   kResponseChunk = 4,
   kResponseEnd = 5,
+  /// Admin: vacuum the store per a retention policy. An older server that
+  /// predates this frame rejects it as an unknown type (kInvalidFrame), so
+  /// no envelope-version bump is needed.
+  kVacuumRequest = 6,
 };
 
 /// Upper bound a receiver imposes on one frame body (guards a hostile or
@@ -80,6 +84,7 @@ void AppendFrame(FrameType type, std::string_view payload, std::string* dst);
 
 std::string EncodeQueryRequest(const QueryRequest& request);
 std::string EncodePutRequest(const PutRequest& request);
+std::string EncodeVacuumRequest(const VacuumRequest& request);
 std::string EncodeResponseHeader(const ResponseHeader& header);
 std::string EncodeResponseEnd(uint64_t payload_bytes);
 
@@ -87,6 +92,7 @@ std::string EncodeResponseEnd(uint64_t payload_bytes);
 
 StatusOr<QueryRequest> DecodeQueryRequest(std::string_view payload);
 StatusOr<PutRequest> DecodePutRequest(std::string_view payload);
+StatusOr<VacuumRequest> DecodeVacuumRequest(std::string_view payload);
 StatusOr<ResponseHeader> DecodeResponseHeader(std::string_view payload);
 StatusOr<uint64_t> DecodeResponseEnd(std::string_view payload);
 

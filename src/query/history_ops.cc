@@ -18,26 +18,30 @@ namespace {
 template <typename Fn>
 Status WalkVersionsBackward(const VersionedDocument& doc, Timestamp t1,
                             Timestamp t2, Fn&& visit) {
+  // Only retained versions are visited: after a vacuum, a coarse-kept
+  // version's validity covers its coarsened-away successors, and nothing
+  // below first_retained() exists any more (PrevRetained returns 0 there).
   VersionNum hi = 0;
-  for (VersionNum v = doc.version_count(); v >= 1; --v) {
-    TimeInterval validity = doc.VersionValidity(v);
+  for (VersionNum v = doc.version_count(); v != 0; v = doc.PrevRetained(v)) {
+    TimeInterval validity = doc.RetainedValidity(v);
     if (validity.start < t2 && validity.start < validity.end) {
       hi = v;
       break;
     }
-    if (v == 1) break;  // VersionNum is unsigned
   }
-  if (hi == 0 || doc.VersionValidity(hi).end <= t1) return Status::OK();
+  if (hi == 0 || doc.RetainedValidity(hi).end <= t1) return Status::OK();
 
   TXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> tree,
                         doc.ReconstructVersion(hi));
-  for (VersionNum v = hi;; --v) {
-    TimeInterval validity = doc.VersionValidity(v);
+  for (VersionNum v = hi; v != 0;) {
+    TimeInterval validity = doc.RetainedValidity(v);
     if (validity.end <= t1) break;  // older versions end even earlier
     visit(v, validity, *tree);
-    if (v == 1) break;
+    VersionNum prev = doc.PrevRetained(v);
+    if (prev == 0) break;
     TXML_RETURN_IF_ERROR(
-        doc.TransitionDelta(v - 1).ApplyBackward(tree.get()));
+        doc.RetainedTransition(prev).ApplyBackward(tree.get()));
+    v = prev;
   }
   return Status::OK();
 }

@@ -57,21 +57,29 @@ StatusOr<Timestamp> CreTime(const QueryContext& ctx, const Teid& teid,
   // TEID anchors, looking for the insert that introduced the element. No
   // reconstruction is necessary — this is why the operator wants a TEID
   // with its timestamp rather than a bare EID.
+  // After a vacuum only retained transitions exist; an insert inside a
+  // merged (coarsened) delta yields the retained endpoint's timestamp — a
+  // coarser answer, which is exactly the precision the retention policy
+  // traded away. The lifetime index (default on) keeps exact times.
   auto v = VersionOf(**doc, teid.timestamp);
   if (!v.ok()) return v.status();
-  for (VersionNum i = *v; i >= 2; --i) {
-    // Transition i-1 produced version i.
-    const EditScript& delta = (*doc)->TransitionDelta(i - 1);
+  VersionNum i = (*doc)->SnapToRetained(*v);
+  if (i == 0) i = (*doc)->first_retained();
+  while (i > (*doc)->first_retained()) {
+    VersionNum prev = (*doc)->PrevRetained(i);
+    // The retained transition out of `prev` produced version i.
+    const EditScript& delta = (*doc)->RetainedTransition(prev);
     for (const EditOp& op : delta.ops()) {
       if (op.kind == EditOp::Kind::kInsert &&
           SubtreeContainsXid(*op.subtree, teid.eid.xid)) {
         return (*doc)->delta_index().TimestampOf(i);
       }
     }
+    i = prev;
   }
-  // Not introduced by any delta below the anchor: the element has existed
-  // since the first version.
-  return (*doc)->delta_index().TimestampOf(1);
+  // Not introduced by any retained delta below the anchor: the element has
+  // existed since the oldest retained version.
+  return (*doc)->delta_index().TimestampOf((*doc)->first_retained());
 }
 
 StatusOr<std::optional<Timestamp>> DelTime(const QueryContext& ctx,
@@ -98,13 +106,16 @@ StatusOr<std::optional<Timestamp>> DelTime(const QueryContext& ctx,
   // the delete that removed it (Section 7.3.6).
   auto v = VersionOf(**doc, teid.timestamp);
   if (!v.ok()) return v.status();
-  for (VersionNum i = *v; i < (*doc)->version_count(); ++i) {
-    const EditScript& delta = (*doc)->TransitionDelta(i);
+  for (VersionNum i = (*doc)->SnapToRetained(*v);
+       i != 0 && i < (*doc)->version_count(); i = (*doc)->NextRetained(i)) {
+    const EditScript& delta = (*doc)->RetainedTransition(i);
     for (const EditOp& op : delta.ops()) {
       if (op.kind == EditOp::Kind::kDelete &&
           SubtreeContainsXid(*op.subtree, teid.eid.xid)) {
+        // For a merged delta this is the retained endpoint's timestamp —
+        // the coarsest delete time consistent with the retained history.
         return std::optional<Timestamp>(
-            (*doc)->delta_index().TimestampOf(i + 1));
+            (*doc)->delta_index().TimestampOf((*doc)->NextRetained(i)));
       }
     }
   }

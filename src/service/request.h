@@ -37,6 +37,21 @@ struct PutRequest {
   std::optional<Timestamp> timestamp;
 };
 
+/// An admin request: vacuum every document's history per the retention
+/// horizons (src/storage/vacuum.h). Runs under the exclusive commit lock —
+/// a vacuum is a write as far as readers are concerned, even though it
+/// changes no query answer at or after the horizon. At least one horizon
+/// must be set.
+struct VacuumRequest {
+  /// Drop all history strictly before this time (the version valid *at*
+  /// the horizon is always retained).
+  std::optional<Timestamp> drop_before;
+  /// Coarsen history older than this time, keeping every k-th version.
+  std::optional<Timestamp> coarsen_older_than;
+  /// The k of coarsening; ignored unless coarsen_older_than is set.
+  uint32_t keep_every = 8;
+};
+
 /// What every request produces on success. For queries, `payload` is the
 /// serialized <results>…</results> document; for puts it is a one-element
 /// <put-result> confirmation (url, version, commit timestamp). Failures

@@ -103,6 +103,39 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
   return response;
 }
 
+StatusOr<QueryResponse> TemporalQueryService::Execute(
+    const VacuumRequest& request) {
+  RetentionPolicy policy;
+  policy.drop_before = request.drop_before;
+  policy.coarsen_older_than = request.coarsen_older_than;
+  policy.keep_every = request.keep_every;
+  TXML_ASSIGN_OR_RETURN(VacuumStats stats, Vacuum(policy));
+  QueryResponse response;
+  response.payload =
+      "<vacuum-result documents=\"" + std::to_string(stats.documents_examined) +
+      "\" vacuumed=\"" + std::to_string(stats.documents_vacuumed) +
+      "\" versions-dropped=\"" + std::to_string(stats.versions_dropped) +
+      "\" snapshots-dropped=\"" + std::to_string(stats.snapshots_dropped) +
+      "\" deltas-merged=\"" + std::to_string(stats.deltas_merged) +
+      "\" bytes-before=\"" + std::to_string(stats.bytes_before) +
+      "\" bytes-after=\"" + std::to_string(stats.bytes_after) +
+      "\" reclaimed-bytes=\"" + std::to_string(stats.ReclaimedBytes()) +
+      "\"/>";
+  return response;
+}
+
+StatusOr<VacuumStats> TemporalQueryService::Vacuum(
+    const RetentionPolicy& policy) {
+  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  auto stats = db_->Vacuum(policy);
+  if (stats.ok()) {
+    vacuums_run_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return stats;
+}
+
 std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
     QueryRequest request) {
   return Enqueue(
@@ -113,6 +146,11 @@ std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
     PutRequest request) {
   return Enqueue(
       [this, request = std::move(request)] { return Execute(request); });
+}
+
+std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
+    VacuumRequest request) {
+  return Enqueue([this, request] { return Execute(request); });
 }
 
 StatusOr<std::string> TemporalQueryService::ExecuteQueryToString(
@@ -193,6 +231,7 @@ ServiceStats TemporalQueryService::Stats() const {
   stats.queries_failed = queries_failed_.load(std::memory_order_relaxed);
   stats.writes_committed = writes_committed_.load(std::memory_order_relaxed);
   stats.writes_failed = writes_failed_.load(std::memory_order_relaxed);
+  stats.vacuums_run = vacuums_run_.load(std::memory_order_relaxed);
   stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) stats.snapshot_cache = cache_->Stats();
   return stats;

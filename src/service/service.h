@@ -98,9 +98,15 @@ class TemporalQueryService {
   /// confirmation payload.
   StatusOr<QueryResponse> Execute(const PutRequest& request);
 
+  /// The admin entry point (exclusive commit lock): vacuums every
+  /// document's history per the request's retention horizons and returns a
+  /// <vacuum-result …/> summary payload. See Vacuum() for the typed form.
+  StatusOr<QueryResponse> Execute(const VacuumRequest& request);
+
   /// Async variants of Execute on the bounded worker pool.
   std::future<StatusOr<QueryResponse>> Submit(QueryRequest request);
   std::future<StatusOr<QueryResponse>> Submit(PutRequest request);
+  std::future<StatusOr<QueryResponse>> Submit(VacuumRequest request);
 
   // ---- deprecated shims (prefer Execute/Submit above) ----
 
@@ -120,6 +126,12 @@ class TemporalQueryService {
   StatusOr<PutResult> PutAt(const std::string& url, std::string_view xml_text,
                             Timestamp ts);
   Status Delete(const std::string& url);
+
+  /// Vacuums every document's history per `policy` under the exclusive
+  /// commit lock: in-flight readers finish against the pre-vacuum state,
+  /// and readers starting afterwards see the rewritten (answer-preserving)
+  /// history with all indexes and the snapshot cache already updated.
+  StatusOr<VacuumStats> Vacuum(const RetentionPolicy& policy);
 
   /// Snapshot of one document at time t (shared lock; consults the cache
   /// through the query path only — plain retrieval reconstructs).
@@ -176,6 +188,7 @@ class TemporalQueryService {
   std::atomic<uint64_t> queries_failed_{0};
   std::atomic<uint64_t> writes_committed_{0};
   std::atomic<uint64_t> writes_failed_{0};
+  std::atomic<uint64_t> vacuums_run_{0};
   std::atomic<uint64_t> sessions_opened_{0};
 
   /// Last: joins workers before db_/cache_ die. Declared after everything

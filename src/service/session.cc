@@ -15,6 +15,13 @@ StatusOr<QueryResponse> ClientSession::Execute(const PutRequest& request) {
   return service_->Execute(request);
 }
 
+StatusOr<QueryResponse> ClientSession::Execute(const VacuumRequest& request) {
+  // A vacuum is a write from the session's perspective: it takes the
+  // exclusive commit lock and rewrites storage.
+  ++writes_issued_;
+  return service_->Execute(request);
+}
+
 StatusOr<XmlDocument> ClientSession::Query(std::string_view query_text) {
   ++queries_issued_;
   last_stats_ = ExecStats{};

@@ -31,6 +31,7 @@ class ClientSession {
   /// the service's Execute and keep this session's last-query stats.
   StatusOr<QueryResponse> Execute(const QueryRequest& request);
   StatusOr<QueryResponse> Execute(const PutRequest& request);
+  StatusOr<QueryResponse> Execute(const VacuumRequest& request);
 
   StatusOr<XmlDocument> Query(std::string_view query_text);
   StatusOr<std::string> QueryToString(std::string_view query_text,

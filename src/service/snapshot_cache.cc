@@ -86,6 +86,10 @@ void ShardedSnapshotCache::OnDocumentDeleted(DocId doc_id,
   EraseDocument(doc_id);
 }
 
+void ShardedSnapshotCache::OnHistoryVacuumed(const VersionedDocument& doc) {
+  EraseDocument(doc.doc_id());
+}
+
 void ShardedSnapshotCache::EraseDocument(DocId doc_id) {
   std::vector<std::shared_ptr<const XmlNode>> doomed;
   for (auto& shard : shards_) {

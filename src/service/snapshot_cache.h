@@ -61,6 +61,11 @@ class ShardedSnapshotCache final : public SnapshotCacheInterface,
                        const EditScript* delta) override;
   void OnDocumentDeleted(DocId doc_id, VersionNum last,
                          Timestamp ts) override;
+  /// A vacuum rewrote the document's history: entries keyed on
+  /// vacuumed-away versions must not be served again, so the document's
+  /// whole slice is dropped (retained-version entries would still be
+  /// valid, but this event is rare and the slice re-warms).
+  void OnHistoryVacuumed(const VersionedDocument& doc) override;
 
   /// Drops every entry of one document / of all documents.
   void EraseDocument(DocId doc_id);

@@ -27,6 +27,9 @@ struct ServiceStats {
   uint64_t queries_failed = 0;
   uint64_t writes_committed = 0;
   uint64_t writes_failed = 0;
+  /// Successful Vacuum() passes over the store (failed ones count as
+  /// writes_failed — a vacuum takes the write side of the commit lock).
+  uint64_t vacuums_run = 0;
   uint64_t sessions_opened = 0;
   SnapshotCacheStats snapshot_cache;
 };

@@ -8,12 +8,13 @@ std::optional<VersionNum> DeltaIndex::VersionAt(Timestamp t) const {
   // First stamp strictly greater than t; the version before it is valid.
   auto it = std::upper_bound(stamps_.begin(), stamps_.end(), t);
   if (it == stamps_.begin()) return std::nullopt;
-  return static_cast<VersionNum>(it - stamps_.begin());
+  return static_cast<VersionNum>(first_version_ - 1 +
+                                 (it - stamps_.begin()));
 }
 
 std::optional<Timestamp> DeltaIndex::PreviousTS(Timestamp ts) const {
   auto v = VersionAt(ts);
-  if (!v.has_value() || *v <= 1) return std::nullopt;
+  if (!v.has_value() || *v <= first_version_) return std::nullopt;
   return TimestampOf(*v - 1);
 }
 

@@ -25,15 +25,36 @@ class DeltaIndex {
   /// Appends a version; timestamps must be strictly increasing.
   void Append(Timestamp ts) { stamps_.push_back(ts); }
 
-  /// Number of versions recorded.
+  /// Number of versions recorded since the document was created — i.e. the
+  /// version number of the latest version. After DropBelow this stays
+  /// stable (version numbers are never reused), even though stamps below
+  /// first_version() are gone.
   VersionNum version_count() const {
-    return static_cast<VersionNum>(stamps_.size());
+    return static_cast<VersionNum>(first_version_ - 1 + stamps_.size());
   }
   bool empty() const { return stamps_.empty(); }
 
-  /// Timestamp of version v (1-based). Precondition: 1 <= v <= count.
+  /// The oldest version that still has a timestamp. 1 unless DropBelow has
+  /// run (vacuum with a drop_before horizon).
+  VersionNum first_version() const { return first_version_; }
+
+  /// Forgets all stamps below version `first` (which becomes the new
+  /// first_version()). Version numbers of the remaining stamps are
+  /// unchanged. Precondition: first_version() <= first <= version_count().
+  void DropBelow(VersionNum first) {
+    stamps_.erase(stamps_.begin(),
+                  stamps_.begin() + (first - first_version_));
+    first_version_ = first;
+  }
+
+  /// Re-applies a persisted DropBelow offset after Decode (the binary form
+  /// stores only the surviving stamps; the owner stores the offset).
+  /// Precondition: no offset applied yet.
+  void RestoreFirstVersion(VersionNum first) { first_version_ = first; }
+
+  /// Timestamp of version v. Precondition: first_version() <= v <= count.
   Timestamp TimestampOf(VersionNum v) const {
-    return stamps_[v - 1];
+    return stamps_[v - first_version_];
   }
 
   Timestamp first_timestamp() const { return stamps_.front(); }
@@ -71,6 +92,7 @@ class DeltaIndex {
 
  private:
   std::vector<Timestamp> stamps_;
+  VersionNum first_version_ = 1;
 };
 
 }  // namespace txml

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/storage/vacuum.h"
 #include "src/storage/versioned_document.h"
 #include "src/util/logging.h"
 #include "src/util/statusor.h"
@@ -45,6 +46,16 @@ class StoreObserver {
   /// The document was deleted at `ts` (its last version was `last`).
   virtual void OnDocumentDeleted(DocId doc_id, VersionNum last,
                                  Timestamp ts) = 0;
+
+  /// The document's history was rewritten by a vacuum (versions below
+  /// doc.first_retained() are gone; the coarse zone below
+  /// doc.dense_floor() retains only a subset of versions). Observers must
+  /// drop or re-anchor anything keyed on vacuumed-away versions. Called
+  /// under the same single-writer contract as the other events; default is
+  /// a no-op so observers indifferent to retention need no change.
+  virtual void OnHistoryVacuumed(const VersionedDocument& doc) {
+    (void)doc;
+  }
 };
 
 /// Configuration for a VersionedDocumentStore.
@@ -91,6 +102,12 @@ class VersionedDocumentStore {
 
   /// Marks the document deleted at `ts` (terminal; see VersionedDocument).
   Status Delete(const std::string& url, Timestamp ts);
+
+  /// Applies the retention policy to every document, notifying observers
+  /// (OnHistoryVacuumed) for each document whose history changed. A write
+  /// under the single-writer contract — the caller must hold the same
+  /// exclusion it holds around Put/Delete. Implemented in vacuum.cc.
+  StatusOr<VacuumStats> Vacuum(const RetentionPolicy& policy);
 
   /// Lookup by URL / id. Null when absent.
   VersionedDocument* FindByUrl(const std::string& url);

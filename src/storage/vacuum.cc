@@ -1,0 +1,251 @@
+#include "src/storage/vacuum.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/storage/store.h"
+#include "src/storage/versioned_document.h"
+#include "src/util/logging.h"
+#include "src/util/macros.h"
+
+namespace txml {
+namespace {
+
+void ForEachXid(const XmlNode& node, const std::function<void(Xid)>& fn) {
+  if (node.xid() != kInvalidXid) fn(node.xid());
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    ForEachXid(*node.child(i), fn);
+  }
+}
+
+}  // namespace
+
+Status ValidateRetentionPolicy(const RetentionPolicy& policy) {
+  if (!policy.drop_before.has_value() &&
+      !policy.coarsen_older_than.has_value()) {
+    return Status::InvalidArgument(
+        "retention policy names no horizon (drop_before or "
+        "coarsen_older_than)");
+  }
+  if (policy.coarsen_older_than.has_value() && policy.keep_every < 1) {
+    return Status::InvalidArgument("keep_every must be >= 1");
+  }
+  return Status::OK();
+}
+
+EditScript MergeEditScripts(std::vector<EditScript> parts) {
+  TXML_CHECK(!parts.empty());
+  EditScript merged;
+  merged.set_commit_ts(parts.back().commit_ts());
+
+  std::vector<EditOp> ops;
+  // (xid, kind) -> index into `ops` of the op holding the running value,
+  // for the two position-independent op kinds. Update/rename chains on one
+  // node collapse into the *earlier* op (its position in the stream is
+  // safe: nothing between the chain's links can observe the node's value
+  // or name, since anything that captures them — a delete of an enclosing
+  // subtree — would make the later link impossible). Structural ops are
+  // never coalesced: insert+delete cancellation would require position
+  // fix-ups across every op in between, and moves are position-dependent
+  // on both ends.
+  std::map<std::pair<Xid, int>, size_t> value_ops;
+  // XIDs first inserted within the merged range: they do not exist in the
+  // merge's base version, so they never get a backward stamp.
+  std::set<Xid> inserted;
+  std::map<Xid, Timestamp> backward;  // xid -> stamp in the base version
+  std::map<Xid, Timestamp> forward;   // xid -> stamp in the target version
+
+  for (EditScript& part : parts) {
+    for (EditOp& op : part.ops()) {
+      switch (op.kind) {
+        case EditOp::Kind::kInsert:
+          ForEachXid(*op.subtree, [&](Xid x) { inserted.insert(x); });
+          ops.push_back(std::move(op));
+          break;
+        case EditOp::Kind::kDelete:
+          // Deleted nodes do not survive to the target version: their
+          // forward stamps (if any) die with them. Their *backward* stamps
+          // stay — undo-delete re-inserts the stored subtree with its
+          // deletion-time stamps, and the backward list restores the base
+          // ones.
+          ForEachXid(*op.subtree, [&](Xid x) { forward.erase(x); });
+          ops.push_back(std::move(op));
+          break;
+        case EditOp::Kind::kUpdate:
+        case EditOp::Kind::kRename: {
+          auto key = std::make_pair(op.target, static_cast<int>(op.kind));
+          auto it = value_ops.find(key);
+          if (it != value_ops.end()) {
+            ops[it->second].new_value = std::move(op.new_value);
+          } else {
+            value_ops.emplace(key, ops.size());
+            ops.push_back(std::move(op));
+          }
+          break;
+        }
+        case EditOp::Kind::kMove:
+          ops.push_back(std::move(op));
+          break;
+      }
+    }
+    // A part's restamps apply after its ops. A part that is itself a
+    // merged delta carries explicit per-xid target stamps; a plain part
+    // stamps every restamped xid with its commit timestamp.
+    if (part.merged()) {
+      for (const auto& [xid, old_ts] : part.restamps()) {
+        if (inserted.count(xid) == 0) backward.try_emplace(xid, old_ts);
+      }
+      for (const auto& [xid, new_ts] : part.forward_stamps()) {
+        forward[xid] = new_ts;
+      }
+    } else {
+      for (const auto& [xid, old_ts] : part.restamps()) {
+        if (inserted.count(xid) == 0) backward.try_emplace(xid, old_ts);
+        forward[xid] = part.commit_ts();
+      }
+    }
+  }
+
+  // Coalesced chains that ended where they started are no-ops (their
+  // restamps, if any, still apply — the node's timestamp did change).
+  for (EditOp& op : ops) {
+    if ((op.kind == EditOp::Kind::kUpdate ||
+         op.kind == EditOp::Kind::kRename) &&
+        op.old_value == op.new_value) {
+      continue;
+    }
+    merged.Add(std::move(op));
+  }
+  merged.SetMergedStamps(
+      std::vector<std::pair<Xid, Timestamp>>(backward.begin(),
+                                             backward.end()),
+      std::vector<std::pair<Xid, Timestamp>>(forward.begin(),
+                                             forward.end()));
+  return merged;
+}
+
+StatusOr<VersionedDocument::VacuumOutcome> VersionedDocument::Vacuum(
+    const RetentionPolicy& policy) {
+  TXML_RETURN_IF_ERROR(ValidateRetentionPolicy(policy));
+  VacuumOutcome outcome;
+  if (version_count() == 0) return outcome;
+
+  // Resolve the time horizons to retained version numbers. The version
+  // valid *at* a horizon answers queries at the horizon, so it is always
+  // retained; only strictly older versions are dropped or coarsened.
+  VersionNum new_first = first_retained_;
+  if (policy.drop_before.has_value()) {
+    auto v = delta_index_.VersionAt(*policy.drop_before);
+    if (v.has_value()) new_first = std::max(new_first, SnapToRetained(*v));
+  }
+  VersionNum coarse_limit = 0;  // versions below it get the keep-every filter
+  if (policy.coarsen_older_than.has_value()) {
+    auto v = delta_index_.VersionAt(*policy.coarsen_older_than);
+    if (v.has_value()) coarse_limit = SnapToRetained(*v);
+  }
+  VersionNum new_dense =
+      std::max(dense_floor_, std::max(new_first, coarse_limit));
+
+  // The versions to keep below new_dense, walking the currently retained
+  // chain. Versions in [coarse_limit, old dense_floor_) were coarsened by
+  // an earlier vacuum and stay as they are.
+  const uint32_t k = std::max<uint32_t>(1, policy.keep_every);
+  std::vector<VersionNum> kept;
+  if (new_dense > new_first) {
+    kept.push_back(new_first);
+    uint32_t since = 0;
+    for (VersionNum v = NextRetained(new_first); v != 0 && v < new_dense;
+         v = NextRetained(v)) {
+      if (v < coarse_limit) {
+        if (++since >= k) {
+          kept.push_back(v);
+          since = 0;
+        }
+      } else {
+        kept.push_back(v);
+        since = 0;
+      }
+    }
+  }
+
+  if (new_first == first_retained_ && new_dense == dense_floor_ &&
+      kept == coarse_kept_) {
+    return outcome;  // nothing below the horizons to rewrite
+  }
+
+  for (VersionNum v = first_retained_; v != 0 && v < new_dense;
+       v = NextRetained(v)) {
+    ++outcome.versions_dropped;
+  }
+  outcome.versions_dropped -= static_cast<uint32_t>(kept.size());
+
+  // Materialize the new base snapshot and splice the merged deltas from
+  // the *old* chain before touching any member.
+  TXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> new_base,
+                        ReconstructVersion(new_first));
+  std::vector<EditScript> new_coarse;
+  new_coarse.reserve(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    VersionNum to = i + 1 < kept.size() ? kept[i + 1] : new_dense;
+    std::vector<EditScript> parts;
+    for (VersionNum v = kept[i]; v < to; v = NextRetained(v)) {
+      parts.push_back(RetainedTransition(v).Clone());
+    }
+    if (parts.size() == 1) {
+      new_coarse.push_back(std::move(parts[0]));
+    } else {
+      ++outcome.deltas_merged;
+      new_coarse.push_back(MergeEditScripts(std::move(parts)));
+    }
+  }
+  std::vector<EditScript> new_dense_deltas;
+  new_dense_deltas.reserve(deltas_.size() - (new_dense - dense_floor_));
+  for (size_t i = new_dense - dense_floor_; i < deltas_.size(); ++i) {
+    new_dense_deltas.push_back(std::move(deltas_[i]));
+  }
+
+  // Commit the rewritten chain.
+  for (auto it = snapshots_.begin();
+       it != snapshots_.end() && it->first < new_dense;) {
+    it = snapshots_.erase(it);
+    ++outcome.snapshots_dropped;
+  }
+  delta_index_.DropBelow(new_first);
+  base_ = std::move(new_base);
+  first_retained_ = new_first;
+  dense_floor_ = new_dense;
+  coarse_kept_ = std::move(kept);
+  coarse_deltas_ = std::move(new_coarse);
+  deltas_ = std::move(new_dense_deltas);
+  outcome.changed = true;
+  return outcome;
+}
+
+StatusOr<VacuumStats> VersionedDocumentStore::Vacuum(
+    const RetentionPolicy& policy) {
+  TXML_RETURN_IF_ERROR(ValidateRetentionPolicy(policy));
+  writes_begun_ = true;
+  VacuumStats stats;
+  stats.bytes_before = CurrentBytes() + DeltaBytes() + SnapshotBytes();
+  for (auto& [id, doc] : by_id_) {
+    (void)id;
+    ++stats.documents_examined;
+    TXML_ASSIGN_OR_RETURN(VersionedDocument::VacuumOutcome outcome,
+                          doc->Vacuum(policy));
+    if (!outcome.changed) continue;
+    ++stats.documents_vacuumed;
+    stats.versions_dropped += outcome.versions_dropped;
+    stats.snapshots_dropped += outcome.snapshots_dropped;
+    stats.deltas_merged += outcome.deltas_merged;
+    for (StoreObserver* observer : observers_) {
+      observer->OnHistoryVacuumed(*doc);
+    }
+  }
+  stats.bytes_after = CurrentBytes() + DeltaBytes() + SnapshotBytes();
+  return stats;
+}
+
+}  // namespace txml

@@ -1,0 +1,91 @@
+#ifndef TXML_SRC_STORAGE_VACUUM_H_
+#define TXML_SRC_STORAGE_VACUUM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/diff/edit_script.h"
+#include "src/util/status.h"
+#include "src/util/timestamp.h"
+
+namespace txml {
+
+/// Retention policy for the vacuum subsystem (the usefulness-based
+/// version-management trade-off of Chien et al., applied to the paper's
+/// delta-chain storage model of Section 7.1).
+///
+/// Both horizons translate a time T to the version valid *at* T, which is
+/// always retained — so every answer for t >= T is unchanged by the
+/// vacuum. Version numbers are never reused or renumbered, preserving
+/// EID/TEID semantics and the (DocId, version) snapshot-cache key
+/// contract.
+struct RetentionPolicy {
+  /// Drop versions whose validity ends at or before T entirely: the
+  /// document's history starts at the version valid at T, which becomes
+  /// the re-anchored base snapshot. Queries before its timestamp answer
+  /// NotFound, as if the document did not exist yet.
+  std::optional<Timestamp> drop_before;
+
+  /// Coarsen versions older than T: below the version valid at T, keep
+  /// only every keep_every-th retained version, splicing the dropped
+  /// versions' deltas into merged deltas. Queries below T still answer,
+  /// but see the nearest retained version at or before the requested time.
+  std::optional<Timestamp> coarsen_older_than;
+  /// Coarsening step (>= 1). 1 keeps every version (no-op coarsening).
+  uint32_t keep_every = 8;
+
+  static RetentionPolicy DropBefore(Timestamp t) {
+    RetentionPolicy policy;
+    policy.drop_before = t;
+    return policy;
+  }
+  static RetentionPolicy CoarsenOlderThan(Timestamp t, uint32_t k) {
+    RetentionPolicy policy;
+    policy.coarsen_older_than = t;
+    policy.keep_every = k;
+    return policy;
+  }
+};
+
+/// InvalidArgument unless the policy names at least one horizon and
+/// keep_every >= 1.
+Status ValidateRetentionPolicy(const RetentionPolicy& policy);
+
+/// Aggregate result of VersionedDocumentStore::Vacuum.
+struct VacuumStats {
+  size_t documents_examined = 0;
+  size_t documents_vacuumed = 0;
+  uint64_t versions_dropped = 0;
+  uint64_t snapshots_dropped = 0;
+  /// Number of merged deltas produced (each splices >= 2 originals).
+  uint64_t deltas_merged = 0;
+  /// Store bytes (current + deltas + snapshots + bases) before/after.
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+
+  int64_t ReclaimedBytes() const {
+    return static_cast<int64_t>(bytes_before) -
+           static_cast<int64_t>(bytes_after);
+  }
+};
+
+/// Splices consecutive completed deltas into one completed delta: applying
+/// the result forward/backward is equivalent to applying every part in
+/// order / in reverse. Parts must be the transitions of *consecutive*
+/// retained version ranges of one document (so XIDs line up); parts may
+/// themselves be merged deltas from an earlier vacuum.
+///
+/// The merge never re-diffs materialized versions (the matcher's
+/// heuristics could assign different XIDs than history did); it
+/// concatenates the parts' op lists, coalescing only the position-
+/// independent op kinds (update/rename per target), and splits the
+/// timestamp bookkeeping into explicit backward/forward stamp lists
+/// (EditScript::SetMergedStamps).
+///
+/// Exposed for tests; precondition: parts is non-empty.
+EditScript MergeEditScripts(std::vector<EditScript> parts);
+
+}  // namespace txml
+
+#endif  // TXML_SRC_STORAGE_VACUUM_H_

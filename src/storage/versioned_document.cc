@@ -1,9 +1,11 @@
 #include "src/storage/versioned_document.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/diff/diff.h"
 #include "src/util/coding.h"
+#include "src/util/logging.h"
 #include "src/util/macros.h"
 #include "src/xml/codec.h"
 
@@ -72,6 +74,70 @@ TimeInterval VersionedDocument::VersionValidity(VersionNum v) const {
   return iv;
 }
 
+bool VersionedDocument::IsRetained(VersionNum v) const {
+  if (v < first_retained_ || v > version_count()) return false;
+  if (v >= dense_floor_) return true;
+  return std::binary_search(coarse_kept_.begin(), coarse_kept_.end(), v);
+}
+
+VersionNum VersionedDocument::SnapToRetained(VersionNum v) const {
+  if (v < first_retained_) return 0;
+  if (v >= dense_floor_) return std::min(v, version_count());
+  auto it = std::upper_bound(coarse_kept_.begin(), coarse_kept_.end(), v);
+  return *(it - 1);  // coarse_kept_ starts at first_retained_ <= v
+}
+
+VersionNum VersionedDocument::NextRetained(VersionNum v) const {
+  if (v >= dense_floor_) return v < version_count() ? v + 1 : 0;
+  auto it = std::upper_bound(coarse_kept_.begin(), coarse_kept_.end(), v);
+  return it == coarse_kept_.end() ? dense_floor_ : *it;
+}
+
+VersionNum VersionedDocument::PrevRetained(VersionNum v) const {
+  if (v > dense_floor_) return v - 1;
+  auto it = std::lower_bound(coarse_kept_.begin(), coarse_kept_.end(), v);
+  return it == coarse_kept_.begin() ? 0 : *(it - 1);
+}
+
+bool VersionedDocument::AnyRetainedIn(VersionNum start,
+                                      VersionNum end) const {
+  if (end <= start || version_count() == 0) return false;
+  VersionNum last = std::min<VersionNum>(end - 1, version_count());
+  VersionNum snap = SnapToRetained(last);
+  return snap != 0 && snap >= start;
+}
+
+const EditScript& VersionedDocument::RetainedTransition(
+    VersionNum from) const {
+  if (from >= dense_floor_) return TransitionDelta(from);
+  auto it = std::lower_bound(coarse_kept_.begin(), coarse_kept_.end(), from);
+  TXML_DCHECK(it != coarse_kept_.end() && *it == from);
+  return coarse_deltas_[it - coarse_kept_.begin()];
+}
+
+TimeInterval VersionedDocument::RetainedValidity(VersionNum v) const {
+  VersionNum next = NextRetained(v);
+  TimeInterval iv{delta_index_.TimestampOf(v),
+                  next != 0 ? delta_index_.TimestampOf(next)
+                            : Timestamp::Infinity()};
+  if (iv.end > delete_ts_) iv.end = delete_ts_;
+  return iv;
+}
+
+size_t VersionedDocument::RetainedSteps(VersionNum lo, VersionNum hi) const {
+  if (lo >= dense_floor_) return hi - lo;
+  size_t lo_idx = std::lower_bound(coarse_kept_.begin(), coarse_kept_.end(),
+                                   lo) -
+                  coarse_kept_.begin();
+  if (hi < dense_floor_) {
+    size_t hi_idx = std::lower_bound(coarse_kept_.begin(),
+                                     coarse_kept_.end(), hi) -
+                    coarse_kept_.begin();
+    return hi_idx - lo_idx;
+  }
+  return (coarse_kept_.size() - lo_idx) + (hi - dense_floor_);
+}
+
 StatusOr<std::unique_ptr<XmlNode>> VersionedDocument::ReconstructVersion(
     VersionNum v, ReconstructStats* stats) const {
   if (v < 1 || v > version_count()) {
@@ -79,27 +145,65 @@ StatusOr<std::unique_ptr<XmlNode>> VersionedDocument::ReconstructVersion(
                               " out of range [1, " +
                               std::to_string(version_count()) + "]");
   }
-  // Pick the nearest complete version at or after v: the current version
-  // or the oldest snapshot with version >= v (Section 7.3.3).
-  VersionNum base = version_count();
+  if (v < first_retained_) {
+    return Status::NotFound("version " + std::to_string(v) +
+                            " of document '" + url_ +
+                            "' was vacuumed (first retained version is " +
+                            std::to_string(first_retained_) + ")");
+  }
+  // In the coarse zone a vacuumed-away version resolves to the nearest
+  // retained version at or before it — the content the coarsened history
+  // presents for that version's time range.
+  VersionNum target = SnapToRetained(v);
+
+  // Backward anchor: the nearest complete version at or after the target —
+  // the current version or an intermediate snapshot (Section 7.3.3).
+  VersionNum back_anchor = version_count();
   bool from_snapshot = false;
-  auto it = snapshots_.lower_bound(v);
-  if (it != snapshots_.end() && it->first < base) {
-    base = it->first;
+  auto it = snapshots_.lower_bound(target);
+  if (it != snapshots_.end() && it->first < back_anchor) {
+    back_anchor = it->first;
     from_snapshot = true;
   }
+  size_t back_cost = RetainedSteps(target, back_anchor);
+
+  // A vacuumed document also has a complete version at the *bottom* of the
+  // chain: the base snapshot. Walk forward from it when that is cheaper —
+  // this is what makes old-version reads faster after coarsening.
+  if (base_ != nullptr &&
+      RetainedSteps(first_retained_, target) < back_cost) {
+    std::unique_ptr<XmlNode> tree = base_->Clone();
+    size_t applied = 0;
+    for (VersionNum at = first_retained_; at < target;
+         at = NextRetained(at)) {
+      TXML_RETURN_IF_ERROR(RetainedTransition(at).ApplyForward(tree.get()));
+      ++applied;
+    }
+    if (stats != nullptr) {
+      stats->deltas_applied = applied;
+      stats->used_snapshot = false;
+      stats->used_base = true;
+      stats->base_version = first_retained_;
+    }
+    return tree;
+  }
+
   std::unique_ptr<XmlNode> tree =
       from_snapshot ? it->second->Clone() : current_->Clone();
 
-  // Apply deltas backwards: transition i turns version i+1 into i.
-  for (VersionNum i = base - 1; i >= v; --i) {
-    TXML_RETURN_IF_ERROR(TransitionDelta(i).ApplyBackward(tree.get()));
-    if (i == 1) break;  // VersionNum is unsigned
+  // Apply retained transitions backwards down to the target.
+  size_t applied = 0;
+  for (VersionNum at = back_anchor; at > target;) {
+    VersionNum prev = PrevRetained(at);
+    TXML_RETURN_IF_ERROR(RetainedTransition(prev).ApplyBackward(tree.get()));
+    at = prev;
+    ++applied;
   }
   if (stats != nullptr) {
-    stats->deltas_applied = base - v;
+    stats->deltas_applied = applied;
     stats->used_snapshot = from_snapshot;
-    stats->base_version = base;
+    stats->used_base = false;
+    stats->base_version = back_anchor;
   }
   return tree;
 }
@@ -135,6 +239,11 @@ size_t VersionedDocument::DeltaBytes() const {
     delta.EncodeTo(&buf);
     total += buf.size();
   }
+  for (const EditScript& delta : coarse_deltas_) {
+    buf.clear();
+    delta.EncodeTo(&buf);
+    total += buf.size();
+  }
   return total;
 }
 
@@ -143,6 +252,7 @@ size_t VersionedDocument::SnapshotBytes() const {
   for (const auto& [v, tree] : snapshots_) {
     total += EncodeNodeToString(*tree).size();
   }
+  if (base_ != nullptr) total += EncodeNodeToString(*base_).size();
   return total;
 }
 
@@ -165,6 +275,21 @@ void VersionedDocument::EncodeTo(std::string* dst) const {
   for (const auto& [v, tree] : snapshots_) {
     PutVarint32(dst, v);
     EncodeNode(*tree, dst);
+  }
+  // Trailing retention section, present only once the document has been
+  // vacuumed so unvacuumed documents keep the original byte layout
+  // (Decode distinguishes the two via AtEnd).
+  if (base_ != nullptr) {
+    PutVarint32(dst, first_retained_);
+    PutVarint32(dst, dense_floor_);
+    EncodeNode(*base_, dst);
+    PutVarint64(dst, coarse_kept_.size());
+    for (size_t i = 0; i < coarse_kept_.size(); ++i) {
+      PutVarint32(dst, coarse_kept_[i]);
+      std::string buf;
+      coarse_deltas_[i].EncodeTo(&buf);
+      PutLengthPrefixed(dst, buf);
+    }
   }
 }
 
@@ -201,10 +326,6 @@ StatusOr<std::unique_ptr<VersionedDocument>> VersionedDocument::Decode(
 
   auto delta_count = decoder.ReadVarint64();
   if (!delta_count.ok()) return delta_count.status();
-  if (doc->delta_index_.version_count() !=
-      (*has_current != 0 ? *delta_count + 1 : 0)) {
-    return Status::Corruption("delta chain length does not match index");
-  }
   for (uint64_t i = 0; i < *delta_count; ++i) {
     auto buf = decoder.ReadLengthPrefixed();
     if (!buf.ok()) return buf.status();
@@ -222,8 +343,54 @@ StatusOr<std::unique_ptr<VersionedDocument>> VersionedDocument::Decode(
     if (!tree.ok()) return tree.status();
     doc->snapshots_[*v] = std::move(*tree);
   }
+
+  if (!decoder.AtEnd()) {
+    // Retention section of a vacuumed document.
+    auto first_retained = decoder.ReadVarint32();
+    if (!first_retained.ok()) return first_retained.status();
+    auto dense_floor = decoder.ReadVarint32();
+    if (!dense_floor.ok()) return dense_floor.status();
+    if (*first_retained < 1 || *dense_floor < *first_retained) {
+      return Status::Corruption("bad retention horizons");
+    }
+    auto base = DecodeNode(&decoder);
+    if (!base.ok()) return base.status();
+    auto kept_count = decoder.ReadVarint64();
+    if (!kept_count.ok()) return kept_count.status();
+    for (uint64_t i = 0; i < *kept_count; ++i) {
+      auto v = decoder.ReadVarint32();
+      if (!v.ok()) return v.status();
+      auto buf = decoder.ReadLengthPrefixed();
+      if (!buf.ok()) return buf.status();
+      auto delta = EditScript::Decode(*buf);
+      if (!delta.ok()) return delta.status();
+      doc->coarse_kept_.push_back(*v);
+      doc->coarse_deltas_.push_back(std::move(*delta));
+    }
+    doc->first_retained_ = *first_retained;
+    doc->dense_floor_ = *dense_floor;
+    doc->base_ = std::move(*base);
+    doc->delta_index_.RestoreFirstVersion(*first_retained);
+    bool kept_ok =
+        doc->coarse_kept_.empty()
+            ? doc->dense_floor_ == doc->first_retained_
+            : doc->coarse_kept_.front() == doc->first_retained_ &&
+                  doc->coarse_kept_.back() < doc->dense_floor_ &&
+                  std::is_sorted(doc->coarse_kept_.begin(),
+                                 doc->coarse_kept_.end());
+    if (!kept_ok || doc->dense_floor_ > doc->version_count()) {
+      return Status::Corruption("bad coarse retention chain");
+    }
+  }
   if (!decoder.AtEnd()) {
     return Status::Corruption("trailing bytes after versioned document");
+  }
+
+  VersionNum expected_deltas =
+      *has_current != 0 ? doc->version_count() - doc->dense_floor_ : 0;
+  if (doc->deltas_.size() != expected_deltas ||
+      (*has_current == 0 && doc->version_count() != 0)) {
+    return Status::Corruption("delta chain length does not match index");
   }
   return doc;
 }

@@ -15,6 +15,8 @@
 
 namespace txml {
 
+struct RetentionPolicy;  // src/storage/vacuum.h
+
 /// One document and its full transaction-time history, stored per the
 /// paper's physical model (Section 7.1):
 ///
@@ -83,14 +85,70 @@ class VersionedDocument {
   TimeInterval VersionValidity(VersionNum v) const;
 
   /// The completed delta for the transition version `from` -> `from`+1.
-  /// Precondition: 1 <= from < version_count().
+  /// Precondition: dense_floor() <= from < version_count().
   const EditScript& TransitionDelta(VersionNum from) const {
-    return deltas_[from - 1];
+    return deltas_[from - dense_floor_];
   }
+
+  // --- Retention state (see src/storage/vacuum.h) ------------------------
+  //
+  // Vacuuming partitions the version axis into three zones without ever
+  // renumbering: versions below first_retained() are gone entirely;
+  // [first_retained(), dense_floor()) is the *coarse* zone where only a
+  // subset of versions survives, linked by merged deltas; versions at or
+  // above dense_floor() keep the original dense delta chain. Unvacuumed
+  // documents have first_retained() == dense_floor() == 1 and every
+  // version retained, so all retained-walk helpers degrade to the dense
+  // behaviour.
+
+  /// Oldest version still reconstructible. 1 unless vacuumed with a drop
+  /// horizon.
+  VersionNum first_retained() const { return first_retained_; }
+  /// First version of the dense (unmerged) tail of the delta chain.
+  VersionNum dense_floor() const { return dense_floor_; }
+  /// True once the document has been vacuumed (it then owns a materialized
+  /// base snapshot of first_retained()).
+  bool vacuumed() const { return base_ != nullptr; }
+  /// The re-anchored base snapshot (version first_retained()), or null for
+  /// an unvacuumed document.
+  const XmlNode* base() const { return base_.get(); }
+
+  bool IsRetained(VersionNum v) const;
+  /// Largest retained version <= v, or 0 if v precedes first_retained().
+  VersionNum SnapToRetained(VersionNum v) const;
+  /// Smallest retained version > v, or 0 if v is the last version.
+  VersionNum NextRetained(VersionNum v) const;
+  /// Largest retained version < v, or 0 if v <= first_retained().
+  VersionNum PrevRetained(VersionNum v) const;
+  /// True if [start, end) contains at least one retained version.
+  bool AnyRetainedIn(VersionNum start, VersionNum end) const;
+  /// The delta for the retained transition `from` -> NextRetained(`from`):
+  /// the original delta in the dense zone, a merged delta in the coarse
+  /// zone. Precondition: IsRetained(from) && from < version_count().
+  const EditScript& RetainedTransition(VersionNum from) const;
+  /// Validity of retained version v over the *retained* timeline:
+  /// [ts(v), ts(NextRetained(v))), capped at the delete time. Equals
+  /// VersionValidity(v) in the dense zone.
+  TimeInterval RetainedValidity(VersionNum v) const;
+
+  struct VacuumOutcome {
+    bool changed = false;
+    uint32_t versions_dropped = 0;
+    uint32_t snapshots_dropped = 0;
+    uint32_t deltas_merged = 0;
+  };
+
+  /// Rewrites the history below the policy's horizons (implemented in
+  /// vacuum.cc). Answers for any time at or after the horizon are
+  /// unchanged; version numbers are never reused or renumbered.
+  StatusOr<VacuumOutcome> Vacuum(const RetentionPolicy& policy);
 
   struct ReconstructStats {
     size_t deltas_applied = 0;
     bool used_snapshot = false;
+    /// True when reconstruction walked *forward* from the vacuum base
+    /// snapshot instead of backward from the current version.
+    bool used_base = false;
     VersionNum base_version = 0;
   };
 
@@ -119,17 +177,36 @@ class VersionedDocument {
       std::string_view data);
 
  private:
+  /// Number of retained transitions between retained versions lo <= hi.
+  size_t RetainedSteps(VersionNum lo, VersionNum hi) const;
+
   DocId doc_id_;
   std::string url_;
   uint32_t snapshot_every_;
   XidAllocator xids_;
   Timestamp delete_ts_ = Timestamp::Infinity();
   std::unique_ptr<XmlNode> current_;
-  /// deltas_[i] is the transition from version i+1 to version i+2.
+  /// deltas_[i] is the transition from version dense_floor_+i to
+  /// dense_floor_+i+1 (dense_floor_ is 1 until vacuumed).
   std::vector<EditScript> deltas_;
   DeltaIndex delta_index_;
-  /// Periodic complete versions, keyed by version number.
+  /// Periodic complete versions, keyed by version number. Always at
+  /// retained versions >= dense_floor_.
   std::map<VersionNum, std::unique_ptr<XmlNode>> snapshots_;
+
+  // Retention state — see the "Retention state" section above and
+  // src/storage/vacuum.h. Invariants: first_retained_ <= dense_floor_;
+  // coarse_kept_ is ascending, starts with first_retained_, lies entirely
+  // below dense_floor_, and is empty iff dense_floor_ == first_retained_;
+  // coarse_deltas_.size() == coarse_kept_.size(); base_ is null iff the
+  // document was never vacuumed.
+  VersionNum first_retained_ = 1;
+  VersionNum dense_floor_ = 1;
+  std::unique_ptr<XmlNode> base_;
+  std::vector<VersionNum> coarse_kept_;
+  /// coarse_deltas_[i] merges the original transitions coarse_kept_[i] ->
+  /// (coarse_kept_[i+1], or dense_floor_ for the last entry).
+  std::vector<EditScript> coarse_deltas_;
 };
 
 }  // namespace txml

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstring>
 #include <iterator>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/net/cli_flags.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/net/socket.h"
@@ -561,6 +563,128 @@ TEST(NetStressTest, ConcurrentClientsMatchSerialOracle) {
             static_cast<uint64_t>(kClients * kQueriesPerClient));
   EXPECT_EQ(stats.requests_failed, 0u);
   EXPECT_EQ(stats.frames_rejected, 0u);
+}
+
+// ----------------------------------------------------------------- vacuum
+
+TEST(WireTest, VacuumRequestRoundTrip) {
+  VacuumRequest request;
+  request.drop_before = Day(4);
+  request.coarsen_older_than = Day(9);
+  request.keep_every = 3;
+  auto decoded = DecodeVacuumRequest(EncodeVacuumRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->drop_before, request.drop_before);
+  EXPECT_EQ(decoded->coarsen_older_than, request.coarsen_older_than);
+  EXPECT_EQ(decoded->keep_every, 3u);
+
+  // Each horizon is independently optional.
+  VacuumRequest sparse;
+  sparse.coarsen_older_than = Day(2);
+  auto partial = DecodeVacuumRequest(EncodeVacuumRequest(sparse));
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial->drop_before.has_value());
+  EXPECT_EQ(partial->coarsen_older_than, sparse.coarsen_older_than);
+}
+
+TEST(NetTest, VacuumOverTheWirePreservesPostHorizonAnswers) {
+  ServerFixture fixture;
+  PutGuideHistory(fixture.service.get());
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok());
+
+  QueryRequest day3;
+  day3.query_text = kPaperQueries[0];  // snapshot at day 3, the horizon
+  auto before = client->Execute(day3);
+  ASSERT_TRUE(before.ok());
+
+  VacuumRequest vacuum;
+  vacuum.drop_before = Day(3);
+  auto response = client->Execute(vacuum);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->payload.find("<vacuum-result"), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("vacuumed=\"1\""), std::string::npos)
+      << response->payload;
+
+  auto after = client->Execute(day3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->payload, before->payload);
+
+  // A degenerate policy comes back as a typed error, not a dropped
+  // connection.
+  VacuumRequest empty;
+  auto rejected = client->Execute(empty);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+}
+
+TEST(NetTest, ServerReportsEffectiveConnectionThreads) {
+  // connection_threads = 0 means "use the default"; the accessor must
+  // report the resolved pool size, never the raw 0 (the startup banner
+  // prints it).
+  ServerOptions defaulted;
+  defaulted.connection_threads = 0;
+  ServerFixture fixture(defaulted);
+  EXPECT_EQ(fixture.server->connection_threads(), kDefaultConnectionThreads);
+
+  ServerOptions pinned;
+  pinned.connection_threads = 3;
+  ServerFixture small(pinned);
+  EXPECT_EQ(small.server->connection_threads(), 3u);
+}
+
+// -------------------------------------------------------------- CLI flags
+
+TEST(CliFlagsTest, ParseFlagValueMatchesOnlyNameEqualsValue) {
+  std::string value;
+  EXPECT_TRUE(ParseFlagValue("--port=7400", "--port", &value));
+  EXPECT_EQ(value, "7400");
+  EXPECT_TRUE(ParseFlagValue("--port=", "--port", &value));
+  EXPECT_EQ(value, "");
+  EXPECT_FALSE(ParseFlagValue("--port", "--port", &value));
+  EXPECT_FALSE(ParseFlagValue("--ports=1", "--port", &value));
+  EXPECT_FALSE(ParseFlagValue("--por=1", "--port", &value));
+}
+
+// Regression: these went through raw std::stoi/std::stoul, which threw an
+// uncaught exception on "--port=abc" and silently truncated "--port=99999"
+// through the uint16_t cast.
+TEST(CliFlagsTest, ParsePortFlagRejectsGarbageAndOutOfRange) {
+  auto ok = ParsePortFlag("7400");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7400);
+  EXPECT_EQ(*ParsePortFlag("0"), 0);
+  EXPECT_EQ(*ParsePortFlag("65535"), 65535);
+
+  EXPECT_FALSE(ParsePortFlag("").ok());
+  EXPECT_FALSE(ParsePortFlag("abc").ok());
+  EXPECT_FALSE(ParsePortFlag("74a0").ok());
+  EXPECT_FALSE(ParsePortFlag("-1").ok());
+  EXPECT_FALSE(ParsePortFlag("65536").ok());
+  EXPECT_FALSE(ParsePortFlag("99999").ok());
+  EXPECT_FALSE(ParsePortFlag("184467440737095516160").ok());
+
+  Status bad = ParsePortFlag("abc").status();
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("not a number"), std::string::npos)
+      << bad.ToString();
+  Status big = ParsePortFlag("99999").status();
+  EXPECT_NE(big.message().find("out of range"), std::string::npos)
+      << big.ToString();
+}
+
+TEST(CliFlagsTest, ParseSizeFlagRejectsGarbageAndOverflow) {
+  EXPECT_EQ(*ParseSizeFlag("0"), 0u);
+  EXPECT_EQ(*ParseSizeFlag("16"), 16u);
+  EXPECT_EQ(*ParseSizeFlag("18446744073709551615"),
+            std::numeric_limits<size_t>::max());
+
+  EXPECT_FALSE(ParseSizeFlag("").ok());
+  EXPECT_FALSE(ParseSizeFlag("x").ok());
+  EXPECT_FALSE(ParseSizeFlag("1 2").ok());
+  EXPECT_FALSE(ParseSizeFlag("18446744073709551616").ok());  // 2^64
 }
 
 }  // namespace

@@ -451,5 +451,121 @@ TEST(ServiceStressTest, ConcurrentReadersMatchSerialOracleUnderWrites) {
             static_cast<uint64_t>(6 + kWriterCommits + 1));  // hot + aux + del
 }
 
+TEST(ServiceTest, VacuumRequestRewritesHistoryUnderCommitLock) {
+  TemporalQueryService service(ServiceOptions{});
+  PutHotHistory(&service);
+
+  // A policy with no horizon is rejected and counted as a failed write.
+  VacuumRequest empty;
+  EXPECT_FALSE(service.Execute(empty).ok());
+
+  VacuumRequest request;
+  request.drop_before = Day(3);
+  auto response = service.Execute(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->payload.find("<vacuum-result"), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("vacuumed=\"1\""), std::string::npos)
+      << response->payload;
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.vacuums_run, 1u);
+  EXPECT_EQ(stats.writes_failed, 1u);
+
+  // The vacuum is also submittable to the worker pool, like any write.
+  VacuumRequest coarsen;
+  coarsen.coarsen_older_than = Day(5);
+  coarsen.keep_every = 2;
+  auto future = service.Submit(coarsen);
+  auto async = future.get();
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  EXPECT_EQ(service.Stats().vacuums_run, 2u);
+}
+
+// Vacuum holds the exclusive commit lock, so it must interleave safely
+// with concurrent readers and writers; answers anchored at or above every
+// horizon it uses stay byte-identical throughout. (kStableQueries qualify:
+// the earliest anchor is day 3, gamma is born on day 3, and beta's CREATE
+// TIME survives through the lifetime index.) Run under TSan via check.sh.
+TEST(ServiceStressTest, VacuumRacesConcurrentReadersAndWriters) {
+  ServiceOptions options;
+  options.snapshot_cache_capacity = 32;
+  options.snapshot_cache_shards = 4;
+  TemporalQueryService service(options);
+  PutHotHistory(&service);
+
+  std::vector<std::string> oracle;
+  for (const char* query : kStableQueries) {
+    auto answer = service.ExecuteQueryToString(query);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    oracle.push_back(*answer);
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kIterationsPerReader = 50;
+  constexpr int kVacuums = 20;
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&service, &oracle, &failed, r] {
+      auto session = service.OpenSession();
+      for (int i = 0; i < kIterationsPerReader && !failed.load(); ++i) {
+        size_t q = static_cast<size_t>(r + i) % std::size(kStableQueries);
+        auto answer = session->QueryToString(kStableQueries[q]);
+        if (!answer.ok() || *answer != oracle[q]) {
+          failed.store(true);
+          ADD_FAILURE() << "reader " << r << " query " << q << ": "
+                        << (answer.ok() ? "answer diverged under vacuum"
+                                        : answer.status().ToString());
+          return;
+        }
+      }
+    });
+  }
+
+  std::thread vacuumer([&service, &failed] {
+    auto session = service.OpenSession();
+    for (int i = 0; i < kVacuums && !failed.load(); ++i) {
+      // Alternate the two policy shapes; the horizon never rises above
+      // day 3, the earliest anchor the readers use.
+      VacuumRequest request;
+      if (i % 2 == 0) {
+        request.drop_before = Day(2);
+      } else {
+        request.coarsen_older_than = Day(3);
+        request.keep_every = 2;
+      }
+      auto response = session->Execute(request);
+      if (!response.ok()) {
+        failed.store(true);
+        ADD_FAILURE() << "vacuum " << i << ": "
+                      << response.status().ToString();
+        return;
+      }
+      // Interleave writes so vacuums contend with commits, not just reads.
+      auto put = session->Put(
+          "churn", "<d>" + ItemXml("c" + std::to_string(i), i) + "</d>");
+      if (!put.ok()) {
+        failed.store(true);
+        ADD_FAILURE() << "churn put: " << put.status().ToString();
+        return;
+      }
+    }
+  });
+
+  for (std::thread& reader : readers) reader.join();
+  vacuumer.join();
+  ASSERT_FALSE(failed.load());
+
+  for (size_t q = 0; q < std::size(kStableQueries); ++q) {
+    auto answer = service.ExecuteQueryToString(kStableQueries[q]);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(*answer, oracle[q]);
+  }
+  EXPECT_EQ(service.Stats().vacuums_run, static_cast<uint64_t>(kVacuums));
+}
+
 }  // namespace
 }  // namespace txml
