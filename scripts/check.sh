@@ -8,7 +8,11 @@
 #      instead (slow: TSan costs ~5-15x).
 #   3. Address+UB sanitizers (-DTXML_SANITIZE=address)    — the history
 #      rewriting suites (vacuum splices delta chains in place; ASan/UBSan
-#      catch lifetime and aliasing mistakes TSan cannot).
+#      catch lifetime and aliasing mistakes TSan cannot) plus the
+#      durability suites (WAL torn-tail matrix, crash-recovery failpoint
+#      sweep), with -DTXML_FAILPOINTS=ON pinned explicitly;
+#   4. -DTXML_FAILPOINTS=OFF (build only)                 — proves the
+#      zero-cost no-failpoint configuration still compiles -Werror-clean.
 #
 # Usage: scripts/check.sh [--tsan-all] [--asan-all] [-j N]
 set -euo pipefail
@@ -18,10 +22,11 @@ cd "$(dirname "$0")/.."
 # vacuum battery (tests/vacuum_test.cc — ServiceStressTest covers the
 # vacuum-racing-readers case). Matching is against gtest case names, not
 # binary names; --no-tests=error guards filter rot.
-TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum"
+TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry"
 # History-rewriting suites for the ASan/UBSan pass: the storage layer,
-# the vacuum oracle battery, and persistence round trips.
-ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service"
+# the vacuum oracle battery, persistence round trips, and the durability
+# suites (WAL byte surgery + the failpoint crash-recovery sweep).
+ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service|Wal|Durab|CrashRecovery|FailPoint"
 JOBS=$(nproc)
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -47,10 +52,15 @@ run ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -j "$JOBS" $TSAN_FILTER
 
 echo "=== Address+UB sanitizer configuration (build-asan/) ==="
-run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTXML_SANITIZE=address
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTXML_SANITIZE=address -DTXML_FAILPOINTS=ON
 run cmake --build build-asan -j "$JOBS"
 # shellcheck disable=SC2086  # intentional word-splitting of the filter
 run ctest --test-dir build-asan --output-on-failure --no-tests=error \
     -j "$JOBS" $ASAN_FILTER
+
+echo "=== No-failpoint configuration (build-nofp/, compile only) ==="
+run cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTXML_FAILPOINTS=OFF
+run cmake --build build-nofp -j "$JOBS"
 
 echo "=== All checks passed ==="

@@ -52,4 +52,8 @@ StatusOr<size_t> ParseSizeFlag(const std::string& value) {
   return static_cast<size_t>(*parsed);
 }
 
+StatusOr<WalSyncMode> ParseSyncModeFlag(const std::string& value) {
+  return ParseWalSyncMode(value);
+}
+
 }  // namespace txml

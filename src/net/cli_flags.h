@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/storage/wal.h"
 #include "src/util/statusor.h"
 
 namespace txml {
@@ -27,6 +28,10 @@ StatusOr<uint16_t> ParsePortFlag(const std::string& value);
 /// Parses a non-negative size/count flag (e.g. --threads): digits only,
 /// must fit a size_t.
 StatusOr<size_t> ParseSizeFlag(const std::string& value);
+
+/// Parses --sync-mode: "none", "every_n" or "always" (the WAL fsync
+/// policy of DurabilityOptions; see src/storage/wal.h).
+StatusOr<WalSyncMode> ParseSyncModeFlag(const std::string& value);
 
 }  // namespace txml
 

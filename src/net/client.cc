@@ -1,5 +1,8 @@
 #include "src/net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/util/macros.h"
@@ -9,23 +12,80 @@ namespace txml {
 StatusOr<TxmlClient> TxmlClient::Connect(const std::string& host,
                                          uint16_t port,
                                          ClientOptions options) {
-  TXML_ASSIGN_OR_RETURN(Socket socket,
-                        Socket::Connect(host, port, options.connect_timeout_ms));
+  TxmlClient client(Socket(), options);
+  client.host_ = host;
+  client.port_ = port;
+  // A connect failure is always retryable (nothing was sent yet), so the
+  // initial connection honors max_retries too.
+  for (int attempt = 0;; ++attempt) {
+    Status connected = client.Reconnect();
+    if (connected.ok()) return client;
+    if (attempt >= options.max_retries) return connected;
+    client.BackoffSleep(attempt);
+  }
+}
+
+Status TxmlClient::Reconnect() {
+  TXML_ASSIGN_OR_RETURN(
+      Socket socket, Socket::Connect(host_, port_, options_.connect_timeout_ms));
   TXML_RETURN_IF_ERROR(
-      socket.SetTimeouts(options.read_timeout_ms, options.write_timeout_ms));
-  return TxmlClient(std::move(socket), options);
+      socket.SetTimeouts(options_.read_timeout_ms, options_.write_timeout_ms));
+  socket_ = std::move(socket);
+  return Status::OK();
+}
+
+void TxmlClient::BackoffSleep(int attempt) {
+  int64_t base = std::max(options_.retry_backoff_initial_ms, 1);
+  // Cap the shift well below overflow; the max clamp rules long waits out.
+  int64_t delay = base << std::min(attempt, 20);
+  delay = std::min<int64_t>(delay, std::max(options_.retry_backoff_max_ms, 1));
+  int64_t jittered = jitter_.UniformRange(std::max<int64_t>(delay / 2, 1), delay);
+  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
 }
 
 StatusOr<QueryResponse> TxmlClient::Execute(const QueryRequest& request) {
-  return RoundTrip(FrameType::kQueryRequest, EncodeQueryRequest(request));
+  return RoundTripWithRetry(FrameType::kQueryRequest,
+                            EncodeQueryRequest(request));
 }
 
 StatusOr<QueryResponse> TxmlClient::Execute(const PutRequest& request) {
-  return RoundTrip(FrameType::kPutRequest, EncodePutRequest(request));
+  return RoundTripWithRetry(FrameType::kPutRequest, EncodePutRequest(request));
 }
 
 StatusOr<QueryResponse> TxmlClient::Execute(const VacuumRequest& request) {
-  return RoundTrip(FrameType::kVacuumRequest, EncodeVacuumRequest(request));
+  return RoundTripWithRetry(FrameType::kVacuumRequest,
+                            EncodeVacuumRequest(request));
+}
+
+StatusOr<QueryResponse> TxmlClient::RoundTripWithRetry(
+    FrameType type, const std::string& payload) {
+  for (int attempt = 0;; ++attempt) {
+    bool connect_failure = false;
+    StatusOr<QueryResponse> result = [&]() -> StatusOr<QueryResponse> {
+      if (!socket_.valid()) {
+        // A previous attempt (or an earlier request) closed the
+        // connection; a reconnect failure is retryable whatever its code
+        // — nothing has been sent yet.
+        Status connected = Reconnect();
+        if (!connected.ok()) {
+          connect_failure = true;
+          return connected;
+        }
+      }
+      return RoundTrip(type, payload);
+    }();
+    bool retryable = connect_failure || result.status().IsUnavailable();
+    if (result.ok() || attempt >= options_.max_retries || !retryable) {
+      return result;
+    }
+    // Retryable (see ClientOptions::max_retries). A server-reported
+    // kUnavailable usually precedes a hangup on the server side (the
+    // load-shedding path responds and closes), so drop the socket and
+    // reconnect on the next attempt rather than racing a write against
+    // the peer's close (which would surface as a non-retryable reset).
+    socket_.Close();
+    BackoffSleep(attempt);
+  }
 }
 
 StatusOr<QueryResponse> TxmlClient::RoundTrip(FrameType type,

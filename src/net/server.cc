@@ -53,6 +53,8 @@ ServerStats TxmlServer::Stats() const {
   ServerStats stats;
   stats.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
   stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
   stats.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
@@ -66,7 +68,22 @@ void TxmlServer::AcceptLoop() {
     if (!accepted.ok()) break;  // shut down (kUnavailable) or fatal
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto socket = std::make_shared<Socket>(std::move(*accepted));
-    pool_->Submit([this, socket] { HandleConnection(socket); });
+    bool queued = pool_->TrySubmit([this, socket] { HandleConnection(socket); },
+                                   options_.max_pending_connections);
+    if (!queued) {
+      // Load shedding: every handler is busy and the waiting line is full.
+      // Tell the peer why before hanging up — its first RoundTrip then
+      // reads a clean kUnavailable (retryable) instead of seeing a reset.
+      // Short write deadline: this runs on the accept thread, and an
+      // unresponsive peer must not stall accepting.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      (void)socket->SetTimeouts(/*read_timeout_ms=*/1000,
+                                /*write_timeout_ms=*/1000);
+      SendResponse(socket.get(),
+                   Status::Unavailable("server is overloaded: connection "
+                                       "queue is full, retry later"),
+                   {});
+    }
   }
 }
 

@@ -38,11 +38,20 @@ struct ServerOptions {
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Slice size for streaming response payloads.
   size_t response_chunk_bytes = kDefaultResponseChunkBytes;
+  /// Accepted connections waiting for a free handler thread. Beyond this
+  /// the server sheds load: the connection gets a best-effort kUnavailable
+  /// response and is closed (counted in ServerStats.connections_rejected)
+  /// instead of queuing unboundedly behind slow handlers. 0 = unbounded
+  /// (the pre-backpressure behavior).
+  size_t max_pending_connections = 64;
 };
 
 /// Aggregate counters of a TxmlServer (monotonic; read with Stats()).
 struct ServerStats {
   uint64_t connections_accepted = 0;
+  /// Connections shed because the handler queue was full (see
+  /// ServerOptions.max_pending_connections).
+  uint64_t connections_rejected = 0;
   uint64_t requests_served = 0;
   uint64_t requests_failed = 0;
   uint64_t frames_rejected = 0;
@@ -116,6 +125,7 @@ class TxmlServer {
   uint64_t next_connection_id_ = 0;
 
   std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_failed_{0};
   std::atomic<uint64_t> frames_rejected_{0};

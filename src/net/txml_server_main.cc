@@ -1,14 +1,21 @@
 // txml_server — the network front end as a process: serves a
 // TemporalQueryService over TCP (src/net/, DESIGN.md §7).
 //
-//   txml_server [--port=N] [--threads=N] [--db=DIR] [--seed-demo]
+//   txml_server [--port=N] [--threads=N] [--data-dir=DIR] [--sync-mode=M]
+//               [--db=DIR] [--seed-demo]
 //
-//   --port=N      bind 127.0.0.1:N (default 7400; 0 = ephemeral, printed)
-//   --threads=N   connection-handler threads (0 or omitted = server default)
-//   --db=DIR      open a persisted database (TemporalXmlDatabase::Open);
-//                 omitted = start empty
-//   --seed-demo   load a small restaurant-guide history (handy for trying
-//                 txml_client without a data directory)
+//   --port=N       bind 127.0.0.1:N (default 7400; 0 = ephemeral, printed)
+//   --threads=N    connection-handler threads (0 or omitted = server default)
+//   --data-dir=DIR durable operation (DESIGN.md §9): recover from DIR on
+//                  start (checkpoint + WAL replay), write-ahead-log every
+//                  commit, checkpoint automatically
+//   --sync-mode=M  WAL fsync policy: none | every_n | always (default
+//                  always); only meaningful with --data-dir
+//   --db=DIR       open a persisted database snapshot read-write but
+//                  WITHOUT a WAL (legacy; changes are not persisted back).
+//                  Mutually exclusive with --data-dir
+//   --seed-demo    load a small restaurant-guide history (handy for trying
+//                  txml_client without a data directory)
 //
 // Runs until SIGINT/SIGTERM, then shuts down gracefully (in-flight
 // queries finish and their responses are sent).
@@ -65,8 +72,9 @@ void AwaitShutdownSignal() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: txml_server [--port=N] [--threads=N] [--db=DIR] "
-               "[--seed-demo]\n");
+               "usage: txml_server [--port=N] [--threads=N] "
+               "[--data-dir=DIR] [--sync-mode=none|every_n|always] "
+               "[--db=DIR] [--seed-demo]\n");
   return 2;
 }
 
@@ -109,6 +117,8 @@ int main(int argc, char** argv) {
   txml::ServerOptions server_options;
   server_options.port = 7400;
   std::string db_dir;
+  std::string data_dir;
+  txml::WalSyncMode sync_mode = txml::WalSyncMode::kAlways;
   bool seed_demo = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +131,12 @@ int main(int argc, char** argv) {
       auto parsed = txml::ParseSizeFlag(value);
       if (!parsed.ok()) return FlagError(parsed.status());
       server_options.connection_threads = *parsed;
+    } else if (txml::ParseFlagValue(argv[i], "--data-dir", &value)) {
+      data_dir = value;
+    } else if (txml::ParseFlagValue(argv[i], "--sync-mode", &value)) {
+      auto parsed = txml::ParseSyncModeFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      sync_mode = *parsed;
     } else if (txml::ParseFlagValue(argv[i], "--db", &value)) {
       db_dir = value;
     } else if (std::strcmp(argv[i], "--seed-demo") == 0) {
@@ -129,11 +145,21 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+  if (!data_dir.empty() && !db_dir.empty()) {
+    std::fprintf(stderr,
+                 "txml_server: --data-dir and --db are mutually exclusive "
+                 "(--data-dir recovers and persists; --db only loads)\n");
+    return Usage();
+  }
 
   txml::ServiceOptions service_options;
+  service_options.durability.data_dir = data_dir;
+  service_options.durability.wal.sync_mode = sync_mode;
   txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> service =
       [&]() -> txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> {
     if (db_dir.empty()) {
+      // Covers both the in-memory and the --data-dir case; with a data
+      // dir Create() runs startup recovery before returning.
       return txml::TemporalQueryService::Create(service_options);
     }
     auto db = txml::TemporalXmlDatabase::Open(db_dir);
@@ -145,6 +171,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot start service: %s\n",
                  service.status().ToString().c_str());
     return 1;
+  }
+  if (!data_dir.empty()) {
+    txml::ServiceStats stats = (*service)->Stats();
+    std::fprintf(
+        stderr,
+        "recovered from %s: %llu wal records replayed%s (sync-mode %s)\n",
+        data_dir.c_str(),
+        static_cast<unsigned long long>(stats.durability.recovered_records),
+        stats.durability.recovery_tail_dropped ? ", torn tail dropped" : "",
+        std::string(txml::WalSyncModeToString(sync_mode)).c_str());
   }
   if (seed_demo) SeedDemo(service->get());
 

@@ -1,9 +1,11 @@
 #include "src/service/service.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
 #include "src/service/session.h"
+#include "src/util/env.h"
 #include "src/util/logging.h"
 #include "src/util/macros.h"
 #include "src/xml/serializer.h"
@@ -19,19 +21,136 @@ Status ValidateServiceOptions(const ServiceOptions& options) {
     return Status::InvalidArgument(
         "ServiceOptions.snapshot_cache_shards must be > 0");
   }
+  if (options.durability.wal.sync_mode == WalSyncMode::kEveryN &&
+      options.durability.wal.sync_every_n == 0) {
+    return Status::InvalidArgument(
+        "DurabilityOptions.wal.sync_every_n must be > 0 in every_n mode");
+  }
   return Status::OK();
 }
+
+namespace {
+
+/// Applies one recovered WAL record to the database, skipping records the
+/// loaded checkpoint already reflects. The skip guards close the crash
+/// window between writing store.txml/indexes.txml and writing the stamp:
+/// in that window the checkpoint files are *newer* than the stamp says, so
+/// replay revisits records whose effects are already on disk.
+Status ApplyWalRecord(TemporalXmlDatabase* db, const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kPut: {
+      const VersionedDocument* doc = db->store().FindByUrl(record.url);
+      if (doc != nullptr &&
+          (doc->delta_index().last_timestamp() >= record.ts ||
+           (doc->deleted() && doc->delete_time() >= record.ts))) {
+        return Status::OK();  // already in the checkpoint
+      }
+      return db->PutDocumentAt(record.url, record.payload, record.ts)
+          .status();
+    }
+    case WalRecordType::kDelete: {
+      const VersionedDocument* doc = db->store().FindByUrl(record.url);
+      if (doc != nullptr && doc->deleted()) return Status::OK();
+      return db->DeleteDocumentAt(record.url, record.ts);
+    }
+    case WalRecordType::kVacuum:
+      // Not guarded: a vacuum re-applied to an already-vacuumed checkpoint
+      // may coarsen further, but never changes an answer at or after the
+      // policy's horizons — and the forced checkpoint right after every
+      // vacuum commit keeps this window one record wide.
+      return db->Vacuum(record.policy).status();
+  }
+  return Status::Internal("unreachable wal record type");
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<TemporalQueryService>> TemporalQueryService::Create(
     ServiceOptions options) {
   TXML_RETURN_IF_ERROR(ValidateServiceOptions(options));
+  if (!options.durability.data_dir.empty()) {
+    return CreateDurable(std::move(options));
+  }
   return std::make_unique<TemporalQueryService>(options);
 }
 
 StatusOr<std::unique_ptr<TemporalQueryService>> TemporalQueryService::Create(
     ServiceOptions options, std::unique_ptr<TemporalXmlDatabase> db) {
   TXML_RETURN_IF_ERROR(ValidateServiceOptions(options));
+  if (!options.durability.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "durability.data_dir cannot be combined with an adopted database; "
+        "use Create(ServiceOptions) and let recovery build the database");
+  }
   return std::make_unique<TemporalQueryService>(options, std::move(db));
+}
+
+StatusOr<std::unique_ptr<TemporalQueryService>>
+TemporalQueryService::CreateDurable(ServiceOptions options) {
+  const std::string& dir = options.durability.data_dir;
+  TXML_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+
+  // 1. The checkpoint stamp. Absent in a fresh directory — and in a
+  //    pre-durability one, which then loads below exactly as Open() always
+  //    loaded it (legacy upgrade path).
+  uint64_t covered_sequence = 0;
+  auto stamp = ReadCheckpointStamp(dir);
+  if (stamp.ok()) {
+    covered_sequence = *stamp;
+  } else if (!stamp.status().IsNotFound()) {
+    return stamp.status();
+  }
+
+  // 2. The checkpointed database, when one exists.
+  std::unique_ptr<TemporalXmlDatabase> db;
+  if (FileExists(dir + "/store.txml")) {
+    TXML_ASSIGN_OR_RETURN(db,
+                          TemporalXmlDatabase::Open(dir, options.database));
+  } else {
+    db = std::make_unique<TemporalXmlDatabase>(options.database);
+  }
+
+  // 3. Replay the WAL suffix the checkpoint does not cover. A record that
+  //    fails to apply failed identically when it was first logged (the
+  //    append happens before the database write, so doomed writes leave
+  //    doomed records); skipping it reproduces the acknowledged state.
+  const std::string wal_path = dir + "/" + kWalFileName;
+  TXML_ASSIGN_OR_RETURN(WriteAheadLog::ReplayResult replay,
+                        WriteAheadLog::Replay(wal_path));
+  uint64_t applied = 0;
+  for (const WalRecord& record : replay.records) {
+    if (record.sequence <= covered_sequence) continue;
+    Status status = ApplyWalRecord(db.get(), record);
+    if (!status.ok()) {
+      TXML_LOG_WARN("recovery: skipping wal record %llu: %s",
+                    static_cast<unsigned long long>(record.sequence),
+                    status.ToString().c_str());
+      continue;
+    }
+    ++applied;
+  }
+
+  // 4. Open the log for appending; the floor keeps sequences monotone even
+  //    when the stamp outran the log (crash between stamp and truncation).
+  TXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<WriteAheadLog> wal,
+      WriteAheadLog::Open(wal_path, options.durability.wal,
+                          std::max(covered_sequence, replay.last_sequence)));
+
+  auto service =
+      std::make_unique<TemporalQueryService>(options, std::move(db));
+  service->data_dir_ = dir;
+  service->wal_ = std::move(wal);
+  service->recovered_records_ = applied;
+  service->recovery_tail_dropped_ = replay.tail_dropped;
+
+  // 5. Fold the replayed suffix into a fresh checkpoint so the next crash
+  //    replays nothing twice. Best-effort: on failure the WAL still holds
+  //    every record and the service is fully usable.
+  if (applied > 0 || replay.tail_dropped) {
+    (void)service->Checkpoint();
+  }
+  return service;
 }
 
 TemporalQueryService::TemporalQueryService(ServiceOptions options)
@@ -127,9 +246,32 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
 StatusOr<VacuumStats> TemporalQueryService::Vacuum(
     const RetentionPolicy& policy) {
   std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  // Validate before logging so a malformed policy never reaches the WAL.
+  // Still counts as a failed write — the rejection is observable in
+  // Stats() exactly as when the database itself refused the policy.
+  Status valid = ValidateRetentionPolicy(policy);
+  if (!valid.ok()) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+  WalRecord record;
+  record.type = WalRecordType::kVacuum;
+  record.policy = policy;
+  Status logged = LogCommitLocked(record);
+  if (!logged.ok()) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    return logged;
+  }
   auto stats = db_->Vacuum(policy);
   if (stats.ok()) {
     vacuums_run_.fetch_add(1, std::memory_order_relaxed);
+    if (wal_ != nullptr) {
+      // Replaying a vacuum against a post-vacuum checkpoint is the one
+      // non-idempotent case (it may coarsen further; see ApplyWalRecord).
+      // Checkpointing immediately retires the record, shrinking that
+      // window to a crash inside this very checkpoint.
+      (void)CheckpointLocked();
+    }
   } else {
     writes_failed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -166,27 +308,106 @@ StatusOr<std::string> TemporalQueryService::ExecuteQueryToString(
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::Put(
     const std::string& url, std::string_view xml_text) {
   std::unique_lock<std::shared_mutex> lock(commit_mu_);
-  auto result = db_->PutDocument(url, xml_text);
-  (result.ok() ? writes_committed_ : writes_failed_)
-      .fetch_add(1, std::memory_order_relaxed);
-  return result;
+  // Draw the commit timestamp up front so the WAL record and the database
+  // write agree on it (replay must reproduce the same version times).
+  return PutLocked(url, xml_text, db_->clock()->Next());
 }
 
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutAt(
     const std::string& url, std::string_view xml_text, Timestamp ts) {
   std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  return PutLocked(url, xml_text, ts);
+}
+
+StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutLocked(
+    const std::string& url, std::string_view xml_text, Timestamp ts) {
+  WalRecord record;
+  record.type = WalRecordType::kPut;
+  record.ts = ts;
+  record.url = url;
+  record.payload = std::string(xml_text);
+  Status logged = LogCommitLocked(record);
+  if (!logged.ok()) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    return logged;
+  }
   auto result = db_->PutDocumentAt(url, xml_text, ts);
   (result.ok() ? writes_committed_ : writes_failed_)
       .fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) MaybeCheckpointLocked();
   return result;
 }
 
 Status TemporalQueryService::Delete(const std::string& url) {
   std::unique_lock<std::shared_mutex> lock(commit_mu_);
-  Status status = db_->DeleteDocument(url);
+  Timestamp ts = db_->clock()->Next();
+  // Only log deletes that will apply: a delete of a missing or
+  // already-deleted document fails below without touching state, and
+  // logging it would just leave a no-op record in every future replay.
+  const VersionedDocument* doc = db_->store().FindByUrl(url);
+  if (doc != nullptr && !doc->deleted()) {
+    WalRecord record;
+    record.type = WalRecordType::kDelete;
+    record.ts = ts;
+    record.url = url;
+    Status logged = LogCommitLocked(record);
+    if (!logged.ok()) {
+      writes_failed_.fetch_add(1, std::memory_order_relaxed);
+      return logged;
+    }
+  }
+  Status status = db_->DeleteDocumentAt(url, ts);
   (status.ok() ? writes_committed_ : writes_failed_)
       .fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) MaybeCheckpointLocked();
   return status;
+}
+
+Status TemporalQueryService::LogCommitLocked(const WalRecord& record) {
+  if (wal_ == nullptr) return Status::OK();
+  auto sequence = wal_->Append(record);
+  if (!sequence.ok()) return sequence.status();
+  wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TemporalQueryService::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  return CheckpointLocked();
+}
+
+Status TemporalQueryService::CheckpointLocked() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "service has no durability data_dir to checkpoint into");
+  }
+  uint64_t covered = wal_->last_sequence();
+  Status status = [&]() -> Status {
+    // Order matters: database files first, the stamp last (the stamp is
+    // the commit point of the checkpoint), log truncation after that. A
+    // crash between any two steps recovers correctly — see ApplyWalRecord
+    // for the new-files/old-stamp window, and the Open() sequence floor
+    // for the new-stamp/old-log window.
+    TXML_RETURN_IF_ERROR(db_->Save(data_dir_));
+    TXML_RETURN_IF_ERROR(WriteCheckpointStamp(data_dir_, covered));
+    return wal_->Reset(covered);
+  }();
+  (status.ok() ? checkpoints_completed_ : checkpoints_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+void TemporalQueryService::MaybeCheckpointLocked() {
+  if (wal_ == nullptr) return;
+  const DurabilityOptions& durability = options_.durability;
+  bool over_bytes = durability.checkpoint_log_bytes > 0 &&
+                    wal_->file_bytes() >= durability.checkpoint_log_bytes;
+  bool over_records =
+      durability.checkpoint_log_records > 0 &&
+      wal_->record_count() >= durability.checkpoint_log_records;
+  // Best-effort: a failed auto-checkpoint is counted and retried by the
+  // next commit; the WAL keeps growing but loses nothing.
+  if (over_bytes || over_records) (void)CheckpointLocked();
 }
 
 StatusOr<XmlDocument> TemporalQueryService::Snapshot(const std::string& url,
@@ -234,6 +455,21 @@ ServiceStats TemporalQueryService::Stats() const {
   stats.vacuums_run = vacuums_run_.load(std::memory_order_relaxed);
   stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) stats.snapshot_cache = cache_->Stats();
+  stats.durability.wal_records_appended =
+      wal_records_appended_.load(std::memory_order_relaxed);
+  stats.durability.checkpoints_completed =
+      checkpoints_completed_.load(std::memory_order_relaxed);
+  stats.durability.checkpoints_failed =
+      checkpoints_failed_.load(std::memory_order_relaxed);
+  stats.durability.recovered_records = recovered_records_;
+  stats.durability.recovery_tail_dropped = recovery_tail_dropped_;
+  if (wal_ != nullptr) {
+    // wal_ is written only under the exclusive commit lock; take the
+    // shared side so the two gauges are a consistent pair.
+    std::shared_lock<std::shared_mutex> lock(commit_mu_);
+    stats.durability.wal_last_sequence = wal_->last_sequence();
+    stats.durability.wal_bytes = wal_->file_bytes();
+  }
   return stats;
 }
 

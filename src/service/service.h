@@ -14,12 +14,34 @@
 #include "src/service/snapshot_cache.h"
 #include "src/service/stats.h"
 #include "src/service/thread_pool.h"
+#include "src/storage/wal.h"
 #include "src/util/statusor.h"
 #include "src/util/timestamp.h"
 
 namespace txml {
 
 class ClientSession;
+
+/// Durability configuration (DESIGN.md §9). With a data_dir, every commit
+/// is appended to a write-ahead log before the store and indexes observe
+/// it, the database is checkpointed atomically into the directory, and
+/// Create() recovers automatically on startup: load the newest checkpoint,
+/// replay the WAL suffix past its covered sequence, truncate the log.
+struct DurabilityOptions {
+  /// Directory holding store.txml / indexes.txml / wal.txml /
+  /// checkpoint.txml. Empty (the default) = purely in-memory service: no
+  /// WAL, no checkpoints, no recovery.
+  std::string data_dir;
+  /// WAL sync policy — the commit durability / throughput trade-off
+  /// benchmarked in bench/bench_wal.cc.
+  WalOptions wal;
+  /// Auto-checkpoint after a commit once the WAL exceeds this many bytes
+  /// (0 disables the size trigger).
+  uint64_t checkpoint_log_bytes = 64ull << 20;
+  /// Auto-checkpoint after a commit once the WAL holds this many records
+  /// (0 disables the count trigger).
+  uint64_t checkpoint_log_records = 10000;
+};
 
 /// Configuration of a TemporalQueryService.
 struct ServiceOptions {
@@ -33,6 +55,10 @@ struct ServiceOptions {
   size_t snapshot_cache_shards = 16;
   /// Options of the owned database (ignored when a database is adopted).
   DatabaseOptions database;
+  /// Durability: WAL + checkpoints + startup recovery. Only honored by
+  /// Create(ServiceOptions) — the database-adopting factory refuses a
+  /// data_dir rather than guess how the adopted state relates to disk.
+  DurabilityOptions durability;
 };
 
 /// Checks an options struct for values that would be undefined behavior
@@ -137,6 +163,13 @@ class TemporalQueryService {
   /// through the query path only — plain retrieval reconstructs).
   StatusOr<XmlDocument> Snapshot(const std::string& url, Timestamp t);
 
+  /// Durable services only: checkpoints the database into data_dir
+  /// (atomic store + index save, then the covered-sequence stamp) and
+  /// truncates the WAL. Takes the exclusive commit lock; writes started
+  /// after it return see the compacted log. InvalidArgument on an
+  /// in-memory service.
+  Status Checkpoint();
+
   /// \deprecated Async shims over the worker pool; prefer Submit.
   std::future<StatusOr<XmlDocument>> SubmitQuery(std::string query_text);
   std::future<StatusOr<std::string>> SubmitQueryToString(
@@ -163,9 +196,27 @@ class TemporalQueryService {
   /// hold no expectations against concurrent commits.
   const TemporalXmlDatabase& database() const { return *db_; }
   ShardedSnapshotCache* snapshot_cache() { return cache_.get(); }
+  /// Null for an in-memory service.
+  const WriteAheadLog* wal() const { return wal_.get(); }
 
  private:
   friend class ClientSession;
+
+  /// Create(ServiceOptions) with a data_dir: startup recovery
+  /// (checkpoint load + WAL suffix replay) then log compaction.
+  static StatusOr<std::unique_ptr<TemporalQueryService>> CreateDurable(
+      ServiceOptions options);
+
+  /// Shared tail of Put/PutAt once the commit timestamp is fixed: WAL
+  /// append (when durable), then the database write, then the
+  /// auto-checkpoint check. Caller holds the exclusive commit lock.
+  StatusOr<PutResult> PutLocked(const std::string& url,
+                                std::string_view xml_text, Timestamp ts);
+  /// Appends one commit record (no-op in-memory). A failure here must
+  /// abort the commit — the write would be unrecoverable.
+  Status LogCommitLocked(const WalRecord& record);
+  Status CheckpointLocked();
+  void MaybeCheckpointLocked();
 
   /// Wraps `fn` in a packaged task on the pool; returns its future.
   template <typename Fn>
@@ -180,6 +231,10 @@ class TemporalQueryService {
   ServiceOptions options_;
   std::unique_ptr<TemporalXmlDatabase> db_;
   std::unique_ptr<ShardedSnapshotCache> cache_;  // null when disabled
+  /// Null for an in-memory service. Guarded by the exclusive side of
+  /// commit_mu_ (appends and checkpoints are writer-side operations).
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::string data_dir_;
 
   /// The commit lock: writers exclusive, readers shared (see class docs).
   mutable std::shared_mutex commit_mu_;
@@ -190,6 +245,12 @@ class TemporalQueryService {
   std::atomic<uint64_t> writes_failed_{0};
   std::atomic<uint64_t> vacuums_run_{0};
   std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> wal_records_appended_{0};
+  std::atomic<uint64_t> checkpoints_completed_{0};
+  std::atomic<uint64_t> checkpoints_failed_{0};
+  /// Recovery facts, set once before the service is visible to callers.
+  uint64_t recovered_records_ = 0;
+  bool recovery_tail_dropped_ = false;
 
   /// Last: joins workers before db_/cache_ die. Declared after everything
   /// the tasks touch.

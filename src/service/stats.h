@@ -20,6 +20,23 @@ struct SnapshotCacheStats {
   size_t entries = 0;
 };
 
+/// Counters of the durability layer (WAL + checkpoints, DESIGN.md §9).
+/// All zero for an in-memory service (no data_dir configured).
+struct DurabilityStats {
+  /// Commit records appended to the WAL since startup.
+  uint64_t wal_records_appended = 0;
+  /// Highest WAL sequence assigned so far (monotone across restarts).
+  uint64_t wal_last_sequence = 0;
+  /// Current WAL file length in bytes (header + records).
+  uint64_t wal_bytes = 0;
+  uint64_t checkpoints_completed = 0;
+  uint64_t checkpoints_failed = 0;
+  /// WAL records applied during startup recovery.
+  uint64_t recovered_records = 0;
+  /// Startup recovery found (and dropped) a torn WAL tail.
+  bool recovery_tail_dropped = false;
+};
+
 /// Aggregate counters of a TemporalQueryService, for monitoring and the
 /// service benchmarks.
 struct ServiceStats {
@@ -32,6 +49,7 @@ struct ServiceStats {
   uint64_t vacuums_run = 0;
   uint64_t sessions_opened = 0;
   SnapshotCacheStats snapshot_cache;
+  DurabilityStats durability;
 };
 
 }  // namespace txml

@@ -29,6 +29,16 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_pending) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_pending > 0 && queue_.size() >= max_pending) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();

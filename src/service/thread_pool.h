@@ -29,6 +29,14 @@ class ThreadPool {
   /// destruction.
   void Submit(std::function<void()> task);
 
+  /// Bounded enqueue: refuses (returns false, task not queued) when
+  /// `max_pending` tasks are already waiting, instead of letting the
+  /// backlog grow without limit. `max_pending` == 0 means unbounded
+  /// (identical to Submit). Running tasks do not count — the bound is on
+  /// queued work only, so a pool with free workers always accepts.
+  [[nodiscard]] bool TrySubmit(std::function<void()> task,
+                               size_t max_pending);
+
   size_t thread_count() const { return workers_.size(); }
 
   /// Tasks currently queued (excluding running ones); monitoring only.

@@ -1,0 +1,428 @@
+#include "src/storage/wal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+#include "src/util/env.h"
+#include "src/util/failpoint.h"
+
+namespace txml {
+namespace {
+
+// 'T' 'W' 'L' '1' in file order under the little-endian fixed32 encoding.
+constexpr uint32_t kWalMagic = 0x314C5754u;
+
+// Vacuum-record flag bits (which optional horizons are present).
+constexpr uint8_t kVacuumHasDropBefore = 0x1;
+constexpr uint8_t kVacuumHasCoarsen = 0x2;
+
+std::string ErrnoDetail(const char* op, const std::string& path, int err) {
+  return std::string(op) + " '" + path + "' failed: " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+std::string EncodeHeader(uint64_t base_sequence) {
+  std::string header;
+  PutFixed32(&header, kWalMagic);
+  PutVarint64(&header, base_sequence);
+  return header;
+}
+
+// Body layout per record type (after the common `varint32 type, varint64
+// sequence` prefix):
+//   kPut:    varint_signed64 ts_micros, lp url, lp payload
+//   kDelete: varint_signed64 ts_micros, lp url
+//   kVacuum: varint32 flags, [varint_signed64 drop_before],
+//            [varint_signed64 coarsen_older_than], varint32 keep_every
+std::string EncodeBody(const WalRecord& record, uint64_t sequence) {
+  std::string body;
+  PutVarint32(&body, static_cast<uint32_t>(record.type));
+  PutVarint64(&body, sequence);
+  switch (record.type) {
+    case WalRecordType::kPut:
+      PutVarintSigned64(&body, record.ts.micros());
+      PutLengthPrefixed(&body, record.url);
+      PutLengthPrefixed(&body, record.payload);
+      break;
+    case WalRecordType::kDelete:
+      PutVarintSigned64(&body, record.ts.micros());
+      PutLengthPrefixed(&body, record.url);
+      break;
+    case WalRecordType::kVacuum: {
+      uint8_t flags = 0;
+      if (record.policy.drop_before.has_value()) flags |= kVacuumHasDropBefore;
+      if (record.policy.coarsen_older_than.has_value()) {
+        flags |= kVacuumHasCoarsen;
+      }
+      PutVarint32(&body, flags);
+      if (record.policy.drop_before.has_value()) {
+        PutVarintSigned64(&body, record.policy.drop_before->micros());
+      }
+      if (record.policy.coarsen_older_than.has_value()) {
+        PutVarintSigned64(&body, record.policy.coarsen_older_than->micros());
+      }
+      PutVarint32(&body, record.policy.keep_every);
+      break;
+    }
+  }
+  return body;
+}
+
+StatusOr<WalRecord> DecodeBody(std::string_view body) {
+  Decoder dec(body);
+  WalRecord record;
+  auto type = dec.ReadVarint32();
+  if (!type.ok()) return type.status();
+  switch (*type) {
+    case static_cast<uint32_t>(WalRecordType::kPut):
+      record.type = WalRecordType::kPut;
+      break;
+    case static_cast<uint32_t>(WalRecordType::kDelete):
+      record.type = WalRecordType::kDelete;
+      break;
+    case static_cast<uint32_t>(WalRecordType::kVacuum):
+      record.type = WalRecordType::kVacuum;
+      break;
+    default:
+      return Status::Corruption("wal record has unknown type " +
+                                std::to_string(*type));
+  }
+  auto sequence = dec.ReadVarint64();
+  if (!sequence.ok()) return sequence.status();
+  record.sequence = *sequence;
+  switch (record.type) {
+    case WalRecordType::kPut: {
+      auto ts = dec.ReadVarintSigned64();
+      if (!ts.ok()) return ts.status();
+      record.ts = Timestamp::FromMicros(*ts);
+      auto url = dec.ReadLengthPrefixed();
+      if (!url.ok()) return url.status();
+      record.url = std::string(*url);
+      auto payload = dec.ReadLengthPrefixed();
+      if (!payload.ok()) return payload.status();
+      record.payload = std::string(*payload);
+      break;
+    }
+    case WalRecordType::kDelete: {
+      auto ts = dec.ReadVarintSigned64();
+      if (!ts.ok()) return ts.status();
+      record.ts = Timestamp::FromMicros(*ts);
+      auto url = dec.ReadLengthPrefixed();
+      if (!url.ok()) return url.status();
+      record.url = std::string(*url);
+      break;
+    }
+    case WalRecordType::kVacuum: {
+      auto flags = dec.ReadVarint32();
+      if (!flags.ok()) return flags.status();
+      if (*flags & kVacuumHasDropBefore) {
+        auto t = dec.ReadVarintSigned64();
+        if (!t.ok()) return t.status();
+        record.policy.drop_before = Timestamp::FromMicros(*t);
+      }
+      if (*flags & kVacuumHasCoarsen) {
+        auto t = dec.ReadVarintSigned64();
+        if (!t.ok()) return t.status();
+        record.policy.coarsen_older_than = Timestamp::FromMicros(*t);
+      }
+      auto keep = dec.ReadVarint32();
+      if (!keep.ok()) return keep.status();
+      record.policy.keep_every = *keep;
+      break;
+    }
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("wal record body has trailing bytes");
+  }
+  return record;
+}
+
+// Scans `data` (the whole file) and fills `result` with every complete,
+// CRC-valid record. Returns Corruption only when even the header is
+// unreadable; a bad *suffix* is reported via tail_dropped instead.
+Status ScanLog(std::string_view data, const std::string& path,
+               WriteAheadLog::ReplayResult* result) {
+  Decoder dec(data);
+  auto magic = dec.ReadFixed32();
+  if (!magic.ok() || *magic != kWalMagic) {
+    return Status::Corruption("'" + path + "' is not a WAL file (bad magic)");
+  }
+  auto base = dec.ReadVarint64();
+  if (!base.ok()) {
+    return Status::Corruption("'" + path + "' has a truncated WAL header");
+  }
+  result->last_sequence = *base;
+  size_t pos = dec.position();
+  result->valid_bytes = pos;
+  while (pos < data.size()) {
+    Decoder frame(data.substr(pos));
+    auto len = frame.ReadVarint64();
+    if (!len.ok()) break;  // torn length varint
+    size_t body_off = pos + frame.position();
+    if (*len > data.size() - body_off) break;  // torn body
+    size_t body_len = static_cast<size_t>(*len);
+    if (data.size() - body_off - body_len < 4) break;  // torn crc
+    std::string_view body = data.substr(body_off, body_len);
+    Decoder crc_dec(data.substr(body_off + body_len, 4));
+    auto stored_crc = crc_dec.ReadFixed32();
+    if (!stored_crc.ok()) break;
+    if (crc32c::Unmask(*stored_crc) != crc32c::Value(body)) break;
+    // A CRC-valid body that fails to decode is real corruption, not a torn
+    // tail — the bytes were durably written this way. Still treat it as the
+    // end of the trustworthy prefix rather than failing recovery outright.
+    auto record = DecodeBody(body);
+    if (!record.ok()) break;
+    result->records.push_back(std::move(*record));
+    result->last_sequence = result->records.back().sequence;
+    pos = body_off + body_len + 4;
+    result->valid_bytes = pos;
+  }
+  if (result->valid_bytes < data.size()) {
+    result->tail_dropped = true;
+    result->bytes_dropped = data.size() - result->valid_bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view WalSyncModeToString(WalSyncMode mode) {
+  switch (mode) {
+    case WalSyncMode::kNone:
+      return "none";
+    case WalSyncMode::kEveryN:
+      return "every_n";
+    case WalSyncMode::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+StatusOr<WalSyncMode> ParseWalSyncMode(std::string_view text) {
+  if (text == "none") return WalSyncMode::kNone;
+  if (text == "every_n") return WalSyncMode::kEveryN;
+  if (text == "always") return WalSyncMode::kAlways;
+  return Status::InvalidArgument(
+      "unknown sync mode '" + std::string(text) +
+      "' (expected none, every_n, or always)");
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, WalOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    std::string path, WalOptions options, uint64_t min_base_sequence) {
+  if (options.sync_mode == WalSyncMode::kEveryN && options.sync_every_n == 0) {
+    return Status::InvalidArgument("sync_every_n must be > 0");
+  }
+  auto log = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(path), options));
+  bool fresh = !FileExists(log->path_);
+  if (fresh) {
+    // Durably create the header-only file before the first append can be
+    // acknowledged.
+    Status created =
+        WriteStringToFile(log->path_, EncodeHeader(min_base_sequence));
+    if (!created.ok()) return created;
+    log->last_sequence_ = min_base_sequence;
+    log->file_bytes_ = EncodeHeader(min_base_sequence).size();
+  } else {
+    auto replay = Replay(log->path_);
+    if (!replay.ok()) return replay.status();
+    log->last_sequence_ = std::max(replay->last_sequence, min_base_sequence);
+    log->record_count_ = replay->records.size();
+    log->file_bytes_ = replay->valid_bytes;
+    if (replay->tail_dropped) {
+      // Physically drop the torn suffix so new appends extend the valid
+      // prefix; otherwise replay would stop before them.
+      if (::truncate(log->path_.c_str(),
+                     static_cast<off_t>(replay->valid_bytes)) != 0) {
+        return Status::IoError(
+            ErrnoDetail("truncate (torn tail)", log->path_, errno));
+      }
+    }
+  }
+  if (FailPointError("wal.open", log->path_)) {
+    return Status::IoError("injected failure at wal.open for '" + log->path_ +
+                           "'");
+  }
+  int fd = ::open(log->path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Status::IoError(ErrnoDetail("open", log->path_, errno));
+  }
+  log->fd_ = fd;
+  return log;
+}
+
+StatusOr<uint64_t> WriteAheadLog::Append(const WalRecord& record) {
+  if (poisoned_) {
+    return Status::Unavailable(
+        "wal '" + path_ +
+        "' is poisoned after a failed sync/rollback; restart to recover");
+  }
+  uint64_t sequence = last_sequence_ + 1;
+  std::string body = EncodeBody(record, sequence);
+  std::string framed;
+  PutVarint64(&framed, body.size());
+  framed.append(body);
+  PutFixed32(&framed, crc32c::Mask(crc32c::Value(body)));
+
+  std::string_view to_write = framed;
+  size_t injected_allowed = 0;
+  bool injected =
+      FailPointShortWrite("wal.append.write", path_, &injected_allowed);
+  if (injected) to_write = to_write.substr(0, injected_allowed);
+
+  size_t off = 0;
+  int write_errno = 0;
+  while (off < to_write.size()) {
+    ssize_t n = ::write(fd_, to_write.data() + off, to_write.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_errno = errno;
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (injected || write_errno != 0) {
+    // Roll the partial append back so the on-disk file ends on a record
+    // boundary; a failed rollback leaves an untrusted tail → poison.
+    if (::ftruncate(fd_, static_cast<off_t>(file_bytes_)) != 0) {
+      poisoned_ = true;
+      return Status::IoError(
+          ErrnoDetail("ftruncate (append rollback)", path_, errno) +
+          "; wal poisoned");
+    }
+    if (injected) {
+      return Status::IoError("injected failure at wal.append.write for '" +
+                             path_ + "'");
+    }
+    return Status::IoError(ErrnoDetail("write", path_, write_errno));
+  }
+  file_bytes_ += framed.size();
+  ++record_count_;
+  last_sequence_ = sequence;
+  ++unsynced_records_;
+
+  bool want_sync =
+      options_.sync_mode == WalSyncMode::kAlways ||
+      (options_.sync_mode == WalSyncMode::kEveryN &&
+       unsynced_records_ >= options_.sync_every_n);
+  if (want_sync) {
+    Status synced = SyncLocked();
+    if (!synced.ok()) return synced;
+  }
+  return sequence;
+}
+
+Status WriteAheadLog::SyncLocked() {
+  if (FailPointError("wal.append.sync", path_)) {
+    // The record may or may not be durable — same ambiguity as a real
+    // fsync failure, so poison rather than guess.
+    poisoned_ = true;
+    return Status::IoError("injected failure at wal.append.sync for '" +
+                           path_ + "'; wal poisoned");
+  }
+  if (::fsync(fd_) != 0) {
+    // Post-fsync-failure page state is undefined on Linux (dirty pages may
+    // be dropped); no later fsync can re-establish durability of this fd's
+    // writes. Poison and force recovery from the on-disk truth.
+    poisoned_ = true;
+    return Status::IoError(ErrnoDetail("fsync", path_, errno) +
+                           "; wal poisoned");
+  }
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (poisoned_) {
+    return Status::Unavailable("wal '" + path_ + "' is poisoned");
+  }
+  if (unsynced_records_ == 0) return Status::OK();
+  return SyncLocked();
+}
+
+Status WriteAheadLog::Reset(uint64_t base_sequence) {
+  // Build the replacement first; only swap our fd after the rename landed.
+  Status replaced = WriteStringToFile(path_, EncodeHeader(base_sequence));
+  if (!replaced.ok()) return replaced;
+  int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    // The file on disk is the fresh header, but we cannot append to it;
+    // poison so callers stop acknowledging writes.
+    poisoned_ = true;
+    return Status::IoError(ErrnoDetail("open (reset)", path_, errno) +
+                           "; wal poisoned");
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  last_sequence_ = std::max(last_sequence_, base_sequence);
+  file_bytes_ = EncodeHeader(base_sequence).size();
+  record_count_ = 0;
+  unsynced_records_ = 0;
+  poisoned_ = false;
+  return Status::OK();
+}
+
+StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
+    const std::string& path) {
+  ReplayResult result;
+  if (!FileExists(path)) return result;
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  Status scanned = ScanLog(*data, path, &result);
+  if (!scanned.ok()) return scanned;
+  return result;
+}
+
+Status WriteCheckpointStamp(const std::string& dir, uint64_t sequence) {
+  std::string body;
+  PutFixed32(&body, kWalMagic);
+  PutVarint64(&body, sequence);
+  std::string framed = body;
+  PutFixed32(&framed, crc32c::Mask(crc32c::Value(body)));
+  return WriteStringToFile(dir + "/" + kCheckpointStampFileName, framed);
+}
+
+StatusOr<uint64_t> ReadCheckpointStamp(const std::string& dir) {
+  std::string path = dir + "/" + kCheckpointStampFileName;
+  if (!FileExists(path)) {
+    return Status::NotFound("no checkpoint stamp in '" + dir + "'");
+  }
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  if (data->size() < 4) {
+    return Status::Corruption("checkpoint stamp '" + path + "' too short");
+  }
+  std::string_view body(*data);
+  body.remove_suffix(4);
+  Decoder crc_dec(std::string_view(*data).substr(body.size()));
+  auto stored_crc = crc_dec.ReadFixed32();
+  if (!stored_crc.ok() ||
+      crc32c::Unmask(*stored_crc) != crc32c::Value(body)) {
+    return Status::Corruption("checkpoint stamp '" + path +
+                              "' fails its checksum");
+  }
+  Decoder dec(body);
+  auto magic = dec.ReadFixed32();
+  if (!magic.ok() || *magic != kWalMagic) {
+    return Status::Corruption("checkpoint stamp '" + path + "' has bad magic");
+  }
+  auto sequence = dec.ReadVarint64();
+  if (!sequence.ok()) return sequence.status();
+  return *sequence;
+}
+
+}  // namespace txml

@@ -1,0 +1,178 @@
+#ifndef TXML_SRC_STORAGE_WAL_H_
+#define TXML_SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/vacuum.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+#include "src/util/timestamp.h"
+
+namespace txml {
+
+/// The write-ahead commit log (DESIGN.md §9): an append-only file of
+/// CRC32C-framed, length-prefixed *logical* commit records. A record
+/// describes a commit the way the service API received it — Put as
+/// (url, xml text, commit timestamp), Delete as (url, timestamp), Vacuum
+/// as the retention policy — not as physical page/delta images: replaying
+/// a record through the normal write path is deterministic (same parse,
+/// same diff, same XID assignment), so checkpoint + replay reconstructs
+/// the exact pre-crash store. The same (url, delta, timestamp) stream is
+/// the replication feed the ROADMAP's read-replica item needs.
+///
+/// File layout (all little-endian, src/util/coding.h primitives):
+///
+///   header:  fixed32 magic "TWL1", varint64 base_sequence
+///   record*: varint64 body_len, byte[body_len] body,
+///            fixed32 masked_crc32c(body)
+///   body:    varint32 type, varint64 sequence, then per type (see wal.cc)
+///
+/// Sequences are assigned by Append, strictly increasing, continuing
+/// across reopen and across Reset (the post-checkpoint truncation writes
+/// the covered sequence into the new header as base_sequence).
+///
+/// Torn-tail tolerance: a crash mid-append leaves a truncated or
+/// CRC-failing suffix. Replay drops that suffix (reporting it) and keeps
+/// everything before it; Open physically truncates the file back to the
+/// last complete record so new appends land on a clean boundary.
+
+enum class WalSyncMode {
+  /// Never fsync; the OS flushes when it likes. Fastest, loses the tail
+  /// of acknowledged commits on power loss (not on process crash).
+  kNone = 0,
+  /// Group commit: fsync once every sync_every_n appended records.
+  kEveryN = 1,
+  /// fsync every append before acknowledging. The default: an
+  /// acknowledged commit survives power loss.
+  kAlways = 2,
+};
+
+/// Renders "none" / "every_n" / "always".
+std::string_view WalSyncModeToString(WalSyncMode mode);
+/// Parses the --sync-mode flag vocabulary ("none", "every_n", "always").
+StatusOr<WalSyncMode> ParseWalSyncMode(std::string_view text);
+
+struct WalOptions {
+  WalSyncMode sync_mode = WalSyncMode::kAlways;
+  /// kEveryN: fsync once per this many appended records. Must be > 0.
+  uint64_t sync_every_n = 8;
+};
+
+enum class WalRecordType : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+  kVacuum = 3,
+};
+
+/// One logical commit record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kPut;
+  /// Assigned by Append; read back by Replay.
+  uint64_t sequence = 0;
+  /// Commit timestamp (kPut / kDelete; unused for kVacuum).
+  Timestamp ts;
+  /// Document URL (kPut / kDelete).
+  std::string url;
+  /// kPut: the XML text exactly as the service received it.
+  std::string payload;
+  /// kVacuum: the retention horizons.
+  RetentionPolicy policy;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens the log at `path` for appending, creating it (with
+  /// base_sequence = min_base_sequence) when absent. An existing file is
+  /// scanned: a torn tail is physically truncated away, and appends
+  /// continue after the last complete record. `min_base_sequence` guards
+  /// sequence monotonicity across a crash window where the checkpoint
+  /// stamp advanced but log truncation did not happen (or the log file is
+  /// gone): assigned sequences always exceed both the file's last record
+  /// and this floor.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      std::string path, WalOptions options, uint64_t min_base_sequence = 0);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends `record` (its sequence field is ignored; the next sequence is
+  /// assigned and returned) and applies the sync policy. On a write
+  /// failure the partial append is rolled back (ftruncate to the
+  /// pre-append length) so the file stays clean; if the rollback itself
+  /// fails, or an fsync fails (after which the kernel may have dropped
+  /// dirty pages — the file's durable content is unknowable), the log is
+  /// *poisoned*: every further Append fails kUnavailable until the
+  /// process restarts and recovery re-establishes a trusted tail.
+  StatusOr<uint64_t> Append(const WalRecord& record);
+
+  /// Explicit group-commit flush (kNone/kEveryN callers before an ack
+  /// barrier). No-op when nothing is unsynced.
+  Status Sync();
+
+  /// Atomically replaces the log with a fresh empty one whose appends
+  /// continue from base_sequence + 1 — the truncation after a checkpoint
+  /// covering base_sequence. On failure the old log (still containing
+  /// everything) remains in use; replay tolerates the stale records via
+  /// the sequence floor.
+  Status Reset(uint64_t base_sequence);
+
+  uint64_t last_sequence() const { return last_sequence_; }
+  /// Current file length in bytes (header + records) — the size trigger
+  /// for auto-checkpointing.
+  uint64_t file_bytes() const { return file_bytes_; }
+  /// Complete records currently in the file.
+  uint64_t record_count() const { return record_count_; }
+  bool poisoned() const { return poisoned_; }
+  const std::string& path() const { return path_; }
+
+  struct ReplayResult {
+    std::vector<WalRecord> records;
+    /// max(header base_sequence, last record's sequence).
+    uint64_t last_sequence = 0;
+    /// True when a truncated or CRC-failing suffix was dropped.
+    bool tail_dropped = false;
+    uint64_t bytes_dropped = 0;
+    /// Bytes of header + complete records.
+    uint64_t valid_bytes = 0;
+  };
+
+  /// Reads the log for recovery. An absent file yields an empty result
+  /// (last_sequence 0). A torn tail is dropped and reported; a file too
+  /// corrupt to even carry a header is Corruption.
+  static StatusOr<ReplayResult> Replay(const std::string& path);
+
+ private:
+  WriteAheadLog(std::string path, WalOptions options);
+
+  /// fsync with poisoning semantics (see Append).
+  Status SyncLocked();
+
+  std::string path_;
+  WalOptions options_;
+  int fd_ = -1;
+  uint64_t last_sequence_ = 0;
+  uint64_t file_bytes_ = 0;
+  uint64_t record_count_ = 0;
+  uint64_t unsynced_records_ = 0;
+  bool poisoned_ = false;
+};
+
+/// The checkpoint stamp: a tiny atomic file recording the WAL sequence a
+/// checkpoint covers. Recovery replays only records above it.
+Status WriteCheckpointStamp(const std::string& dir, uint64_t sequence);
+/// NotFound when no stamp exists (fresh or legacy directory).
+StatusOr<uint64_t> ReadCheckpointStamp(const std::string& dir);
+
+/// File names inside a durability data_dir (store.txml / indexes.txml are
+/// owned by TemporalXmlDatabase::Save).
+inline constexpr char kWalFileName[] = "wal.txml";
+inline constexpr char kCheckpointStampFileName[] = "checkpoint.txml";
+
+}  // namespace txml
+
+#endif  // TXML_SRC_STORAGE_WAL_H_

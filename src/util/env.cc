@@ -1,34 +1,125 @@
 #include "src/util/env.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 
-namespace txml {
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
-Status WriteStringToFile(const std::string& path, std::string_view contents) {
-  // Write to a temp file and rename, so readers never see a torn file.
-  std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open '" + tmp + "' for writing");
+#include "src/util/failpoint.h"
+
+namespace txml {
+namespace {
+
+std::string ErrnoDetail(const char* op, const std::string& path, int err) {
+  return std::string(op) + " '" + path + "' failed: " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Writes all of `data` to `fd`, looping over partial writes. The
+/// "env.write" failpoint can cut the write short (a torn file, as a crash
+/// mid-write would leave).
+Status WriteAllFd(int fd, std::string_view data, const std::string& path) {
+  size_t injected_allowed = 0;
+  bool injected =
+      FailPointShortWrite("env.write", path, &injected_allowed);
+  if (injected) data = data.substr(0, injected_allowed);
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoDetail("write", path, errno));
+    }
+    off += static_cast<size_t>(n);
   }
-  size_t written = contents.empty()
-                       ? 0
-                       : std::fwrite(contents.data(), 1, contents.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != contents.size() || close_rc != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("short write to '" + tmp + "'");
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return Status::IoError("cannot rename '" + tmp + "' to '" + path +
-                           "': " + ec.message());
+  if (injected) {
+    return Status::IoError("injected failure at env.write for '" + path +
+                           "'");
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SyncDir(const std::string& dir) {
+  if (FailPointError("env.dirsync", dir)) {
+    return Status::IoError("injected failure at env.dirsync for '" + dir +
+                           "'");
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoDetail("open (dirsync)", dir, errno));
+  }
+  int rc = ::fsync(fd);
+  int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError(ErrnoDetail("fsync (dir)", dir, err));
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  // Write-to-temp + fsync + rename + directory fsync: at every instant the
+  // path holds either the complete old contents or the complete new ones,
+  // and after OK the new contents survive a crash. A bare rename without
+  // the fsyncs is atomic against *process* death only — after power loss
+  // the filesystem may expose the rename but not the data it points at.
+  std::string tmp = path + ".tmp";
+  if (FailPointError("env.open", tmp)) {
+    return Status::IoError("injected failure at env.open for '" + tmp + "'");
+  }
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoDetail("open", tmp, errno));
+  }
+  Status written = WriteAllFd(fd, contents, tmp);
+  if (!written.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return written;
+  }
+  if (FailPointError("env.sync", tmp)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError("injected failure at env.sync for '" + tmp + "'");
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoDetail("fsync", tmp, err));
+  }
+  if (::close(fd) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoDetail("close", tmp, err));
+  }
+  if (FailPointError("env.rename", path)) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("injected failure at env.rename for '" + path +
+                           "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoDetail("rename", tmp + "' -> '" + path, err));
+  }
+  // Persist the directory entry; without this a crash can roll the rename
+  // itself back even though the data blocks were synced.
+  return SyncDir(ParentDir(path));
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
@@ -72,6 +163,15 @@ Status RemoveFileIfExists(const std::string& path) {
     return Status::IoError("cannot remove '" + path + "': " + ec.message());
   }
   return Status::OK();
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("cannot stat '" + path + "': " + ec.message());
+  }
+  return size;
 }
 
 }  // namespace txml

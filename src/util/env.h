@@ -1,6 +1,7 @@
 #ifndef TXML_SRC_UTIL_ENV_H_
 #define TXML_SRC_UTIL_ENV_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -10,12 +11,24 @@
 namespace txml {
 
 /// Thin filesystem helpers used by the persistence layer. All failures
-/// surface as IoError with the path in the message.
+/// surface as IoError with the path, the failing syscall and its errno in
+/// the message.
+
+/// Durable atomic replacement of `path`: writes to `path`.tmp, fsyncs the
+/// file, renames over `path`, then fsyncs the containing directory. A
+/// crash at any instant leaves either the complete old contents or the
+/// complete new contents — never a torn hybrid — and after OK the new
+/// contents survive power loss. The checkpoint writer (DESIGN.md §9)
+/// builds directly on this guarantee.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
 StatusOr<std::string> ReadFileToString(const std::string& path);
 Status CreateDirIfMissing(const std::string& path);
 bool FileExists(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+/// fsyncs a directory, persisting renames/creations of its entries.
+Status SyncDir(const std::string& dir);
 
 }  // namespace txml
 

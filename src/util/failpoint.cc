@@ -1,0 +1,101 @@
+#include "src/util/failpoint.h"
+
+#if defined(TXML_FAILPOINTS)
+
+#include <algorithm>
+
+namespace txml {
+namespace {
+
+std::string_view Basename(std::string_view path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+FailPoints& FailPoints::Global() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+void FailPoints::Arm(const std::string& site, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.emplace_back(site, std::move(spec));
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
+                              [&](const auto& e) { return e.first == site; }),
+               armed_.end());
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  fired_ = 0;
+}
+
+std::vector<std::pair<std::string, std::string>> FailPoints::Trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+void FailPoints::ClearTrace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.clear();
+}
+
+uint64_t FailPoints::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+FailPoints::Hit FailPoints::Check(std::string_view site,
+                                  std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::pair<std::string, std::string> key(std::string(site),
+                                          std::string(Basename(detail)));
+  if (std::find(trace_.begin(), trace_.end(), key) == trace_.end()) {
+    trace_.push_back(std::move(key));
+  }
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->first != site) continue;
+    FailPointSpec& spec = it->second;
+    if (!spec.path_substr.empty() &&
+        detail.find(spec.path_substr) == std::string_view::npos) {
+      continue;
+    }
+    if (spec.skip > 0) {
+      --spec.skip;
+      continue;
+    }
+    Hit hit;
+    hit.fired = true;
+    hit.kind = spec.kind;
+    hit.short_bytes = spec.short_bytes;
+    armed_.erase(it);  // one-shot
+    ++fired_;
+    return hit;
+  }
+  return Hit{};
+}
+
+bool FailPointError(std::string_view site, std::string_view detail) {
+  FailPoints::Hit hit = FailPoints::Global().Check(site, detail);
+  return hit.fired && hit.kind == FailPointSpec::Kind::kError;
+}
+
+bool FailPointShortWrite(std::string_view site, std::string_view detail,
+                         size_t* allowed) {
+  FailPoints::Hit hit = FailPoints::Global().Check(site, detail);
+  if (!hit.fired) return false;
+  *allowed =
+      hit.kind == FailPointSpec::Kind::kShortWrite ? hit.short_bytes : 0;
+  return true;
+}
+
+}  // namespace txml
+
+#endif  // TXML_FAILPOINTS

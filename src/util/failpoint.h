@@ -1,0 +1,114 @@
+#ifndef TXML_SRC_UTIL_FAILPOINT_H_
+#define TXML_SRC_UTIL_FAILPOINT_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace txml {
+
+/// Fault injection for the durability layer (DESIGN.md §9).
+///
+/// Every WAL / checkpoint I/O boundary calls one of the two check helpers
+/// below, naming its *site* (e.g. "wal.append.write") and a *detail*
+/// string (the file path being touched). A test arms a site — optionally
+/// filtered to paths containing a substring, optionally skipping the
+/// first n matching hits — and the next matching hit "fires": the call
+/// site aborts with an injected IoError, or performs a deliberate short
+/// write first. Armed faults are one-shot: firing disarms the site, so a
+/// workload continues cleanly past the injected fault (the crash-recovery
+/// sweep in tests/durability_test.cc relies on this to model "one fault,
+/// then the process dies later").
+///
+/// The registry also traces every distinct (site, basename(detail)) pair
+/// it sees, so the sweep can *discover* the instrumented boundaries by
+/// running the workload once instead of hard-coding a site list that
+/// would rot.
+///
+/// Compiled in only under the TXML_FAILPOINTS CMake option. When off, the
+/// check helpers are constexpr false and every call site folds away —
+/// production builds pay nothing.
+
+#if defined(TXML_FAILPOINTS)
+
+/// One armed fault.
+struct FailPointSpec {
+  enum class Kind {
+    /// The instrumented operation fails outright with an injected IoError.
+    kError,
+    /// A write site writes only `short_bytes` of its buffer, then fails —
+    /// models a crash (or ENOSPC) mid-write, leaving a torn record/file.
+    kShortWrite,
+  };
+  Kind kind = Kind::kError;
+  /// Let this many matching hits pass before firing.
+  uint64_t skip = 0;
+  /// kShortWrite only: bytes actually written before the injected failure.
+  size_t short_bytes = 0;
+  /// When non-empty, only hits whose detail contains this substring match
+  /// (arm "env.rename" for "store.txml" but not "indexes.txml").
+  std::string path_substr;
+};
+
+/// Global registry of armed faults and the site trace. Thread-safe; the
+/// service layer may hit sites from several threads.
+class FailPoints {
+ public:
+  static FailPoints& Global();
+
+  void Arm(const std::string& site, FailPointSpec spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Distinct (site, basename-of-detail) pairs hit since ClearTrace.
+  std::vector<std::pair<std::string, std::string>> Trace() const;
+  void ClearTrace();
+
+  /// Total faults fired since DisarmAll/construction.
+  uint64_t fired_count() const;
+
+  struct Hit {
+    bool fired = false;
+    FailPointSpec::Kind kind = FailPointSpec::Kind::kError;
+    size_t short_bytes = 0;
+  };
+  /// Called by the check helpers; exposed for tests that need the raw hit.
+  Hit Check(std::string_view site, std::string_view detail);
+
+ private:
+  FailPoints() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, FailPointSpec>> armed_;
+  std::vector<std::pair<std::string, std::string>> trace_;
+  uint64_t fired_ = 0;
+};
+
+/// True when an armed kError fault fires at `site` for `detail`; the call
+/// site must abort the operation with an injected IoError.
+bool FailPointError(std::string_view site, std::string_view detail);
+
+/// True when an armed fault fires at a write site. *allowed receives how
+/// many bytes the site must actually write before reporting failure
+/// (0 for a kError fault — nothing reaches the file).
+bool FailPointShortWrite(std::string_view site, std::string_view detail,
+                         size_t* allowed);
+
+#else  // !TXML_FAILPOINTS
+
+inline constexpr bool FailPointError(std::string_view, std::string_view) {
+  return false;
+}
+inline constexpr bool FailPointShortWrite(std::string_view, std::string_view,
+                                          size_t*) {
+  return false;
+}
+
+#endif  // TXML_FAILPOINTS
+
+}  // namespace txml
+
+#endif  // TXML_SRC_UTIL_FAILPOINT_H_

@@ -635,6 +635,266 @@ TEST(NetTest, ServerReportsEffectiveConnectionThreads) {
   EXPECT_EQ(small.server->connection_threads(), 3u);
 }
 
+// ------------------------------------------------------------ client retry
+
+/// Speaks just enough of the response protocol to script a flaky server:
+/// header (+ one chunk when OK) + end, exactly like TxmlServer's
+/// SendResponse.
+void SendScriptedResponse(Socket* socket, const Status& status,
+                          const std::string& payload) {
+  ResponseHeader header;
+  header.status_code = status.code();
+  header.error_message = status.message();
+  header.payload_bytes = status.ok() ? payload.size() : 0;
+  ASSERT_TRUE(WriteFrame(socket, FrameType::kResponseHeader,
+                         EncodeResponseHeader(header))
+                  .ok());
+  if (status.ok() && !payload.empty()) {
+    ASSERT_TRUE(WriteFrame(socket, FrameType::kResponseChunk, payload).ok());
+  }
+  ASSERT_TRUE(WriteFrame(socket, FrameType::kResponseEnd,
+                         EncodeResponseEnd(header.payload_bytes))
+                  .ok());
+}
+
+ClientOptions RetryOptions(int max_retries) {
+  ClientOptions options;
+  options.max_retries = max_retries;
+  options.retry_backoff_initial_ms = 1;
+  options.retry_backoff_max_ms = 5;
+  return options;
+}
+
+TEST(ClientRetryTest, ConnectRetriesUntilTheServerComesUp) {
+  uint16_t port;
+  {
+    auto probe = ListenSocket::Listen(0);
+    ASSERT_TRUE(probe.ok());
+    port = probe->port();
+  }  // probe closed: connections to `port` now fail
+
+  // Without retries the connect failure surfaces immediately.
+  auto no_retry = TxmlClient::Connect("127.0.0.1", port, RetryOptions(0));
+  EXPECT_FALSE(no_retry.ok());
+
+  std::atomic<bool> accepted{false};
+  std::thread late_server([port, &accepted] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    auto listener = ListenSocket::Listen(port);
+    if (!listener.ok()) return;
+    auto conn = listener->Accept();
+    accepted.store(conn.ok());
+  });
+  ClientOptions options = RetryOptions(50);
+  options.retry_backoff_initial_ms = 20;
+  options.retry_backoff_max_ms = 50;
+  auto client = TxmlClient::Connect("127.0.0.1", port, options);
+  late_server.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(accepted.load());
+}
+
+TEST(ClientRetryTest, ServerReportedUnavailableIsRetried) {
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::atomic<int> requests{0};
+  std::thread fake([&] {
+    // Round 1: shed the request, hang up (like an overloaded TxmlServer).
+    {
+      auto conn = listener->Accept();
+      ASSERT_TRUE(conn.ok());
+      auto frame = ReadFrame(&*conn, kDefaultMaxFrameBytes);
+      ASSERT_TRUE(frame.ok());
+      requests.fetch_add(1);
+      SendScriptedResponse(&*conn, Status::Unavailable("try again"), "");
+    }
+    // Round 2: serve the retried request.
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = ReadFrame(&*conn, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(frame.ok());
+    requests.fetch_add(1);
+    SendScriptedResponse(&*conn, Status::OK(), "pong");
+  });
+  auto client =
+      TxmlClient::Connect("127.0.0.1", listener->port(), RetryOptions(3));
+  ASSERT_TRUE(client.ok());
+  QueryRequest request;
+  request.query_text = "SELECT";
+  auto response = client->Execute(request);
+  fake.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->payload, "pong");
+  EXPECT_EQ(requests.load(), 2);
+}
+
+TEST(ClientRetryTest, MaxRetriesZeroSurfacesUnavailableUnchanged) {
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::atomic<int> requests{0};
+  std::thread fake([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = ReadFrame(&*conn, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(frame.ok());
+    requests.fetch_add(1);
+    SendScriptedResponse(&*conn, Status::Unavailable("no capacity"), "");
+    // No second request may arrive — only the client's hangup.
+    auto next = ReadFrame(&*conn, kDefaultMaxFrameBytes);
+    EXPECT_FALSE(next.ok());
+  });
+  auto client =
+      TxmlClient::Connect("127.0.0.1", listener->port(), RetryOptions(0));
+  ASSERT_TRUE(client.ok());
+  QueryRequest request;
+  request.query_text = "SELECT";
+  auto response = client->Execute(request);
+  client->Close();
+  fake.join();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsUnavailable());
+  EXPECT_EQ(requests.load(), 1);
+}
+
+TEST(ClientRetryTest, TimeoutAfterASentWriteIsNeverRetried) {
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::atomic<int> requests{0};
+  std::thread fake([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = ReadFrame(&*conn, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, FrameType::kPutRequest);
+    requests.fetch_add(1);
+    // Never respond: the commit may or may not have landed. A retry here
+    // would risk a duplicate commit, so the client must NOT resend — the
+    // next thing on the wire has to be its hangup.
+    auto next = ReadFrame(&*conn, kDefaultMaxFrameBytes);
+    EXPECT_FALSE(next.ok());
+  });
+  ClientOptions options = RetryOptions(5);
+  options.read_timeout_ms = 200;
+  auto client = TxmlClient::Connect("127.0.0.1", listener->port(), options);
+  ASSERT_TRUE(client.ok());
+  PutRequest put;
+  put.url = "u";
+  put.xml_text = "<d><x>1</x></d>";
+  auto response = client->Execute(put);
+  client->Close();
+  fake.join();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsTimeout()) << response.status().ToString();
+  EXPECT_EQ(requests.load(), 1);
+}
+
+TEST(ClientRetryTest, ClosedClientReconnectsTransparently) {
+  ServerFixture fixture;
+  PutGuideHistory(fixture.service.get());
+  auto client = fixture.Connect(RetryOptions(1));
+  ASSERT_TRUE(client.ok());
+  QueryRequest request;
+  request.query_text = kPaperQueries[1];
+  auto first = client->Execute(request);
+  ASSERT_TRUE(first.ok());
+
+  // An explicitly closed client re-dials on the next request.
+  client->Close();
+  EXPECT_FALSE(client->connected());
+  auto second = client->Execute(request);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->payload, first->payload);
+  EXPECT_EQ(fixture.server->Stats().connections_accepted, 2u);
+}
+
+// ---------------------------------------------------------- load shedding
+
+TEST(NetTest, OverloadedServerShedsConnectionsWithUnavailable) {
+  ServerOptions server_options;
+  server_options.connection_threads = 1;
+  server_options.max_pending_connections = 1;
+  ServerFixture fixture(server_options);
+  PutGuideHistory(fixture.service.get());
+
+  // Occupy the only handler thread…
+  auto busy = fixture.Connect();
+  ASSERT_TRUE(busy.ok());
+  QueryRequest request;
+  request.query_text = kPaperQueries[1];
+  ASSERT_TRUE(busy->Execute(request).ok());
+
+  // …fill the pending queue (wait for the accept loop to register it)…
+  auto queued = fixture.Connect();
+  ASSERT_TRUE(queued.ok());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fixture.server->Stats().connections_accepted < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_GE(fixture.server->Stats().connections_accepted, 2u);
+
+  // …and the next connection is shed with a typed, retryable error
+  // instead of waiting in an unbounded line.
+  auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetTimeouts(5000, 5000).ok());
+  auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, FrameType::kResponseHeader);
+  auto header = DecodeResponseHeader(reply->payload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->status_code, StatusCode::kUnavailable);
+  EXPECT_NE(header->error_message.find("overloaded"), std::string::npos);
+  auto end = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->type, FrameType::kResponseEnd);
+  EXPECT_EQ(fixture.server->Stats().connections_rejected, 1u);
+
+  // The queued connection is served once the handler frees up.
+  busy->Close();
+  auto served = queued->Execute(request);
+  EXPECT_TRUE(served.ok()) << served.status().ToString();
+}
+
+TEST(ClientRetryTest, RetryingClientRidesOutServerOverload) {
+  ServerOptions server_options;
+  server_options.connection_threads = 1;
+  server_options.max_pending_connections = 1;
+  ServerFixture fixture(server_options);
+  PutGuideHistory(fixture.service.get());
+
+  auto busy = fixture.Connect();
+  ASSERT_TRUE(busy.ok());
+  QueryRequest request;
+  request.query_text = kPaperQueries[1];
+  ASSERT_TRUE(busy->Execute(request).ok());
+  auto queued = fixture.Connect();  // fills the pending queue
+  ASSERT_TRUE(queued.ok());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fixture.server->Stats().connections_accepted < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+
+  // Capacity frees up while the shed client is backing off.
+  std::thread relief([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    queued->Close();
+    busy->Close();
+  });
+
+  ClientOptions options;
+  options.max_retries = 10;
+  options.retry_backoff_initial_ms = 20;
+  options.retry_backoff_max_ms = 200;
+  auto client = fixture.Connect(options);
+  ASSERT_TRUE(client.ok());
+  auto served = client->Execute(request);
+  relief.join();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_GE(fixture.server->Stats().connections_rejected, 1u);
+}
+
 // -------------------------------------------------------------- CLI flags
 
 TEST(CliFlagsTest, ParseFlagValueMatchesOnlyNameEqualsValue) {
