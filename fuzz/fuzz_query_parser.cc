@@ -1,0 +1,9 @@
+// libFuzzer harness for the Section-5 query parser. Build with
+// -DTXML_FUZZ=ON under clang; other toolchains get the standalone
+// file-replay driver instead (standalone_main.cc).
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  txml::fuzz::FuzzQueryParser(data, size);
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "fuzz/fuzz_targets.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "src/lang/parser.h"
+#include "src/net/wire.h"
+#include "src/storage/wal.h"
+
+namespace txml {
+namespace fuzz {
+namespace {
+
+std::string_view AsView(const uint8_t* data, size_t size) {
+  return std::string_view(reinterpret_cast<const char*>(data), size);
+}
+
+/// Invariant failures abort so the fuzzer records them as crashes (the
+/// sanitizer-free standalone build has no other way to flag them).
+[[noreturn]] void Fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz invariant violated: %s\n%s\n", what,
+               detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+void FuzzQueryParser(const uint8_t* data, size_t size) {
+  auto query = ParseQuery(AsView(data, size));
+  if (!query.ok()) return;
+  // Accepted input must survive the printer/parser round trip: ToString
+  // output re-parses, and printing that parse reproduces it.
+  std::string printed = query->ToString();
+  auto again = ParseQuery(printed);
+  if (!again.ok()) {
+    Fail("ToString() of an accepted query failed to re-parse", printed);
+  }
+  if (again->ToString() != printed) {
+    Fail("ToString() round trip is not a fixed point", printed);
+  }
+}
+
+void FuzzWireDecode(const uint8_t* data, size_t size) {
+  if (size == 0) return;
+  std::string_view payload = AsView(data + 1, size - 1);
+  switch (data[0] % 5) {
+    case 0: {
+      auto request = DecodeQueryRequest(payload);
+      if (!request.ok()) return;
+      auto again = DecodeQueryRequest(EncodeQueryRequest(*request));
+      if (!again.ok()) {
+        Fail("re-encoded QueryRequest failed to decode",
+             again.status().ToString());
+      }
+      break;
+    }
+    case 1: {
+      auto request = DecodePutRequest(payload);
+      if (!request.ok()) return;
+      auto again = DecodePutRequest(EncodePutRequest(*request));
+      if (!again.ok()) {
+        Fail("re-encoded PutRequest failed to decode",
+             again.status().ToString());
+      }
+      break;
+    }
+    case 2: {
+      auto request = DecodeVacuumRequest(payload);
+      if (!request.ok()) return;
+      auto again = DecodeVacuumRequest(EncodeVacuumRequest(*request));
+      if (!again.ok()) {
+        Fail("re-encoded VacuumRequest failed to decode",
+             again.status().ToString());
+      }
+      break;
+    }
+    case 3: {
+      auto header = DecodeResponseHeader(payload);
+      if (!header.ok()) return;
+      auto again = DecodeResponseHeader(EncodeResponseHeader(*header));
+      if (!again.ok()) {
+        Fail("re-encoded ResponseHeader failed to decode",
+             again.status().ToString());
+      }
+      break;
+    }
+    default: {
+      auto end = DecodeResponseEnd(payload);
+      if (!end.ok()) return;
+      auto again = DecodeResponseEnd(EncodeResponseEnd(*end));
+      if (!again.ok() || *again != *end) {
+        Fail("re-encoded ResponseEnd failed to round-trip",
+             std::to_string(*end));
+      }
+      break;
+    }
+  }
+}
+
+void FuzzWalReplay(const uint8_t* data, size_t size) {
+  auto replay = WriteAheadLog::ReplayData(AsView(data, size));
+  if (!replay.ok()) return;
+  // A scan never reports more valid bytes than it was given, and a dropped
+  // tail must account for exactly the remainder.
+  if (replay->valid_bytes > size) {
+    Fail("ReplayData valid_bytes exceeds input size",
+         std::to_string(replay->valid_bytes));
+  }
+  if (replay->tail_dropped &&
+      replay->bytes_dropped != size - replay->valid_bytes) {
+    Fail("ReplayData dropped-byte accounting is inconsistent",
+         std::to_string(replay->bytes_dropped));
+  }
+}
+
+}  // namespace fuzz
+}  // namespace txml

@@ -1,0 +1,42 @@
+#ifndef TXML_FUZZ_FUZZ_TARGETS_H_
+#define TXML_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace txml {
+namespace fuzz {
+
+/// The three untrusted-input decode paths, each wrapped as a
+/// deterministic, crash-free-on-any-input entry point. The same functions
+/// back three consumers:
+///
+///   - the libFuzzer harnesses (fuzz_query_parser.cc, fuzz_wire.cc,
+///     fuzz_wal_replay.cc), built with -fsanitize=fuzzer under clang;
+///   - the standalone replay driver (standalone_main.cc) for toolchains
+///     without libFuzzer;
+///   - tests/fuzz_corpus_test.cc, which replays the committed seed corpus
+///     in the normal ctest run as a regression gate.
+///
+/// Contract: any byte sequence is a legal input; malformed input must
+/// yield a typed Status error inside, never a crash, hang, or UB.
+
+/// Section-5 query text → ParseQuery. Accepted queries are additionally
+/// round-tripped through ToString + re-parse (the printer/parser
+/// round-trip invariant lang_test relies on).
+void FuzzQueryParser(const uint8_t* data, size_t size);
+
+/// Wire envelope decoding. The first input byte selects one of the five
+/// envelope decoders (query / put / vacuum request, response header,
+/// response end); the rest is the payload. Successfully decoded requests
+/// are re-encoded and re-decoded to exercise the encoders too.
+void FuzzWireDecode(const uint8_t* data, size_t size);
+
+/// WAL recovery scan over an in-memory file image
+/// (WriteAheadLog::ReplayData).
+void FuzzWalReplay(const uint8_t* data, size_t size);
+
+}  // namespace fuzz
+}  // namespace txml
+
+#endif  // TXML_FUZZ_FUZZ_TARGETS_H_

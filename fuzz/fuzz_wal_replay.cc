@@ -1,0 +1,8 @@
+// libFuzzer harness for WAL recovery (WriteAheadLog::ReplayData over an
+// in-memory file image).
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  txml::fuzz::FuzzWalReplay(data, size);
+  return 0;
+}

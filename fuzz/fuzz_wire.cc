@@ -1,0 +1,8 @@
+// libFuzzer harness for the wire envelope decoders (first byte selects
+// the decoder, the rest is the payload — see FuzzWireDecode).
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  txml::fuzz::FuzzWireDecode(data, size);
+  return 0;
+}

@@ -1,0 +1,220 @@
+// Seed-corpus generator. Writes deterministic starting inputs for the
+// three fuzz harnesses under <out-dir>/{query,wire,wal}/. The committed
+// corpus under fuzz/corpus/ was produced by this tool; regenerate with
+//
+//   build/fuzz/gen_seed_corpus fuzz/corpus
+//
+// after changing a wire envelope or the WAL framing, so the seeds keep
+// describing the current formats.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/service/request.h"
+#include "src/storage/wal.h"
+#include "src/util/timestamp.h"
+
+namespace txml {
+namespace {
+
+bool WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               std::string_view bytes) {
+  std::filesystem::path path = dir / name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteQuerySeeds(const std::filesystem::path& dir) {
+  // Representative spread of the dialect: every operator family the
+  // parser has a production for, plus near-miss malformed inputs (the
+  // mutation starting points that reach error paths fastest).
+  const struct {
+    const char* name;
+    const char* text;
+  } kSeeds[] = {
+      {"select_simple", "SELECT R FROM doc(\"u\")/restaurant R"},
+      {"select_timeslice",
+       "SELECT R FROM doc(\"u\")[26/01/2001]/restaurant R"},
+      {"select_every_where",
+       "SELECT TIME(R), R/price FROM doc(\"u\")[EVERY]/r R "
+       "WHERE R/name = \"Napoli\""},
+      {"select_distinct_current",
+       "SELECT DISTINCT CURRENT(R)/name FROM doc(\"u\")/r R"},
+      {"select_diff",
+       "SELECT DIFF(CURRENT(R), PREVIOUS(R)) FROM doc(\"u\")/r R"},
+      {"select_aggregates",
+       "SELECT SUM(R/price), COUNT(R), MIN(R/price), MAX(R/price), "
+       "AVG(R/price) FROM doc(\"u\")[EVERY]/r R"},
+      {"select_time_arith",
+       "SELECT R FROM doc(\"u\")[NOW - 3 DAYS]/r R"},
+      {"select_where_boolean",
+       "SELECT R FROM doc(\"u\")/r R WHERE NOT (R/a = 1 AND R/b != 2) "
+       "OR R/c >= 3"},
+      {"select_contains",
+       "SELECT R FROM doc(\"u\")/r R WHERE CONTAINS(R/name, \"pizza\")"},
+      {"select_attr_descendant",
+       "SELECT R//item/@id FROM collection(\"c\")/r R"},
+      {"malformed_truncated", "SELECT R FROM doc(\"u\""},
+      {"malformed_tokens", "SELECT @@ ??? !!"},
+  };
+  for (const auto& seed : kSeeds) {
+    if (!WriteSeed(dir, seed.name, seed.text)) return false;
+  }
+  return true;
+}
+
+bool WriteWireSeeds(const std::filesystem::path& dir) {
+  // Selector-byte convention of FuzzWireDecode: byte % 5 picks the
+  // decoder, remaining bytes are the envelope payload.
+  QueryRequest query;
+  query.query_text = "SELECT R FROM doc(\"u\")[EVERY]/r R";
+  query.pretty = false;
+
+  PutRequest put;
+  put.url = "http://example.com/menu.xml";
+  put.xml_text = "<menu><price>12.5</price></menu>";
+  put.timestamp = Timestamp::FromDate(2001, 1, 26);
+
+  VacuumRequest vacuum;
+  vacuum.drop_before = Timestamp::FromDate(2000, 1, 1);
+  vacuum.coarsen_older_than = Timestamp::FromDate(2001, 1, 1);
+  vacuum.keep_every = 4;
+
+  ResponseHeader header;
+  header.status_code = StatusCode::kNotFound;
+  header.error_message = "no such document";
+  header.payload_bytes = 0;
+
+  const struct {
+    const char* name;
+    uint8_t selector;
+    std::string payload;
+  } kSeeds[] = {
+      {"query_request", 0, EncodeQueryRequest(query)},
+      {"put_request", 1, EncodePutRequest(put)},
+      {"vacuum_request", 2, EncodeVacuumRequest(vacuum)},
+      {"response_header", 3, EncodeResponseHeader(header)},
+      {"response_end", 4, EncodeResponseEnd(12345)},
+  };
+  for (const auto& seed : kSeeds) {
+    std::string bytes(1, static_cast<char>(seed.selector));
+    bytes += seed.payload;
+    if (!WriteSeed(dir, seed.name, bytes)) return false;
+    // Truncated twin: same selector, payload cut mid-envelope — lands in
+    // the decoder's bounds-check paths immediately.
+    std::string truncated = bytes.substr(0, 1 + seed.payload.size() / 2);
+    if (!WriteSeed(dir, std::string(seed.name) + "_truncated", truncated)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteWalSeeds(const std::filesystem::path& dir,
+                   const std::filesystem::path& scratch) {
+  // Build a real log through the production append path, then snapshot
+  // its bytes: the fuzzer starts from a well-formed file and mutates
+  // toward the interesting torn/corrupt shapes.
+  std::filesystem::create_directories(scratch);
+  std::string wal_path = (scratch / "seed-wal.txml").string();
+  std::error_code ec;
+  std::filesystem::remove(wal_path, ec);
+
+  WalOptions options;
+  options.sync_mode = WalSyncMode::kNone;
+  auto log = WriteAheadLog::Open(wal_path, options);
+  if (!log.ok()) {
+    std::fprintf(stderr, "wal open failed: %s\n",
+                 log.status().ToString().c_str());
+    return false;
+  }
+  WalRecord put;
+  put.type = WalRecordType::kPut;
+  put.ts = Timestamp::FromDate(2001, 1, 26);
+  put.url = "http://example.com/menu.xml";
+  put.payload = "<menu><price>12.5</price></menu>";
+  WalRecord del;
+  del.type = WalRecordType::kDelete;
+  del.ts = Timestamp::FromDate(2001, 2, 1);
+  del.url = "http://example.com/menu.xml";
+  WalRecord vac;
+  vac.type = WalRecordType::kVacuum;
+  vac.policy.drop_before = Timestamp::FromDate(2000, 1, 1);
+  vac.policy.keep_every = 4;
+  for (const WalRecord* record : {&put, &del, &vac}) {
+    auto appended = (*log)->Append(*record);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "wal append failed: %s\n",
+                   appended.status().ToString().c_str());
+      return false;
+    }
+  }
+  log->reset();  // close before reading
+
+  std::ifstream in(wal_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.empty()) {
+    std::fprintf(stderr, "seed wal came back empty\n");
+    return false;
+  }
+
+  if (!WriteSeed(dir, "log_three_records", bytes)) return false;
+  // Header-only log (fresh file).
+  if (!WriteSeed(dir, "log_header_only", bytes.substr(0, 5))) return false;
+  // Torn tail: the last record cut in half.
+  if (!WriteSeed(dir, "log_torn_tail", bytes.substr(0, bytes.size() - 7))) {
+    return false;
+  }
+  // CRC flip in the middle record's body.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  if (!WriteSeed(dir, "log_crc_flip", corrupt)) return false;
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  return WriteSeed(dir, "log_bad_magic", bad_magic);
+}
+
+int Run(const std::filesystem::path& out_dir) {
+  const char* kSubdirs[] = {"query", "wire", "wal"};
+  for (const char* sub : kSubdirs) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir / sub, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", (out_dir / sub).c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+  if (!WriteQuerySeeds(out_dir / "query")) return 1;
+  if (!WriteWireSeeds(out_dir / "wire")) return 1;
+  if (!WriteWalSeeds(out_dir / "wal",
+                     std::filesystem::temp_directory_path() /
+                         "txml-gen-seed-corpus")) {
+    return 1;
+  }
+  std::printf("seed corpus written under %s\n", out_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace txml
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <out-dir>\n", argv[0]);
+    return 2;
+  }
+  return txml::Run(argv[1]);
+}

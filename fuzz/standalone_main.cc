@@ -1,0 +1,54 @@
+// File-replay driver linked into the fuzz harnesses when the compiler
+// has no libFuzzer (-fsanitize=fuzzer is clang-only). Each argument is a
+// file (or a directory of files) fed once through LLVMFuzzerTestOneInput —
+// enough to replay a corpus or reproduce a crash artifact, not to
+// generate new inputs.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  size_t executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (!RunFile(entry.path())) return 1;
+        ++executed;
+      }
+    } else {
+      if (!RunFile(arg)) return 1;
+      ++executed;
+    }
+  }
+  std::printf("replayed %zu input(s) without a crash\n", executed);
+  return 0;
+}

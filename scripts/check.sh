@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds and tests the three configurations that gate a change:
+# Builds and tests the configurations that gate a change:
 #
-#   1. Release (RelWithDebInfo, the tier-1 configuration) — full ctest;
+#   1. Release (RelWithDebInfo, the tier-1 configuration) — full ctest
+#      (which includes the fuzz-corpus replay regression test);
 #   2. ThreadSanitizer (-DTXML_SANITIZE=thread)           — concurrency
 #      tests (service layer, network front end, vacuum-vs-readers
 #      stress). Pass --tsan-all to run the whole suite under TSan
@@ -11,10 +12,20 @@
 #      catch lifetime and aliasing mistakes TSan cannot) plus the
 #      durability suites (WAL torn-tail matrix, crash-recovery failpoint
 #      sweep), with -DTXML_FAILPOINTS=ON pinned explicitly;
-#   4. -DTXML_FAILPOINTS=OFF (build only)                 — proves the
+#   4. Static analysis (-DTXML_ANALYZE=ON, build-analyze/) — clang's
+#      thread-safety capability analysis as -Werror plus the clang-tidy
+#      check set pinned in .clang-tidy, and a negative compile-test
+#      (tests/analyze_negative.cc must be REJECTED — proof the analyzer
+#      is live, since the annotations are no-ops under GCC). Skipped
+#      with a warning when clang/clang-tidy are not installed.
+#   5. Fuzz smoke (-DTXML_FUZZ=ON, build-fuzz/) — each libFuzzer harness
+#      runs ~10 s from its seed corpus. Requires clang (libFuzzer);
+#      skipped with a warning otherwise (the corpus still replays in
+#      stage 1 via fuzz_corpus_test).
+#   6. -DTXML_FAILPOINTS=OFF (build-nofp/, build only)    — proves the
 #      zero-cost no-failpoint configuration still compiles -Werror-clean.
 #
-# Usage: scripts/check.sh [--tsan-all] [--asan-all] [-j N]
+# Usage: scripts/check.sh [--tsan-all] [--asan-all] [--fuzz-secs N] [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,10 +39,12 @@ TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry"
 # suites (WAL byte surgery + the failpoint crash-recovery sweep).
 ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service|Wal|Durab|CrashRecovery|FailPoint"
 JOBS=$(nproc)
+FUZZ_SECS=10
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --tsan-all) TSAN_FILTER=""; shift ;;
     --asan-all) ASAN_FILTER=""; shift ;;
+    --fuzz-secs) FUZZ_SECS="$2"; shift 2 ;;
     -j) JOBS="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -58,6 +71,59 @@ run cmake --build build-asan -j "$JOBS"
 # shellcheck disable=SC2086  # intentional word-splitting of the filter
 run ctest --test-dir build-asan --output-on-failure --no-tests=error \
     -j "$JOBS" $ASAN_FILTER
+
+echo "=== Static analysis configuration (build-analyze/) ==="
+if command -v clang++ >/dev/null 2>&1; then
+  ANALYZE_ARGS=(-DCMAKE_CXX_COMPILER=clang++ -DTXML_ANALYZE=ON)
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "WARNING: clang-tidy not found; analyze stage runs" \
+         "thread-safety analysis only" >&2
+  fi
+  run cmake -B build-analyze -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      "${ANALYZE_ARGS[@]}"
+  run cmake --build build-analyze -j "$JOBS"
+  # Negative check: the deliberately lock-misusing file must be REJECTED.
+  # If it compiles clean, the analyzer is not actually running and the
+  # whole stage is vacuous — fail loudly.
+  echo "+ clang++ -fsyntax-only tests/analyze_negative.cc (must FAIL)" >&2
+  if clang++ -fsyntax-only -std=c++20 -I. -Wthread-safety \
+      -Werror=thread-safety tests/analyze_negative.cc 2>/dev/null; then
+    echo "ERROR: tests/analyze_negative.cc compiled cleanly —" \
+         "the thread-safety gate is not analyzing anything" >&2
+    exit 1
+  fi
+  echo "analyze negative check OK (analyzer rejected the bad file)" >&2
+else
+  echo "WARNING: clang++ not found; SKIPPING the static-analysis stage." \
+       "The thread-safety annotations are no-ops under GCC, so this" \
+       "run proves nothing about lock discipline." >&2
+fi
+
+echo "=== Fuzz smoke (build-fuzz/) ==="
+# libFuzzer is clang-only; probe for it rather than trusting the version.
+if command -v clang++ >/dev/null 2>&1 \
+    && echo 'extern "C" int LLVMFuzzerTestOneInput(const unsigned char*, unsigned long){return 0;}' \
+       | clang++ -x c++ -fsanitize=fuzzer - -o /tmp/txml-fuzz-probe.$$ 2>/dev/null; then
+  rm -f "/tmp/txml-fuzz-probe.$$"
+  run cmake -B build-fuzz -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_COMPILER=clang++ -DTXML_FUZZ=ON
+  run cmake --build build-fuzz -j "$JOBS"
+  for target in fuzz_query_parser fuzz_wire fuzz_wal_replay; do
+    corpus="fuzz/corpus/${target#fuzz_}"
+    corpus="${corpus%_parser}"       # fuzz_query_parser -> fuzz/corpus/query
+    corpus="${corpus/wal_replay/wal}"
+    # First (writable) corpus dir is scratch so new inputs and crash
+    # artifacts land under build-fuzz/, not in the committed seed corpus.
+    mkdir -p "build-fuzz/corpus-$target"
+    run "build-fuzz/fuzz/$target" -max_total_time="$FUZZ_SECS" \
+        -print_final_stats=1 -artifact_prefix="build-fuzz/" \
+        "build-fuzz/corpus-$target" "$corpus"
+  done
+else
+  rm -f "/tmp/txml-fuzz-probe.$$"
+  echo "WARNING: no clang/libFuzzer; SKIPPING the fuzz smoke." \
+       "Corpus replay still ran in stage 1 (fuzz_corpus_test)." >&2
+fi
 
 echo "=== No-failpoint configuration (build-nofp/, compile only) ==="
 run cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTXML_FAILPOINTS=OFF

@@ -1,6 +1,8 @@
 #include "src/lang/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <string>
 #include <unordered_set>
 
@@ -51,6 +53,11 @@ bool DigitsAt(std::string_view text, size_t pos, size_t len) {
 }  // namespace
 
 StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
+  if (query.size() > kMaxQueryBytes) {
+    return Status::ParseError(
+        "query of " + std::to_string(query.size()) +
+        " bytes exceeds the limit of " + std::to_string(kMaxQueryBytes));
+  }
   std::vector<Token> tokens;
   size_t pos = 0;
   auto error = [&](const std::string& message) {
@@ -106,7 +113,15 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
       }
       token.kind = TokenKind::kNumber;
       token.text = std::string(query.substr(start, pos - start));
-      token.number = std::stod(token.text);
+      // Not std::stod: that throws std::out_of_range for literals beyond
+      // double range (e.g. 310 nines), turning a malformed query into a
+      // crash. strtod reports the same condition via ERANGE.
+      errno = 0;
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      if (errno == ERANGE) {
+        return error("number literal '" + token.text +
+                     "' is out of range");
+      }
       tokens.push_back(std::move(token));
       continue;
     }

@@ -9,10 +9,16 @@
 
 namespace txml {
 
+/// Hard cap on query text accepted by Tokenize. Queries arrive from
+/// untrusted network peers (via the wire envelope); an attacker-sized
+/// input must fail with a typed ParseError, not balloon the token vector.
+/// Generous: the longest legitimate query in the test corpus is < 1 KiB.
+inline constexpr size_t kMaxQueryBytes = 1u << 20;  // 1 MiB
+
 /// Tokenizes a query string. Keywords are recognised case-insensitively
 /// (SQL style); identifiers keep their case (XML names are case-
 /// sensitive). Date literals `dd/mm/yyyy` are disambiguated from paths by
-/// their all-digit shape.
+/// their all-digit shape. Inputs over kMaxQueryBytes are rejected.
 StatusOr<std::vector<Token>> Tokenize(std::string_view query);
 
 /// True if `text` (upper-cased) is one of the dialect's keywords.

@@ -8,6 +8,16 @@
 namespace txml {
 namespace {
 
+/// Hard cap on expression nesting. Every recursive production
+/// (parenthesised conditions, NOT chains, nested DIFF/aggregate/CONTAINS
+/// arguments) descends through ParseComparison or ParsePrimary; without a
+/// cap, an input like "SELECT SUM(SUM(SUM(…" recurses once per byte and
+/// overflows the stack. 64 is far beyond any legitimate query (the test
+/// corpus never exceeds depth 6) while keeping worst-case stack use a few
+/// hundred KiB below typical 8 MiB limits. The AST destructor recurses to
+/// the same depth, so this bound also caps destruction.
+constexpr int kMaxParseDepth = 64;
+
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -55,7 +65,36 @@ class Parser {
   bool AtKeyword(std::string_view kw) const {
     return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
   }
-  Token Advance() { return tokens_[pos_++]; }
+  Token Advance() {
+    // The kEnd sentinel is never consumed by a well-behaved caller (every
+    // Advance is behind an At/AtKeyword check that kEnd fails), but a slip
+    // must stay in bounds rather than index past the vector.
+    if (pos_ + 1 >= tokens_.size()) return tokens_.back();
+    return tokens_[pos_++];
+  }
+
+  /// RAII depth guard for the recursive productions; Enter() non-OK means
+  /// the query nests beyond kMaxParseDepth.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser* parser) : parser_(parser) {
+      ++parser_->depth_;
+    }
+    ~DepthGuard() { --parser_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+    Status Enter() const {
+      if (parser_->depth_ > kMaxParseDepth) {
+        return parser_->Error("query nesting exceeds the depth limit of " +
+                              std::to_string(kMaxParseDepth));
+      }
+      return Status::OK();
+    }
+
+   private:
+    Parser* parser_;
+  };
 
   Status Error(const std::string& message) const {
     return Status::ParseError("query offset " +
@@ -192,6 +231,8 @@ class Parser {
   }
 
   StatusOr<std::unique_ptr<Expr>> ParseComparison() {
+    DepthGuard depth(this);
+    TXML_RETURN_IF_ERROR(depth.Enter());
     if (AtKeyword("NOT")) {
       Advance();
       auto inner = ParseComparison();
@@ -275,6 +316,8 @@ class Parser {
   }
 
   StatusOr<std::unique_ptr<Expr>> ParsePrimary() {
+    DepthGuard depth(this);
+    TXML_RETURN_IF_ERROR(depth.Enter());
     auto node = std::make_unique<Expr>();
     const Token& token = Peek();
     switch (token.kind) {
@@ -301,6 +344,19 @@ class Parser {
           node->path = std::move(*path);
         }
         return node;
+      }
+      case TokenKind::kLParen: {
+        // Grouped expression in a value position. WHERE-level parentheses
+        // are consumed by ParseComparison before ParseAdditive ever runs,
+        // so this case covers value contexts: the time-slice bracket and
+        // argument lists. ToString() renders time arithmetic as
+        // "(NOW - 3 DAYS)", so this case is also what makes the
+        // printer/parser round trip close (found by fuzzing).
+        Advance();
+        auto inner = ParseOr();
+        if (!inner.ok()) return inner;
+        TXML_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
       }
       case TokenKind::kKeyword:
         return ParseKeywordPrimary();
@@ -408,6 +464,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -26,19 +26,21 @@ Status TxmlServer::Start() {
   TXML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
   pool_ = std::make_unique<ThreadPool>(effective_connection_threads_);
   accept_thread_ = std::thread(&TxmlServer::AcceptLoop, this);
-  started_ = true;
+  started_.store(true);
   return Status::OK();
 }
 
 void TxmlServer::Stop() {
-  if (!started_) return;
+  // The exchange elects exactly one tear-down thread when Stop races with
+  // itself (destructor vs. signal-driven stop); everyone else returns.
+  if (!started_.exchange(false)) return;
   stopping_.store(true);
   // No new connections; a blocked Accept wakes with kUnavailable.
   listener_.Shutdown();
   // Wake handlers blocked reading a request. Their write side stays open:
   // a handler mid-query finishes and sends its response before exiting.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [id, socket] : connections_) socket->ShutdownRead();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -46,7 +48,6 @@ void TxmlServer::Stop() {
   // handlers still sending in-flight responses.
   pool_.reset();
   listener_.Close();
-  started_ = false;
 }
 
 ServerStats TxmlServer::Stats() const {
@@ -94,7 +95,7 @@ void TxmlServer::HandleConnection(std::shared_ptr<Socket> socket) {
 
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_.load()) return;  // drained during shutdown
     id = next_connection_id_++;
     connections_[id] = socket.get();
@@ -122,7 +123,7 @@ void TxmlServer::HandleConnection(std::shared_ptr<Socket> socket) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     connections_.erase(id);
   }
 }

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -12,6 +11,7 @@
 #include "src/net/wire.h"
 #include "src/service/service.h"
 #include "src/service/thread_pool.h"
+#include "src/util/synchronization.h"
 
 namespace txml {
 
@@ -85,8 +85,10 @@ class TxmlServer {
   /// error (e.g. kIoError for a port in use).
   Status Start();
 
-  /// Graceful shutdown; idempotent, also run by the destructor.
-  void Stop();
+  /// Graceful shutdown; idempotent and safe to race with itself (the
+  /// destructor and a signal-driven stop may overlap — the loser of the
+  /// started_ exchange returns immediately), also run by the destructor.
+  void Stop() EXCLUDES(mu_);
 
   /// The bound port (valid after Start).
   uint16_t port() const { return listener_.port(); }
@@ -102,7 +104,7 @@ class TxmlServer {
   void AcceptLoop();
   /// shared_ptr because the handler thunk must be copyable (std::function)
   /// while Socket is move-only; the handler is the only lasting owner.
-  void HandleConnection(std::shared_ptr<Socket> socket);
+  void HandleConnection(std::shared_ptr<Socket> socket) EXCLUDES(mu_);
   /// Runs one decoded request frame; returns false when the connection
   /// should close (protocol error already reported to the peer).
   bool HandleFrame(Socket* socket, const Frame& frame, ClientSession* session);
@@ -116,13 +118,15 @@ class TxmlServer {
   size_t effective_connection_threads_ = 0;
   ListenSocket listener_;
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
+  /// Atomic: Stop() may race with itself (destructor vs. a signal-driven
+  /// stop); the exchange in Stop elects exactly one tear-down thread.
+  std::atomic<bool> started_{false};
 
   /// Live connection sockets by id, so Stop can wake blocked reads.
   /// Handlers own their Socket; entries hold raw fds guarded by mu_.
-  std::mutex mu_;
-  std::unordered_map<uint64_t, Socket*> connections_;
-  uint64_t next_connection_id_ = 0;
+  Mutex mu_;
+  std::unordered_map<uint64_t, Socket*> connections_ GUARDED_BY(mu_);
+  uint64_t next_connection_id_ GUARDED_BY(mu_) = 0;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};

@@ -1,7 +1,6 @@
 #include "src/service/service.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "src/service/session.h"
@@ -166,6 +165,10 @@ TemporalQueryService::TemporalQueryService(
     cache_options.capacity = options_.snapshot_cache_capacity;
     cache_options.shards = options_.snapshot_cache_shards;
     cache_ = std::make_unique<ShardedSnapshotCache>(cache_options);
+    // No concurrent access is possible yet, but the database pointee is
+    // commit-lock-guarded; the (uncontended) writer lock keeps the
+    // constructor honest under the same analysis as everything else.
+    WriterLock lock(commit_mu_);
     db_->set_snapshot_cache(cache_.get());
     // Invalidation rides the store's observer hooks. The cache tolerates
     // missing the events before it was attached (late registration), so an
@@ -186,7 +189,7 @@ StatusOr<XmlDocument> TemporalQueryService::ExecuteQuery(
   StatusOr<XmlDocument> result = [&] {
     // Reader: shared commit lock for the whole execution, pinned to the
     // epoch of the latest commit — see the class comment.
-    std::shared_lock<std::shared_mutex> lock(commit_mu_);
+    ReaderLock lock(commit_mu_);
     return db_->QueryAt(query_text, db_->latest_commit(), stats);
   }();
   if (result.ok()) {
@@ -245,7 +248,7 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
 
 StatusOr<VacuumStats> TemporalQueryService::Vacuum(
     const RetentionPolicy& policy) {
-  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  WriterLock lock(commit_mu_);
   // Validate before logging so a malformed policy never reaches the WAL.
   // Still counts as a failed write — the rejection is observable in
   // Stats() exactly as when the database itself refused the policy.
@@ -307,7 +310,7 @@ StatusOr<std::string> TemporalQueryService::ExecuteQueryToString(
 
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::Put(
     const std::string& url, std::string_view xml_text) {
-  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  WriterLock lock(commit_mu_);
   // Draw the commit timestamp up front so the WAL record and the database
   // write agree on it (replay must reproduce the same version times).
   return PutLocked(url, xml_text, db_->clock()->Next());
@@ -315,7 +318,7 @@ StatusOr<TemporalQueryService::PutResult> TemporalQueryService::Put(
 
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutAt(
     const std::string& url, std::string_view xml_text, Timestamp ts) {
-  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  WriterLock lock(commit_mu_);
   return PutLocked(url, xml_text, ts);
 }
 
@@ -339,7 +342,7 @@ StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutLocked(
 }
 
 Status TemporalQueryService::Delete(const std::string& url) {
-  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  WriterLock lock(commit_mu_);
   Timestamp ts = db_->clock()->Next();
   // Only log deletes that will apply: a delete of a missing or
   // already-deleted document fails below without touching state, and
@@ -372,7 +375,7 @@ Status TemporalQueryService::LogCommitLocked(const WalRecord& record) {
 }
 
 Status TemporalQueryService::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  WriterLock lock(commit_mu_);
   return CheckpointLocked();
 }
 
@@ -412,7 +415,7 @@ void TemporalQueryService::MaybeCheckpointLocked() {
 
 StatusOr<XmlDocument> TemporalQueryService::Snapshot(const std::string& url,
                                                      Timestamp t) {
-  std::shared_lock<std::shared_mutex> lock(commit_mu_);
+  ReaderLock lock(commit_mu_);
   return db_->Snapshot(url, t);
 }
 
@@ -442,7 +445,7 @@ std::unique_ptr<ClientSession> TemporalQueryService::OpenSession() {
 }
 
 Timestamp TemporalQueryService::Epoch() const {
-  std::shared_lock<std::shared_mutex> lock(commit_mu_);
+  ReaderLock lock(commit_mu_);
   return db_->latest_commit();
 }
 
@@ -466,7 +469,7 @@ ServiceStats TemporalQueryService::Stats() const {
   if (wal_ != nullptr) {
     // wal_ is written only under the exclusive commit lock; take the
     // shared side so the two gauges are a consistent pair.
-    std::shared_lock<std::shared_mutex> lock(commit_mu_);
+    ReaderLock lock(commit_mu_);
     stats.durability.wal_last_sequence = wal_->last_sequence();
     stats.durability.wal_bytes = wal_->file_bytes();
   }

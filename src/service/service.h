@@ -4,7 +4,6 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -16,6 +15,7 @@
 #include "src/service/thread_pool.h"
 #include "src/storage/wal.h"
 #include "src/util/statusor.h"
+#include "src/util/synchronization.h"
 #include "src/util/timestamp.h"
 
 namespace txml {
@@ -117,17 +117,20 @@ class TemporalQueryService {
   /// and returns the serialized result document plus this execution's
   /// counters. Both in-process callers and the network front end
   /// (src/net/) funnel through here.
-  StatusOr<QueryResponse> Execute(const QueryRequest& request);
+  StatusOr<QueryResponse> Execute(const QueryRequest& request)
+      EXCLUDES(commit_mu_);
 
   /// The write entry point (exclusive commit lock): stores a new version
   /// per `request` and returns a <put-result url=… version=… commit=…/>
   /// confirmation payload.
-  StatusOr<QueryResponse> Execute(const PutRequest& request);
+  StatusOr<QueryResponse> Execute(const PutRequest& request)
+      EXCLUDES(commit_mu_);
 
   /// The admin entry point (exclusive commit lock): vacuums every
   /// document's history per the request's retention horizons and returns a
   /// <vacuum-result …/> summary payload. See Vacuum() for the typed form.
-  StatusOr<QueryResponse> Execute(const VacuumRequest& request);
+  StatusOr<QueryResponse> Execute(const VacuumRequest& request)
+      EXCLUDES(commit_mu_);
 
   /// Async variants of Execute on the bounded worker pool.
   std::future<StatusOr<QueryResponse>> Submit(QueryRequest request);
@@ -140,35 +143,40 @@ class TemporalQueryService {
   /// callers compile; returns the unserialized result document. `stats`
   /// (optional) receives this query's counters.
   StatusOr<XmlDocument> ExecuteQuery(std::string_view query_text,
-                                     ExecStats* stats = nullptr);
+                                     ExecStats* stats = nullptr)
+      EXCLUDES(commit_mu_);
   /// \deprecated Shim: Execute(QueryRequest{query_text, pretty}).
   StatusOr<std::string> ExecuteQueryToString(std::string_view query_text,
                                              bool pretty = true,
-                                             ExecStats* stats = nullptr);
+                                             ExecStats* stats = nullptr)
+      EXCLUDES(commit_mu_);
 
   /// Serialized writes (exclusive commit lock). Put/PutAt are the typed
   /// equivalents of Execute(PutRequest) and remain first-class.
-  StatusOr<PutResult> Put(const std::string& url, std::string_view xml_text);
+  StatusOr<PutResult> Put(const std::string& url, std::string_view xml_text)
+      EXCLUDES(commit_mu_);
   StatusOr<PutResult> PutAt(const std::string& url, std::string_view xml_text,
-                            Timestamp ts);
-  Status Delete(const std::string& url);
+                            Timestamp ts) EXCLUDES(commit_mu_);
+  Status Delete(const std::string& url) EXCLUDES(commit_mu_);
 
   /// Vacuums every document's history per `policy` under the exclusive
   /// commit lock: in-flight readers finish against the pre-vacuum state,
   /// and readers starting afterwards see the rewritten (answer-preserving)
   /// history with all indexes and the snapshot cache already updated.
-  StatusOr<VacuumStats> Vacuum(const RetentionPolicy& policy);
+  StatusOr<VacuumStats> Vacuum(const RetentionPolicy& policy)
+      EXCLUDES(commit_mu_);
 
   /// Snapshot of one document at time t (shared lock; consults the cache
   /// through the query path only — plain retrieval reconstructs).
-  StatusOr<XmlDocument> Snapshot(const std::string& url, Timestamp t);
+  StatusOr<XmlDocument> Snapshot(const std::string& url, Timestamp t)
+      EXCLUDES(commit_mu_);
 
   /// Durable services only: checkpoints the database into data_dir
   /// (atomic store + index save, then the covered-sequence stamp) and
   /// truncates the WAL. Takes the exclusive commit lock; writes started
   /// after it return see the compacted log. InvalidArgument on an
   /// in-memory service.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(commit_mu_);
 
   /// \deprecated Async shims over the worker pool; prefer Submit.
   std::future<StatusOr<XmlDocument>> SubmitQuery(std::string query_text);
@@ -186,15 +194,19 @@ class TemporalQueryService {
   // ---- introspection ----
 
   /// The commit epoch a reader starting now would pin.
-  Timestamp Epoch() const;
-  ServiceStats Stats() const;
+  Timestamp Epoch() const EXCLUDES(commit_mu_);
+  ServiceStats Stats() const EXCLUDES(commit_mu_);
   const ServiceOptions& options() const { return options_; }
   size_t worker_threads() const { return pool_.thread_count(); }
 
   /// Test/benchmark access. Unsynchronized — do not touch while
   /// readers/writers are in flight unless the access is read-only and you
-  /// hold no expectations against concurrent commits.
-  const TemporalXmlDatabase& database() const { return *db_; }
+  /// hold no expectations against concurrent commits. (The deliberate
+  /// escape from the db_ pointee guard below — hence the analysis
+  /// opt-out.)
+  const TemporalXmlDatabase& database() const NO_THREAD_SAFETY_ANALYSIS {
+    return *db_;
+  }
   ShardedSnapshotCache* snapshot_cache() { return cache_.get(); }
   /// Null for an in-memory service.
   const WriteAheadLog* wal() const { return wal_.get(); }
@@ -209,14 +221,18 @@ class TemporalQueryService {
 
   /// Shared tail of Put/PutAt once the commit timestamp is fixed: WAL
   /// append (when durable), then the database write, then the
-  /// auto-checkpoint check. Caller holds the exclusive commit lock.
+  /// auto-checkpoint check. Caller holds the exclusive commit lock
+  /// (compile-checked: REQUIRES makes an unlocked call a build error in
+  /// the analyze configuration).
   StatusOr<PutResult> PutLocked(const std::string& url,
-                                std::string_view xml_text, Timestamp ts);
+                                std::string_view xml_text, Timestamp ts)
+      REQUIRES(commit_mu_);
   /// Appends one commit record (no-op in-memory). A failure here must
-  /// abort the commit — the write would be unrecoverable.
-  Status LogCommitLocked(const WalRecord& record);
-  Status CheckpointLocked();
-  void MaybeCheckpointLocked();
+  /// abort the commit — the write would be unrecoverable. Must hold the
+  /// exclusive commit lock while logging (the WAL's precondition).
+  Status LogCommitLocked(const WalRecord& record) REQUIRES(commit_mu_);
+  Status CheckpointLocked() REQUIRES(commit_mu_);
+  void MaybeCheckpointLocked() REQUIRES(commit_mu_);
 
   /// Wraps `fn` in a packaged task on the pool; returns its future.
   template <typename Fn>
@@ -228,16 +244,22 @@ class TemporalQueryService {
     return future;
   }
 
-  ServiceOptions options_;
-  std::unique_ptr<TemporalXmlDatabase> db_;
-  std::unique_ptr<ShardedSnapshotCache> cache_;  // null when disabled
-  /// Null for an in-memory service. Guarded by the exclusive side of
-  /// commit_mu_ (appends and checkpoints are writer-side operations).
-  std::unique_ptr<WriteAheadLog> wal_;
-  std::string data_dir_;
-
   /// The commit lock: writers exclusive, readers shared (see class docs).
-  mutable std::shared_mutex commit_mu_;
+  /// Declared before the members whose pointees it guards so the
+  /// annotations below can reference it.
+  mutable SharedMutex commit_mu_;
+
+  ServiceOptions options_;
+  /// The pointer is immutable after construction; the *database* behind
+  /// it is what the commit lock protects (readers shared, writers
+  /// exclusive).
+  std::unique_ptr<TemporalXmlDatabase> db_ PT_GUARDED_BY(commit_mu_);
+  std::unique_ptr<ShardedSnapshotCache> cache_;  // null when disabled
+  /// Null for an in-memory service. Appends and checkpoints mutate it
+  /// under the exclusive side of commit_mu_; Stats() reads its gauges
+  /// under the shared side.
+  std::unique_ptr<WriteAheadLog> wal_ PT_GUARDED_BY(commit_mu_);
+  std::string data_dir_;
 
   std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> queries_failed_{0};

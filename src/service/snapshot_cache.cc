@@ -29,7 +29,7 @@ std::shared_ptr<const XmlNode> ShardedSnapshotCache::Lookup(
     DocId doc_id, VersionNum version) {
   uint64_t key = KeyOf(doc_id, version);
   Shard& shard = ShardOf(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -50,7 +50,7 @@ void ShardedSnapshotCache::Insert(DocId doc_id, VersionNum version,
   // tree is not free).
   std::vector<std::shared_ptr<const XmlNode>> doomed;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Someone inserted concurrently; keep the resident entry (equal by
@@ -93,7 +93,7 @@ void ShardedSnapshotCache::OnHistoryVacuumed(const VersionedDocument& doc) {
 void ShardedSnapshotCache::EraseDocument(DocId doc_id) {
   std::vector<std::shared_ptr<const XmlNode>> doomed;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (static_cast<DocId>(it->key >> 32) == doc_id) {
         doomed.push_back(std::move(it->tree));
@@ -110,7 +110,7 @@ void ShardedSnapshotCache::EraseDocument(DocId doc_id) {
 void ShardedSnapshotCache::Clear() {
   std::vector<std::shared_ptr<const XmlNode>> doomed;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto& entry : shard->lru) doomed.push_back(std::move(entry.tree));
     shard->index.clear();
     shard->lru.clear();
@@ -125,7 +125,7 @@ SnapshotCacheStats ShardedSnapshotCache::Stats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.entries += shard->lru.size();
   }
   return stats;

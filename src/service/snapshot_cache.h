@@ -4,11 +4,11 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/query/snapshot_cache.h"
+#include "src/util/synchronization.h"
 #include "src/service/stats.h"
 #include "src/storage/store.h"
 #include "src/xml/ids.h"
@@ -77,14 +77,15 @@ class ShardedSnapshotCache final : public SnapshotCacheInterface,
  private:
   /// One lock shard: an LRU list of (key, tree) with an index into it.
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     struct Entry {
       uint64_t key;
       std::shared_ptr<const XmlNode> tree;
     };
     /// Front = most recently used.
-    std::list<Entry> lru;
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
   };
 
   static uint64_t KeyOf(DocId doc_id, VersionNum version) {

@@ -14,33 +14,33 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_pending) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (max_pending > 0 && queue_.size() >= max_pending) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.Signal();
   return true;
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -48,8 +48,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -1,13 +1,13 @@
 #ifndef TXML_SRC_SERVICE_THREAD_POOL_H_
 #define TXML_SRC_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/synchronization.h"
 
 namespace txml {
 
@@ -27,7 +27,7 @@ class ThreadPool {
 
   /// Enqueues a task; wakes one worker. Must not be called during/after
   /// destruction.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Bounded enqueue: refuses (returns false, task not queued) when
   /// `max_pending` tasks are already waiting, instead of letting the
@@ -35,20 +35,20 @@ class ThreadPool {
   /// (identical to Submit). Running tasks do not count — the bound is on
   /// queued work only, so a pool with free workers always accepts.
   [[nodiscard]] bool TrySubmit(std::function<void()> task,
-                               size_t max_pending);
+                               size_t max_pending) EXCLUDES(mu_);
 
   size_t thread_count() const { return workers_.size(); }
 
   /// Tasks currently queued (excluding running ones); monitoring only.
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

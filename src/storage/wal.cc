@@ -387,6 +387,14 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
   return result;
 }
 
+StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::ReplayData(
+    std::string_view data) {
+  ReplayResult result;
+  Status scanned = ScanLog(data, "<memory>", &result);
+  if (!scanned.ok()) return scanned;
+  return result;
+}
+
 Status WriteCheckpointStamp(const std::string& dir, uint64_t sequence) {
   std::string body;
   PutFixed32(&body, kWalMagic);

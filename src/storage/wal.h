@@ -146,6 +146,11 @@ class WriteAheadLog {
   /// corrupt to even carry a header is Corruption.
   static StatusOr<ReplayResult> Replay(const std::string& path);
 
+  /// Scans an in-memory image of a log file — Replay minus the I/O. This
+  /// is the decode path the fuzz harness drives with arbitrary bytes, so
+  /// it must return Corruption (never crash) on any input.
+  static StatusOr<ReplayResult> ReplayData(std::string_view data);
+
  private:
   WriteAheadLog(std::string path, WalOptions options);
 

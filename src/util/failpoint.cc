@@ -20,41 +20,41 @@ FailPoints& FailPoints::Global() {
 }
 
 void FailPoints::Arm(const std::string& site, FailPointSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.emplace_back(site, std::move(spec));
 }
 
 void FailPoints::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
                               [&](const auto& e) { return e.first == site; }),
                armed_.end());
 }
 
 void FailPoints::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.clear();
   fired_ = 0;
 }
 
 std::vector<std::pair<std::string, std::string>> FailPoints::Trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trace_;
 }
 
 void FailPoints::ClearTrace() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   trace_.clear();
 }
 
 uint64_t FailPoints::fired_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fired_;
 }
 
 FailPoints::Hit FailPoints::Check(std::string_view site,
                                   std::string_view detail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::pair<std::string, std::string> key(std::string(site),
                                           std::string(Basename(detail)));
   if (std::find(trace_.begin(), trace_.end(), key) == trace_.end()) {

@@ -2,11 +2,12 @@
 #define TXML_SRC_UTIL_FAILPOINT_H_
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "src/util/synchronization.h"
 
 namespace txml {
 
@@ -59,16 +60,17 @@ class FailPoints {
  public:
   static FailPoints& Global();
 
-  void Arm(const std::string& site, FailPointSpec spec);
-  void Disarm(const std::string& site);
-  void DisarmAll();
+  void Arm(const std::string& site, FailPointSpec spec) EXCLUDES(mu_);
+  void Disarm(const std::string& site) EXCLUDES(mu_);
+  void DisarmAll() EXCLUDES(mu_);
 
   /// Distinct (site, basename-of-detail) pairs hit since ClearTrace.
-  std::vector<std::pair<std::string, std::string>> Trace() const;
-  void ClearTrace();
+  std::vector<std::pair<std::string, std::string>> Trace() const
+      EXCLUDES(mu_);
+  void ClearTrace() EXCLUDES(mu_);
 
   /// Total faults fired since DisarmAll/construction.
-  uint64_t fired_count() const;
+  uint64_t fired_count() const EXCLUDES(mu_);
 
   struct Hit {
     bool fired = false;
@@ -76,15 +78,15 @@ class FailPoints {
     size_t short_bytes = 0;
   };
   /// Called by the check helpers; exposed for tests that need the raw hit.
-  Hit Check(std::string_view site, std::string_view detail);
+  Hit Check(std::string_view site, std::string_view detail) EXCLUDES(mu_);
 
  private:
   FailPoints() = default;
 
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, FailPointSpec>> armed_;
-  std::vector<std::pair<std::string, std::string>> trace_;
-  uint64_t fired_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, FailPointSpec>> armed_ GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> trace_ GUARDED_BY(mu_);
+  uint64_t fired_ GUARDED_BY(mu_) = 0;
 };
 
 /// True when an armed kError fault fires at `site` for `detail`; the call

@@ -1,0 +1,86 @@
+#ifndef TXML_SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define TXML_SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety ("capability") analysis attribute macros
+/// (DESIGN.md §10). Under clang every annotation below participates in
+/// -Wthread-safety: reading a GUARDED_BY member without its mutex, calling
+/// a REQUIRES function unlocked, or leaking a scoped lock is a *compile
+/// error* in the analyze configuration (scripts/check.sh builds with
+/// -Werror=thread-safety). Under GCC (which has no such analysis) every
+/// macro expands to nothing, so the annotated tree builds identically in
+/// all other configurations.
+///
+/// Conventions (see src/util/synchronization.h for the annotated mutex
+/// wrappers the annotations attach to):
+///   * data members:  `T x GUARDED_BY(mu_);` — any access needs mu_ held
+///     (shared hold suffices for reads of members guarded by a
+///     SharedMutex; writes need the exclusive side);
+///   * pointer members: `PT_GUARDED_BY(mu_)` guards the *pointee* while
+///     the pointer itself stays freely readable (the idiom for an
+///     immutable-after-construction unique_ptr whose object is protected
+///     by a lock, e.g. TemporalQueryService::wal_);
+///   * private "…Locked" helpers: `REQUIRES(mu_)` — caller must hold the
+///     exclusive side; `REQUIRES_SHARED(mu_)` for read-side helpers;
+///   * public entry points that take the lock themselves: `EXCLUDES(mu_)`
+///     so a re-entrant call (self-deadlock) is rejected at compile time.
+
+#if defined(__clang__)
+#define TXML_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TXML_THREAD_ANNOTATION(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+/// Declares a type to be a capability (a lock). The string names the
+/// capability kind in diagnostics ("mutex", "shared_mutex").
+#define CAPABILITY(x) TXML_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY TXML_THREAD_ANNOTATION(scoped_lockable)
+
+/// The data member is protected by the given capability.
+#define GUARDED_BY(x) TXML_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data *pointed to* by this pointer member is protected by the given
+/// capability; the pointer itself is not.
+#define PT_GUARDED_BY(x) TXML_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the capability
+/// exclusively (shared, for the _SHARED form).
+#define REQUIRES(...) \
+  TXML_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  TXML_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (and does not release it).
+#define ACQUIRE(...) TXML_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  TXML_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability. The bare RELEASE form releases
+/// whichever side (exclusive or shared) is held.
+#define RELEASE(...) TXML_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  TXML_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `b` on
+/// success.
+#define TRY_ACQUIRE(...) \
+  TXML_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called *without* the capability held (it acquires
+/// it itself; calling it re-entrantly would self-deadlock).
+#define EXCLUDES(...) TXML_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define ASSERT_CAPABILITY(x) TXML_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) TXML_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions with a correctness argument the analysis
+/// cannot follow. Every use must carry a comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TXML_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // TXML_SRC_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,48 @@
+// Negative compile-test for the thread-safety gate. This file is valid,
+// warning-free C++ under a plain build but contains exactly the lock
+// misuse the annotations exist to catch; it MUST fail to compile with
+//
+//   clang++ -fsyntax-only -std=c++20 -I<repo> -Wthread-safety \
+//       -Werror=thread-safety tests/analyze_negative.cc
+//
+// scripts/check.sh runs that command in the analyze stage and fails the
+// build if this file compiles *cleanly* — proof the analyzer is actually
+// wired up, not silently disabled (the annotations are no-ops under GCC,
+// so a misconfigured gate would otherwise pass everything). It is not a
+// member of any CMake target.
+#include "src/util/synchronization.h"
+
+namespace txml {
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without holding mu_. The analyzer
+  // reports: "reading variable 'value_' requires holding mutex 'mu_'".
+  int UnguardedRead() const { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+// BUG (deliberate): caller does not hold the required capability. The
+// analyzer reports: "calling function 'RequiresLock' requires holding
+// mutex 'mu'".
+void RequiresLock(Mutex& mu, int& out) REQUIRES(mu);
+void CallsWithoutLock(Mutex& mu, int& out) { RequiresLock(mu, out); }
+
+// Reference the symbols so a plain compile has no -Wunused complaints.
+int Use() {
+  Counter counter;
+  counter.Increment();
+  return counter.UnguardedRead();
+}
+
+}  // namespace
+}  // namespace txml

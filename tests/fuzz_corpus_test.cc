@@ -1,0 +1,85 @@
+// Corpus-replay regression gate: every committed seed (and any crash
+// reproducer later added to fuzz/corpus/) runs through all three fuzz
+// entry points in the normal ctest configuration. A decode-path
+// regression that would make a fuzzer crash fails here first, on every
+// compiler — no libFuzzer required.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_targets.h"
+
+namespace txml {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Set by tests/CMakeLists.txt to ${PROJECT_SOURCE_DIR}/fuzz/corpus.
+const char kCorpusDir[] = TXML_FUZZ_CORPUS_DIR;
+
+std::vector<fs::path> CorpusFiles(const std::string& subdir) {
+  std::vector<fs::path> files;
+  fs::path dir = fs::path(kCorpusDir) / subdir;
+  EXPECT_TRUE(fs::is_directory(dir))
+      << dir << " missing — regenerate with build/fuzz/gen_seed_corpus";
+  if (!fs::is_directory(dir)) return files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_FALSE(files.empty()) << dir << " has no seeds";
+  return files;
+}
+
+std::string ReadBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+using FuzzEntryPoint = void (*)(const uint8_t*, size_t);
+
+void ReplayAll(const std::string& subdir, FuzzEntryPoint entry) {
+  for (const fs::path& path : CorpusFiles(subdir)) {
+    SCOPED_TRACE(path.string());
+    std::string bytes = ReadBytes(path);
+    entry(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  }
+}
+
+TEST(FuzzCorpusTest, QuerySeedsReplayCleanly) {
+  ReplayAll("query", &fuzz::FuzzQueryParser);
+}
+
+TEST(FuzzCorpusTest, WireSeedsReplayCleanly) {
+  ReplayAll("wire", &fuzz::FuzzWireDecode);
+}
+
+TEST(FuzzCorpusTest, WalSeedsReplayCleanly) {
+  ReplayAll("wal", &fuzz::FuzzWalReplay);
+}
+
+// Every seed also runs through the two harnesses it was NOT written for:
+// each entry point's contract is "any bytes", not "bytes shaped for me",
+// and cross-feeding is exactly what a fuzzer's mutator will do anyway.
+TEST(FuzzCorpusTest, CrossFeedingSeedsIsHarmless) {
+  for (const char* subdir : {"query", "wire", "wal"}) {
+    for (const fs::path& path : CorpusFiles(subdir)) {
+      SCOPED_TRACE(path.string());
+      std::string bytes = ReadBytes(path);
+      const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+      fuzz::FuzzQueryParser(data, bytes.size());
+      fuzz::FuzzWireDecode(data, bytes.size());
+      fuzz::FuzzWalReplay(data, bytes.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace txml

@@ -174,12 +174,72 @@ TEST(ParserTest, Errors) {
       "SELECT R FROM doc(\"u\")[NOW - 3]/r R").ok());  // missing unit
 }
 
+TEST(ParserTest, RejectsOversizedQueryText) {
+  std::string query = "SELECT R FROM doc(\"u\")/r R WHERE R/name = \"";
+  query += std::string(kMaxQueryBytes + 1, 'x');
+  query += "\"";
+  auto result = ParseQuery(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+}
+
+TEST(ParserTest, RejectsOutOfRangeNumberLiteral) {
+  // std::stod would throw std::out_of_range here; the lexer must return a
+  // typed ParseError instead.
+  std::string query = "SELECT R FROM doc(\"u\")/r R WHERE R/price = ";
+  query += std::string(400, '9');
+  auto result = ParseQuery(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+}
+
+TEST(ParserTest, RejectsDeeplyNestedExpressions) {
+  // Each wrapper recurses through ParsePrimary; without a depth cap this
+  // family of inputs overflows the stack long before hitting the 1 MiB
+  // query-size limit.
+  constexpr int kDepth = 20000;
+  std::string query = "SELECT R FROM doc(\"u\")/r R WHERE ";
+  for (int i = 0; i < kDepth; ++i) query += "NOT ";
+  query += "R/price = 1";
+  auto not_chain = ParseQuery(query);
+  ASSERT_FALSE(not_chain.ok());
+  EXPECT_TRUE(not_chain.status().IsParseError());
+
+  query = "SELECT ";
+  for (int i = 0; i < kDepth; ++i) query += "SUM(";
+  query += "R/price";
+  query += std::string(kDepth, ')');
+  query += " FROM doc(\"u\")/r R";
+  auto sum_chain = ParseQuery(query);
+  ASSERT_FALSE(sum_chain.ok());
+  EXPECT_TRUE(sum_chain.status().IsParseError());
+
+  query = "SELECT R FROM doc(\"u\")/r R WHERE ";
+  query += std::string(kDepth, '(');
+  query += "R/price = 1";
+  query += std::string(kDepth, ')');
+  auto paren_chain = ParseQuery(query);
+  ASSERT_FALSE(paren_chain.ok());
+  EXPECT_TRUE(paren_chain.status().IsParseError());
+}
+
+TEST(ParserTest, AcceptsReasonableNesting) {
+  std::string query = "SELECT R FROM doc(\"u\")/r R WHERE ";
+  for (int i = 0; i < 8; ++i) query += "NOT (";
+  query += "R/price = 1";
+  query += std::string(8, ')');
+  EXPECT_TRUE(ParseQuery(query).ok());
+}
+
 TEST(ParserTest, QueryToStringRoundTripsThroughParser) {
   const char* kQueries[] = {
       "SELECT R FROM doc(\"u\")[26/01/2001]/restaurant R",
       "SELECT TIME(R), R/price FROM doc(\"u\")[EVERY]/r R "
       "WHERE R/name = \"Napoli\"",
       "SELECT DISTINCT CURRENT(R)/name FROM doc(\"u\")/r R",
+      // Regression (found by fuzzing): ToString renders time arithmetic
+      // as "[(NOW - 3 DAYS)]" and the parser must accept the parens.
+      "SELECT R FROM doc(\"u\")[NOW - 3 DAYS]/r R",
   };
   for (const char* text : kQueries) {
     auto query = ParseQuery(text);
