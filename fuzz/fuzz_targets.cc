@@ -45,7 +45,7 @@ void FuzzQueryParser(const uint8_t* data, size_t size) {
 void FuzzWireDecode(const uint8_t* data, size_t size) {
   if (size == 0) return;
   std::string_view payload = AsView(data + 1, size - 1);
-  switch (data[0] % 5) {
+  switch (data[0] % 10) {
     case 0: {
       auto request = DecodeQueryRequest(payload);
       if (!request.ok()) return;
@@ -86,13 +86,67 @@ void FuzzWireDecode(const uint8_t* data, size_t size) {
       }
       break;
     }
-    default: {
+    case 4: {
       auto end = DecodeResponseEnd(payload);
       if (!end.ok()) return;
       auto again = DecodeResponseEnd(EncodeResponseEnd(*end));
       if (!again.ok() || *again != *end) {
         Fail("re-encoded ResponseEnd failed to round-trip",
              std::to_string(*end));
+      }
+      break;
+    }
+    case 5: {
+      auto request = DecodeReplSubscribe(payload);
+      if (!request.ok()) return;
+      auto again = DecodeReplSubscribe(EncodeReplSubscribe(*request));
+      if (!again.ok()) {
+        Fail("re-encoded ReplSubscribeRequest failed to decode",
+             again.status().ToString());
+      }
+      break;
+    }
+    case 6: {
+      auto batch = DecodeReplBatch(payload);
+      if (!batch.ok()) return;
+      auto again = DecodeReplBatch(EncodeReplBatch(*batch));
+      if (!again.ok()) {
+        Fail("re-encoded ReplBatch failed to decode",
+             again.status().ToString());
+      } else if (again->records.size() != batch->records.size()) {
+        Fail("ReplBatch round trip changed the record count",
+             std::to_string(batch->records.size()));
+      }
+      break;
+    }
+    case 7: {
+      auto heartbeat = DecodeReplHeartbeat(payload);
+      if (!heartbeat.ok()) return;
+      auto again = DecodeReplHeartbeat(EncodeReplHeartbeat(*heartbeat));
+      if (!again.ok() ||
+          again->leader_last_sequence != heartbeat->leader_last_sequence) {
+        Fail("re-encoded ReplHeartbeat failed to round-trip",
+             std::to_string(heartbeat->leader_last_sequence));
+      }
+      break;
+    }
+    case 8: {
+      auto ack = DecodeReplAck(payload);
+      if (!ack.ok()) return;
+      auto again = DecodeReplAck(EncodeReplAck(*ack));
+      if (!again.ok() || again->applied_sequence != ack->applied_sequence) {
+        Fail("re-encoded ReplAck failed to round-trip",
+             std::to_string(ack->applied_sequence));
+      }
+      break;
+    }
+    default: {
+      auto request = DecodeStatsRequest(payload);
+      if (!request.ok()) return;
+      auto again = DecodeStatsRequest(EncodeStatsRequest(*request));
+      if (!again.ok()) {
+        Fail("re-encoded StatsRequest failed to decode",
+             again.status().ToString());
       }
       break;
     }

@@ -74,7 +74,7 @@ bool WriteQuerySeeds(const std::filesystem::path& dir) {
 }
 
 bool WriteWireSeeds(const std::filesystem::path& dir) {
-  // Selector-byte convention of FuzzWireDecode: byte % 5 picks the
+  // Selector-byte convention of FuzzWireDecode: byte % 10 picks the
   // decoder, remaining bytes are the envelope payload.
   QueryRequest query;
   query.query_text = "SELECT R FROM doc(\"u\")[EVERY]/r R";
@@ -95,6 +95,28 @@ bool WriteWireSeeds(const std::filesystem::path& dir) {
   header.error_message = "no such document";
   header.payload_bytes = 0;
 
+  ReplSubscribeRequest subscribe;
+  subscribe.from_sequence = 42;
+  subscribe.follower_name = "seed-follower";
+
+  ReplBatch batch;
+  batch.leader_last_sequence = 9;
+  for (uint64_t sequence = 8; sequence <= 9; ++sequence) {
+    WalRecord record;
+    record.sequence = sequence;
+    record.type = WalRecordType::kPut;
+    record.ts = Timestamp::FromDate(2001, 1, static_cast<int>(sequence));
+    record.url = "u";
+    record.payload = "<r v=\"" + std::to_string(sequence) + "\"/>";
+    batch.records.push_back(std::move(record));
+  }
+
+  ReplHeartbeat heartbeat;
+  heartbeat.leader_last_sequence = 9;
+
+  ReplAck ack;
+  ack.applied_sequence = 8;
+
   const struct {
     const char* name;
     uint8_t selector;
@@ -105,6 +127,11 @@ bool WriteWireSeeds(const std::filesystem::path& dir) {
       {"vacuum_request", 2, EncodeVacuumRequest(vacuum)},
       {"response_header", 3, EncodeResponseHeader(header)},
       {"response_end", 4, EncodeResponseEnd(12345)},
+      {"repl_subscribe", 5, EncodeReplSubscribe(subscribe)},
+      {"repl_batch", 6, EncodeReplBatch(batch)},
+      {"repl_heartbeat", 7, EncodeReplHeartbeat(heartbeat)},
+      {"repl_ack", 8, EncodeReplAck(ack)},
+      {"stats_request", 9, EncodeStatsRequest(StatsRequest{})},
   };
   for (const auto& seed : kSeeds) {
     std::string bytes(1, static_cast<char>(seed.selector));

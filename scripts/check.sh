@@ -4,9 +4,11 @@
 #   1. Release (RelWithDebInfo, the tier-1 configuration) — full ctest
 #      (which includes the fuzz-corpus replay regression test);
 #   2. ThreadSanitizer (-DTXML_SANITIZE=thread)           — concurrency
-#      tests (service layer, network front end, vacuum-vs-readers
-#      stress). Pass --tsan-all to run the whole suite under TSan
-#      instead (slow: TSan costs ~5-15x).
+#      tests (service layer, network front end, replication,
+#      vacuum-vs-readers stress), then the leader+2-follower replication
+#      smoke (scripts/repl_smoke.sh) over the TSan binaries. Pass
+#      --tsan-all to run the whole suite under TSan instead (slow: TSan
+#      costs ~5-15x).
 #   3. Address+UB sanitizers (-DTXML_SANITIZE=address)    — the history
 #      rewriting suites (vacuum splices delta chains in place; ASan/UBSan
 #      catch lifetime and aliasing mistakes TSan cannot) plus the
@@ -33,11 +35,11 @@ cd "$(dirname "$0")/.."
 # vacuum battery (tests/vacuum_test.cc — ServiceStressTest covers the
 # vacuum-racing-readers case). Matching is against gtest case names, not
 # binary names; --no-tests=error guards filter rot.
-TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry"
+TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry|Repl"
 # History-rewriting suites for the ASan/UBSan pass: the storage layer,
 # the vacuum oracle battery, persistence round trips, and the durability
 # suites (WAL byte surgery + the failpoint crash-recovery sweep).
-ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service|Wal|Durab|CrashRecovery|FailPoint"
+ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service|Wal|Durab|CrashRecovery|FailPoint|Repl"
 JOBS=$(nproc)
 FUZZ_SECS=10
 while [[ $# -gt 0 ]]; do
@@ -63,6 +65,10 @@ run cmake --build build-tsan -j "$JOBS"
 # shellcheck disable=SC2086  # intentional word-splitting of the filter
 run ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -j "$JOBS" $TSAN_FILTER
+# End-to-end replication smoke over the TSan binaries: leader + two
+# followers, convergence and read-your-writes asserted through the CLI
+# (the shipper/applier threads run under the race detector).
+run scripts/repl_smoke.sh build-tsan
 
 echo "=== Address+UB sanitizer configuration (build-asan/) ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# End-to-end replication smoke (DESIGN.md §11): boots a durable leader
+# and two read-only followers (--replica-of) on ephemeral ports, commits
+# a history through txml_client, and asserts
+#
+#   * read-your-writes: each follower answers a query carrying the last
+#     put's sequence token (--min-sequence) — the read either waits for
+#     the record or fails, so a passing query proves the follower holds
+#     the write;
+#   * convergence: both followers return byte-identical [EVERY] results
+#     to the leader's;
+#   * write fencing: a put against a follower is rejected and the error
+#     names the leader's address;
+#   * observability: the leader's stats document lists both followers.
+#
+# Usage: scripts/repl_smoke.sh [build-dir]   (default: build)
+# The build dir must already contain txml_server/txml_client — check.sh
+# runs this against the TSan binaries after the TSan ctest stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SERVER="$BUILD/src/net/txml_server"
+CLIENT="$BUILD/src/net/txml_client"
+for bin in "$SERVER" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "repl_smoke: missing binary $bin (build the '$BUILD' tree first)" >&2
+    exit 2
+  fi
+done
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/txml-repl-smoke.XXXXXX")
+PIDS=()
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() {
+  echo "repl_smoke: FAIL: $*" >&2
+  local log
+  for log in "$WORK"/*.log; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+# start_node <name> <args...>: boots txml_server in the background and
+# leaves the ephemeral port parsed from its startup banner in NODE_PORT.
+# (Deliberately NOT invoked via $(...): a command substitution would
+# keep reading until the backgrounded server closes the inherited
+# stdout, i.e. forever, and PIDS+= would mutate a subshell copy.)
+start_node() {
+  local name="$1"; shift
+  local log="$WORK/$name.log"
+  "$SERVER" --port=0 --data-dir="$WORK/$name" "$@" >/dev/null 2>"$log" &
+  PIDS+=($!)
+  local i
+  for i in $(seq 1 100); do
+    NODE_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+                "$log" | head -1)
+    [[ -n "$NODE_PORT" ]] && return 0
+    sleep 0.1
+  done
+  die "$name never printed its listening banner"
+}
+
+start_node leader;                                  LEADER_PORT=$NODE_PORT
+start_node f1 --replica-of="127.0.0.1:$LEADER_PORT"; F1_PORT=$NODE_PORT
+start_node f2 --replica-of="127.0.0.1:$LEADER_PORT"; F2_PORT=$NODE_PORT
+echo "repl_smoke: leader :$LEADER_PORT followers :$F1_PORT :$F2_PORT" >&2
+
+# Commit a 20-version history while the followers tail the WAL, keeping
+# the sequence token the last put printed (--stats emits "sequence=N").
+LAST_SEQ=""
+for day in $(seq 1 20); do
+  printf -v date '%02d/01/2001' "$day"
+  xml="<guide><item><name>n$day</name><price>$((100 + day))</price></item></guide>"
+  put_err=$("$CLIENT" --port="$LEADER_PORT" --stats \
+            put u "$xml" "$date" 2>&1 >/dev/null) \
+    || die "put day $day failed: $put_err"
+  LAST_SEQ=$(grep -o 'sequence=[0-9]*' <<<"$put_err" | head -1 | cut -d= -f2)
+done
+[[ -n "$LAST_SEQ" && "$LAST_SEQ" -ge 20 ]] \
+  || die "put did not report a sequence token (got '$LAST_SEQ')"
+echo "repl_smoke: committed 20 versions, last sequence $LAST_SEQ" >&2
+
+QUERY='SELECT TIME(R), R/name, R/price FROM doc("u")[EVERY]/guide/item R'
+LEADER_ANSWER=$("$CLIENT" --port="$LEADER_PORT" query "$QUERY") \
+  || die "leader query failed"
+
+# Read-your-writes + convergence on each follower: --min-sequence makes
+# the follower wait for the token (or answer UNAVAILABLE if it lags out
+# of the bounded wait — a failure here), then the payloads must match
+# the leader's byte for byte.
+for port in "$F1_PORT" "$F2_PORT"; do
+  answer=$("$CLIENT" --port="$port" --min-sequence="$LAST_SEQ" \
+           query "$QUERY") \
+    || die "read-your-writes query on follower :$port failed"
+  [[ "$answer" == "$LEADER_ANSWER" ]] \
+    || die "follower :$port diverged from the leader on [EVERY]"
+done
+echo "repl_smoke: both followers converged (read-your-writes at" \
+     "sequence $LAST_SEQ)" >&2
+
+# Write fencing: follower puts must be rejected with the leader address.
+if reject=$("$CLIENT" --port="$F1_PORT" put u "<guide/>" 2>&1); then
+  die "follower :$F1_PORT accepted a write"
+fi
+grep -q "$LEADER_PORT" <<<"$reject" \
+  || die "follower rejection does not name the leader: $reject"
+
+# Observability: the leader's stats document lists both followers.
+stats=$("$CLIENT" --port="$LEADER_PORT" stats) || die "leader stats failed"
+grep -q '<followers>' <<<"$stats" \
+  || die "leader stats has no <followers> section: $stats"
+follower_rows=$(grep -o '<follower ' <<<"$stats" | wc -l)
+[[ "$follower_rows" -eq 2 ]] \
+  || die "leader stats lists $follower_rows followers, want 2: $stats"
+
+echo "repl_smoke: OK" >&2

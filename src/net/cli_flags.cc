@@ -56,4 +56,20 @@ StatusOr<WalSyncMode> ParseSyncModeFlag(const std::string& value) {
   return ParseWalSyncMode(value);
 }
 
+StatusOr<std::pair<std::string, uint16_t>> ParseHostPortFlag(
+    const std::string& value) {
+  size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument("'" + value +
+                                   "' is not of the form host:port");
+  }
+  auto port = ParsePortFlag(value.substr(colon + 1));
+  if (!port.ok()) return port.status();
+  if (*port == 0) {
+    return Status::InvalidArgument("'" + value +
+                                   "' needs a concrete port (not 0)");
+  }
+  return std::make_pair(value.substr(0, colon), *port);
+}
+
 }  // namespace txml

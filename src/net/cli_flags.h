@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "src/storage/wal.h"
 #include "src/util/statusor.h"
@@ -32,6 +33,11 @@ StatusOr<size_t> ParseSizeFlag(const std::string& value);
 /// Parses --sync-mode: "none", "every_n" or "always" (the WAL fsync
 /// policy of DurabilityOptions; see src/storage/wal.h).
 StatusOr<WalSyncMode> ParseSyncModeFlag(const std::string& value);
+
+/// Parses "host:port" (e.g. --replica-of): the last ':' splits, the host
+/// part must be non-empty, the port in [1, 65535].
+StatusOr<std::pair<std::string, uint16_t>> ParseHostPortFlag(
+    const std::string& value);
 
 }  // namespace txml
 

@@ -57,6 +57,11 @@ StatusOr<QueryResponse> TxmlClient::Execute(const VacuumRequest& request) {
                             EncodeVacuumRequest(request));
 }
 
+StatusOr<QueryResponse> TxmlClient::Stats(const StatsRequest& request) {
+  return RoundTripWithRetry(FrameType::kStatsRequest,
+                            EncodeStatsRequest(request));
+}
+
 StatusOr<QueryResponse> TxmlClient::RoundTripWithRetry(
     FrameType type, const std::string& payload) {
   for (int attempt = 0;; ++attempt) {
@@ -118,6 +123,7 @@ StatusOr<QueryResponse> TxmlClient::RoundTrip(FrameType type,
 
   QueryResponse response;
   response.stats = header.stats;
+  response.sequence = header.sequence;
   response.payload.reserve(static_cast<size_t>(header.payload_bytes));
   while (true) {
     auto next = ReadFrame(&socket_, options_.max_frame_bytes);

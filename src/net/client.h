@@ -70,6 +70,10 @@ class TxmlClient {
   /// Vacuums the server's store per the request's retention horizons.
   StatusOr<QueryResponse> Execute(const VacuumRequest& request);
 
+  /// Fetches the server's <stats> document (service + durability +
+  /// replication + server counters).
+  StatusOr<QueryResponse> Stats(const StatsRequest& request = {});
+
   /// Closes the connection (also done by the destructor).
   void Close() { socket_.Close(); }
   bool connected() const { return socket_.valid(); }

@@ -130,22 +130,79 @@ void TxmlServer::HandleConnection(std::shared_ptr<Socket> socket) {
 
 bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
                              ClientSession* session) {
+  if (frame.type == FrameType::kReplSubscribe) {
+    // A subscription turns this connection into a shipping stream that the
+    // repl hook owns until it ends; either way the connection closes after.
+    auto request = DecodeReplSubscribe(frame.payload);
+    if (!request.ok()) {
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendResponse(socket, request.status(), {});
+      return false;
+    }
+    if (!request->auth_token.empty()) {
+      SendResponse(socket,
+                   Status::InvalidArgument(
+                       "auth tokens are not supported yet; send empty"),
+                   {});
+      return false;
+    }
+    if (!options_.repl_handler) {
+      SendResponse(
+          socket,
+          Status::InvalidArgument("replication is not enabled on this server"),
+          {});
+      return false;
+    }
+    options_.repl_handler(socket, *request);
+    return false;
+  }
+
   StatusOr<QueryResponse> response = [&]() -> StatusOr<QueryResponse> {
+    // The reserved auth field: empty is the only accepted value until auth
+    // ships, so a future token-bearing client fails loudly here instead of
+    // silently running unauthenticated.
+    auto check_token = [](const std::string& token) {
+      return token.empty()
+                 ? Status::OK()
+                 : Status::InvalidArgument(
+                       "auth tokens are not supported yet; send empty");
+    };
+    auto reject_write = [&]() -> Status {
+      if (!options_.read_only) return Status::OK();
+      std::string message =
+          "server is read-only (replication follower); send writes to the "
+          "leader";
+      if (!options_.leader_hint.empty()) {
+        message += " at " + options_.leader_hint;
+      }
+      return Status::ReadOnly(std::move(message));
+    };
     switch (frame.type) {
       case FrameType::kQueryRequest: {
         TXML_ASSIGN_OR_RETURN(QueryRequest request,
                               DecodeQueryRequest(frame.payload));
+        TXML_RETURN_IF_ERROR(check_token(request.auth_token));
         return session->Execute(request);
       }
       case FrameType::kPutRequest: {
         TXML_ASSIGN_OR_RETURN(PutRequest request,
                               DecodePutRequest(frame.payload));
+        TXML_RETURN_IF_ERROR(check_token(request.auth_token));
+        TXML_RETURN_IF_ERROR(reject_write());
         return session->Execute(request);
       }
       case FrameType::kVacuumRequest: {
         TXML_ASSIGN_OR_RETURN(VacuumRequest request,
                               DecodeVacuumRequest(frame.payload));
+        TXML_RETURN_IF_ERROR(check_token(request.auth_token));
+        TXML_RETURN_IF_ERROR(reject_write());
         return session->Execute(request);
+      }
+      case FrameType::kStatsRequest: {
+        TXML_ASSIGN_OR_RETURN(StatsRequest request,
+                              DecodeStatsRequest(frame.payload));
+        TXML_RETURN_IF_ERROR(check_token(request.auth_token));
+        return StatsResponse();
       }
       default:
         return Status::InvalidFrame("unexpected frame type from client");
@@ -169,6 +226,44 @@ bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
   return SendResponse(socket, response.status(), {});
 }
 
+QueryResponse TxmlServer::StatsResponse() {
+  ServiceStats service_stats = service_->Stats();
+  ServerStats server_stats = Stats();
+  std::string xml = "<stats>";
+  xml += "<service queries=\"" +
+         std::to_string(service_stats.queries_executed) + "\" writes=\"" +
+         std::to_string(service_stats.writes_committed) + "\" vacuums=\"" +
+         std::to_string(service_stats.vacuums_run) + "\"/>";
+  xml += "<durability wal-last-sequence=\"" +
+         std::to_string(service_stats.durability.wal_last_sequence) +
+         "\" wal-bytes=\"" +
+         std::to_string(service_stats.durability.wal_bytes) +
+         "\" checkpoints=\"" +
+         std::to_string(service_stats.durability.checkpoints_completed) +
+         "\"/>";
+  xml += "<replication last-committed-sequence=\"" +
+         std::to_string(service_stats.replication.last_committed_sequence) +
+         "\" last-checkpoint-sequence=\"" +
+         std::to_string(service_stats.replication.last_checkpoint_sequence) +
+         "\" replicated-applied=\"" +
+         std::to_string(service_stats.replication.replicated_records_applied) +
+         "\" replicated-skipped=\"" +
+         std::to_string(service_stats.replication.replicated_records_skipped) +
+         "\" read-only=\"" + (options_.read_only ? "true" : "false") + "\"/>";
+  xml += "<server connections-accepted=\"" +
+         std::to_string(server_stats.connections_accepted) +
+         "\" requests-served=\"" +
+         std::to_string(server_stats.requests_served) +
+         "\" requests-failed=\"" +
+         std::to_string(server_stats.requests_failed) + "\"/>";
+  if (options_.stats_extra) xml += options_.stats_extra();
+  xml += "</stats>";
+  QueryResponse response;
+  response.payload = std::move(xml);
+  response.sequence = service_->applied_sequence();
+  return response;
+}
+
 bool TxmlServer::SendResponse(Socket* socket, const Status& status,
                               const QueryResponse& response) {
   ResponseHeader header;
@@ -176,6 +271,7 @@ bool TxmlServer::SendResponse(Socket* socket, const Status& status,
   header.error_message = status.message();
   header.payload_bytes = status.ok() ? response.payload.size() : 0;
   header.stats = response.stats;
+  header.sequence = response.sequence;
   if (!WriteFrame(socket, FrameType::kResponseHeader,
                   EncodeResponseHeader(header))
            .ok()) {

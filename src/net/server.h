@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -44,6 +46,25 @@ struct ServerOptions {
   /// instead of queuing unboundedly behind slow handlers. 0 = unbounded
   /// (the pre-backpressure behavior).
   size_t max_pending_connections = 64;
+  /// Follower mode: writes (kPutRequest / kVacuumRequest) are rejected
+  /// with the typed kReadOnly status instead of executing; the routing
+  /// client treats that as "redirect to the leader". Reads, stats and
+  /// replication subscriptions are unaffected.
+  bool read_only = false;
+  /// Where writes should go instead, quoted in the kReadOnly message
+  /// ("host:port" of the leader). Display-only.
+  std::string leader_hint;
+  /// Replication hook (src/repl wires the WalShipper in here; the net
+  /// layer stays ignorant of replication policy). When a kReplSubscribe
+  /// frame arrives, the server hands the connection's socket and the
+  /// decoded request to this callback, which runs the entire shipping
+  /// conversation on the connection's handler thread and returns when the
+  /// stream ends; the server then closes the connection. Unset =
+  /// replication not enabled: subscribers get kInvalidArgument.
+  std::function<void(Socket*, const ReplSubscribeRequest&)> repl_handler;
+  /// Extra XML appended inside the <stats> document served for
+  /// kStatsRequest (the mains add shipper / applier state).
+  std::function<std::string()> stats_extra;
 };
 
 /// Aggregate counters of a TxmlServer (monotonic; read with Stats()).
@@ -108,6 +129,8 @@ class TxmlServer {
   /// Runs one decoded request frame; returns false when the connection
   /// should close (protocol error already reported to the peer).
   bool HandleFrame(Socket* socket, const Frame& frame, ClientSession* session);
+  /// Builds the <stats> XML document for kStatsRequest.
+  QueryResponse StatsResponse();
   /// Sends header + chunked payload + end. Any socket error aborts the
   /// connection (returns false).
   bool SendResponse(Socket* socket, const Status& status,

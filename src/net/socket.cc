@@ -250,7 +250,7 @@ StatusOr<Frame> ReadFrame(Socket* socket, size_t max_frame_bytes) {
   }
   uint8_t type = static_cast<uint8_t>(body[0]);
   if (type < static_cast<uint8_t>(FrameType::kQueryRequest) ||
-      type > static_cast<uint8_t>(FrameType::kVacuumRequest)) {
+      type > kMaxFrameType) {
     return Status::InvalidFrame("unknown frame type " + std::to_string(type));
   }
   Frame frame;

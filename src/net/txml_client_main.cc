@@ -1,15 +1,22 @@
 // txml_client — command-line client of txml_server (src/net/).
 //
-//   txml_client [--host=H] [--port=N] [--compact] [--stats] query "SELECT …"
+//   txml_client [--host=H] [--port=N] [--compact] [--stats]
+//               [--min-sequence=S] query "SELECT …"
 //   txml_client [--host=H] [--port=N] put URL XML
 //   txml_client [--host=H] [--port=N] put URL XML dd/mm/yyyy
 //   txml_client [--host=H] [--port=N] vacuum [--drop-before=dd/mm/yyyy]
 //               [--coarsen-older-than=dd/mm/yyyy] [--keep-every=K]
+//   txml_client [--host=H] [--port=N] stats
 //
 // Prints the response payload (the serialized <results> document, the
-// <put-result/> confirmation, or the <vacuum-result/> summary) to stdout;
-// --stats adds the execution counters on stderr. Exit status: 0 on OK, 1
-// on a failed request (the server's status is printed), 2 on usage errors.
+// <put-result/> confirmation, the <vacuum-result/> summary, or the
+// <stats/> document) to stdout; --stats adds the execution counters on
+// stderr. --min-sequence=S makes a query wait until the server has
+// applied commit sequence S (read-your-writes against a replication
+// follower: S is the sequence a put printed). Every response's own
+// sequence is printed by --stats, so a put's token can be fed to a later
+// query. Exit status: 0 on OK, 1 on a failed request (the server's
+// status is printed), 2 on usage errors.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,13 +31,14 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: txml_client [--host=H] [--port=N] [--compact] "
-               "[--stats] query \"SELECT …\"\n"
+               "[--stats] [--min-sequence=S] query \"SELECT …\"\n"
                "       txml_client [--host=H] [--port=N] put URL XML "
                "[dd/mm/yyyy]\n"
                "       txml_client [--host=H] [--port=N] vacuum "
                "[--drop-before=dd/mm/yyyy]\n"
                "               [--coarsen-older-than=dd/mm/yyyy] "
-               "[--keep-every=K]\n");
+               "[--keep-every=K]\n"
+               "       txml_client [--host=H] [--port=N] stats\n");
   return 2;
 }
 
@@ -46,6 +54,7 @@ int main(int argc, char** argv) {
   uint16_t port = 7400;
   bool pretty = true;
   bool print_stats = false;
+  uint64_t min_sequence = 0;
   txml::VacuumRequest vacuum;
   std::vector<std::string> positional;
 
@@ -74,6 +83,10 @@ int main(int argc, char** argv) {
         return Usage();
       }
       vacuum.keep_every = static_cast<uint32_t>(*parsed);
+    } else if (txml::ParseFlagValue(argv[i], "--min-sequence", &value)) {
+      auto parsed = txml::ParseSizeFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      min_sequence = *parsed;
     } else if (std::strcmp(argv[i], "--compact") == 0) {
       pretty = false;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -104,7 +117,11 @@ int main(int argc, char** argv) {
       txml::QueryRequest request;
       request.query_text = positional[1];
       request.pretty = pretty;
+      request.min_sequence = min_sequence;
       return client->Execute(request);
+    }
+    if (positional[0] == "stats" && positional.size() == 1) {
+      return client->Stats();
     }
     if (positional[0] == "put" &&
         (positional.size() == 3 || positional.size() == 4)) {
@@ -136,11 +153,12 @@ int main(int argc, char** argv) {
   if (print_stats) {
     std::fprintf(stderr,
                  "stats: reconstructions=%zu cache_hits=%zu "
-                 "rows_considered=%zu rows_emitted=%zu\n",
+                 "rows_considered=%zu rows_emitted=%zu sequence=%llu\n",
                  response->stats.snapshot_reconstructions,
                  response->stats.snapshot_cache_hits,
                  response->stats.rows_considered,
-                 response->stats.rows_emitted);
+                 response->stats.rows_emitted,
+                 static_cast<unsigned long long>(response->sequence));
   }
   return 0;
 }

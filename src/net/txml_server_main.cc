@@ -2,13 +2,15 @@
 // TemporalQueryService over TCP (src/net/, DESIGN.md §7).
 //
 //   txml_server [--port=N] [--threads=N] [--data-dir=DIR] [--sync-mode=M]
-//               [--db=DIR] [--seed-demo]
+//               [--db=DIR] [--seed-demo] [--replica-of=HOST:PORT]
+//               [--read-only]
 //
 //   --port=N       bind 127.0.0.1:N (default 7400; 0 = ephemeral, printed)
 //   --threads=N    connection-handler threads (0 or omitted = server default)
 //   --data-dir=DIR durable operation (DESIGN.md §9): recover from DIR on
 //                  start (checkpoint + WAL replay), write-ahead-log every
-//                  commit, checkpoint automatically
+//                  commit, checkpoint automatically. Also enables serving
+//                  replication subscribers (DESIGN.md §11)
 //   --sync-mode=M  WAL fsync policy: none | every_n | always (default
 //                  always); only meaningful with --data-dir
 //   --db=DIR       open a persisted database snapshot read-write but
@@ -16,6 +18,13 @@
 //                  Mutually exclusive with --data-dir
 //   --seed-demo    load a small restaurant-guide history (handy for trying
 //                  txml_client without a data directory)
+//   --replica-of=HOST:PORT
+//                  follower mode (requires --data-dir): replicate the WAL
+//                  from the leader at HOST:PORT into this node's own
+//                  data_dir and serve reads; writes are rejected with the
+//                  typed read-only status naming the leader
+//   --read-only    reject writes without being a follower (a frozen serving
+//                  copy); implied by --replica-of
 //
 // Runs until SIGINT/SIGTERM, then shuts down gracefully (in-flight
 // queries finish and their responses are sent).
@@ -31,6 +40,8 @@
 
 #include "src/net/cli_flags.h"
 #include "src/net/server.h"
+#include "src/repl/replica_applier.h"
+#include "src/repl/wal_shipper.h"
 #include "src/service/service.h"
 
 namespace {
@@ -74,7 +85,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: txml_server [--port=N] [--threads=N] "
                "[--data-dir=DIR] [--sync-mode=none|every_n|always] "
-               "[--db=DIR] [--seed-demo]\n");
+               "[--db=DIR] [--seed-demo] [--replica-of=HOST:PORT] "
+               "[--read-only]\n");
   return 2;
 }
 
@@ -120,6 +132,10 @@ int main(int argc, char** argv) {
   std::string data_dir;
   txml::WalSyncMode sync_mode = txml::WalSyncMode::kAlways;
   bool seed_demo = false;
+  bool read_only = false;
+  std::string replica_of;
+  std::string leader_host;
+  uint16_t leader_port = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -139,11 +155,31 @@ int main(int argc, char** argv) {
       sync_mode = *parsed;
     } else if (txml::ParseFlagValue(argv[i], "--db", &value)) {
       db_dir = value;
+    } else if (txml::ParseFlagValue(argv[i], "--replica-of", &value)) {
+      auto parsed = txml::ParseHostPortFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      replica_of = value;
+      leader_host = parsed->first;
+      leader_port = parsed->second;
+    } else if (std::strcmp(argv[i], "--read-only") == 0) {
+      read_only = true;
     } else if (std::strcmp(argv[i], "--seed-demo") == 0) {
       seed_demo = true;
     } else {
       return Usage();
     }
+  }
+  if (!replica_of.empty() && data_dir.empty()) {
+    std::fprintf(stderr,
+                 "txml_server: --replica-of needs --data-dir (the follower "
+                 "persists the replicated WAL into its own directory)\n");
+    return Usage();
+  }
+  if (!replica_of.empty() && seed_demo) {
+    std::fprintf(stderr,
+                 "txml_server: --seed-demo writes locally and would diverge "
+                 "from the leader; seed the leader instead\n");
+    return Usage();
   }
   if (!data_dir.empty() && !db_dir.empty()) {
     std::fprintf(stderr,
@@ -184,6 +220,39 @@ int main(int argc, char** argv) {
   }
   if (seed_demo) SeedDemo(service->get());
 
+  // Replication wiring (src/repl, DESIGN.md §11). Any durable server
+  // serves WAL subscribers — being a leader costs nothing until someone
+  // subscribes. --replica-of additionally runs the applier thread and
+  // flips the front end read-only, pointing rejected writers at the
+  // leader.
+  std::unique_ptr<txml::WalShipper> shipper;
+  std::unique_ptr<txml::ReplicaApplier> applier;
+  if (!data_dir.empty()) {
+    shipper = std::make_unique<txml::WalShipper>(service->get());
+    server_options.repl_handler =
+        [&shipper](txml::Socket* socket,
+                   const txml::ReplSubscribeRequest& subscribe) {
+          shipper->Serve(socket, subscribe);
+        };
+  }
+  if (!replica_of.empty()) {
+    server_options.read_only = true;
+    server_options.leader_hint = replica_of;
+    txml::ReplicaApplier::Options applier_options;
+    applier_options.leader_host = leader_host;
+    applier_options.leader_port = leader_port;
+    applier_options.follower_name = "txml-" + std::to_string(getpid());
+    applier = std::make_unique<txml::ReplicaApplier>(service->get(),
+                                                     applier_options);
+  }
+  if (read_only) server_options.read_only = true;
+  server_options.stats_extra = [&shipper, &applier]() {
+    std::string xml;
+    if (shipper) xml += shipper->StatsXml();
+    if (applier) xml += applier->StatsXml();
+    return xml;
+  };
+
   // Install the shutdown plumbing BEFORE the server starts accepting: a
   // SIGTERM racing startup must not hit the default handler (which would
   // kill the process without draining in-flight queries).
@@ -211,10 +280,39 @@ int main(int argc, char** argv) {
   // the raw option here would print "0 threads".
   std::fprintf(stderr, "txml_server listening on 127.0.0.1:%u (%zu threads)\n",
                server.port(), server.connection_threads());
+  if (applier) {
+    txml::Status applier_started = applier->Start();
+    if (!applier_started.ok()) {
+      std::fprintf(stderr, "cannot start replication: %s\n",
+                   applier_started.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::fprintf(
+        stderr,
+        "replication: following %s from sequence %llu (read-only; writes "
+        "rejected with the leader's address)\n",
+        replica_of.c_str(),
+        static_cast<unsigned long long>((*service)->applied_sequence()));
+  } else if (shipper) {
+    std::fprintf(
+        stderr,
+        "replication: serving WAL subscribers (last committed sequence "
+        "%llu, last checkpoint sequence %llu)\n",
+        static_cast<unsigned long long>(
+            (*service)->Stats().replication.last_committed_sequence),
+        static_cast<unsigned long long>(
+            (*service)->Stats().replication.last_checkpoint_sequence));
+  }
+  if (read_only && !applier) {
+    std::fprintf(stderr, "read-only: rejecting writes\n");
+  }
 
   AwaitShutdownSignal();
 
   std::fprintf(stderr, "shutting down (draining in-flight queries)…\n");
+  if (applier) applier->Stop();
+  if (shipper) shipper->Stop();
   server.Stop();
   close(g_wake_fds[0]);
   close(g_wake_fds[1]);

@@ -1,5 +1,6 @@
 #include "src/net/wire.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/coding.h"
@@ -9,9 +10,12 @@ namespace txml {
 namespace {
 
 /// Reads and checks the leading envelope version: anything newer than this
-/// build understands is rejected (older versions would be handled here
-/// when version 2 exists).
-Status CheckVersion(Decoder* decoder, std::string_view what) {
+/// build understands is rejected. The decoded version is written to
+/// *version_out (when asked for) so decoders know which appended fields to
+/// expect — a v1 envelope simply ends earlier and the v2 fields keep their
+/// defaults.
+Status CheckVersion(Decoder* decoder, std::string_view what,
+                    uint32_t* version_out = nullptr) {
   auto version = decoder->ReadVarint32();
   if (!version.ok()) {
     return Status::InvalidFrame(std::string(what) + ": missing version");
@@ -20,6 +24,7 @@ Status CheckVersion(Decoder* decoder, std::string_view what) {
     return Status::InvalidFrame(std::string(what) + ": unsupported version " +
                                 std::to_string(*version));
   }
+  if (version_out != nullptr) *version_out = *version;
   return Status::OK();
 }
 
@@ -53,12 +58,16 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   PutVarint32(&out, kEnvelopeVersion);
   PutLengthPrefixed(&out, request.query_text);
   PutVarint32(&out, request.pretty ? 1 : 0);
+  // v2 fields; appended, never inserted.
+  PutVarint64(&out, request.min_sequence);
+  PutLengthPrefixed(&out, request.auth_token);
   return out;
 }
 
 StatusOr<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   Decoder decoder(payload);
-  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "QueryRequest"));
+  uint32_t version = 0;
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "QueryRequest", &version));
   auto text = decoder.ReadLengthPrefixed();
   if (!text.ok()) return AsInvalidFrame(text.status(), "QueryRequest");
   QueryRequest request;
@@ -66,6 +75,16 @@ StatusOr<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   auto pretty = decoder.ReadVarint32();
   if (!pretty.ok()) return AsInvalidFrame(pretty.status(), "QueryRequest");
   request.pretty = *pretty != 0;
+  if (version >= 2) {
+    auto min_sequence = decoder.ReadVarint64();
+    if (!min_sequence.ok()) {
+      return AsInvalidFrame(min_sequence.status(), "QueryRequest");
+    }
+    request.min_sequence = *min_sequence;
+    auto token = decoder.ReadLengthPrefixed();
+    if (!token.ok()) return AsInvalidFrame(token.status(), "QueryRequest");
+    request.auth_token = std::string(*token);
+  }
   TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "QueryRequest"));
   return request;
 }
@@ -79,12 +98,14 @@ std::string EncodePutRequest(const PutRequest& request) {
   if (request.timestamp.has_value()) {
     PutFixed64(&out, static_cast<uint64_t>(request.timestamp->micros()));
   }
+  PutLengthPrefixed(&out, request.auth_token);  // v2
   return out;
 }
 
 StatusOr<PutRequest> DecodePutRequest(std::string_view payload) {
   Decoder decoder(payload);
-  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "PutRequest"));
+  uint32_t version = 0;
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "PutRequest", &version));
   auto url = decoder.ReadLengthPrefixed();
   if (!url.ok()) return AsInvalidFrame(url.status(), "PutRequest");
   auto xml = decoder.ReadLengthPrefixed();
@@ -102,6 +123,11 @@ StatusOr<PutRequest> DecodePutRequest(std::string_view payload) {
     request.timestamp =
         Timestamp::FromMicros(static_cast<int64_t>(*micros));
   }
+  if (version >= 2) {
+    auto token = decoder.ReadLengthPrefixed();
+    if (!token.ok()) return AsInvalidFrame(token.status(), "PutRequest");
+    request.auth_token = std::string(*token);
+  }
   TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "PutRequest"));
   return request;
 }
@@ -117,12 +143,14 @@ std::string EncodeVacuumRequest(const VacuumRequest& request) {
     }
   }
   PutVarint32(&out, request.keep_every);
+  PutLengthPrefixed(&out, request.auth_token);  // v2
   return out;
 }
 
 StatusOr<VacuumRequest> DecodeVacuumRequest(std::string_view payload) {
   Decoder decoder(payload);
-  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "VacuumRequest"));
+  uint32_t version = 0;
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "VacuumRequest", &version));
   VacuumRequest request;
   for (std::optional<Timestamp>* horizon :
        {&request.drop_before, &request.coarsen_older_than}) {
@@ -141,6 +169,11 @@ StatusOr<VacuumRequest> DecodeVacuumRequest(std::string_view payload) {
     return AsInvalidFrame(keep_every.status(), "VacuumRequest");
   }
   request.keep_every = *keep_every;
+  if (version >= 2) {
+    auto token = decoder.ReadLengthPrefixed();
+    if (!token.ok()) return AsInvalidFrame(token.status(), "VacuumRequest");
+    request.auth_token = std::string(*token);
+  }
   TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "VacuumRequest"));
   return request;
 }
@@ -155,12 +188,19 @@ std::string EncodeResponseHeader(const ResponseHeader& header) {
   PutVarint64(&out, header.stats.snapshot_cache_hits);
   PutVarint64(&out, header.stats.rows_considered);
   PutVarint64(&out, header.stats.rows_emitted);
+  // The encoder honors the struct's declared version so a header can be
+  // built for a v1 peer (or by tests pinning old layouts): v2 fields only
+  // exist when the header says v2.
+  if (header.envelope_version >= 2) {
+    PutVarint64(&out, header.sequence);
+  }
   return out;
 }
 
 StatusOr<ResponseHeader> DecodeResponseHeader(std::string_view payload) {
   Decoder decoder(payload);
-  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "ResponseHeader"));
+  uint32_t version = 0;
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "ResponseHeader", &version));
   ResponseHeader header;
   auto code = decoder.ReadVarint32();
   if (!code.ok()) return AsInvalidFrame(code.status(), "ResponseHeader");
@@ -182,6 +222,14 @@ StatusOr<ResponseHeader> DecodeResponseHeader(std::string_view payload) {
     if (!value.ok()) return AsInvalidFrame(value.status(), "ResponseHeader");
     *counter = static_cast<size_t>(*value);
   }
+  header.envelope_version = version;
+  if (version >= 2) {
+    auto sequence = decoder.ReadVarint64();
+    if (!sequence.ok()) {
+      return AsInvalidFrame(sequence.status(), "ResponseHeader");
+    }
+    header.sequence = *sequence;
+  }
   TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ResponseHeader"));
   return header;
 }
@@ -198,6 +246,120 @@ StatusOr<uint64_t> DecodeResponseEnd(std::string_view payload) {
   if (!bytes.ok()) return AsInvalidFrame(bytes.status(), "ResponseEnd");
   TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ResponseEnd"));
   return *bytes;
+}
+
+std::string EncodeReplSubscribe(const ReplSubscribeRequest& request) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint64(&out, request.from_sequence);
+  PutLengthPrefixed(&out, request.follower_name);
+  PutLengthPrefixed(&out, request.auth_token);
+  return out;
+}
+
+StatusOr<ReplSubscribeRequest> DecodeReplSubscribe(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "ReplSubscribe"));
+  ReplSubscribeRequest request;
+  auto from = decoder.ReadVarint64();
+  if (!from.ok()) return AsInvalidFrame(from.status(), "ReplSubscribe");
+  request.from_sequence = *from;
+  auto name = decoder.ReadLengthPrefixed();
+  if (!name.ok()) return AsInvalidFrame(name.status(), "ReplSubscribe");
+  request.follower_name = std::string(*name);
+  auto token = decoder.ReadLengthPrefixed();
+  if (!token.ok()) return AsInvalidFrame(token.status(), "ReplSubscribe");
+  request.auth_token = std::string(*token);
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ReplSubscribe"));
+  return request;
+}
+
+std::string EncodeReplBatch(const ReplBatch& batch) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint64(&out, batch.leader_last_sequence);
+  PutVarint32(&out, static_cast<uint32_t>(batch.records.size()));
+  for (const WalRecord& record : batch.records) {
+    // Each record travels as the exact body bytes the WAL frames on disk
+    // (CRC and length live at the frame layer here, not per record).
+    PutLengthPrefixed(&out, EncodeWalRecordBody(record, record.sequence));
+  }
+  return out;
+}
+
+StatusOr<ReplBatch> DecodeReplBatch(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "ReplBatch"));
+  ReplBatch batch;
+  auto last = decoder.ReadVarint64();
+  if (!last.ok()) return AsInvalidFrame(last.status(), "ReplBatch");
+  batch.leader_last_sequence = *last;
+  auto count = decoder.ReadVarint32();
+  if (!count.ok()) return AsInvalidFrame(count.status(), "ReplBatch");
+  batch.records.reserve(std::min<uint32_t>(*count, 1024));
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto body = decoder.ReadLengthPrefixed();
+    if (!body.ok()) return AsInvalidFrame(body.status(), "ReplBatch");
+    auto record = DecodeWalRecordBody(*body);
+    if (!record.ok()) return AsInvalidFrame(record.status(), "ReplBatch");
+    batch.records.push_back(std::move(*record));
+  }
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ReplBatch"));
+  return batch;
+}
+
+std::string EncodeReplHeartbeat(const ReplHeartbeat& heartbeat) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint64(&out, heartbeat.leader_last_sequence);
+  return out;
+}
+
+StatusOr<ReplHeartbeat> DecodeReplHeartbeat(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "ReplHeartbeat"));
+  ReplHeartbeat heartbeat;
+  auto last = decoder.ReadVarint64();
+  if (!last.ok()) return AsInvalidFrame(last.status(), "ReplHeartbeat");
+  heartbeat.leader_last_sequence = *last;
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ReplHeartbeat"));
+  return heartbeat;
+}
+
+std::string EncodeReplAck(const ReplAck& ack) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint64(&out, ack.applied_sequence);
+  return out;
+}
+
+StatusOr<ReplAck> DecodeReplAck(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "ReplAck"));
+  ReplAck ack;
+  auto applied = decoder.ReadVarint64();
+  if (!applied.ok()) return AsInvalidFrame(applied.status(), "ReplAck");
+  ack.applied_sequence = *applied;
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "ReplAck"));
+  return ack;
+}
+
+std::string EncodeStatsRequest(const StatsRequest& request) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutLengthPrefixed(&out, request.auth_token);
+  return out;
+}
+
+StatusOr<StatsRequest> DecodeStatsRequest(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "StatsRequest"));
+  StatsRequest request;
+  auto token = decoder.ReadLengthPrefixed();
+  if (!token.ok()) return AsInvalidFrame(token.status(), "StatsRequest");
+  request.auth_token = std::string(*token);
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "StatsRequest"));
+  return request;
 }
 
 }  // namespace txml

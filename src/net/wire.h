@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/service/request.h"
+#include "src/storage/wal.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 
@@ -27,6 +29,15 @@ namespace txml {
 /// contiguous send) and one terminating kResponseEnd frame echoing the
 /// total payload byte count. Connections are reused for any number of
 /// such exchanges.
+///
+/// Replication (DESIGN.md §11) turns one connection into a shipping
+/// stream, still half-duplex: the follower sends kReplSubscribe naming the
+/// sequence it has; the leader either rejects with a normal
+/// kResponseHeader (e.g. OutOfRange when the WAL no longer reaches back
+/// that far) or enters a loop of one kReplBatch (records) or
+/// kReplHeartbeat (idle keep-alive) frame, each answered by one kReplAck
+/// from the follower carrying its applied sequence. Any protocol error
+/// drops the connection, as above.
 ///
 /// Versioning: every request envelope and the response header lead with a
 /// varint envelope version (kEnvelopeVersion). A peer rejects versions
@@ -50,7 +61,25 @@ enum class FrameType : uint8_t {
   /// predates this frame rejects it as an unknown type (kInvalidFrame), so
   /// no envelope-version bump is needed.
   kVacuumRequest = 6,
+  /// Replication: follower → leader, start shipping after a sequence.
+  kReplSubscribe = 7,
+  /// Replication: leader → follower, a batch of WAL record bodies.
+  kReplBatch = 8,
+  /// Replication: leader → follower, keep-alive / lag probe when no new
+  /// commits arrived within the heartbeat interval.
+  kReplHeartbeat = 9,
+  /// Replication: follower → leader, acknowledges the applied sequence
+  /// after each batch or heartbeat.
+  kReplAck = 10,
+  /// Asks the server for its ServiceStats (+ replication state) as an XML
+  /// payload, answered like a query response.
+  kStatsRequest = 11,
 };
+
+/// The largest frame type a receiver accepts (socket.cc range-checks the
+/// tag before any payload is read).
+inline constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kStatsRequest);
 
 /// Upper bound a receiver imposes on one frame body (guards a hostile or
 /// corrupt 4-byte length prefix from driving a giant allocation).
@@ -75,6 +104,48 @@ struct ResponseHeader {
   std::string error_message;
   uint64_t payload_bytes = 0;
   ExecStats stats;
+  /// v2: the consistency token (QueryResponse::sequence) — a write's
+  /// commit sequence, a read's applied sequence. 0 from v1 peers and
+  /// in-memory services.
+  uint64_t sequence = 0;
+};
+
+/// Follower → leader: begin shipping WAL records with sequence strictly
+/// above `from_sequence`. Rejected with a normal response header when the
+/// leader cannot serve (kOutOfRange: log truncated past the cursor, the
+/// follower must be re-seeded from a leader checkpoint; kInvalidArgument:
+/// replication not enabled).
+struct ReplSubscribeRequest {
+  uint64_t from_sequence = 0;
+  /// Diagnostic label shown in the leader's per-follower stats.
+  std::string follower_name;
+  /// Reserved; see QueryRequest::auth_token.
+  std::string auth_token;
+};
+
+/// Leader → follower: consecutive WAL records (leader sequence space,
+/// encoded with EncodeWalRecordBody) plus the leader's current last
+/// sequence so the follower can compute its lag.
+struct ReplBatch {
+  uint64_t leader_last_sequence = 0;
+  std::vector<WalRecord> records;
+};
+
+/// Leader → follower keep-alive carrying the current last sequence.
+struct ReplHeartbeat {
+  uint64_t leader_last_sequence = 0;
+};
+
+/// Follower → leader after each batch/heartbeat: everything at or below
+/// `applied_sequence` is persisted and applied on the follower.
+struct ReplAck {
+  uint64_t applied_sequence = 0;
+};
+
+/// Client → server: request the stats XML document.
+struct StatsRequest {
+  /// Reserved; see QueryRequest::auth_token.
+  std::string auth_token;
 };
 
 /// Appends a complete frame (length prefix + type + payload) to *dst.
@@ -87,6 +158,11 @@ std::string EncodePutRequest(const PutRequest& request);
 std::string EncodeVacuumRequest(const VacuumRequest& request);
 std::string EncodeResponseHeader(const ResponseHeader& header);
 std::string EncodeResponseEnd(uint64_t payload_bytes);
+std::string EncodeReplSubscribe(const ReplSubscribeRequest& request);
+std::string EncodeReplBatch(const ReplBatch& batch);
+std::string EncodeReplHeartbeat(const ReplHeartbeat& heartbeat);
+std::string EncodeReplAck(const ReplAck& ack);
+std::string EncodeStatsRequest(const StatsRequest& request);
 
 // ---- envelope decoding; every failure is Status kInvalidFrame ----
 
@@ -95,6 +171,11 @@ StatusOr<PutRequest> DecodePutRequest(std::string_view payload);
 StatusOr<VacuumRequest> DecodeVacuumRequest(std::string_view payload);
 StatusOr<ResponseHeader> DecodeResponseHeader(std::string_view payload);
 StatusOr<uint64_t> DecodeResponseEnd(std::string_view payload);
+StatusOr<ReplSubscribeRequest> DecodeReplSubscribe(std::string_view payload);
+StatusOr<ReplBatch> DecodeReplBatch(std::string_view payload);
+StatusOr<ReplHeartbeat> DecodeReplHeartbeat(std::string_view payload);
+StatusOr<ReplAck> DecodeReplAck(std::string_view payload);
+StatusOr<StatsRequest> DecodeStatsRequest(std::string_view payload);
 
 }  // namespace txml
 

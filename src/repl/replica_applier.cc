@@ -1,0 +1,225 @@
+#include "src/repl/replica_applier.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/macros.h"
+#include "src/xml/serializer.h"
+
+namespace txml {
+
+ReplicaApplier::ReplicaApplier(TemporalQueryService* service, Options options)
+    : service_(service), options_(options), jitter_(options.jitter_seed) {
+  {
+    MutexLock lock(mu_);
+    state_.applied_sequence = service_->applied_sequence();
+  }
+}
+
+ReplicaApplier::~ReplicaApplier() { Stop(); }
+
+Status ReplicaApplier::Start() {
+  if (options_.leader_port == 0) {
+    return Status::InvalidArgument("ReplicaApplier requires a leader port");
+  }
+  if (service_->wal_tail() == nullptr) {
+    return Status::InvalidArgument(
+        "ReplicaApplier requires a durable service (set data_dir)");
+  }
+  thread_ = std::thread(&ReplicaApplier::Run, this);
+  return Status::OK();
+}
+
+void ReplicaApplier::Stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    // Interrupts a read blocked on the leader; the session ends with an
+    // I/O error the Run loop translates into exit (stopping_ is set).
+    if (session_socket_ != nullptr) session_socket_->ShutdownBoth();
+    stop_cv_.SignalAll();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReplicaApplier::Run() {
+  int failures = 0;
+  while (!stopping_.load()) {
+    uint64_t batches_before;
+    {
+      MutexLock lock(mu_);
+      batches_before = state_.batches_applied;
+    }
+    Status session = RunSession();
+    {
+      MutexLock lock(mu_);
+      state_.connected = false;
+      // A session that shipped at least one batch made progress: the
+      // leader is healthy, so the next disconnect starts backoff fresh.
+      if (state_.batches_applied > batches_before) failures = 0;
+    }
+    if (stopping_.load()) break;
+    if (session.IsOutOfRange()) {
+      // The leader's log no longer reaches our cursor — retrying cannot
+      // help. Park; the operator re-seeds from a leader checkpoint.
+      MutexLock lock(mu_);
+      state_.fatal = true;
+      state_.last_error = session.ToString();
+      TXML_LOG_WARN("replication halted: %s", session.ToString().c_str());
+      return;
+    }
+    SetError(session);
+    BackoffSleep(failures++);
+  }
+}
+
+Status ReplicaApplier::RunSession() {
+  auto connected = Socket::Connect(options_.leader_host, options_.leader_port,
+                                   options_.connect_timeout_ms);
+  if (!connected.ok()) return connected.status();
+  Socket socket = std::move(*connected);
+  TXML_RETURN_IF_ERROR(
+      socket.SetTimeouts(options_.read_timeout_ms, options_.write_timeout_ms));
+
+  {
+    MutexLock lock(mu_);
+    if (stopping_.load()) return Status::OK();  // raced with Stop
+    session_socket_ = &socket;
+    state_.reconnects++;
+  }
+  // Whatever ends the session, stop exposing the dying socket to Stop().
+  auto session_end = [this] {
+    MutexLock lock(mu_);
+    session_socket_ = nullptr;
+  };
+
+  Status result = [&]() -> Status {
+    ReplSubscribeRequest subscribe;
+    subscribe.from_sequence = service_->applied_sequence();
+    subscribe.follower_name = options_.follower_name;
+    TXML_RETURN_IF_ERROR(WriteFrame(&socket, FrameType::kReplSubscribe,
+                                    EncodeReplSubscribe(subscribe)));
+    {
+      MutexLock lock(mu_);
+      state_.connected = true;
+      state_.last_error.clear();
+    }
+
+    while (!stopping_.load()) {
+      auto frame = ReadFrame(&socket, options_.max_frame_bytes);
+      if (!frame.ok()) return frame.status();
+      switch (frame->type) {
+        case FrameType::kReplBatch: {
+          TXML_ASSIGN_OR_RETURN(ReplBatch batch,
+                                DecodeReplBatch(frame->payload));
+          for (const WalRecord& record : batch.records) {
+            // A failure here is session-fatal: the record did not reach
+            // our WAL, so acking past it would lose it forever. Reconnect
+            // and let the leader resend from our (unadvanced) floor.
+            TXML_RETURN_IF_ERROR(service_->ApplyReplicated(record));
+          }
+          uint64_t applied = service_->applied_sequence();
+          {
+            MutexLock lock(mu_);
+            state_.applied_sequence = applied;
+            state_.leader_last_sequence = batch.leader_last_sequence;
+            state_.batches_applied++;
+          }
+          ReplAck ack;
+          ack.applied_sequence = applied;
+          TXML_RETURN_IF_ERROR(
+              WriteFrame(&socket, FrameType::kReplAck, EncodeReplAck(ack)));
+          break;
+        }
+        case FrameType::kReplHeartbeat: {
+          TXML_ASSIGN_OR_RETURN(ReplHeartbeat heartbeat,
+                                DecodeReplHeartbeat(frame->payload));
+          {
+            MutexLock lock(mu_);
+            state_.leader_last_sequence = heartbeat.leader_last_sequence;
+          }
+          ReplAck ack;
+          ack.applied_sequence = service_->applied_sequence();
+          TXML_RETURN_IF_ERROR(
+              WriteFrame(&socket, FrameType::kReplAck, EncodeReplAck(ack)));
+          break;
+        }
+        case FrameType::kResponseHeader: {
+          // The leader rejected the subscription (or aborted the stream);
+          // the payload carries the status to act on.
+          TXML_ASSIGN_OR_RETURN(ResponseHeader header,
+                                DecodeResponseHeader(frame->payload));
+          return DrainErrorResponse(&socket, header);
+        }
+        default:
+          return Status::InvalidFrame(
+              "unexpected frame type " +
+              std::to_string(static_cast<int>(frame->type)) +
+              " in replication stream");
+      }
+    }
+    return Status::OK();
+  }();
+  session_end();
+  return result;
+}
+
+Status ReplicaApplier::DrainErrorResponse(Socket* socket,
+                                          const ResponseHeader& header) {
+  while (true) {
+    auto frame = ReadFrame(socket, options_.max_frame_bytes);
+    if (!frame.ok()) break;  // the reported status matters more
+    if (frame->type == FrameType::kResponseEnd) break;
+    if (frame->type != FrameType::kResponseChunk) break;
+  }
+  if (header.status_code == StatusCode::kOk) {
+    return Status::InvalidFrame(
+        "leader sent a success response inside the replication stream");
+  }
+  return Status(header.status_code, header.error_message);
+}
+
+void ReplicaApplier::SetError(const Status& status) {
+  MutexLock lock(mu_);
+  state_.last_error = status.ToString();
+}
+
+void ReplicaApplier::BackoffSleep(int failures) {
+  int64_t base = std::max(options_.backoff_initial_ms, 1);
+  int64_t delay = base << std::min(failures, 20);
+  delay = std::min<int64_t>(delay, std::max(options_.backoff_max_ms, 1));
+  int64_t jittered =
+      jitter_.UniformRange(std::max<int64_t>(delay / 2, 1), delay);
+  MutexLock lock(mu_);
+  if (stopping_.load()) return;
+  stop_cv_.WaitFor(mu_, jittered);
+}
+
+ReplicaApplier::State ReplicaApplier::GetState() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+std::string ReplicaApplier::StatsXml() const {
+  State state = GetState();
+  std::string xml = "<applier leader=\"";
+  xml += EscapeXml(options_.leader_host + ":" +
+                   std::to_string(options_.leader_port));
+  xml += "\" connected=\"";
+  xml += state.connected ? "true" : "false";
+  xml += "\" fatal=\"";
+  xml += state.fatal ? "true" : "false";
+  xml += "\" applied-sequence=\"" + std::to_string(state.applied_sequence);
+  xml += "\" leader-last-sequence=\"" +
+         std::to_string(state.leader_last_sequence);
+  xml += "\" batches-applied=\"" + std::to_string(state.batches_applied);
+  xml += "\" reconnects=\"" + std::to_string(state.reconnects);
+  xml += "\" last-error=\"" + EscapeXml(state.last_error) + "\"/>";
+  return xml;
+}
+
+}  // namespace txml

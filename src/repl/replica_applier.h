@@ -1,0 +1,112 @@
+#ifndef TXML_SRC_REPL_REPLICA_APPLIER_H_
+#define TXML_SRC_REPL_REPLICA_APPLIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/service/service.h"
+#include "src/util/random.h"
+#include "src/util/synchronization.h"
+#include "src/util/thread_annotations.h"
+
+namespace txml {
+
+/// The follower side of WAL-shipping replication (DESIGN.md §11): a
+/// background thread that connects to the leader, subscribes from this
+/// node's own applied floor, and feeds every shipped record through
+/// TemporalQueryService::ApplyReplicated — the same idempotence-guarded
+/// path crash recovery replays through, persisting the leader's sequence
+/// numbers into the follower's local WAL (so the resume cursor survives a
+/// follower restart with no extra state file).
+///
+/// Disconnects and leader restarts are retried forever with jittered
+/// exponential backoff. The one unrecoverable answer is the leader's
+/// kOutOfRange (our cursor predates its log — its checkpoint moved past
+/// us while we were down): the applier parks in the `fatal` state and
+/// stops retrying; the operator re-seeds the follower's data_dir from a
+/// leader checkpoint.
+class ReplicaApplier {
+ public:
+  struct Options {
+    std::string leader_host = "127.0.0.1";
+    uint16_t leader_port = 0;
+    /// Reported to the leader; shows up in its stats document.
+    std::string follower_name;
+    int connect_timeout_ms = 5000;
+    /// Must exceed the leader's heartbeat interval — between batches the
+    /// stream is silent for up to that long by design.
+    int read_timeout_ms = 30000;
+    int write_timeout_ms = 30000;
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Reconnect backoff: uniform in [d/2, d], d doubling from initial to
+    /// max per consecutive failure.
+    int backoff_initial_ms = 100;
+    int backoff_max_ms = 5000;
+    /// 0 = fixed default seed (deterministic tests).
+    uint64_t jitter_seed = 0;
+  };
+
+  /// Point-in-time view of the replication session.
+  struct State {
+    bool connected = false;
+    /// Set on kOutOfRange from the leader; the thread has given up.
+    bool fatal = false;
+    std::string last_error;
+    uint64_t applied_sequence = 0;
+    /// The leader's last committed sequence as of the newest batch or
+    /// heartbeat — applied_sequence trails it by the current lag.
+    uint64_t leader_last_sequence = 0;
+    uint64_t batches_applied = 0;
+    uint64_t reconnects = 0;
+  };
+
+  /// The service must outlive the applier and be durable.
+  ReplicaApplier(TemporalQueryService* service, Options options);
+  ~ReplicaApplier();
+
+  ReplicaApplier(const ReplicaApplier&) = delete;
+  ReplicaApplier& operator=(const ReplicaApplier&) = delete;
+
+  /// Validates options and spawns the replication thread.
+  Status Start();
+
+  /// Stops the thread (interrupting a blocked read) and joins it.
+  /// Idempotent; also run by the destructor.
+  void Stop() EXCLUDES(mu_);
+
+  State GetState() const EXCLUDES(mu_);
+
+  /// `<applier …/>` fragment for the follower server's stats document.
+  std::string StatsXml() const EXCLUDES(mu_);
+
+ private:
+  void Run() EXCLUDES(mu_);
+  /// One connect → subscribe → stream session; returns why it ended.
+  Status RunSession() EXCLUDES(mu_);
+  /// Reads the remainder of an error response (chunks + end) and returns
+  /// the status the leader reported.
+  Status DrainErrorResponse(Socket* socket, const ResponseHeader& header);
+  void SetError(const Status& status) EXCLUDES(mu_);
+  void BackoffSleep(int failures);
+
+  TemporalQueryService* service_;
+  Options options_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+  Random jitter_;
+
+  mutable Mutex mu_;
+  /// Wakes a backoff sleep when Stop() is called mid-wait.
+  CondVar stop_cv_;
+  /// The live session's socket, so Stop() can interrupt a blocked read.
+  Socket* session_socket_ GUARDED_BY(mu_) = nullptr;
+  State state_ GUARDED_BY(mu_);
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_REPL_REPLICA_APPLIER_H_

@@ -1,0 +1,96 @@
+#include "src/repl/routing_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/macros.h"
+
+namespace txml {
+
+RoutingClient::RoutingClient(Endpoint leader, std::vector<Endpoint> followers,
+                             ClientOptions options)
+    : leader_(std::move(leader)),
+      followers_(std::move(followers)),
+      options_(options),
+      clients_(1 + followers_.size()) {}
+
+StatusOr<TxmlClient*> RoutingClient::ClientFor(size_t index) {
+  std::optional<TxmlClient>& slot = clients_[index];
+  if (slot.has_value() && slot->connected()) return &*slot;
+  const Endpoint& endpoint = index == 0 ? leader_ : followers_[index - 1];
+  TXML_ASSIGN_OR_RETURN(
+      TxmlClient client,
+      TxmlClient::Connect(endpoint.host, endpoint.port, options_));
+  slot.emplace(std::move(client));
+  return &*slot;
+}
+
+template <typename Fn>
+StatusOr<QueryResponse> RoutingClient::TryEndpoint(size_t index, Fn send) {
+  auto client = ClientFor(index);
+  if (!client.ok()) return client.status();
+  StatusOr<QueryResponse> response = send(*client);
+  if (!response.ok() && !(*client)->connected()) {
+    // The attempt killed the connection; forget it so the next use of
+    // this endpoint reconnects instead of failing on a dead socket.
+    clients_[index].reset();
+  }
+  return response;
+}
+
+StatusOr<QueryResponse> RoutingClient::Execute(QueryRequest request) {
+  request.min_sequence = std::max(request.min_sequence, last_write_sequence_);
+  // One pass over the followers starting at the round-robin cursor, the
+  // leader as the final fallback. Worth rerouting: a connect failure, the
+  // follower shedding load or lagging past the wait deadline
+  // (kUnavailable), or a stopped follower. A query-level failure (parse
+  // error, not found) is the caller's answer — every endpoint would say
+  // the same thing.
+  Status last_error = Status::OK();
+  for (size_t attempt = 0; attempt < followers_.size(); ++attempt) {
+    size_t follower = next_follower_;
+    next_follower_ = (next_follower_ + 1) % followers_.size();
+    StatusOr<QueryResponse> response = TryEndpoint(
+        1 + follower, [&](TxmlClient* client) { return client->Execute(request); });
+    if (response.ok() || !response.status().IsUnavailable()) return response;
+    last_error = response.status();
+  }
+  StatusOr<QueryResponse> response = TryEndpoint(
+      0, [&](TxmlClient* client) { return client->Execute(request); });
+  if (!response.ok() && !last_error.ok() &&
+      response.status().IsUnavailable()) {
+    // Every endpoint was down; the follower error usually says more
+    // ("replica lag…") than the leader connect failure.
+    return last_error;
+  }
+  return response;
+}
+
+StatusOr<QueryResponse> RoutingClient::Execute(const PutRequest& request) {
+  StatusOr<QueryResponse> response = TryEndpoint(
+      0, [&](TxmlClient* client) { return client->Execute(request); });
+  if (response.ok()) {
+    last_write_sequence_ = std::max(last_write_sequence_, response->sequence);
+  }
+  return response;
+}
+
+StatusOr<QueryResponse> RoutingClient::Execute(const VacuumRequest& request) {
+  StatusOr<QueryResponse> response = TryEndpoint(
+      0, [&](TxmlClient* client) { return client->Execute(request); });
+  if (response.ok()) {
+    last_write_sequence_ = std::max(last_write_sequence_, response->sequence);
+  }
+  return response;
+}
+
+StatusOr<QueryResponse> RoutingClient::Stats(size_t endpoint_index) {
+  if (endpoint_index >= clients_.size()) {
+    return Status::InvalidArgument("no such endpoint index " +
+                                   std::to_string(endpoint_index));
+  }
+  return TryEndpoint(endpoint_index,
+                     [&](TxmlClient* client) { return client->Stats(); });
+}
+
+}  // namespace txml

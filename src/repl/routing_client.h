@@ -1,0 +1,78 @@
+#ifndef TXML_SRC_REPL_ROUTING_CLIENT_H_
+#define TXML_SRC_REPL_ROUTING_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+
+namespace txml {
+
+/// A leader/followers-aware client: writes go to the leader, reads fan
+/// out round-robin across the followers, and read-your-writes holds by
+/// construction — every write remembers its commit sequence from the
+/// response header, and every read carries that floor as
+/// QueryRequest.min_sequence, so a follower either waits until it has
+/// applied the write or answers kUnavailable ("replica lag"), which
+/// reroutes the read.
+///
+/// Failover order for a read: the chosen follower, then each remaining
+/// follower, then the leader (which always passes the min_sequence wait
+/// trivially). Writes only ever target the configured leader — if that
+/// endpoint answers the typed kReadOnly, the error (naming the real
+/// leader) surfaces to the caller, who is holding a misconfiguration.
+/// Connections are opened lazily and dropped on failure; the next use
+/// reconnects.
+///
+/// Not thread-safe, mirroring TxmlClient: one RoutingClient per thread.
+class RoutingClient {
+ public:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  /// No followers is fine — everything routes to the leader.
+  RoutingClient(Endpoint leader, std::vector<Endpoint> followers,
+                ClientOptions options = {});
+
+  /// Executes a read, pinned at least at this client's own write floor.
+  /// A caller-provided request.min_sequence higher than the floor is
+  /// kept (cross-client read-your-writes via an exported token).
+  StatusOr<QueryResponse> Execute(QueryRequest request);
+
+  /// Executes a write on the leader and advances the write floor.
+  StatusOr<QueryResponse> Execute(const PutRequest& request);
+  StatusOr<QueryResponse> Execute(const VacuumRequest& request);
+
+  /// Stats of one endpoint: 0 = leader, 1.. = followers[i - 1].
+  StatusOr<QueryResponse> Stats(size_t endpoint_index);
+
+  /// The newest commit sequence this client has written (the token to
+  /// hand to another client for cross-session read-your-writes).
+  uint64_t last_write_sequence() const { return last_write_sequence_; }
+
+  size_t follower_count() const { return followers_.size(); }
+
+ private:
+  /// The lazily-connected client for endpoint `index` (0 = leader).
+  StatusOr<TxmlClient*> ClientFor(size_t index);
+  /// Runs `send` against endpoint `index`, dropping the cached
+  /// connection when the attempt says the endpoint is unusable.
+  template <typename Fn>
+  StatusOr<QueryResponse> TryEndpoint(size_t index, Fn send);
+
+  Endpoint leader_;
+  std::vector<Endpoint> followers_;
+  ClientOptions options_;
+  /// clients_[0] is the leader; [i + 1] is followers_[i].
+  std::vector<std::optional<TxmlClient>> clients_;
+  size_t next_follower_ = 0;
+  uint64_t last_write_sequence_ = 0;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_REPL_ROUTING_CLIENT_H_

@@ -1,0 +1,167 @@
+#include "src/repl/wal_shipper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/xml/serializer.h"
+
+namespace txml {
+namespace {
+
+/// Reports a shipping-level failure to the follower as a normal response
+/// (header + end), the same shape the server uses for request errors, so
+/// the applier's frame loop can decode one vocabulary. Best-effort: the
+/// connection is closing either way.
+void SendError(Socket* socket, const Status& status) {
+  ResponseHeader header;
+  header.status_code = status.code();
+  header.error_message = status.message();
+  if (!WriteFrame(socket, FrameType::kResponseHeader,
+                  EncodeResponseHeader(header))
+           .ok()) {
+    return;
+  }
+  (void)WriteFrame(socket, FrameType::kResponseEnd, EncodeResponseEnd(0));
+}
+
+}  // namespace
+
+WalShipper::WalShipper(TemporalQueryService* service, Options options)
+    : service_(service), options_(options) {}
+
+void WalShipper::Serve(Socket* socket, const ReplSubscribeRequest& subscribe) {
+  WalTailBuffer* tail = service_->wal_tail();
+  if (tail == nullptr) {
+    SendError(socket, Status::InvalidArgument(
+                          "replication requires a durable leader (no WAL)"));
+    return;
+  }
+
+  uint64_t slot;
+  {
+    MutexLock lock(mu_);
+    slot = next_slot_++;
+    FollowerState& state = followers_[slot];
+    state.name = subscribe.follower_name.empty() ? "follower-" +
+                                                       std::to_string(slot)
+                                                 : subscribe.follower_name;
+    state.connected = true;
+    state.acked_sequence = subscribe.from_sequence;
+  }
+
+  uint64_t cursor = subscribe.from_sequence;
+  bool alive = true;
+  while (alive && !stopping_.load()) {
+    WalTailBuffer::ReadResult read =
+        tail->ReadAfter(cursor, options_.batch_max_records,
+                        options_.batch_max_bytes, options_.heartbeat_interval_ms);
+    if (read.below_floor) {
+      // The tail evicted records past the cursor: catch up from the
+      // on-disk log, then loop back to the tail. Replay reads a
+      // point-in-time prefix of the file; a torn tail from an append in
+      // flight is dropped by its CRC scan and re-read next round. A
+      // checkpoint truncation swaps the file atomically, so we see either
+      // the old log or the new stub — whose base_sequence tells us
+      // whether the cursor is still reachable.
+      auto replay = WriteAheadLog::Replay(service_->wal()->path());
+      if (!replay.ok()) {
+        SendError(socket, replay.status());
+        break;
+      }
+      if (cursor < replay->base_sequence) {
+        SendError(socket,
+                  Status::OutOfRange(
+                      "follower cursor " + std::to_string(cursor) +
+                      " predates the leader log (base " +
+                      std::to_string(replay->base_sequence) +
+                      "); re-seed the follower from a leader checkpoint"));
+        break;
+      }
+      size_t i = 0;
+      while (alive && i < replay->records.size() && !stopping_.load()) {
+        ReplBatch batch;
+        uint64_t bytes = 0;
+        while (i < replay->records.size() &&
+               batch.records.size() < options_.batch_max_records &&
+               bytes < options_.batch_max_bytes) {
+          const WalRecord& record = replay->records[i++];
+          if (record.sequence <= cursor) continue;
+          bytes += 32 + record.url.size() + record.payload.size();
+          batch.records.push_back(record);
+        }
+        if (batch.records.empty()) break;
+        alive = ShipBatch(socket, slot, std::move(batch), &cursor);
+      }
+      continue;
+    }
+    if (read.records.empty()) {
+      // Tail-read timeout (leader idle) or buffer closed: probe the
+      // follower so a dead connection is noticed and its lag refreshed.
+      ReplHeartbeat heartbeat;
+      heartbeat.leader_last_sequence = service_->applied_sequence();
+      alive = WriteFrame(socket, FrameType::kReplHeartbeat,
+                         EncodeReplHeartbeat(heartbeat))
+                  .ok() &&
+              ReadAck(socket, slot);
+      continue;
+    }
+    ReplBatch batch;
+    batch.records = std::move(read.records);
+    alive = ShipBatch(socket, slot, std::move(batch), &cursor);
+  }
+
+  MutexLock lock(mu_);
+  followers_[slot].connected = false;
+}
+
+bool WalShipper::ShipBatch(Socket* socket, uint64_t slot, ReplBatch batch,
+                           uint64_t* cursor) {
+  batch.leader_last_sequence = service_->applied_sequence();
+  uint64_t last = batch.records.back().sequence;
+  if (!WriteFrame(socket, FrameType::kReplBatch, EncodeReplBatch(batch)).ok()) {
+    return false;
+  }
+  if (!ReadAck(socket, slot)) return false;
+  *cursor = last;
+  MutexLock lock(mu_);
+  followers_[slot].batches_sent++;
+  return true;
+}
+
+bool WalShipper::ReadAck(Socket* socket, uint64_t slot) {
+  auto frame = ReadFrame(socket, kDefaultMaxFrameBytes);
+  if (!frame.ok() || frame->type != FrameType::kReplAck) return false;
+  auto ack = DecodeReplAck(frame->payload);
+  if (!ack.ok()) return false;
+  uint64_t leader_last = service_->applied_sequence();
+  MutexLock lock(mu_);
+  FollowerState& state = followers_[slot];
+  state.acked_sequence = std::max(state.acked_sequence, ack->applied_sequence);
+  state.lag = leader_last > state.acked_sequence
+                  ? leader_last - state.acked_sequence
+                  : 0;
+  return true;
+}
+
+std::vector<WalShipper::FollowerState> WalShipper::Followers() const {
+  MutexLock lock(mu_);
+  std::vector<FollowerState> result;
+  result.reserve(followers_.size());
+  for (const auto& [slot, state] : followers_) result.push_back(state);
+  return result;
+}
+
+std::string WalShipper::StatsXml() const {
+  std::string xml = "<followers>";
+  for (const FollowerState& state : Followers()) {
+    xml += "<follower name=\"" + EscapeXml(state.name) + "\" connected=\"" +
+           (state.connected ? "true" : "false") + "\" acked-sequence=\"" +
+           std::to_string(state.acked_sequence) + "\" lag=\"" +
+           std::to_string(state.lag) + "\" batches-sent=\"" +
+           std::to_string(state.batches_sent) + "\"/>";
+  }
+  xml += "</followers>";
+  return xml;
+}
+
+}  // namespace txml

@@ -1,0 +1,96 @@
+#ifndef TXML_SRC_REPL_WAL_SHIPPER_H_
+#define TXML_SRC_REPL_WAL_SHIPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/service/service.h"
+#include "src/util/synchronization.h"
+#include "src/util/thread_annotations.h"
+
+namespace txml {
+
+/// The leader side of WAL-shipping replication (DESIGN.md §11): serves
+/// each subscribed follower the commit stream, first catching it up from
+/// the on-disk WAL (records the live tail already evicted), then
+/// following the in-memory commit tail, interleaving heartbeats when the
+/// leader is idle. One Serve() call runs one follower's whole shipping
+/// conversation on the server's connection-handler thread — the shipper
+/// itself owns no threads.
+///
+/// Wiring: the server main installs `ServerOptions.repl_handler =
+/// [&](socket, sub) { shipper.Serve(socket, sub); }` so src/net never
+/// depends on this layer.
+class WalShipper {
+ public:
+  struct Options {
+    /// Batch budget per kReplBatch frame (also the tail-read budget).
+    uint64_t batch_max_records = 512;
+    uint64_t batch_max_bytes = 2u << 20;
+    /// Idle interval after which a heartbeat probes the follower (and
+    /// refreshes its lag figure).
+    int64_t heartbeat_interval_ms = 500;
+  };
+
+  /// Point-in-time view of one follower's shipping state.
+  struct FollowerState {
+    std::string name;
+    bool connected = false;
+    /// Highest sequence the follower acknowledged as persisted + applied.
+    uint64_t acked_sequence = 0;
+    /// leader last_committed_sequence - acked_sequence at the last ack.
+    uint64_t lag = 0;
+    uint64_t batches_sent = 0;
+  };
+
+  /// The service must outlive the shipper and be durable (have a WAL);
+  /// Serve() rejects subscribers otherwise.
+  WalShipper(TemporalQueryService* service, Options options);
+  explicit WalShipper(TemporalQueryService* service)
+      : WalShipper(service, Options()) {}
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  /// Runs the shipping conversation for one subscriber until the follower
+  /// disconnects, a socket error occurs, or Stop() is called. Errors the
+  /// follower can act on (kOutOfRange: its cursor predates the log — it
+  /// needs a checkpoint re-seed) are reported as a normal response header
+  /// before closing.
+  void Serve(Socket* socket, const ReplSubscribeRequest& subscribe)
+      EXCLUDES(mu_);
+
+  /// Makes every Serve() loop exit within one heartbeat interval (checked
+  /// each tail read). Idempotent.
+  void Stop() { stopping_.store(true); }
+
+  std::vector<FollowerState> Followers() const EXCLUDES(mu_);
+
+  /// `<followers>…</followers>` fragment for the server's stats document.
+  std::string StatsXml() const EXCLUDES(mu_);
+
+ private:
+  /// Sends one batch and waits for the follower's ack; false ends Serve.
+  bool ShipBatch(Socket* socket, uint64_t slot, ReplBatch batch,
+                 uint64_t* cursor) EXCLUDES(mu_);
+  bool ReadAck(Socket* socket, uint64_t slot) EXCLUDES(mu_);
+
+  TemporalQueryService* service_;
+  Options options_;
+  std::atomic<bool> stopping_{false};
+
+  mutable Mutex mu_;
+  /// Live and past follower slots (kept after disconnect so stats show
+  /// the last known lag; keyed by a monotonically assigned slot id).
+  std::unordered_map<uint64_t, FollowerState> followers_ GUARDED_BY(mu_);
+  uint64_t next_slot_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_REPL_WAL_SHIPPER_H_

@@ -14,7 +14,12 @@ namespace txml {
 /// or its meaning changes; the wire layer (src/net/wire.h) transmits it in
 /// every request and response header, and a server rejects envelopes newer
 /// than it understands rather than misparse them.
-inline constexpr uint32_t kEnvelopeVersion = 1;
+///
+/// v2 (replication): requests gained the reserved `auth_token` field and
+/// queries the `min_sequence` read-your-writes token; responses gained the
+/// commit/applied `sequence`. v1 envelopes remain decodable (the new
+/// fields default to empty/zero).
+inline constexpr uint32_t kEnvelopeVersion = 2;
 
 /// A read request against the service: one textual query of the Section-5
 /// dialect, executed at the current commit epoch. This is the single entry
@@ -25,6 +30,15 @@ struct QueryRequest {
   std::string query_text;
   /// Serialize the result document with indentation (pretty) or compact.
   bool pretty = true;
+  /// Read-your-writes token: when > 0, execution waits (bounded) until the
+  /// service has applied at least this commit sequence, and fails
+  /// kUnavailable if it cannot — the caller then retries elsewhere (e.g.
+  /// redirects the read to the leader). 0 = read whatever is current.
+  uint64_t min_sequence = 0;
+  /// Reserved for authentication (ROADMAP: TLS/auth). Servers accept the
+  /// empty token and reject any other value until auth ships; carrying the
+  /// field now keeps that change from being a wire break.
+  std::string auth_token;
 };
 
 /// A write request: store a new version of the document at `url`. When
@@ -35,6 +49,8 @@ struct PutRequest {
   std::string url;
   std::string xml_text;
   std::optional<Timestamp> timestamp;
+  /// Reserved; see QueryRequest::auth_token.
+  std::string auth_token;
 };
 
 /// An admin request: vacuum every document's history per the retention
@@ -50,6 +66,8 @@ struct VacuumRequest {
   std::optional<Timestamp> coarsen_older_than;
   /// The k of coarsening; ignored unless coarsen_older_than is set.
   uint32_t keep_every = 8;
+  /// Reserved; see QueryRequest::auth_token.
+  std::string auth_token;
 };
 
 /// What every request produces on success. For queries, `payload` is the
@@ -61,6 +79,12 @@ struct QueryResponse {
   std::string payload;
   /// Counters of this execution (zeroed for writes).
   ExecStats stats;
+  /// The consistency token: for a write, the WAL sequence of this commit;
+  /// for a read, the sequence the service had applied when it answered.
+  /// A client presents it as QueryRequest::min_sequence to make any later
+  /// read observe this write (read-your-writes across replicas). 0 on
+  /// in-memory services, which have no sequence space.
+  uint64_t sequence = 0;
 };
 
 }  // namespace txml

@@ -1,6 +1,7 @@
 #include "src/service/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/service/session.h"
@@ -24,6 +25,10 @@ Status ValidateServiceOptions(const ServiceOptions& options) {
       options.durability.wal.sync_every_n == 0) {
     return Status::InvalidArgument(
         "DurabilityOptions.wal.sync_every_n must be > 0 in every_n mode");
+  }
+  if (options.read_wait_timeout_ms < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions.read_wait_timeout_ms must be >= 0");
   }
   return Status::OK();
 }
@@ -142,6 +147,17 @@ TemporalQueryService::CreateDurable(ServiceOptions options) {
   service->wal_ = std::move(wal);
   service->recovered_records_ = applied;
   service->recovery_tail_dropped_ = replay.tail_dropped;
+  // Replication plumbing: the live tail starts empty, with everything up
+  // to the recovered sequence declared disk-resident; the read-your-writes
+  // floor starts at the recovered sequence (those commits are applied).
+  service->tail_ = std::make_unique<WalTailBuffer>();
+  {
+    ReaderLock lock(service->commit_mu_);
+    service->tail_->SetFloor(service->wal_->last_sequence());
+    service->PublishSequence(service->wal_->last_sequence());
+  }
+  service->last_checkpoint_sequence_.store(covered_sequence,
+                                           std::memory_order_relaxed);
 
   // 5. Fold the replayed suffix into a fresh checkpoint so the next crash
   //    replays nothing twice. Best-effort: on failure the WAL still holds
@@ -178,6 +194,10 @@ TemporalQueryService::TemporalQueryService(
 }
 
 TemporalQueryService::~TemporalQueryService() {
+  // Wake any replication shipper blocked on the live tail before the
+  // service goes away; the shipper's owner must have stopped it already,
+  // this just guarantees no blocked ReadAfter outlives the buffer fill.
+  if (tail_ != nullptr) tail_->Close();
   // ThreadPool's destructor (first in destruction order) drains pending
   // tasks while db_/cache_ are still alive.
 }
@@ -202,26 +222,43 @@ StatusOr<XmlDocument> TemporalQueryService::ExecuteQuery(
 
 StatusOr<QueryResponse> TemporalQueryService::Execute(
     const QueryRequest& request) {
+  if (request.min_sequence > 0 &&
+      !WaitForSequence(request.min_sequence, options_.read_wait_timeout_ms)) {
+    // Typed as retriable: the routing client falls back to another
+    // replica (ultimately the leader, which by construction has the
+    // commit the token names).
+    return Status::Unavailable(
+        "replica lag: commit sequence " +
+        std::to_string(request.min_sequence) + " not yet applied (at " +
+        std::to_string(applied_sequence()) + ")");
+  }
   QueryResponse response;
   TXML_ASSIGN_OR_RETURN(XmlDocument results,
                         ExecuteQuery(request.query_text, &response.stats));
   SerializeOptions serialize_options;
   serialize_options.pretty = request.pretty;
   response.payload = SerializeXml(*results.root(), serialize_options);
+  response.sequence = applied_sequence();
   return response;
 }
 
 StatusOr<QueryResponse> TemporalQueryService::Execute(
     const PutRequest& request) {
-  TXML_ASSIGN_OR_RETURN(
-      PutResult result,
-      request.timestamp.has_value()
-          ? PutAt(request.url, request.xml_text, *request.timestamp)
-          : Put(request.url, request.xml_text));
+  uint64_t sequence = 0;
+  auto result = [&]() -> StatusOr<PutResult> {
+    WriterLock lock(commit_mu_);
+    // Draw the commit timestamp under the lock so the WAL record and the
+    // database write agree on it (see Put/PutAt).
+    Timestamp ts = request.timestamp.has_value() ? *request.timestamp
+                                                 : db_->clock()->Next();
+    return PutLocked(request.url, request.xml_text, ts, &sequence);
+  }();
+  if (!result.ok()) return result.status();
   QueryResponse response;
   response.payload = "<put-result url=\"" + EscapeXml(request.url) +
-                     "\" version=\"" + std::to_string(result.version) +
-                     "\" commit=\"" + result.commit_ts.ToString() + "\"/>";
+                     "\" version=\"" + std::to_string(result->version) +
+                     "\" commit=\"" + result->commit_ts.ToString() + "\"/>";
+  response.sequence = sequence;
   return response;
 }
 
@@ -260,10 +297,10 @@ StatusOr<VacuumStats> TemporalQueryService::Vacuum(
   WalRecord record;
   record.type = WalRecordType::kVacuum;
   record.policy = policy;
-  Status logged = LogCommitLocked(record);
+  auto logged = LogCommitLocked(record);
   if (!logged.ok()) {
     writes_failed_.fetch_add(1, std::memory_order_relaxed);
-    return logged;
+    return logged.status();
   }
   auto stats = db_->Vacuum(policy);
   if (stats.ok()) {
@@ -323,17 +360,19 @@ StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutAt(
 }
 
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutLocked(
-    const std::string& url, std::string_view xml_text, Timestamp ts) {
+    const std::string& url, std::string_view xml_text, Timestamp ts,
+    uint64_t* sequence) {
   WalRecord record;
   record.type = WalRecordType::kPut;
   record.ts = ts;
   record.url = url;
   record.payload = std::string(xml_text);
-  Status logged = LogCommitLocked(record);
+  auto logged = LogCommitLocked(record);
   if (!logged.ok()) {
     writes_failed_.fetch_add(1, std::memory_order_relaxed);
-    return logged;
+    return logged.status();
   }
+  if (sequence != nullptr) *sequence = *logged;
   auto result = db_->PutDocumentAt(url, xml_text, ts);
   (result.ok() ? writes_committed_ : writes_failed_)
       .fetch_add(1, std::memory_order_relaxed);
@@ -353,10 +392,10 @@ Status TemporalQueryService::Delete(const std::string& url) {
     record.type = WalRecordType::kDelete;
     record.ts = ts;
     record.url = url;
-    Status logged = LogCommitLocked(record);
+    auto logged = LogCommitLocked(record);
     if (!logged.ok()) {
       writes_failed_.fetch_add(1, std::memory_order_relaxed);
-      return logged;
+      return logged.status();
     }
   }
   Status status = db_->DeleteDocumentAt(url, ts);
@@ -366,11 +405,93 @@ Status TemporalQueryService::Delete(const std::string& url) {
   return status;
 }
 
-Status TemporalQueryService::LogCommitLocked(const WalRecord& record) {
-  if (wal_ == nullptr) return Status::OK();
+StatusOr<uint64_t> TemporalQueryService::LogCommitLocked(
+    const WalRecord& record) {
+  if (wal_ == nullptr) return 0;
   auto sequence = wal_->Append(record);
   if (!sequence.ok()) return sequence.status();
   wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
+  if (tail_ != nullptr) {
+    // Feed the live replication tail with the exact record the WAL holds
+    // (same sequence, same fields) so shippers serve identical bytes
+    // whether they read the ring or fall back to the file.
+    WalRecord shipped = record;
+    shipped.sequence = *sequence;
+    tail_->Push(shipped);
+  }
+  // Published before the database write lands: safe, because any reader
+  // the publication releases still queues behind this exclusive commit
+  // lock, and replicas replay the same record stream either way.
+  PublishSequence(*sequence);
+  return *sequence;
+}
+
+void TemporalQueryService::PublishSequence(uint64_t sequence) const {
+  MutexLock lock(seq_mu_);
+  if (sequence > last_committed_sequence_.load(std::memory_order_relaxed)) {
+    last_committed_sequence_.store(sequence, std::memory_order_release);
+  }
+  seq_cv_.SignalAll();
+}
+
+uint64_t TemporalQueryService::applied_sequence() const {
+  return last_committed_sequence_.load(std::memory_order_acquire);
+}
+
+bool TemporalQueryService::WaitForSequence(uint64_t min_sequence,
+                                           int64_t timeout_ms) const {
+  if (applied_sequence() >= min_sequence) return true;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(seq_mu_);
+  while (last_committed_sequence_.load(std::memory_order_acquire) <
+         min_sequence) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return false;
+    seq_cv_.WaitFor(seq_mu_, remaining.count());
+  }
+  return true;
+}
+
+Status TemporalQueryService::ApplyReplicated(const WalRecord& record) {
+  WriterLock lock(commit_mu_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "replication requires a durable service (no data_dir configured)");
+  }
+  if (record.sequence <= wal_->last_sequence()) {
+    // Duplicate delivery (the leader resent after a reconnect): the record
+    // is already persisted and applied; just refresh the published floor.
+    PublishSequence(wal_->last_sequence());
+    return Status::OK();
+  }
+  // Persist first — an acked sequence must survive a follower crash. Any
+  // failure is returned *without* publishing, and the applier tears the
+  // session down rather than advance past an unpersisted record.
+  auto appended = wal_->AppendReplicated(record);
+  if (!appended.ok()) return appended.status();
+  wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
+  // Apply through the same guarded path recovery uses. A semantic failure
+  // reproduces a commit that failed identically on the leader (doomed
+  // records are logged there before the database write) — skip and move
+  // on, exactly as recovery does.
+  Status applied = ApplyWalRecord(db_.get(), record);
+  if (applied.ok()) {
+    replicated_records_applied_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    replicated_records_skipped_.fetch_add(1, std::memory_order_relaxed);
+    TXML_LOG_WARN("replication: skipping record %llu: %s",
+                  static_cast<unsigned long long>(record.sequence),
+                  applied.ToString().c_str());
+  }
+  PublishSequence(record.sequence);
+  if (record.type == WalRecordType::kVacuum && applied.ok()) {
+    // Mirror the leader's forced checkpoint after a vacuum (see Vacuum).
+    (void)CheckpointLocked();
+  } else {
+    MaybeCheckpointLocked();
+  }
   return Status::OK();
 }
 
@@ -397,6 +518,9 @@ Status TemporalQueryService::CheckpointLocked() {
   }();
   (status.ok() ? checkpoints_completed_ : checkpoints_failed_)
       .fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) {
+    last_checkpoint_sequence_.store(covered, std::memory_order_relaxed);
+  }
   return status;
 }
 
@@ -473,6 +597,13 @@ ServiceStats TemporalQueryService::Stats() const {
     stats.durability.wal_last_sequence = wal_->last_sequence();
     stats.durability.wal_bytes = wal_->file_bytes();
   }
+  stats.replication.last_committed_sequence = applied_sequence();
+  stats.replication.last_checkpoint_sequence =
+      last_checkpoint_sequence_.load(std::memory_order_relaxed);
+  stats.replication.replicated_records_applied =
+      replicated_records_applied_.load(std::memory_order_relaxed);
+  stats.replication.replicated_records_skipped =
+      replicated_records_skipped_.load(std::memory_order_relaxed);
   return stats;
 }
 

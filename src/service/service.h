@@ -14,6 +14,7 @@
 #include "src/service/stats.h"
 #include "src/service/thread_pool.h"
 #include "src/storage/wal.h"
+#include "src/storage/wal_tail.h"
 #include "src/util/statusor.h"
 #include "src/util/synchronization.h"
 #include "src/util/timestamp.h"
@@ -59,6 +60,10 @@ struct ServiceOptions {
   /// Create(ServiceOptions) — the database-adopting factory refuses a
   /// data_dir rather than guess how the adopted state relates to disk.
   DurabilityOptions durability;
+  /// How long a read presenting a min_sequence token waits for the commit
+  /// to arrive before failing kUnavailable ("replica lag") — the bound on
+  /// read-your-writes blocking on a lagging follower.
+  int64_t read_wait_timeout_ms = 5000;
 };
 
 /// Checks an options struct for values that would be undefined behavior
@@ -171,6 +176,31 @@ class TemporalQueryService {
   StatusOr<XmlDocument> Snapshot(const std::string& url, Timestamp t)
       EXCLUDES(commit_mu_);
 
+  // ---- replication (DESIGN.md §11) ----
+
+  /// Follower entry point: persists a record shipped from the leader into
+  /// the local WAL *preserving the leader's sequence*, applies it through
+  /// the same idempotence-guarded replay as crash recovery, and publishes
+  /// the sequence for read-your-writes waiters. A duplicate (sequence
+  /// already persisted — the leader resent after a reconnect) is OK
+  /// without re-applying. An I/O failure is returned without publishing;
+  /// the applier must treat it as session-fatal and reconnect rather than
+  /// advance past an unpersisted record. Durable services only.
+  Status ApplyReplicated(const WalRecord& record) EXCLUDES(commit_mu_);
+
+  /// Newest commit sequence this node has durably accepted (leader:
+  /// appended; follower: replicated). 0 on in-memory services.
+  uint64_t applied_sequence() const;
+
+  /// Blocks until applied_sequence() >= min_sequence or the timeout
+  /// elapses; returns whether the floor was reached. The read-your-writes
+  /// wait (Execute consults it when a request carries a token).
+  bool WaitForSequence(uint64_t min_sequence, int64_t timeout_ms) const;
+
+  /// The live commit tail the replication shipper reads (DESIGN.md §11).
+  /// Null for an in-memory service.
+  WalTailBuffer* wal_tail() const { return tail_.get(); }
+
   /// Durable services only: checkpoints the database into data_dir
   /// (atomic store + index save, then the covered-sequence stamp) and
   /// truncates the WAL. Takes the exclusive commit lock; writes started
@@ -225,12 +255,19 @@ class TemporalQueryService {
   /// (compile-checked: REQUIRES makes an unlocked call a build error in
   /// the analyze configuration).
   StatusOr<PutResult> PutLocked(const std::string& url,
-                                std::string_view xml_text, Timestamp ts)
+                                std::string_view xml_text, Timestamp ts,
+                                uint64_t* sequence = nullptr)
       REQUIRES(commit_mu_);
-  /// Appends one commit record (no-op in-memory). A failure here must
-  /// abort the commit — the write would be unrecoverable. Must hold the
-  /// exclusive commit lock while logging (the WAL's precondition).
-  Status LogCommitLocked(const WalRecord& record) REQUIRES(commit_mu_);
+  /// Appends one commit record (no-op in-memory, returning sequence 0). A
+  /// failure here must abort the commit — the write would be
+  /// unrecoverable. On success the record is also pushed onto the live
+  /// tail and its sequence published to read-your-writes waiters. Must
+  /// hold the exclusive commit lock while logging (the WAL's
+  /// precondition).
+  StatusOr<uint64_t> LogCommitLocked(const WalRecord& record)
+      REQUIRES(commit_mu_);
+  /// Advances the published commit floor and wakes WaitForSequence.
+  void PublishSequence(uint64_t sequence) const;
   Status CheckpointLocked() REQUIRES(commit_mu_);
   void MaybeCheckpointLocked() REQUIRES(commit_mu_);
 
@@ -260,6 +297,22 @@ class TemporalQueryService {
   /// under the shared side.
   std::unique_ptr<WriteAheadLog> wal_ PT_GUARDED_BY(commit_mu_);
   std::string data_dir_;
+  /// Live commit tail for replication shippers; null when in-memory.
+  /// Internally synchronized (its own mutex) — shipper threads read it
+  /// without the commit lock.
+  std::unique_ptr<WalTailBuffer> tail_;
+
+  /// Read-your-writes publication. The atomic is the fast-path gauge;
+  /// the mutex/condvar pair exists only for the bounded wait protocol
+  /// (stores happen under seq_mu_ so waiters cannot miss a wakeup).
+  mutable Mutex seq_mu_;
+  mutable CondVar seq_cv_;
+  /// mutable: PublishSequence is const so duplicate-delivery refreshes can
+  /// run from const contexts; it only ever moves the floor forward.
+  mutable std::atomic<uint64_t> last_committed_sequence_{0};
+  std::atomic<uint64_t> last_checkpoint_sequence_{0};
+  std::atomic<uint64_t> replicated_records_applied_{0};
+  std::atomic<uint64_t> replicated_records_skipped_{0};
 
   std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> queries_failed_{0};

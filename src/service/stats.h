@@ -37,6 +37,23 @@ struct DurabilityStats {
   bool recovery_tail_dropped = false;
 };
 
+/// Replication-facing gauges (DESIGN.md §11). On a leader,
+/// last_committed_sequence is the newest WAL append; on a follower it is
+/// the newest leader sequence locally persisted and applied. Per-follower
+/// lag lives with the WalShipper (src/repl), which observes acks.
+struct ReplicationStats {
+  /// Newest commit sequence this node has durably accepted (leader:
+  /// appended; follower: replicated). The read-your-writes floor.
+  uint64_t last_committed_sequence = 0;
+  /// Sequence the newest completed checkpoint covers.
+  uint64_t last_checkpoint_sequence = 0;
+  /// Records applied from a replication leader (followers only).
+  uint64_t replicated_records_applied = 0;
+  /// Replicated records persisted but skipped at apply time (their
+  /// original commit failed identically on the leader).
+  uint64_t replicated_records_skipped = 0;
+};
+
 /// Aggregate counters of a TemporalQueryService, for monitoring and the
 /// service benchmarks.
 struct ServiceStats {
@@ -50,6 +67,7 @@ struct ServiceStats {
   uint64_t sessions_opened = 0;
   SnapshotCacheStats snapshot_cache;
   DurabilityStats durability;
+  ReplicationStats replication;
 };
 
 }  // namespace txml

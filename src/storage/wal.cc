@@ -35,13 +35,15 @@ std::string EncodeHeader(uint64_t base_sequence) {
   return header;
 }
 
+}  // namespace
+
 // Body layout per record type (after the common `varint32 type, varint64
 // sequence` prefix):
 //   kPut:    varint_signed64 ts_micros, lp url, lp payload
 //   kDelete: varint_signed64 ts_micros, lp url
 //   kVacuum: varint32 flags, [varint_signed64 drop_before],
 //            [varint_signed64 coarsen_older_than], varint32 keep_every
-std::string EncodeBody(const WalRecord& record, uint64_t sequence) {
+std::string EncodeWalRecordBody(const WalRecord& record, uint64_t sequence) {
   std::string body;
   PutVarint32(&body, static_cast<uint32_t>(record.type));
   PutVarint64(&body, sequence);
@@ -75,7 +77,7 @@ std::string EncodeBody(const WalRecord& record, uint64_t sequence) {
   return body;
 }
 
-StatusOr<WalRecord> DecodeBody(std::string_view body) {
+StatusOr<WalRecord> DecodeWalRecordBody(std::string_view body) {
   Decoder dec(body);
   WalRecord record;
   auto type = dec.ReadVarint32();
@@ -144,6 +146,8 @@ StatusOr<WalRecord> DecodeBody(std::string_view body) {
   return record;
 }
 
+namespace {
+
 // Scans `data` (the whole file) and fills `result` with every complete,
 // CRC-valid record. Returns Corruption only when even the header is
 // unreadable; a bad *suffix* is reported via tail_dropped instead.
@@ -158,6 +162,7 @@ Status ScanLog(std::string_view data, const std::string& path,
   if (!base.ok()) {
     return Status::Corruption("'" + path + "' has a truncated WAL header");
   }
+  result->base_sequence = *base;
   result->last_sequence = *base;
   size_t pos = dec.position();
   result->valid_bytes = pos;
@@ -177,7 +182,7 @@ Status ScanLog(std::string_view data, const std::string& path,
     // A CRC-valid body that fails to decode is real corruption, not a torn
     // tail — the bytes were durably written this way. Still treat it as the
     // end of the trustworthy prefix rather than failing recovery outright.
-    auto record = DecodeBody(body);
+    auto record = DecodeWalRecordBody(body);
     if (!record.ok()) break;
     result->records.push_back(std::move(*record));
     result->last_sequence = result->records.back().sequence;
@@ -271,8 +276,26 @@ StatusOr<uint64_t> WriteAheadLog::Append(const WalRecord& record) {
         "wal '" + path_ +
         "' is poisoned after a failed sync/rollback; restart to recover");
   }
-  uint64_t sequence = last_sequence_ + 1;
-  std::string body = EncodeBody(record, sequence);
+  return AppendWithSequence(record, last_sequence_ + 1);
+}
+
+StatusOr<uint64_t> WriteAheadLog::AppendReplicated(const WalRecord& record) {
+  if (poisoned_) {
+    return Status::Unavailable(
+        "wal '" + path_ +
+        "' is poisoned after a failed sync/rollback; restart to recover");
+  }
+  if (record.sequence <= last_sequence_) {
+    return Status::InvalidArgument(
+        "replicated record sequence " + std::to_string(record.sequence) +
+        " does not advance past " + std::to_string(last_sequence_));
+  }
+  return AppendWithSequence(record, record.sequence);
+}
+
+StatusOr<uint64_t> WriteAheadLog::AppendWithSequence(const WalRecord& record,
+                                                     uint64_t sequence) {
+  std::string body = EncodeWalRecordBody(record, sequence);
   std::string framed;
   PutVarint64(&framed, body.size());
   framed.append(body);

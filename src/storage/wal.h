@@ -82,6 +82,16 @@ struct WalRecord {
   RetentionPolicy policy;
 };
 
+/// Encodes a record body exactly as it appears between the length prefix
+/// and the CRC inside the log file — `varint32 type, varint64 sequence`,
+/// then per-type fields. The replication protocol ships these bodies
+/// verbatim inside batch frames, so leader and follower agree on the
+/// byte-level record format by construction.
+std::string EncodeWalRecordBody(const WalRecord& record, uint64_t sequence);
+/// Inverse of EncodeWalRecordBody. Returns Corruption (never crashes) on
+/// malformed input; fuzzed via the wire decode harness.
+StatusOr<WalRecord> DecodeWalRecordBody(std::string_view body);
+
 class WriteAheadLog {
  public:
   /// Opens the log at `path` for appending, creating it (with
@@ -110,6 +120,14 @@ class WriteAheadLog {
   /// process restarts and recovery re-establishes a trusted tail.
   StatusOr<uint64_t> Append(const WalRecord& record);
 
+  /// Appends a record shipped from a replication leader, *preserving* its
+  /// sequence number so the follower's log lives in the leader's sequence
+  /// space (recovery and ack bookkeeping then need no translation). The
+  /// record's sequence must exceed last_sequence(); gaps are fine (the
+  /// leader skips sequences for commits its idempotence guards elided).
+  /// Same durability/poisoning semantics as Append.
+  StatusOr<uint64_t> AppendReplicated(const WalRecord& record);
+
   /// Explicit group-commit flush (kNone/kEveryN callers before an ack
   /// barrier). No-op when nothing is unsynced.
   Status Sync();
@@ -132,6 +150,10 @@ class WriteAheadLog {
 
   struct ReplayResult {
     std::vector<WalRecord> records;
+    /// The header's base_sequence: every record in the file has a sequence
+    /// above it. A replication subscriber asking for records at or below
+    /// this floor must be re-seeded from a checkpoint instead.
+    uint64_t base_sequence = 0;
     /// max(header base_sequence, last record's sequence).
     uint64_t last_sequence = 0;
     /// True when a truncated or CRC-failing suffix was dropped.
@@ -153,6 +175,10 @@ class WriteAheadLog {
 
  private:
   WriteAheadLog(std::string path, WalOptions options);
+
+  /// Shared tail of Append/AppendReplicated once the sequence is chosen.
+  StatusOr<uint64_t> AppendWithSequence(const WalRecord& record,
+                                        uint64_t sequence);
 
   /// fsync with poisoning semantics (see Append).
   Status SyncLocked();

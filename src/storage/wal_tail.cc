@@ -1,0 +1,95 @@
+#include "src/storage/wal_tail.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace txml {
+namespace {
+
+// Ring accounting charges each record its variable payload, not the exact
+// struct footprint — close enough to bound memory, cheap to compute.
+uint64_t RecordBytes(const WalRecord& record) {
+  return 32 + record.url.size() + record.payload.size();
+}
+
+}  // namespace
+
+WalTailBuffer::WalTailBuffer(Options options) : options_(options) {}
+
+void WalTailBuffer::Push(const WalRecord& record) {
+  MutexLock lock(mu_);
+  TXML_DCHECK(record.sequence > last_sequence_);
+  if (ring_.empty()) {
+    // Keep the floor contiguous with the first ring entry so ReadAfter can
+    // distinguish "gap before the ring" from "waiting for new records".
+    evicted_through_ = std::max(evicted_through_, last_sequence_);
+  }
+  ring_.push_back(record);
+  ring_bytes_ += RecordBytes(record);
+  last_sequence_ = record.sequence;
+  EvictLocked();
+  cv_.SignalAll();
+}
+
+void WalTailBuffer::SetFloor(uint64_t sequence) {
+  MutexLock lock(mu_);
+  evicted_through_ = std::max(evicted_through_, sequence);
+  last_sequence_ = std::max(last_sequence_, sequence);
+}
+
+void WalTailBuffer::EvictLocked() {
+  while (!ring_.empty() && (ring_.size() > options_.max_records ||
+                            ring_bytes_ > options_.max_bytes)) {
+    ring_bytes_ -= RecordBytes(ring_.front());
+    evicted_through_ = ring_.front().sequence;
+    ring_.pop_front();
+  }
+}
+
+WalTailBuffer::ReadResult WalTailBuffer::ReadAfter(uint64_t after,
+                                                   uint64_t max_records,
+                                                   uint64_t max_bytes,
+                                                   int64_t timeout_ms) {
+  MutexLock lock(mu_);
+  ReadResult result;
+  while (true) {
+    result.last_sequence = last_sequence_;
+    if (after < evicted_through_) {
+      // The requested range starts before the ring: serve from disk.
+      result.below_floor = true;
+      return result;
+    }
+    uint64_t bytes = 0;
+    for (const WalRecord& record : ring_) {
+      if (record.sequence <= after) continue;
+      if (!result.records.empty() &&
+          (result.records.size() >= max_records ||
+           bytes + RecordBytes(record) > max_bytes)) {
+        break;
+      }
+      result.records.push_back(record);
+      bytes += RecordBytes(record);
+    }
+    if (!result.records.empty() || closed_) return result;
+    if (!cv_.WaitFor(mu_, timeout_ms)) return result;  // heartbeat timeout
+  }
+}
+
+void WalTailBuffer::Close() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  cv_.SignalAll();
+}
+
+uint64_t WalTailBuffer::last_sequence() const {
+  MutexLock lock(mu_);
+  return last_sequence_;
+}
+
+uint64_t WalTailBuffer::evicted_through() const {
+  MutexLock lock(mu_);
+  return evicted_through_;
+}
+
+}  // namespace txml

@@ -1,0 +1,90 @@
+#ifndef TXML_SRC_STORAGE_WAL_TAIL_H_
+#define TXML_SRC_STORAGE_WAL_TAIL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/storage/wal.h"
+#include "src/util/synchronization.h"
+#include "src/util/thread_annotations.h"
+
+namespace txml {
+
+/// In-memory ring of the most recently committed WAL records — the live
+/// tail a replication shipper reads without touching the log file
+/// (DESIGN.md §11). The commit path pushes every logged record here
+/// (leader sequence space), and shipper threads block on ReadAfter until
+/// records past their cursor arrive.
+///
+/// The buffer is bounded by records and bytes; eviction advances
+/// `evicted_through`, and a reader whose cursor falls below that
+/// high-water mark is told to fall back to the on-disk WAL (or, if the
+/// disk log was truncated past its cursor too, to a checkpoint re-seed).
+/// Push never blocks and never fails: replication lag degrades followers,
+/// never the leader's commit latency.
+class WalTailBuffer {
+ public:
+  struct Options {
+    /// Eviction starts once the ring exceeds either bound.
+    uint64_t max_records = 4096;
+    uint64_t max_bytes = 4 << 20;
+  };
+
+  struct ReadResult {
+    std::vector<WalRecord> records;
+    /// True when the cursor predates the ring: the records requested were
+    /// evicted and must come from the on-disk WAL instead.
+    bool below_floor = false;
+    /// Highest sequence ever pushed (0 when nothing was pushed yet) —
+    /// the shipper forwards it so followers can report lag.
+    uint64_t last_sequence = 0;
+  };
+
+  explicit WalTailBuffer(Options options);
+  WalTailBuffer() : WalTailBuffer(Options()) {}
+
+  WalTailBuffer(const WalTailBuffer&) = delete;
+  WalTailBuffer& operator=(const WalTailBuffer&) = delete;
+
+  /// Appends a committed record (sequence must be increasing; callers
+  /// push from the commit path while holding the service commit lock,
+  /// which serializes them). Evicts from the front to stay in budget.
+  void Push(const WalRecord& record) EXCLUDES(mu_);
+
+  /// Seeds the floor after recovery: records at or below `sequence` are
+  /// declared evicted (they live in the checkpoint + on-disk WAL only).
+  void SetFloor(uint64_t sequence) EXCLUDES(mu_);
+
+  /// Returns records with sequence > `after`, up to `max_records` /
+  /// `max_bytes` (at least one record is returned even if oversized).
+  /// Blocks up to `timeout_ms` for new records when the ring holds
+  /// nothing past `after`; an empty `records` with below_floor false
+  /// means the wait timed out (heartbeat time). Wakes early on Close.
+  ReadResult ReadAfter(uint64_t after, uint64_t max_records,
+                       uint64_t max_bytes, int64_t timeout_ms) EXCLUDES(mu_);
+
+  /// Wakes every blocked reader permanently (server shutdown); subsequent
+  /// reads return immediately.
+  void Close() EXCLUDES(mu_);
+
+  uint64_t last_sequence() const EXCLUDES(mu_);
+  uint64_t evicted_through() const EXCLUDES(mu_);
+
+ private:
+  void EvictLocked() REQUIRES(mu_);
+
+  const Options options_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<WalRecord> ring_ GUARDED_BY(mu_);
+  uint64_t ring_bytes_ GUARDED_BY(mu_) = 0;
+  /// Sequences <= this are gone from the ring.
+  uint64_t evicted_through_ GUARDED_BY(mu_) = 0;
+  uint64_t last_sequence_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_STORAGE_WAL_TAIL_H_

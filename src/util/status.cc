@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "InvalidFrame";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
   }
   return "Unknown";
 }

@@ -34,11 +34,14 @@ enum class StatusCode : int {
   /// The peer or service is gone (connection closed, server shutting
   /// down); retrying against a live endpoint may succeed.
   kUnavailable = 12,
+  /// The endpoint only serves reads (a replication follower); the write
+  /// should be redirected to the leader.
+  kReadOnly = 13,
 };
 
 /// The largest valid StatusCode value; wire decoding rejects anything
 /// above it (see StatusCodeFromWire).
-inline constexpr int kMaxStatusCode = 12;
+inline constexpr int kMaxStatusCode = 13;
 
 /// Returns a human-readable name for a status code ("NotFound", ...).
 std::string_view StatusCodeToString(StatusCode code);
@@ -98,6 +101,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -113,6 +119,7 @@ class Status {
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsInvalidFrame() const { return code_ == StatusCode::kInvalidFrame; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsReadOnly() const { return code_ == StatusCode::kReadOnly; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,6 +1,7 @@
 #ifndef TXML_SRC_UTIL_SYNCHRONIZATION_H_
 #define TXML_SRC_UTIL_SYNCHRONIZATION_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -107,6 +108,15 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Bounded wait; returns false on timeout, true when signalled. The
+  /// caller re-checks its predicate either way (spurious wakeups allowed).
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    auto result = cv_.wait_for(native, std::chrono::milliseconds(timeout_ms));
+    native.release();
+    return result == std::cv_status::no_timeout;
   }
 
   void Signal() { cv_.notify_one(); }

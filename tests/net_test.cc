@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <iterator>
 #include <limits>
 #include <memory>
@@ -128,13 +129,18 @@ TEST(WireTest, RandomBytesNeverCrashDecoders) {
     for (size_t i = 0; i < size; ++i) {
       bytes.push_back(static_cast<char>(rng.Uniform(256)));
     }
-    for (int which = 0; which < 4; ++which) {
+    for (int which = 0; which < 9; ++which) {
       Status status = Status::OK();
       switch (which) {
         case 0: status = DecodeQueryRequest(bytes).status(); break;
         case 1: status = DecodePutRequest(bytes).status(); break;
         case 2: status = DecodeResponseHeader(bytes).status(); break;
         case 3: status = DecodeResponseEnd(bytes).status(); break;
+        case 4: status = DecodeReplSubscribe(bytes).status(); break;
+        case 5: status = DecodeReplBatch(bytes).status(); break;
+        case 6: status = DecodeReplHeartbeat(bytes).status(); break;
+        case 7: status = DecodeReplAck(bytes).status(); break;
+        case 8: status = DecodeStatsRequest(bytes).status(); break;
       }
       if (!status.ok()) {
         EXPECT_EQ(status.code(), StatusCode::kInvalidFrame)
@@ -945,6 +951,219 @@ TEST(CliFlagsTest, ParseSizeFlagRejectsGarbageAndOverflow) {
   EXPECT_FALSE(ParseSizeFlag("x").ok());
   EXPECT_FALSE(ParseSizeFlag("1 2").ok());
   EXPECT_FALSE(ParseSizeFlag("18446744073709551616").ok());  // 2^64
+}
+
+TEST(CliFlagsTest, ParseHostPortFlagSplitsOnLastColon) {
+  auto parsed = ParseHostPortFlag("127.0.0.1:7400");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first, "127.0.0.1");
+  EXPECT_EQ(parsed->second, 7400);
+
+  EXPECT_FALSE(ParseHostPortFlag("").ok());
+  EXPECT_FALSE(ParseHostPortFlag("justhost").ok());
+  EXPECT_FALSE(ParseHostPortFlag(":7400").ok());
+  EXPECT_FALSE(ParseHostPortFlag("host:").ok());
+  EXPECT_FALSE(ParseHostPortFlag("host:abc").ok());
+  EXPECT_FALSE(ParseHostPortFlag("host:0").ok());
+  EXPECT_FALSE(ParseHostPortFlag("host:99999").ok());
+}
+
+// ------------------------------------------------- replication frames --
+
+TEST(WireTest, ReplFramesRoundTrip) {
+  ReplSubscribeRequest subscribe;
+  subscribe.from_sequence = 41;
+  subscribe.follower_name = "f1";
+  auto subscribe_again = DecodeReplSubscribe(EncodeReplSubscribe(subscribe));
+  ASSERT_TRUE(subscribe_again.ok()) << subscribe_again.status().ToString();
+  EXPECT_EQ(subscribe_again->from_sequence, 41u);
+  EXPECT_EQ(subscribe_again->follower_name, "f1");
+  EXPECT_TRUE(subscribe_again->auth_token.empty());
+
+  ReplBatch batch;
+  batch.leader_last_sequence = 7;
+  for (uint64_t sequence = 6; sequence <= 7; ++sequence) {
+    WalRecord record;
+    record.type = WalRecordType::kPut;
+    record.sequence = sequence;
+    record.ts = Day(static_cast<int>(sequence));
+    record.url = "u";
+    record.payload = "<v n=\"" + std::to_string(sequence) + "\"/>";
+    batch.records.push_back(std::move(record));
+  }
+  auto batch_again = DecodeReplBatch(EncodeReplBatch(batch));
+  ASSERT_TRUE(batch_again.ok()) << batch_again.status().ToString();
+  EXPECT_EQ(batch_again->leader_last_sequence, 7u);
+  ASSERT_EQ(batch_again->records.size(), 2u);
+  EXPECT_EQ(batch_again->records[0].sequence, 6u);
+  EXPECT_EQ(batch_again->records[1].payload, "<v n=\"7\"/>");
+  EXPECT_EQ(batch_again->records[1].ts, Day(7));
+
+  ReplHeartbeat heartbeat;
+  heartbeat.leader_last_sequence = 12;
+  auto heartbeat_again = DecodeReplHeartbeat(EncodeReplHeartbeat(heartbeat));
+  ASSERT_TRUE(heartbeat_again.ok());
+  EXPECT_EQ(heartbeat_again->leader_last_sequence, 12u);
+
+  ReplAck ack;
+  ack.applied_sequence = 11;
+  auto ack_again = DecodeReplAck(EncodeReplAck(ack));
+  ASSERT_TRUE(ack_again.ok());
+  EXPECT_EQ(ack_again->applied_sequence, 11u);
+
+  auto stats_again = DecodeStatsRequest(EncodeStatsRequest(StatsRequest{}));
+  ASSERT_TRUE(stats_again.ok());
+  EXPECT_TRUE(stats_again->auth_token.empty());
+}
+
+TEST(WireTest, ReplFrameDecodersRejectTruncationAndTrailingGarbage) {
+  ReplBatch batch;
+  batch.leader_last_sequence = 3;
+  WalRecord record;
+  record.type = WalRecordType::kPut;
+  record.sequence = 3;
+  record.ts = Day(3);
+  record.url = "u";
+  record.payload = "<r/>";
+  batch.records.push_back(std::move(record));
+
+  ReplSubscribeRequest subscribe;
+  subscribe.from_sequence = 1;
+  subscribe.follower_name = "f";
+
+  ReplHeartbeat heartbeat;
+  heartbeat.leader_last_sequence = 2;
+
+  ReplAck ack;
+  ack.applied_sequence = 2;
+
+  const struct {
+    const char* what;
+    std::string encoded;
+    std::function<Status(std::string_view)> decode;
+  } kCases[] = {
+      {"ReplSubscribe", EncodeReplSubscribe(subscribe),
+       [](std::string_view bytes) {
+         return DecodeReplSubscribe(bytes).status();
+       }},
+      {"ReplBatch", EncodeReplBatch(batch),
+       [](std::string_view bytes) { return DecodeReplBatch(bytes).status(); }},
+      {"ReplHeartbeat", EncodeReplHeartbeat(heartbeat),
+       [](std::string_view bytes) {
+         return DecodeReplHeartbeat(bytes).status();
+       }},
+      {"ReplAck", EncodeReplAck(ack),
+       [](std::string_view bytes) { return DecodeReplAck(bytes).status(); }},
+      {"StatsRequest", EncodeStatsRequest(StatsRequest{}),
+       [](std::string_view bytes) {
+         return DecodeStatsRequest(bytes).status();
+       }},
+  };
+  for (const auto& c : kCases) {
+    // Every strict prefix must fail cleanly, never crash or accept.
+    for (size_t cut = 0; cut < c.encoded.size(); ++cut) {
+      Status status =
+          c.decode(std::string_view(c.encoded).substr(0, cut));
+      ASSERT_FALSE(status.ok())
+          << c.what << " decoded a prefix of " << cut << " bytes";
+      EXPECT_EQ(status.code(), StatusCode::kInvalidFrame) << c.what;
+    }
+    Status trailing = c.decode(c.encoded + "x");
+    ASSERT_FALSE(trailing.ok()) << c.what << " accepted trailing garbage";
+    EXPECT_EQ(trailing.code(), StatusCode::kInvalidFrame) << c.what;
+  }
+
+  // A batch whose announced record count exceeds what the bytes hold
+  // must be rejected outright, not trusted for a giant reserve.
+  std::string huge;
+  PutVarint32(&huge, kEnvelopeVersion);
+  PutVarint64(&huge, 3);            // leader_last_sequence
+  PutVarint32(&huge, 1000000);      // record count: a lie
+  auto lying = DecodeReplBatch(huge);
+  ASSERT_FALSE(lying.ok());
+  EXPECT_EQ(lying.status().code(), StatusCode::kInvalidFrame);
+}
+
+TEST(NetTest, SubscribeToNonReplicatingServerIsRejected) {
+  ServerFixture fixture;  // no repl_handler installed
+  auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetTimeouts(2000, 2000).ok());
+
+  ReplSubscribeRequest subscribe;
+  subscribe.from_sequence = 0;
+  subscribe.follower_name = "f1";
+  ASSERT_TRUE(WriteFrame(&*raw, FrameType::kReplSubscribe,
+                         EncodeReplSubscribe(subscribe))
+                  .ok());
+  auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, FrameType::kResponseHeader);
+  auto header = DecodeResponseHeader(reply->payload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->status_code, StatusCode::kInvalidArgument);
+  EXPECT_NE(header->error_message.find("not enabled"), std::string::npos)
+      << header->error_message;
+
+  // The connection closes after the rejection.
+  auto end = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->type, FrameType::kResponseEnd);
+  auto eof = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetTest, MalformedSubscribeFrameIsRejected) {
+  ServerFixture fixture;
+  auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetTimeouts(2000, 2000).ok());
+
+  ASSERT_TRUE(WriteFrame(&*raw, FrameType::kReplSubscribe,
+                         "\xff\xff\xff\xff\xff")
+                  .ok());
+  auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, FrameType::kResponseHeader);
+  auto header = DecodeResponseHeader(reply->payload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->status_code, StatusCode::kInvalidFrame);
+}
+
+TEST(NetTest, SubscribeWithAuthTokenIsRejectedUntilAuthShips) {
+  ServerFixture fixture;
+  auto raw = Socket::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetTimeouts(2000, 2000).ok());
+
+  ReplSubscribeRequest subscribe;
+  subscribe.auth_token = "secret";
+  ASSERT_TRUE(WriteFrame(&*raw, FrameType::kReplSubscribe,
+                         EncodeReplSubscribe(subscribe))
+                  .ok());
+  auto reply = ReadFrame(&*raw, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(reply.ok());
+  auto header = DecodeResponseHeader(reply->payload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->status_code, StatusCode::kInvalidArgument);
+  EXPECT_NE(header->error_message.find("auth"), std::string::npos)
+      << header->error_message;
+}
+
+TEST(NetTest, StatsRequestServesReplicationGauges) {
+  ServerFixture fixture;
+  auto client = TxmlClient::Connect("127.0.0.1", fixture.server->port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Stats();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->payload.find("<replication "), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("last-committed-sequence="),
+            std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("read-only=\"false\""), std::string::npos)
+      << response->payload;
 }
 
 }  // namespace

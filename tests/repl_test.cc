@@ -1,0 +1,565 @@
+// Replication tests (DESIGN.md §11): follower catch-up from the on-disk
+// WAL, live tail streaming, byte-identical temporal query results across
+// leader and followers, read-your-writes via the commit-sequence token,
+// read-only write rejection, routing-client failover — and, when
+// TXML_FAILPOINTS is compiled in, a follower kill-and-restart sweep that
+// injects a fault at every WAL boundary the replication apply path hits
+// and checks the restarted follower still converges to the leader's
+// answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/net/server.h"
+#include "src/repl/replica_applier.h"
+#include "src/repl/routing_client.h"
+#include "src/repl/wal_shipper.h"
+#include "src/service/service.h"
+#include "src/util/failpoint.h"
+
+namespace txml {
+namespace {
+
+Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+std::string DayStr(int d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d/01/2001", d);
+  return buf;
+}
+
+std::string TempDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("txml_repl_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Small guide history: version v has items [1..v], prices move with v.
+std::string GuideXml(int v) {
+  std::string xml = "<guide>";
+  for (int i = 1; i <= v; ++i) {
+    xml += "<item><name>n" + std::to_string(i) + "</name><price>" +
+           std::to_string(10 * i + v) + "</price></item>";
+  }
+  return xml + "</guide>";
+}
+
+ServiceOptions DurableOptions(const std::string& dir) {
+  ServiceOptions options;
+  options.worker_threads = 2;
+  options.durability.data_dir = dir;
+  // Tests sync explicitly through convergence waits; fsync-per-commit
+  // only slows the suite down.
+  options.durability.wal.sync_mode = WalSyncMode::kNone;
+  options.durability.checkpoint_log_bytes = 0;
+  options.durability.checkpoint_log_records = 0;
+  // Keep the read-your-writes timeout test fast.
+  options.read_wait_timeout_ms = 200;
+  return options;
+}
+
+/// The cross-node oracle battery: snapshot scans and lifetime operators
+/// at two anchors, a DIFF, and an [EVERY] history (the durability suite's
+/// battery — replication must preserve exactly what recovery preserves).
+std::vector<std::string> OracleQueries(int last_day) {
+  std::string t1 = DayStr(1);
+  std::string t2 = DayStr(last_day);
+  return {
+      "SELECT R FROM doc(\"u\")[" + t2 + "]/guide/item R",
+      "SELECT R/name FROM doc(\"u\")[" + t2 +
+          "]/guide/item R WHERE R/price < 150",
+      "SELECT COUNT(R) FROM doc(\"u\")[" + t1 + "]/guide/item R",
+      "SELECT R/name, CREATE TIME(R) FROM doc(\"u\")[" + t2 +
+          "]/guide/item R",
+      "SELECT DIFF(R1, R2) FROM doc(\"u\")[" + t1 + "]/guide R1, doc(\"u\")[" +
+          t2 + "]/guide R2 WHERE R1 == R2",
+      "SELECT TIME(R), R/price FROM doc(\"u\")[EVERY]/guide/item R "
+      "WHERE CREATE TIME(R) >= " +
+          t1,
+  };
+}
+
+std::vector<std::string> AnswersOf(TemporalQueryService* service,
+                                   int last_day) {
+  std::vector<std::string> answers;
+  for (const std::string& q : OracleQueries(last_day)) {
+    auto out = service->ExecuteQueryToString(q);
+    answers.push_back(out.ok() ? *out : "<error: " + out.status().ToString() +
+                                            " for " + q + ">");
+  }
+  return answers;
+}
+
+/// An in-process leader: durable service + shipper + TCP server with the
+/// replication hook installed (the same wiring txml_server_main does).
+struct Leader {
+  std::unique_ptr<TemporalQueryService> service;
+  std::unique_ptr<WalShipper> shipper;
+  std::unique_ptr<TxmlServer> server;
+
+  uint16_t port() const { return server->port(); }
+
+  void Put(int day) {
+    auto result = service->PutAt("u", GuideXml(day), Day(day));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  ~Leader() {
+    if (shipper) shipper->Stop();
+    if (server) server->Stop();
+  }
+};
+
+std::unique_ptr<Leader> StartLeader(const std::string& dir) {
+  auto leader = std::make_unique<Leader>();
+  auto service = TemporalQueryService::Create(DurableOptions(dir));
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  if (!service.ok()) return nullptr;
+  leader->service = std::move(*service);
+  WalShipper::Options shipper_options;
+  shipper_options.heartbeat_interval_ms = 50;
+  leader->shipper =
+      std::make_unique<WalShipper>(leader->service.get(), shipper_options);
+  ServerOptions server_options;
+  server_options.port = 0;
+  WalShipper* shipper = leader->shipper.get();
+  server_options.repl_handler = [shipper](Socket* socket,
+                                          const ReplSubscribeRequest& sub) {
+    shipper->Serve(socket, sub);
+  };
+  leader->server =
+      std::make_unique<TxmlServer>(leader->service.get(), server_options);
+  Status started = leader->server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  if (!started.ok()) return nullptr;
+  return leader;
+}
+
+ReplicaApplier::Options FastApplierOptions(uint16_t leader_port,
+                                           const std::string& name) {
+  ReplicaApplier::Options options;
+  options.leader_port = leader_port;
+  options.follower_name = name;
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 50;
+  return options;
+}
+
+/// An in-process follower: durable service + applier + read-only server.
+struct Follower {
+  std::unique_ptr<TemporalQueryService> service;
+  std::unique_ptr<ReplicaApplier> applier;
+  std::unique_ptr<TxmlServer> server;
+
+  uint16_t port() const { return server->port(); }
+
+  ~Follower() {
+    if (applier) applier->Stop();
+    if (server) server->Stop();
+  }
+};
+
+std::unique_ptr<Follower> StartFollower(const std::string& dir,
+                                        uint16_t leader_port,
+                                        const std::string& name,
+                                        bool with_server = true) {
+  auto follower = std::make_unique<Follower>();
+  auto service = TemporalQueryService::Create(DurableOptions(dir));
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  if (!service.ok()) return nullptr;
+  follower->service = std::move(*service);
+  follower->applier = std::make_unique<ReplicaApplier>(
+      follower->service.get(), FastApplierOptions(leader_port, name));
+  Status started = follower->applier->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  if (!started.ok()) return nullptr;
+  if (with_server) {
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_options.read_only = true;
+    server_options.leader_hint = "127.0.0.1:" + std::to_string(leader_port);
+    follower->server = std::make_unique<TxmlServer>(follower->service.get(),
+                                                    server_options);
+    Status server_started = follower->server->Start();
+    EXPECT_TRUE(server_started.ok()) << server_started.ToString();
+    if (!server_started.ok()) return nullptr;
+  }
+  return follower;
+}
+
+/// Polls until the follower's applied floor reaches `sequence` (true) or
+/// ~5s elapse (false).
+bool AwaitSequence(TemporalQueryService* service, uint64_t sequence) {
+  for (int i = 0; i < 500; ++i) {
+    if (service->applied_sequence() >= sequence) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return service->applied_sequence() >= sequence;
+}
+
+// ------------------------------------------------------------ catch-up --
+
+TEST(ReplicationTest, FollowerCatchesUpFromLiveTail) {
+  auto leader = StartLeader(TempDir("live_leader"));
+  ASSERT_NE(leader, nullptr);
+  auto follower = StartFollower(TempDir("live_f1"), leader->port(), "f1",
+                                /*with_server=*/false);
+  ASSERT_NE(follower, nullptr);
+
+  for (int day = 1; day <= 5; ++day) leader->Put(day);
+  ASSERT_TRUE(AwaitSequence(follower->service.get(),
+                            leader->service->applied_sequence()));
+
+  EXPECT_EQ(AnswersOf(follower->service.get(), 5),
+            AnswersOf(leader->service.get(), 5));
+}
+
+TEST(ReplicationTest, FollowerCatchesUpFromDiskWalAfterTailEviction) {
+  // A busy leader evicts old records from the bounded in-memory tail
+  // (its byte budget), while they are still in the on-disk log. A blank
+  // follower subscribing from 0 is then below the tail floor and must be
+  // caught up from disk before switching to the live tail.
+  auto leader = StartLeader(TempDir("disk_leader"));
+  ASSERT_NE(leader, nullptr);
+  for (int day = 1; day <= 4; ++day) leader->Put(day);
+  // ~80 × 64KiB ≈ 5MiB of later traffic pushes the early records out of
+  // the 4MiB tail ring.
+  std::string filler =
+      "<big>" + std::string(64 * 1024, 'x') + "</big>";
+  for (int i = 1; i <= 80; ++i) {
+    auto result = leader->service->PutAt("big", filler, Day(10 + i));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  uint64_t leader_head = leader->service->applied_sequence();
+  ASSERT_EQ(leader_head, 84u);
+  // The precondition this test is about: sequence 1 is no longer in the
+  // in-memory tail, only on disk.
+  ASSERT_TRUE(leader->service->wal_tail()
+                  ->ReadAfter(0, 1, 1 << 20, /*timeout_ms=*/0)
+                  .below_floor);
+
+  auto follower = StartFollower(TempDir("disk_f1"), leader->port(), "f1",
+                                /*with_server=*/false);
+  ASSERT_NE(follower, nullptr);
+  ASSERT_TRUE(AwaitSequence(follower->service.get(), leader_head));
+
+  // …then the live tail takes over seamlessly for new commits.
+  leader->Put(5);
+  ASSERT_TRUE(AwaitSequence(follower->service.get(), leader_head + 1));
+  EXPECT_EQ(AnswersOf(follower->service.get(), 5),
+            AnswersOf(leader->service.get(), 5));
+}
+
+TEST(ReplicationTest, CheckpointTruncationPastCursorIsFatal) {
+  // The leader checkpointed (truncating its WAL past sequence 3) and then
+  // restarted, so neither its live tail nor its disk log reaches back to
+  // sequence 0: a blank follower can never be served the early records.
+  // The shipper answers kOutOfRange and the applier parks in the fatal
+  // state instead of retrying forever.
+  std::string leader_dir = TempDir("trunc_leader");
+  {
+    auto service = TemporalQueryService::Create(DurableOptions(leader_dir));
+    ASSERT_TRUE(service.ok());
+    for (int day = 1; day <= 3; ++day) {
+      ASSERT_TRUE((*service)->PutAt("u", GuideXml(day), Day(day)).ok());
+    }
+    ASSERT_TRUE((*service)->Checkpoint().ok());
+  }
+  auto leader = StartLeader(leader_dir);
+  ASSERT_NE(leader, nullptr);
+
+  auto follower = StartFollower(TempDir("trunc_f1"), leader->port(), "f1",
+                                /*with_server=*/false);
+  ASSERT_NE(follower, nullptr);
+  bool fatal = false;
+  for (int i = 0; i < 500 && !fatal; ++i) {
+    fatal = follower->applier->GetState().fatal;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(fatal);
+  EXPECT_NE(follower->applier->GetState().last_error.find("re-seed"),
+            std::string::npos)
+      << follower->applier->GetState().last_error;
+}
+
+TEST(ReplicationTest, FollowerRestartResumesFromOwnWal) {
+  auto leader = StartLeader(TempDir("resume_leader"));
+  ASSERT_NE(leader, nullptr);
+  std::string follower_dir = TempDir("resume_f1");
+  for (int day = 1; day <= 3; ++day) leader->Put(day);
+  {
+    auto follower = StartFollower(follower_dir, leader->port(), "f1",
+                                  /*with_server=*/false);
+    ASSERT_NE(follower, nullptr);
+    ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+  }  // follower process "dies"
+
+  for (int day = 4; day <= 6; ++day) leader->Put(day);
+
+  // The restart resumes from its own recovered WAL floor (sequence 3, in
+  // the leader's numbering) — no separate cursor file to lose.
+  auto follower = StartFollower(follower_dir, leader->port(), "f1",
+                                /*with_server=*/false);
+  ASSERT_NE(follower, nullptr);
+  EXPECT_EQ(follower->service->applied_sequence(), 3u);
+  ASSERT_TRUE(AwaitSequence(follower->service.get(), 6));
+  EXPECT_EQ(AnswersOf(follower->service.get(), 6),
+            AnswersOf(leader->service.get(), 6));
+  EXPECT_GE(follower->applier->GetState().reconnects, 1u);
+}
+
+// ------------------------------------------------- serving / routing --
+
+TEST(ReplicationTest, FollowerRejectsWritesWithLeaderAddress) {
+  auto leader = StartLeader(TempDir("ro_leader"));
+  ASSERT_NE(leader, nullptr);
+  auto follower = StartFollower(TempDir("ro_f1"), leader->port(), "f1");
+  ASSERT_NE(follower, nullptr);
+
+  auto client = TxmlClient::Connect("127.0.0.1", follower->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  PutRequest put;
+  put.url = "u";
+  put.xml_text = GuideXml(1);
+  put.timestamp = Day(1);
+  auto response = client->Execute(put);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsReadOnly()) << response.status().ToString();
+  EXPECT_NE(response.status().message().find(
+                "127.0.0.1:" + std::to_string(leader->port())),
+            std::string::npos)
+      << response.status().ToString();
+}
+
+TEST(ReplicationTest, ReadYourWritesThroughRoutingClient) {
+  auto leader = StartLeader(TempDir("ryw_leader"));
+  ASSERT_NE(leader, nullptr);
+  auto f1 = StartFollower(TempDir("ryw_f1"), leader->port(), "f1");
+  ASSERT_NE(f1, nullptr);
+  auto f2 = StartFollower(TempDir("ryw_f2"), leader->port(), "f2");
+  ASSERT_NE(f2, nullptr);
+
+  RoutingClient client({"127.0.0.1", leader->port()},
+                       {{"127.0.0.1", f1->port()}, {"127.0.0.1", f2->port()}});
+
+  // Interleave writes and reads: every read must see the write that
+  // immediately preceded it, whichever follower serves it. Without the
+  // min_sequence token this races follower apply and flakes; with it a
+  // stale read is impossible by construction — the follower either waits
+  // past the write's sequence or the client reroutes.
+  for (int day = 1; day <= 6; ++day) {
+    PutRequest put;
+    put.url = "u";
+    put.xml_text = GuideXml(day);
+    put.timestamp = Day(day);
+    auto wrote = client.Execute(put);
+    ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+    ASSERT_EQ(wrote->sequence, static_cast<uint64_t>(day));
+
+    QueryRequest query;
+    query.query_text = "SELECT COUNT(R) FROM doc(\"u\")[" + DayStr(day) +
+                       "]/guide/item R";
+    query.pretty = false;
+    auto read = client.Execute(query);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_NE(read->payload.find(">" + std::to_string(day) + "<"),
+              std::string::npos)
+        << "day " << day << " read: " << read->payload;
+    // The follower's answer reports its own applied floor ≥ the write.
+    EXPECT_GE(read->sequence, wrote->sequence);
+  }
+  EXPECT_EQ(client.last_write_sequence(), 6u);
+}
+
+TEST(ReplicationTest, LaggingFollowerAnswersUnavailableOnMinSequence) {
+  auto leader = StartLeader(TempDir("lag_leader"));
+  ASSERT_NE(leader, nullptr);
+  auto follower = StartFollower(TempDir("lag_f1"), leader->port(), "f1");
+  ASSERT_NE(follower, nullptr);
+
+  auto client = TxmlClient::Connect("127.0.0.1", follower->port());
+  ASSERT_TRUE(client.ok());
+  QueryRequest query;
+  query.query_text = "SELECT COUNT(R) FROM doc(\"u\")[EVERY]/guide R";
+  // A floor the leader has never committed: the bounded wait (200ms in
+  // this suite's options) must elapse and report retryable lag, never a
+  // silently stale answer.
+  query.min_sequence = 1000;
+  auto response = client->Execute(query);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsUnavailable())
+      << response.status().ToString();
+  EXPECT_NE(response.status().message().find("replica lag"),
+            std::string::npos)
+      << response.status().ToString();
+}
+
+TEST(ReplicationTest, RoutingClientFallsBackPastDeadFollower) {
+  auto leader = StartLeader(TempDir("fb_leader"));
+  ASSERT_NE(leader, nullptr);
+  auto follower = StartFollower(TempDir("fb_f1"), leader->port(), "f1");
+  ASSERT_NE(follower, nullptr);
+  uint16_t dead_port = follower->port();
+
+  PutRequest put;
+  put.url = "u";
+  put.xml_text = GuideXml(2);
+  put.timestamp = Day(1);
+
+  RoutingClient client({"127.0.0.1", leader->port()},
+                       {{"127.0.0.1", dead_port}});
+  ASSERT_TRUE(client.Execute(put).ok());
+
+  QueryRequest query;
+  query.query_text =
+      "SELECT COUNT(R) FROM doc(\"u\")[" + DayStr(1) + "]/guide/item R";
+  query.pretty = false;
+
+  // While the follower is up, the routed read converges through it.
+  auto read = client.Execute(query);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_NE(read->payload.find(">2<"), std::string::npos) << read->payload;
+
+  // Kill the only follower: the same read falls back to the leader
+  // instead of failing.
+  follower->applier->Stop();
+  follower->server->Stop();
+  read = client.Execute(query);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_NE(read->payload.find(">2<"), std::string::npos) << read->payload;
+}
+
+TEST(ReplicationTest, LeaderStatsReportFollowerLag) {
+  auto leader = StartLeader(TempDir("stats_leader"));
+  ASSERT_NE(leader, nullptr);
+  auto follower = StartFollower(TempDir("stats_f1"), leader->port(), "lagstat");
+  ASSERT_NE(follower, nullptr);
+  for (int day = 1; day <= 3; ++day) leader->Put(day);
+  ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+
+  // The next heartbeat ack refreshes the leader's view of the follower.
+  bool caught_up = false;
+  for (int i = 0; i < 500 && !caught_up; ++i) {
+    for (const auto& state : leader->shipper->Followers()) {
+      caught_up |= state.name == "lagstat" && state.acked_sequence == 3;
+    }
+    if (!caught_up) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(caught_up);
+  std::string xml = leader->shipper->StatsXml();
+  EXPECT_NE(xml.find("name=\"lagstat\""), std::string::npos) << xml;
+  EXPECT_NE(xml.find("acked-sequence=\"3\""), std::string::npos) << xml;
+
+  ServiceStats stats = leader->service->Stats();
+  EXPECT_EQ(stats.replication.last_committed_sequence, 3u);
+  ServiceStats follower_stats = follower->service->Stats();
+  EXPECT_EQ(follower_stats.replication.replicated_records_applied, 3u);
+  EXPECT_EQ(follower_stats.replication.replicated_records_skipped, 0u);
+}
+
+#if defined(TXML_FAILPOINTS)
+
+// ------------------------------------- follower crash/restart sweep --
+
+/// Discovers every WAL boundary the *follower's* apply path hits, then
+/// for each one: replicate afresh with a fault armed there, let the
+/// fault fire (the applier's session dies; its WAL may be poisoned),
+/// kill the follower, restart it from the same directory, and require
+/// full convergence to byte-identical oracle answers.
+TEST(ReplicationCrashSweepTest, FollowerSurvivesFaultAtEveryWalBoundary) {
+  FailPoints::Global().DisarmAll();
+  FailPoints::Global().ClearTrace();
+
+  // Discovery pass: trace the sites a clean replication run touches,
+  // keeping only those whose armed fault would hit the follower (its
+  // directory name filters the leader's own WAL traffic out later).
+  std::vector<std::string> sites;
+  {
+    auto leader = StartLeader(TempDir("sweep_trace_leader"));
+    ASSERT_NE(leader, nullptr);
+    for (int day = 1; day <= 3; ++day) leader->Put(day);
+    std::string follower_dir = TempDir("sweep_trace_f");
+    FailPoints::Global().ClearTrace();
+    auto follower = StartFollower(follower_dir, leader->port(), "trace",
+                                  /*with_server=*/false);
+    ASSERT_NE(follower, nullptr);
+    ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+    for (const auto& traced : FailPoints::Global().Trace()) {
+      const std::string& site = traced.first;
+      if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+        sites.push_back(site);
+      }
+    }
+  }
+  ASSERT_FALSE(sites.empty());
+
+  int variant = 0;
+  for (const std::string& site : sites) {
+    SCOPED_TRACE("site " + site);
+    auto leader =
+        StartLeader(TempDir("sweep_leader_" + std::to_string(variant)));
+    ASSERT_NE(leader, nullptr);
+    for (int day = 1; day <= 4; ++day) leader->Put(day);
+
+    std::string follower_dir = TempDir("sweep_f_" + std::to_string(variant));
+    ++variant;
+
+    // A follower start that tolerates the armed fault firing during
+    // service creation/recovery (that too models a crash at this site).
+    auto try_start = [&]() -> std::unique_ptr<Follower> {
+      auto follower = std::make_unique<Follower>();
+      auto service = TemporalQueryService::Create(DurableOptions(follower_dir));
+      if (!service.ok()) return nullptr;
+      follower->service = std::move(*service);
+      follower->applier = std::make_unique<ReplicaApplier>(
+          follower->service.get(),
+          FastApplierOptions(leader->port(), "sweep"));
+      if (!follower->applier->Start().ok()) return nullptr;
+      return follower;
+    };
+
+    // The filter pins the fault to the follower's own files — the armed
+    // site must not trip the leader mid-test.
+    FailPointSpec spec;
+    spec.path_substr = std::filesystem::path(follower_dir).filename().string();
+    FailPoints::Global().DisarmAll();
+    FailPoints::Global().Arm(site, spec);
+    uint64_t fired_before = FailPoints::Global().fired_count();
+
+    {
+      auto follower = try_start();
+      // Either the fault fires (the interesting case) or this site never
+      // triggers on the apply path with this filter — wait briefly, then
+      // move on either way; convergence is still asserted below.
+      for (int i = 0; follower && i < 300; ++i) {
+        if (FailPoints::Global().fired_count() > fired_before) break;
+        if (follower->service->applied_sequence() >= 4) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }  // kill the follower at (or right after) the fault
+
+    FailPoints::Global().DisarmAll();
+    // Restart from the same directory: recovery replays the follower's
+    // own WAL prefix, the applier resumes from that floor.
+    auto follower = try_start();
+    ASSERT_NE(follower, nullptr);
+    ASSERT_TRUE(AwaitSequence(follower->service.get(), 4));
+    EXPECT_EQ(AnswersOf(follower->service.get(), 4),
+              AnswersOf(leader->service.get(), 4));
+  }
+  FailPoints::Global().DisarmAll();
+}
+
+#endif  // TXML_FAILPOINTS
+
+}  // namespace
+}  // namespace txml
