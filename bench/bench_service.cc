@@ -71,7 +71,9 @@ void BM_ServiceSnapshotReads(benchmark::State& state) {
   }
   size_t next = static_cast<size_t>(state.thread_index());
   for (auto _ : state) {
-    auto result = service->ExecuteQuery(queries[next % std::size(queries)]);
+    QueryRequest request;
+    request.query_text = queries[next % std::size(queries)];
+    auto result = service->Execute(request);
     ++next;
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
@@ -97,7 +99,9 @@ void BM_ServiceCurrentReads(benchmark::State& state) {
   TemporalQueryService* service = SharedService(true);
   std::string query = SnapshotListing(static_cast<int>(kVersions) - 1);
   for (auto _ : state) {
-    auto result = service->ExecuteQuery(query);
+    QueryRequest request;
+    request.query_text = query;
+    auto result = service->Execute(request);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
@@ -126,7 +130,9 @@ void BM_ServiceMixedReadWrite(benchmark::State& state) {
         return;
       }
     } else {
-      auto result = service->ExecuteQuery(read_query);
+      QueryRequest request;
+      request.query_text = read_query;
+      auto result = service->Execute(request);
       if (!result.ok()) {
         state.SkipWithError(result.status().ToString().c_str());
         return;

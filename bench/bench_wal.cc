@@ -1,6 +1,9 @@
 // E15: the price of durability (DESIGN.md §9) — commit overhead per WAL
 // fsync policy against the in-memory baseline, and recovery time as a
 // function of the replayed log length.
+// E17: group-commit scaling (DESIGN.md §12) — multi-writer commit
+// throughput per sync mode, where the always-mode rows show the fsync
+// amortization of the shared log-writer batch.
 //
 // The interesting comparisons:
 //   - none / every_n / always vs no WAL at all: what one logical commit
@@ -8,12 +11,19 @@
 //   - recovery vs log length: replay is re-execution of the logical
 //     records through the normal write path (parse + diff + index), so it
 //     scales with committed work, not with file bytes — the case for
-//     checkpointing on a byte/record budget rather than never.
+//     checkpointing on a byte/record budget rather than never;
+//   - always-mode throughput at 8 writers vs 1: with one fsync per batch
+//     instead of per commit, concurrent writers share the sync they used
+//     to serialize on (the wal_syncs counter shows the coalescing).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/service/service.h"
@@ -92,6 +102,95 @@ BENCHMARK(BM_CommitPerSyncMode)
     ->Arg(2)  // always
     ->Arg(3)  // in-memory baseline
     ->Unit(benchmark::kMicrosecond);
+
+/// Minimal document: the commit is almost all commit-path work (lock,
+/// sequence, log, fsync), not parse/diff/index — the right shape for
+/// measuring what group commit amortizes.
+std::string TinyDoc(int v) {
+  return "<d><v>" + std::to_string(v) + "</v></d>";
+}
+
+/// arg0 = concurrent writers (each committing its own document, so the
+/// commit shards stay disjoint); arg1 = WalSyncMode; arg2 = commit
+/// shards. shards=1 is the serialized baseline — writers take turns on
+/// one stripe and pay one fsync each, the pre-sharding commit path —
+/// against which the sharded rows' speedup is read (within one run, so
+/// the comparison is immune to run-to-run fsync drift). Manual timing:
+/// the spawn/join of the burst is the measured unit, items/s is commits/s
+/// aggregated over the whole burst.
+void BM_MultiWriterCommit(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  constexpr int kCommitsPerWriter = 32;
+  std::string dir = Dir("txml_bench_wal_multiwriter");
+  std::filesystem::remove_all(dir);
+  ServiceOptions options =
+      DurableOptions(dir, static_cast<WalSyncMode>(state.range(1)));
+  options.commit_shards = static_cast<size_t>(state.range(2));
+  auto service = TemporalQueryService::Create(options);
+  if (!service.ok()) {
+    state.SkipWithError(service.status().ToString().c_str());
+    return;
+  }
+  // One document per writer, on distinct commit-shard stripes (same hash
+  // the service's ShardIndexFor uses) — otherwise colliding writers
+  // serialize on a stripe and the measured concurrency is silently lower
+  // than the writer count. The serialized (shards=1) rows keep plain
+  // names; every stripe choice collides there by construction.
+  const size_t shards = static_cast<size_t>(state.range(2));
+  std::vector<std::string> urls;
+  std::vector<bool> used(shards, false);
+  for (int k = 0; urls.size() < static_cast<size_t>(writers); ++k) {
+    std::string name = "w" + std::to_string(k);
+    size_t stripe = std::hash<std::string_view>{}(name) % shards;
+    if (static_cast<size_t>(writers) <= shards && used[stripe]) continue;
+    used[stripe] = true;
+    urls.push_back(std::move(name));
+  }
+  // Per-writer version counters persist across iterations so commit
+  // timestamps keep ascending per document.
+  std::vector<int> version(static_cast<size_t>(writers), 0);
+  std::atomic<bool> failed{false};
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(writers));
+    for (int w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        const std::string& url = urls[static_cast<size_t>(w)];
+        for (int i = 0; i < kCommitsPerWriter; ++i) {
+          int v = version[static_cast<size_t>(w)]++;
+          auto put = (*service)->PutAt(url, TinyDoc(v), DayN(v));
+          if (!put.ok()) failed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(elapsed.count());
+    if (failed.load(std::memory_order_relaxed)) {
+      state.SkipWithError("a commit failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * writers * kCommitsPerWriter);
+  ServiceStats stats = (*service)->Stats();
+  state.counters["wal_syncs"] =
+      static_cast<double>(stats.commit_path.syncs);
+  state.counters["max_batch"] =
+      static_cast<double>(stats.commit_path.max_batch_records);
+  state.SetLabel(std::string(WalSyncModeToString(
+                     static_cast<WalSyncMode>(state.range(1)))) +
+                 "/writers:" + std::to_string(writers) +
+                 (state.range(2) == 1 ? "/serialized" : ""));
+  service->reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_MultiWriterCommit)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1, 2}, {16}})
+    ->Args({8, 2, 1})  // serialized baseline: 8 writers, one stripe
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
 
 /// arg = records in the log to replay. The dir template (store-less: no
 /// checkpoint, the entire history lives in the WAL) is rebuilt per length

@@ -45,7 +45,7 @@ void FuzzQueryParser(const uint8_t* data, size_t size) {
 void FuzzWireDecode(const uint8_t* data, size_t size) {
   if (size == 0) return;
   std::string_view payload = AsView(data + 1, size - 1);
-  switch (data[0] % 10) {
+  switch (data[0] % 11) {
     case 0: {
       auto request = DecodeQueryRequest(payload);
       if (!request.ok()) return;
@@ -140,13 +140,26 @@ void FuzzWireDecode(const uint8_t* data, size_t size) {
       }
       break;
     }
-    default: {
+    case 9: {
       auto request = DecodeStatsRequest(payload);
       if (!request.ok()) return;
       auto again = DecodeStatsRequest(EncodeStatsRequest(*request));
       if (!again.ok()) {
         Fail("re-encoded StatsRequest failed to decode",
              again.status().ToString());
+      }
+      break;
+    }
+    default: {
+      auto request = DecodeWriteBatchRequest(payload);
+      if (!request.ok()) return;
+      auto again = DecodeWriteBatchRequest(EncodeWriteBatchRequest(*request));
+      if (!again.ok()) {
+        Fail("re-encoded WriteBatchRequest failed to decode",
+             again.status().ToString());
+      } else if (again->items.size() != request->items.size()) {
+        Fail("WriteBatchRequest round trip changed the item count",
+             std::to_string(request->items.size()));
       }
       break;
     }

@@ -33,12 +33,17 @@ cd "$(dirname "$0")/.."
 
 # Concurrency suites (tests/service_test.cc, tests/net_test.cc) plus the
 # vacuum battery (tests/vacuum_test.cc — ServiceStressTest covers the
-# vacuum-racing-readers case). Matching is against gtest case names, not
-# binary names; --no-tests=error guards filter rot.
-TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry|Repl"
+# vacuum-racing-readers case) and the multi-writer group-commit smoke
+# (ServiceStressTest's concurrent-writer cases race the sharded commit
+# path; WalGroupCommitTest races committers against the log-writer
+# thread). Matching is against gtest case names, not binary names;
+# --no-tests=error guards filter rot.
+TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry|Repl|WalGroupCommit"
 # History-rewriting suites for the ASan/UBSan pass: the storage layer,
 # the vacuum oracle battery, persistence round trips, and the durability
-# suites (WAL byte surgery + the failpoint crash-recovery sweep).
+# suites (WAL byte surgery + the failpoint crash-recovery sweep; "Wal"
+# also picks up the WalGroupCommitTest multi-writer smoke, and "Service"
+# the concurrent-writer stress cases).
 ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service|Wal|Durab|CrashRecovery|FailPoint|Repl"
 JOBS=$(nproc)
 FUZZ_SECS=10

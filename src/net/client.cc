@@ -52,6 +52,11 @@ StatusOr<QueryResponse> TxmlClient::Execute(const PutRequest& request) {
   return RoundTripWithRetry(FrameType::kPutRequest, EncodePutRequest(request));
 }
 
+StatusOr<QueryResponse> TxmlClient::Execute(const WriteBatchRequest& request) {
+  return RoundTripWithRetry(FrameType::kWriteBatchRequest,
+                            EncodeWriteBatchRequest(request));
+}
+
 StatusOr<QueryResponse> TxmlClient::Execute(const VacuumRequest& request) {
   return RoundTripWithRetry(FrameType::kVacuumRequest,
                             EncodeVacuumRequest(request));

@@ -67,6 +67,11 @@ class TxmlClient {
   /// Stores a new document version on the server.
   StatusOr<QueryResponse> Execute(const PutRequest& request);
 
+  /// Commits a batch of puts/deletes through one group-commit submission
+  /// (one fsync on the server in always mode); the payload reports each
+  /// item's outcome independently.
+  StatusOr<QueryResponse> Execute(const WriteBatchRequest& request);
+
   /// Vacuums the server's store per the request's retention horizons.
   StatusOr<QueryResponse> Execute(const VacuumRequest& request);
 

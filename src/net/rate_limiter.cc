@@ -1,0 +1,76 @@
+#include "src/net/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace txml {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TokenBucketRateLimiter::TokenBucketRateLimiter(
+    Options options, std::function<int64_t()> now_micros)
+    : options_([&options] {
+        if (options.burst <= 0) options.burst = options.tokens_per_sec;
+        return options;
+      }()),
+      now_micros_(now_micros ? std::move(now_micros) : SteadyNowMicros) {}
+
+bool TokenBucketRateLimiter::Admit(const std::string& key) {
+  const int64_t now = now_micros_();
+  MutexLock lock(mu_);
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    // Sweep before inserting so the new key cannot be the one swept.
+    if (buckets_.size() >= options_.max_buckets) EvictFullLocked(now);
+    it = buckets_.try_emplace(key).first;
+    // A new key starts with a full bucket: a client's first burst is
+    // admitted, sustained pressure is what drains it.
+    it->second.tokens = options_.burst;
+    it->second.last_refill_micros = now;
+  } else {
+    RefillLocked(&it->second, now);
+  }
+  Bucket& bucket = it->second;
+  if (bucket.tokens < 1.0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+size_t TokenBucketRateLimiter::bucket_count() const {
+  MutexLock lock(mu_);
+  return buckets_.size();
+}
+
+void TokenBucketRateLimiter::RefillLocked(Bucket* bucket, int64_t now) {
+  // A clock that stalls or (illegally, for a monotonic source) steps
+  // backwards refills nothing rather than charging the bucket.
+  const int64_t elapsed = std::max<int64_t>(0, now - bucket->last_refill_micros);
+  bucket->tokens = std::min(
+      options_.burst,
+      bucket->tokens + options_.tokens_per_sec * (elapsed / 1e6));
+  bucket->last_refill_micros = now;
+}
+
+void TokenBucketRateLimiter::EvictFullLocked(int64_t now) {
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    RefillLocked(&it->second, now);
+    if (it->second.tokens >= options_.burst) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace txml

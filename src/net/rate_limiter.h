@@ -1,0 +1,73 @@
+#ifndef TXML_SRC_NET_RATE_LIMITER_H_
+#define TXML_SRC_NET_RATE_LIMITER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/synchronization.h"
+
+namespace txml {
+
+/// Per-peer admission control for the network front end: one token bucket
+/// per client key (the peer's IP address), refilled continuously at
+/// `tokens_per_sec` up to a `burst` ceiling. Each request costs one token;
+/// a request arriving at an empty bucket is rejected (the server answers
+/// kUnavailable and keeps the connection — the client backs off and
+/// retries, it did not violate the protocol).
+///
+/// The bucket map is bounded: when it outgrows `max_buckets`, fully
+/// refilled buckets are swept out — a full bucket is indistinguishable
+/// from a brand-new one, so dropping it loses no state. A hostile peer
+/// set larger than the cap therefore degrades to per-key buckets being
+/// recreated full, never to unbounded memory.
+///
+/// Thread-safe; one instance is shared by every connection handler.
+class TokenBucketRateLimiter {
+ public:
+  struct Options {
+    /// Sustained admission rate per key. Must be > 0.
+    double tokens_per_sec = 100.0;
+    /// Bucket capacity: how many requests a key may burst through after
+    /// idling. <= 0 defaults to tokens_per_sec (a one-second burst).
+    double burst = 0;
+    /// Bucket-map size bound (see class comment).
+    size_t max_buckets = 4096;
+  };
+
+  /// `now_micros` overrides the clock (monotonic microseconds) — injected
+  /// by tests for deterministic refill; the default reads
+  /// std::chrono::steady_clock.
+  explicit TokenBucketRateLimiter(Options options,
+                                  std::function<int64_t()> now_micros = {});
+
+  /// Spends one token from `key`'s bucket. False = bucket empty, reject.
+  bool Admit(const std::string& key) EXCLUDES(mu_);
+
+  /// Requests rejected since construction (monotonic).
+  uint64_t rejected() const { return rejected_.load(); }
+
+  /// Distinct keys currently tracked (tests; not a hot-path accessor).
+  size_t bucket_count() const EXCLUDES(mu_);
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    int64_t last_refill_micros = 0;
+  };
+
+  void RefillLocked(Bucket* bucket, int64_t now) REQUIRES(mu_);
+  void EvictFullLocked(int64_t now) REQUIRES(mu_);
+
+  const Options options_;
+  const std::function<int64_t()> now_micros_;
+  std::atomic<uint64_t> rejected_{0};
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_NET_RATE_LIMITER_H_

@@ -20,9 +20,19 @@ Status TxmlServer::Start() {
   if (options_.max_frame_bytes == 0) {
     return Status::InvalidArgument("ServerOptions.max_frame_bytes must be > 0");
   }
+  if (options_.rate_limit_per_sec < 0) {
+    return Status::InvalidArgument(
+        "ServerOptions.rate_limit_per_sec must be >= 0");
+  }
   effective_connection_threads_ = options_.connection_threads != 0
                                       ? options_.connection_threads
                                       : kDefaultConnectionThreads;
+  if (options_.rate_limit_per_sec > 0) {
+    TokenBucketRateLimiter::Options limits;
+    limits.tokens_per_sec = options_.rate_limit_per_sec;
+    limits.burst = options_.rate_limit_burst;
+    rate_limiter_ = std::make_unique<TokenBucketRateLimiter>(limits);
+  }
   TXML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
   pool_ = std::make_unique<ThreadPool>(effective_connection_threads_);
   accept_thread_ = std::thread(&TxmlServer::AcceptLoop, this);
@@ -59,6 +69,8 @@ ServerStats TxmlServer::Stats() const {
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
   stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
   stats.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  stats.requests_rate_limited =
+      rate_limiter_ ? rate_limiter_->rejected() : 0;
   stats.timeouts = timeouts_.load(std::memory_order_relaxed);
   return stats;
 }
@@ -101,6 +113,10 @@ void TxmlServer::HandleConnection(std::shared_ptr<Socket> socket) {
     connections_[id] = socket.get();
   }
 
+  // Resolved once per connection: the peer's IP cannot change mid-stream,
+  // and it keys this connection's rate-limit bucket.
+  const std::string peer = socket->PeerAddress();
+
   std::unique_ptr<ClientSession> session = service_->OpenSession();
   while (!stopping_.load()) {
     auto frame = ReadFrame(socket.get(), options_.max_frame_bytes);
@@ -119,7 +135,7 @@ void TxmlServer::HandleConnection(std::shared_ptr<Socket> socket) {
       // and everything above close without further ceremony.
       break;
     }
-    if (!HandleFrame(socket.get(), *frame, session.get())) break;
+    if (!HandleFrame(socket.get(), *frame, session.get(), peer)) break;
   }
 
   {
@@ -129,7 +145,8 @@ void TxmlServer::HandleConnection(std::shared_ptr<Socket> socket) {
 }
 
 bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
-                             ClientSession* session) {
+                             ClientSession* session,
+                             const std::string& peer) {
   if (frame.type == FrameType::kReplSubscribe) {
     // A subscription turns this connection into a shipping stream that the
     // repl hook owns until it ends; either way the connection closes after.
@@ -155,6 +172,17 @@ bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
     }
     options_.repl_handler(socket, *request);
     return false;
+  }
+
+  // Admission control ahead of decode/execute: a throttled request costs
+  // the server nothing but the rejection header. The connection survives —
+  // rate limiting is back-pressure, not a protocol violation.
+  if (rate_limiter_ && !rate_limiter_->Admit(peer)) {
+    return SendResponse(
+        socket,
+        Status::Unavailable("rate limited: per-client request budget "
+                            "exhausted, retry later"),
+        {});
   }
 
   StatusOr<QueryResponse> response = [&]() -> StatusOr<QueryResponse> {
@@ -187,6 +215,13 @@ bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
       case FrameType::kPutRequest: {
         TXML_ASSIGN_OR_RETURN(PutRequest request,
                               DecodePutRequest(frame.payload));
+        TXML_RETURN_IF_ERROR(check_token(request.auth_token));
+        TXML_RETURN_IF_ERROR(reject_write());
+        return session->Execute(request);
+      }
+      case FrameType::kWriteBatchRequest: {
+        TXML_ASSIGN_OR_RETURN(WriteBatchRequest request,
+                              DecodeWriteBatchRequest(frame.payload));
         TXML_RETURN_IF_ERROR(check_token(request.auth_token));
         TXML_RETURN_IF_ERROR(reject_write());
         return session->Execute(request);
@@ -250,12 +285,35 @@ QueryResponse TxmlServer::StatsResponse() {
          "\" replicated-skipped=\"" +
          std::to_string(service_stats.replication.replicated_records_skipped) +
          "\" read-only=\"" + (options_.read_only ? "true" : "false") + "\"/>";
+  {
+    // Commit-path concurrency: aggregate shard contention plus the
+    // group-commit batch shape (DESIGN.md §12).
+    uint64_t acquires = 0, waits = 0;
+    for (const CommitShardStats& shard : service_stats.commit_path.shards) {
+      acquires += shard.acquires;
+      waits += shard.waits;
+    }
+    xml += "<commit-path shards=\"" +
+           std::to_string(service_stats.commit_path.shards.size()) +
+           "\" acquires=\"" + std::to_string(acquires) + "\" waits=\"" +
+           std::to_string(waits) + "\" batches=\"" +
+           std::to_string(service_stats.commit_path.batches_written) +
+           "\" records=\"" +
+           std::to_string(service_stats.commit_path.records_written) +
+           "\" syncs=\"" +
+           std::to_string(service_stats.commit_path.syncs) +
+           "\" max-batch=\"" +
+           std::to_string(service_stats.commit_path.max_batch_records) +
+           "\"/>";
+  }
   xml += "<server connections-accepted=\"" +
          std::to_string(server_stats.connections_accepted) +
          "\" requests-served=\"" +
          std::to_string(server_stats.requests_served) +
          "\" requests-failed=\"" +
-         std::to_string(server_stats.requests_failed) + "\"/>";
+         std::to_string(server_stats.requests_failed) +
+         "\" requests-rate-limited=\"" +
+         std::to_string(server_stats.requests_rate_limited) + "\"/>";
   if (options_.stats_extra) xml += options_.stats_extra();
   xml += "</stats>";
   QueryResponse response;

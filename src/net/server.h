@@ -9,6 +9,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "src/net/rate_limiter.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
 #include "src/service/service.h"
@@ -46,10 +47,21 @@ struct ServerOptions {
   /// instead of queuing unboundedly behind slow handlers. 0 = unbounded
   /// (the pre-backpressure behavior).
   size_t max_pending_connections = 64;
-  /// Follower mode: writes (kPutRequest / kVacuumRequest) are rejected
-  /// with the typed kReadOnly status instead of executing; the routing
-  /// client treats that as "redirect to the leader". Reads, stats and
-  /// replication subscriptions are unaffected.
+  /// Per-peer admission rate limiting (token bucket keyed by the peer's
+  /// IP address, src/net/rate_limiter.h). 0 (the default) disables it.
+  /// A request arriving at an empty bucket is answered kUnavailable
+  /// ("rate limited") and counted in ServerStats.requests_rate_limited;
+  /// the connection stays open, so a backing-off client needs no
+  /// reconnect. Replication subscriptions are exempt — throttling a
+  /// follower's WAL stream would just grow its lag.
+  double rate_limit_per_sec = 0;
+  /// Bucket capacity (burst allowance) per peer; <= 0 defaults to
+  /// rate_limit_per_sec (a one-second burst).
+  double rate_limit_burst = 0;
+  /// Follower mode: writes (kPutRequest / kWriteBatchRequest /
+  /// kVacuumRequest) are rejected with the typed kReadOnly status instead
+  /// of executing; the routing client treats that as "redirect to the
+  /// leader". Reads, stats and replication subscriptions are unaffected.
   bool read_only = false;
   /// Where writes should go instead, quoted in the kReadOnly message
   /// ("host:port" of the leader). Display-only.
@@ -76,6 +88,9 @@ struct ServerStats {
   uint64_t requests_served = 0;
   uint64_t requests_failed = 0;
   uint64_t frames_rejected = 0;
+  /// Requests bounced by the per-peer token bucket (see
+  /// ServerOptions.rate_limit_per_sec).
+  uint64_t requests_rate_limited = 0;
   uint64_t timeouts = 0;
 };
 
@@ -128,7 +143,9 @@ class TxmlServer {
   void HandleConnection(std::shared_ptr<Socket> socket) EXCLUDES(mu_);
   /// Runs one decoded request frame; returns false when the connection
   /// should close (protocol error already reported to the peer).
-  bool HandleFrame(Socket* socket, const Frame& frame, ClientSession* session);
+  /// `peer` is the connection's rate-limit bucket key (peer IP).
+  bool HandleFrame(Socket* socket, const Frame& frame, ClientSession* session,
+                   const std::string& peer);
   /// Builds the <stats> XML document for kStatsRequest.
   QueryResponse StatsResponse();
   /// Sends header + chunked payload + end. Any socket error aborts the
@@ -139,6 +156,8 @@ class TxmlServer {
   TemporalQueryService* service_;
   ServerOptions options_;
   size_t effective_connection_threads_ = 0;
+  /// Null when rate limiting is disabled (options_.rate_limit_per_sec == 0).
+  std::unique_ptr<TokenBucketRateLimiter> rate_limiter_;
   ListenSocket listener_;
   std::atomic<bool> stopping_{false};
   /// Atomic: Stop() may race with itself (destructor vs. a signal-driven

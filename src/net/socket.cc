@@ -99,6 +99,29 @@ Status Socket::SetTimeouts(int read_timeout_ms, int write_timeout_ms) {
   return Status::OK();
 }
 
+std::string Socket::PeerAddress() const {
+  sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "";
+  }
+  char buf[INET6_ADDRSTRLEN] = {};
+  if (addr.ss_family == AF_INET) {
+    const auto* v4 = reinterpret_cast<const sockaddr_in*>(&addr);
+    if (::inet_ntop(AF_INET, &v4->sin_addr, buf, sizeof(buf)) == nullptr) {
+      return "";
+    }
+  } else if (addr.ss_family == AF_INET6) {
+    const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    if (::inet_ntop(AF_INET6, &v6->sin6_addr, buf, sizeof(buf)) == nullptr) {
+      return "";
+    }
+  } else {
+    return "";
+  }
+  return buf;
+}
+
 Status Socket::WriteAll(std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {

@@ -43,6 +43,12 @@ class Socket {
   /// unbounded.
   Status SetTimeouts(int read_timeout_ms, int write_timeout_ms);
 
+  /// The peer's IP address as printed text ("127.0.0.1"), without the
+  /// port — the admission rate limiter's bucket key, which must survive
+  /// the same client reconnecting from a fresh ephemeral port. Empty on
+  /// error (e.g. an unconnected socket).
+  std::string PeerAddress() const;
+
   /// Writes all of `data`, looping over partial sends.
   Status WriteAll(std::string_view data);
 

@@ -4,14 +4,20 @@
 //               [--min-sequence=S] query "SELECT …"
 //   txml_client [--host=H] [--port=N] put URL XML
 //   txml_client [--host=H] [--port=N] put URL XML dd/mm/yyyy
+//   txml_client [--host=H] [--port=N] putbatch {put URL XML | del URL}...
 //   txml_client [--host=H] [--port=N] vacuum [--drop-before=dd/mm/yyyy]
 //               [--coarsen-older-than=dd/mm/yyyy] [--keep-every=K]
 //   txml_client [--host=H] [--port=N] stats
 //
+// putbatch commits every listed put/delete through one group-commit
+// submission — one fsync on the server in always mode — and prints the
+// per-item outcomes (<write-batch-result>); items succeed or fail
+// independently.
+//
 // Prints the response payload (the serialized <results> document, the
-// <put-result/> confirmation, the <vacuum-result/> summary, or the
-// <stats/> document) to stdout; --stats adds the execution counters on
-// stderr. --min-sequence=S makes a query wait until the server has
+// <put-result/> confirmation, the <write-batch-result> report, the
+// <vacuum-result/> summary, or the <stats/> document) to stdout; --stats
+// adds the execution counters on stderr. --min-sequence=S makes a query wait until the server has
 // applied commit sequence S (read-your-writes against a replication
 // follower: S is the sequence a put printed). Every response's own
 // sequence is printed by --stats, so a put's token can be fed to a later
@@ -34,6 +40,8 @@ int Usage() {
                "[--stats] [--min-sequence=S] query \"SELECT …\"\n"
                "       txml_client [--host=H] [--port=N] put URL XML "
                "[dd/mm/yyyy]\n"
+               "       txml_client [--host=H] [--port=N] putbatch "
+               "{put URL XML | del URL}...\n"
                "       txml_client [--host=H] [--port=N] vacuum "
                "[--drop-before=dd/mm/yyyy]\n"
                "               [--coarsen-older-than=dd/mm/yyyy] "
@@ -132,6 +140,26 @@ int main(int argc, char** argv) {
         auto ts = txml::Timestamp::ParseDate(positional[3]);
         if (!ts.ok()) return ts.status();
         request.timestamp = *ts;
+      }
+      return client->Execute(request);
+    }
+    if (positional[0] == "putbatch" && positional.size() >= 2) {
+      txml::WriteBatchRequest request;
+      for (size_t i = 1; i < positional.size();) {
+        txml::WriteBatchItem item;
+        if (positional[i] == "put" && i + 2 < positional.size()) {
+          item.kind = txml::WriteBatchItem::Kind::kPut;
+          item.url = positional[i + 1];
+          item.xml_text = positional[i + 2];
+          i += 3;
+        } else if (positional[i] == "del" && i + 1 < positional.size()) {
+          item.kind = txml::WriteBatchItem::Kind::kDelete;
+          item.url = positional[i + 1];
+          i += 2;
+        } else {
+          return txml::Status::InvalidArgument("usage");
+        }
+        request.items.push_back(std::move(item));
       }
       return client->Execute(request);
     }

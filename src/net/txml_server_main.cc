@@ -2,6 +2,7 @@
 // TemporalQueryService over TCP (src/net/, DESIGN.md §7).
 //
 //   txml_server [--port=N] [--threads=N] [--data-dir=DIR] [--sync-mode=M]
+//               [--commit-shards=N] [--rate-limit=R[:BURST]]
 //               [--db=DIR] [--seed-demo] [--replica-of=HOST:PORT]
 //               [--read-only]
 //
@@ -13,6 +14,15 @@
 //                  replication subscribers (DESIGN.md §11)
 //   --sync-mode=M  WAL fsync policy: none | every_n | always (default
 //                  always); only meaningful with --data-dir
+//   --commit-shards=N
+//                  commit-path lock stripes (DESIGN.md §12): commits to
+//                  documents on different shards overlap their WAL waits
+//                  (default 16)
+//   --rate-limit=R[:BURST]
+//                  per-client admission control: each peer IP gets a token
+//                  bucket refilled at R requests/second with capacity
+//                  BURST (default R); throttled requests get a retryable
+//                  kUnavailable. Omitted = no rate limiting
 //   --db=DIR       open a persisted database snapshot read-write but
 //                  WITHOUT a WAL (legacy; changes are not persisted back).
 //                  Mutually exclusive with --data-dir
@@ -85,6 +95,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: txml_server [--port=N] [--threads=N] "
                "[--data-dir=DIR] [--sync-mode=none|every_n|always] "
+               "[--commit-shards=N] [--rate-limit=R[:BURST]] "
                "[--db=DIR] [--seed-demo] [--replica-of=HOST:PORT] "
                "[--read-only]\n");
   return 2;
@@ -131,6 +142,7 @@ int main(int argc, char** argv) {
   std::string db_dir;
   std::string data_dir;
   txml::WalSyncMode sync_mode = txml::WalSyncMode::kAlways;
+  size_t commit_shards = 0;  // 0 = keep the ServiceOptions default
   bool seed_demo = false;
   bool read_only = false;
   std::string replica_of;
@@ -153,6 +165,38 @@ int main(int argc, char** argv) {
       auto parsed = txml::ParseSyncModeFlag(value);
       if (!parsed.ok()) return FlagError(parsed.status());
       sync_mode = *parsed;
+    } else if (txml::ParseFlagValue(argv[i], "--commit-shards", &value)) {
+      auto parsed = txml::ParseSizeFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      if (*parsed == 0) {
+        std::fprintf(stderr, "txml_server: --commit-shards must be > 0\n");
+        return Usage();
+      }
+      commit_shards = *parsed;
+    } else if (txml::ParseFlagValue(argv[i], "--rate-limit", &value)) {
+      // R or R:BURST, both positive numbers.
+      std::string rate = value, burst;
+      if (size_t colon = value.find(':'); colon != std::string::npos) {
+        rate = value.substr(0, colon);
+        burst = value.substr(colon + 1);
+      }
+      char* end = nullptr;
+      server_options.rate_limit_per_sec = std::strtod(rate.c_str(), &end);
+      if (end == rate.c_str() || *end != '\0' ||
+          server_options.rate_limit_per_sec <= 0) {
+        std::fprintf(stderr, "txml_server: bad --rate-limit value '%s'\n",
+                     value.c_str());
+        return Usage();
+      }
+      if (!burst.empty()) {
+        server_options.rate_limit_burst = std::strtod(burst.c_str(), &end);
+        if (end == burst.c_str() || *end != '\0' ||
+            server_options.rate_limit_burst <= 0) {
+          std::fprintf(stderr, "txml_server: bad --rate-limit burst '%s'\n",
+                       value.c_str());
+          return Usage();
+        }
+      }
     } else if (txml::ParseFlagValue(argv[i], "--db", &value)) {
       db_dir = value;
     } else if (txml::ParseFlagValue(argv[i], "--replica-of", &value)) {
@@ -191,6 +235,7 @@ int main(int argc, char** argv) {
   txml::ServiceOptions service_options;
   service_options.durability.data_dir = data_dir;
   service_options.durability.wal.sync_mode = sync_mode;
+  if (commit_shards != 0) service_options.commit_shards = commit_shards;
   txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> service =
       [&]() -> txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> {
     if (db_dir.empty()) {

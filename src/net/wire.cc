@@ -132,6 +132,75 @@ StatusOr<PutRequest> DecodePutRequest(std::string_view payload) {
   return request;
 }
 
+std::string EncodeWriteBatchRequest(const WriteBatchRequest& request) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint32(&out, static_cast<uint32_t>(request.items.size()));
+  for (const WriteBatchItem& item : request.items) {
+    PutVarint32(&out, static_cast<uint32_t>(item.kind));
+    PutLengthPrefixed(&out, item.url);
+    if (item.kind == WriteBatchItem::Kind::kPut) {
+      PutLengthPrefixed(&out, item.xml_text);
+    }
+    PutVarint32(&out, item.timestamp.has_value() ? 1 : 0);
+    if (item.timestamp.has_value()) {
+      PutFixed64(&out, static_cast<uint64_t>(item.timestamp->micros()));
+    }
+  }
+  PutLengthPrefixed(&out, request.auth_token);
+  return out;
+}
+
+StatusOr<WriteBatchRequest> DecodeWriteBatchRequest(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "WriteBatchRequest"));
+  WriteBatchRequest request;
+  auto count = decoder.ReadVarint32();
+  if (!count.ok()) return AsInvalidFrame(count.status(), "WriteBatchRequest");
+  if (*count > kMaxWriteBatchItems) {
+    return Status::InvalidFrame("WriteBatchRequest: " + std::to_string(*count) +
+                                " items exceeds the batch cap of " +
+                                std::to_string(kMaxWriteBatchItems));
+  }
+  request.items.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    WriteBatchItem item;
+    auto kind = decoder.ReadVarint32();
+    if (!kind.ok()) return AsInvalidFrame(kind.status(), "WriteBatchRequest");
+    if (*kind != static_cast<uint32_t>(WriteBatchItem::Kind::kPut) &&
+        *kind != static_cast<uint32_t>(WriteBatchItem::Kind::kDelete)) {
+      return Status::InvalidFrame("WriteBatchRequest: unknown item kind " +
+                                  std::to_string(*kind));
+    }
+    item.kind = static_cast<WriteBatchItem::Kind>(*kind);
+    auto url = decoder.ReadLengthPrefixed();
+    if (!url.ok()) return AsInvalidFrame(url.status(), "WriteBatchRequest");
+    item.url = std::string(*url);
+    if (item.kind == WriteBatchItem::Kind::kPut) {
+      auto xml = decoder.ReadLengthPrefixed();
+      if (!xml.ok()) return AsInvalidFrame(xml.status(), "WriteBatchRequest");
+      item.xml_text = std::string(*xml);
+    }
+    auto has_timestamp = decoder.ReadVarint32();
+    if (!has_timestamp.ok()) {
+      return AsInvalidFrame(has_timestamp.status(), "WriteBatchRequest");
+    }
+    if (*has_timestamp != 0) {
+      auto micros = decoder.ReadFixed64();
+      if (!micros.ok()) {
+        return AsInvalidFrame(micros.status(), "WriteBatchRequest");
+      }
+      item.timestamp = Timestamp::FromMicros(static_cast<int64_t>(*micros));
+    }
+    request.items.push_back(std::move(item));
+  }
+  auto token = decoder.ReadLengthPrefixed();
+  if (!token.ok()) return AsInvalidFrame(token.status(), "WriteBatchRequest");
+  request.auth_token = std::string(*token);
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "WriteBatchRequest"));
+  return request;
+}
+
 std::string EncodeVacuumRequest(const VacuumRequest& request) {
   std::string out;
   PutVarint32(&out, kEnvelopeVersion);

@@ -74,12 +74,17 @@ enum class FrameType : uint8_t {
   /// Asks the server for its ServiceStats (+ replication state) as an XML
   /// payload, answered like a query response.
   kStatsRequest = 11,
+  /// A batch of puts/deletes committed through one group-commit submission
+  /// (one fsync for the whole batch in kAlways mode); answered like a
+  /// query response whose payload reports per-item outcomes. An older
+  /// server rejects the unknown type, so no envelope-version bump.
+  kWriteBatchRequest = 12,
 };
 
 /// The largest frame type a receiver accepts (socket.cc range-checks the
 /// tag before any payload is read).
 inline constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::kStatsRequest);
+    static_cast<uint8_t>(FrameType::kWriteBatchRequest);
 
 /// Upper bound a receiver imposes on one frame body (guards a hostile or
 /// corrupt 4-byte length prefix from driving a giant allocation).
@@ -155,6 +160,7 @@ void AppendFrame(FrameType type, std::string_view payload, std::string* dst);
 
 std::string EncodeQueryRequest(const QueryRequest& request);
 std::string EncodePutRequest(const PutRequest& request);
+std::string EncodeWriteBatchRequest(const WriteBatchRequest& request);
 std::string EncodeVacuumRequest(const VacuumRequest& request);
 std::string EncodeResponseHeader(const ResponseHeader& header);
 std::string EncodeResponseEnd(uint64_t payload_bytes);
@@ -168,6 +174,7 @@ std::string EncodeStatsRequest(const StatsRequest& request);
 
 StatusOr<QueryRequest> DecodeQueryRequest(std::string_view payload);
 StatusOr<PutRequest> DecodePutRequest(std::string_view payload);
+StatusOr<WriteBatchRequest> DecodeWriteBatchRequest(std::string_view payload);
 StatusOr<VacuumRequest> DecodeVacuumRequest(std::string_view payload);
 StatusOr<ResponseHeader> DecodeResponseHeader(std::string_view payload);
 StatusOr<uint64_t> DecodeResponseEnd(std::string_view payload);

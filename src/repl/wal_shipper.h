@@ -19,7 +19,10 @@ namespace txml {
 /// each subscribed follower the commit stream, first catching it up from
 /// the on-disk WAL (records the live tail already evicted), then
 /// following the in-memory commit tail, interleaving heartbeats when the
-/// leader is idle. One Serve() call runs one follower's whole shipping
+/// leader is idle. Both sources hold only durable records: the group
+/// commit writer (DESIGN.md §12) publishes a record to the tail ring
+/// strictly after its batch hit the disk, so a follower never applies a
+/// sequence the leader could still lose. One Serve() call runs one follower's whole shipping
 /// conversation on the server's connection-handler thread — the shipper
 /// itself owns no threads.
 ///

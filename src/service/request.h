@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/lang/executor.h"
 #include "src/util/timestamp.h"
@@ -52,6 +53,42 @@ struct PutRequest {
   /// Reserved; see QueryRequest::auth_token.
   std::string auth_token;
 };
+
+/// One item of a WriteBatchRequest: a put (stores a new version of the
+/// document at `url`) or a delete. Items with an explicit timestamp are
+/// the warehouse variant (must exceed every timestamp already recorded
+/// for that document); otherwise the batch's commit tickets stamp them.
+struct WriteBatchItem {
+  enum class Kind : uint8_t {
+    kPut = 0,
+    kDelete = 1,
+  };
+  Kind kind = Kind::kPut;
+  std::string url;
+  /// kPut only: the document text exactly as received.
+  std::string xml_text;
+  std::optional<Timestamp> timestamp;
+};
+
+/// A batched write request (DESIGN.md §12): many document edits committed
+/// as one shard-locked, consecutively sequenced run sharing a single
+/// group-commit fsync. Items apply independently — a semantically failed
+/// item (bad XML, stale timestamp) is reported per item without failing
+/// its siblings, exactly as the same edits issued as N PutRequests would
+/// behave — but they share durability: one fsync covers the run, and the
+/// response carries the run's last commit sequence as the
+/// read-your-writes token for the whole batch.
+struct WriteBatchRequest {
+  /// At least one item; at most kMaxWriteBatchItems.
+  std::vector<WriteBatchItem> items;
+  /// Reserved; see QueryRequest::auth_token.
+  std::string auth_token;
+};
+
+/// Upper bound on WriteBatchRequest::items, enforced by the service and
+/// the wire decoder (a huge batch holds its commit shards and the apply
+/// turnstile for its whole application; split instead).
+inline constexpr size_t kMaxWriteBatchItems = 4096;
 
 /// An admin request: vacuum every document's history per the retention
 /// horizons (src/storage/vacuum.h). Runs under the exclusive commit lock —

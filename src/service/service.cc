@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <unordered_map>
 #include <utility>
 
 #include "src/service/session.h"
@@ -20,6 +22,9 @@ Status ValidateServiceOptions(const ServiceOptions& options) {
   if (options.snapshot_cache_shards == 0) {
     return Status::InvalidArgument(
         "ServiceOptions.snapshot_cache_shards must be > 0");
+  }
+  if (options.commit_shards == 0) {
+    return Status::InvalidArgument("ServiceOptions.commit_shards must be > 0");
   }
   if (options.durability.wal.sync_mode == WalSyncMode::kEveryN &&
       options.durability.wal.sync_every_n == 0) {
@@ -144,18 +149,36 @@ TemporalQueryService::CreateDurable(ServiceOptions options) {
   auto service =
       std::make_unique<TemporalQueryService>(options, std::move(db));
   service->data_dir_ = dir;
-  service->wal_ = std::move(wal);
+  const uint64_t recovered_sequence = wal->last_sequence();
+  // Replication plumbing: the live tail starts empty, with everything up
+  // to the recovered sequence declared disk-resident. It must exist before
+  // the group-commit front end, whose writer thread feeds it.
+  service->tail_ = std::make_unique<WalTailBuffer>();
+  service->tail_->SetFloor(recovered_sequence);
+  GroupCommitWal::Hooks hooks;
+  hooks.tail = service->tail_.get();
+  // Lock-free by construction (a relaxed atomic read): the log writer
+  // calls this with its queue lock held.
+  hooks.commits_in_flight = [raw = service.get()] {
+    return raw->commits_in_flight_.load(std::memory_order_relaxed);
+  };
+  service->wal_ =
+      std::make_unique<GroupCommitWal>(std::move(wal), hooks);
+  // New commits continue the recovered sequence space: the next ticket is
+  // recovered_sequence + 1, and it applies first.
+  {
+    MutexLock lock(service->ticket_mu_);
+    service->next_ticket_ = recovered_sequence;
+  }
+  {
+    MutexLock lock(service->turn_mu_);
+    service->next_apply_ticket_ = recovered_sequence + 1;
+  }
   service->recovered_records_ = applied;
   service->recovery_tail_dropped_ = replay.tail_dropped;
-  // Replication plumbing: the live tail starts empty, with everything up
-  // to the recovered sequence declared disk-resident; the read-your-writes
-  // floor starts at the recovered sequence (those commits are applied).
-  service->tail_ = std::make_unique<WalTailBuffer>();
-  {
-    ReaderLock lock(service->commit_mu_);
-    service->tail_->SetFloor(service->wal_->last_sequence());
-    service->PublishSequence(service->wal_->last_sequence());
-  }
+  // The read-your-writes floor starts at the recovered sequence (those
+  // commits are applied).
+  service->PublishSequence(recovered_sequence);
   service->last_checkpoint_sequence_.store(covered_sequence,
                                            std::memory_order_relaxed);
 
@@ -176,21 +199,31 @@ TemporalQueryService::TemporalQueryService(
     ServiceOptions options, std::unique_ptr<TemporalXmlDatabase> db)
     : options_(options), db_(std::move(db)), pool_(options.worker_threads) {
   TXML_CHECK(ValidateServiceOptions(options_).ok());
+  commit_shards_.reserve(options_.commit_shards);
+  for (size_t i = 0; i < options_.commit_shards; ++i) {
+    commit_shards_.push_back(std::make_unique<CommitShard>());
+  }
   if (options_.snapshot_cache_capacity > 0) {
     SnapshotCacheOptions cache_options;
     cache_options.capacity = options_.snapshot_cache_capacity;
     cache_options.shards = options_.snapshot_cache_shards;
     cache_ = std::make_unique<ShardedSnapshotCache>(cache_options);
-    // No concurrent access is possible yet, but the database pointee is
-    // commit-lock-guarded; the (uncontended) writer lock keeps the
-    // constructor honest under the same analysis as everything else.
-    WriterLock lock(commit_mu_);
+  }
+  // No concurrent access is possible yet, but the database pointee is
+  // commit-lock-guarded; the (uncontended) locks keep the constructor
+  // honest under the same analysis as everything else.
+  WriterLock lock(commit_mu_);
+  if (cache_ != nullptr) {
     db_->set_snapshot_cache(cache_.get());
     // Invalidation rides the store's observer hooks. The cache tolerates
     // missing the events before it was attached (late registration), so an
     // adopted pre-populated database is fine.
     db_->AddStoreObserver(cache_.get(), /*allow_late=*/true);
   }
+  // Seed the allocator's commit-clock mirror from the adopted database so
+  // the first auto-stamped commit continues its timestamp line.
+  MutexLock ticket_lock(ticket_mu_);
+  last_alloc_ts_micros_ = db_->latest_commit().micros();
 }
 
 TemporalQueryService::~TemporalQueryService() {
@@ -198,27 +231,175 @@ TemporalQueryService::~TemporalQueryService() {
   // service goes away; the shipper's owner must have stopped it already,
   // this just guarantees no blocked ReadAfter outlives the buffer fill.
   if (tail_ != nullptr) tail_->Close();
-  // ThreadPool's destructor (first in destruction order) drains pending
-  // tasks while db_/cache_ are still alive.
+  // Destruction order then does the rest: the pool drains pending tasks
+  // while everything they touch is alive, the group-commit front end joins
+  // its writer thread before the tail it pushes into dies.
 }
 
-StatusOr<XmlDocument> TemporalQueryService::ExecuteQuery(
-    std::string_view query_text, ExecStats* stats) {
-  ExecStats local;
-  if (stats == nullptr) stats = &local;
-  StatusOr<XmlDocument> result = [&] {
-    // Reader: shared commit lock for the whole execution, pinned to the
-    // epoch of the latest commit — see the class comment.
-    ReaderLock lock(commit_mu_);
-    return db_->QueryAt(query_text, db_->latest_commit(), stats);
-  }();
-  if (result.ok()) {
-    queries_executed_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+// ---- the sharded commit path (DESIGN.md §12) ----
+
+size_t TemporalQueryService::ShardIndexFor(std::string_view url) const {
+  return std::hash<std::string_view>{}(url) % commit_shards_.size();
+}
+
+void TemporalQueryService::LockShard(size_t index) {
+  CommitShard& shard = *commit_shards_[index];
+  // TryLock first so `waits` counts only acquisitions that actually
+  // blocked on a same-shard writer.
+  if (!shard.mu.TryLock()) {
+    shard.waits.fetch_add(1, std::memory_order_relaxed);
+    shard.mu.Lock();
   }
+  shard.acquires.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TemporalQueryService::UnlockShard(size_t index) {
+  commit_shards_[index]->mu.Unlock();
+}
+
+void TemporalQueryService::LockAllShards() {
+  // Ascending index order — the same rule writers follow, so the sweep
+  // cannot deadlock against them. Contention counters untouched: a
+  // quiescence sweep is not write contention.
+  for (auto& shard : commit_shards_) shard->mu.Lock();
+}
+
+void TemporalQueryService::UnlockAllShards() {
+  for (auto& shard : commit_shards_) shard->mu.Unlock();
+}
+
+void TemporalQueryService::AllocateCommit(
+    WalRecord* record, const std::optional<Timestamp>& explicit_ts,
+    bool draw_ts, CommitSlot* slot) {
+  commits_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(ticket_mu_);
+  slot->ticket = ++next_ticket_;
+  if (draw_ts) {
+    if (explicit_ts.has_value()) {
+      slot->ts = *explicit_ts;
+      last_alloc_ts_micros_ =
+          std::max(last_alloc_ts_micros_, explicit_ts->micros());
+    } else {
+      slot->ts = Timestamp::FromMicros(++last_alloc_ts_micros_);
+    }
+  }
+  if (record != nullptr && wal_ != nullptr) {
+    record->sequence = slot->ticket;
+    if (draw_ts) record->ts = slot->ts;
+    slot->logged = true;
+    // Still inside the allocator's critical section: the group-commit
+    // queue receives records in ticket order (AppendBatch requires
+    // ascending sequences; followers rely on it).
+    wal_->Enqueue(*record, &slot->wal_ticket);
+  }
+}
+
+void TemporalQueryService::AllocateCommitRun(
+    std::vector<WalRecord>* records,
+    const std::vector<std::optional<Timestamp>>& explicit_ts,
+    const std::vector<bool>& log_record, std::vector<CommitSlot>* slots) {
+  std::vector<WalRecord> to_log;
+  std::vector<GroupCommitWal::Ticket*> tickets;
+  to_log.reserve(records->size());
+  tickets.reserve(records->size());
+  commits_in_flight_.fetch_add(records->size(), std::memory_order_relaxed);
+  MutexLock lock(ticket_mu_);
+  for (size_t i = 0; i < records->size(); ++i) {
+    CommitSlot& slot = (*slots)[i];
+    WalRecord& record = (*records)[i];
+    slot.ticket = ++next_ticket_;
+    if (explicit_ts[i].has_value()) {
+      slot.ts = *explicit_ts[i];
+      last_alloc_ts_micros_ =
+          std::max(last_alloc_ts_micros_, explicit_ts[i]->micros());
+    } else {
+      slot.ts = Timestamp::FromMicros(++last_alloc_ts_micros_);
+    }
+    record.sequence = slot.ticket;
+    record.ts = slot.ts;
+    if (wal_ != nullptr && log_record[i]) {
+      slot.logged = true;
+      to_log.push_back(record);
+      tickets.push_back(&slot.wal_ticket);
+    }
+  }
+  // One queue critical section for the whole run: it lands in a single
+  // drain of the log-writer thread, hence shares one batch (one fsync).
+  if (!to_log.empty()) wal_->EnqueueRun(to_log, tickets);
+}
+
+Status TemporalQueryService::WaitDurable(CommitSlot* slot) {
+  if (!slot->logged) return Status::OK();
+  Status status = wal_->Wait(&slot->wal_ticket);
+  if (status.ok()) {
+    wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void TemporalQueryService::BeginTurn(uint64_t first_ticket) {
+  MutexLock lock(turn_mu_);
+  while (next_apply_ticket_ != first_ticket) turn_cv_.Wait(turn_mu_);
+}
+
+void TemporalQueryService::FinishTurn(uint64_t last_ticket,
+                                      uint64_t publish_sequence) {
+  {
+    MutexLock lock(turn_mu_);
+    // The turn covers [old next_apply_ticket_, last_ticket]; every ticket
+    // in it leaves the in-flight gauge here, whatever its outcome.
+    commits_in_flight_.fetch_sub(last_ticket + 1 - next_apply_ticket_,
+                                 std::memory_order_relaxed);
+    next_apply_ticket_ = last_ticket + 1;
+    turn_cv_.SignalAll();
+  }
+  // Publish only after the apply: a released read-your-writes waiter takes
+  // the shared commit lock next and must observe this commit's effects.
+  if (publish_sequence > 0) PublishSequence(publish_sequence);
+}
+
+template <typename ApplyFn>
+Status TemporalQueryService::CommitSlotApply(CommitSlot* slot, ApplyFn apply) {
+  Status durable = WaitDurable(slot);
+  BeginTurn(slot->ticket);
+  // A doomed commit (WAL failure) skips the database apply but still
+  // consumes its turn — every allocated ticket passes the turnstile
+  // exactly once or all later commits deadlock behind the gap.
+  if (durable.ok()) apply();
+  FinishTurn(slot->ticket,
+             durable.ok() && slot->logged ? slot->ticket : 0);
+  return durable;
+}
+
+StatusOr<TemporalQueryService::PutResult> TemporalQueryService::CommitPut(
+    const std::string& url, std::string_view xml_text,
+    const std::optional<Timestamp>& explicit_ts, uint64_t* sequence) {
+  const size_t shard = ShardIndexFor(url);
+  LockShard(shard);
+  WalRecord record;
+  record.type = WalRecordType::kPut;
+  record.url = url;
+  record.payload = std::string(xml_text);
+  CommitSlot slot;
+  AllocateCommit(&record, explicit_ts, /*draw_ts=*/true, &slot);
+  StatusOr<PutResult> result = Status::Internal("commit not applied");
+  Status durable = CommitSlotApply(&slot, [&] {
+    WriterLock lock(commit_mu_);
+    result = db_->PutDocumentAt(url, xml_text, slot.ts);
+  });
+  UnlockShard(shard);
+  if (!durable.ok()) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    return durable;
+  }
+  if (sequence != nullptr) *sequence = slot.logged ? slot.ticket : 0;
+  (result.ok() ? writes_committed_ : writes_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) MaybeCheckpoint();
   return result;
 }
+
+// ---- the request/response API ----
 
 StatusOr<QueryResponse> TemporalQueryService::Execute(
     const QueryRequest& request) {
@@ -233,11 +414,19 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
         std::to_string(applied_sequence()) + ")");
   }
   QueryResponse response;
-  TXML_ASSIGN_OR_RETURN(XmlDocument results,
-                        ExecuteQuery(request.query_text, &response.stats));
+  StatusOr<XmlDocument> results = [&] {
+    // Reader: shared commit lock for the whole execution, pinned to the
+    // epoch of the latest commit — see the class comment.
+    ReaderLock lock(commit_mu_);
+    return db_->QueryAt(request.query_text, db_->latest_commit(),
+                        &response.stats);
+  }();
+  (results.ok() ? queries_executed_ : queries_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (!results.ok()) return results.status();
   SerializeOptions serialize_options;
   serialize_options.pretty = request.pretty;
-  response.payload = SerializeXml(*results.root(), serialize_options);
+  response.payload = SerializeXml(*results->root(), serialize_options);
   response.sequence = applied_sequence();
   return response;
 }
@@ -245,20 +434,162 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
 StatusOr<QueryResponse> TemporalQueryService::Execute(
     const PutRequest& request) {
   uint64_t sequence = 0;
-  auto result = [&]() -> StatusOr<PutResult> {
-    WriterLock lock(commit_mu_);
-    // Draw the commit timestamp under the lock so the WAL record and the
-    // database write agree on it (see Put/PutAt).
-    Timestamp ts = request.timestamp.has_value() ? *request.timestamp
-                                                 : db_->clock()->Next();
-    return PutLocked(request.url, request.xml_text, ts, &sequence);
-  }();
+  auto result =
+      CommitPut(request.url, request.xml_text, request.timestamp, &sequence);
   if (!result.ok()) return result.status();
   QueryResponse response;
   response.payload = "<put-result url=\"" + EscapeXml(request.url) +
                      "\" version=\"" + std::to_string(result->version) +
                      "\" commit=\"" + result->commit_ts.ToString() + "\"/>";
   response.sequence = sequence;
+  return response;
+}
+
+StatusOr<QueryResponse> TemporalQueryService::Execute(
+    const WriteBatchRequest& request) {
+  if (request.items.empty()) {
+    return Status::InvalidArgument("write batch has no items");
+  }
+  if (request.items.size() > kMaxWriteBatchItems) {
+    return Status::InvalidArgument(
+        "write batch has " + std::to_string(request.items.size()) +
+        " items (max " + std::to_string(kMaxWriteBatchItems) + ")");
+  }
+  const size_t n = request.items.size();
+
+  // Hold the union of the items' commit shards, ascending (the
+  // deadlock-freedom rule), for the whole run.
+  std::vector<size_t> shards;
+  shards.reserve(n);
+  for (const WriteBatchItem& item : request.items) {
+    shards.push_back(ShardIndexFor(item.url));
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  for (size_t index : shards) LockShard(index);
+
+  // Decide which items to log. Puts always; a delete only when the
+  // document will exist when its turn applies — tracked through the
+  // batch's own earlier items, since a put at item 3 resurrects the
+  // document a delete at item 5 then really deletes (and must log, or
+  // replay would diverge). The prediction errs toward logging: a doomed
+  // record replays as the same no-op it was on the leader.
+  std::vector<bool> log_item(n, true);
+  {
+    std::unordered_map<std::string, bool> exists;
+    ReaderLock lock(commit_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      const WriteBatchItem& item = request.items[i];
+      auto it = exists.find(item.url);
+      if (it == exists.end()) {
+        const VersionedDocument* doc = db_->store().FindByUrl(item.url);
+        it = exists.emplace(item.url, doc != nullptr && !doc->deleted())
+                 .first;
+      }
+      if (item.kind == WriteBatchItem::Kind::kDelete) {
+        log_item[i] = it->second;
+        it->second = false;
+      } else {
+        it->second = true;
+      }
+    }
+  }
+
+  std::vector<WalRecord> records(n);
+  std::vector<std::optional<Timestamp>> explicit_ts(n);
+  for (size_t i = 0; i < n; ++i) {
+    const WriteBatchItem& item = request.items[i];
+    records[i].type = item.kind == WriteBatchItem::Kind::kDelete
+                          ? WalRecordType::kDelete
+                          : WalRecordType::kPut;
+    records[i].url = item.url;
+    if (item.kind == WriteBatchItem::Kind::kPut) {
+      records[i].payload = item.xml_text;
+    }
+    explicit_ts[i] = item.timestamp;
+  }
+  std::vector<CommitSlot> slots(n);
+  AllocateCommitRun(&records, explicit_ts, log_item, &slots);
+
+  // One durability wait covers the run: every logged record shares a
+  // single drain, so the waits resolve together (one fsync in kAlways).
+  Status durable = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    Status status = WaitDurable(&slots[i]);
+    if (durable.ok() && !status.ok()) durable = status;
+  }
+
+  struct ItemOutcome {
+    Status status;
+    uint64_t version = 0;
+    Timestamp commit_ts;
+  };
+  std::vector<ItemOutcome> outcomes(n);
+  uint64_t publish = 0;
+  BeginTurn(slots.front().ticket);
+  if (durable.ok()) {
+    WriterLock lock(commit_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      const WriteBatchItem& item = request.items[i];
+      if (item.kind == WriteBatchItem::Kind::kPut) {
+        auto result = db_->PutDocumentAt(item.url, item.xml_text, slots[i].ts);
+        if (result.ok()) {
+          outcomes[i].version = result->version;
+          outcomes[i].commit_ts = result->commit_ts;
+        } else {
+          outcomes[i].status = result.status();
+        }
+      } else {
+        outcomes[i].status = db_->DeleteDocumentAt(item.url, slots[i].ts);
+        outcomes[i].commit_ts = slots[i].ts;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (slots[i].logged) publish = slots[i].ticket;
+    }
+  }
+  FinishTurn(slots.back().ticket, publish);
+  for (size_t index : shards) UnlockShard(index);
+
+  if (!durable.ok()) {
+    writes_failed_.fetch_add(n, std::memory_order_relaxed);
+    return durable;
+  }
+  uint64_t committed = 0;
+  for (const ItemOutcome& outcome : outcomes) {
+    if (outcome.status.ok()) ++committed;
+  }
+  writes_committed_.fetch_add(committed, std::memory_order_relaxed);
+  writes_failed_.fetch_add(n - committed, std::memory_order_relaxed);
+  write_batches_committed_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string payload =
+      "<write-batch-result items=\"" + std::to_string(n) + "\" committed=\"" +
+      std::to_string(committed) + "\" failed=\"" +
+      std::to_string(n - committed) + "\" sequence=\"" +
+      std::to_string(publish) + "\">";
+  for (size_t i = 0; i < n; ++i) {
+    const WriteBatchItem& item = request.items[i];
+    const ItemOutcome& outcome = outcomes[i];
+    payload += "<item url=\"" + EscapeXml(item.url) + "\" action=\"";
+    payload += item.kind == WriteBatchItem::Kind::kDelete ? "delete" : "put";
+    if (outcome.status.ok()) {
+      payload += "\" status=\"ok\"";
+      if (item.kind == WriteBatchItem::Kind::kPut) {
+        payload += " version=\"" + std::to_string(outcome.version) + "\"";
+      }
+      payload += " commit=\"" + outcome.commit_ts.ToString() + "\"/>";
+    } else {
+      payload += "\" status=\"error\" message=\"" +
+                 EscapeXml(outcome.status.ToString()) + "\"/>";
+    }
+  }
+  payload += "</write-batch-result>";
+
+  QueryResponse response;
+  response.payload = std::move(payload);
+  response.sequence = publish;
+  MaybeCheckpoint();
   return response;
 }
 
@@ -285,7 +616,6 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
 
 StatusOr<VacuumStats> TemporalQueryService::Vacuum(
     const RetentionPolicy& policy) {
-  WriterLock lock(commit_mu_);
   // Validate before logging so a malformed policy never reaches the WAL.
   // Still counts as a failed write — the rejection is observable in
   // Stats() exactly as when the database itself refused the policy.
@@ -294,27 +624,36 @@ StatusOr<VacuumStats> TemporalQueryService::Vacuum(
     writes_failed_.fetch_add(1, std::memory_order_relaxed);
     return valid;
   }
+  LockAllShards();
   WalRecord record;
   record.type = WalRecordType::kVacuum;
   record.policy = policy;
-  auto logged = LogCommitLocked(record);
-  if (!logged.ok()) {
+  CommitSlot slot;
+  AllocateCommit(&record, std::nullopt, /*draw_ts=*/false, &slot);
+  StatusOr<VacuumStats> stats = Status::Internal("commit not applied");
+  Status durable = CommitSlotApply(&slot, [&] {
+    WriterLock lock(commit_mu_);
+    stats = db_->Vacuum(policy);
+  });
+  if (!durable.ok()) {
+    UnlockAllShards();
     writes_failed_.fetch_add(1, std::memory_order_relaxed);
-    return logged.status();
+    return durable;
   }
-  auto stats = db_->Vacuum(policy);
   if (stats.ok()) {
     vacuums_run_.fetch_add(1, std::memory_order_relaxed);
     if (wal_ != nullptr) {
       // Replaying a vacuum against a post-vacuum checkpoint is the one
       // non-idempotent case (it may coarsen further; see ApplyWalRecord).
       // Checkpointing immediately retires the record, shrinking that
-      // window to a crash inside this very checkpoint.
-      (void)CheckpointLocked();
+      // window to a crash inside this very checkpoint. All shards are
+      // held, so the commit path is already quiescent.
+      (void)CheckpointQuiesced();
     }
   } else {
     writes_failed_.fetch_add(1, std::memory_order_relaxed);
   }
+  UnlockAllShards();
   return stats;
 }
 
@@ -331,99 +670,60 @@ std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
 }
 
 std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
+    WriteBatchRequest request) {
+  return Enqueue(
+      [this, request = std::move(request)] { return Execute(request); });
+}
+
+std::future<StatusOr<QueryResponse>> TemporalQueryService::Submit(
     VacuumRequest request) {
   return Enqueue([this, request] { return Execute(request); });
 }
 
-StatusOr<std::string> TemporalQueryService::ExecuteQueryToString(
-    std::string_view query_text, bool pretty, ExecStats* stats) {
-  QueryRequest request;
-  request.query_text = std::string(query_text);
-  request.pretty = pretty;
-  TXML_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
-  if (stats != nullptr) *stats = response.stats;
-  return std::move(response.payload);
-}
-
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::Put(
     const std::string& url, std::string_view xml_text) {
-  WriterLock lock(commit_mu_);
-  // Draw the commit timestamp up front so the WAL record and the database
-  // write agree on it (replay must reproduce the same version times).
-  return PutLocked(url, xml_text, db_->clock()->Next());
+  return CommitPut(url, xml_text, std::nullopt, nullptr);
 }
 
 StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutAt(
     const std::string& url, std::string_view xml_text, Timestamp ts) {
-  WriterLock lock(commit_mu_);
-  return PutLocked(url, xml_text, ts);
-}
-
-StatusOr<TemporalQueryService::PutResult> TemporalQueryService::PutLocked(
-    const std::string& url, std::string_view xml_text, Timestamp ts,
-    uint64_t* sequence) {
-  WalRecord record;
-  record.type = WalRecordType::kPut;
-  record.ts = ts;
-  record.url = url;
-  record.payload = std::string(xml_text);
-  auto logged = LogCommitLocked(record);
-  if (!logged.ok()) {
-    writes_failed_.fetch_add(1, std::memory_order_relaxed);
-    return logged.status();
-  }
-  if (sequence != nullptr) *sequence = *logged;
-  auto result = db_->PutDocumentAt(url, xml_text, ts);
-  (result.ok() ? writes_committed_ : writes_failed_)
-      .fetch_add(1, std::memory_order_relaxed);
-  if (result.ok()) MaybeCheckpointLocked();
-  return result;
+  return CommitPut(url, xml_text, ts, nullptr);
 }
 
 Status TemporalQueryService::Delete(const std::string& url) {
-  WriterLock lock(commit_mu_);
-  Timestamp ts = db_->clock()->Next();
+  const size_t shard = ShardIndexFor(url);
+  LockShard(shard);
   // Only log deletes that will apply: a delete of a missing or
   // already-deleted document fails below without touching state, and
   // logging it would just leave a no-op record in every future replay.
-  const VersionedDocument* doc = db_->store().FindByUrl(url);
-  if (doc != nullptr && !doc->deleted()) {
-    WalRecord record;
-    record.type = WalRecordType::kDelete;
-    record.ts = ts;
-    record.url = url;
-    auto logged = LogCommitLocked(record);
-    if (!logged.ok()) {
-      writes_failed_.fetch_add(1, std::memory_order_relaxed);
-      return logged.status();
-    }
+  // The shard lock pins this document's state (only a same-shard writer
+  // could change it), so the shared side suffices for the peek.
+  bool will_apply;
+  {
+    ReaderLock lock(commit_mu_);
+    const VersionedDocument* doc = db_->store().FindByUrl(url);
+    will_apply = doc != nullptr && !doc->deleted();
   }
-  Status status = db_->DeleteDocumentAt(url, ts);
+  WalRecord record;
+  record.type = WalRecordType::kDelete;
+  record.url = url;
+  CommitSlot slot;
+  AllocateCommit(will_apply ? &record : nullptr, std::nullopt,
+                 /*draw_ts=*/true, &slot);
+  Status status = Status::Internal("commit not applied");
+  Status durable = CommitSlotApply(&slot, [&] {
+    WriterLock lock(commit_mu_);
+    status = db_->DeleteDocumentAt(url, slot.ts);
+  });
+  UnlockShard(shard);
+  if (!durable.ok()) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    return durable;
+  }
   (status.ok() ? writes_committed_ : writes_failed_)
       .fetch_add(1, std::memory_order_relaxed);
-  if (status.ok()) MaybeCheckpointLocked();
+  if (status.ok()) MaybeCheckpoint();
   return status;
-}
-
-StatusOr<uint64_t> TemporalQueryService::LogCommitLocked(
-    const WalRecord& record) {
-  if (wal_ == nullptr) return 0;
-  auto sequence = wal_->Append(record);
-  if (!sequence.ok()) return sequence.status();
-  wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
-  if (tail_ != nullptr) {
-    // Feed the live replication tail with the exact record the WAL holds
-    // (same sequence, same fields) so shippers serve identical bytes
-    // whether they read the ring or fall back to the file.
-    WalRecord shipped = record;
-    shipped.sequence = *sequence;
-    tail_->Push(shipped);
-  }
-  // Published before the database write lands: safe, because any reader
-  // the publication releases still queues behind this exclusive commit
-  // lock, and replicas replay the same record stream either way.
-  PublishSequence(*sequence);
-  return *sequence;
 }
 
 void TemporalQueryService::PublishSequence(uint64_t sequence) const {
@@ -455,28 +755,57 @@ bool TemporalQueryService::WaitForSequence(uint64_t min_sequence,
 }
 
 Status TemporalQueryService::ApplyReplicated(const WalRecord& record) {
-  WriterLock lock(commit_mu_);
   if (wal_ == nullptr) {
     return Status::InvalidArgument(
         "replication requires a durable service (no data_dir configured)");
   }
+  // A replicated apply quiesces the whole commit path. Uncontended in
+  // practice: followers run read-only servers, so no local writer ever
+  // holds a shard.
+  LockAllShards();
   if (record.sequence <= wal_->last_sequence()) {
     // Duplicate delivery (the leader resent after a reconnect): the record
     // is already persisted and applied; just refresh the published floor.
-    PublishSequence(wal_->last_sequence());
+    uint64_t floor = wal_->last_sequence();
+    UnlockAllShards();
+    PublishSequence(floor);
     return Status::OK();
   }
   // Persist first — an acked sequence must survive a follower crash. Any
   // failure is returned *without* publishing, and the applier tears the
-  // session down rather than advance past an unpersisted record.
-  auto appended = wal_->AppendReplicated(record);
-  if (!appended.ok()) return appended.status();
+  // session down rather than advance past an unpersisted record. The
+  // group front end preserves the leader's sequence (gaps are legal: the
+  // leader's log has them wherever a batch failed cleanly).
+  Status appended = wal_->Append(record);
+  if (!appended.ok()) {
+    UnlockAllShards();
+    return appended;
+  }
   wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
+  // Keep the allocator and the turnstile coherent with the leader's
+  // sequence space, so a follower promoted to leader continues it.
+  {
+    MutexLock lock(ticket_mu_);
+    next_ticket_ = std::max(next_ticket_, record.sequence);
+    if (record.type != WalRecordType::kVacuum) {
+      last_alloc_ts_micros_ =
+          std::max(last_alloc_ts_micros_, record.ts.micros());
+    }
+  }
+  {
+    MutexLock lock(turn_mu_);
+    next_apply_ticket_ = std::max(next_apply_ticket_, record.sequence + 1);
+    turn_cv_.SignalAll();
+  }
   // Apply through the same guarded path recovery uses. A semantic failure
   // reproduces a commit that failed identically on the leader (doomed
   // records are logged there before the database write) — skip and move
   // on, exactly as recovery does.
-  Status applied = ApplyWalRecord(db_.get(), record);
+  Status applied;
+  {
+    WriterLock lock(commit_mu_);
+    applied = ApplyWalRecord(db_.get(), record);
+  }
   if (applied.ok()) {
     replicated_records_applied_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -486,33 +815,43 @@ Status TemporalQueryService::ApplyReplicated(const WalRecord& record) {
                   applied.ToString().c_str());
   }
   PublishSequence(record.sequence);
-  if (record.type == WalRecordType::kVacuum && applied.ok()) {
+  const bool forced_checkpoint =
+      record.type == WalRecordType::kVacuum && applied.ok();
+  if (forced_checkpoint) {
     // Mirror the leader's forced checkpoint after a vacuum (see Vacuum).
-    (void)CheckpointLocked();
-  } else {
-    MaybeCheckpointLocked();
+    (void)CheckpointQuiesced();
   }
+  UnlockAllShards();
+  if (!forced_checkpoint) MaybeCheckpoint();
   return Status::OK();
 }
 
 Status TemporalQueryService::Checkpoint() {
-  WriterLock lock(commit_mu_);
-  return CheckpointLocked();
+  LockAllShards();
+  Status status = CheckpointQuiesced();
+  UnlockAllShards();
+  return status;
 }
 
-Status TemporalQueryService::CheckpointLocked() {
+Status TemporalQueryService::CheckpointQuiesced() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument(
         "service has no durability data_dir to checkpoint into");
   }
-  uint64_t covered = wal_->last_sequence();
+  // Quiescent (all shards held): no ticket is in flight, so everything
+  // allocated is applied and the group-commit queue is drained — the log's
+  // last sequence is exactly the state the save below captures.
+  const uint64_t covered = wal_->last_sequence();
   Status status = [&]() -> Status {
     // Order matters: database files first, the stamp last (the stamp is
     // the commit point of the checkpoint), log truncation after that. A
     // crash between any two steps recovers correctly — see ApplyWalRecord
     // for the new-files/old-stamp window, and the Open() sequence floor
     // for the new-stamp/old-log window.
-    TXML_RETURN_IF_ERROR(db_->Save(data_dir_));
+    {
+      WriterLock lock(commit_mu_);
+      TXML_RETURN_IF_ERROR(db_->Save(data_dir_));
+    }
     TXML_RETURN_IF_ERROR(WriteCheckpointStamp(data_dir_, covered));
     return wal_->Reset(covered);
   }();
@@ -524,7 +863,7 @@ Status TemporalQueryService::CheckpointLocked() {
   return status;
 }
 
-void TemporalQueryService::MaybeCheckpointLocked() {
+void TemporalQueryService::MaybeCheckpoint() {
   if (wal_ == nullptr) return;
   const DurabilityOptions& durability = options_.durability;
   bool over_bytes = durability.checkpoint_log_bytes > 0 &&
@@ -532,35 +871,20 @@ void TemporalQueryService::MaybeCheckpointLocked() {
   bool over_records =
       durability.checkpoint_log_records > 0 &&
       wal_->record_count() >= durability.checkpoint_log_records;
-  // Best-effort: a failed auto-checkpoint is counted and retried by the
-  // next commit; the WAL keeps growing but loses nothing.
-  if (over_bytes || over_records) (void)CheckpointLocked();
+  if (!over_bytes && !over_records) return;
+  // One committer runs the checkpoint; concurrent triggers yield (the log
+  // only shrinks when it completes, so the next commit re-triggers on
+  // failure). Best-effort, as the single-lock trigger always was.
+  bool expected = false;
+  if (!checkpoint_running_.compare_exchange_strong(expected, true)) return;
+  (void)Checkpoint();
+  checkpoint_running_.store(false, std::memory_order_release);
 }
 
 StatusOr<XmlDocument> TemporalQueryService::Snapshot(const std::string& url,
                                                      Timestamp t) {
   ReaderLock lock(commit_mu_);
   return db_->Snapshot(url, t);
-}
-
-std::future<StatusOr<XmlDocument>> TemporalQueryService::SubmitQuery(
-    std::string query_text) {
-  return Enqueue([this, query_text = std::move(query_text)] {
-    return ExecuteQuery(query_text);
-  });
-}
-
-std::future<StatusOr<std::string>> TemporalQueryService::SubmitQueryToString(
-    std::string query_text, bool pretty) {
-  return Enqueue([this, query_text = std::move(query_text), pretty] {
-    return ExecuteQueryToString(query_text, pretty);
-  });
-}
-
-std::future<StatusOr<TemporalQueryService::PutResult>>
-TemporalQueryService::SubmitPut(std::string url, std::string xml_text) {
-  return Enqueue([this, url = std::move(url),
-                  xml_text = std::move(xml_text)] { return Put(url, xml_text); });
 }
 
 std::unique_ptr<ClientSession> TemporalQueryService::OpenSession() {
@@ -579,6 +903,8 @@ ServiceStats TemporalQueryService::Stats() const {
   stats.queries_failed = queries_failed_.load(std::memory_order_relaxed);
   stats.writes_committed = writes_committed_.load(std::memory_order_relaxed);
   stats.writes_failed = writes_failed_.load(std::memory_order_relaxed);
+  stats.write_batches_committed =
+      write_batches_committed_.load(std::memory_order_relaxed);
   stats.vacuums_run = vacuums_run_.load(std::memory_order_relaxed);
   stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) stats.snapshot_cache = cache_->Stats();
@@ -590,12 +916,30 @@ ServiceStats TemporalQueryService::Stats() const {
       checkpoints_failed_.load(std::memory_order_relaxed);
   stats.durability.recovered_records = recovered_records_;
   stats.durability.recovery_tail_dropped = recovery_tail_dropped_;
+  stats.commit_path.shards.reserve(commit_shards_.size());
+  for (const auto& shard : commit_shards_) {
+    CommitShardStats shard_stats;
+    shard_stats.acquires = shard->acquires.load(std::memory_order_relaxed);
+    shard_stats.waits = shard->waits.load(std::memory_order_relaxed);
+    stats.commit_path.shards.push_back(shard_stats);
+  }
   if (wal_ != nullptr) {
-    // wal_ is written only under the exclusive commit lock; take the
-    // shared side so the two gauges are a consistent pair.
-    ReaderLock lock(commit_mu_);
+    // All lock-free: the group front end mirrors its gauges into atomics
+    // precisely so Stats() never queues behind the commit path.
     stats.durability.wal_last_sequence = wal_->last_sequence();
     stats.durability.wal_bytes = wal_->file_bytes();
+    GroupCommitStats group = wal_->Stats();
+    stats.commit_path.batches_written = group.batches_written;
+    stats.commit_path.records_written = group.records_written;
+    stats.commit_path.syncs = group.syncs;
+    stats.commit_path.max_batch_records = group.max_batch_records;
+    static_assert(CommitPathStats::kBatchHistogramBuckets ==
+                      GroupCommitStats::kHistogramBuckets,
+                  "histogram shapes must agree");
+    for (size_t i = 0; i < GroupCommitStats::kHistogramBuckets; ++i) {
+      stats.commit_path.batch_size_histogram[i] =
+          group.batch_size_histogram[i];
+    }
   }
   stats.replication.last_committed_sequence = applied_sequence();
   stats.replication.last_checkpoint_sequence =

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/core/database.h"
 #include "src/service/request.h"
@@ -34,7 +36,9 @@ struct DurabilityOptions {
   /// WAL, no checkpoints, no recovery.
   std::string data_dir;
   /// WAL sync policy — the commit durability / throughput trade-off
-  /// benchmarked in bench/bench_wal.cc.
+  /// benchmarked in bench/bench_wal.cc. With group commit (DESIGN.md §12)
+  /// the policy is applied per *batch*: concurrently submitted commits
+  /// share one fsync in kAlways mode.
   WalOptions wal;
   /// Auto-checkpoint after a commit once the WAL exceeds this many bytes
   /// (0 disables the size trigger).
@@ -54,6 +58,11 @@ struct ServiceOptions {
   /// Lock shards of the snapshot cache. Must be > 0 (keys are spread by
   /// hash modulo the shard count).
   size_t snapshot_cache_shards = 16;
+  /// Commit-path lock stripes (DESIGN.md §12): commits to documents that
+  /// hash to different shards overlap their WAL waits; commits to the
+  /// same shard serialize. Must be > 0. More shards buy more overlap at
+  /// the cost of a longer quiescence sweep for checkpoints/vacuums.
+  size_t commit_shards = 16;
   /// Options of the owned database (ignored when a database is adopted).
   DatabaseOptions database;
   /// Durability: WAL + checkpoints + startup recovery. Only honored by
@@ -67,30 +76,41 @@ struct ServiceOptions {
 };
 
 /// Checks an options struct for values that would be undefined behavior
-/// downstream (zero worker threads deadlocks futures, zero cache shards is
-/// a division by zero in the shard spread). Returns InvalidArgument naming
-/// the offending field; OK otherwise.
+/// downstream (zero worker threads deadlocks futures, zero cache or
+/// commit shards is a division by zero in the shard spread). Returns
+/// InvalidArgument naming the offending field; OK otherwise.
 Status ValidateServiceOptions(const ServiceOptions& options);
 
 /// The multi-client façade over one TemporalXmlDatabase: accepts textual
 /// queries and writes from many concurrent sessions and executes them with
-/// single-writer / multi-reader concurrency.
+/// sharded-writer / multi-reader concurrency.
 ///
-/// Concurrency model:
-///  * writers (Put/Delete) take the exclusive side of the commit lock; a
-///    version and all its index/cache updates are published atomically —
-///    the store notifies observers inside the write, still under the lock
-///    (see StoreObserver's ordering contract in src/storage/store.h);
-///  * readers take the shared side and pin a commit-timestamp *epoch* —
-///    the latest commit at query start, bound to NOW — for the whole
-///    execution, so an in-flight query never sees a half-applied version
-///    or index update and two scans in one query agree on time;
+/// Concurrency model (DESIGN.md §6/§12):
+///  * a writer hashes its document URL onto a commit shard and holds that
+///    shard's mutex for the whole commit, so same-document commits
+///    serialize while disjoint-document commits overlap;
+///  * under its shard lock the writer draws a *ticket* from the global
+///    allocator — one atomic draw hands out the commit sequence (== WAL
+///    sequence when durable) and the commit timestamp together, so WAL
+///    order, timestamp order, apply order and replication order all
+///    agree — and enqueues its WAL record on the group-commit queue in
+///    the same critical section (queue order == ticket order);
+///  * the dedicated log-writer thread folds every queued record into one
+///    write()+fsync (GroupCommitWal); disjoint writers overlap exactly
+///    here, amortizing the fsync that used to serialize them;
+///  * database application goes through a ticket-ordered *turnstile* into
+///    the exclusive side of the commit lock: effects land in ticket (==
+///    timestamp) order, so the epoch-pinned read protocol is unchanged;
+///  * readers take the shared side of the commit lock and pin a
+///    commit-timestamp *epoch* — the latest commit at query start, bound
+///    to NOW — for the whole execution, so an in-flight query never sees
+///    a half-applied version or index update;
 ///  * reconstructed snapshots are memoized in a sharded LRU keyed by
 ///    (DocId, resolved version), shared by all readers, invalidated
 ///    through the store's observer hooks.
 ///
 /// Synchronous calls run on the caller's thread (the caller provides the
-/// parallelism, e.g. one thread per connection); Submit* variants run on
+/// parallelism, e.g. one thread per connection); Submit variants run on
 /// the bounded worker pool and return futures.
 class TemporalQueryService {
  public:
@@ -125,14 +145,26 @@ class TemporalQueryService {
   StatusOr<QueryResponse> Execute(const QueryRequest& request)
       EXCLUDES(commit_mu_);
 
-  /// The write entry point (exclusive commit lock): stores a new version
+  /// The write entry point (commit shard of the URL): stores a new version
   /// per `request` and returns a <put-result url=… version=… commit=…/>
   /// confirmation payload.
   StatusOr<QueryResponse> Execute(const PutRequest& request)
       EXCLUDES(commit_mu_);
 
-  /// The admin entry point (exclusive commit lock): vacuums every
-  /// document's history per the request's retention horizons and returns a
+  /// The batched-write entry point (DESIGN.md §12): applies every item —
+  /// puts and deletes, any mix of documents — as one shard-locked,
+  /// consecutively ticketed run whose WAL records share a single
+  /// group-commit submission (one fsync in kAlways mode). Items apply
+  /// independently: a semantically failed item (bad XML, stale timestamp)
+  /// is reported in the payload without failing its siblings, exactly as
+  /// N sequential Puts would behave. The response's sequence is the
+  /// batch's last commit sequence — one read-your-writes token covers the
+  /// whole batch.
+  StatusOr<QueryResponse> Execute(const WriteBatchRequest& request)
+      EXCLUDES(commit_mu_);
+
+  /// The admin entry point (all commit shards): vacuums every document's
+  /// history per the request's retention horizons and returns a
   /// <vacuum-result …/> summary payload. See Vacuum() for the typed form.
   StatusOr<QueryResponse> Execute(const VacuumRequest& request)
       EXCLUDES(commit_mu_);
@@ -140,33 +172,21 @@ class TemporalQueryService {
   /// Async variants of Execute on the bounded worker pool.
   std::future<StatusOr<QueryResponse>> Submit(QueryRequest request);
   std::future<StatusOr<QueryResponse>> Submit(PutRequest request);
+  std::future<StatusOr<QueryResponse>> Submit(WriteBatchRequest request);
   std::future<StatusOr<QueryResponse>> Submit(VacuumRequest request);
 
-  // ---- deprecated shims (prefer Execute/Submit above) ----
-
-  /// \deprecated Thin shim over the Execute path, kept so pre-envelope
-  /// callers compile; returns the unserialized result document. `stats`
-  /// (optional) receives this query's counters.
-  StatusOr<XmlDocument> ExecuteQuery(std::string_view query_text,
-                                     ExecStats* stats = nullptr)
-      EXCLUDES(commit_mu_);
-  /// \deprecated Shim: Execute(QueryRequest{query_text, pretty}).
-  StatusOr<std::string> ExecuteQueryToString(std::string_view query_text,
-                                             bool pretty = true,
-                                             ExecStats* stats = nullptr)
-      EXCLUDES(commit_mu_);
-
-  /// Serialized writes (exclusive commit lock). Put/PutAt are the typed
-  /// equivalents of Execute(PutRequest) and remain first-class.
+  /// Typed writes (commit shard of the URL). Put/PutAt are the typed
+  /// equivalents of Execute(PutRequest).
   StatusOr<PutResult> Put(const std::string& url, std::string_view xml_text)
       EXCLUDES(commit_mu_);
   StatusOr<PutResult> PutAt(const std::string& url, std::string_view xml_text,
                             Timestamp ts) EXCLUDES(commit_mu_);
   Status Delete(const std::string& url) EXCLUDES(commit_mu_);
 
-  /// Vacuums every document's history per `policy` under the exclusive
-  /// commit lock: in-flight readers finish against the pre-vacuum state,
-  /// and readers starting afterwards see the rewritten (answer-preserving)
+  /// Vacuums every document's history per `policy` holding every commit
+  /// shard (a vacuum rewrites all documents): in-flight writers finish
+  /// first, in-flight readers finish against the pre-vacuum state, and
+  /// readers starting afterwards see the rewritten (answer-preserving)
   /// history with all indexes and the snapshot cache already updated.
   StatusOr<VacuumStats> Vacuum(const RetentionPolicy& policy)
       EXCLUDES(commit_mu_);
@@ -185,11 +205,13 @@ class TemporalQueryService {
   /// already persisted — the leader resent after a reconnect) is OK
   /// without re-applying. An I/O failure is returned without publishing;
   /// the applier must treat it as session-fatal and reconnect rather than
-  /// advance past an unpersisted record. Durable services only.
+  /// advance past an unpersisted record. Durable services only. Takes
+  /// every commit shard (uncontended on a follower — read-only servers
+  /// reject local writes).
   Status ApplyReplicated(const WalRecord& record) EXCLUDES(commit_mu_);
 
-  /// Newest commit sequence this node has durably accepted (leader:
-  /// appended; follower: replicated). 0 on in-memory services.
+  /// Newest commit sequence this node has durably accepted *and applied*
+  /// (leader: committed; follower: replicated). 0 on in-memory services.
   uint64_t applied_sequence() const;
 
   /// Blocks until applied_sequence() >= min_sequence or the timeout
@@ -198,22 +220,17 @@ class TemporalQueryService {
   bool WaitForSequence(uint64_t min_sequence, int64_t timeout_ms) const;
 
   /// The live commit tail the replication shipper reads (DESIGN.md §11).
-  /// Null for an in-memory service.
+  /// The group-commit writer thread feeds it only records that passed the
+  /// batch's sync decision, so a follower can never observe a sequence
+  /// the leader did not acknowledge. Null for an in-memory service.
   WalTailBuffer* wal_tail() const { return tail_.get(); }
 
   /// Durable services only: checkpoints the database into data_dir
   /// (atomic store + index save, then the covered-sequence stamp) and
-  /// truncates the WAL. Takes the exclusive commit lock; writes started
-  /// after it return see the compacted log. InvalidArgument on an
-  /// in-memory service.
+  /// truncates the WAL. Quiesces the commit path by taking every commit
+  /// shard; writes started after it returns see the compacted log.
+  /// InvalidArgument on an in-memory service.
   Status Checkpoint() EXCLUDES(commit_mu_);
-
-  /// \deprecated Async shims over the worker pool; prefer Submit.
-  std::future<StatusOr<XmlDocument>> SubmitQuery(std::string query_text);
-  std::future<StatusOr<std::string>> SubmitQueryToString(
-      std::string query_text, bool pretty = true);
-  std::future<StatusOr<PutResult>> SubmitPut(std::string url,
-                                             std::string xml_text);
 
   // ---- sessions ----
 
@@ -238,38 +255,118 @@ class TemporalQueryService {
     return *db_;
   }
   ShardedSnapshotCache* snapshot_cache() { return cache_.get(); }
-  /// Null for an in-memory service.
-  const WriteAheadLog* wal() const { return wal_.get(); }
+  /// The log behind the group-commit front end; null for an in-memory
+  /// service. Test access — gauges only, and only at quiescence.
+  const WriteAheadLog* wal() const {
+    return wal_ == nullptr ? nullptr : wal_->wal();
+  }
+  /// The group-commit front end itself; null for an in-memory service.
+  const GroupCommitWal* group_wal() const { return wal_.get(); }
 
  private:
   friend class ClientSession;
+
+  /// One commit-lock stripe plus its contention counters (reported by
+  /// Stats as CommitPathStats). TryLock-first acquisition makes `waits`
+  /// count the acquisitions that actually blocked on a same-shard writer.
+  struct CommitShard {
+    Mutex mu;
+    std::atomic<uint64_t> acquires{0};
+    std::atomic<uint64_t> waits{0};
+  };
+
+  /// One allocated commit: the global ticket (== WAL sequence when the
+  /// commit was logged), the commit timestamp drawn with it, and the
+  /// pending group-commit submission to wait on.
+  struct CommitSlot {
+    uint64_t ticket = 0;
+    Timestamp ts;
+    /// A WAL record was enqueued for this slot (durable services; false
+    /// for in-memory commits and elided deletes).
+    bool logged = false;
+    GroupCommitWal::Ticket wal_ticket;
+  };
 
   /// Create(ServiceOptions) with a data_dir: startup recovery
   /// (checkpoint load + WAL suffix replay) then log compaction.
   static StatusOr<std::unique_ptr<TemporalQueryService>> CreateDurable(
       ServiceOptions options);
 
-  /// Shared tail of Put/PutAt once the commit timestamp is fixed: WAL
-  /// append (when durable), then the database write, then the
-  /// auto-checkpoint check. Caller holds the exclusive commit lock
-  /// (compile-checked: REQUIRES makes an unlocked call a build error in
-  /// the analyze configuration).
-  StatusOr<PutResult> PutLocked(const std::string& url,
-                                std::string_view xml_text, Timestamp ts,
-                                uint64_t* sequence = nullptr)
-      REQUIRES(commit_mu_);
-  /// Appends one commit record (no-op in-memory, returning sequence 0). A
-  /// failure here must abort the commit — the write would be
-  /// unrecoverable. On success the record is also pushed onto the live
-  /// tail and its sequence published to read-your-writes waiters. Must
-  /// hold the exclusive commit lock while logging (the WAL's
-  /// precondition).
-  StatusOr<uint64_t> LogCommitLocked(const WalRecord& record)
-      REQUIRES(commit_mu_);
+  size_t ShardIndexFor(std::string_view url) const;
+  /// Locks shard `index`, counting contention. Lock shards in ascending
+  /// index order only (the deadlock-freedom rule of the striped map).
+  /// Analysis opt-outs: the capability is chosen by runtime index, which
+  /// the annotations cannot name.
+  void LockShard(size_t index) NO_THREAD_SAFETY_ANALYSIS;
+  void UnlockShard(size_t index) NO_THREAD_SAFETY_ANALYSIS;
+  void LockAllShards() NO_THREAD_SAFETY_ANALYSIS;
+  void UnlockAllShards() NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Draws the next ticket + commit timestamp under ticket_mu_ and, when
+  /// `record` is non-null and the service is durable, stamps the record
+  /// (sequence = ticket, ts = the drawn timestamp) and enqueues it on the
+  /// group-commit queue in the same critical section — the queue is
+  /// therefore in ticket order, which AppendBatch requires and followers
+  /// rely on. With `explicit_ts` the caller's timestamp is used and the
+  /// allocator advanced past it (mirroring CommitClock::AdvanceTo).
+  /// `draw_ts` false skips timestamp accounting (vacuum records carry no
+  /// timestamp). The caller must already hold the commit shard(s) of
+  /// every document the slot touches.
+  void AllocateCommit(WalRecord* record,
+                      const std::optional<Timestamp>& explicit_ts,
+                      bool draw_ts, CommitSlot* slot) EXCLUDES(ticket_mu_);
+  /// The batch variant: consecutive tickets, one queue critical section
+  /// (so the run shares a group-commit batch, hence at most one fsync).
+  /// `log_record[i]` false elides item i from the log (deletes of
+  /// documents that don't exist) while still consuming its ticket.
+  void AllocateCommitRun(std::vector<WalRecord>* records,
+                         const std::vector<std::optional<Timestamp>>&
+                             explicit_ts,
+                         const std::vector<bool>& log_record,
+                         std::vector<CommitSlot>* slots) EXCLUDES(ticket_mu_);
+
+  /// Blocks until the slot's WAL record is acknowledged per the sync
+  /// policy (no-op for unlogged slots). A failure dooms the commit: the
+  /// caller must skip the database apply but still consume the ticket's
+  /// turn (BeginTurn/FinishTurn) — every allocated ticket passes the
+  /// turnstile exactly once or all later commits deadlock.
+  Status WaitDurable(CommitSlot* slot);
+
+  /// The apply turnstile: blocks until every ticket below `first_ticket`
+  /// has completed its database apply. The caller then applies under the
+  /// exclusive commit lock and calls FinishTurn.
+  void BeginTurn(uint64_t first_ticket) EXCLUDES(turn_mu_);
+  /// Retires tickets [first, last] (consecutive) and wakes the next
+  /// committer. `publish_sequence` > 0 advances the read-your-writes
+  /// floor — pass the last *logged* ticket of the run after its apply so
+  /// a released waiter is guaranteed to see the write.
+  void FinishTurn(uint64_t last_ticket, uint64_t publish_sequence)
+      EXCLUDES(turn_mu_);
+
+  /// WaitDurable + BeginTurn + apply-or-skip + FinishTurn for a single
+  /// put/delete slot. `apply` runs under the exclusive commit lock.
+  template <typename ApplyFn>
+  Status CommitSlotApply(CommitSlot* slot, ApplyFn apply);
+
+  /// Shared implementation of Put/PutAt/Execute(PutRequest).
+  StatusOr<PutResult> CommitPut(const std::string& url,
+                                std::string_view xml_text,
+                                const std::optional<Timestamp>& explicit_ts,
+                                uint64_t* sequence) EXCLUDES(commit_mu_);
+
   /// Advances the published commit floor and wakes WaitForSequence.
   void PublishSequence(uint64_t sequence) const;
-  Status CheckpointLocked() REQUIRES(commit_mu_);
-  void MaybeCheckpointLocked() REQUIRES(commit_mu_);
+
+  /// Checkpoint with the commit path already quiescent: the caller holds
+  /// every commit shard (LockAllShards), so no ticket is in flight and
+  /// the group-commit queue is empty. Saves the database, writes the
+  /// stamp, and truncates the WAL through the group front end.
+  Status CheckpointQuiesced();
+  /// Post-commit auto-checkpoint trigger. Runs *outside* the shard locks
+  /// (a checkpoint takes all of them; triggering one while holding a
+  /// shard would deadlock against concurrent committers), guarded by an
+  /// in-progress flag so concurrent commits don't stampede.
+  void MaybeCheckpoint();
 
   /// Wraps `fn` in a packaged task on the pool; returns its future.
   template <typename Fn>
@@ -281,26 +378,59 @@ class TemporalQueryService {
     return future;
   }
 
-  /// The commit lock: writers exclusive, readers shared (see class docs).
-  /// Declared before the members whose pointees it guards so the
-  /// annotations below can reference it.
+  /// The apply/read lock: database application exclusive (one ticket at a
+  /// time, in ticket order via the turnstile), readers shared. Declared
+  /// before the members whose pointees it guards so the annotations below
+  /// can reference it.
   mutable SharedMutex commit_mu_;
 
   ServiceOptions options_;
   /// The pointer is immutable after construction; the *database* behind
-  /// it is what the commit lock protects (readers shared, writers
+  /// it is what the commit lock protects (readers shared, appliers
   /// exclusive).
   std::unique_ptr<TemporalXmlDatabase> db_ PT_GUARDED_BY(commit_mu_);
   std::unique_ptr<ShardedSnapshotCache> cache_;  // null when disabled
-  /// Null for an in-memory service. Appends and checkpoints mutate it
-  /// under the exclusive side of commit_mu_; Stats() reads its gauges
-  /// under the shared side.
-  std::unique_ptr<WriteAheadLog> wal_ PT_GUARDED_BY(commit_mu_);
+
+  /// The striped commit-lock map (immutable vector, each shard internally
+  /// locked). Writers hold exactly their document's shard; quiescent
+  /// operations (checkpoint, vacuum, replicated apply) hold all of them
+  /// in ascending index order.
+  std::vector<std::unique_ptr<CommitShard>> commit_shards_;
+
+  /// The global commit allocator: one lock hands out ticket + timestamp
+  /// and orders the group-commit queue (see AllocateCommit).
+  mutable Mutex ticket_mu_;
+  /// Last ticket handed out; tickets are contiguous (every one passes the
+  /// turnstile). Equals the WAL sequence space on durable services.
+  uint64_t next_ticket_ GUARDED_BY(ticket_mu_) = 0;
+  /// The service-level commit clock mirror: last issued / observed commit
+  /// timestamp in microseconds. The database's own CommitClock advances
+  /// identically at apply time (PutDocumentAt → AdvanceTo), but applies
+  /// lag allocation, so the allocator keeps its own monotone copy.
+  int64_t last_alloc_ts_micros_ GUARDED_BY(ticket_mu_) = 0;
+
+  /// The apply turnstile: database effects land in ticket order, keeping
+  /// timestamp order == apply order for epoch-pinned readers.
+  mutable Mutex turn_mu_;
+  mutable CondVar turn_cv_;
+  uint64_t next_apply_ticket_ GUARDED_BY(turn_mu_) = 1;
+
+  /// Commits between ticket allocation and FinishTurn — the group-commit
+  /// batch-formation signal (GroupCommitWal::Hooks::commits_in_flight):
+  /// each such commit's next record, or its successor's, is moments away,
+  /// so the log writer briefly holds batches open for them.
+  std::atomic<uint64_t> commits_in_flight_{0};
+
+  /// Null for an in-memory service. The group-commit front end is
+  /// internally synchronized; Reset/Flush additionally require the commit
+  /// path quiescent (all shards held), which annotations cannot express —
+  /// see CheckpointQuiesced.
   std::string data_dir_;
   /// Live commit tail for replication shippers; null when in-memory.
-  /// Internally synchronized (its own mutex) — shipper threads read it
-  /// without the commit lock.
+  /// Internally synchronized — shipper threads read it without the commit
+  /// lock. Declared before wal_ (whose writer thread pushes into it).
   std::unique_ptr<WalTailBuffer> tail_;
+  std::unique_ptr<GroupCommitWal> wal_;
 
   /// Read-your-writes publication. The atomic is the fast-path gauge;
   /// the mutex/condvar pair exists only for the bounded wait protocol
@@ -311,6 +441,7 @@ class TemporalQueryService {
   /// run from const contexts; it only ever moves the floor forward.
   mutable std::atomic<uint64_t> last_committed_sequence_{0};
   std::atomic<uint64_t> last_checkpoint_sequence_{0};
+  std::atomic<bool> checkpoint_running_{false};
   std::atomic<uint64_t> replicated_records_applied_{0};
   std::atomic<uint64_t> replicated_records_skipped_{0};
 
@@ -318,6 +449,7 @@ class TemporalQueryService {
   std::atomic<uint64_t> queries_failed_{0};
   std::atomic<uint64_t> writes_committed_{0};
   std::atomic<uint64_t> writes_failed_{0};
+  std::atomic<uint64_t> write_batches_committed_{0};
   std::atomic<uint64_t> vacuums_run_{0};
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> wal_records_appended_{0};
@@ -327,8 +459,8 @@ class TemporalQueryService {
   uint64_t recovered_records_ = 0;
   bool recovery_tail_dropped_ = false;
 
-  /// Last: joins workers before db_/cache_ die. Declared after everything
-  /// the tasks touch.
+  /// Last: joins workers before db_/cache_/wal_ die. Declared after
+  /// everything the tasks touch.
   ThreadPool pool_;
 };
 

@@ -1,5 +1,10 @@
 #include "src/service/session.h"
 
+#include <utility>
+
+#include "src/util/macros.h"
+#include "src/xml/parser.h"
+
 namespace txml {
 
 StatusOr<QueryResponse> ClientSession::Execute(const QueryRequest& request) {
@@ -15,6 +20,12 @@ StatusOr<QueryResponse> ClientSession::Execute(const PutRequest& request) {
   return service_->Execute(request);
 }
 
+StatusOr<QueryResponse> ClientSession::Execute(
+    const WriteBatchRequest& request) {
+  writes_issued_ += request.items.size();
+  return service_->Execute(request);
+}
+
 StatusOr<QueryResponse> ClientSession::Execute(const VacuumRequest& request) {
   // A vacuum is a write from the session's perspective: it takes the
   // exclusive commit lock and rewrites storage.
@@ -23,16 +34,22 @@ StatusOr<QueryResponse> ClientSession::Execute(const VacuumRequest& request) {
 }
 
 StatusOr<XmlDocument> ClientSession::Query(std::string_view query_text) {
-  ++queries_issued_;
-  last_stats_ = ExecStats{};
-  return service_->ExecuteQuery(query_text, &last_stats_);
+  QueryRequest request;
+  request.query_text = std::string(query_text);
+  // Compact: the payload is re-parsed below, and compact serialization
+  // round-trips without introducing whitespace text nodes.
+  request.pretty = false;
+  TXML_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+  return ParseXml(response.payload);
 }
 
 StatusOr<std::string> ClientSession::QueryToString(
     std::string_view query_text, bool pretty) {
-  ++queries_issued_;
-  last_stats_ = ExecStats{};
-  return service_->ExecuteQueryToString(query_text, pretty, &last_stats_);
+  QueryRequest request;
+  request.query_text = std::string(query_text);
+  request.pretty = pretty;
+  TXML_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+  return std::move(response.payload);
 }
 
 StatusOr<TemporalQueryService::PutResult> ClientSession::Put(

@@ -31,8 +31,12 @@ class ClientSession {
   /// the service's Execute and keep this session's last-query stats.
   StatusOr<QueryResponse> Execute(const QueryRequest& request);
   StatusOr<QueryResponse> Execute(const PutRequest& request);
+  StatusOr<QueryResponse> Execute(const WriteBatchRequest& request);
   StatusOr<QueryResponse> Execute(const VacuumRequest& request);
 
+  /// Convenience reads over Execute(QueryRequest). Query re-parses the
+  /// response payload into a document tree — callers that only need the
+  /// text should prefer QueryToString.
   StatusOr<XmlDocument> Query(std::string_view query_text);
   StatusOr<std::string> QueryToString(std::string_view query_text,
                                       bool pretty = true);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace txml {
 
@@ -37,6 +38,36 @@ struct DurabilityStats {
   bool recovery_tail_dropped = false;
 };
 
+/// One commit-lock stripe's contention counters (DESIGN.md §12).
+struct CommitShardStats {
+  /// Times a writer acquired this shard.
+  uint64_t acquires = 0;
+  /// Acquisitions that blocked on a same-shard writer (TryLock failed
+  /// first) — the contention signal. High waits on few shards = hot
+  /// documents; high waits everywhere = raise commit_shards.
+  uint64_t waits = 0;
+};
+
+/// Counters of the sharded commit path + group commit (DESIGN.md §12).
+/// These replace the single-commit-lock gauges that stopped meaning
+/// anything once the exclusive lock was split into stripes.
+struct CommitPathStats {
+  /// Per-stripe contention, indexed by shard (size == commit_shards).
+  std::vector<CommitShardStats> shards;
+  /// Group-commit batching (zeros on an in-memory service). The
+  /// amortization shows as records_written / syncs >> 1 in kAlways mode
+  /// under concurrent writers.
+  uint64_t batches_written = 0;
+  uint64_t records_written = 0;
+  uint64_t syncs = 0;
+  uint64_t max_batch_records = 0;
+  /// Batch sizes at powers of two: bucket 0 counts size-1 batches,
+  /// bucket 1 size 2, bucket 2 sizes 3-4, …, the last bucket everything
+  /// larger (see GroupCommitStats).
+  static constexpr size_t kBatchHistogramBuckets = 7;
+  uint64_t batch_size_histogram[kBatchHistogramBuckets] = {};
+};
+
 /// Replication-facing gauges (DESIGN.md §11). On a leader,
 /// last_committed_sequence is the newest WAL append; on a follower it is
 /// the newest leader sequence locally persisted and applied. Per-follower
@@ -61,12 +92,16 @@ struct ServiceStats {
   uint64_t queries_failed = 0;
   uint64_t writes_committed = 0;
   uint64_t writes_failed = 0;
+  /// WriteBatch requests whose run reached the log (per-item outcomes
+  /// count into writes_committed/writes_failed).
+  uint64_t write_batches_committed = 0;
   /// Successful Vacuum() passes over the store (failed ones count as
-  /// writes_failed — a vacuum takes the write side of the commit lock).
+  /// writes_failed — a vacuum holds every commit shard).
   uint64_t vacuums_run = 0;
   uint64_t sessions_opened = 0;
   SnapshotCacheStats snapshot_cache;
   DurabilityStats durability;
+  CommitPathStats commit_path;
   ReplicationStats replication;
 };
 

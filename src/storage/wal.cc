@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "src/storage/wal_tail.h"
 #include "src/util/coding.h"
 #include "src/util/crc32c.h"
 #include "src/util/env.h"
@@ -301,6 +303,62 @@ StatusOr<uint64_t> WriteAheadLog::AppendWithSequence(const WalRecord& record,
   framed.append(body);
   PutFixed32(&framed, crc32c::Mask(crc32c::Value(body)));
 
+  Status written = WriteFramed(framed);
+  if (!written.ok()) return written;
+  file_bytes_ += framed.size();
+  ++record_count_;
+  last_sequence_ = sequence;
+  ++unsynced_records_;
+
+  bool want_sync =
+      options_.sync_mode == WalSyncMode::kAlways ||
+      (options_.sync_mode == WalSyncMode::kEveryN &&
+       unsynced_records_ >= options_.sync_every_n);
+  if (want_sync) {
+    Status synced = SyncLocked();
+    if (!synced.ok()) return synced;
+  }
+  return sequence;
+}
+
+Status WriteAheadLog::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::OK();
+  if (poisoned_) {
+    return Status::Unavailable(
+        "wal '" + path_ +
+        "' is poisoned after a failed sync/rollback; restart to recover");
+  }
+  uint64_t prev = last_sequence_;
+  std::string framed;
+  for (const WalRecord& record : records) {
+    if (record.sequence <= prev) {
+      return Status::InvalidArgument(
+          "batch record sequence " + std::to_string(record.sequence) +
+          " does not advance past " + std::to_string(prev));
+    }
+    prev = record.sequence;
+    std::string body = EncodeWalRecordBody(record, record.sequence);
+    PutVarint64(&framed, body.size());
+    framed.append(body);
+    PutFixed32(&framed, crc32c::Mask(crc32c::Value(body)));
+  }
+
+  Status written = WriteFramed(framed);
+  if (!written.ok()) return written;
+  file_bytes_ += framed.size();
+  record_count_ += records.size();
+  last_sequence_ = prev;
+  unsynced_records_ += records.size();
+
+  bool want_sync =
+      options_.sync_mode == WalSyncMode::kAlways ||
+      (options_.sync_mode == WalSyncMode::kEveryN &&
+       unsynced_records_ >= options_.sync_every_n);
+  if (want_sync) return SyncLocked();
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteFramed(std::string_view framed) {
   std::string_view to_write = framed;
   size_t injected_allowed = 0;
   bool injected =
@@ -333,20 +391,7 @@ StatusOr<uint64_t> WriteAheadLog::AppendWithSequence(const WalRecord& record,
     }
     return Status::IoError(ErrnoDetail("write", path_, write_errno));
   }
-  file_bytes_ += framed.size();
-  ++record_count_;
-  last_sequence_ = sequence;
-  ++unsynced_records_;
-
-  bool want_sync =
-      options_.sync_mode == WalSyncMode::kAlways ||
-      (options_.sync_mode == WalSyncMode::kEveryN &&
-       unsynced_records_ >= options_.sync_every_n);
-  if (want_sync) {
-    Status synced = SyncLocked();
-    if (!synced.ok()) return synced;
-  }
-  return sequence;
+  return Status::OK();
 }
 
 Status WriteAheadLog::SyncLocked() {
@@ -366,6 +411,7 @@ Status WriteAheadLog::SyncLocked() {
                            "; wal poisoned");
   }
   unsynced_records_ = 0;
+  ++sync_count_;
   return Status::OK();
 }
 
@@ -416,6 +462,221 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::ReplayData(
   Status scanned = ScanLog(data, "<memory>", &result);
   if (!scanned.ok()) return scanned;
   return result;
+}
+
+namespace {
+
+// GroupCommitStats histogram bucket for a batch of `n` records: 0 → size
+// 1, 1 → 2, 2 → 3-4, 3 → 5-8, …, last bucket → everything larger.
+size_t BatchHistogramBucket(size_t n) {
+  size_t bucket = 0;
+  size_t bound = 1;
+  while (bucket + 1 < GroupCommitStats::kHistogramBuckets && n > bound) {
+    ++bucket;
+    bound <<= 1;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+GroupCommitWal::GroupCommitWal(std::unique_ptr<WriteAheadLog> wal, Hooks hooks)
+    : wal_(std::move(wal)), hooks_(std::move(hooks)) {
+  {
+    MutexLock lock(mu_);
+    submitted_watermark_ = wal_->last_sequence();
+    MirrorGauges();
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+GroupCommitWal::~GroupCommitWal() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+    queue_cv_.Signal();
+  }
+  writer_.join();
+}
+
+void GroupCommitWal::EnqueueLocked(const WalRecord& record, Ticket* ticket) {
+  if (stopping_) {
+    ticket->result_ = Status::Unavailable("group-commit wal is shutting down");
+    ticket->done_ = true;
+    return;
+  }
+  if (poisoned_.load(std::memory_order_relaxed)) {
+    ticket->result_ = Status::Unavailable(
+        "wal '" + wal_->path() + "' is poisoned; restart to recover");
+    ticket->done_ = true;
+    return;
+  }
+  if (record.sequence <= submitted_watermark_) {
+    ticket->result_ = Status::InvalidArgument(
+        "group-commit record sequence " + std::to_string(record.sequence) +
+        " does not advance past " + std::to_string(submitted_watermark_));
+    ticket->done_ = true;
+    return;
+  }
+  submitted_watermark_ = record.sequence;
+  queue_.push_back(Pending{record, ticket});
+}
+
+void GroupCommitWal::Enqueue(const WalRecord& record, Ticket* ticket) {
+  MutexLock lock(mu_);
+  EnqueueLocked(record, ticket);
+  SignalWriterLocked();
+}
+
+void GroupCommitWal::EnqueueRun(const std::vector<WalRecord>& records,
+                                const std::vector<Ticket*>& tickets) {
+  MutexLock lock(mu_);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EnqueueLocked(records[i], tickets[i]);
+  }
+  SignalWriterLocked();
+}
+
+void GroupCommitWal::SignalWriterLocked() {
+  // While the writer is holding a batch open (the formation window), a
+  // wake-per-enqueue is a context switch per record for nothing — it
+  // would just re-check and sleep again. Wake it early only when the
+  // queue now covers every commit in flight (nobody left to wait for);
+  // otherwise its deadline timeout closes the batch.
+  if (forming_ &&
+      queue_.size() < hooks_.commits_in_flight()) {
+    return;
+  }
+  queue_cv_.Signal();
+}
+
+Status GroupCommitWal::Wait(Ticket* ticket) {
+  MutexLock lock(mu_);
+  while (!ticket->done_) ack_cv_.Wait(mu_);
+  return ticket->result_;
+}
+
+Status GroupCommitWal::Append(const WalRecord& record) {
+  Ticket ticket;
+  Enqueue(record, &ticket);
+  return Wait(&ticket);
+}
+
+Status GroupCommitWal::Flush() {
+  MutexLock lock(mu_);
+  while (!queue_.empty() || writing_) ack_cv_.Wait(mu_);
+  // The writer is parked (it needs mu_ to start another batch), so the
+  // log is safe to touch directly.
+  Status synced = wal_->Sync();
+  MirrorGauges();
+  return synced;
+}
+
+Status GroupCommitWal::Reset(uint64_t base_sequence) {
+  MutexLock lock(mu_);
+  while (!queue_.empty() || writing_) ack_cv_.Wait(mu_);
+  Status reset = wal_->Reset(base_sequence);
+  if (reset.ok()) {
+    submitted_watermark_ = std::max(submitted_watermark_, base_sequence);
+  }
+  MirrorGauges();
+  return reset;
+}
+
+GroupCommitStats GroupCommitWal::Stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void GroupCommitWal::MirrorGauges() {
+  // Release on last_sequence_ pairs with the acquire load in the
+  // accessor: a reader that observes the new sequence also observes the
+  // batch's effects.
+  file_bytes_.store(wal_->file_bytes(), std::memory_order_relaxed);
+  record_count_.store(wal_->record_count(), std::memory_order_relaxed);
+  sync_count_.store(wal_->sync_count(), std::memory_order_relaxed);
+  poisoned_.store(wal_->poisoned(), std::memory_order_relaxed);
+  last_sequence_.store(wal_->last_sequence(), std::memory_order_release);
+}
+
+void GroupCommitWal::WriterLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) queue_cv_.Wait(mu_);
+      if (queue_.empty() && stopping_) return;
+      // Batch formation (WalOptions::group_commit_window_us): while more
+      // commits are inside the commit path than are queued — committers
+      // mid-apply whose next records are moments away — hold the batch
+      // open so they share this write and its sync, instead of paying one
+      // sync each across several small batches. Bounded by the window; a
+      // lone committer never waits (queue covers the in-flight count).
+      const int64_t window_us =
+          hooks_.commits_in_flight ? wal_->options().group_commit_window_us
+                                   : 0;
+      if (window_us > 0) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(window_us);
+        forming_ = true;
+        while (!stopping_ &&
+               queue_.size() < hooks_.commits_in_flight()) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now >= deadline) break;
+          const int64_t remaining_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                    now)
+                  .count();
+          queue_cv_.WaitForMicros(mu_, std::max<int64_t>(remaining_us, 1));
+        }
+        forming_ = false;
+      }
+      batch.assign(queue_.begin(), queue_.end());
+      queue_.clear();
+      if (stopping_) {
+        // Drain-on-shutdown: nothing may be written anymore; fail the
+        // stragglers (by contract nobody is waiting — see ~GroupCommitWal).
+        for (Pending& pending : batch) {
+          pending.ticket->result_ =
+              Status::Unavailable("group-commit wal is shutting down");
+          pending.ticket->done_ = true;
+        }
+        ack_cv_.SignalAll();
+        return;
+      }
+      writing_ = true;
+    }
+
+    std::vector<WalRecord> records;
+    records.reserve(batch.size());
+    for (Pending& pending : batch) records.push_back(pending.record);
+    Status appended = wal_->AppendBatch(records);
+
+    if (appended.ok() && hooks_.tail != nullptr) {
+      // Post-sync-decision push: a follower can only ever see records the
+      // leader acknowledged (durable in kAlways mode).
+      for (const WalRecord& record : records) hooks_.tail->Push(record);
+    }
+
+    {
+      MutexLock lock(mu_);
+      writing_ = false;
+      MirrorGauges();
+      if (appended.ok()) {
+        ++stats_.batches_written;
+        stats_.records_written += records.size();
+        stats_.syncs = wal_->sync_count();
+        stats_.max_batch_records =
+            std::max<uint64_t>(stats_.max_batch_records, records.size());
+        ++stats_.batch_size_histogram[BatchHistogramBucket(records.size())];
+      }
+      for (Pending& pending : batch) {
+        pending.ticket->result_ = appended;
+        pending.ticket->done_ = true;
+      }
+      ack_cv_.SignalAll();
+    }
+  }
 }
 
 Status WriteCheckpointStamp(const std::string& dir, uint64_t sequence) {

@@ -1,14 +1,20 @@
 #ifndef TXML_SRC_STORAGE_WAL_H_
 #define TXML_SRC_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/storage/vacuum.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
+#include "src/util/synchronization.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/timestamp.h"
 
 namespace txml {
@@ -59,6 +65,15 @@ struct WalOptions {
   WalSyncMode sync_mode = WalSyncMode::kAlways;
   /// kEveryN: fsync once per this many appended records. Must be > 0.
   uint64_t sync_every_n = 8;
+  /// Group commit batch-formation window (GroupCommitWal only): when the
+  /// commits-in-flight hook reports more committers inside the commit
+  /// path than records queued, the log-writer thread holds the batch open
+  /// up to this long so their records join the same write + fsync. A lone
+  /// writer never waits (its record is the only commit in flight, so the
+  /// queue already covers the in-flight count) — the window costs nothing
+  /// at concurrency 1 and amortizes the sync at concurrency N. 0 disables
+  /// the wait (sync as soon as anything is queued).
+  int64_t group_commit_window_us = 250;
 };
 
 enum class WalRecordType : uint8_t {
@@ -128,6 +143,17 @@ class WriteAheadLog {
   /// Same durability/poisoning semantics as Append.
   StatusOr<uint64_t> AppendReplicated(const WalRecord& record);
 
+  /// Group commit: appends `records` — each carrying a caller-assigned
+  /// sequence, strictly ascending and above last_sequence() — as ONE
+  /// write() followed by at most one sync decision for the whole batch
+  /// (kAlways: one fsync covers every record; kEveryN counts the batch
+  /// against its budget; kNone never syncs). The frame bytes on disk are
+  /// identical to `records.size()` individual Appends — replay and
+  /// replication cannot tell a batch from a run of singles. All-or-
+  /// nothing: a write failure rolls the whole batch back (ftruncate), a
+  /// rollback or fsync failure poisons, exactly as Append.
+  Status AppendBatch(const std::vector<WalRecord>& records);
+
   /// Explicit group-commit flush (kNone/kEveryN callers before an ack
   /// barrier). No-op when nothing is unsynced.
   Status Sync();
@@ -145,8 +171,13 @@ class WriteAheadLog {
   uint64_t file_bytes() const { return file_bytes_; }
   /// Complete records currently in the file.
   uint64_t record_count() const { return record_count_; }
+  /// Successful fsync calls over the log's lifetime. With group commit the
+  /// interesting ratio is sync_count() / record_count(): far below 1 in
+  /// kAlways mode under concurrency is the amortization working.
+  uint64_t sync_count() const { return sync_count_; }
   bool poisoned() const { return poisoned_; }
   const std::string& path() const { return path_; }
+  const WalOptions& options() const { return options_; }
 
   struct ReplayResult {
     std::vector<WalRecord> records;
@@ -180,6 +211,10 @@ class WriteAheadLog {
   StatusOr<uint64_t> AppendWithSequence(const WalRecord& record,
                                         uint64_t sequence);
 
+  /// Writes `framed` (one or many complete frames) atomically: rollback
+  /// via ftruncate on a short write, poisoning when the rollback fails.
+  Status WriteFramed(std::string_view framed);
+
   /// fsync with poisoning semantics (see Append).
   Status SyncLocked();
 
@@ -190,7 +225,189 @@ class WriteAheadLog {
   uint64_t file_bytes_ = 0;
   uint64_t record_count_ = 0;
   uint64_t unsynced_records_ = 0;
+  uint64_t sync_count_ = 0;
   bool poisoned_ = false;
+};
+
+class WalTailBuffer;
+
+/// Point-in-time counters of a GroupCommitWal (DESIGN.md §12). The
+/// histogram buckets batch sizes at powers of two: bucket i counts batches
+/// of size in (2^(i-1), 2^i] — i.e. 1, 2, 3-4, 5-8, 9-16, 17-32, and the
+/// last bucket everything larger.
+struct GroupCommitStats {
+  static constexpr size_t kHistogramBuckets = 7;
+  uint64_t batches_written = 0;
+  uint64_t records_written = 0;
+  /// fsync calls issued (≤ batches in kAlways mode — the amortization).
+  uint64_t syncs = 0;
+  uint64_t max_batch_records = 0;
+  uint64_t batch_size_histogram[kHistogramBuckets] = {};
+};
+
+/// The group-commit front end of a WriteAheadLog (DESIGN.md §12): an
+/// append queue drained by one dedicated log-writer thread that folds all
+/// concurrently submitted records into a single AppendBatch — one write(),
+/// one sync decision — and wakes each committer only once its record's
+/// batch has resolved:
+///
+///   kAlways  — after the batch's fsync, so a woken committer's record is
+///              durable (one fsync amortized over every commit in the
+///              batch);
+///   kEveryN  — after the write; fsync happens once per N records across
+///              batches, exactly the standing every_n contract;
+///   kNone    — after the write (the OS flushes when it likes).
+///
+/// Sequences are assigned by the CALLER (the service's global allocator
+/// draws sequence + commit timestamp under one lock so WAL order, apply
+/// order and replication order all agree); Append here only coordinates
+/// durability. The hooks fire on the writer thread only after the batch
+/// passed its sync decision — the replication tail and the
+/// read-your-writes floor publish only acknowledged prefixes, so a
+/// follower can never observe a record the leader did not acknowledge.
+///
+/// Error isolation is per batch: a write failure (rolled back cleanly by
+/// AppendBatch) fails exactly the committers in that batch, and later
+/// batches proceed — their sequences leave a gap, which replay and
+/// replication already tolerate. Poisoning (failed fsync/rollback) fails
+/// everything until recovery, exactly as the underlying log.
+class GroupCommitWal {
+ public:
+  struct Hooks {
+    /// Acknowledged records are pushed here in sequence order; may be null.
+    WalTailBuffer* tail = nullptr;
+    /// Commits currently inside the service's commit path (ticket
+    /// allocated, turn not yet finished) — the batch-formation signal for
+    /// WalOptions::group_commit_window_us. Must be lock-free (it is read
+    /// with the queue lock held); may be null (no window is ever held).
+    std::function<uint64_t()> commits_in_flight;
+  };
+
+  /// A pending submission handle: lives on the submitting thread's stack
+  /// between Enqueue and Wait (the writer thread fills it in place, so it
+  /// must not move meanwhile).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+   private:
+    friend class GroupCommitWal;
+    Status result_;
+    bool done_ = false;
+  };
+
+  /// Takes ownership of an opened log; spawns the writer thread.
+  GroupCommitWal(std::unique_ptr<WriteAheadLog> wal, Hooks hooks);
+  /// Stops the writer thread. No submission may be in flight (Wait blocks
+  /// until its record resolves, so a live caller cannot coexist with
+  /// destruction); anything still queued fails kUnavailable.
+  ~GroupCommitWal();
+
+  GroupCommitWal(const GroupCommitWal&) = delete;
+  GroupCommitWal& operator=(const GroupCommitWal&) = delete;
+
+  /// Submits `record` (sequence pre-assigned, strictly above every
+  /// previously submitted sequence — callers serialize their Enqueues
+  /// through the sequence allocator's lock, which makes queue order equal
+  /// sequence order by construction). Returns immediately; the caller
+  /// later blocks in Wait. A submission rejected up front (shutdown,
+  /// poisoned log, non-ascending sequence) resolves the ticket
+  /// immediately with the error.
+  void Enqueue(const WalRecord& record, Ticket* ticket) EXCLUDES(mu_);
+
+  /// Enqueues `records[i]` onto `tickets[i]` in one queue critical
+  /// section: the whole run lands in the same drain, hence shares one
+  /// batch and at most one fsync (the WriteBatch request path).
+  void EnqueueRun(const std::vector<WalRecord>& records,
+                  const std::vector<Ticket*>& tickets) EXCLUDES(mu_);
+
+  /// Blocks until the ticket's batch resolved: OK once the record is
+  /// acknowledged per the sync policy, the batch's error otherwise.
+  Status Wait(Ticket* ticket) EXCLUDES(mu_);
+
+  /// Enqueue + Wait — the convenience form for serial callers (the
+  /// replicated-apply path, tests).
+  Status Append(const WalRecord& record) EXCLUDES(mu_);
+
+  /// Waits for everything already queued to be written, then forces an
+  /// fsync (the ack barrier before a checkpoint, mirroring
+  /// WriteAheadLog::Sync for the kNone/kEveryN modes).
+  Status Flush() EXCLUDES(mu_);
+
+  /// Post-checkpoint truncation (WriteAheadLog::Reset) through the group
+  /// path. The caller must hold the commit path quiescent (no Append in
+  /// flight or able to start — the service takes every commit shard);
+  /// the queue is drained, the writer parked, and the log swapped.
+  Status Reset(uint64_t base_sequence) EXCLUDES(mu_);
+
+  // Gauges mirrored from the underlying log after every batch, readable
+  // from any thread without a lock (Stats() no longer needs the commit
+  // lock — each gauge is independently fresh).
+  uint64_t last_sequence() const {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
+  uint64_t file_bytes() const {
+    return file_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t record_count() const {
+    return record_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
+  bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+
+  GroupCommitStats Stats() const EXCLUDES(mu_);
+
+  /// Test access to the owned log. The writer thread appends to it; do
+  /// not call mutating members through this.
+  const WriteAheadLog* wal() const { return wal_.get(); }
+
+ private:
+  struct Pending {
+    WalRecord record;
+    /// Points at the submitting caller's Ticket; the writer fills it
+    /// under mu_ and signals ack_cv_.
+    Ticket* ticket;
+  };
+
+  void EnqueueLocked(const WalRecord& record, Ticket* ticket) REQUIRES(mu_);
+  /// Wakes the writer for a new record — immediately when it is idle,
+  /// but during the batch-formation window only once the queue covers
+  /// every commit in flight (see WalOptions::group_commit_window_us).
+  void SignalWriterLocked() REQUIRES(mu_);
+  void WriterLoop() EXCLUDES(mu_);
+  void MirrorGauges() REQUIRES(mu_);
+
+  /// Appended to by the writer thread between the two mu_ critical
+  /// sections of a batch (writing_ is true then); quiesced operations
+  /// (Flush/Reset) touch it only under mu_ with the writer parked.
+  std::unique_ptr<WriteAheadLog> wal_;
+  Hooks hooks_;
+
+  mutable Mutex mu_;
+  CondVar queue_cv_;  // wakes the writer: queue non-empty or stopping
+  CondVar ack_cv_;    // wakes committers and quiesced ops: batch resolved
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  /// Highest sequence ever submitted (validates ascending submission).
+  uint64_t submitted_watermark_ GUARDED_BY(mu_) = 0;
+  bool writing_ GUARDED_BY(mu_) = false;  // writer mid-batch, log in use
+  /// Writer inside the batch-formation window — enqueues skip the wakeup
+  /// unless they complete the batch (SignalWriterLocked).
+  bool forming_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
+
+  GroupCommitStats stats_ GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> last_sequence_{0};
+  std::atomic<uint64_t> file_bytes_{0};
+  std::atomic<uint64_t> record_count_{0};
+  std::atomic<uint64_t> sync_count_{0};
+  std::atomic<bool> poisoned_{false};
+
+  std::thread writer_;  // last: joined by the destructor
 };
 
 /// The checkpoint stamp: a tiny atomic file recording the WAL sequence a

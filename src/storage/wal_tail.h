@@ -13,8 +13,11 @@ namespace txml {
 
 /// In-memory ring of the most recently committed WAL records — the live
 /// tail a replication shipper reads without touching the log file
-/// (DESIGN.md §11). The commit path pushes every logged record here
-/// (leader sequence space), and shipper threads block on ReadAfter until
+/// (DESIGN.md §11). With group commit (DESIGN.md §12) the log-writer
+/// thread pushes each record here only AFTER its batch's write and sync
+/// decision succeeded, so the ring holds exactly the durable prefix of
+/// the log: a follower can never observe a sequence the leader might
+/// still lose to a crash. Shipper threads block on ReadAfter until
 /// records past their cursor arrive.
 ///
 /// The buffer is bounded by records and bytes; eviction advances
@@ -47,9 +50,10 @@ class WalTailBuffer {
   WalTailBuffer(const WalTailBuffer&) = delete;
   WalTailBuffer& operator=(const WalTailBuffer&) = delete;
 
-  /// Appends a committed record (sequence must be increasing; callers
-  /// push from the commit path while holding the service commit lock,
-  /// which serializes them). Evicts from the front to stay in budget.
+  /// Appends a committed record (sequence must be increasing; the single
+  /// GroupCommitWal writer thread is the only pusher, and it pushes each
+  /// batch after its sync decision, so followers only ever read
+  /// acknowledged records). Evicts from the front to stay in budget.
   void Push(const WalRecord& record) EXCLUDES(mu_);
 
   /// Seeds the floor after recovery: records at or below `sequence` are

@@ -119,6 +119,14 @@ class CondVar {
     return result == std::cv_status::no_timeout;
   }
 
+  /// WaitFor at microsecond resolution (sub-millisecond batching windows).
+  bool WaitForMicros(Mutex& mu, int64_t timeout_us) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    auto result = cv_.wait_for(native, std::chrono::microseconds(timeout_us));
+    native.release();
+    return result == std::cv_status::no_timeout;
+  }
+
   void Signal() { cv_.notify_one(); }
   void SignalAll() { cv_.notify_all(); }
 

@@ -18,6 +18,7 @@
 
 #include "src/net/cli_flags.h"
 #include "src/net/client.h"
+#include "src/net/rate_limiter.h"
 #include "src/net/server.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
@@ -29,6 +30,18 @@ namespace txml {
 namespace {
 
 Timestamp Day(int d) { return Timestamp::FromDate(2001, 1, d); }
+
+/// Unified-Execute convenience: run one query against the in-process
+/// service and unwrap the payload (used as the oracle for wire tests).
+StatusOr<std::string> RunQuery(TemporalQueryService* service,
+                               const std::string& query, bool pretty = true) {
+  QueryRequest request;
+  request.query_text = query;
+  request.pretty = pretty;
+  auto response = service->Execute(request);
+  if (!response.ok()) return response.status();
+  return std::move(response->payload);
+}
 
 // ------------------------------------------------------------- wire codec
 
@@ -129,7 +142,7 @@ TEST(WireTest, RandomBytesNeverCrashDecoders) {
     for (size_t i = 0; i < size; ++i) {
       bytes.push_back(static_cast<char>(rng.Uniform(256)));
     }
-    for (int which = 0; which < 9; ++which) {
+    for (int which = 0; which < 10; ++which) {
       Status status = Status::OK();
       switch (which) {
         case 0: status = DecodeQueryRequest(bytes).status(); break;
@@ -141,6 +154,7 @@ TEST(WireTest, RandomBytesNeverCrashDecoders) {
         case 6: status = DecodeReplHeartbeat(bytes).status(); break;
         case 7: status = DecodeReplAck(bytes).status(); break;
         case 8: status = DecodeStatsRequest(bytes).status(); break;
+        case 9: status = DecodeWriteBatchRequest(bytes).status(); break;
       }
       if (!status.ok()) {
         EXPECT_EQ(status.code(), StatusCode::kInvalidFrame)
@@ -217,8 +231,7 @@ TEST(NetTest, PaperQueriesMatchInProcessByteForByte) {
 
   for (bool pretty : {true, false}) {
     for (const char* query : kPaperQueries) {
-      auto in_process =
-          fixture.service->ExecuteQueryToString(query, pretty);
+      auto in_process = RunQuery(fixture.service.get(), query, pretty);
       ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
 
       QueryRequest request;
@@ -286,6 +299,196 @@ TEST(NetTest, PutsOverTheWireCommitAndConfirm) {
   EXPECT_NE(count->payload.find("1"), std::string::npos);
 }
 
+TEST(WireTest, WriteBatchRequestRoundTrip) {
+  WriteBatchRequest request;
+  WriteBatchItem put;
+  put.kind = WriteBatchItem::Kind::kPut;
+  put.url = "a";
+  put.xml_text = "<d><x>1</x></d>";
+  put.timestamp = Day(3);
+  request.items.push_back(put);
+  WriteBatchItem del;
+  del.kind = WriteBatchItem::Kind::kDelete;
+  del.url = "b";
+  request.items.push_back(del);
+
+  auto decoded = DecodeWriteBatchRequest(EncodeWriteBatchRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->items.size(), 2u);
+  EXPECT_EQ(decoded->items[0].kind, WriteBatchItem::Kind::kPut);
+  EXPECT_EQ(decoded->items[0].url, "a");
+  EXPECT_EQ(decoded->items[0].xml_text, "<d><x>1</x></d>");
+  ASSERT_TRUE(decoded->items[0].timestamp.has_value());
+  EXPECT_EQ(*decoded->items[0].timestamp, Day(3));
+  EXPECT_EQ(decoded->items[1].kind, WriteBatchItem::Kind::kDelete);
+  EXPECT_EQ(decoded->items[1].url, "b");
+  EXPECT_FALSE(decoded->items[1].timestamp.has_value());
+
+  // The decoder enforces the batch cap before reserving anything: a
+  // hostile count cannot drive a giant allocation.
+  std::string oversized;
+  PutVarint32(&oversized, kEnvelopeVersion);
+  PutVarint32(&oversized, static_cast<uint32_t>(kMaxWriteBatchItems + 1));
+  auto rejected = DecodeWriteBatchRequest(oversized);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidFrame());
+
+  // Unknown item kinds are rejected, not misparsed.
+  std::string bad_kind;
+  PutVarint32(&bad_kind, kEnvelopeVersion);
+  PutVarint32(&bad_kind, 1);
+  PutVarint32(&bad_kind, 7);  // no such WriteBatchItem::Kind
+  auto unknown = DecodeWriteBatchRequest(bad_kind);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.status().IsInvalidFrame());
+}
+
+TEST(NetRateLimiterTest, TokenBucketAdmitsBurstThenThrottles) {
+  int64_t now = 0;
+  TokenBucketRateLimiter::Options options;
+  options.tokens_per_sec = 2;
+  options.burst = 3;
+  TokenBucketRateLimiter limiter(options, [&now] { return now; });
+
+  // A fresh key starts full: the burst is admitted, the next is not.
+  EXPECT_TRUE(limiter.Admit("10.0.0.1"));
+  EXPECT_TRUE(limiter.Admit("10.0.0.1"));
+  EXPECT_TRUE(limiter.Admit("10.0.0.1"));
+  EXPECT_FALSE(limiter.Admit("10.0.0.1"));
+  EXPECT_EQ(limiter.rejected(), 1u);
+
+  // Other keys have their own buckets.
+  EXPECT_TRUE(limiter.Admit("10.0.0.2"));
+
+  // Half a second refills one token (2/sec); one request fits, two don't.
+  now += 500'000;
+  EXPECT_TRUE(limiter.Admit("10.0.0.1"));
+  EXPECT_FALSE(limiter.Admit("10.0.0.1"));
+
+  // Refill saturates at burst: after a long idle, exactly 3 fit again.
+  now += 3'600'000'000;
+  EXPECT_TRUE(limiter.Admit("10.0.0.1"));
+  EXPECT_TRUE(limiter.Admit("10.0.0.1"));
+  EXPECT_TRUE(limiter.Admit("10.0.0.1"));
+  EXPECT_FALSE(limiter.Admit("10.0.0.1"));
+}
+
+TEST(NetRateLimiterTest, FullBucketsAreSweptAtCapacity) {
+  int64_t now = 0;
+  TokenBucketRateLimiter::Options options;
+  options.tokens_per_sec = 1;
+  options.burst = 2;
+  options.max_buckets = 4;
+  TokenBucketRateLimiter limiter(options, [&now] { return now; });
+
+  // Fill the map with keys, draining one of them.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(limiter.Admit("key" + std::to_string(i)));
+  }
+  EXPECT_TRUE(limiter.Admit("key0"));
+  EXPECT_FALSE(limiter.Admit("key0"));  // drained
+  ASSERT_EQ(limiter.bucket_count(), 4u);
+
+  // A long idle refills keys 1..3 to full; the next new key triggers the
+  // sweep, which drops exactly the full (stateless) buckets. key0, still
+  // refilling, survives.
+  now += 1'500'000;  // key0 is at 1.5 of 2 tokens — not yet full
+  EXPECT_TRUE(limiter.Admit("fresh"));
+  EXPECT_EQ(limiter.bucket_count(), 2u);  // key0 + fresh
+  // key0's partial drain is still remembered: one token, not a burst.
+  EXPECT_TRUE(limiter.Admit("key0"));
+  EXPECT_FALSE(limiter.Admit("key0"));
+}
+
+TEST(NetTest, WriteBatchOverTheWireCommitsAndReportsPerItem) {
+  ServerFixture fixture;
+  ASSERT_TRUE(
+      fixture.service->PutAt("doomed", "<d><x>1</x></d>", Day(1)).ok());
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok());
+
+  WriteBatchRequest batch;
+  WriteBatchItem put;
+  put.kind = WriteBatchItem::Kind::kPut;
+  put.url = "batched";
+  put.xml_text = "<d><item><name>alpha</name></item></d>";
+  put.timestamp = Day(2);
+  batch.items.push_back(put);
+  WriteBatchItem bad;
+  bad.kind = WriteBatchItem::Kind::kPut;
+  bad.url = "broken";
+  bad.xml_text = "<unclosed>";
+  batch.items.push_back(bad);
+  WriteBatchItem del;
+  del.kind = WriteBatchItem::Kind::kDelete;
+  del.url = "doomed";
+  batch.items.push_back(del);
+
+  auto response = client->Execute(batch);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->payload.find("items=\"3\""), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("committed=\"2\""), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("failed=\"1\""), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("url=\"broken\" action=\"put\" "
+                                   "status=\"error\""),
+            std::string::npos)
+      << response->payload;
+
+  // The batch's effects are queryable over the same connection.
+  QueryRequest query;
+  query.query_text = "SELECT COUNT(I) FROM doc(\"batched\")[NOW]/item I";
+  auto count = client->Execute(query);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NE(count->payload.find(">1<"), std::string::npos) << count->payload;
+  query.query_text = "SELECT COUNT(X) FROM doc(\"doomed\")[NOW]/x X";
+  auto gone = client->Execute(query);
+  ASSERT_TRUE(gone.ok()) << gone.status().ToString();
+  EXPECT_NE(gone->payload.find(">0<"), std::string::npos) << gone->payload;
+
+  // An empty batch is an InvalidArgument request failure, not a protocol
+  // error — the connection survives it.
+  WriteBatchRequest empty;
+  auto rejected = client->Execute(empty);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  auto still_alive = client->Execute(query);
+  EXPECT_TRUE(still_alive.ok());
+}
+
+TEST(NetTest, RateLimitedRequestsGetRetryableUnavailable) {
+  ServerOptions options;
+  // Two requests of burst, then an (effectively) unrefillable bucket:
+  // rejections are deterministic, no timing dependence.
+  options.rate_limit_per_sec = 0.0001;
+  options.rate_limit_burst = 2;
+  ServerFixture fixture(options);
+  PutGuideHistory(fixture.service.get());
+  auto client = fixture.Connect();
+  ASSERT_TRUE(client.ok());
+
+  QueryRequest query;
+  query.query_text = kPaperQueries[0];
+  EXPECT_TRUE(client->Execute(query).ok());
+  EXPECT_TRUE(client->Execute(query).ok());
+  auto throttled = client->Execute(query);
+  ASSERT_FALSE(throttled.ok());
+  EXPECT_TRUE(throttled.status().IsUnavailable()) << throttled.status().ToString();
+
+  // Throttling is back-pressure, not a protocol error: the connection is
+  // still serviceable (and still throttled).
+  auto again = client->Execute(query);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsUnavailable());
+
+  ServerStats stats = fixture.server->Stats();
+  EXPECT_GE(stats.requests_rate_limited, 2u);
+  // Admitted requests were served normally.
+  EXPECT_EQ(stats.requests_served, 2u);
+}
+
 TEST(NetTest, ErrorStatusCodesSurviveTheRoundTrip) {
   ServerFixture fixture;
   PutGuideHistory(fixture.service.get());
@@ -327,7 +530,7 @@ TEST(NetTest, LargePayloadStreamsInChunks) {
       fixture.service->PutAt("big", "<d>" + body + "</d>", Day(1)).ok());
 
   const char* query = "SELECT R FROM doc(\"big\")[01/01/2001]/item R";
-  auto in_process = fixture.service->ExecuteQueryToString(query);
+  auto in_process = RunQuery(fixture.service.get(), query);
   ASSERT_TRUE(in_process.ok());
   ASSERT_GT(in_process->size(), 8 * server_options.response_chunk_bytes);
 
@@ -475,7 +678,7 @@ TEST(NetTest, GracefulShutdownDrainsInFlightQueries) {
 
   std::string oracle;
   {
-    auto answer = fixture.service->ExecuteQueryToString(kPaperQueries[0]);
+    auto answer = RunQuery(fixture.service.get(), kPaperQueries[0]);
     ASSERT_TRUE(answer.ok());
     oracle = *answer;
   }
@@ -528,7 +731,7 @@ TEST(NetStressTest, ConcurrentClientsMatchSerialOracle) {
 
   std::vector<std::string> oracle;
   for (const char* query : kPaperQueries) {
-    auto answer = fixture.service->ExecuteQueryToString(query);
+    auto answer = RunQuery(fixture.service.get(), query);
     ASSERT_TRUE(answer.ok());
     oracle.push_back(*answer);
   }

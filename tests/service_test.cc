@@ -3,6 +3,7 @@
 // including the multi-threaded stress test of the single-writer /
 // multi-reader model (run it under ThreadSanitizer: scripts/check.sh).
 #include <atomic>
+#include <filesystem>
 #include <future>
 #include <iterator>
 #include <memory>
@@ -58,12 +59,27 @@ const char* kStableQueries[] = {
     "SELECT MIN(R/price), MAX(R/price) FROM doc(\"hot\")[06/01/2001]/item R",
 };
 
+/// Executes one query through the unified entry point and unwraps the
+/// serialized payload (and optionally the execution counters); kept local
+/// because the service API itself has no string-unwrap call.
+StatusOr<std::string> RunQuery(TemporalQueryService& service,
+                               const std::string& query, bool pretty = true,
+                               ExecStats* stats = nullptr) {
+  QueryRequest request;
+  request.query_text = query;
+  request.pretty = pretty;
+  auto response = service.Execute(request);
+  if (!response.ok()) return response.status();
+  if (stats != nullptr) *stats = response->stats;
+  return std::move(response->payload);
+}
+
 TEST(ServiceTest, BasicQueryAndWriteFlow) {
   TemporalQueryService service;
   PutHotHistory(&service);
 
-  auto count = service.ExecuteQueryToString(
-      "SELECT COUNT(R) FROM doc(\"hot\")[03/01/2001]/item R");
+  auto count = RunQuery(
+      service, "SELECT COUNT(R) FROM doc(\"hot\")[03/01/2001]/item R");
   ASSERT_TRUE(count.ok()) << count.status().ToString();
   EXPECT_NE(count->find("3"), std::string::npos);
 
@@ -73,7 +89,7 @@ TEST(ServiceTest, BasicQueryAndWriteFlow) {
   EXPECT_GT(service.Epoch(), before);
 
   // A malformed query fails and is counted as such.
-  EXPECT_FALSE(service.ExecuteQuery("SELECT").ok());
+  EXPECT_FALSE(RunQuery(service, "SELECT").ok());
 
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.writes_committed, 7u);  // 6 hot versions + 1 other
@@ -103,18 +119,21 @@ TEST(ServiceTest, OptionValidationRejectsDegenerateConfigurations) {
   EXPECT_NE(*good, nullptr);
 }
 
-TEST(ServiceTest, UnifiedExecuteMatchesDeprecatedShims) {
+TEST(ServiceTest, UnifiedExecuteMatchesSessionReads) {
   TemporalQueryService service;
   PutHotHistory(&service);
 
+  // The session convenience reads are thin wrappers over Execute: same
+  // bytes out.
+  auto session = service.OpenSession();
   for (const char* query : kStableQueries) {
     QueryRequest request;
     request.query_text = query;
     auto unified = service.Execute(request);
     ASSERT_TRUE(unified.ok()) << unified.status().ToString();
-    auto shim = service.ExecuteQueryToString(query);
-    ASSERT_TRUE(shim.ok()) << shim.status().ToString();
-    EXPECT_EQ(unified->payload, *shim);
+    auto via_session = session->QueryToString(query);
+    ASSERT_TRUE(via_session.ok()) << via_session.status().ToString();
+    EXPECT_EQ(unified->payload, *via_session);
   }
 
   // Compact serialization is a request knob, not a separate entry point.
@@ -177,12 +196,12 @@ TEST(ServiceTest, SnapshotCacheServesRepeatedQueries) {
   PutHotHistory(&service);
 
   ExecStats first, second;
-  auto a = service.ExecuteQueryToString(kStableQueries[0], true, &first);
+  auto a = RunQuery(service, kStableQueries[0], true, &first);
   ASSERT_TRUE(a.ok());
   EXPECT_GT(first.snapshot_reconstructions, 0u);
   EXPECT_EQ(first.snapshot_cache_hits, 0u);
 
-  auto b = service.ExecuteQueryToString(kStableQueries[0], true, &second);
+  auto b = RunQuery(service, kStableQueries[0], true, &second);
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(*a, *b);
   EXPECT_EQ(second.snapshot_reconstructions, 0u);
@@ -206,9 +225,9 @@ TEST(ServiceTest, CachedAnswersEqualUncachedAnswers) {
 
   for (const char* query : kStableQueries) {
     // Twice through the cached service: populate, then hit.
-    auto c1 = cached.ExecuteQueryToString(query);
-    auto c2 = cached.ExecuteQueryToString(query);
-    auto p = plain.ExecuteQueryToString(query);
+    auto c1 = RunQuery(cached, query);
+    auto c2 = RunQuery(cached, query);
+    auto p = RunQuery(plain, query);
     ASSERT_TRUE(c1.ok() && c2.ok() && p.ok()) << query;
     EXPECT_EQ(*c1, *p) << query;
     EXPECT_EQ(*c2, *p) << query;
@@ -244,7 +263,7 @@ TEST(ServiceTest, CacheStaysCoherentAcrossAppends) {
   };
   for (int v = 0; v < 3; ++v) {
     put(v + 1, bodies[v]);
-    auto live = service.ExecuteQueryToString(snapshot_query(v + 1));
+    auto live = RunQuery(service, snapshot_query(v + 1));
     ASSERT_TRUE(live.ok());
     live_answers.push_back(*live);
   }
@@ -260,8 +279,8 @@ TEST(ServiceTest, CacheStaysCoherentAcrossAppends) {
     ASSERT_TRUE(put2.ok());
   }
   for (int v = 0; v < 3; ++v) {
-    auto from_cache = service.ExecuteQueryToString(snapshot_query(v + 1));
-    auto from_plain = plain.ExecuteQueryToString(snapshot_query(v + 1));
+    auto from_cache = RunQuery(service, snapshot_query(v + 1));
+    auto from_plain = RunQuery(plain, snapshot_query(v + 1));
     ASSERT_TRUE(from_cache.ok() && from_plain.ok());
     EXPECT_EQ(*from_cache, live_answers[static_cast<size_t>(v)]);
     EXPECT_EQ(*from_cache, *from_plain);
@@ -276,17 +295,17 @@ TEST(ServiceTest, CacheEvictsBeyondCapacity) {
   PutHotHistory(&service);
 
   for (int day = 1; day <= 6; ++day) {
-    auto result = service.ExecuteQuery(
-        "SELECT R FROM doc(\"hot\")[0" + std::to_string(day) +
-        "/01/2001]/item R");
+    auto result = RunQuery(
+        service, "SELECT R FROM doc(\"hot\")[0" + std::to_string(day) +
+                     "/01/2001]/item R");
     ASSERT_TRUE(result.ok());
   }
   SnapshotCacheStats cache = service.Stats().snapshot_cache;
   EXPECT_GT(cache.evictions, 0u);
   EXPECT_LE(cache.entries, 2u);
   // Evicted versions still answer correctly (they just reconstruct again).
-  auto again = service.ExecuteQueryToString(
-      "SELECT COUNT(R) FROM doc(\"hot\")[01/01/2001]/item R");
+  auto again = RunQuery(
+      service, "SELECT COUNT(R) FROM doc(\"hot\")[01/01/2001]/item R");
   ASSERT_TRUE(again.ok());
   EXPECT_NE(again->find("2"), std::string::npos);
 }
@@ -297,7 +316,7 @@ TEST(ServiceTest, DeleteInvalidatesCachedDocument) {
   TemporalQueryService service(options);
   PutHotHistory(&service);
 
-  ASSERT_TRUE(service.ExecuteQuery(kStableQueries[0]).ok());
+  ASSERT_TRUE(RunQuery(service, kStableQueries[0]).ok());
   ASSERT_GT(service.Stats().snapshot_cache.entries, 0u);
 
   ASSERT_TRUE(service.Delete("hot").ok());
@@ -306,7 +325,7 @@ TEST(ServiceTest, DeleteInvalidatesCachedDocument) {
   EXPECT_EQ(cache.entries, 0u);
 
   // The deleted document's history is still queryable at old timestamps.
-  auto old = service.ExecuteQueryToString(kStableQueries[0]);
+  auto old = RunQuery(service, kStableQueries[0]);
   ASSERT_TRUE(old.ok());
   EXPECT_NE(old->find("12"), std::string::npos);
 }
@@ -317,11 +336,16 @@ TEST(ServiceTest, AsyncSubmissionRunsOnWorkerPool) {
   TemporalQueryService service(options);
   PutHotHistory(&service);
 
-  std::vector<std::future<StatusOr<XmlDocument>>> futures;
+  std::vector<std::future<StatusOr<QueryResponse>>> futures;
   for (int i = 0; i < 8; ++i) {
-    futures.push_back(service.SubmitQuery(kStableQueries[0]));
+    QueryRequest request;
+    request.query_text = kStableQueries[0];
+    futures.push_back(service.Submit(std::move(request)));
   }
-  auto put_future = service.SubmitPut("async", "<d><x>1</x></d>");
+  PutRequest put;
+  put.url = "async";
+  put.xml_text = "<d><x>1</x></d>";
+  auto put_future = service.Submit(std::move(put));
   for (auto& future : futures) {
     auto result = future.get();
     ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -370,7 +394,7 @@ TEST(ServiceStressTest, ConcurrentReadersMatchSerialOracleUnderWrites) {
   // Serial oracle, computed before any concurrency starts.
   std::vector<std::string> oracle;
   for (const char* query : kStableQueries) {
-    auto answer = service.ExecuteQueryToString(query);
+    auto answer = RunQuery(service, query);
     ASSERT_TRUE(answer.ok()) << answer.status().ToString();
     oracle.push_back(*answer);
   }
@@ -439,7 +463,7 @@ TEST(ServiceStressTest, ConcurrentReadersMatchSerialOracleUnderWrites) {
 
   // Post-conditions: the oracle still holds serially, counters add up.
   for (size_t q = 0; q < std::size(kStableQueries); ++q) {
-    auto answer = service.ExecuteQueryToString(kStableQueries[q]);
+    auto answer = RunQuery(service, kStableQueries[q]);
     ASSERT_TRUE(answer.ok());
     EXPECT_EQ(*answer, oracle[q]);
   }
@@ -496,7 +520,7 @@ TEST(ServiceStressTest, VacuumRacesConcurrentReadersAndWriters) {
 
   std::vector<std::string> oracle;
   for (const char* query : kStableQueries) {
-    auto answer = service.ExecuteQueryToString(query);
+    auto answer = RunQuery(service, query);
     ASSERT_TRUE(answer.ok()) << answer.status().ToString();
     oracle.push_back(*answer);
   }
@@ -560,11 +584,241 @@ TEST(ServiceStressTest, VacuumRacesConcurrentReadersAndWriters) {
   ASSERT_FALSE(failed.load());
 
   for (size_t q = 0; q < std::size(kStableQueries); ++q) {
-    auto answer = service.ExecuteQueryToString(kStableQueries[q]);
+    auto answer = RunQuery(service, kStableQueries[q]);
     ASSERT_TRUE(answer.ok());
     EXPECT_EQ(*answer, oracle[q]);
   }
   EXPECT_EQ(service.Stats().vacuums_run, static_cast<uint64_t>(kVacuums));
+}
+
+// ------------------------------------------------- sharded commit path
+
+// N writers on N disjoint documents: every commit must land, timestamps
+// must be unique and monotone per document, and the shard contention
+// counters must account for every acquisition. TSan-clean (check.sh).
+TEST(ServiceStressTest, ConcurrentDisjointWritersMatchSerialOracle) {
+  ServiceOptions options;
+  options.commit_shards = 8;
+  TemporalQueryService service(options);
+
+  constexpr int kWriters = 8;
+  constexpr int kCommitsPerWriter = 30;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&service, &failed, w] {
+      std::string url = "doc" + std::to_string(w);
+      for (int i = 0; i < kCommitsPerWriter && !failed.load(); ++i) {
+        auto put = service.Put(
+            url, "<d>" + ItemXml("w" + std::to_string(w), i) + "</d>");
+        if (!put.ok()) {
+          failed.store(true);
+          ADD_FAILURE() << "writer " << w << ": " << put.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  ASSERT_FALSE(failed.load());
+
+  // Serial oracle: each document holds exactly kCommitsPerWriter versions,
+  // and the newest one carries the writer's last payload.
+  for (int w = 0; w < kWriters; ++w) {
+    std::string url = "doc" + std::to_string(w);
+    auto every = RunQuery(
+        service, "SELECT COUNT(I) FROM doc(\"" + url + "\")[EVERY]/item I");
+    ASSERT_TRUE(every.ok()) << every.status().ToString();
+    EXPECT_NE(every->find(">" + std::to_string(kCommitsPerWriter) + "<"),
+              std::string::npos)
+        << url << ": " << *every;
+    auto now = RunQuery(service,
+                        "SELECT I/name FROM doc(\"" + url + "\")[NOW]/item I",
+                        /*pretty=*/false);
+    ASSERT_TRUE(now.ok());
+    EXPECT_NE(now->find("w" + std::to_string(w)), std::string::npos);
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.writes_committed,
+            static_cast<uint64_t>(kWriters * kCommitsPerWriter));
+  EXPECT_EQ(stats.writes_failed, 0u);
+  ASSERT_EQ(stats.commit_path.shards.size(), options.commit_shards);
+  uint64_t total_acquires = 0;
+  for (const CommitShardStats& shard : stats.commit_path.shards) {
+    total_acquires += shard.acquires;
+  }
+  EXPECT_EQ(total_acquires,
+            static_cast<uint64_t>(kWriters * kCommitsPerWriter));
+}
+
+// N writers hammering the SAME document: the shard serializes them, every
+// commit still lands exactly once, and version times stay strictly
+// monotone (the ticket allocator hands out distinct timestamps).
+TEST(ServiceStressTest, ConcurrentSameDocumentWritersSerialize) {
+  // Durable with sync=always so every commit holds its shard lock across
+  // a real fsync: writers racing for the same document reliably collide
+  // on the shard mutex instead of slipping through between scheduler
+  // quanta, which makes the contention counters deterministic.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "txml_svc_same_doc").string();
+  std::filesystem::remove_all(dir);
+  ServiceOptions options;
+  options.commit_shards = 8;
+  options.durability.data_dir = dir;
+  options.durability.wal.sync_mode = WalSyncMode::kAlways;
+  auto created = TemporalQueryService::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  TemporalQueryService& service = **created;
+
+  constexpr int kWriters = 6;
+  constexpr int kCommitsPerWriter = 10;
+  std::atomic<bool> failed{false};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&service, &failed, &ready, &go, w] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kCommitsPerWriter && !failed.load(); ++i) {
+        auto put = service.Put(
+            "shared",
+            "<d>" + ItemXml("w" + std::to_string(w) + "i" + std::to_string(i),
+                            w * 1000 + i) +
+                "</d>");
+        if (!put.ok()) {
+          failed.store(true);
+          ADD_FAILURE() << "writer " << w << ": " << put.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  while (ready.load() < kWriters) std::this_thread::yield();
+  go.store(true);
+  for (std::thread& writer : writers) writer.join();
+  ASSERT_FALSE(failed.load());
+
+  auto every = RunQuery(
+      service, "SELECT COUNT(I) FROM doc(\"shared\")[EVERY]/item I");
+  ASSERT_TRUE(every.ok()) << every.status().ToString();
+  EXPECT_NE(every->find(">" + std::to_string(kWriters * kCommitsPerWriter) +
+                        "<"),
+            std::string::npos)
+      << *every;
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.writes_committed,
+            static_cast<uint64_t>(kWriters * kCommitsPerWriter));
+  EXPECT_EQ(stats.writes_failed, 0u);
+  // All commits hashed to one shard; with 6 threads released together and
+  // each commit pinned under the lock for a full fsync, at least one
+  // acquisition must have actually blocked.
+  uint64_t total_waits = 0;
+  for (const CommitShardStats& shard : stats.commit_path.shards) {
+    total_waits += shard.waits;
+  }
+  EXPECT_GT(total_waits, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceTest, WriteBatchAppliesItemsIndependently) {
+  TemporalQueryService service;
+  ASSERT_TRUE(service.PutAt("old", "<d><x>1</x></d>", Day(1)).ok());
+
+  WriteBatchRequest batch;
+  WriteBatchItem good_put;
+  good_put.url = "batched";
+  good_put.xml_text = "<d>" + ItemXml("a", 1) + "</d>";
+  batch.items.push_back(good_put);
+  WriteBatchItem bad_put;
+  bad_put.url = "broken";
+  bad_put.xml_text = "<d><unclosed>";
+  batch.items.push_back(bad_put);
+  WriteBatchItem delete_existing;
+  delete_existing.kind = WriteBatchItem::Kind::kDelete;
+  delete_existing.url = "old";
+  batch.items.push_back(delete_existing);
+  WriteBatchItem delete_missing;
+  delete_missing.kind = WriteBatchItem::Kind::kDelete;
+  delete_missing.url = "never-existed";
+  batch.items.push_back(delete_missing);
+
+  auto response = service.Execute(batch);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->payload.find("items=\"4\""), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("committed=\"2\""), std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find("failed=\"2\""), std::string::npos)
+      << response->payload;
+  // Per-item outcomes: the good put and the real delete succeeded, the
+  // malformed put and the missing-document delete failed — independently.
+  EXPECT_NE(response->payload.find(
+                "url=\"batched\" action=\"put\" status=\"ok\""),
+            std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find(
+                "url=\"broken\" action=\"put\" status=\"error\""),
+            std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find(
+                "url=\"old\" action=\"delete\" status=\"ok\""),
+            std::string::npos)
+      << response->payload;
+  EXPECT_NE(response->payload.find(
+                "url=\"never-existed\" action=\"delete\" status=\"error\""),
+            std::string::npos)
+      << response->payload;
+
+  // The batch's effects are those of the same edits issued sequentially.
+  auto put_count = RunQuery(
+      service, "SELECT COUNT(I) FROM doc(\"batched\")[NOW]/item I");
+  ASSERT_TRUE(put_count.ok());
+  EXPECT_NE(put_count->find(">1<"), std::string::npos);
+  // The deleted document answers empty at NOW (deletion is not an error).
+  auto old_now =
+      RunQuery(service, "SELECT X FROM doc(\"old\")[NOW]/x X", false);
+  ASSERT_TRUE(old_now.ok());
+  EXPECT_EQ(old_now->find("<x>"), std::string::npos) << *old_now;
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.write_batches_committed, 1u);
+  EXPECT_EQ(stats.writes_committed, 3u);  // the seed put + 2 batch items
+  EXPECT_EQ(stats.writes_failed, 2u);
+
+  // An empty batch is rejected up front.
+  WriteBatchRequest empty;
+  EXPECT_TRUE(service.Execute(empty).status().IsInvalidArgument());
+}
+
+TEST(ServiceTest, WriteBatchIntraBatchPutThenDelete) {
+  TemporalQueryService service;
+
+  // A put and a delete of the same document inside one batch: the delete
+  // must observe the put (apply order is ticket order) and succeed.
+  WriteBatchRequest batch;
+  WriteBatchItem put;
+  put.url = "ephemeral";
+  put.xml_text = "<d><x>1</x></d>";
+  batch.items.push_back(put);
+  WriteBatchItem del;
+  del.kind = WriteBatchItem::Kind::kDelete;
+  del.url = "ephemeral";
+  batch.items.push_back(del);
+
+  auto response = service.Execute(batch);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->payload.find("committed=\"2\""), std::string::npos)
+      << response->payload;
+  // Deleted at NOW: the document answers empty (deletion is not an error).
+  auto now =
+      RunQuery(service, "SELECT X FROM doc(\"ephemeral\")[NOW]/x X", false);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->find("<x>"), std::string::npos) << *now;
 }
 
 }  // namespace
