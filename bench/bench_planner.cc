@@ -1,0 +1,205 @@
+// E18: the cost-based planner (src/query/planner.h) against both pinned
+// strategies, and the commit-path win of the differential FTI.
+//
+// Part 1 — query matrix: four query families with opposite best plans
+// (a selective history probe and broad listings the index wins; a tiny
+// document sharing a big sibling's vocabulary, where the global posting
+// lists make the FTI join do far more work than walking the six-element
+// tree), each run with the planner (kAuto) and with both arms pinned.
+// The acceptance bar: on every row kAuto must track the better pinned
+// arm, never the worse one.
+//
+// Part 2 — commit latency: appending postings to the in-memory
+// differential vs. the eager alternative where every commit pays the
+// fold into the compacted main index (the pre-split behavior, proxied by
+// an explicit CompactDifferential per put).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/lang/executor.h"
+#include "src/workload/restaurant.h"
+
+namespace txml {
+namespace bench {
+namespace {
+
+constexpr size_t kRestaurants = 150;
+constexpr size_t kVersions = 80;
+const char kUrl[] = "http://guide.com/restaurants.xml";
+
+TemporalXmlDatabase* Guide() {
+  static std::unique_ptr<TemporalXmlDatabase> db = [] {
+    auto built = std::make_unique<TemporalXmlDatabase>(
+        DatabaseOptions{.snapshot_every = 16});
+    RestaurantWorkload workload(
+        {.restaurants = kRestaurants, .price_change_prob = 0.05,
+         .churn = 0.8, .seed = 11});
+    for (size_t v = 0; v < kVersions; ++v) {
+      auto put = built->PutDocumentTree(kUrl, workload.CurrentVersion(),
+                                        DayN(v));
+      if (!put.ok()) std::abort();
+      workload.Step();
+    }
+    // A tiny side document sharing the guide's vocabulary: its queries
+    // are where the global posting lists make the index arm overpay.
+    auto put = built->PutDocumentAt(
+        "side",
+        "<guide><restaurant><name>Bistro</name><price>9</price>"
+        "</restaurant><restaurant><name>Trattoria</name><price>11</price>"
+        "</restaurant></guide>",
+        DayN(kVersions));
+    if (!put.ok()) std::abort();
+    return built;
+  }();
+  return db.get();
+}
+
+std::string MidDate() { return DayN(kVersions / 2).ToString(); }
+
+/// The four query families of the E18 matrix.
+std::string FamilyQuery(int64_t family) {
+  switch (family) {
+    case 0:  // selective history probe: one name word over [EVERY]
+      return "SELECT TIME(R), R/price FROM doc(\"" + std::string(kUrl) +
+             "\")[EVERY]/guide/restaurant R WHERE R/name = \"Napoli\"";
+    case 1:  // broad snapshot listing: every restaurant at one time
+      return "SELECT COUNT(R) FROM doc(\"" + std::string(kUrl) + "\")[" +
+             MidDate() + "]/restaurant R";
+    case 2:  // broad current-version listing
+      return "SELECT COUNT(R) FROM doc(\"" + std::string(kUrl) +
+             "\")/restaurant R";
+    default:  // tiny document, hot vocabulary: the index join must walk
+              // posting lists dominated by the big guide's history while
+              // traversal only touches the six-element side tree
+      return "SELECT R/name FROM doc(\"side\")/restaurant R "
+             "WHERE R/price < 10";
+  }
+}
+
+const char* FamilyName(int64_t family) {
+  switch (family) {
+    case 0: return "selective_every";
+    case 1: return "broad_snapshot";
+    case 2: return "broad_current";
+    default: return "tiny_doc_hot_terms";
+  }
+}
+
+ScanStrategy StrategyArg(int64_t arg) {
+  switch (arg) {
+    case 0: return ScanStrategy::kAuto;
+    case 1: return ScanStrategy::kIndex;
+    default: return ScanStrategy::kTraversal;
+  }
+}
+
+void BM_PlannerQueryMatrix(benchmark::State& state) {
+  TemporalXmlDatabase* db = Guide();
+  const std::string query = FamilyQuery(state.range(0));
+  ExecOptions options;
+  options.now = db->clock()->Last();
+  options.scan_strategy = StrategyArg(state.range(1));
+  ExecStats stats;
+  for (auto _ : state) {
+    QueryExecutor executor(db->Context(), options);
+    auto result = executor.Execute(query, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::string(FamilyName(state.range(0))) + "/" +
+                 ScanStrategyName(options.scan_strategy));
+  // Which arm the run actually used (for kAuto rows: the planner's pick).
+  state.counters["used_index"] = stats.scans_index > 0 ? 1 : 0;
+}
+BENCHMARK(BM_PlannerQueryMatrix)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Shared commit-latency loop: one put per iteration on a growing
+/// history; `eager_fold` additionally pays the main-index fold inside the
+/// timed region — the cost profile of the pre-split design, where commits
+/// rewrote the compacted structure instead of appending to a side log.
+void CommitLoop(benchmark::State& state, bool eager_fold) {
+  TemporalXmlDatabase db(DatabaseOptions{.snapshot_every = 16});
+  RestaurantWorkload workload(
+      {.restaurants = kRestaurants, .price_change_prob = 0.05,
+       .churn = 0.8, .seed = 23});
+  size_t day = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto tree = workload.CurrentVersion();
+    workload.Step();
+    state.ResumeTiming();
+    auto put = db.PutDocumentTree(kUrl, std::move(tree), DayN(day++));
+    if (!put.ok()) {
+      state.SkipWithError(put.status().ToString().c_str());
+      return;
+    }
+    if (eager_fold) db.CompactFti();
+  }
+  state.counters["differential_postings"] =
+      static_cast<double>(db.fti().differential_posting_count());
+  state.counters["folds"] = static_cast<double>(db.fti().compaction_count());
+}
+
+// Iterations pinned to the same history length on both arms: the put
+// cost depends on how much history the document already has, so a fair
+// eager-vs-differential ratio needs both loops to commit the same
+// version sequence.
+void BM_CommitDifferential(benchmark::State& state) {
+  CommitLoop(state, /*eager_fold=*/false);
+}
+BENCHMARK(BM_CommitDifferential)
+    ->Iterations(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CommitEagerFold(benchmark::State& state) {
+  CommitLoop(state, /*eager_fold=*/true);
+}
+BENCHMARK(BM_CommitEagerFold)
+    ->Iterations(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The fold itself, as a function of the differential size it folds —
+/// what the post-commit trigger pays when it fires. Iterations are
+/// pinned: refilling the differential needs many commits per fold, and
+/// the history (hence refill and fold cost) grows with every one —
+/// letting the framework chase a time budget would run for minutes on a
+/// quadratically slowing loop.
+void BM_FoldCost(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  TemporalXmlDatabase db(DatabaseOptions{.snapshot_every = 16});
+  RestaurantWorkload workload(
+      {.restaurants = kRestaurants, .price_change_prob = 0.05,
+       .churn = 0.8, .seed = 31});
+  size_t day = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    while (db.fti().differential_posting_count() < batch) {
+      auto put = db.PutDocumentTree(kUrl, workload.CurrentVersion(),
+                                    DayN(day++));
+      if (!put.ok()) std::abort();
+      workload.Step();
+    }
+    state.ResumeTiming();
+    db.CompactFti();
+  }
+  state.counters["batch_postings"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_FoldCost)
+    ->Arg(1 << 10)
+    ->Arg(1 << 13)
+    ->Iterations(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace txml
+
+BENCHMARK_MAIN();

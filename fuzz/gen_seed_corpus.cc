@@ -64,6 +64,10 @@ bool WriteQuerySeeds(const std::filesystem::path& dir) {
        "SELECT R FROM doc(\"u\")/r R WHERE CONTAINS(R/name, \"pizza\")"},
       {"select_attr_descendant",
        "SELECT R//item/@id FROM collection(\"c\")/r R"},
+      {"select_lifetime_mixed_scans",
+       "SELECT CREATE TIME(R), DELETE TIME(R), COUNT(R) "
+       "FROM doc(\"u\")[EVERY]/guide/item R, doc(\"v\")/item S "
+       "WHERE R/name = \"n1\""},
       {"malformed_truncated", "SELECT R FROM doc(\"u\""},
       {"malformed_tokens", "SELECT @@ ??? !!"},
   };

@@ -33,18 +33,21 @@ cd "$(dirname "$0")/.."
 
 # Concurrency suites (tests/service_test.cc, tests/net_test.cc) plus the
 # vacuum battery (tests/vacuum_test.cc — ServiceStressTest covers the
-# vacuum-racing-readers case) and the multi-writer group-commit smoke
+# vacuum-racing-readers case), the multi-writer group-commit smoke
 # (ServiceStressTest's concurrent-writer cases race the sharded commit
 # path; WalGroupCommitTest races committers against the log-writer
-# thread). Matching is against gtest case names, not binary names;
-# --no-tests=error guards filter rot.
-TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry|Repl|WalGroupCommit"
+# thread), and the FTI-fold races (CompactionStressTest: readers vs the
+# post-commit fold, folds vs vacuums). Matching is against gtest case
+# names, not binary names; --no-tests=error guards filter rot.
+TSAN_FILTER="-R Service|ThreadPool|StoreObserver|Net|Wire|Vacuum|ClientRetry|Repl|WalGroupCommit|Compaction"
 # History-rewriting suites for the ASan/UBSan pass: the storage layer,
 # the vacuum oracle battery, persistence round trips, and the durability
 # suites (WAL byte surgery + the failpoint crash-recovery sweep; "Wal"
 # also picks up the WalGroupCommitTest multi-writer smoke, and "Service"
-# the concurrent-writer stress cases).
-ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service|Wal|Durab|CrashRecovery|FailPoint|Repl"
+# the concurrent-writer stress cases), plus the differential-FTI fold
+# suites ("Compaction": posting-vector splices and open-ref re-anchoring
+# are exactly the pointer surgery ASan is for).
+ASAN_FILTER="-R Vacuum|Retention|MergeEditScripts|Storage|Persist|Service|Wal|Durab|CrashRecovery|FailPoint|Repl|Compaction"
 JOBS=$(nproc)
 FUZZ_SECS=10
 while [[ $# -gt 0 ]]; do

@@ -160,9 +160,8 @@ StatusOr<XmlDocument> TemporalXmlDatabase::QueryAt(
     std::string_view query_text, Timestamp epoch, ExecStats* stats) const {
   ExecOptions exec_options;
   exec_options.now = epoch;
-  exec_options.lifetime_strategy = lifetime_ != nullptr
-                                       ? LifetimeStrategy::kIndex
-                                       : LifetimeStrategy::kTraversal;
+  // Defaults are kAuto: the planner resolves strategies per query from
+  // what the context actually has attached.
   QueryExecutor executor(Context(), exec_options);
   return executor.Execute(query_text, stats);
 }

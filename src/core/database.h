@@ -136,6 +136,11 @@ class TemporalXmlDatabase {
     store_->AddObserver(observer, allow_late);
   }
   const TemporalFullTextIndex& fti() const { return *fti_; }
+  /// Folds the FTI differential into the compacted main index (DESIGN.md
+  /// §13). Requires the same exclusion as a write; the service layer
+  /// triggers it from MaybeCompactFti, and a vacuum forces it through
+  /// OnHistoryVacuumed.
+  void CompactFti() { fti_->CompactDifferential(); }
   const LifetimeIndex* lifetime_index() const { return lifetime_.get(); }
   const DeltaContentIndex* delta_content_index() const {
     return delta_index_.get();

@@ -1,0 +1,79 @@
+#ifndef TXML_SRC_INDEX_DIFFERENTIAL_FTI_H_
+#define TXML_SRC_INDEX_DIFFERENTIAL_FTI_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/index/posting.h"
+
+namespace txml {
+
+/// The write-side half of the split temporal FTI (DESIGN.md §13), after
+/// RDF-3X's differential-index architecture: commits append new postings
+/// here instead of into the compacted main posting lists, so the work
+/// serialized inside the commit path is proportional to the *change*, not
+/// to the accumulated index. Lookups merge main + differential at query
+/// time; TemporalFullTextIndex::CompactDifferential periodically folds the
+/// accumulated adds into the main lists and clears this.
+///
+/// Append-only between compactions: postings are only ever added at the
+/// tail of a term's list, so an (term, index) pair handed out by Append
+/// stays valid until Clear(). Closing a differential posting is an
+/// in-place write to its `end` field through At() — it never moves.
+///
+/// Not internally synchronized: the owning index's writer/compactor
+/// exclusion (the service commit lock) covers it.
+class DifferentialFti {
+ public:
+  using PostingMap = std::unordered_map<std::string, std::vector<Posting>>;
+
+  /// Appends a posting to the term's differential list and returns its
+  /// index in that list (stable until Clear()).
+  size_t Append(TermKind kind, std::string term, Posting posting) {
+    std::vector<Posting>& list = MapFor(kind)[std::move(term)];
+    list.push_back(std::move(posting));
+    ++posting_count_;
+    return list.size() - 1;
+  }
+
+  /// The posting previously returned by Append (for in-place end closes).
+  Posting* At(TermKind kind, const std::string& term, size_t index) {
+    return &MapFor(kind).at(term)[index];
+  }
+
+  /// The term's differential list, or null. `term` must be lower-cased
+  /// already (terms are stored lower-cased, as in the main index).
+  const std::vector<Posting>* Find(TermKind kind,
+                                   const std::string& term) const {
+    const PostingMap& map = MapFor(kind);
+    auto it = map.find(term);
+    return it == map.end() ? nullptr : &it->second;
+  }
+
+  PostingMap& MapFor(TermKind kind) {
+    return kind == TermKind::kElementName ? names_ : words_;
+  }
+  const PostingMap& MapFor(TermKind kind) const {
+    return kind == TermKind::kElementName ? names_ : words_;
+  }
+
+  size_t posting_count() const { return posting_count_; }
+  bool empty() const { return posting_count_ == 0; }
+
+  void Clear() {
+    names_.clear();
+    words_.clear();
+    posting_count_ = 0;
+  }
+
+ private:
+  PostingMap names_;
+  PostingMap words_;
+  size_t posting_count_ = 0;
+};
+
+}  // namespace txml
+
+#endif  // TXML_SRC_INDEX_DIFFERENTIAL_FTI_H_

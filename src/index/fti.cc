@@ -27,6 +27,24 @@ std::string OccurrenceKey(TermKind kind, std::string_view term, Xid element,
 
 }  // namespace
 
+Posting* TemporalFullTextIndex::PostingOf(const OpenRef& ref) {
+  if (ref.in_diff) return diff_.At(ref.kind, ref.term, ref.index);
+  return &MapFor(ref.kind).at(ref.term)[ref.index];
+}
+
+template <typename Fn>
+void TemporalFullTextIndex::ForEachPosting(TermKind kind,
+                                           const std::string& lowered,
+                                           Fn&& fn) const {
+  const PostingMap& main = MapFor(kind);
+  if (auto it = main.find(lowered); it != main.end()) {
+    for (const Posting& posting : it->second) fn(posting);
+  }
+  if (const std::vector<Posting>* adds = diff_.Find(kind, lowered)) {
+    for (const Posting& posting : *adds) fn(posting);
+  }
+}
+
 void TemporalFullTextIndex::OnVersionStored(DocId doc_id, VersionNum version,
                                             Timestamp /*ts*/,
                                             const XmlNode& current,
@@ -40,21 +58,27 @@ void TemporalFullTextIndex::OnVersionStored(DocId doc_id, VersionNum version,
     std::string key = OccurrenceKey(occ.kind, occ.term, occ.element, occ.path);
     present.insert(key);
     if (open.contains(key)) continue;  // occurrence survives, posting stays
-    std::vector<Posting>& list = MapFor(occ.kind)[occ.term];
-    list.push_back(Posting{doc_id, occ.element, std::move(occ.path), version,
-                           kOpenVersion});
+    // New runs always open in the differential: the main lists never grow
+    // between compactions, so this commit's index work is bounded by its
+    // own change volume.
+    size_t index = diff_.Append(
+        occ.kind, occ.term,
+        Posting{doc_id, occ.element, std::move(occ.path), version,
+                kOpenVersion});
     open.emplace(std::move(key),
-                 OpenRef{occ.kind, std::move(occ.term), list.size() - 1});
+                 OpenRef{occ.kind, std::move(occ.term), index,
+                         /*in_diff=*/true});
   }
 
-  // Close postings for occurrences that vanished in this version.
+  // Close postings for occurrences that vanished in this version. Closing
+  // is an in-place `end` write in whichever half holds the run's posting;
+  // nothing moves.
   for (auto it = open.begin(); it != open.end();) {
     if (present.contains(it->first)) {
       ++it;
       continue;
     }
-    const OpenRef& ref = it->second;
-    MapFor(ref.kind).at(ref.term)[ref.index].end = version;
+    PostingOf(it->second)->end = version;
     it = open.erase(it);
   }
 }
@@ -67,12 +91,17 @@ void TemporalFullTextIndex::OnDocumentDeleted(DocId doc_id, VersionNum last,
   // just after it so ValidAt(last) still holds while LookupCurrent (which
   // wants open-ended postings only) no longer sees the document.
   for (auto& [key, ref] : it->second) {
-    MapFor(ref.kind).at(ref.term)[ref.index].end = last + 1;
+    PostingOf(ref)->end = last + 1;
   }
   open_.erase(it);
 }
 
 void TemporalFullTextIndex::OnHistoryVacuumed(const VersionedDocument& doc) {
+  // Fold the differential in first: the vacuum below erases and re-anchors
+  // postings in place (indices shift), which is exactly what a compaction
+  // boundary is for — and a vacuum pass is rare enough that forcing one
+  // here costs nothing measurable.
+  CompactDifferential();
   const DocId doc_id = doc.doc_id();
   bool erased_any = false;
   for (PostingMap* map : {&names_, &words_}) {
@@ -102,7 +131,40 @@ void TemporalFullTextIndex::OnHistoryVacuumed(const VersionedDocument& doc) {
   if (erased_any) RebuildOpenRefs();
 }
 
+void TemporalFullTextIndex::CompactDifferential() {
+  if (diff_.empty()) return;
+  // Per (kind, term): the main list length before the fold — a
+  // differential posting at index i lands at main index base + i.
+  std::unordered_map<std::string, size_t> bases[2];
+  for (PostingMap* map : {&names_, &words_}) {
+    TermKind kind =
+        map == &names_ ? TermKind::kElementName : TermKind::kWord;
+    auto& base = bases[static_cast<size_t>(kind)];
+    for (auto& [term, adds] : diff_.MapFor(kind)) {
+      std::vector<Posting>& dst = (*map)[term];
+      base.emplace(term, dst.size());
+      dst.insert(dst.end(), std::make_move_iterator(adds.begin()),
+                 std::make_move_iterator(adds.end()));
+    }
+  }
+  // Re-point open refs of differential postings at their new main slots.
+  // Appending after the existing entries preserved the merged iteration
+  // order (main then differential), so lookups see the same sequence.
+  for (auto& [doc_id, open] : open_) {
+    for (auto& [key, ref] : open) {
+      if (!ref.in_diff) continue;
+      ref.index += bases[static_cast<size_t>(ref.kind)].at(ref.term);
+      ref.in_diff = false;
+    }
+  }
+  diff_.Clear();
+  ++compactions_;
+}
+
 void TemporalFullTextIndex::RebuildOpenRefs() {
+  // Only ever runs at a compaction boundary — with the differential
+  // folded, open refs are rebuilt pointing into the main half.
+  TXML_CHECK(diff_.empty());
   open_.clear();
   for (PostingMap* map : {&names_, &words_}) {
     TermKind kind =
@@ -121,22 +183,18 @@ void TemporalFullTextIndex::RebuildOpenRefs() {
 std::vector<const Posting*> TemporalFullTextIndex::LookupCurrent(
     TermKind kind, std::string_view term) const {
   std::vector<const Posting*> result;
-  auto it = MapFor(kind).find(ToLower(term));
-  if (it == MapFor(kind).end()) return result;
-  for (const Posting& posting : it->second) {
+  ForEachPosting(kind, ToLower(term), [&](const Posting& posting) {
     if (posting.OpenEnded()) result.push_back(&posting);
-  }
+  });
   return result;
 }
 
 std::vector<const Posting*> TemporalFullTextIndex::LookupT(
     TermKind kind, std::string_view term, Timestamp t) const {
   std::vector<const Posting*> result;
-  auto it = MapFor(kind).find(ToLower(term));
-  if (it == MapFor(kind).end()) return result;
   // Resolve time -> version once per document touched by this list.
   std::unordered_map<DocId, VersionNum> resolved;
-  for (const Posting& posting : it->second) {
+  ForEachPosting(kind, ToLower(term), [&](const Posting& posting) {
     auto cached = resolved.find(posting.doc_id);
     if (cached == resolved.end()) {
       VersionNum v = 0;  // 0 = document absent at t
@@ -152,17 +210,16 @@ std::vector<const Posting*> TemporalFullTextIndex::LookupT(
     if (cached->second != 0 && posting.ValidAt(cached->second)) {
       result.push_back(&posting);
     }
-  }
+  });
   return result;
 }
 
 std::vector<const Posting*> TemporalFullTextIndex::LookupH(
     TermKind kind, std::string_view term) const {
   std::vector<const Posting*> result;
-  auto it = MapFor(kind).find(ToLower(term));
-  if (it == MapFor(kind).end()) return result;
-  result.reserve(it->second.size());
-  for (const Posting& posting : it->second) result.push_back(&posting);
+  ForEachPosting(kind, ToLower(term), [&](const Posting& posting) {
+    result.push_back(&posting);
+  });
   return result;
 }
 
@@ -185,29 +242,42 @@ std::unique_ptr<TemporalFullTextIndex> TemporalFullTextIndex::Rebuild(
                                doc->delete_time());
     }
   }
+  // A rebuild *is* a full compaction — start the new generation clean.
+  index->CompactDifferential();
   return index;
 }
 
 namespace {
 
+void EncodePosting(const Posting& posting, std::string* dst) {
+  PutVarint32(dst, posting.doc_id);
+  PutVarint32(dst, posting.element);
+  PutVarint64(dst, posting.path.size());
+  Xid prev = 0;
+  for (Xid xid : posting.path) {
+    PutVarintSigned64(dst,
+                      static_cast<int64_t>(xid) - static_cast<int64_t>(prev));
+    prev = xid;
+  }
+  PutVarint32(dst, posting.start);
+  // 0 = open-ended, otherwise run length (always >= 1).
+  PutVarint32(dst, posting.end == kOpenVersion ? 0
+                                               : posting.end - posting.start);
+}
+
+/// Encodes the merged (main-then-differential) list for one term; either
+/// half may be null/absent.
 void EncodePostingList(const std::string& term,
-                       const std::vector<Posting>& list, std::string* dst) {
+                       const std::vector<Posting>* main,
+                       const std::vector<Posting>* adds, std::string* dst) {
   PutLengthPrefixed(dst, term);
-  PutVarint64(dst, list.size());
-  for (const Posting& posting : list) {
-    PutVarint32(dst, posting.doc_id);
-    PutVarint32(dst, posting.element);
-    PutVarint64(dst, posting.path.size());
-    Xid prev = 0;
-    for (Xid xid : posting.path) {
-      PutVarintSigned64(dst,
-                        static_cast<int64_t>(xid) - static_cast<int64_t>(prev));
-      prev = xid;
-    }
-    PutVarint32(dst, posting.start);
-    // 0 = open-ended, otherwise run length (always >= 1).
-    PutVarint32(dst, posting.end == kOpenVersion ? 0
-                                                 : posting.end - posting.start);
+  PutVarint64(dst, (main != nullptr ? main->size() : 0) +
+                       (adds != nullptr ? adds->size() : 0));
+  if (main != nullptr) {
+    for (const Posting& posting : *main) EncodePosting(posting, dst);
+  }
+  if (adds != nullptr) {
+    for (const Posting& posting : *adds) EncodePosting(posting, dst);
   }
 }
 
@@ -256,10 +326,26 @@ StatusOr<std::pair<std::string, std::vector<Posting>>> DecodePostingList(
 }  // namespace
 
 void TemporalFullTextIndex::EncodeTo(std::string* dst) const {
+  // Always the *merged* view — persistence is independent of when the
+  // last compaction ran, so checkpoints match across leader/follower even
+  // when their compaction thresholds differ.
   for (const PostingMap* map : {&names_, &words_}) {
-    PutVarint64(dst, map->size());
+    TermKind kind =
+        map == &names_ ? TermKind::kElementName : TermKind::kWord;
+    const PostingMap& adds = diff_.MapFor(kind);
+    size_t terms = map->size();
+    for (const auto& [term, list] : adds) {
+      if (!map->contains(term)) ++terms;
+    }
+    PutVarint64(dst, terms);
     for (const auto& [term, list] : *map) {
-      EncodePostingList(term, list, dst);
+      auto it = adds.find(term);
+      EncodePostingList(term, &list, it == adds.end() ? nullptr : &it->second,
+                        dst);
+    }
+    for (const auto& [term, list] : adds) {
+      if (map->contains(term)) continue;
+      EncodePostingList(term, nullptr, &list, dst);
     }
   }
 }
@@ -268,6 +354,8 @@ StatusOr<std::unique_ptr<TemporalFullTextIndex>> TemporalFullTextIndex::Decode(
     std::string_view data, const VersionedDocumentStore* store) {
   auto index = std::make_unique<TemporalFullTextIndex>(store);
   Decoder decoder(data);
+  // Everything decodes into the main half — a load starts a fresh,
+  // already-compacted generation with an empty differential.
   for (PostingMap* map : {&index->names_, &index->words_}) {
     TermKind kind = map == &index->names_ ? TermKind::kElementName
                                           : TermKind::kWord;
@@ -296,13 +384,39 @@ StatusOr<std::unique_ptr<TemporalFullTextIndex>> TemporalFullTextIndex::Decode(
 }
 
 size_t TemporalFullTextIndex::term_count() const {
-  return names_.size() + words_.size();
+  size_t count = names_.size() + words_.size();
+  for (const PostingMap* map : {&names_, &words_}) {
+    TermKind kind =
+        map == &names_ ? TermKind::kElementName : TermKind::kWord;
+    for (const auto& [term, list] : diff_.MapFor(kind)) {
+      if (!map->contains(term)) ++count;
+    }
+  }
+  return count;
 }
 
-size_t TemporalFullTextIndex::posting_count() const {
+size_t TemporalFullTextIndex::main_posting_count() const {
   size_t count = 0;
   for (const auto& [term, list] : names_) count += list.size();
   for (const auto& [term, list] : words_) count += list.size();
+  return count;
+}
+
+size_t TemporalFullTextIndex::posting_count() const {
+  return main_posting_count() + diff_.posting_count();
+}
+
+size_t TemporalFullTextIndex::PostingCountFor(TermKind kind,
+                                              std::string_view term) const {
+  const std::string lowered = ToLower(term);
+  size_t count = 0;
+  const PostingMap& main = MapFor(kind);
+  if (auto it = main.find(lowered); it != main.end()) {
+    count += it->second.size();
+  }
+  if (const std::vector<Posting>* adds = diff_.Find(kind, lowered)) {
+    count += adds->size();
+  }
   return count;
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/index/differential_fti.h"
 #include "src/index/posting.h"
 #include "src/storage/store.h"
 #include "src/util/statusor.h"
@@ -23,6 +24,18 @@ namespace txml {
 /// Maintained incrementally as a StoreObserver: on each stored version the
 /// occurrence set of the new tree is diffed against the open occurrences —
 /// vanished ones are closed at the new version, new ones opened.
+///
+/// Storage is split RDF-3X-style (DESIGN.md §13) into a compacted **main**
+/// index and a small **differential** index. Commits only *append* to the
+/// differential — the main posting lists never grow or move between
+/// compactions, so the per-commit index work is proportional to the change
+/// volume regardless of index size. (Closing a run that *started* in the
+/// main index is an in-place write to that posting's `end` field; postings
+/// never move, so lookups' returned pointers are what the usual
+/// writer/reader exclusion already covers.) Lookups walk main then
+/// differential; CompactDifferential folds the adds onto the main tails,
+/// which preserves that merged order — query results are identical before
+/// and after a compaction.
 ///
 /// The three access functions of Section 7.2:
 ///  * LookupCurrent  — FTI_lookup(word): occurrences in currently-valid
@@ -76,19 +89,36 @@ class TemporalFullTextIndex : public StoreObserver {
   static StatusOr<std::unique_ptr<TemporalFullTextIndex>> Decode(
       std::string_view data, const VersionedDocumentStore* store);
 
+  /// Folds the differential postings onto the tails of the main posting
+  /// lists and clears the differential. Requires the same exclusion as a
+  /// write (no concurrent lookups). Idempotent when the differential is
+  /// empty.
+  void CompactDifferential();
+
   /// Statistics for the E3 index-size experiment.
   size_t term_count() const;
   size_t posting_count() const;
   /// Size of the compressed (varint/delta) encoding of all posting lists.
   size_t EncodedSizeBytes() const;
 
+  /// Gauges of the main/differential split (service stats + compaction
+  /// scheduling + planner).
+  size_t main_posting_count() const;
+  size_t differential_posting_count() const { return diff_.posting_count(); }
+  uint64_t compaction_count() const { return compactions_; }
+
+  /// Total postings (main + differential) for one term — the planner's
+  /// index-arm cost unit. `term` is lower-cased internally.
+  size_t PostingCountFor(TermKind kind, std::string_view term) const;
+
  private:
-  using PostingMap = std::unordered_map<std::string, std::vector<Posting>>;
+  using PostingMap = DifferentialFti::PostingMap;
 
   struct OpenRef {
     TermKind kind;
     std::string term;
-    size_t index;  // into the term's posting vector
+    size_t index;          // into the term's posting vector
+    bool in_diff = false;  // which half of the split `index` points into
   };
 
   /// Rebuilds open_ from the open-ended postings (posting indices shift
@@ -102,9 +132,22 @@ class TemporalFullTextIndex : public StoreObserver {
     return kind == TermKind::kElementName ? names_ : words_;
   }
 
+  /// The open posting an OpenRef points at (main or differential half).
+  Posting* PostingOf(const OpenRef& ref);
+
+  /// Visits the term's postings, main list first then differential — the
+  /// merged view every lookup uses. `lowered` must already be lower-cased.
+  template <typename Fn>
+  void ForEachPosting(TermKind kind, const std::string& lowered,
+                      Fn&& fn) const;
+
   const VersionedDocumentStore* store_;
+  /// Main (compacted) halves: append-free between compactions.
   PostingMap names_;
   PostingMap words_;
+  /// Differential half: all appends land here until the next compaction.
+  DifferentialFti diff_;
+  uint64_t compactions_ = 0;
   /// Per document: occurrence key -> open posting, for incremental
   /// maintenance.
   std::unordered_map<DocId, std::unordered_map<std::string, OpenRef>> open_;

@@ -318,6 +318,23 @@ class Execution {
       out += item.url + "\"";
       out += needs_tree_.contains(item.var) ? " materialize=yes"
                                             : " materialize=no";
+      // Planner decision with the cost estimates behind it. Left out when
+      // the source does not resolve — Explain still renders a plan for
+      // queries over absent documents.
+      if (auto docs = ResolveDocs(item); docs.ok()) {
+        ScanKind kind = ScanKind::kCurrent;
+        if (item.mode == FromItem::Mode::kSnapshot) {
+          kind = ScanKind::kSnapshot;
+        } else if (item.mode == FromItem::Mode::kEvery) {
+          kind = ScanKind::kAll;
+        }
+        const ScanPlan plan =
+            PlanScan(ctx_, pattern, kind, *docs, options_.scan_strategy);
+        out += " strategy=";
+        out += ScanStrategyName(plan.strategy);
+        out += " [index_cost=" + std::to_string(plan.index_cost) +
+               " traversal_cost=" + std::to_string(plan.traversal_cost) + "]";
+      }
       out += "\n";
     }
     if (query.where != nullptr) {
@@ -508,12 +525,20 @@ class Execution {
     TXML_ASSIGN_OR_RETURN(Pattern pattern, BuildPattern(item));
     bool need_tree = needs_tree_.contains(item.var);
 
-    // One index scan serves every document of the source; matches are
-    // partitioned per document below.
+    // One scan serves every document of the source; matches are
+    // partitioned per document below. The planner picks the scan's arm per
+    // FROM item: the FTI multiway join, or direct pattern matching over
+    // materialized trees (the only arm that works without an index).
     switch (item.mode) {
       case FromItem::Mode::kCurrent: {
-        TXML_ASSIGN_OR_RETURN(std::vector<ScanMatch> matches,
-                              PatternScanCurrent(ctx_, pattern));
+        const ScanPlan plan = PlanScan(ctx_, pattern, ScanKind::kCurrent,
+                                       docs, options_.scan_strategy);
+        NoteScanPlan(plan);
+        TXML_ASSIGN_OR_RETURN(
+            std::vector<ScanMatch> matches,
+            plan.strategy == ScanStrategy::kTraversal
+                ? PatternScanCurrentTraversal(ctx_, pattern, docs)
+                : PatternScanCurrent(ctx_, pattern));
         for (const VersionedDocument* doc : docs) {
           TXML_RETURN_IF_ERROR(BindSnapshotMatches(
               matches, pattern, *doc, need_tree,
@@ -523,8 +548,14 @@ class Execution {
       }
       case FromItem::Mode::kSnapshot: {
         TXML_ASSIGN_OR_RETURN(Timestamp t, ConstTime(*item.snapshot_time));
-        TXML_ASSIGN_OR_RETURN(std::vector<ScanMatch> matches,
-                              TPatternScan(ctx_, pattern, t));
+        const ScanPlan plan = PlanScan(ctx_, pattern, ScanKind::kSnapshot,
+                                       docs, options_.scan_strategy);
+        NoteScanPlan(plan);
+        TXML_ASSIGN_OR_RETURN(
+            std::vector<ScanMatch> matches,
+            plan.strategy == ScanStrategy::kTraversal
+                ? TPatternScanTraversal(ctx_, pattern, t, docs)
+                : TPatternScan(ctx_, pattern, t));
         for (const VersionedDocument* doc : docs) {
           auto version = doc->delta_index().VersionAt(t);
           if (!version.has_value() || !doc->ExistsAt(t)) {
@@ -536,8 +567,14 @@ class Execution {
         return Status::OK();
       }
       case FromItem::Mode::kEvery: {
-        TXML_ASSIGN_OR_RETURN(std::vector<ScanMatch> matches,
-                              TPatternScanAll(ctx_, pattern));
+        const ScanPlan plan = PlanScan(ctx_, pattern, ScanKind::kAll, docs,
+                                       options_.scan_strategy);
+        NoteScanPlan(plan);
+        TXML_ASSIGN_OR_RETURN(
+            std::vector<ScanMatch> matches,
+            plan.strategy == ScanStrategy::kTraversal
+                ? TPatternScanAllTraversal(ctx_, pattern, docs)
+                : TPatternScanAll(ctx_, pattern));
         for (const VersionedDocument* doc : docs) {
           TXML_RETURN_IF_ERROR(
               BindEveryMatches(matches, pattern, *doc, need_tree, out));
@@ -546,6 +583,24 @@ class Execution {
       }
     }
     return Status::Internal("unreachable");
+  }
+
+  void NoteScanPlan(const ScanPlan& plan) {
+    ++(plan.strategy == ScanStrategy::kTraversal ? stats_->scans_traversal
+                                                 : stats_->scans_index);
+    if (plan.fell_back) ++stats_->strategy_fallbacks;
+  }
+
+  /// Resolves the CREATE/DELETE TIME strategy for this context and tallies
+  /// the decision.
+  LifetimeStrategy LifetimePlan() {
+    bool fell_back = false;
+    LifetimeStrategy strategy =
+        PlanLifetime(ctx_, options_.lifetime_strategy, &fell_back);
+    if (fell_back) ++stats_->strategy_fallbacks;
+    ++(strategy == LifetimeStrategy::kIndex ? stats_->lifetime_index_lookups
+                                            : stats_->lifetime_traversals);
+    return strategy;
   }
 
   Status BindSnapshotMatches(const std::vector<ScanMatch>& matches,
@@ -966,16 +1021,15 @@ class Execution {
       case Expr::Kind::kTimeOf:
         return Value::Time(BindingOf(expr.var, row).teid.timestamp);
       case Expr::Kind::kCreateTime: {
-        TXML_ASSIGN_OR_RETURN(
-            Timestamp ts, CreTime(ctx_, BindingOf(expr.var, row).teid,
-                                  options_.lifetime_strategy));
+        TXML_ASSIGN_OR_RETURN(Timestamp ts,
+                              CreTime(ctx_, BindingOf(expr.var, row).teid,
+                                      LifetimePlan()));
         return Value::Time(ts);
       }
       case Expr::Kind::kDeleteTime: {
         TXML_ASSIGN_OR_RETURN(
             std::optional<Timestamp> ts,
-            DelTime(ctx_, BindingOf(expr.var, row).teid,
-                    options_.lifetime_strategy));
+            DelTime(ctx_, BindingOf(expr.var, row).teid, LifetimePlan()));
         if (!ts.has_value()) return Value::Null();
         return Value::Time(*ts);
       }

@@ -5,6 +5,7 @@
 
 #include "src/lang/ast.h"
 #include "src/query/context.h"
+#include "src/query/planner.h"
 #include "src/query/time_ops.h"
 #include "src/util/statusor.h"
 #include "src/util/timestamp.h"
@@ -17,8 +18,16 @@ struct ExecOptions {
   /// The value of NOW in queries; the database façade passes its commit
   /// clock's latest time.
   Timestamp now;
-  /// Strategy for CREATE TIME / DELETE TIME (Section 7.3.6).
-  LifetimeStrategy lifetime_strategy = LifetimeStrategy::kIndex;
+  /// Strategy for CREATE TIME / DELETE TIME (Section 7.3.6). kAuto lets
+  /// the planner resolve per query (index when one is attached, else
+  /// traversal); a pinned kIndex without an attached index degrades to
+  /// traversal instead of failing.
+  LifetimeStrategy lifetime_strategy = LifetimeStrategy::kAuto;
+  /// Strategy for the pattern-scan operators: kAuto compares posting-list
+  /// sizes against history-weighted tree sizes per FROM item
+  /// (src/query/planner.h); kIndex / kTraversal pin one arm (benchmarks,
+  /// oracle tests).
+  ScanStrategy scan_strategy = ScanStrategy::kAuto;
   /// When false, disables the Q2-style optimization that skips document
   /// reconstruction for queries that never look at element content — used
   /// by the E10 benchmark to quantify that optimization.
@@ -33,6 +42,15 @@ struct ExecStats {
   size_t snapshot_cache_hits = 0;
   size_t rows_considered = 0;
   size_t rows_emitted = 0;
+  /// Planner decisions (src/query/planner.h): FROM-item scans dispatched
+  /// to the FTI join vs. tree traversal, CREATE/DELETE TIME evaluations by
+  /// strategy, and explicitly requested strategies that were unavailable
+  /// and degraded gracefully instead of aborting.
+  size_t scans_index = 0;
+  size_t scans_traversal = 0;
+  size_t lifetime_index_lookups = 0;
+  size_t lifetime_traversals = 0;
+  size_t strategy_fallbacks = 0;
 };
 
 /// Plans and executes one query against a QueryContext:

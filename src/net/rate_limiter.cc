@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <utility>
+#include <vector>
 
 namespace txml {
 namespace {
@@ -28,8 +29,9 @@ bool TokenBucketRateLimiter::Admit(const std::string& key) {
   MutexLock lock(mu_);
   auto it = buckets_.find(key);
   if (it == buckets_.end()) {
-    // Sweep before inserting so the new key cannot be the one swept.
-    if (buckets_.size() >= options_.max_buckets) EvictFullLocked(now);
+    // Sweep before inserting so the new key cannot be the one swept, and
+    // so the insert below can never push the map past max_buckets.
+    if (buckets_.size() >= options_.max_buckets) EvictForInsertLocked(now);
     it = buckets_.try_emplace(key).first;
     // A new key starts with a full bucket: a client's first burst is
     // admitted, sustained pressure is what drains it.
@@ -62,14 +64,42 @@ void TokenBucketRateLimiter::RefillLocked(Bucket* bucket, int64_t now) {
   bucket->last_refill_micros = now;
 }
 
-void TokenBucketRateLimiter::EvictFullLocked(int64_t now) {
+void TokenBucketRateLimiter::EvictForInsertLocked(int64_t now) {
+  // Pass 1 (lossless): sweep buckets that have fully refilled. Computed
+  // without RefillLocked so surviving buckets keep their last-refill
+  // stamps — pass 2 needs them as the staleness signal.
   for (auto it = buckets_.begin(); it != buckets_.end();) {
-    RefillLocked(&it->second, now);
-    if (it->second.tokens >= options_.burst) {
+    const Bucket& bucket = it->second;
+    const int64_t elapsed =
+        std::max<int64_t>(0, now - bucket.last_refill_micros);
+    if (bucket.tokens + options_.tokens_per_sec * (elapsed / 1e6) >=
+        options_.burst) {
       it = buckets_.erase(it);
     } else {
       ++it;
     }
+  }
+  // The eviction watermark: leaving ~12.5% slack below the cap means the
+  // next ~max_buckets/8 inserts need no sweep at all, so the O(n) work
+  // here amortizes to O(1) per Admit even under a sustained distinct-key
+  // flood (where pass 1 frees nothing because every bucket is drained).
+  const size_t keep =
+      options_.max_buckets - std::max<size_t>(1, options_.max_buckets / 8);
+  if (buckets_.size() <= keep) return;
+  // Pass 2 (bound guarantee): force-evict the stalest buckets — the ones
+  // closest to full, which lose the least drain state — down to the
+  // watermark.
+  std::vector<std::pair<int64_t, const std::string*>> by_staleness;
+  by_staleness.reserve(buckets_.size());
+  for (const auto& [key, bucket] : buckets_) {
+    by_staleness.emplace_back(bucket.last_refill_micros, &key);
+  }
+  const size_t evict = buckets_.size() - keep;
+  std::nth_element(by_staleness.begin(), by_staleness.begin() + (evict - 1),
+                   by_staleness.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < evict; ++i) {
+    buckets_.erase(*by_staleness[i].second);
   }
 }
 

@@ -18,9 +18,15 @@ namespace txml {
 /// kUnavailable and keeps the connection — the client backs off and
 /// retries, it did not violate the protocol).
 ///
-/// The bucket map is bounded: when it outgrows `max_buckets`, fully
-/// refilled buckets are swept out — a full bucket is indistinguishable
-/// from a brand-new one, so dropping it loses no state. A hostile peer
+/// The bucket map is bounded: `size() <= max_buckets` holds at all times.
+/// When an insert would exceed the cap, fully refilled buckets are swept
+/// out first — a full bucket is indistinguishable from a brand-new one, so
+/// dropping it loses no state. If that frees too little (a sustained
+/// distinct-key flood keeps every bucket drained), the stalest entries —
+/// lowest last-refill stamp, i.e. the ones that have regenerated the most
+/// and lose the least state — are force-evicted down to a watermark ~12.5%
+/// below the cap. The slack amortizes the O(n) sweep over the subsequent
+/// inserts, keeping Admit amortized O(1) even at capacity. A hostile peer
 /// set larger than the cap therefore degrades to per-key buckets being
 /// recreated full, never to unbounded memory.
 ///
@@ -59,7 +65,10 @@ class TokenBucketRateLimiter {
   };
 
   void RefillLocked(Bucket* bucket, int64_t now) REQUIRES(mu_);
-  void EvictFullLocked(int64_t now) REQUIRES(mu_);
+  /// Makes room for one insert: sweeps refilled buckets, then — if the map
+  /// is still at the cap — force-evicts the stalest entries down to the
+  /// eviction watermark. Guarantees size() < max_buckets on return.
+  void EvictForInsertLocked(int64_t now) REQUIRES(mu_);
 
   const Options options_;
   const std::function<int64_t()> now_micros_;

@@ -306,6 +306,24 @@ QueryResponse TxmlServer::StatsResponse() {
            std::to_string(service_stats.commit_path.max_batch_records) +
            "\"/>";
   }
+  // Split-index health + planner decisions (DESIGN.md §13): differential
+  // growth vs. fold cadence, and which arm queries actually ran on.
+  xml += "<fti main-postings=\"" +
+         std::to_string(service_stats.fti.main_postings) +
+         "\" differential-postings=\"" +
+         std::to_string(service_stats.fti.differential_postings) +
+         "\" compactions=\"" +
+         std::to_string(service_stats.fti.compactions) + "\"/>";
+  xml += "<planner scans-index=\"" +
+         std::to_string(service_stats.planner.scans_index) +
+         "\" scans-traversal=\"" +
+         std::to_string(service_stats.planner.scans_traversal) +
+         "\" lifetime-index=\"" +
+         std::to_string(service_stats.planner.lifetime_index_lookups) +
+         "\" lifetime-traversal=\"" +
+         std::to_string(service_stats.planner.lifetime_traversals) +
+         "\" fallbacks=\"" +
+         std::to_string(service_stats.planner.strategy_fallbacks) + "\"/>";
   xml += "<server connections-accepted=\"" +
          std::to_string(server_stats.connections_accepted) +
          "\" requests-served=\"" +

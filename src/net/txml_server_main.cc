@@ -3,8 +3,8 @@
 //
 //   txml_server [--port=N] [--threads=N] [--data-dir=DIR] [--sync-mode=M]
 //               [--commit-shards=N] [--rate-limit=R[:BURST]]
-//               [--db=DIR] [--seed-demo] [--replica-of=HOST:PORT]
-//               [--read-only]
+//               [--fti-compact-min=N] [--db=DIR] [--seed-demo]
+//               [--replica-of=HOST:PORT] [--read-only]
 //
 //   --port=N       bind 127.0.0.1:N (default 7400; 0 = ephemeral, printed)
 //   --threads=N    connection-handler threads (0 or omitted = server default)
@@ -23,6 +23,11 @@
 //                  bucket refilled at R requests/second with capacity
 //                  BURST (default R); throttled requests get a retryable
 //                  kUnavailable. Omitted = no rate limiting
+//   --fti-compact-min=N
+//                  fold the full-text index differential into the
+//                  compacted main index once it holds N postings
+//                  (DESIGN.md §13; default 4096, 0 = only fold when a
+//                  vacuum forces it)
 //   --db=DIR       open a persisted database snapshot read-write but
 //                  WITHOUT a WAL (legacy; changes are not persisted back).
 //                  Mutually exclusive with --data-dir
@@ -96,8 +101,8 @@ int Usage() {
                "usage: txml_server [--port=N] [--threads=N] "
                "[--data-dir=DIR] [--sync-mode=none|every_n|always] "
                "[--commit-shards=N] [--rate-limit=R[:BURST]] "
-               "[--db=DIR] [--seed-demo] [--replica-of=HOST:PORT] "
-               "[--read-only]\n");
+               "[--fti-compact-min=N] [--db=DIR] [--seed-demo] "
+               "[--replica-of=HOST:PORT] [--read-only]\n");
   return 2;
 }
 
@@ -143,6 +148,8 @@ int main(int argc, char** argv) {
   std::string data_dir;
   txml::WalSyncMode sync_mode = txml::WalSyncMode::kAlways;
   size_t commit_shards = 0;  // 0 = keep the ServiceOptions default
+  size_t fti_compact_min = 0;
+  bool fti_compact_min_set = false;
   bool seed_demo = false;
   bool read_only = false;
   std::string replica_of;
@@ -197,6 +204,11 @@ int main(int argc, char** argv) {
           return Usage();
         }
       }
+    } else if (txml::ParseFlagValue(argv[i], "--fti-compact-min", &value)) {
+      auto parsed = txml::ParseSizeFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      fti_compact_min = *parsed;
+      fti_compact_min_set = true;
     } else if (txml::ParseFlagValue(argv[i], "--db", &value)) {
       db_dir = value;
     } else if (txml::ParseFlagValue(argv[i], "--replica-of", &value)) {
@@ -236,6 +248,9 @@ int main(int argc, char** argv) {
   service_options.durability.data_dir = data_dir;
   service_options.durability.wal.sync_mode = sync_mode;
   if (commit_shards != 0) service_options.commit_shards = commit_shards;
+  if (fti_compact_min_set) {
+    service_options.fti_compact_min_postings = fti_compact_min;
+  }
   txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> service =
       [&]() -> txml::StatusOr<std::unique_ptr<txml::TemporalQueryService>> {
     if (db_dir.empty()) {

@@ -1,10 +1,14 @@
 #include "src/query/scan.h"
 
 #include <map>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "src/index/posting.h"
+#include "src/util/coding.h"
 #include "src/util/logging.h"
 
 namespace txml {
@@ -62,6 +66,24 @@ bool RootAxisHolds(PatternNode::Axis axis, const Posting& posting) {
       return true;
   }
   return false;
+}
+
+/// Resolves each match's version run to its time validity through the
+/// delta indexes — shared by the index joins and the traversal scans so
+/// both emit byte-identical intervals.
+void ResolveValidity(const QueryContext& ctx, std::vector<ScanMatch>* out) {
+  for (ScanMatch& match : *out) {
+    const VersionedDocument* doc = ctx.store->FindById(match.doc_id);
+    TXML_CHECK(doc != nullptr);
+    match.validity.start = doc->delta_index().TimestampOf(match.first_version);
+    if (match.end_version != kOpenVersion &&
+        match.end_version <= doc->version_count()) {
+      match.validity.end = doc->delta_index().TimestampOf(match.end_version);
+    } else {
+      // Open-ended run, or a run closed by document deletion.
+      match.validity.end = doc->delete_time();
+    }
+  }
 }
 
 struct VersionRun {
@@ -174,19 +196,7 @@ StatusOr<std::vector<ScanMatch>> ScanWith(const QueryContext& ctx,
     DocJoiner(shape, lists, &results).Run();
   }
 
-  // Resolve version runs to time validity.
-  for (ScanMatch& match : results) {
-    const VersionedDocument* doc = ctx.store->FindById(match.doc_id);
-    TXML_CHECK(doc != nullptr);
-    match.validity.start = doc->delta_index().TimestampOf(match.first_version);
-    if (match.end_version != kOpenVersion &&
-        match.end_version <= doc->version_count()) {
-      match.validity.end = doc->delta_index().TimestampOf(match.end_version);
-    } else {
-      // Open-ended run, or a run closed by document deletion.
-      match.validity.end = doc->delete_time();
-    }
-  }
+  ResolveValidity(ctx, &results);
   return results;
 }
 
@@ -219,6 +229,209 @@ StatusOr<std::vector<ScanMatch>> TPatternScanRange(const QueryContext& ctx,
                                                    Timestamp t1,
                                                    Timestamp t2) {
   auto all = TPatternScanAll(ctx, pattern);
+  if (!all.ok()) return all.status();
+  TimeInterval window{t1, t2};
+  std::vector<ScanMatch> filtered;
+  for (ScanMatch& match : *all) {
+    if (match.validity.Overlaps(window)) {
+      filtered.push_back(std::move(match));
+    }
+  }
+  return filtered;
+}
+
+namespace {
+
+/// Root-to-element XID path of every element in a tree. Word occurrences
+/// attach to their containing element, so element paths cover every
+/// pattern node's match.
+void BuildPaths(const XmlNode& node, std::vector<Xid>* trail,
+                std::unordered_map<const XmlNode*, std::vector<Xid>>* paths) {
+  trail->push_back(node.xid());
+  (*paths)[&node] = *trail;
+  for (const auto& child : node.children()) {
+    if (child->is_element()) BuildPaths(*child, trail, paths);
+  }
+  trail->pop_back();
+}
+
+/// One MatchPattern embedding rendered into ScanMatch element/path
+/// columns, plus a fingerprint for run coalescing across versions (the
+/// paths determine the elements — each path ends in its element — and a
+/// moved element changes path, closing its run, exactly like the FTI's
+/// occurrence keys).
+struct EmbeddingRow {
+  std::vector<Xid> elements;
+  std::vector<std::vector<Xid>> paths;
+  std::string key;
+};
+
+std::vector<EmbeddingRow> EmbeddingsOf(const XmlNode& root,
+                                       const Pattern& pattern) {
+  std::unordered_map<const XmlNode*, std::vector<Xid>> paths;
+  std::vector<Xid> trail;
+  BuildPaths(root, &trail, &paths);
+  std::vector<EmbeddingRow> rows;
+  for (const PatternMatch& match : MatchPattern(root, pattern)) {
+    EmbeddingRow row;
+    row.elements.reserve(match.size());
+    row.paths.reserve(match.size());
+    for (const XmlNode* node : match) {
+      row.elements.push_back(node->xid());
+      row.paths.push_back(paths.at(node));
+    }
+    for (const auto& path : row.paths) {
+      PutVarint64(&row.key, path.size());
+      for (Xid xid : path) PutVarint32(&row.key, xid);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// The materialized tree of one retained version, preferring the shared
+/// snapshot cache; the current version aliases storage directly (cheap,
+/// and safe for the duration of the scan) and is never inserted into the
+/// cache (cached trees must be owned — see SnapshotCacheInterface).
+StatusOr<std::shared_ptr<const XmlNode>> SnapshotTree(
+    const QueryContext& ctx, const VersionedDocument& doc, VersionNum v) {
+  if (v == doc.version_count() && !doc.deleted()) {
+    return std::shared_ptr<const XmlNode>(doc.current(),
+                                          [](const XmlNode*) {});
+  }
+  if (ctx.snapshot_cache != nullptr) {
+    if (auto hit = ctx.snapshot_cache->Lookup(doc.doc_id(), v)) return hit;
+  }
+  auto tree = doc.ReconstructVersion(v);
+  if (!tree.ok()) return tree.status();
+  std::shared_ptr<const XmlNode> shared(std::move(*tree));
+  if (ctx.snapshot_cache != nullptr) {
+    ctx.snapshot_cache->Insert(doc.doc_id(), v, shared);
+  }
+  return shared;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ScanMatch>> PatternScanCurrentTraversal(
+    const QueryContext& ctx, const Pattern& pattern,
+    const std::vector<const VersionedDocument*>& docs) {
+  std::vector<ScanMatch> results;
+  if (pattern.empty()) return results;
+  TXML_CHECK(ctx.store != nullptr);
+  for (const VersionedDocument* doc : docs) {
+    if (doc->deleted() || doc->current() == nullptr) continue;
+    for (EmbeddingRow& row : EmbeddingsOf(*doc->current(), pattern)) {
+      ScanMatch match;
+      match.doc_id = doc->doc_id();
+      match.first_version = doc->version_count();
+      match.end_version = kOpenVersion;
+      match.elements = std::move(row.elements);
+      match.paths = std::move(row.paths);
+      results.push_back(std::move(match));
+    }
+  }
+  ResolveValidity(ctx, &results);
+  return results;
+}
+
+StatusOr<std::vector<ScanMatch>> TPatternScanTraversal(
+    const QueryContext& ctx, const Pattern& pattern, Timestamp t,
+    const std::vector<const VersionedDocument*>& docs) {
+  std::vector<ScanMatch> results;
+  if (pattern.empty()) return results;
+  TXML_CHECK(ctx.store != nullptr);
+  for (const VersionedDocument* doc : docs) {
+    if (!doc->ExistsAt(t)) continue;
+    auto version = doc->delta_index().VersionAt(t);
+    if (!version.has_value()) continue;
+    // As in FTI_lookup_T: the snapshot presented for t is the nearest
+    // *retained* version.
+    const VersionNum v = doc->SnapToRetained(*version);
+    if (v == 0) continue;
+    auto tree = SnapshotTree(ctx, *doc, v);
+    if (!tree.ok()) return tree.status();
+    const VersionNum next = doc->NextRetained(v);
+    for (EmbeddingRow& row : EmbeddingsOf(**tree, pattern)) {
+      ScanMatch match;
+      match.doc_id = doc->doc_id();
+      match.first_version = v;
+      match.end_version = next != 0 ? next : kOpenVersion;
+      match.elements = std::move(row.elements);
+      match.paths = std::move(row.paths);
+      results.push_back(std::move(match));
+    }
+  }
+  ResolveValidity(ctx, &results);
+  return results;
+}
+
+StatusOr<std::vector<ScanMatch>> TPatternScanAllTraversal(
+    const QueryContext& ctx, const Pattern& pattern,
+    const std::vector<const VersionedDocument*>& docs) {
+  std::vector<ScanMatch> results;
+  if (pattern.empty()) return results;
+  TXML_CHECK(ctx.store != nullptr);
+  for (const VersionedDocument* doc : docs) {
+    // Walk the retained chain in order, coalescing each embedding's
+    // maximal run of consecutive versions — the traversal mirror of the
+    // version ranges the index join intersects.
+    struct PendingRun {
+      VersionNum first;
+      std::vector<Xid> elements;
+      std::vector<std::vector<Xid>> paths;
+    };
+    std::map<std::string, PendingRun> open_runs;
+    for (VersionNum v = doc->first_retained();
+         v != 0 && v <= doc->version_count(); v = doc->NextRetained(v)) {
+      auto tree = SnapshotTree(ctx, *doc, v);
+      if (!tree.ok()) return tree.status();
+      std::unordered_set<std::string> present;
+      for (EmbeddingRow& row : EmbeddingsOf(**tree, pattern)) {
+        present.insert(row.key);
+        if (!open_runs.contains(row.key)) {
+          open_runs.emplace(std::move(row.key),
+                            PendingRun{v, std::move(row.elements),
+                                       std::move(row.paths)});
+        }
+      }
+      for (auto it = open_runs.begin(); it != open_runs.end();) {
+        if (present.contains(it->first)) {
+          ++it;
+          continue;
+        }
+        ScanMatch match;
+        match.doc_id = doc->doc_id();
+        match.first_version = it->second.first;
+        match.end_version = v;
+        match.elements = std::move(it->second.elements);
+        match.paths = std::move(it->second.paths);
+        results.push_back(std::move(match));
+        it = open_runs.erase(it);
+      }
+    }
+    // Runs alive through the last retained version: open-ended for live
+    // documents, closed just past the last version for deleted ones —
+    // matching how OnDocumentDeleted closes postings.
+    for (auto& [key, run] : open_runs) {
+      ScanMatch match;
+      match.doc_id = doc->doc_id();
+      match.first_version = run.first;
+      match.end_version =
+          doc->deleted() ? doc->version_count() + 1 : kOpenVersion;
+      match.elements = std::move(run.elements);
+      match.paths = std::move(run.paths);
+      results.push_back(std::move(match));
+    }
+  }
+  ResolveValidity(ctx, &results);
+  return results;
+}
+
+StatusOr<std::vector<ScanMatch>> TPatternScanRangeTraversal(
+    const QueryContext& ctx, const Pattern& pattern, Timestamp t1,
+    Timestamp t2, const std::vector<const VersionedDocument*>& docs) {
+  auto all = TPatternScanAllTraversal(ctx, pattern, docs);
   if (!all.ok()) return all.status();
   TimeInterval window{t1, t2};
   std::vector<ScanMatch> filtered;

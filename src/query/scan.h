@@ -68,6 +68,29 @@ StatusOr<std::vector<ScanMatch>> TPatternScanRange(const QueryContext& ctx,
                                                    Timestamp t1,
                                                    Timestamp t2);
 
+/// Traversal ("stratum") variants of the scans above: materialize the
+/// relevant version(s) of each resolved document and evaluate the pattern
+/// directly with MatchPattern — no FTI involved. They emit the same
+/// ScanMatch rows (TPatternScanAllTraversal coalesces each embedding's
+/// maximal run of consecutive retained versions, mirroring the posting
+/// runs the index join intersects). The cost-based planner
+/// (src/query/planner.h) picks between these and the index joins per
+/// query; they are also each other's oracle in tests. Unlike the global
+/// index scans, the traversals only visit `docs` (the FROM-resolved set —
+/// the executor filters index-scan output to the same set).
+StatusOr<std::vector<ScanMatch>> PatternScanCurrentTraversal(
+    const QueryContext& ctx, const Pattern& pattern,
+    const std::vector<const VersionedDocument*>& docs);
+StatusOr<std::vector<ScanMatch>> TPatternScanTraversal(
+    const QueryContext& ctx, const Pattern& pattern, Timestamp t,
+    const std::vector<const VersionedDocument*>& docs);
+StatusOr<std::vector<ScanMatch>> TPatternScanAllTraversal(
+    const QueryContext& ctx, const Pattern& pattern,
+    const std::vector<const VersionedDocument*>& docs);
+StatusOr<std::vector<ScanMatch>> TPatternScanRangeTraversal(
+    const QueryContext& ctx, const Pattern& pattern, Timestamp t1,
+    Timestamp t2, const std::vector<const VersionedDocument*>& docs);
+
 }  // namespace txml
 
 #endif  // TXML_SRC_QUERY_SCAN_H_

@@ -43,8 +43,10 @@ StatusOr<Timestamp> CreTime(const QueryContext& ctx, const Teid& teid,
   auto doc = DocOf(ctx, teid.eid);
   if (!doc.ok()) return doc.status();
 
-  if (strategy == LifetimeStrategy::kIndex) {
-    TXML_CHECK(ctx.lifetime != nullptr);
+  // kIndex (and kAuto) use the lifetime index when one is attached; a
+  // request for the index without one degrades to the traversal below
+  // rather than failing — §7.3.6 defines both as equivalent strategies.
+  if (strategy != LifetimeStrategy::kTraversal && ctx.lifetime != nullptr) {
     auto ts = ctx.lifetime->CreTime(teid.eid);
     if (!ts.has_value()) {
       return Status::NotFound("EID " + teid.eid.ToString() +
@@ -88,8 +90,7 @@ StatusOr<std::optional<Timestamp>> DelTime(const QueryContext& ctx,
   auto doc = DocOf(ctx, teid.eid);
   if (!doc.ok()) return doc.status();
 
-  if (strategy == LifetimeStrategy::kIndex) {
-    TXML_CHECK(ctx.lifetime != nullptr);
+  if (strategy != LifetimeStrategy::kTraversal && ctx.lifetime != nullptr) {
     return ctx.lifetime->DelTime(teid.eid);
   }
 

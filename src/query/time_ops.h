@@ -18,9 +18,13 @@ enum class LifetimeStrategy {
   /// grows with the number of deltas between the TEID's version and the
   /// create/delete point.
   kTraversal,
-  /// O(1) lookup in the auxiliary EID -> (create, delete) index. Requires
-  /// ctx.lifetime.
+  /// O(1) lookup in the auxiliary EID -> (create, delete) index. Degrades
+  /// to traversal when ctx.lifetime is absent (PlanLifetime in
+  /// src/query/planner.h records the fallback).
   kIndex,
+  /// Resolved per query by the planner: the index whenever one is
+  /// attached, traversal otherwise.
+  kAuto,
 };
 
 /// CreTime(TEID): transaction time at which the element was created. The

@@ -395,7 +395,10 @@ StatusOr<TemporalQueryService::PutResult> TemporalQueryService::CommitPut(
   if (sequence != nullptr) *sequence = slot.logged ? slot.ticket : 0;
   (result.ok() ? writes_committed_ : writes_failed_)
       .fetch_add(1, std::memory_order_relaxed);
-  if (result.ok()) MaybeCheckpoint();
+  if (result.ok()) {
+    MaybeCheckpoint();
+    MaybeCompactFti();
+  }
   return result;
 }
 
@@ -423,6 +426,18 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
   }();
   (results.ok() ? queries_executed_ : queries_failed_)
       .fetch_add(1, std::memory_order_relaxed);
+  if (results.ok()) {
+    planner_scans_index_.fetch_add(response.stats.scans_index,
+                                   std::memory_order_relaxed);
+    planner_scans_traversal_.fetch_add(response.stats.scans_traversal,
+                                       std::memory_order_relaxed);
+    planner_lifetime_index_.fetch_add(response.stats.lifetime_index_lookups,
+                                      std::memory_order_relaxed);
+    planner_lifetime_traversal_.fetch_add(response.stats.lifetime_traversals,
+                                          std::memory_order_relaxed);
+    planner_fallbacks_.fetch_add(response.stats.strategy_fallbacks,
+                                 std::memory_order_relaxed);
+  }
   if (!results.ok()) return results.status();
   SerializeOptions serialize_options;
   serialize_options.pretty = request.pretty;
@@ -590,6 +605,7 @@ StatusOr<QueryResponse> TemporalQueryService::Execute(
   response.payload = std::move(payload);
   response.sequence = publish;
   MaybeCheckpoint();
+  MaybeCompactFti();
   return response;
 }
 
@@ -722,7 +738,10 @@ Status TemporalQueryService::Delete(const std::string& url) {
   }
   (status.ok() ? writes_committed_ : writes_failed_)
       .fetch_add(1, std::memory_order_relaxed);
-  if (status.ok()) MaybeCheckpoint();
+  if (status.ok()) {
+    MaybeCheckpoint();
+    MaybeCompactFti();
+  }
   return status;
 }
 
@@ -823,6 +842,10 @@ Status TemporalQueryService::ApplyReplicated(const WalRecord& record) {
   }
   UnlockAllShards();
   if (!forced_checkpoint) MaybeCheckpoint();
+  // Followers compact on their own local threshold — compaction is a pure
+  // index-layout transform, never WAL-shipped, so leader and follower may
+  // fold at different times and still answer queries identically.
+  MaybeCompactFti();
   return Status::OK();
 }
 
@@ -879,6 +902,32 @@ void TemporalQueryService::MaybeCheckpoint() {
   if (!checkpoint_running_.compare_exchange_strong(expected, true)) return;
   (void)Checkpoint();
   checkpoint_running_.store(false, std::memory_order_release);
+}
+
+void TemporalQueryService::MaybeCompactFti() {
+  const size_t threshold = options_.fti_compact_min_postings;
+  if (threshold == 0) return;
+  {
+    // Cheap peek: the differential gauge is plain state behind the commit
+    // lock, so read it under the shared side.
+    ReaderLock lock(commit_mu_);
+    if (db_->fti().differential_posting_count() < threshold) return;
+  }
+  // One committer runs the fold; concurrent triggers yield (the
+  // differential only shrinks when the fold lands, so the next commit
+  // re-triggers if this one loses a race).
+  bool expected = false;
+  if (!fti_compact_running_.compare_exchange_strong(expected, true)) return;
+  // Full quiescence, same as a checkpoint: every shard (no ticket in
+  // flight) plus the exclusive commit lock (no reader holds posting
+  // pointers across the fold).
+  LockAllShards();
+  {
+    WriterLock lock(commit_mu_);
+    db_->CompactFti();
+  }
+  UnlockAllShards();
+  fti_compact_running_.store(false, std::memory_order_release);
 }
 
 StatusOr<XmlDocument> TemporalQueryService::Snapshot(const std::string& url,
@@ -948,6 +997,25 @@ ServiceStats TemporalQueryService::Stats() const {
       replicated_records_applied_.load(std::memory_order_relaxed);
   stats.replication.replicated_records_skipped =
       replicated_records_skipped_.load(std::memory_order_relaxed);
+  stats.planner.scans_index =
+      planner_scans_index_.load(std::memory_order_relaxed);
+  stats.planner.scans_traversal =
+      planner_scans_traversal_.load(std::memory_order_relaxed);
+  stats.planner.lifetime_index_lookups =
+      planner_lifetime_index_.load(std::memory_order_relaxed);
+  stats.planner.lifetime_traversals =
+      planner_lifetime_traversal_.load(std::memory_order_relaxed);
+  stats.planner.strategy_fallbacks =
+      planner_fallbacks_.load(std::memory_order_relaxed);
+  {
+    // The index gauges are plain state behind the commit lock; a brief
+    // shared acquisition keeps Stats() consistent with in-flight folds.
+    ReaderLock lock(commit_mu_);
+    const TemporalFullTextIndex& fti = db_->fti();
+    stats.fti.main_postings = fti.main_posting_count();
+    stats.fti.differential_postings = fti.differential_posting_count();
+    stats.fti.compactions = fti.compaction_count();
+  }
   return stats;
 }
 

@@ -73,6 +73,13 @@ struct ServiceOptions {
   /// to arrive before failing kUnavailable ("replica lag") — the bound on
   /// read-your-writes blocking on a lagging follower.
   int64_t read_wait_timeout_ms = 5000;
+  /// Fold the FTI differential into the compacted main index once it
+  /// holds this many postings (checked after each commit — DESIGN.md §13).
+  /// 0 disables the post-commit trigger; the differential then only folds
+  /// when a vacuum forces it. The threshold trades a small query-time
+  /// merge overhead (lookups walk main + differential) against the
+  /// stop-the-world cost of the fold.
+  size_t fti_compact_min_postings = 4096;
 };
 
 /// Checks an options struct for values that would be undefined behavior
@@ -368,6 +375,14 @@ class TemporalQueryService {
   /// in-progress flag so concurrent commits don't stampede.
   void MaybeCheckpoint();
 
+  /// Post-commit FTI compaction trigger (DESIGN.md §13): once the
+  /// differential exceeds fti_compact_min_postings, folds it into the
+  /// main index under full quiescence (all shards + exclusive commit
+  /// lock — same discipline as MaybeCheckpoint, same stampede guard).
+  /// The fold is not WAL-logged: it changes the index's internal layout,
+  /// not its contents, and checkpoints always persist the merged view.
+  void MaybeCompactFti() EXCLUDES(commit_mu_);
+
   /// Wraps `fn` in a packaged task on the pool; returns its future.
   template <typename Fn>
   auto Enqueue(Fn fn) -> std::future<decltype(fn())> {
@@ -442,6 +457,7 @@ class TemporalQueryService {
   mutable std::atomic<uint64_t> last_committed_sequence_{0};
   std::atomic<uint64_t> last_checkpoint_sequence_{0};
   std::atomic<bool> checkpoint_running_{false};
+  std::atomic<bool> fti_compact_running_{false};
   std::atomic<uint64_t> replicated_records_applied_{0};
   std::atomic<uint64_t> replicated_records_skipped_{0};
 
@@ -455,6 +471,13 @@ class TemporalQueryService {
   std::atomic<uint64_t> wal_records_appended_{0};
   std::atomic<uint64_t> checkpoints_completed_{0};
   std::atomic<uint64_t> checkpoints_failed_{0};
+  /// Planner decision tallies accumulated from every Execute(QueryRequest)
+  /// response's ExecStats (src/query/planner.h).
+  std::atomic<uint64_t> planner_scans_index_{0};
+  std::atomic<uint64_t> planner_scans_traversal_{0};
+  std::atomic<uint64_t> planner_lifetime_index_{0};
+  std::atomic<uint64_t> planner_lifetime_traversal_{0};
+  std::atomic<uint64_t> planner_fallbacks_{0};
   /// Recovery facts, set once before the service is visible to callers.
   uint64_t recovered_records_ = 0;
   bool recovery_tail_dropped_ = false;

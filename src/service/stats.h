@@ -85,6 +85,32 @@ struct ReplicationStats {
   uint64_t replicated_records_skipped = 0;
 };
 
+/// Gauges of the split full-text index (DESIGN.md §13): the compacted
+/// main index plus the in-memory differential that commits append to.
+struct FtiIndexStats {
+  /// Postings in the compacted main half.
+  size_t main_postings = 0;
+  /// Postings accumulated in the differential since the last fold. Grows
+  /// with commits, returns to zero at each compaction.
+  size_t differential_postings = 0;
+  /// Differential folds completed (post-commit triggers + vacuum-forced).
+  uint64_t compactions = 0;
+};
+
+/// Planner decision tallies (src/query/planner.h) aggregated across every
+/// Execute(QueryRequest) on this service.
+struct PlannerStats {
+  /// FROM-item scans dispatched to the FTI join vs. tree traversal.
+  uint64_t scans_index = 0;
+  uint64_t scans_traversal = 0;
+  /// CREATE/DELETE TIME evaluations by resolved strategy.
+  uint64_t lifetime_index_lookups = 0;
+  uint64_t lifetime_traversals = 0;
+  /// Explicitly requested strategies that were unavailable (no index
+  /// attached) and degraded to the other arm instead of failing.
+  uint64_t strategy_fallbacks = 0;
+};
+
 /// Aggregate counters of a TemporalQueryService, for monitoring and the
 /// service benchmarks.
 struct ServiceStats {
@@ -103,6 +129,8 @@ struct ServiceStats {
   DurabilityStats durability;
   CommitPathStats commit_path;
   ReplicationStats replication;
+  FtiIndexStats fti;
+  PlannerStats planner;
 };
 
 }  // namespace txml

@@ -400,6 +400,63 @@ TEST(NetRateLimiterTest, FullBucketsAreSweptAtCapacity) {
   EXPECT_FALSE(limiter.Admit("key0"));
 }
 
+TEST(NetRateLimiterTest, DistinctKeyFloodNeverExceedsMaxBuckets) {
+  int64_t now = 0;
+  TokenBucketRateLimiter::Options options;
+  options.tokens_per_sec = 1;
+  options.burst = 8;
+  options.max_buckets = 64;
+  TokenBucketRateLimiter limiter(options, [&now] { return now; });
+
+  // A sustained flood of distinct keys (spoofed-source style), with no
+  // time passing so pass 1 never frees anything — every bucket is freshly
+  // drained by one token. The hard bound must hold after every insert,
+  // and each key's first request is still admitted (it gets a fresh
+  // bucket, possibly force-evicting the stalest).
+  for (int i = 0; i < 10 * 64; ++i) {
+    EXPECT_TRUE(limiter.Admit("10.1." + std::to_string(i / 256) + "." +
+                              std::to_string(i % 256)));
+    ASSERT_LE(limiter.bucket_count(), 64u) << "after insert " << i;
+    now += 1000;  // 1ms between arrivals: refills 0.001 of 8 tokens
+  }
+  // The map is bounded but not empty: the most recent keys survive.
+  EXPECT_GT(limiter.bucket_count(), 0u);
+
+  // A key admitted before the flood and kept active throughout is the
+  // *least* stale and must have survived the force-evictions with its
+  // drain state intact.
+  TokenBucketRateLimiter active_limiter(options, [&now] { return now; });
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(active_limiter.Admit("victim"));  // drain to empty
+  }
+  EXPECT_FALSE(active_limiter.Admit("victim"));
+  for (int i = 0; i < 200; ++i) {
+    now += 1000;
+    active_limiter.Admit("flood" + std::to_string(i));
+    // Rejected, but the refill attempt refreshes the victim's stamp —
+    // an active key is never the stalest, so force-eviction spares it.
+    active_limiter.Admit("victim");
+    ASSERT_LE(active_limiter.bucket_count(), 64u);
+  }
+  // Still throttled: the flood never reset the victim's bucket.
+  EXPECT_FALSE(active_limiter.Admit("victim"));
+}
+
+TEST(NetRateLimiterTest, SingleBucketCapStillAdmits) {
+  // The degenerate cap: every distinct key evicts the previous one, and
+  // the bound still holds (keep-watermark clamps at one eviction).
+  int64_t now = 0;
+  TokenBucketRateLimiter::Options options;
+  options.tokens_per_sec = 1;
+  options.burst = 2;
+  options.max_buckets = 1;
+  TokenBucketRateLimiter limiter(options, [&now] { return now; });
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(limiter.Admit("k" + std::to_string(i)));
+    ASSERT_LE(limiter.bucket_count(), 1u);
+  }
+}
+
 TEST(NetTest, WriteBatchOverTheWireCommitsAndReportsPerItem) {
   ServerFixture fixture;
   ASSERT_TRUE(
