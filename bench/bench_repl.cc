@@ -16,6 +16,13 @@
 //     leader's 64-record history, and reaching the leader's applied
 //     floor. items/sec is WAL records applied per second end to end
 //     (connect + ship + parse + diff + index).
+//   * BM_ReplReseed: a blank follower subscribing to a leader whose
+//     history lives only in its checkpoint (the WAL and tail were
+//     truncated at the checkpoint sequence), so the subscribe is refused
+//     below-floor and the follower re-seeds over the wire instead
+//     (DESIGN.md §14): checkpoint stream + atomic install + resume.
+//     bytes/sec is archive throughput; the time is till the follower
+//     serves reads at the leader's floor.
 //
 // Single-core caveat (same as E12/E13): on a 1-CPU host leader,
 // followers, and clients convoy on one core, so followers:1/2 rows
@@ -25,6 +32,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -169,6 +177,62 @@ class SharedCluster {
   std::vector<std::unique_ptr<TxmlServer>> follower_servers_;
 };
 
+/// A leader whose history lives only in its checkpoint: the database is
+/// built and checkpointed in one service lifetime, then reopened —
+/// recovery floors both the WAL and the in-memory tail at the checkpoint
+/// sequence, so a blank follower subscribing from zero is below the
+/// replication floor and must re-seed over the wire (DESIGN.md §14).
+class ReseedLeader {
+ public:
+  /// One shared leader per history size (the benchmark arg).
+  static ReseedLeader& Get(size_t versions) {
+    static std::map<size_t, std::unique_ptr<ReseedLeader>> instances;
+    auto& slot = instances[versions];
+    if (slot == nullptr) slot.reset(new ReseedLeader(versions));
+    return *slot;
+  }
+
+  uint16_t port() const { return server_->port(); }
+  uint64_t head_sequence() const { return service_->applied_sequence(); }
+
+ private:
+  explicit ReseedLeader(size_t versions) {
+    std::string dir = ScratchDir("reseed_leader" + std::to_string(versions));
+    {
+      auto builder = TemporalQueryService::Create(DurableOptions(dir));
+      TXML_CHECK(builder.ok());
+      for (size_t v = 1; v <= versions; ++v) {
+        TXML_CHECK((*builder)->PutAt("doc0", GuideXml(v), DayN(v - 1)).ok());
+      }
+      TXML_CHECK((*builder)->Checkpoint().ok());
+    }
+    auto service = TemporalQueryService::Create(DurableOptions(dir));
+    TXML_CHECK(service.ok());
+    service_ = std::move(*service);
+    WalShipper::Options shipper_options;
+    shipper_options.heartbeat_interval_ms = 50;
+    shipper_ = std::make_unique<WalShipper>(service_.get(), shipper_options);
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_options.connection_threads = 16;
+    WalShipper* shipper = shipper_.get();
+    server_options.repl_handler = [shipper](Socket* socket,
+                                            const ReplSubscribeRequest& sub) {
+      shipper->Serve(socket, sub);
+    };
+    server_options.checkpoint_handler =
+        [shipper](Socket* socket, const CheckpointRequest& request) {
+          shipper->ServeCheckpoint(socket, request);
+        };
+    server_ = std::make_unique<TxmlServer>(service_.get(), server_options);
+    TXML_CHECK(server_->Start().ok());
+  }
+
+  std::unique_ptr<TemporalQueryService> service_;
+  std::unique_ptr<WalShipper> shipper_;
+  std::unique_ptr<TxmlServer> server_;
+};
+
 std::string SnapshotListing(int day) {
   return "SELECT R FROM doc(\"doc0\")[" +
          DayN(static_cast<size_t>(day)).ToString() + "]/guide/item R";
@@ -269,6 +333,54 @@ void BM_ReplCatchUp(benchmark::State& state) {
   state.counters["records"] = static_cast<double>(head);
 }
 BENCHMARK(BM_ReplCatchUp)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ReplReseed(benchmark::State& state) {
+  ReseedLeader& leader =
+      ReseedLeader::Get(static_cast<size_t>(state.range(0)));
+  uint64_t head = leader.head_sequence();
+  int round = 0;
+  int64_t archive_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = ScratchDir("reseed" + std::to_string(round++));
+    state.ResumeTiming();
+    auto service = TemporalQueryService::Create(DurableOptions(dir));
+    if (!service.ok()) {
+      state.SkipWithError(service.status().ToString().c_str());
+      return;
+    }
+    ReplicaApplier::Options options;
+    options.leader_port = leader.port();
+    options.follower_name = "bench-reseed";
+    ReplicaApplier applier(service->get(), options);
+    Status started = applier.Start();
+    if (!started.ok()) {
+      state.SkipWithError(started.ToString().c_str());
+      return;
+    }
+    if (!AwaitSequence(service->get(), head)) {
+      state.SkipWithError("follower never reached the leader head");
+      return;
+    }
+    applier.Stop();
+    ServiceStats stats = (*service)->Stats();
+    if (stats.replication.reseeds == 0) {
+      state.SkipWithError("follower caught up without re-seeding");
+      return;
+    }
+    archive_bytes += static_cast<int64_t>(stats.replication.reseed_bytes);
+    state.PauseTiming();
+    service->reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(archive_bytes);
+  state.counters["covered_sequence"] = static_cast<double>(head);
+}
+BENCHMARK(BM_ReplReseed)
+    ->ArgName("versions")->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace bench

@@ -45,7 +45,7 @@ void FuzzQueryParser(const uint8_t* data, size_t size) {
 void FuzzWireDecode(const uint8_t* data, size_t size) {
   if (size == 0) return;
   std::string_view payload = AsView(data + 1, size - 1);
-  switch (data[0] % 11) {
+  switch (data[0] % 14) {
     case 0: {
       auto request = DecodeQueryRequest(payload);
       if (!request.ok()) return;
@@ -150,7 +150,7 @@ void FuzzWireDecode(const uint8_t* data, size_t size) {
       }
       break;
     }
-    default: {
+    case 10: {
       auto request = DecodeWriteBatchRequest(payload);
       if (!request.ok()) return;
       auto again = DecodeWriteBatchRequest(EncodeWriteBatchRequest(*request));
@@ -160,6 +160,42 @@ void FuzzWireDecode(const uint8_t* data, size_t size) {
       } else if (again->items.size() != request->items.size()) {
         Fail("WriteBatchRequest round trip changed the item count",
              std::to_string(request->items.size()));
+      }
+      break;
+    }
+    case 11: {
+      auto request = DecodeCheckpointRequest(payload);
+      if (!request.ok()) return;
+      auto again = DecodeCheckpointRequest(EncodeCheckpointRequest(*request));
+      if (!again.ok() || again->resume_offset != request->resume_offset ||
+          again->resume_crc32c != request->resume_crc32c) {
+        Fail("re-encoded CheckpointRequest failed to round-trip",
+             std::to_string(request->resume_offset));
+      }
+      break;
+    }
+    case 12: {
+      auto meta = DecodeCheckpointMeta(payload);
+      if (!meta.ok()) return;
+      auto again = DecodeCheckpointMeta(EncodeCheckpointMeta(*meta));
+      if (!again.ok()) {
+        Fail("re-encoded CheckpointMeta failed to decode",
+             again.status().ToString());
+      } else if (again->files.size() != meta->files.size() ||
+                 again->total_bytes != meta->total_bytes) {
+        Fail("CheckpointMeta round trip changed the file table",
+             std::to_string(meta->files.size()));
+      }
+      break;
+    }
+    default: {
+      auto chunk = DecodeCheckpointChunk(payload);
+      if (!chunk.ok()) return;
+      auto again = DecodeCheckpointChunk(EncodeCheckpointChunk(*chunk));
+      if (!again.ok() || again->offset != chunk->offset ||
+          again->crc32c != chunk->crc32c || again->data != chunk->data) {
+        Fail("re-encoded CheckpointChunk failed to round-trip",
+             std::to_string(chunk->offset));
       }
       break;
     }

@@ -78,7 +78,7 @@ bool WriteQuerySeeds(const std::filesystem::path& dir) {
 }
 
 bool WriteWireSeeds(const std::filesystem::path& dir) {
-  // Selector-byte convention of FuzzWireDecode: byte % 10 picks the
+  // Selector-byte convention of FuzzWireDecode: byte % 14 picks the
   // decoder, remaining bytes are the envelope payload.
   QueryRequest query;
   query.query_text = "SELECT R FROM doc(\"u\")[EVERY]/r R";
@@ -121,6 +121,32 @@ bool WriteWireSeeds(const std::filesystem::path& dir) {
   ReplAck ack;
   ack.applied_sequence = 8;
 
+  WriteBatchRequest write_batch;
+  for (int i = 0; i < 2; ++i) {
+    WriteBatchItem item;
+    item.url = "u";
+    item.xml_text = "<r v=\"" + std::to_string(i) + "\"/>";
+    item.timestamp = Timestamp::FromDate(2001, 1, 26 + i);
+    write_batch.items.push_back(std::move(item));
+  }
+
+  CheckpointRequest checkpoint_request;
+  checkpoint_request.resume_offset = 4096;
+  checkpoint_request.resume_crc32c = 0xDEADBEEF;
+  checkpoint_request.follower_name = "seed-follower";
+
+  CheckpointMeta checkpoint_meta;
+  checkpoint_meta.covered_sequence = 9;
+  checkpoint_meta.total_bytes = 48;
+  checkpoint_meta.archive_crc32c = 0x12345678;
+  checkpoint_meta.start_offset = 16;
+  checkpoint_meta.files = {{"store.txml", 32}, {"checkpoint.txml", 16}};
+
+  CheckpointChunk checkpoint_chunk;
+  checkpoint_chunk.offset = 16;
+  checkpoint_chunk.data = "<store version=\"1\"/>";
+  checkpoint_chunk.crc32c = 0x9ABCDEF0;
+
   const struct {
     const char* name;
     uint8_t selector;
@@ -136,6 +162,10 @@ bool WriteWireSeeds(const std::filesystem::path& dir) {
       {"repl_heartbeat", 7, EncodeReplHeartbeat(heartbeat)},
       {"repl_ack", 8, EncodeReplAck(ack)},
       {"stats_request", 9, EncodeStatsRequest(StatsRequest{})},
+      {"write_batch_request", 10, EncodeWriteBatchRequest(write_batch)},
+      {"checkpoint_request", 11, EncodeCheckpointRequest(checkpoint_request)},
+      {"checkpoint_meta", 12, EncodeCheckpointMeta(checkpoint_meta)},
+      {"checkpoint_chunk", 13, EncodeCheckpointChunk(checkpoint_chunk)},
   };
   for (const auto& seed : kSeeds) {
     std::string bytes(1, static_cast<char>(seed.selector));

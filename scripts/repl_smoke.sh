@@ -11,7 +11,12 @@
 #     to the leader's;
 #   * write fencing: a put against a follower is rejected and the error
 #     names the leader's address;
-#   * observability: the leader's stats document lists both followers.
+#   * observability: the leader's stats document lists both followers;
+#   * self-healing re-seed (DESIGN.md §14): a follower killed and left
+#     behind until the leader's tail buffer evicts its cursor AND a
+#     vacuum-forced checkpoint truncates the on-disk log re-seeds itself
+#     automatically from a streamed checkpoint on restart — no operator
+#     file copying — and converges byte-identically afterwards.
 #
 # Usage: scripts/repl_smoke.sh [build-dir]   (default: build)
 # The build dir must already contain txml_server/txml_client — check.sh
@@ -74,6 +79,7 @@ start_node() {
 start_node leader;                                  LEADER_PORT=$NODE_PORT
 start_node f1 --replica-of="127.0.0.1:$LEADER_PORT"; F1_PORT=$NODE_PORT
 start_node f2 --replica-of="127.0.0.1:$LEADER_PORT"; F2_PORT=$NODE_PORT
+F2_PID=${PIDS[-1]}
 echo "repl_smoke: leader :$LEADER_PORT followers :$F1_PORT :$F2_PORT" >&2
 
 # Commit a 20-version history while the followers tail the WAL, keeping
@@ -123,5 +129,68 @@ grep -q '<followers>' <<<"$stats" \
 follower_rows=$(grep -o '<follower ' <<<"$stats" | wc -l)
 [[ "$follower_rows" -eq 2 ]] \
   || die "leader stats lists $follower_rows followers, want 2: $stats"
+
+# --- Self-healing re-seed (DESIGN.md §14) ---
+# Kill f2, then push its replication cursor below the leader's floor:
+# ~4.5 MiB of new versions evicts the cursor from the in-memory WAL tail
+# (4 MiB budget), and a vacuum forces a checkpoint that truncates the
+# on-disk log past it. A restarted f2 must then re-seed automatically
+# from the streamed checkpoint instead of parking fatal.
+kill "$F2_PID" 2>/dev/null || die "could not kill follower f2"
+wait "$F2_PID" 2>/dev/null || true
+echo "repl_smoke: killed follower f2, advancing the leader past its" \
+     "cursor" >&2
+
+# 96 KiB per version (argv strings cap at 128 KiB on Linux), ~4.7 MiB
+# total — past the tail buffer's 4 MiB eviction budget.
+PAD=$(head -c 98304 /dev/zero | tr '\0' 'x')
+for day in $(seq 1 50); do
+  printf -v date '%02d/0%d/2001' "$(( (day - 1) % 25 + 1 ))" \
+         "$(( (day - 1) / 25 + 3 ))"
+  xml="<guide><item><name>big$day</name><blob>$PAD</blob></item></guide>"
+  put_err=$("$CLIENT" --port="$LEADER_PORT" --stats \
+            put u "$xml" "$date" 2>&1 >/dev/null) \
+    || die "bulk put $day failed: $put_err"
+  LAST_SEQ=$(grep -o 'sequence=[0-9]*' <<<"$put_err" | head -1 | cut -d= -f2)
+done
+"$CLIENT" --port="$LEADER_PORT" vacuum --drop-before=01/01/2000 >/dev/null \
+  || die "vacuum (forced checkpoint) failed"
+
+stats=$("$CLIENT" --port="$LEADER_PORT" stats) || die "leader stats failed"
+grep -Eq 'last-checkpoint-sequence="[1-9]' <<<"$stats" \
+  || die "vacuum did not force a leader checkpoint: $stats"
+
+# Restart f2 from its ORIGINAL data dir (stale cursor) and require
+# convergence: the --min-sequence read retries while the re-seed streams.
+start_node f2-restarted --data-dir="$WORK/f2" \
+           --replica-of="127.0.0.1:$LEADER_PORT"
+F2_PORT=$NODE_PORT
+LEADER_ANSWER=$("$CLIENT" --port="$LEADER_PORT" query "$QUERY") \
+  || die "leader query failed after bulk history"
+answer=""
+for i in $(seq 1 50); do
+  if answer=$("$CLIENT" --port="$F2_PORT" --min-sequence="$LAST_SEQ" \
+              query "$QUERY" 2>/dev/null); then
+    break
+  fi
+  answer=""
+  sleep 0.2
+done
+[[ -n "$answer" ]] \
+  || die "restarted follower :$F2_PORT never converged after re-seed"
+[[ "$answer" == "$LEADER_ANSWER" ]] \
+  || die "restarted follower :$F2_PORT diverged from the leader"
+
+# The follower must have converged via a checkpoint re-seed, not a WAL
+# catch-up: its stats document counts the install, the leader's counts
+# the serve.
+f2_stats=$("$CLIENT" --port="$F2_PORT" stats) \
+  || die "restarted follower stats failed"
+grep -Eq 'reseeds="[1-9]' <<<"$f2_stats" \
+  || die "restarted follower reports no re-seed: $f2_stats"
+stats=$("$CLIENT" --port="$LEADER_PORT" stats) || die "leader stats failed"
+grep -Eq 'checkpoints-served="[1-9]' <<<"$stats" \
+  || die "leader served no checkpoint transfer: $stats"
+echo "repl_smoke: follower re-seeded automatically and converged" >&2
 
 echo "repl_smoke: OK" >&2

@@ -174,6 +174,36 @@ bool TxmlServer::HandleFrame(Socket* socket, const Frame& frame,
     return false;
   }
 
+  if (frame.type == FrameType::kCheckpointRequest) {
+    // A checkpoint transfer owns the connection the same way a
+    // subscription does (DESIGN.md §14): the hook streams the archive,
+    // then the connection closes. Like subscriptions it skips rate
+    // limiting — throttling a below-floor follower's only way back just
+    // extends the outage.
+    auto request = DecodeCheckpointRequest(frame.payload);
+    if (!request.ok()) {
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendResponse(socket, request.status(), {});
+      return false;
+    }
+    if (!request->auth_token.empty()) {
+      SendResponse(socket,
+                   Status::InvalidArgument(
+                       "auth tokens are not supported yet; send empty"),
+                   {});
+      return false;
+    }
+    if (!options_.checkpoint_handler) {
+      SendResponse(socket,
+                   Status::InvalidArgument(
+                       "checkpoint re-seed is not enabled on this server"),
+                   {});
+      return false;
+    }
+    options_.checkpoint_handler(socket, *request);
+    return false;
+  }
+
   // Admission control ahead of decode/execute: a throttled request costs
   // the server nothing but the rejection header. The connection survives —
   // rate limiting is back-pressure, not a protocol violation.
@@ -284,6 +314,9 @@ QueryResponse TxmlServer::StatsResponse() {
          std::to_string(service_stats.replication.replicated_records_applied) +
          "\" replicated-skipped=\"" +
          std::to_string(service_stats.replication.replicated_records_skipped) +
+         "\" reseeds=\"" + std::to_string(service_stats.replication.reseeds) +
+         "\" reseed-bytes=\"" +
+         std::to_string(service_stats.replication.reseed_bytes) +
          "\" read-only=\"" + (options_.read_only ? "true" : "false") + "\"/>";
   {
     // Commit-path concurrency: aggregate shard contention plus the

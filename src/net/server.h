@@ -74,6 +74,15 @@ struct ServerOptions {
   /// stream ends; the server then closes the connection. Unset =
   /// replication not enabled: subscribers get kInvalidArgument.
   std::function<void(Socket*, const ReplSubscribeRequest&)> repl_handler;
+  /// Checkpoint re-seed hook (DESIGN.md §14), wired alongside
+  /// repl_handler to WalShipper::ServeCheckpoint. When a
+  /// kCheckpointRequest frame arrives, the server hands the connection's
+  /// socket and the decoded request to this callback, which streams the
+  /// leader's newest checkpoint on the handler thread and returns when
+  /// the transfer ends; the server then closes the connection. Unset =
+  /// re-seeding not served: requesters get kInvalidArgument (the refusal
+  /// the applier parks on).
+  std::function<void(Socket*, const CheckpointRequest&)> checkpoint_handler;
   /// Extra XML appended inside the <stats> document served for
   /// kStatsRequest (the mains add shipper / applier state).
   std::function<std::string()> stats_extra;

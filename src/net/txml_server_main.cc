@@ -5,6 +5,7 @@
 //               [--commit-shards=N] [--rate-limit=R[:BURST]]
 //               [--fti-compact-min=N] [--db=DIR] [--seed-demo]
 //               [--replica-of=HOST:PORT] [--read-only]
+//               [--reseed=on|off] [--reseed-chunk-bytes=N]
 //
 //   --port=N       bind 127.0.0.1:N (default 7400; 0 = ephemeral, printed)
 //   --threads=N    connection-handler threads (0 or omitted = server default)
@@ -40,6 +41,17 @@
 //                  typed read-only status naming the leader
 //   --read-only    reject writes without being a follower (a frozen serving
 //                  copy); implied by --replica-of
+//   --reseed=on|off
+//                  checkpoint re-seed (DESIGN.md §14; default on). On a
+//                  durable server: serve checkpoint transfers to
+//                  below-floor followers. With --replica-of: re-seed
+//                  automatically when the leader's log has moved past this
+//                  follower's cursor. Off restores the old behavior (the
+//                  applier parks and re-probes on a slow timer; the
+//                  operator copies a checkpoint by hand)
+//   --reseed-chunk-bytes=N
+//                  archive bytes per checkpoint chunk frame when serving
+//                  re-seeds (default 1 MiB)
 //
 // Runs until SIGINT/SIGTERM, then shuts down gracefully (in-flight
 // queries finish and their responses are sent).
@@ -102,7 +114,8 @@ int Usage() {
                "[--data-dir=DIR] [--sync-mode=none|every_n|always] "
                "[--commit-shards=N] [--rate-limit=R[:BURST]] "
                "[--fti-compact-min=N] [--db=DIR] [--seed-demo] "
-               "[--replica-of=HOST:PORT] [--read-only]\n");
+               "[--replica-of=HOST:PORT] [--read-only] "
+               "[--reseed=on|off] [--reseed-chunk-bytes=N]\n");
   return 2;
 }
 
@@ -152,6 +165,8 @@ int main(int argc, char** argv) {
   bool fti_compact_min_set = false;
   bool seed_demo = false;
   bool read_only = false;
+  bool reseed = true;
+  size_t reseed_chunk_bytes = 0;  // 0 = keep the WalShipper default
   std::string replica_of;
   std::string leader_host;
   uint16_t leader_port = 0;
@@ -219,6 +234,26 @@ int main(int argc, char** argv) {
       leader_port = parsed->second;
     } else if (std::strcmp(argv[i], "--read-only") == 0) {
       read_only = true;
+    } else if (txml::ParseFlagValue(argv[i], "--reseed", &value)) {
+      if (value == "on") {
+        reseed = true;
+      } else if (value == "off") {
+        reseed = false;
+      } else {
+        std::fprintf(stderr,
+                     "txml_server: --reseed takes 'on' or 'off', got '%s'\n",
+                     value.c_str());
+        return Usage();
+      }
+    } else if (txml::ParseFlagValue(argv[i], "--reseed-chunk-bytes", &value)) {
+      auto parsed = txml::ParseSizeFlag(value);
+      if (!parsed.ok()) return FlagError(parsed.status());
+      if (*parsed == 0) {
+        std::fprintf(stderr,
+                     "txml_server: --reseed-chunk-bytes must be > 0\n");
+        return Usage();
+      }
+      reseed_chunk_bytes = *parsed;
     } else if (std::strcmp(argv[i], "--seed-demo") == 0) {
       seed_demo = true;
     } else {
@@ -288,11 +323,22 @@ int main(int argc, char** argv) {
   std::unique_ptr<txml::WalShipper> shipper;
   std::unique_ptr<txml::ReplicaApplier> applier;
   if (!data_dir.empty()) {
-    shipper = std::make_unique<txml::WalShipper>(service->get());
+    txml::WalShipper::Options shipper_options;
+    shipper_options.serve_checkpoints = reseed;
+    if (reseed_chunk_bytes != 0) {
+      shipper_options.checkpoint_chunk_bytes = reseed_chunk_bytes;
+    }
+    shipper =
+        std::make_unique<txml::WalShipper>(service->get(), shipper_options);
     server_options.repl_handler =
         [&shipper](txml::Socket* socket,
                    const txml::ReplSubscribeRequest& subscribe) {
           shipper->Serve(socket, subscribe);
+        };
+    server_options.checkpoint_handler =
+        [&shipper](txml::Socket* socket,
+                   const txml::CheckpointRequest& request) {
+          shipper->ServeCheckpoint(socket, request);
         };
   }
   if (!replica_of.empty()) {
@@ -302,6 +348,7 @@ int main(int argc, char** argv) {
     applier_options.leader_host = leader_host;
     applier_options.leader_port = leader_port;
     applier_options.follower_name = "txml-" + std::to_string(getpid());
+    applier_options.reseed_enabled = reseed;
     applier = std::make_unique<txml::ReplicaApplier>(service->get(),
                                                      applier_options);
   }

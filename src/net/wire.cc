@@ -431,4 +431,133 @@ StatusOr<StatsRequest> DecodeStatsRequest(std::string_view payload) {
   return request;
 }
 
+std::string EncodeCheckpointRequest(const CheckpointRequest& request) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint64(&out, request.resume_offset);
+  PutFixed32(&out, request.resume_crc32c);
+  PutLengthPrefixed(&out, request.follower_name);
+  PutLengthPrefixed(&out, request.auth_token);
+  return out;
+}
+
+StatusOr<CheckpointRequest> DecodeCheckpointRequest(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "CheckpointRequest"));
+  CheckpointRequest request;
+  auto offset = decoder.ReadVarint64();
+  if (!offset.ok()) return AsInvalidFrame(offset.status(), "CheckpointRequest");
+  request.resume_offset = *offset;
+  auto crc = decoder.ReadFixed32();
+  if (!crc.ok()) return AsInvalidFrame(crc.status(), "CheckpointRequest");
+  request.resume_crc32c = *crc;
+  auto name = decoder.ReadLengthPrefixed();
+  if (!name.ok()) return AsInvalidFrame(name.status(), "CheckpointRequest");
+  request.follower_name = std::string(*name);
+  auto token = decoder.ReadLengthPrefixed();
+  if (!token.ok()) return AsInvalidFrame(token.status(), "CheckpointRequest");
+  request.auth_token = std::string(*token);
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "CheckpointRequest"));
+  return request;
+}
+
+std::string EncodeCheckpointMeta(const CheckpointMeta& meta) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint64(&out, meta.covered_sequence);
+  PutVarint64(&out, meta.total_bytes);
+  PutFixed32(&out, meta.archive_crc32c);
+  PutVarint64(&out, meta.start_offset);
+  PutVarint32(&out, static_cast<uint32_t>(meta.files.size()));
+  for (const CheckpointMeta::File& file : meta.files) {
+    PutLengthPrefixed(&out, file.name);
+    PutVarint64(&out, file.size);
+  }
+  return out;
+}
+
+StatusOr<CheckpointMeta> DecodeCheckpointMeta(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "CheckpointMeta"));
+  CheckpointMeta meta;
+  auto covered = decoder.ReadVarint64();
+  if (!covered.ok()) return AsInvalidFrame(covered.status(), "CheckpointMeta");
+  meta.covered_sequence = *covered;
+  auto total = decoder.ReadVarint64();
+  if (!total.ok()) return AsInvalidFrame(total.status(), "CheckpointMeta");
+  meta.total_bytes = *total;
+  auto crc = decoder.ReadFixed32();
+  if (!crc.ok()) return AsInvalidFrame(crc.status(), "CheckpointMeta");
+  meta.archive_crc32c = *crc;
+  auto start = decoder.ReadVarint64();
+  if (!start.ok()) return AsInvalidFrame(start.status(), "CheckpointMeta");
+  meta.start_offset = *start;
+  auto count = decoder.ReadVarint32();
+  if (!count.ok()) return AsInvalidFrame(count.status(), "CheckpointMeta");
+  if (*count > kMaxCheckpointFiles) {
+    return Status::InvalidFrame("CheckpointMeta: " + std::to_string(*count) +
+                                " files exceeds the archive cap of " +
+                                std::to_string(kMaxCheckpointFiles));
+  }
+  meta.files.reserve(*count);
+  uint64_t size_sum = 0;
+  for (uint32_t i = 0; i < *count; ++i) {
+    CheckpointMeta::File file;
+    auto name = decoder.ReadLengthPrefixed();
+    if (!name.ok()) return AsInvalidFrame(name.status(), "CheckpointMeta");
+    file.name = std::string(*name);
+    auto size = decoder.ReadVarint64();
+    if (!size.ok()) return AsInvalidFrame(size.status(), "CheckpointMeta");
+    file.size = *size;
+    if (file.size > meta.total_bytes - size_sum) {
+      // Also catches overflow: the running sum can never exceed the
+      // declared archive size, so a hostile meta cannot promise 2^64
+      // bytes of files.
+      return Status::InvalidFrame(
+          "CheckpointMeta: file sizes exceed total_bytes");
+    }
+    size_sum += file.size;
+    meta.files.push_back(std::move(file));
+  }
+  if (size_sum != meta.total_bytes) {
+    return Status::InvalidFrame(
+        "CheckpointMeta: file sizes sum to " + std::to_string(size_sum) +
+        ", header promises " + std::to_string(meta.total_bytes));
+  }
+  if (meta.start_offset > meta.total_bytes) {
+    return Status::InvalidFrame("CheckpointMeta: start_offset " +
+                                std::to_string(meta.start_offset) +
+                                " beyond total_bytes " +
+                                std::to_string(meta.total_bytes));
+  }
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "CheckpointMeta"));
+  return meta;
+}
+
+std::string EncodeCheckpointChunk(const CheckpointChunk& chunk) {
+  std::string out;
+  PutVarint32(&out, kEnvelopeVersion);
+  PutVarint64(&out, chunk.offset);
+  PutFixed32(&out, chunk.crc32c);
+  PutLengthPrefixed(&out, chunk.data);
+  return out;
+}
+
+StatusOr<CheckpointChunk> DecodeCheckpointChunk(std::string_view payload) {
+  Decoder decoder(payload);
+  TXML_RETURN_IF_ERROR(CheckVersion(&decoder, "CheckpointChunk"));
+  CheckpointChunk chunk;
+  auto offset = decoder.ReadVarint64();
+  if (!offset.ok()) return AsInvalidFrame(offset.status(), "CheckpointChunk");
+  chunk.offset = *offset;
+  auto crc = decoder.ReadFixed32();
+  if (!crc.ok()) return AsInvalidFrame(crc.status(), "CheckpointChunk");
+  chunk.crc32c = *crc;
+  auto data = decoder.ReadLengthPrefixed();
+  if (!data.ok()) return AsInvalidFrame(data.status(), "CheckpointChunk");
+  chunk.data = std::string(*data);
+  TXML_RETURN_IF_ERROR(CheckFullyConsumed(decoder, "CheckpointChunk"));
+  return chunk;
+}
+
 }  // namespace txml

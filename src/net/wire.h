@@ -39,6 +39,13 @@ namespace txml {
 /// from the follower carrying its applied sequence. Any protocol error
 /// drops the connection, as above.
 ///
+/// Re-seed (DESIGN.md §14) reuses the same half-duplex shape: a
+/// below-floor follower opens a fresh connection, sends
+/// kCheckpointRequest, and the leader answers either a kResponseHeader
+/// rejection or one kCheckpointMeta followed by kCheckpointChunk frames
+/// — each chunk acked by a kReplAck carrying the follower's cumulative
+/// received byte offset — until the archive is complete.
+///
 /// Versioning: every request envelope and the response header lead with a
 /// varint envelope version (kEnvelopeVersion). A peer rejects versions
 /// newer than its own with kInvalidFrame instead of misparsing; new fields
@@ -79,12 +86,24 @@ enum class FrameType : uint8_t {
   /// query response whose payload reports per-item outcomes. An older
   /// server rejects the unknown type, so no envelope-version bump.
   kWriteBatchRequest = 12,
+  /// Re-seed: follower → leader, request the leader's newest checkpoint
+  /// as a chunked stream (optionally resuming from a byte offset of a
+  /// previously announced archive). An older server rejects the unknown
+  /// type, so no envelope-version bump.
+  kCheckpointRequest = 13,
+  /// Re-seed: leader → follower, describes the checkpoint archive the
+  /// chunk stream will carry (covered sequence, size, CRC, file table).
+  kCheckpointMeta = 14,
+  /// Re-seed: leader → follower, one contiguous run of archive bytes,
+  /// individually CRC'd; each chunk is acked with kReplAck carrying the
+  /// follower's received byte count.
+  kCheckpointChunk = 15,
 };
 
 /// The largest frame type a receiver accepts (socket.cc range-checks the
 /// tag before any payload is read).
 inline constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::kWriteBatchRequest);
+    static_cast<uint8_t>(FrameType::kCheckpointChunk);
 
 /// Upper bound a receiver imposes on one frame body (guards a hostile or
 /// corrupt 4-byte length prefix from driving a giant allocation).
@@ -153,6 +172,64 @@ struct StatsRequest {
   std::string auth_token;
 };
 
+/// Hard cap on the number of files one checkpoint archive may list — a
+/// checkpoint is a handful of known files (store, indexes, stamp), so
+/// anything larger is a corrupt or hostile meta frame.
+inline constexpr uint32_t kMaxCheckpointFiles = 64;
+
+/// Follower → leader: stream me your newest checkpoint. A fresh request
+/// carries `resume_offset` 0; after a dropped transfer the follower may
+/// ask to resume mid-archive by echoing the archive CRC from the meta it
+/// saw — the leader honors the offset only if that CRC still names its
+/// current newest checkpoint (otherwise the checkpoint advanced and the
+/// stream restarts from 0; kCheckpointMeta::start_offset says which).
+/// Rejected with a normal response header when the leader cannot or will
+/// not serve (kFailedPrecondition: re-seed serving disabled;
+/// kInvalidArgument: replication not enabled).
+struct CheckpointRequest {
+  /// Archive byte offset to resume from; 0 for a full transfer.
+  uint64_t resume_offset = 0;
+  /// CRC32C of the whole archive being resumed (from the prior meta);
+  /// ignored when resume_offset is 0.
+  uint32_t resume_crc32c = 0;
+  /// Diagnostic label shown in the leader's per-follower stats.
+  std::string follower_name;
+  /// Reserved; see QueryRequest::auth_token.
+  std::string auth_token;
+};
+
+/// Leader → follower: the shape of the checkpoint archive about to be
+/// streamed. The archive is the byte concatenation of the listed files'
+/// contents in table order; `archive_crc32c` covers the whole archive,
+/// so the follower can verify the reassembled bytes before installing
+/// anything.
+struct CheckpointMeta {
+  /// Every WAL sequence at or below this is contained in the checkpoint.
+  uint64_t covered_sequence = 0;
+  /// Total archive size in bytes (the sum of the file sizes).
+  uint64_t total_bytes = 0;
+  /// CRC32C of the full archive (all files concatenated in order).
+  uint32_t archive_crc32c = 0;
+  /// Where the following chunk stream starts: the request's
+  /// resume_offset when the resume was honored, else 0.
+  uint64_t start_offset = 0;
+  /// The files inside the archive, in concatenation order.
+  struct File {
+    std::string name;
+    uint64_t size = 0;
+  };
+  std::vector<File> files;
+};
+
+/// Leader → follower: one run of archive bytes starting at `offset`,
+/// CRC'd individually so a torn or corrupted chunk is detected before it
+/// ever reaches the reassembly buffer.
+struct CheckpointChunk {
+  uint64_t offset = 0;
+  uint32_t crc32c = 0;
+  std::string data;
+};
+
 /// Appends a complete frame (length prefix + type + payload) to *dst.
 void AppendFrame(FrameType type, std::string_view payload, std::string* dst);
 
@@ -169,6 +246,9 @@ std::string EncodeReplBatch(const ReplBatch& batch);
 std::string EncodeReplHeartbeat(const ReplHeartbeat& heartbeat);
 std::string EncodeReplAck(const ReplAck& ack);
 std::string EncodeStatsRequest(const StatsRequest& request);
+std::string EncodeCheckpointRequest(const CheckpointRequest& request);
+std::string EncodeCheckpointMeta(const CheckpointMeta& meta);
+std::string EncodeCheckpointChunk(const CheckpointChunk& chunk);
 
 // ---- envelope decoding; every failure is Status kInvalidFrame ----
 
@@ -183,6 +263,9 @@ StatusOr<ReplBatch> DecodeReplBatch(std::string_view payload);
 StatusOr<ReplHeartbeat> DecodeReplHeartbeat(std::string_view payload);
 StatusOr<ReplAck> DecodeReplAck(std::string_view payload);
 StatusOr<StatsRequest> DecodeStatsRequest(std::string_view payload);
+StatusOr<CheckpointRequest> DecodeCheckpointRequest(std::string_view payload);
+StatusOr<CheckpointMeta> DecodeCheckpointMeta(std::string_view payload);
+StatusOr<CheckpointChunk> DecodeCheckpointChunk(std::string_view payload);
 
 }  // namespace txml
 

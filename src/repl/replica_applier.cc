@@ -3,11 +3,130 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/crc32c.h"
 #include "src/util/logging.h"
 #include "src/util/macros.h"
 #include "src/xml/serializer.h"
 
 namespace txml {
+namespace {
+
+/// Decodes an error response the leader sent in place of a checkpoint
+/// frame, drains its body (chunks + end), and returns the status it
+/// carried — the checkpoint-stream twin of DrainErrorResponse.
+Status DrainLeaderError(Socket* socket, size_t max_frame_bytes,
+                        const std::string& payload) {
+  auto header = DecodeResponseHeader(payload);
+  if (!header.ok()) return header.status();
+  while (true) {
+    auto frame = ReadFrame(socket, max_frame_bytes);
+    if (!frame.ok()) break;  // the reported status matters more
+    if (frame->type != FrameType::kResponseChunk) break;
+  }
+  if (header->status_code == StatusCode::kOk) {
+    return Status::InvalidFrame(
+        "leader sent a success response inside a checkpoint transfer");
+  }
+  return Status(header->status_code, header->error_message);
+}
+
+}  // namespace
+
+Status ReceiveCheckpointStream(Socket* socket, size_t max_frame_bytes,
+                               ReseedProgress* progress,
+                               TemporalQueryService::CheckpointImage* image) {
+  auto frame = ReadFrame(socket, max_frame_bytes);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kResponseHeader) {
+    return DrainLeaderError(socket, max_frame_bytes, frame->payload);
+  }
+  if (frame->type != FrameType::kCheckpointMeta) {
+    return Status::InvalidFrame(
+        "expected kCheckpointMeta, got frame type " +
+        std::to_string(static_cast<int>(frame->type)));
+  }
+  TXML_ASSIGN_OR_RETURN(CheckpointMeta meta,
+                        DecodeCheckpointMeta(frame->payload));
+
+  if (progress->valid && meta.archive_crc32c == progress->archive_crc32c &&
+      meta.total_bytes == progress->total_bytes && meta.start_offset > 0 &&
+      meta.start_offset == progress->buffer.size()) {
+    // The leader resumed our partial transfer of this same archive; the
+    // verified prefix in `buffer` stands. Re-take the table and covered
+    // sequence — same archive, same contents.
+    progress->covered_sequence = meta.covered_sequence;
+    progress->files = std::move(meta.files);
+  } else {
+    // Fresh transfer (first attempt, or the leader checkpointed again and
+    // the old prefix names a dead archive). The stream must start at 0.
+    if (meta.start_offset != 0) {
+      return Status::InvalidFrame(
+          "leader started checkpoint stream at offset " +
+          std::to_string(meta.start_offset) + " we did not ask to resume");
+    }
+    progress->valid = true;
+    progress->archive_crc32c = meta.archive_crc32c;
+    progress->covered_sequence = meta.covered_sequence;
+    progress->total_bytes = meta.total_bytes;
+    progress->files = std::move(meta.files);
+    progress->buffer.clear();
+  }
+
+  while (progress->buffer.size() < progress->total_bytes) {
+    auto chunk_frame = ReadFrame(socket, max_frame_bytes);
+    if (!chunk_frame.ok()) return chunk_frame.status();
+    if (chunk_frame->type == FrameType::kResponseHeader) {
+      return DrainLeaderError(socket, max_frame_bytes, chunk_frame->payload);
+    }
+    if (chunk_frame->type != FrameType::kCheckpointChunk) {
+      return Status::InvalidFrame(
+          "expected kCheckpointChunk, got frame type " +
+          std::to_string(static_cast<int>(chunk_frame->type)));
+    }
+    TXML_ASSIGN_OR_RETURN(CheckpointChunk chunk,
+                          DecodeCheckpointChunk(chunk_frame->payload));
+    if (chunk.offset != progress->buffer.size()) {
+      return Status::InvalidFrame(
+          "checkpoint chunk at offset " + std::to_string(chunk.offset) +
+          ", expected " + std::to_string(progress->buffer.size()));
+    }
+    if (chunk.data.empty()) {
+      return Status::InvalidFrame("empty checkpoint chunk");
+    }
+    if (chunk.offset + chunk.data.size() > progress->total_bytes) {
+      return Status::InvalidFrame("checkpoint chunk overruns the archive");
+    }
+    if (crc32c::Value(chunk.data) != chunk.crc32c) {
+      // Do not extend the verified prefix with bytes we cannot trust;
+      // the next attempt resumes from before this chunk.
+      return Status::Corruption("checkpoint chunk CRC mismatch at offset " +
+                                std::to_string(chunk.offset));
+    }
+    progress->buffer += chunk.data;
+    ReplAck ack;
+    ack.applied_sequence = progress->buffer.size();
+    TXML_RETURN_IF_ERROR(
+        WriteFrame(socket, FrameType::kReplAck, EncodeReplAck(ack)));
+  }
+
+  if (crc32c::Value(progress->buffer) != progress->archive_crc32c) {
+    // Every chunk verified but the whole does not: the prefix cannot be
+    // trusted either (resumed across a leader bug, or CRC collision per
+    // chunk). Start the next attempt from nothing.
+    *progress = ReseedProgress();
+    return Status::Corruption("checkpoint archive CRC mismatch");
+  }
+  image->covered_sequence = progress->covered_sequence;
+  image->files.clear();
+  image->files.reserve(progress->files.size());
+  size_t cursor = 0;
+  for (const auto& file : progress->files) {
+    image->files.emplace_back(file.name,
+                              progress->buffer.substr(cursor, file.size));
+    cursor += file.size;
+  }
+  return Status::OK();
+}
 
 ReplicaApplier::ReplicaApplier(TemporalQueryService* service, Options options)
     : service_(service), options_(options), jitter_(options.jitter_seed) {
@@ -49,35 +168,65 @@ void ReplicaApplier::Stop() {
 void ReplicaApplier::Run() {
   int failures = 0;
   while (!stopping_.load()) {
-    uint64_t batches_before;
-    {
-      MutexLock lock(mu_);
-      batches_before = state_.batches_applied;
-    }
-    Status session = RunSession();
+    bool progressed = false;
+    Status session = RunSession(&progressed);
     {
       MutexLock lock(mu_);
       state_.connected = false;
-      // A session that shipped at least one batch made progress: the
-      // leader is healthy, so the next disconnect starts backoff fresh.
-      if (state_.batches_applied > batches_before) failures = 0;
+      // Any session that processed a stream frame — batch or heartbeat —
+      // found a healthy leader, so the next disconnect starts backoff
+      // fresh. Heartbeats count: an idle leader sends nothing else, and
+      // pinning its followers at backoff_max would slow every later
+      // reconnect for no reason.
+      if (progressed) {
+        failures = 0;
+        state_.fatal = false;
+      }
     }
     if (stopping_.load()) break;
     if (session.IsOutOfRange()) {
-      // The leader's log no longer reaches our cursor — retrying cannot
-      // help. Park; the operator re-seeds from a leader checkpoint.
-      MutexLock lock(mu_);
-      state_.fatal = true;
-      state_.last_error = session.ToString();
-      TXML_LOG_WARN("replication halted: %s", session.ToString().c_str());
-      return;
+      // The leader's log no longer reaches our cursor — resubscribing
+      // cannot help. Stream its newest checkpoint instead (DESIGN.md
+      // §14), unless re-seeding is off or the leader refuses, in which
+      // case park recoverably on the slow retry timer.
+      Status park_reason = session;
+      if (options_.reseed_enabled) {
+        Status reseed = RunReseed();
+        if (stopping_.load()) break;
+        if (reseed.ok()) {
+          failures = 0;
+          continue;  // resubscribe from the freshly installed floor
+        }
+        if (!reseed.IsInvalidArgument()) {
+          // Transient transfer failure (connection died, torn chunk):
+          // normal backoff; the kept partial archive makes the next
+          // attempt resume where this one stopped.
+          SetError(reseed);
+          BackoffSleep(failures++);
+          continue;
+        }
+        park_reason = reseed;  // the leader refused to serve
+      }
+      {
+        MutexLock lock(mu_);
+        state_.fatal = true;
+        state_.last_error = park_reason.ToString();
+        // Wake anyone sampling the state through a wait on stop_cv_ so
+        // the park is observed without a Stop().
+        stop_cv_.SignalAll();
+      }
+      TXML_LOG_WARN("replication parked: %s",
+                    park_reason.ToString().c_str());
+      FatalRetrySleep();
+      failures = 0;
+      continue;
     }
     SetError(session);
     BackoffSleep(failures++);
   }
 }
 
-Status ReplicaApplier::RunSession() {
+Status ReplicaApplier::RunSession(bool* progressed) {
   auto connected = Socket::Connect(options_.leader_host, options_.leader_port,
                                    options_.connect_timeout_ms);
   if (!connected.ok()) return connected.status();
@@ -129,6 +278,7 @@ Status ReplicaApplier::RunSession() {
             state_.leader_last_sequence = batch.leader_last_sequence;
             state_.batches_applied++;
           }
+          *progressed = true;
           ReplAck ack;
           ack.applied_sequence = applied;
           TXML_RETURN_IF_ERROR(
@@ -142,6 +292,7 @@ Status ReplicaApplier::RunSession() {
             MutexLock lock(mu_);
             state_.leader_last_sequence = heartbeat.leader_last_sequence;
           }
+          *progressed = true;
           ReplAck ack;
           ack.applied_sequence = service_->applied_sequence();
           TXML_RETURN_IF_ERROR(
@@ -165,6 +316,68 @@ Status ReplicaApplier::RunSession() {
     return Status::OK();
   }();
   session_end();
+  return result;
+}
+
+Status ReplicaApplier::RunReseed() {
+  {
+    MutexLock lock(mu_);
+    state_.reseeding = true;
+  }
+  auto connected = Socket::Connect(options_.leader_host, options_.leader_port,
+                                   options_.connect_timeout_ms);
+  Status result = [&]() -> Status {
+    if (!connected.ok()) return connected.status();
+    Socket socket = std::move(*connected);
+    TXML_RETURN_IF_ERROR(socket.SetTimeouts(options_.read_timeout_ms,
+                                            options_.write_timeout_ms));
+    {
+      MutexLock lock(mu_);
+      if (stopping_.load()) return Status::Unavailable("applier stopping");
+      session_socket_ = &socket;
+    }
+    auto session_end = [this] {
+      MutexLock lock(mu_);
+      session_socket_ = nullptr;
+    };
+    Status transfer = [&]() -> Status {
+      CheckpointRequest request;
+      request.follower_name = options_.follower_name;
+      if (reseed_progress_.valid) {
+        request.resume_offset = reseed_progress_.buffer.size();
+        request.resume_crc32c = reseed_progress_.archive_crc32c;
+      }
+      TXML_RETURN_IF_ERROR(WriteFrame(&socket, FrameType::kCheckpointRequest,
+                                      EncodeCheckpointRequest(request)));
+      TemporalQueryService::CheckpointImage image;
+      TXML_RETURN_IF_ERROR(ReceiveCheckpointStream(
+          &socket, options_.max_frame_bytes, &reseed_progress_, &image));
+      Status install = service_->InstallCheckpoint(image);
+      if (install.IsOutOfRange()) {
+        // The image is at or below what we already hold — a racing
+        // catch-up overtook the transfer. The subscribe loop can resume.
+        reseed_progress_ = ReseedProgress();
+        return Status::OK();
+      }
+      TXML_RETURN_IF_ERROR(install);
+      reseed_progress_ = ReseedProgress();
+      uint64_t applied = service_->applied_sequence();
+      {
+        MutexLock lock(mu_);
+        state_.applied_sequence = applied;
+        state_.reseeds++;
+        state_.fatal = false;
+        state_.last_error.clear();
+      }
+      return Status::OK();
+    }();
+    session_end();
+    return transfer;
+  }();
+  {
+    MutexLock lock(mu_);
+    state_.reseeding = false;
+  }
   return result;
 }
 
@@ -199,6 +412,12 @@ void ReplicaApplier::BackoffSleep(int failures) {
   stop_cv_.WaitFor(mu_, jittered);
 }
 
+void ReplicaApplier::FatalRetrySleep() {
+  MutexLock lock(mu_);
+  if (stopping_.load()) return;
+  stop_cv_.WaitFor(mu_, std::max(options_.fatal_retry_ms, 1));
+}
+
 ReplicaApplier::State ReplicaApplier::GetState() const {
   MutexLock lock(mu_);
   return state_;
@@ -213,11 +432,14 @@ std::string ReplicaApplier::StatsXml() const {
   xml += state.connected ? "true" : "false";
   xml += "\" fatal=\"";
   xml += state.fatal ? "true" : "false";
+  xml += "\" reseeding=\"";
+  xml += state.reseeding ? "true" : "false";
   xml += "\" applied-sequence=\"" + std::to_string(state.applied_sequence);
   xml += "\" leader-last-sequence=\"" +
          std::to_string(state.leader_last_sequence);
   xml += "\" batches-applied=\"" + std::to_string(state.batches_applied);
   xml += "\" reconnects=\"" + std::to_string(state.reconnects);
+  xml += "\" reseeds=\"" + std::to_string(state.reseeds);
   xml += "\" last-error=\"" + EscapeXml(state.last_error) + "\"/>";
   return xml;
 }

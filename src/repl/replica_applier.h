@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/net/socket.h"
 #include "src/net/wire.h"
@@ -15,6 +16,36 @@
 
 namespace txml {
 
+/// Resumable state of one checkpoint transfer (DESIGN.md §14), kept
+/// across dropped connections: the archive identity (CRC + size + file
+/// table) from the leader's kCheckpointMeta and the verified byte prefix
+/// received so far. The next attempt offers `buffer.size()` as its
+/// resume offset; the leader honors it only while the same archive is
+/// still its newest checkpoint.
+struct ReseedProgress {
+  /// A meta frame has been seen; the identity fields below are set.
+  bool valid = false;
+  uint32_t archive_crc32c = 0;
+  uint64_t covered_sequence = 0;
+  uint64_t total_bytes = 0;
+  std::vector<CheckpointMeta::File> files;
+  /// The contiguous, per-chunk-CRC-verified archive prefix.
+  std::string buffer;
+};
+
+/// Receives one checkpoint transfer — meta, then chunks, each acked with
+/// the cumulative received offset — accumulating into *progress so a
+/// torn stream can resume on the next attempt. On a complete archive
+/// whose whole-file CRC verifies, splits it per the file table into
+/// *image and returns OK. Every protocol violation (out-of-order offset,
+/// chunk CRC mismatch, overrun) is an error with the verified prefix
+/// preserved; a whole-archive CRC mismatch clears the progress (nothing
+/// in it can be trusted). Exposed as a free function so the
+/// torn-transfer tests can drive it against scripted streams.
+Status ReceiveCheckpointStream(Socket* socket, size_t max_frame_bytes,
+                               ReseedProgress* progress,
+                               TemporalQueryService::CheckpointImage* image);
+
 /// The follower side of WAL-shipping replication (DESIGN.md §11): a
 /// background thread that connects to the leader, subscribes from this
 /// node's own applied floor, and feeds every shipped record through
@@ -24,11 +55,13 @@ namespace txml {
 /// follower restart with no extra state file).
 ///
 /// Disconnects and leader restarts are retried forever with jittered
-/// exponential backoff. The one unrecoverable answer is the leader's
-/// kOutOfRange (our cursor predates its log — its checkpoint moved past
-/// us while we were down): the applier parks in the `fatal` state and
-/// stops retrying; the operator re-seeds the follower's data_dir from a
-/// leader checkpoint.
+/// exponential backoff. The leader's kOutOfRange (our cursor predates its
+/// log — its checkpoint moved past us while we were down) triggers an
+/// automatic re-seed (DESIGN.md §14): the applier streams the leader's
+/// newest checkpoint, installs it atomically, and resumes the normal
+/// subscribe loop. Only when the leader refuses the transfer (or
+/// re-seeding is disabled) does the applier park in the `fatal` state —
+/// recoverably: it re-probes on a slow timer instead of halting.
 class ReplicaApplier {
  public:
   struct Options {
@@ -48,13 +81,27 @@ class ReplicaApplier {
     int backoff_max_ms = 5000;
     /// 0 = fixed default seed (deterministic tests).
     uint64_t jitter_seed = 0;
+    /// Answer the leader's kOutOfRange with an automatic checkpoint
+    /// re-seed (DESIGN.md §14). Off, the applier parks in the fatal
+    /// state on its slow retry timer — the operator-copies-a-checkpoint
+    /// workflow.
+    bool reseed_enabled = true;
+    /// How long a parked (fatal) applier sleeps before re-probing the
+    /// leader. Parking is recoverable: a leader that starts serving
+    /// checkpoints (or whose log floor drops back under our cursor)
+    /// un-parks us on the next probe.
+    int fatal_retry_ms = 30000;
   };
 
   /// Point-in-time view of the replication session.
   struct State {
     bool connected = false;
-    /// Set on kOutOfRange from the leader; the thread has given up.
+    /// The leader refused a needed re-seed (or re-seeding is disabled):
+    /// the applier is parked, re-probing every fatal_retry_ms. Cleared
+    /// when a session or re-seed makes progress again.
     bool fatal = false;
+    /// A checkpoint transfer (DESIGN.md §14) is in flight.
+    bool reseeding = false;
     std::string last_error;
     uint64_t applied_sequence = 0;
     /// The leader's last committed sequence as of the newest batch or
@@ -62,6 +109,8 @@ class ReplicaApplier {
     uint64_t leader_last_sequence = 0;
     uint64_t batches_applied = 0;
     uint64_t reconnects = 0;
+    /// Checkpoint images installed since Start().
+    uint64_t reseeds = 0;
   };
 
   /// The service must outlive the applier and be durable.
@@ -86,18 +135,33 @@ class ReplicaApplier {
  private:
   void Run() EXCLUDES(mu_);
   /// One connect → subscribe → stream session; returns why it ended.
-  Status RunSession() EXCLUDES(mu_);
+  /// *progressed is set once the session has processed a batch or
+  /// heartbeat frame — the signal Run() uses to reset reconnect backoff
+  /// (a healthy but idle leader sends only heartbeats; those count).
+  Status RunSession(bool* progressed) EXCLUDES(mu_);
+  /// One checkpoint transfer + install (DESIGN.md §14): fresh connection,
+  /// kCheckpointRequest resuming from reseed_progress_, receive + verify
+  /// the archive, InstallCheckpoint. kInvalidArgument means the leader
+  /// refused; anything else is transient and the partial archive is kept
+  /// for the next attempt's resume offset.
+  Status RunReseed() EXCLUDES(mu_);
   /// Reads the remainder of an error response (chunks + end) and returns
   /// the status the leader reported.
   Status DrainErrorResponse(Socket* socket, const ResponseHeader& header);
   void SetError(const Status& status) EXCLUDES(mu_);
   void BackoffSleep(int failures);
+  /// The parked-state sleep: options_.fatal_retry_ms, interruptible by
+  /// Stop().
+  void FatalRetrySleep();
 
   TemporalQueryService* service_;
   Options options_;
   std::atomic<bool> stopping_{false};
   std::thread thread_;
   Random jitter_;
+  /// Partial checkpoint transfer carried across dropped connections.
+  /// Touched only by the applier thread — no lock needed.
+  ReseedProgress reseed_progress_;
 
   mutable Mutex mu_;
   /// Wakes a backoff sleep when Stop() is called mid-wait.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/crc32c.h"
+#include "src/util/failpoint.h"
 #include "src/xml/serializer.h"
 
 namespace txml {
@@ -128,6 +130,97 @@ bool WalShipper::ShipBatch(Socket* socket, uint64_t slot, ReplBatch batch,
   return true;
 }
 
+uint64_t WalShipper::SlotForName(const std::string& name) {
+  MutexLock lock(mu_);
+  for (auto& [slot, state] : followers_) {
+    if (state.name == name) return slot;
+  }
+  uint64_t slot = next_slot_++;
+  followers_[slot].name = name;
+  return slot;
+}
+
+void WalShipper::ServeCheckpoint(Socket* socket,
+                                 const CheckpointRequest& request) {
+  if (service_->wal_tail() == nullptr) {
+    SendError(socket, Status::InvalidArgument(
+                          "replication requires a durable leader (no WAL)"));
+    return;
+  }
+  if (!options_.serve_checkpoints) {
+    // kInvalidArgument is the refusal vocabulary the applier parks on
+    // (slow retry timer) instead of fast-retrying.
+    SendError(socket,
+              Status::InvalidArgument(
+                  "checkpoint re-seed serving is disabled on this leader"));
+    return;
+  }
+  auto image = service_->ExportCheckpoint();
+  if (!image.ok()) {
+    SendError(socket, image.status());
+    return;
+  }
+  std::string archive = BuildCheckpointArchive(*image);
+  CheckpointMeta meta;
+  meta.covered_sequence = image->covered_sequence;
+  meta.total_bytes = archive.size();
+  meta.archive_crc32c = crc32c::Value(archive);
+  meta.files.reserve(image->files.size());
+  for (const auto& [name, contents] : image->files) {
+    CheckpointMeta::File file;
+    file.name = name;
+    file.size = contents.size();
+    meta.files.push_back(std::move(file));
+  }
+  // Honor a resume only when the follower is mid-transfer of *this*
+  // archive — a new checkpoint since its last attempt changes the CRC
+  // and the stream restarts from 0 (the meta's start_offset says which).
+  if (request.resume_offset > 0 &&
+      request.resume_offset <= meta.total_bytes &&
+      request.resume_crc32c == meta.archive_crc32c) {
+    meta.start_offset = request.resume_offset;
+  }
+  const uint64_t slot = SlotForName(
+      request.follower_name.empty() ? "follower-reseed" : request.follower_name);
+  if (!WriteFrame(socket, FrameType::kCheckpointMeta, EncodeCheckpointMeta(meta))
+           .ok()) {
+    return;
+  }
+  uint64_t offset = meta.start_offset;
+  uint64_t sent = 0;
+  while (offset < meta.total_bytes && !stopping_.load()) {
+    if (FailPointError("reseed.serve.chunk", request.follower_name)) {
+      // Injected leader death mid-stream: drop the connection exactly as
+      // a killed process would, leaving the follower to resume.
+      socket->ShutdownBoth();
+      return;
+    }
+    CheckpointChunk chunk;
+    chunk.offset = offset;
+    chunk.data = archive.substr(
+        offset, std::min<uint64_t>(options_.checkpoint_chunk_bytes,
+                                   meta.total_bytes - offset));
+    chunk.crc32c = crc32c::Value(chunk.data);
+    if (!WriteFrame(socket, FrameType::kCheckpointChunk,
+                    EncodeCheckpointChunk(chunk))
+             .ok()) {
+      break;
+    }
+    offset += chunk.data.size();
+    sent += chunk.data.size();
+    // The per-chunk ack keeps the conversation half-duplex (one frame in
+    // flight) and carries the follower's cumulative received offset.
+    auto frame = ReadFrame(socket, kDefaultMaxFrameBytes);
+    if (!frame.ok() || frame->type != FrameType::kReplAck) break;
+    auto ack = DecodeReplAck(frame->payload);
+    if (!ack.ok() || ack->applied_sequence != offset) break;
+  }
+  MutexLock lock(mu_);
+  FollowerState& state = followers_[slot];
+  state.checkpoint_bytes_sent += sent;
+  if (offset >= meta.total_bytes) state.checkpoints_served++;
+}
+
 bool WalShipper::ReadAck(Socket* socket, uint64_t slot) {
   auto frame = ReadFrame(socket, kDefaultMaxFrameBytes);
   if (!frame.ok() || frame->type != FrameType::kReplAck) return false;
@@ -158,10 +251,23 @@ std::string WalShipper::StatsXml() const {
            (state.connected ? "true" : "false") + "\" acked-sequence=\"" +
            std::to_string(state.acked_sequence) + "\" lag=\"" +
            std::to_string(state.lag) + "\" batches-sent=\"" +
-           std::to_string(state.batches_sent) + "\"/>";
+           std::to_string(state.batches_sent) + "\" checkpoints-served=\"" +
+           std::to_string(state.checkpoints_served) +
+           "\" checkpoint-bytes-sent=\"" +
+           std::to_string(state.checkpoint_bytes_sent) + "\"/>";
   }
   xml += "</followers>";
   return xml;
+}
+
+std::string BuildCheckpointArchive(
+    const TemporalQueryService::CheckpointImage& image) {
+  std::string archive;
+  size_t total = 0;
+  for (const auto& [name, contents] : image.files) total += contents.size();
+  archive.reserve(total);
+  for (const auto& [name, contents] : image.files) archive += contents;
+  return archive;
 }
 
 }  // namespace txml

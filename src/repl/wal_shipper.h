@@ -38,6 +38,13 @@ class WalShipper {
     /// Idle interval after which a heartbeat probes the follower (and
     /// refreshes its lag figure).
     int64_t heartbeat_interval_ms = 500;
+    /// Answer kCheckpointRequest with the newest checkpoint (DESIGN.md
+    /// §14). Off, below-floor followers are refused (kInvalidArgument)
+    /// and park on their slow retry timer — the pre-re-seed behavior.
+    bool serve_checkpoints = true;
+    /// Archive bytes per kCheckpointChunk frame. Must leave headroom
+    /// under the peer's max-frame budget for the envelope itself.
+    uint64_t checkpoint_chunk_bytes = 1u << 20;
   };
 
   /// Point-in-time view of one follower's shipping state.
@@ -49,6 +56,12 @@ class WalShipper {
     /// leader last_committed_sequence - acked_sequence at the last ack.
     uint64_t lag = 0;
     uint64_t batches_sent = 0;
+    /// Checkpoint transfers completed to this follower name (re-seeds
+    /// it requested after falling below the WAL floor) and the archive
+    /// bytes shipped across them (resumed transfers count only the
+    /// bytes actually re-sent).
+    uint64_t checkpoints_served = 0;
+    uint64_t checkpoint_bytes_sent = 0;
   };
 
   /// The service must outlive the shipper and be durable (have a WAL);
@@ -68,6 +81,16 @@ class WalShipper {
   void Serve(Socket* socket, const ReplSubscribeRequest& subscribe)
       EXCLUDES(mu_);
 
+  /// Runs one checkpoint transfer (DESIGN.md §14): exports the leader's
+  /// newest checkpoint, announces it with kCheckpointMeta (honoring the
+  /// request's resume offset when its CRC still names this archive), and
+  /// streams kCheckpointChunk frames — each acked by the follower with
+  /// its cumulative received offset — until the archive is complete or
+  /// the connection dies. Refusals (serving disabled, in-memory leader)
+  /// are reported as a normal response header before closing.
+  void ServeCheckpoint(Socket* socket, const CheckpointRequest& request)
+      EXCLUDES(mu_);
+
   /// Makes every Serve() loop exit within one heartbeat interval (checked
   /// each tail read). Idempotent.
   void Stop() { stopping_.store(true); }
@@ -82,6 +105,9 @@ class WalShipper {
   bool ShipBatch(Socket* socket, uint64_t slot, ReplBatch batch,
                  uint64_t* cursor) EXCLUDES(mu_);
   bool ReadAck(Socket* socket, uint64_t slot) EXCLUDES(mu_);
+  /// Finds the stats slot carrying `name` (the re-seed conversation joins
+  /// the follower's existing row) or creates one.
+  uint64_t SlotForName(const std::string& name) EXCLUDES(mu_);
 
   TemporalQueryService* service_;
   Options options_;
@@ -93,6 +119,13 @@ class WalShipper {
   std::unordered_map<uint64_t, FollowerState> followers_ GUARDED_BY(mu_);
   uint64_t next_slot_ GUARDED_BY(mu_) = 0;
 };
+
+/// The archive a checkpoint transfer streams: the image's file contents
+/// concatenated in table order (the meta's file table is the directory).
+/// Shared by the leader's serve side and the torn-transfer tests, which
+/// cut and corrupt it at every boundary.
+std::string BuildCheckpointArchive(
+    const TemporalQueryService::CheckpointImage& image);
 
 }  // namespace txml
 

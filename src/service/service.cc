@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <functional>
 #include <unordered_map>
 #include <utility>
@@ -243,14 +244,15 @@ size_t TemporalQueryService::ShardIndexFor(std::string_view url) const {
 }
 
 void TemporalQueryService::LockShard(size_t index) {
-  CommitShard& shard = *commit_shards_[index];
+  CommitShard* shard = commit_shards_[index].get();
+  TXML_CHECK(shard != nullptr);
   // TryLock first so `waits` counts only acquisitions that actually
   // blocked on a same-shard writer.
-  if (!shard.mu.TryLock()) {
-    shard.waits.fetch_add(1, std::memory_order_relaxed);
-    shard.mu.Lock();
+  if (!shard->mu.TryLock()) {
+    shard->waits.fetch_add(1, std::memory_order_relaxed);
+    shard->mu.Lock();
   }
-  shard.acquires.fetch_add(1, std::memory_order_relaxed);
+  shard->acquires.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TemporalQueryService::UnlockShard(size_t index) {
@@ -886,6 +888,160 @@ Status TemporalQueryService::CheckpointQuiesced() {
   return status;
 }
 
+StatusOr<TemporalQueryService::CheckpointImage>
+TemporalQueryService::ExportCheckpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "service has no durability data_dir to export a checkpoint from");
+  }
+  LockAllShards();
+  auto result = [&]() -> StatusOr<CheckpointImage> {
+    // Serve the newest checkpoint that already exists on disk; cut a
+    // fresh one only when the directory has never been checkpointed
+    // (then the WAL still holds full history and the image is merely a
+    // faster transfer than replaying it).
+    auto stamp = ReadCheckpointStamp(data_dir_);
+    if (!stamp.ok() || !FileExists(data_dir_ + "/store.txml")) {
+      TXML_RETURN_IF_ERROR(CheckpointQuiesced());
+      stamp = ReadCheckpointStamp(data_dir_);
+      if (!stamp.ok()) return stamp.status();
+    }
+    CheckpointImage image;
+    image.covered_sequence = *stamp;
+    // Everything in the directory except the live log (a follower resets
+    // its own) and write-temp leftovers is part of the checkpoint —
+    // store, indexes, stamp. Sorted for a deterministic archive, with
+    // the stamp moved last so installation order == commit order.
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(data_dir_, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::string name = entry.path().filename().string();
+      if (name == kWalFileName || name == kCheckpointStampFileName) continue;
+      if (name.size() >= 4 && name.ends_with(".tmp")) continue;
+      names.push_back(std::move(name));
+    }
+    if (ec) {
+      return Status::IoError("listing checkpoint dir '" + data_dir_ +
+                             "': " + ec.message());
+    }
+    std::sort(names.begin(), names.end());
+    names.push_back(kCheckpointStampFileName);
+    for (const std::string& name : names) {
+      auto contents = ReadFileToString(data_dir_ + "/" + name);
+      if (!contents.ok()) return contents.status();
+      image.files.emplace_back(name, std::move(*contents));
+    }
+    return image;
+  }();
+  UnlockAllShards();
+  return result;
+}
+
+Status TemporalQueryService::InstallCheckpoint(const CheckpointImage& image) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "service has no durability data_dir to install a checkpoint into");
+  }
+  bool has_store = false;
+  for (const auto& [name, contents] : image.files) {
+    // The names came over the wire: they must stay inside data_dir and
+    // must not smash the local log (the WAL is reset separately, to the
+    // covered sequence, after the image commits).
+    if (name.empty() || name.find('/') != std::string::npos ||
+        name.find("..") != std::string::npos) {
+      return Status::InvalidArgument("checkpoint image file name '" + name +
+                                     "' is not a plain file name");
+    }
+    if (name == kWalFileName) {
+      return Status::InvalidArgument(
+          "checkpoint image must not carry a write-ahead log");
+    }
+    has_store |= name == "store.txml";
+  }
+  if (!has_store) {
+    return Status::InvalidArgument("checkpoint image has no store.txml");
+  }
+  LockAllShards();
+  Status status = [&]() -> Status {
+    if (image.covered_sequence <= wal_->last_sequence()) {
+      return Status::OutOfRange(
+          "checkpoint covers sequence " +
+          std::to_string(image.covered_sequence) +
+          ", not past the locally applied " +
+          std::to_string(wal_->last_sequence()));
+    }
+    // 1. Data files first, each atomically (write-temp/fsync/rename).
+    //    The stamp is NOT written yet: until it is, a crash recovers via
+    //    the old stamp — at worst to a state below the leader's floor,
+    //    which the next re-seed attempt replaces.
+    for (const auto& [name, contents] : image.files) {
+      if (name == kCheckpointStampFileName) continue;
+      TXML_RETURN_IF_ERROR(
+          WriteStringToFile(data_dir_ + "/" + name, contents));
+    }
+    // 2. Prove the image opens before committing to it.
+    auto reopened = TemporalXmlDatabase::Open(data_dir_, options_.database);
+    if (!reopened.ok()) return reopened.status();
+    // 3. The stamp is the commit point (verbatim from the image when it
+    //    carried one — same bytes WriteCheckpointStamp would produce).
+    Status stamped = Status::OK();
+    bool stamp_from_image = false;
+    for (const auto& [name, contents] : image.files) {
+      if (name == kCheckpointStampFileName) {
+        stamped = WriteStringToFile(data_dir_ + "/" + name, contents);
+        stamp_from_image = true;
+      }
+    }
+    if (!stamp_from_image) {
+      stamped = WriteCheckpointStamp(data_dir_, image.covered_sequence);
+    }
+    TXML_RETURN_IF_ERROR(stamped);
+    // 4. Swap the live database; the snapshot cache starts cold (its
+    //    entries describe the replaced history).
+    {
+      WriterLock lock(commit_mu_);
+      db_ = std::move(*reopened);
+      if (cache_ != nullptr) {
+        db_->set_snapshot_cache(cache_.get());
+        db_->AddStoreObserver(cache_.get(), /*allow_late=*/true);
+        cache_->Clear();
+      }
+      MutexLock ticket_lock(ticket_mu_);
+      last_alloc_ts_micros_ =
+          std::max(last_alloc_ts_micros_, db_->latest_commit().micros());
+    }
+    // 5. Continue the leader's sequence space from the covered floor:
+    //    fresh log, tail floor, allocator and turnstile all agree the
+    //    next record is covered_sequence + 1.
+    TXML_RETURN_IF_ERROR(wal_->Reset(image.covered_sequence));
+    if (tail_ != nullptr) tail_->SetFloor(image.covered_sequence);
+    {
+      MutexLock lock(ticket_mu_);
+      next_ticket_ = std::max(next_ticket_, image.covered_sequence);
+    }
+    {
+      MutexLock lock(turn_mu_);
+      next_apply_ticket_ =
+          std::max(next_apply_ticket_, image.covered_sequence + 1);
+      turn_cv_.SignalAll();
+    }
+    last_checkpoint_sequence_.store(image.covered_sequence,
+                                    std::memory_order_relaxed);
+    return Status::OK();
+  }();
+  UnlockAllShards();
+  if (status.ok()) {
+    uint64_t bytes = 0;
+    for (const auto& [name, contents] : image.files) bytes += contents.size();
+    reseeds_.fetch_add(1, std::memory_order_relaxed);
+    reseed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    PublishSequence(image.covered_sequence);
+  }
+  return status;
+}
+
 void TemporalQueryService::MaybeCheckpoint() {
   if (wal_ == nullptr) return;
   const DurabilityOptions& durability = options_.durability;
@@ -997,6 +1153,9 @@ ServiceStats TemporalQueryService::Stats() const {
       replicated_records_applied_.load(std::memory_order_relaxed);
   stats.replication.replicated_records_skipped =
       replicated_records_skipped_.load(std::memory_order_relaxed);
+  stats.replication.reseeds = reseeds_.load(std::memory_order_relaxed);
+  stats.replication.reseed_bytes =
+      reseed_bytes_.load(std::memory_order_relaxed);
   stats.planner.scans_index =
       planner_scans_index_.load(std::memory_order_relaxed);
   stats.planner.scans_traversal =

@@ -239,6 +239,37 @@ class TemporalQueryService {
   /// InvalidArgument on an in-memory service.
   Status Checkpoint() EXCLUDES(commit_mu_);
 
+  // ---- checkpoint re-seed (DESIGN.md §14) ----
+
+  /// One checkpoint held in memory for wire transfer: the sequence it
+  /// covers plus the checkpoint files (name → contents) in install
+  /// order. The stamp file is listed too, so an installed image is a
+  /// byte-complete checkpoint directory.
+  struct CheckpointImage {
+    uint64_t covered_sequence = 0;
+    std::vector<std::pair<std::string, std::string>> files;
+  };
+
+  /// Leader side of a re-seed: returns the newest on-disk checkpoint as
+  /// an in-memory image, creating one first (same quiescence as
+  /// Checkpoint()) when none exists yet. Quiesces the commit path for
+  /// the read so the files and the stamp are one consistent capture.
+  /// InvalidArgument on an in-memory service.
+  StatusOr<CheckpointImage> ExportCheckpoint() EXCLUDES(commit_mu_);
+
+  /// Follower side of a re-seed: atomically replaces this service's
+  /// state with the image — each file lands via the write-temp/fsync/
+  /// rename discipline, the stamp is written only after the image
+  /// re-opens cleanly, the WAL is reset to the covered sequence, and the
+  /// snapshot cache is dropped. Quiesces the commit path end to end.
+  /// Rejects (kOutOfRange) an image at or below the locally applied
+  /// sequence — installing it would move state backwards. On
+  /// any failure the service keeps serving its old in-memory state; a
+  /// crash mid-install recovers to either state, or at worst to one the
+  /// next re-seed attempt replaces (DESIGN.md §14 walks the windows).
+  Status InstallCheckpoint(const CheckpointImage& image)
+      EXCLUDES(commit_mu_);
+
   // ---- sessions ----
 
   /// Opens a client session: a lightweight per-caller handle carrying its
@@ -460,6 +491,10 @@ class TemporalQueryService {
   std::atomic<bool> fti_compact_running_{false};
   std::atomic<uint64_t> replicated_records_applied_{0};
   std::atomic<uint64_t> replicated_records_skipped_{0};
+  /// Checkpoint images installed over the wire (InstallCheckpoint) and
+  /// the archive bytes they carried — the follower-side re-seed gauges.
+  std::atomic<uint64_t> reseeds_{0};
+  std::atomic<uint64_t> reseed_bytes_{0};
 
   std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> queries_failed_{0};

@@ -83,6 +83,12 @@ struct ReplicationStats {
   /// Replicated records persisted but skipped at apply time (their
   /// original commit failed identically on the leader).
   uint64_t replicated_records_skipped = 0;
+  /// Checkpoint re-seeds this node completed (followers: checkpoints
+  /// installed over the wire after falling below the leader's WAL floor,
+  /// DESIGN.md §14).
+  uint64_t reseeds = 0;
+  /// Archive bytes received and installed across those re-seeds.
+  uint64_t reseed_bytes = 0;
 };
 
 /// Gauges of the split full-text index (DESIGN.md §13): the compacted

@@ -160,9 +160,11 @@ class WriteAheadLog {
 
   /// Atomically replaces the log with a fresh empty one whose appends
   /// continue from base_sequence + 1 — the truncation after a checkpoint
-  /// covering base_sequence. On failure the old log (still containing
-  /// everything) remains in use; replay tolerates the stale records via
-  /// the sequence floor.
+  /// covering base_sequence. base_sequence may exceed last_sequence():
+  /// a checkpoint re-seed (DESIGN.md §14) installs a leader image ahead
+  /// of everything this log holds and forwards the cursor to it. On
+  /// failure the old log (still containing everything) remains in use;
+  /// replay tolerates the stale records via the sequence floor.
   Status Reset(uint64_t base_sequence);
 
   uint64_t last_sequence() const { return last_sequence_; }

@@ -1,11 +1,14 @@
-// Replication tests (DESIGN.md §11): follower catch-up from the on-disk
-// WAL, live tail streaming, byte-identical temporal query results across
-// leader and followers, read-your-writes via the commit-sequence token,
-// read-only write rejection, routing-client failover — and, when
-// TXML_FAILPOINTS is compiled in, a follower kill-and-restart sweep that
-// injects a fault at every WAL boundary the replication apply path hits
-// and checks the restarted follower still converges to the leader's
-// answers.
+// Replication tests (DESIGN.md §11, §14): follower catch-up from the
+// on-disk WAL, live tail streaming, automatic checkpoint re-seed of a
+// below-floor follower (including torn-transfer resume and the
+// recoverable park when the leader refuses), byte-identical temporal
+// query results across leader and followers, read-your-writes via the
+// commit-sequence token, read-only write rejection, routing-client
+// failover — and, when TXML_FAILPOINTS is compiled in, follower
+// kill-and-restart sweeps that inject a fault at every WAL boundary the
+// replication apply path hits and at every transfer/install boundary of
+// a re-seed, checking the restarted follower still converges to the
+// leader's answers.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -24,6 +27,7 @@
 #include "src/repl/wal_shipper.h"
 #include "src/service/service.h"
 #include "src/storage/wal.h"
+#include "src/util/crc32c.h"
 #include "src/util/failpoint.h"
 
 namespace txml {
@@ -133,14 +137,23 @@ struct Leader {
   }
 };
 
-std::unique_ptr<Leader> StartLeader(const std::string& dir) {
+WalShipper::Options FastShipperOptions() {
+  WalShipper::Options options;
+  options.heartbeat_interval_ms = 50;
+  // Small chunks so a re-seed spans several frames — the torn-transfer
+  // and chaos tests cut mid-stream.
+  options.checkpoint_chunk_bytes = 256;
+  return options;
+}
+
+std::unique_ptr<Leader> StartLeader(
+    const std::string& dir,
+    WalShipper::Options shipper_options = FastShipperOptions()) {
   auto leader = std::make_unique<Leader>();
   auto service = TemporalQueryService::Create(DurableOptions(dir));
   EXPECT_TRUE(service.ok()) << service.status().ToString();
   if (!service.ok()) return nullptr;
   leader->service = std::move(*service);
-  WalShipper::Options shipper_options;
-  shipper_options.heartbeat_interval_ms = 50;
   leader->shipper =
       std::make_unique<WalShipper>(leader->service.get(), shipper_options);
   ServerOptions server_options;
@@ -150,6 +163,10 @@ std::unique_ptr<Leader> StartLeader(const std::string& dir) {
                                           const ReplSubscribeRequest& sub) {
     shipper->Serve(socket, sub);
   };
+  server_options.checkpoint_handler =
+      [shipper](Socket* socket, const CheckpointRequest& request) {
+        shipper->ServeCheckpoint(socket, request);
+      };
   leader->server =
       std::make_unique<TxmlServer>(leader->service.get(), server_options);
   Status started = leader->server->Start();
@@ -165,6 +182,9 @@ ReplicaApplier::Options FastApplierOptions(uint16_t leader_port,
   options.follower_name = name;
   options.backoff_initial_ms = 5;
   options.backoff_max_ms = 50;
+  // A parked follower re-probes fast enough for the tests to observe the
+  // recovery (default 30s would stall the suite).
+  options.fatal_retry_ms = 50;
   return options;
 }
 
@@ -273,36 +293,376 @@ TEST(ReplicationTest, FollowerCatchesUpFromDiskWalAfterTailEviction) {
             AnswersOf(leader->service.get(), 5));
 }
 
-TEST(ReplicationTest, CheckpointTruncationPastCursorIsFatal) {
+/// A leader directory whose WAL was truncated by a checkpoint covering
+/// sequence `days` — after a restart nothing on it reaches back to 0, so
+/// a blank follower is below the floor and must re-seed.
+std::string CheckpointedLeaderDir(const std::string& tag, int days) {
+  std::string dir = TempDir(tag);
+  auto service = TemporalQueryService::Create(DurableOptions(dir));
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  for (int day = 1; day <= days; ++day) {
+    auto put = (*service)->PutAt("u", GuideXml(day), Day(day));
+    EXPECT_TRUE(put.ok()) << put.status().ToString();
+  }
+  Status checkpointed = (*service)->Checkpoint();
+  EXPECT_TRUE(checkpointed.ok()) << checkpointed.ToString();
+  return dir;
+}
+
+TEST(ReplicationTest, BelowFloorFollowerAutoReseeds) {
   // The leader checkpointed (truncating its WAL past sequence 3) and then
   // restarted, so neither its live tail nor its disk log reaches back to
   // sequence 0: a blank follower can never be served the early records.
-  // The shipper answers kOutOfRange and the applier parks in the fatal
-  // state instead of retrying forever.
-  std::string leader_dir = TempDir("trunc_leader");
-  {
-    auto service = TemporalQueryService::Create(DurableOptions(leader_dir));
-    ASSERT_TRUE(service.ok());
-    for (int day = 1; day <= 3; ++day) {
-      ASSERT_TRUE((*service)->PutAt("u", GuideXml(day), Day(day)).ok());
-    }
-    ASSERT_TRUE((*service)->Checkpoint().ok());
-  }
-  auto leader = StartLeader(leader_dir);
+  // The shipper answers kOutOfRange and the applier streams the leader's
+  // checkpoint over the wire, installs it, and resumes the subscribe
+  // loop — no operator action (DESIGN.md §14).
+  auto leader = StartLeader(CheckpointedLeaderDir("reseed_leader", 3));
   ASSERT_NE(leader, nullptr);
 
-  auto follower = StartFollower(TempDir("trunc_f1"), leader->port(), "f1",
+  auto follower = StartFollower(TempDir("reseed_f1"), leader->port(), "f1",
                                 /*with_server=*/false);
   ASSERT_NE(follower, nullptr);
-  bool fatal = false;
-  for (int i = 0; i < 500 && !fatal; ++i) {
-    fatal = follower->applier->GetState().fatal;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+
+  ReplicaApplier::State state = follower->applier->GetState();
+  EXPECT_GE(state.reseeds, 1u);
+  EXPECT_FALSE(state.fatal);
+  ServiceStats stats = follower->service->Stats();
+  EXPECT_GE(stats.replication.reseeds, 1u);
+  EXPECT_GT(stats.replication.reseed_bytes, 0u);
+
+  // The subscribe loop resumed: new leader commits stream normally and
+  // the whole history answers identically.
+  leader->Put(4);
+  ASSERT_TRUE(AwaitSequence(follower->service.get(), 4));
+  EXPECT_EQ(AnswersOf(follower->service.get(), 4),
+            AnswersOf(leader->service.get(), 4));
+
+  // The transfer landed on the follower's stats row on the leader too.
+  bool served = false;
+  for (const auto& f : leader->shipper->Followers()) {
+    served |= f.name == "f1" && f.checkpoints_served >= 1 &&
+              f.checkpoint_bytes_sent > 0;
   }
-  EXPECT_TRUE(fatal);
-  EXPECT_NE(follower->applier->GetState().last_error.find("re-seed"),
-            std::string::npos)
-      << follower->applier->GetState().last_error;
+  EXPECT_TRUE(served);
+  EXPECT_NE(leader->shipper->StatsXml().find("checkpoints-served="),
+            std::string::npos);
+}
+
+TEST(ReplicationTest, ReseededFollowerRestartResumesNormally) {
+  // After a re-seed the follower's directory is a normal durable node:
+  // a restart recovers from the installed checkpoint + its own WAL and
+  // resumes replication without re-seeding again.
+  auto leader = StartLeader(CheckpointedLeaderDir("reseed_restart_leader", 3));
+  ASSERT_NE(leader, nullptr);
+  std::string follower_dir = TempDir("reseed_restart_f1");
+  {
+    auto follower = StartFollower(follower_dir, leader->port(), "f1",
+                                  /*with_server=*/false);
+    ASSERT_NE(follower, nullptr);
+    ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+    ASSERT_GE(follower->applier->GetState().reseeds, 1u);
+  }  // follower process "dies"
+
+  leader->Put(4);
+  auto follower = StartFollower(follower_dir, leader->port(), "f1",
+                                /*with_server=*/false);
+  ASSERT_NE(follower, nullptr);
+  EXPECT_EQ(follower->service->applied_sequence(), 3u);
+  ASSERT_TRUE(AwaitSequence(follower->service.get(), 4));
+  EXPECT_EQ(follower->applier->GetState().reseeds, 0u);
+  EXPECT_EQ(AnswersOf(follower->service.get(), 4),
+            AnswersOf(leader->service.get(), 4));
+}
+
+TEST(ReplicationTest, ReseedRefusalParksRecoverably) {
+  // A leader that refuses checkpoint transfers (--reseed=off) reproduces
+  // the operator-driven workflow — but the park is no longer a dead
+  // thread: the applier surfaces fatal + the refusal, then keeps
+  // re-probing the leader on its slow retry timer.
+  WalShipper::Options shipper_options = FastShipperOptions();
+  shipper_options.serve_checkpoints = false;
+  auto leader =
+      StartLeader(CheckpointedLeaderDir("park_leader", 3), shipper_options);
+  ASSERT_NE(leader, nullptr);
+
+  auto follower = StartFollower(TempDir("park_f1"), leader->port(), "f1",
+                                /*with_server=*/false);
+  ASSERT_NE(follower, nullptr);
+  bool parked = false;
+  for (int i = 0; i < 500 && !parked; ++i) {
+    ReplicaApplier::State state = follower->applier->GetState();
+    parked = state.fatal &&
+             state.last_error.find("re-seed") != std::string::npos;
+    if (!parked) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(parked) << follower->applier->GetState().last_error;
+  EXPECT_EQ(follower->applier->GetState().reseeds, 0u);
+  EXPECT_NE(follower->applier->StatsXml().find("fatal=\"true\""),
+            std::string::npos);
+
+  // Recoverable: with fatal_retry_ms at 50 the parked applier keeps
+  // probing instead of halting its thread for good.
+  uint64_t reconnects = follower->applier->GetState().reconnects;
+  bool reprobed = false;
+  for (int i = 0; i < 500 && !reprobed; ++i) {
+    reprobed = follower->applier->GetState().reconnects > reconnects + 1;
+    if (!reprobed) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(reprobed);
+}
+
+TEST(ReplicationTest, HeartbeatOnlyLeaderResetsReconnectBackoff) {
+  // Regression: `failures` used to reset only when a batch applied, so a
+  // healthy but idle leader — heartbeats only — kept every reconnect at
+  // backoff_max. A fake leader accepts, heartbeats twice, drops the
+  // connection, repeat: with heartbeats counting as progress the
+  // follower reconnects on the *initial* backoff every time and racks up
+  // sessions quickly; with the bug the escalating backoff (5ms doubling
+  // toward 2s) cannot reach 12 reconnects inside the 2s deadline.
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::thread fake_leader([&listener] {
+    while (true) {
+      auto socket = listener->Accept();
+      if (!socket.ok()) return;  // listener shut down — test over
+      if (!socket->SetTimeouts(1000, 1000).ok()) continue;
+      auto subscribe = ReadFrame(&*socket, kDefaultMaxFrameBytes);
+      if (!subscribe.ok() || subscribe->type != FrameType::kReplSubscribe) {
+        continue;
+      }
+      for (int i = 0; i < 2; ++i) {
+        ReplHeartbeat heartbeat;
+        if (!WriteFrame(&*socket, FrameType::kReplHeartbeat,
+                        EncodeReplHeartbeat(heartbeat))
+                 .ok()) {
+          break;
+        }
+        if (!ReadFrame(&*socket, kDefaultMaxFrameBytes).ok()) break;
+      }
+      // The socket destructor drops the connection mid-stream.
+    }
+  });
+
+  auto service =
+      TemporalQueryService::Create(DurableOptions(TempDir("hb_backoff_f1")));
+  ASSERT_TRUE(service.ok());
+  ReplicaApplier::Options options;
+  options.leader_port = listener->port();
+  options.follower_name = "hb";
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 2000;
+  {
+    ReplicaApplier applier(service->get(), options);
+    ASSERT_TRUE(applier.Start().ok());
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    bool reconnected = false;
+    while (!reconnected && std::chrono::steady_clock::now() < deadline) {
+      reconnected = applier.GetState().reconnects >= 12;
+      if (!reconnected) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    EXPECT_TRUE(reconnected)
+        << "only " << applier.GetState().reconnects << " reconnects";
+    EXPECT_FALSE(applier.GetState().fatal);
+    applier.Stop();
+  }
+  listener->Shutdown();
+  fake_leader.join();
+}
+
+TEST(ReplicationTest, ParkAndStopRaceStress) {
+  // TSan coverage for the park path: the applier thread writes
+  // fatal/last_error and signals stop_cv_ under mu_ while this thread
+  // polls GetState and lands Stop() anywhere in the connect → refuse →
+  // park → re-probe cycle. The pre-fix park returned without signaling,
+  // so a Stop racing the (then-final) state write could observe it torn.
+  WalShipper::Options shipper_options = FastShipperOptions();
+  shipper_options.serve_checkpoints = false;  // force the park path
+  auto leader =
+      StartLeader(CheckpointedLeaderDir("race_leader", 2), shipper_options);
+  ASSERT_NE(leader, nullptr);
+
+  for (int round = 0; round < 8; ++round) {
+    auto service = TemporalQueryService::Create(
+        DurableOptions(TempDir("race_f_" + std::to_string(round))));
+    ASSERT_TRUE(service.ok());
+    ReplicaApplier::Options options =
+        FastApplierOptions(leader->port(), "race");
+    options.fatal_retry_ms = 5;
+    ReplicaApplier applier(service->get(), options);
+    ASSERT_TRUE(applier.Start().ok());
+    std::thread poller([&applier] {
+      for (int i = 0; i < 50; ++i) {
+        applier.GetState();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(round * 3));
+    applier.Stop();
+    poller.join();
+  }
+}
+
+TEST(ReplicationTest, TornCheckpointTransferNeverInstallsPartial) {
+  // Serve a real checkpoint image over scripted connections that die at
+  // every chunk boundary and corrupt every byte of the final chunk
+  // (the durability suite's torn-WAL pattern, applied to the transfer).
+  // The receiver must never hand back a partial image, must keep its
+  // verified prefix for resume after a cut, and must reject corruption —
+  // per-chunk CRC for a flipped byte, whole-archive CRC when the chunk
+  // CRC was forged to match.
+  auto service =
+      TemporalQueryService::Create(DurableOptions(TempDir("torn_src")));
+  ASSERT_TRUE(service.ok());
+  for (int day = 1; day <= 3; ++day) {
+    ASSERT_TRUE((*service)->PutAt("u", GuideXml(day), Day(day)).ok());
+  }
+  ASSERT_TRUE((*service)->Checkpoint().ok());
+  auto image = (*service)->ExportCheckpoint();
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  std::string archive = BuildCheckpointArchive(*image);
+  constexpr uint64_t kChunk = 64;
+  ASSERT_GT(archive.size(), 2 * kChunk);
+
+  CheckpointMeta meta;
+  meta.covered_sequence = image->covered_sequence;
+  meta.total_bytes = archive.size();
+  meta.archive_crc32c = crc32c::Value(archive);
+  for (const auto& [name, contents] : image->files) {
+    CheckpointMeta::File file;
+    file.name = name;
+    file.size = contents.size();
+    meta.files.push_back(std::move(file));
+  }
+
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  constexpr uint64_t kNever = ~0ull;
+
+  // One scripted serve: stream from `start`, dropping the connection
+  // once `cut_at` archive bytes have been served; when `corrupt_at`
+  // falls inside a chunk its byte is flipped — with the chunk CRC either
+  // still describing the original bytes (the per-chunk check catches it)
+  // or forged over the corrupted bytes (only the archive CRC can).
+  auto serve = [&](uint64_t start, uint64_t cut_at, uint64_t corrupt_at,
+                   bool forge_chunk_crc) {
+    auto socket = listener->Accept();
+    ASSERT_TRUE(socket.ok()) << socket.status().ToString();
+    ASSERT_TRUE(socket->SetTimeouts(2000, 2000).ok());
+    CheckpointMeta out = meta;
+    out.start_offset = start;
+    ASSERT_TRUE(WriteFrame(&*socket, FrameType::kCheckpointMeta,
+                           EncodeCheckpointMeta(out))
+                    .ok());
+    uint64_t offset = start;
+    while (offset < archive.size()) {
+      if (offset >= cut_at) {
+        socket->ShutdownBoth();
+        return;
+      }
+      CheckpointChunk chunk;
+      chunk.offset = offset;
+      chunk.data = archive.substr(
+          offset, std::min<uint64_t>(kChunk, archive.size() - offset));
+      chunk.crc32c = crc32c::Value(chunk.data);
+      if (corrupt_at >= offset && corrupt_at < offset + chunk.data.size()) {
+        chunk.data[corrupt_at - offset] ^= 0x01;
+        if (forge_chunk_crc) chunk.crc32c = crc32c::Value(chunk.data);
+      }
+      if (!WriteFrame(&*socket, FrameType::kCheckpointChunk,
+                      EncodeCheckpointChunk(chunk))
+               .ok()) {
+        return;
+      }
+      offset += chunk.data.size();
+      if (!ReadFrame(&*socket, kDefaultMaxFrameBytes).ok()) return;
+    }
+  };
+
+  auto receive = [&](ReseedProgress* progress,
+                     TemporalQueryService::CheckpointImage* out) -> Status {
+    auto socket = Socket::Connect("127.0.0.1", listener->port(), 2000);
+    if (!socket.ok()) return socket.status();
+    Status set = socket->SetTimeouts(2000, 2000);
+    if (!set.ok()) return set;
+    return ReceiveCheckpointStream(&*socket, kDefaultMaxFrameBytes, progress,
+                                   out);
+  };
+
+  auto complete_from = [&](ReseedProgress* progress,
+                           TemporalQueryService::CheckpointImage* out) {
+    std::thread leader_thread(
+        [&, start = progress->valid ? progress->buffer.size() : 0] {
+          serve(start, kNever, kNever, false);
+        });
+    Status done = receive(progress, out);
+    leader_thread.join();
+    ASSERT_TRUE(done.ok()) << done.ToString();
+    ASSERT_EQ(BuildCheckpointArchive(*out), archive);
+    ASSERT_EQ(out->covered_sequence, image->covered_sequence);
+  };
+
+  // Cut at every chunk boundary: the attempt fails, nothing partial is
+  // handed back, the verified prefix survives, and a resumed stream
+  // finishes the job.
+  for (uint64_t cut = 0; cut < archive.size(); cut += kChunk) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    ReseedProgress progress;
+    TemporalQueryService::CheckpointImage got;
+    std::thread leader_thread([&] { serve(0, cut, kNever, false); });
+    Status torn = receive(&progress, &got);
+    leader_thread.join();
+    EXPECT_FALSE(torn.ok());
+    EXPECT_TRUE(got.files.empty());
+    EXPECT_EQ(progress.buffer.size(), cut);
+    complete_from(&progress, &got);
+  }
+
+  // Corrupt every byte of the final chunk: the per-chunk CRC rejects it
+  // without extending the verified prefix, and a resume completes.
+  uint64_t last_chunk_start = ((archive.size() - 1) / kChunk) * kChunk;
+  for (uint64_t at = last_chunk_start; at < archive.size(); ++at) {
+    SCOPED_TRACE("corrupt byte " + std::to_string(at));
+    ReseedProgress progress;
+    TemporalQueryService::CheckpointImage got;
+    std::thread leader_thread([&] { serve(0, kNever, at, false); });
+    Status corrupt = receive(&progress, &got);
+    leader_thread.join();
+    EXPECT_TRUE(corrupt.IsCorruption()) << corrupt.ToString();
+    EXPECT_TRUE(got.files.empty());
+    EXPECT_EQ(progress.buffer.size(), last_chunk_start);
+    complete_from(&progress, &got);
+  }
+
+  // Forged chunk CRC over corrupted bytes: only the whole-archive CRC
+  // catches it, and then nothing in the buffer can be trusted — the
+  // progress resets and the next attempt restarts from zero.
+  {
+    ReseedProgress progress;
+    TemporalQueryService::CheckpointImage got;
+    std::thread leader_thread(
+        [&] { serve(0, kNever, archive.size() / 2, true); });
+    Status corrupt = receive(&progress, &got);
+    leader_thread.join();
+    EXPECT_TRUE(corrupt.IsCorruption()) << corrupt.ToString();
+    EXPECT_TRUE(got.files.empty());
+    EXPECT_FALSE(progress.valid);
+    EXPECT_EQ(progress.buffer.size(), 0u);
+    complete_from(&progress, &got);
+
+    // The cleanly received image installs into a blank node and answers
+    // the oracle battery exactly like the source service.
+    auto blank =
+        TemporalQueryService::Create(DurableOptions(TempDir("torn_dst")));
+    ASSERT_TRUE(blank.ok());
+    Status installed = (*blank)->InstallCheckpoint(got);
+    ASSERT_TRUE(installed.ok()) << installed.ToString();
+    EXPECT_EQ(AnswersOf(blank->get(), 3), AnswersOf(service->get(), 3));
+    EXPECT_EQ((*blank)->applied_sequence(), image->covered_sequence);
+  }
 }
 
 TEST(ReplicationTest, FollowerRestartResumesFromOwnWal) {
@@ -641,6 +1001,115 @@ TEST(ReplicationCrashSweepTest, FollowerSurvivesFaultAtEveryWalBoundary) {
     // own WAL prefix, the applier resumes from that floor.
     auto follower = try_start();
     ASSERT_NE(follower, nullptr);
+    ASSERT_TRUE(AwaitSequence(follower->service.get(), 4));
+    EXPECT_EQ(AnswersOf(follower->service.get(), 4),
+              AnswersOf(leader->service.get(), 4));
+  }
+  FailPoints::Global().DisarmAll();
+}
+
+/// Re-seed chaos sweep (DESIGN.md §14): a blank follower of a leader
+/// whose log starts past 0 must stream + install the leader's checkpoint
+/// — with a fault injected at every transfer/install/WAL-reset boundary
+/// the re-seed path hits, the follower killed there and restarted; plus
+/// the leader killed mid-stream (its serve drops the connection), where
+/// the follower must resume the transfer on its own. Every variant must
+/// converge to byte-identical oracle answers with no operator action.
+TEST(ReplicationCrashSweepTest, FollowerSurvivesFaultAtEveryReseedBoundary) {
+  FailPoints::Global().DisarmAll();
+  FailPoints::Global().ClearTrace();
+
+  // Discovery pass: trace the env sites a clean re-seed touches on the
+  // follower's directory.
+  std::vector<std::string> sites;
+  {
+    auto leader = StartLeader(CheckpointedLeaderDir("rsweep_trace_leader", 3));
+    ASSERT_NE(leader, nullptr);
+    std::string follower_dir = TempDir("rsweep_trace_f");
+    FailPoints::Global().ClearTrace();
+    auto follower = StartFollower(follower_dir, leader->port(), "trace",
+                                  /*with_server=*/false);
+    ASSERT_NE(follower, nullptr);
+    ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+    ASSERT_GE(follower->applier->GetState().reseeds, 1u);
+    for (const auto& traced : FailPoints::Global().Trace()) {
+      const std::string& site = traced.first;
+      if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+        sites.push_back(site);
+      }
+    }
+  }
+  ASSERT_FALSE(sites.empty());
+  // The leader-kill boundary is not an env site; sweep it explicitly.
+  sites.push_back("reseed.serve.chunk");
+
+  int variant = 0;
+  for (const std::string& site : sites) {
+    SCOPED_TRACE("site " + site);
+    auto leader = StartLeader(
+        CheckpointedLeaderDir("rsweep_leader_" + std::to_string(variant), 3));
+    ASSERT_NE(leader, nullptr);
+    std::string follower_dir = TempDir("rsweep_f_" + std::to_string(variant));
+    ++variant;
+
+    auto try_start = [&]() -> std::unique_ptr<Follower> {
+      auto follower = std::make_unique<Follower>();
+      auto service = TemporalQueryService::Create(DurableOptions(follower_dir));
+      if (!service.ok()) return nullptr;
+      follower->service = std::move(*service);
+      follower->applier = std::make_unique<ReplicaApplier>(
+          follower->service.get(),
+          FastApplierOptions(leader->port(), "rsweep"));
+      if (!follower->applier->Start().ok()) return nullptr;
+      return follower;
+    };
+
+    FailPointSpec spec;
+    // Pin env faults to the follower's own files; the serve-side kill
+    // fires on the follower's name (its detail string).
+    spec.path_substr =
+        site == "reseed.serve.chunk"
+            ? "rsweep"
+            : std::filesystem::path(follower_dir).filename().string();
+    FailPoints::Global().DisarmAll();
+    FailPoints::Global().Arm(site, spec);
+    uint64_t fired_before = FailPoints::Global().fired_count();
+
+    if (site == "reseed.serve.chunk") {
+      // Leader dies mid-stream: the serve side drops the connection
+      // partway through the archive. The follower is NOT restarted — it
+      // must retry and resume the transfer from its verified prefix.
+      auto follower = try_start();
+      ASSERT_NE(follower, nullptr);
+      ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+      EXPECT_GT(FailPoints::Global().fired_count(), fired_before);
+      FailPoints::Global().DisarmAll();
+      leader->Put(4);
+      ASSERT_TRUE(AwaitSequence(follower->service.get(), 4));
+      EXPECT_EQ(AnswersOf(follower->service.get(), 4),
+                AnswersOf(leader->service.get(), 4));
+      continue;
+    }
+
+    {
+      auto follower = try_start();
+      // Wait for the fault to fire (or for the site to prove irrelevant
+      // to this path — convergence is still asserted below either way).
+      for (int i = 0; follower && i < 300; ++i) {
+        if (FailPoints::Global().fired_count() > fired_before) break;
+        if (follower->service->applied_sequence() >= 3) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }  // kill the follower at (or right after) the fault
+
+    FailPoints::Global().DisarmAll();
+    // Restart from the same directory: whatever install window the fault
+    // left behind — data files without a stamp, a stamp without the WAL
+    // reset — recovery plus a fresh re-seed must converge.
+    auto follower = try_start();
+    ASSERT_NE(follower, nullptr);
+    ASSERT_TRUE(AwaitSequence(follower->service.get(), 3));
+    leader->Put(4);
     ASSERT_TRUE(AwaitSequence(follower->service.get(), 4));
     EXPECT_EQ(AnswersOf(follower->service.get(), 4),
               AnswersOf(leader->service.get(), 4));
