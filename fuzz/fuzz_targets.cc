@@ -8,6 +8,7 @@
 #include "src/lang/parser.h"
 #include "src/net/wire.h"
 #include "src/storage/wal.h"
+#include "src/util/coding.h"
 
 namespace txml {
 namespace fuzz {
@@ -45,7 +46,7 @@ void FuzzQueryParser(const uint8_t* data, size_t size) {
 void FuzzWireDecode(const uint8_t* data, size_t size) {
   if (size == 0) return;
   std::string_view payload = AsView(data + 1, size - 1);
-  switch (data[0] % 14) {
+  switch (data[0] % 15) {
     case 0: {
       auto request = DecodeQueryRequest(payload);
       if (!request.ok()) return;
@@ -188,7 +189,7 @@ void FuzzWireDecode(const uint8_t* data, size_t size) {
       }
       break;
     }
-    default: {
+    case 13: {
       auto chunk = DecodeCheckpointChunk(payload);
       if (!chunk.ok()) return;
       auto again = DecodeCheckpointChunk(EncodeCheckpointChunk(*chunk));
@@ -196,6 +197,34 @@ void FuzzWireDecode(const uint8_t* data, size_t size) {
           again->crc32c != chunk->crc32c || again->data != chunk->data) {
         Fail("re-encoded CheckpointChunk failed to round-trip",
              std::to_string(chunk->offset));
+      }
+      break;
+    }
+    default: {
+      // kResponseChunk carries raw payload bytes — there is no envelope
+      // codec to round-trip, so exercise the frame layer itself: framing
+      // arbitrary bytes must produce exactly length prefix (payload + the
+      // type byte), the kResponseChunk tag, and the payload verbatim.
+      std::string framed;
+      AppendFrame(FrameType::kResponseChunk, payload, &framed);
+      if (framed.size() != 4 + 1 + payload.size()) {
+        Fail("AppendFrame(kResponseChunk) produced a wrong-size frame",
+             std::to_string(framed.size()));
+      }
+      Decoder decoder(framed);
+      auto body_length = decoder.ReadFixed32();
+      if (!body_length.ok() || *body_length != 1 + payload.size()) {
+        Fail("AppendFrame(kResponseChunk) wrote a wrong length prefix",
+             std::to_string(payload.size()));
+      }
+      if (static_cast<uint8_t>(framed[4]) !=
+          static_cast<uint8_t>(FrameType::kResponseChunk)) {
+        Fail("AppendFrame(kResponseChunk) wrote a wrong type tag",
+             std::to_string(static_cast<unsigned>(framed[4])));
+      }
+      if (std::string_view(framed).substr(5) != payload) {
+        Fail("AppendFrame(kResponseChunk) mangled the payload",
+             std::to_string(payload.size()));
       }
       break;
     }

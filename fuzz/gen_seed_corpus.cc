@@ -78,7 +78,7 @@ bool WriteQuerySeeds(const std::filesystem::path& dir) {
 }
 
 bool WriteWireSeeds(const std::filesystem::path& dir) {
-  // Selector-byte convention of FuzzWireDecode: byte % 14 picks the
+  // Selector-byte convention of FuzzWireDecode: byte % 15 picks the
   // decoder, remaining bytes are the envelope payload.
   QueryRequest query;
   query.query_text = "SELECT R FROM doc(\"u\")[EVERY]/r R";
@@ -166,6 +166,9 @@ bool WriteWireSeeds(const std::filesystem::path& dir) {
       {"checkpoint_request", 11, EncodeCheckpointRequest(checkpoint_request)},
       {"checkpoint_meta", 12, EncodeCheckpointMeta(checkpoint_meta)},
       {"checkpoint_chunk", 13, EncodeCheckpointChunk(checkpoint_chunk)},
+      // kResponseChunk frames carry raw payload bytes (no envelope codec);
+      // selector 14 drives the frame-layer AppendFrame invariants instead.
+      {"response_chunk", 14, "<menu><price>12.5</price></menu>"},
   };
   for (const auto& seed : kSeeds) {
     std::string bytes(1, static_cast<char>(seed.selector));

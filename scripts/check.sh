@@ -26,6 +26,13 @@
 #      stage 1 via fuzz_corpus_test).
 #   6. -DTXML_FAILPOINTS=OFF (build-nofp/, build only)    — proves the
 #      zero-cost no-failpoint configuration still compiles -Werror-clean.
+#   7. Lint + lock rank (DESIGN.md §16) — tools/txml_lint.py over the
+#      tree plus its self-test (each rule must reject a seeded
+#      violation), the lock-rank death tests in a Debug build with the
+#      checker pinned ON (build-rank/), and a -DTXML_LOCK_RANK=OFF
+#      build-only configuration (build-norank/) proving the checker
+#      compiles away -Werror-clean, exactly like stage 6 does for
+#      failpoints.
 #
 # Usage: scripts/check.sh [--tsan-all] [--asan-all] [--fuzz-secs N] [-j N]
 set -euo pipefail
@@ -142,5 +149,22 @@ fi
 echo "=== No-failpoint configuration (build-nofp/, compile only) ==="
 run cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTXML_FAILPOINTS=OFF
 run cmake --build build-nofp -j "$JOBS"
+
+echo "=== Lint + lock-rank configuration (build-rank/, build-norank/) ==="
+# The textual project lint and its negative self-test (the lint analogue
+# of the analyze_negative compile check: every rule must still reject a
+# seeded violation).
+run python3 tools/txml_lint.py --root .
+run python3 tools/txml_lint.py --self-test
+# Debug build with the rank checker pinned ON: the death tests prove the
+# checker aborts on inversions, and the fold/vacuum/checkpoint triple
+# pins the documented acquisition order under it.
+run cmake -B build-rank -S . -DCMAKE_BUILD_TYPE=Debug -DTXML_LOCK_RANK=ON
+run cmake --build build-rank -j "$JOBS" --target lock_rank_test util_test
+run ctest --test-dir build-rank --output-on-failure --no-tests=error \
+    -j "$JOBS" -R "LockRank|Status|txml_lint"
+# -DTXML_LOCK_RANK=OFF must compile away -Werror-clean (build only).
+run cmake -B build-norank -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTXML_LOCK_RANK=OFF
+run cmake --build build-norank -j "$JOBS"
 
 echo "=== All checks passed ==="

@@ -73,7 +73,7 @@ class TokenBucketRateLimiter {
   const Options options_;
   const std::function<int64_t()> now_micros_;
   std::atomic<uint64_t> rejected_{0};
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRateLimiter};
   std::unordered_map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
 };
 

@@ -35,7 +35,7 @@ Status TxmlServer::Start() {
   }
   TXML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
   pool_ = std::make_unique<ThreadPool>(effective_connection_threads_);
-  accept_thread_ = std::thread(&TxmlServer::AcceptLoop, this);
+  accept_thread_ = Thread(&TxmlServer::AcceptLoop, this);
   started_.store(true);
   return Status::OK();
 }
@@ -53,7 +53,7 @@ void TxmlServer::Stop() {
     MutexLock lock(mu_);
     for (auto& [id, socket] : connections_) socket->ShutdownRead();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (accept_thread_.Joinable()) accept_thread_.Join();
   // Drains queued connections (they see stopping_ and exit) and joins the
   // handlers still sending in-flight responses.
   pool_.reset();
@@ -90,8 +90,12 @@ void TxmlServer::AcceptLoop() {
       // Short write deadline: this runs on the accept thread, and an
       // unresponsive peer must not stall accepting.
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      (void)socket->SetTimeouts(/*read_timeout_ms=*/1000,
-                                /*write_timeout_ms=*/1000);
+      socket
+          ->SetTimeouts(/*read_timeout_ms=*/1000,
+                        /*write_timeout_ms=*/1000)
+          .IgnoreError("shedding this connection anyway; without the "
+                       "deadline the courtesy response just blocks less "
+                       "politely");
       SendResponse(socket.get(),
                    Status::Unavailable("server is overloaded: connection "
                                        "queue is full, retry later"),

@@ -6,7 +6,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <unordered_map>
 
 #include "src/net/rate_limiter.h"
@@ -15,6 +14,7 @@
 #include "src/service/service.h"
 #include "src/service/thread_pool.h"
 #include "src/util/synchronization.h"
+#include "src/util/thread.h"
 
 namespace txml {
 
@@ -175,7 +175,7 @@ class TxmlServer {
 
   /// Live connection sockets by id, so Stop can wake blocked reads.
   /// Handlers own their Socket; entries hold raw fds guarded by mu_.
-  Mutex mu_;
+  Mutex mu_{LockRank::kServer};
   std::unordered_map<uint64_t, Socket*> connections_ GUARDED_BY(mu_);
   uint64_t next_connection_id_ GUARDED_BY(mu_) = 0;
 
@@ -186,7 +186,7 @@ class TxmlServer {
   std::atomic<uint64_t> frames_rejected_{0};
   std::atomic<uint64_t> timeouts_{0};
 
-  std::thread accept_thread_;
+  Thread accept_thread_;
   /// Declared last: its destructor drains queued connections first.
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -146,13 +146,13 @@ Status ReplicaApplier::Start() {
     return Status::InvalidArgument(
         "ReplicaApplier requires a durable service (set data_dir)");
   }
-  thread_ = std::thread(&ReplicaApplier::Run, this);
+  thread_ = Thread(&ReplicaApplier::Run, this);
   return Status::OK();
 }
 
 void ReplicaApplier::Stop() {
   if (stopping_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
+    if (thread_.Joinable()) thread_.Join();
     return;
   }
   {
@@ -162,7 +162,7 @@ void ReplicaApplier::Stop() {
     if (session_socket_ != nullptr) session_socket_->ShutdownBoth();
     stop_cv_.SignalAll();
   }
-  if (thread_.joinable()) thread_.join();
+  if (thread_.Joinable()) thread_.Join();
 }
 
 void ReplicaApplier::Run() {

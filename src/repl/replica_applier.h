@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/net/socket.h"
@@ -12,6 +11,7 @@
 #include "src/service/service.h"
 #include "src/util/random.h"
 #include "src/util/synchronization.h"
+#include "src/util/thread.h"
 #include "src/util/thread_annotations.h"
 
 namespace txml {
@@ -157,13 +157,13 @@ class ReplicaApplier {
   TemporalQueryService* service_;
   Options options_;
   std::atomic<bool> stopping_{false};
-  std::thread thread_;
+  Thread thread_;
   Random jitter_;
   /// Partial checkpoint transfer carried across dropped connections.
   /// Touched only by the applier thread — no lock needed.
   ReseedProgress reseed_progress_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kReplApplier};
   /// Wakes a backoff sleep when Stop() is called mid-wait.
   CondVar stop_cv_;
   /// The live session's socket, so Stop() can interrupt a blocked read.

@@ -23,7 +23,9 @@ void SendError(Socket* socket, const Status& status) {
            .ok()) {
     return;
   }
-  (void)WriteFrame(socket, FrameType::kResponseEnd, EncodeResponseEnd(0));
+  WriteFrame(socket, FrameType::kResponseEnd, EncodeResponseEnd(0))
+      .IgnoreError("already tearing down the session; the peer sees the "
+                   "error header or the closed socket either way");
 }
 
 }  // namespace

@@ -113,7 +113,7 @@ class WalShipper {
   Options options_;
   std::atomic<bool> stopping_{false};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kReplShipper};
   /// Live and past follower slots (kept after disconnect so stats show
   /// the last known lag; keyed by a monotonically assigned slot id).
   std::unordered_map<uint64_t, FollowerState> followers_ GUARDED_BY(mu_);

@@ -187,7 +187,9 @@ TemporalQueryService::CreateDurable(ServiceOptions options) {
   //    replays nothing twice. Best-effort: on failure the WAL still holds
   //    every record and the service is fully usable.
   if (applied > 0 || replay.tail_dropped) {
-    (void)service->Checkpoint();
+    service->Checkpoint().IgnoreError(
+        "startup fold is best-effort: the WAL still holds every "
+        "replayed record, the next checkpoint retries");
   }
   return service;
 }
@@ -202,7 +204,7 @@ TemporalQueryService::TemporalQueryService(
   TXML_CHECK(ValidateServiceOptions(options_).ok());
   commit_shards_.reserve(options_.commit_shards);
   for (size_t i = 0; i < options_.commit_shards; ++i) {
-    commit_shards_.push_back(std::make_unique<CommitShard>());
+    commit_shards_.push_back(std::make_unique<CommitShard>(i));
   }
   if (options_.snapshot_cache_capacity > 0) {
     SnapshotCacheOptions cache_options;
@@ -666,7 +668,9 @@ StatusOr<VacuumStats> TemporalQueryService::Vacuum(
       // Checkpointing immediately retires the record, shrinking that
       // window to a crash inside this very checkpoint. All shards are
       // held, so the commit path is already quiescent.
-      (void)CheckpointQuiesced();
+      CheckpointQuiesced().IgnoreError(
+          "best-effort retirement of the vacuum record; on failure "
+          "replay may re-coarsen, which only loses extra versions");
     }
   } else {
     writes_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -840,7 +844,9 @@ Status TemporalQueryService::ApplyReplicated(const WalRecord& record) {
       record.type == WalRecordType::kVacuum && applied.ok();
   if (forced_checkpoint) {
     // Mirror the leader's forced checkpoint after a vacuum (see Vacuum).
-    (void)CheckpointQuiesced();
+    CheckpointQuiesced().IgnoreError(
+        "mirrors the leader's best-effort forced checkpoint; the "
+        "follower re-seeds if its log diverges");
   }
   UnlockAllShards();
   if (!forced_checkpoint) MaybeCheckpoint();
@@ -1056,7 +1062,9 @@ void TemporalQueryService::MaybeCheckpoint() {
   // failure). Best-effort, as the single-lock trigger always was.
   bool expected = false;
   if (!checkpoint_running_.compare_exchange_strong(expected, true)) return;
-  (void)Checkpoint();
+  Checkpoint().IgnoreError(
+      "best-effort trigger: the log only shrinks on success, so the "
+      "next commit re-fires the threshold");
   checkpoint_running_.store(false, std::memory_order_release);
 }
 

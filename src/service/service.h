@@ -308,7 +308,12 @@ class TemporalQueryService {
   /// Stats as CommitPathStats). TryLock-first acquisition makes `waits`
   /// count the acquisitions that actually blocked on a same-shard writer.
   struct CommitShard {
-    Mutex mu;
+    /// `index` doubles as the lock-rank sequence number: stripes are the
+    /// one rank that may nest, and only in ascending index order — the
+    /// checker enforces exactly the LockAllShards rule.
+    explicit CommitShard(uint64_t index)
+        : mu(LockRank::kCommitStripe, index) {}
+    Mutex mu;  // rank: kCommitStripe, seq = stripe index (ctor above)
     std::atomic<uint64_t> acquires{0};
     std::atomic<uint64_t> waits{0};
   };
@@ -428,7 +433,7 @@ class TemporalQueryService {
   /// time, in ticket order via the turnstile), readers shared. Declared
   /// before the members whose pointees it guards so the annotations below
   /// can reference it.
-  mutable SharedMutex commit_mu_;
+  mutable SharedMutex commit_mu_{LockRank::kCommitApply};
 
   ServiceOptions options_;
   /// The pointer is immutable after construction; the *database* behind
@@ -445,7 +450,7 @@ class TemporalQueryService {
 
   /// The global commit allocator: one lock hands out ticket + timestamp
   /// and orders the group-commit queue (see AllocateCommit).
-  mutable Mutex ticket_mu_;
+  mutable Mutex ticket_mu_{LockRank::kTicket};
   /// Last ticket handed out; tickets are contiguous (every one passes the
   /// turnstile). Equals the WAL sequence space on durable services.
   uint64_t next_ticket_ GUARDED_BY(ticket_mu_) = 0;
@@ -457,7 +462,7 @@ class TemporalQueryService {
 
   /// The apply turnstile: database effects land in ticket order, keeping
   /// timestamp order == apply order for epoch-pinned readers.
-  mutable Mutex turn_mu_;
+  mutable Mutex turn_mu_{LockRank::kTurnstile};
   mutable CondVar turn_cv_;
   uint64_t next_apply_ticket_ GUARDED_BY(turn_mu_) = 1;
 
@@ -481,7 +486,7 @@ class TemporalQueryService {
   /// Read-your-writes publication. The atomic is the fast-path gauge;
   /// the mutex/condvar pair exists only for the bounded wait protocol
   /// (stores happen under seq_mu_ so waiters cannot miss a wakeup).
-  mutable Mutex seq_mu_;
+  mutable Mutex seq_mu_{LockRank::kSeqFloor};
   mutable CondVar seq_cv_;
   /// mutable: PublishSequence is const so duplicate-delivery refreshes can
   /// run from const contexts; it only ever moves the floor forward.

@@ -77,7 +77,7 @@ class ShardedSnapshotCache final : public SnapshotCacheInterface,
  private:
   /// One lock shard: an LRU list of (key, tree) with an index into it.
   struct Shard {
-    Mutex mu;
+    Mutex mu{LockRank::kSnapshotCache};
     struct Entry {
       uint64_t key;
       std::shared_ptr<const XmlNode> tree;

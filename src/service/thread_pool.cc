@@ -18,7 +18,7 @@ ThreadPool::~ThreadPool() {
     shutting_down_ = true;
   }
   cv_.SignalAll();
-  for (std::thread& worker : workers_) worker.join();
+  for (Thread& worker : workers_) worker.Join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

@@ -4,10 +4,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "src/util/synchronization.h"
+#include "src/util/thread.h"
 
 namespace txml {
 
@@ -45,11 +45,11 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kThreadPool};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool shutting_down_ GUARDED_BY(mu_) = false;
-  std::vector<std::thread> workers_;
+  std::vector<Thread> workers_;
 };
 
 }  // namespace txml

@@ -487,7 +487,7 @@ GroupCommitWal::GroupCommitWal(std::unique_ptr<WriteAheadLog> wal, Hooks hooks)
     submitted_watermark_ = wal_->last_sequence();
     MirrorGauges();
   }
-  writer_ = std::thread([this] { WriterLoop(); });
+  writer_ = Thread([this] { WriterLoop(); });
 }
 
 GroupCommitWal::~GroupCommitWal() {
@@ -496,7 +496,7 @@ GroupCommitWal::~GroupCommitWal() {
     stopping_ = true;
     queue_cv_.Signal();
   }
-  writer_.join();
+  writer_.Join();
 }
 
 void GroupCommitWal::EnqueueLocked(const WalRecord& record, Ticket* ticket) {

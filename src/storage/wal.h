@@ -7,13 +7,13 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/storage/vacuum.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 #include "src/util/synchronization.h"
+#include "src/util/thread.h"
 #include "src/util/thread_annotations.h"
 #include "src/util/timestamp.h"
 
@@ -389,7 +389,7 @@ class GroupCommitWal {
   std::unique_ptr<WriteAheadLog> wal_;
   Hooks hooks_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kWalQueue};
   CondVar queue_cv_;  // wakes the writer: queue non-empty or stopping
   CondVar ack_cv_;    // wakes committers and quiesced ops: batch resolved
   std::deque<Pending> queue_ GUARDED_BY(mu_);
@@ -409,7 +409,7 @@ class GroupCommitWal {
   std::atomic<uint64_t> sync_count_{0};
   std::atomic<bool> poisoned_{false};
 
-  std::thread writer_;  // last: joined by the destructor
+  Thread writer_;  // last: joined by the destructor
 };
 
 /// The checkpoint stamp: a tiny atomic file recording the WAL sequence a

@@ -79,7 +79,7 @@ class WalTailBuffer {
   void EvictLocked() REQUIRES(mu_);
 
   const Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kWalTail};
   CondVar cv_;
   std::deque<WalRecord> ring_ GUARDED_BY(mu_);
   uint64_t ring_bytes_ GUARDED_BY(mu_) = 0;

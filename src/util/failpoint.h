@@ -83,7 +83,7 @@ class FailPoints {
  private:
   FailPoints() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kFailPoint};
   std::vector<std::pair<std::string, FailPointSpec>> armed_ GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::string>> trace_ GUARDED_BY(mu_);
   uint64_t fired_ GUARDED_BY(mu_) = 0;

@@ -56,7 +56,12 @@ bool StatusCodeFromWire(int wire_value, StatusCode* code);
 ///
 /// The library does not throw exceptions across API boundaries; every
 /// fallible public operation returns Status or StatusOr<T>.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a returned Status is a compile error
+/// under the tree's -Werror. A call site that genuinely does not care
+/// must say so via IgnoreError("reason") — grep-able, and the reason
+/// string documents why losing the error is safe there.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -123,6 +128,12 @@ class Status {
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
+
+  /// Explicitly discards this status. The mandatory reason keeps every
+  /// drop auditable (`git grep IgnoreError`); use only where the
+  /// surrounding code can make no better decision than losing the error
+  /// (best-effort maintenance, already on a failure path, ...).
+  void IgnoreError(std::string_view reason) const { (void)reason; }
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

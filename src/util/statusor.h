@@ -19,8 +19,12 @@ namespace txml {
 ///
 /// or, inside a Status-returning function, TXML_ASSIGN_OR_RETURN from
 /// src/util/macros.h.
+///
+/// [[nodiscard]] like Status: a dropped StatusOr loses both the result
+/// and the error. There is deliberately no IgnoreError here — if the
+/// value does not matter, the callee should return plain Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Constructing from an OK status is a
   /// programming error (there would be no value).

@@ -3,53 +3,134 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
+#include "src/util/lock_rank.h"
 #include "src/util/thread_annotations.h"
 
 namespace txml {
 
-/// Annotated wrappers over the standard mutexes (DESIGN.md §10). The std
-/// types carry no capability attributes, so clang's thread-safety
-/// analysis cannot see a std::lock_guard acquire anything; every locking
-/// site in the tree uses these wrappers instead so lock misuse is a
-/// compile error in the analyze configuration. Zero overhead: each method
-/// is an inline forward to the std counterpart.
+/// Annotated, rank-checked wrappers over the standard mutexes
+/// (DESIGN.md §10, §16). Two independent defenses share these wrappers:
+///
+///  - clang thread-safety annotations (analyze configuration only) prove
+///    guarded data is only touched under its lock;
+///  - the lock-rank checker (TXML_LOCK_RANK, default ON; see
+///    src/util/lock_rank.h) proves the acquisition ORDER is acyclic on
+///    every execution, under any compiler.
+///
+/// Every Mutex/SharedMutex names its rank at construction — there is no
+/// default constructor, so a new lock cannot be added to the tree without
+/// placing it in the documented hierarchy. Locks that exist in numbered
+/// instances at the same rank (the commit stripes) pass their instance
+/// index as `seq`; same-rank acquisition is legal only in ascending seq
+/// order. With -DTXML_LOCK_RANK=OFF the rank is discarded at construction
+/// and every method is an inline forward to the std counterpart — zero
+/// overhead, same API.
 ///
 /// Waiting uses CondVar below with an explicit predicate loop at the call
 /// site (`while (!ready) cv.Wait(mu);`), not a predicate lambda — the
 /// analysis checks lock requirements per function, and the loop form
-/// keeps the guarded reads inside the annotated caller.
+/// keeps the guarded reads inside the annotated caller. The waited-on
+/// lock stays on the rank stack across a Wait: it is logically held.
 
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  explicit Mutex(LockRank rank, uint64_t seq = 0) {
+#if defined(TXML_LOCK_RANK)
+    rank_ = rank;
+    seq_ = seq;
+#else
+    (void)rank;
+    (void)seq;
+#endif
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    mu_.lock();
+#if defined(TXML_LOCK_RANK)
+    LockRankChecker::NoteAcquire(rank_, seq_);
+#endif
+  }
+  void Unlock() RELEASE() {
+#if defined(TXML_LOCK_RANK)
+    LockRankChecker::NoteRelease(rank_, seq_);
+#endif
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if defined(TXML_LOCK_RANK)
+    // A successful try-lock establishes the same held state as a
+    // blocking acquire, so it obeys the same ordering rule. (Every
+    // TryLock in the tree is an outermost fast path, so this stricter
+    // stance costs nothing and keeps the stack invariant simple.)
+    LockRankChecker::NoteAcquire(rank_, seq_);
+#endif
+    return true;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if defined(TXML_LOCK_RANK)
+  LockRank rank_;
+  uint64_t seq_;
+#endif
 };
 
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  explicit SharedMutex(LockRank rank, uint64_t seq = 0) {
+#if defined(TXML_LOCK_RANK)
+    rank_ = rank;
+    seq_ = seq;
+#else
+    (void)rank;
+    (void)seq;
+#endif
+  }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() ACQUIRE() {
+    mu_.lock();
+#if defined(TXML_LOCK_RANK)
+    LockRankChecker::NoteAcquire(rank_, seq_);
+#endif
+  }
+  void Unlock() RELEASE() {
+#if defined(TXML_LOCK_RANK)
+    LockRankChecker::NoteRelease(rank_, seq_);
+#endif
+    mu_.unlock();
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    mu_.lock_shared();
+#if defined(TXML_LOCK_RANK)
+    // Shared and exclusive acquisitions rank identically: a reader
+    // holding the lock constrains what it may acquire next exactly as a
+    // writer does.
+    LockRankChecker::NoteAcquire(rank_, seq_);
+#endif
+  }
+  void UnlockShared() RELEASE_SHARED() {
+#if defined(TXML_LOCK_RANK)
+    LockRankChecker::NoteRelease(rank_, seq_);
+#endif
+    mu_.unlock_shared();
+  }
 
  private:
   std::shared_mutex mu_;
+#if defined(TXML_LOCK_RANK)
+  LockRank rank_;
+  uint64_t seq_;
+#endif
 };
 
 /// Scoped exclusive lock of a Mutex (the annotated std::lock_guard).
@@ -94,7 +175,10 @@ class SCOPED_CAPABILITY ReaderLock {
 };
 
 /// Condition variable working with txml::Mutex. Wait requires the mutex
-/// held (checked by the analysis) and holds it again on return.
+/// held (checked by the analysis) and holds it again on return. The
+/// rank-checker entry for the mutex is deliberately NOT popped across a
+/// wait: the lock is logically held the whole time, and the blocked
+/// thread cannot acquire anything else anyway.
 class CondVar {
  public:
   CondVar() = default;

@@ -27,7 +27,7 @@ class Counter {
   int UnguardedRead() const { return value_; }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTest};
   int value_ GUARDED_BY(mu_) = 0;
 };
 

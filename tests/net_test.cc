@@ -1411,6 +1411,150 @@ TEST(NetTest, SubscribeWithAuthTokenIsRejectedUntilAuthShips) {
       << header->error_message;
 }
 
+// One codec round trip per wire frame type, by name. txml_lint enforces
+// that every FrameType enumerator appears in a test (a frame without a
+// codec test is a frame whose format can drift silently); this battery is
+// the canonical reference point, so adding an enum value without a codec
+// test fails the lint until a case lands here.
+TEST(WireTest, EveryFrameTypeHasACodecRoundTrip) {
+  std::string framed;
+
+  QueryRequest query;
+  query.query_text = "SELECT R FROM doc(\"u\")/r R";
+  AppendFrame(FrameType::kQueryRequest, EncodeQueryRequest(query), &framed);
+  auto query_again = DecodeQueryRequest(EncodeQueryRequest(query));
+  ASSERT_TRUE(query_again.ok());
+  EXPECT_EQ(query_again->query_text, query.query_text);
+
+  PutRequest put;
+  put.url = "http://example.com/menu.xml";
+  put.xml_text = "<menu/>";
+  put.timestamp = Day(26);
+  AppendFrame(FrameType::kPutRequest, EncodePutRequest(put), &framed);
+  auto put_again = DecodePutRequest(EncodePutRequest(put));
+  ASSERT_TRUE(put_again.ok());
+  EXPECT_EQ(put_again->url, put.url);
+
+  ResponseHeader header;
+  header.status_code = StatusCode::kNotFound;
+  header.error_message = "gone";
+  AppendFrame(FrameType::kResponseHeader, EncodeResponseHeader(header),
+              &framed);
+  auto header_again = DecodeResponseHeader(EncodeResponseHeader(header));
+  ASSERT_TRUE(header_again.ok());
+  EXPECT_EQ(header_again->status_code, header.status_code);
+
+  // kResponseChunk carries raw payload bytes — no envelope codec. Its
+  // "codec" is the frame layer itself: payload travels verbatim behind
+  // the length prefix and tag (layout pinned by WireTest.FrameLayout).
+  const std::string chunk_bytes = "<r v=\"1\"/>";
+  framed.clear();
+  AppendFrame(FrameType::kResponseChunk, chunk_bytes, &framed);
+  ASSERT_EQ(framed.size(), 4 + 1 + chunk_bytes.size());
+  EXPECT_EQ(framed.substr(5), chunk_bytes);
+
+  AppendFrame(FrameType::kResponseEnd, EncodeResponseEnd(123), &framed);
+  auto end_again = DecodeResponseEnd(EncodeResponseEnd(123));
+  ASSERT_TRUE(end_again.ok());
+  EXPECT_EQ(*end_again, 123u);
+
+  VacuumRequest vacuum;
+  vacuum.drop_before = Day(5);
+  vacuum.keep_every = 3;
+  AppendFrame(FrameType::kVacuumRequest, EncodeVacuumRequest(vacuum), &framed);
+  auto vacuum_again = DecodeVacuumRequest(EncodeVacuumRequest(vacuum));
+  ASSERT_TRUE(vacuum_again.ok());
+  EXPECT_EQ(vacuum_again->keep_every, vacuum.keep_every);
+
+  ReplSubscribeRequest subscribe;
+  subscribe.from_sequence = 42;
+  subscribe.follower_name = "f1";
+  AppendFrame(FrameType::kReplSubscribe, EncodeReplSubscribe(subscribe),
+              &framed);
+  auto subscribe_again = DecodeReplSubscribe(EncodeReplSubscribe(subscribe));
+  ASSERT_TRUE(subscribe_again.ok());
+  EXPECT_EQ(subscribe_again->from_sequence, subscribe.from_sequence);
+
+  ReplBatch batch;
+  batch.leader_last_sequence = 9;
+  WalRecord record;
+  record.sequence = 9;
+  record.type = WalRecordType::kPut;
+  record.ts = Day(26);
+  record.url = "u";
+  record.payload = "<r/>";
+  batch.records.push_back(record);
+  AppendFrame(FrameType::kReplBatch, EncodeReplBatch(batch), &framed);
+  auto batch_again = DecodeReplBatch(EncodeReplBatch(batch));
+  ASSERT_TRUE(batch_again.ok());
+  ASSERT_EQ(batch_again->records.size(), 1u);
+  EXPECT_EQ(batch_again->records[0].url, "u");
+
+  ReplHeartbeat heartbeat;
+  heartbeat.leader_last_sequence = 9;
+  AppendFrame(FrameType::kReplHeartbeat, EncodeReplHeartbeat(heartbeat),
+              &framed);
+  auto heartbeat_again = DecodeReplHeartbeat(EncodeReplHeartbeat(heartbeat));
+  ASSERT_TRUE(heartbeat_again.ok());
+  EXPECT_EQ(heartbeat_again->leader_last_sequence, 9u);
+
+  ReplAck ack;
+  ack.applied_sequence = 8;
+  AppendFrame(FrameType::kReplAck, EncodeReplAck(ack), &framed);
+  auto ack_again = DecodeReplAck(EncodeReplAck(ack));
+  ASSERT_TRUE(ack_again.ok());
+  EXPECT_EQ(ack_again->applied_sequence, 8u);
+
+  AppendFrame(FrameType::kStatsRequest, EncodeStatsRequest(StatsRequest{}),
+              &framed);
+  auto stats_again = DecodeStatsRequest(EncodeStatsRequest(StatsRequest{}));
+  ASSERT_TRUE(stats_again.ok());
+
+  WriteBatchRequest write_batch;
+  WriteBatchItem item;
+  item.url = "u";
+  item.xml_text = "<r/>";
+  write_batch.items.push_back(item);
+  AppendFrame(FrameType::kWriteBatchRequest,
+              EncodeWriteBatchRequest(write_batch), &framed);
+  auto write_batch_again =
+      DecodeWriteBatchRequest(EncodeWriteBatchRequest(write_batch));
+  ASSERT_TRUE(write_batch_again.ok());
+  ASSERT_EQ(write_batch_again->items.size(), 1u);
+  EXPECT_EQ(write_batch_again->items[0].url, "u");
+
+  CheckpointRequest checkpoint_request;
+  checkpoint_request.resume_offset = 4096;
+  checkpoint_request.resume_crc32c = 0xDEADBEEF;
+  AppendFrame(FrameType::kCheckpointRequest,
+              EncodeCheckpointRequest(checkpoint_request), &framed);
+  auto checkpoint_request_again =
+      DecodeCheckpointRequest(EncodeCheckpointRequest(checkpoint_request));
+  ASSERT_TRUE(checkpoint_request_again.ok());
+  EXPECT_EQ(checkpoint_request_again->resume_offset, 4096u);
+
+  CheckpointMeta meta;
+  meta.covered_sequence = 9;
+  meta.total_bytes = 48;
+  meta.archive_crc32c = 0x12345678;
+  meta.files = {{"store.txml", 32}, {"checkpoint.txml", 16}};
+  AppendFrame(FrameType::kCheckpointMeta, EncodeCheckpointMeta(meta), &framed);
+  auto meta_again = DecodeCheckpointMeta(EncodeCheckpointMeta(meta));
+  ASSERT_TRUE(meta_again.ok());
+  ASSERT_EQ(meta_again->files.size(), 2u);
+  EXPECT_EQ(meta_again->files[0].name, "store.txml");
+
+  CheckpointChunk chunk;
+  chunk.offset = 16;
+  chunk.data = "<store/>";
+  chunk.crc32c = 0x9ABCDEF0;
+  AppendFrame(FrameType::kCheckpointChunk, EncodeCheckpointChunk(chunk),
+              &framed);
+  auto chunk_again = DecodeCheckpointChunk(EncodeCheckpointChunk(chunk));
+  ASSERT_TRUE(chunk_again.ok());
+  EXPECT_EQ(chunk_again->data, chunk.data);
+}
+
 TEST(NetTest, StatsRequestServesReplicationGauges) {
   ServerFixture fixture;
   auto client = TxmlClient::Connect("127.0.0.1", fixture.server->port());

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/coding.h"
@@ -69,6 +71,77 @@ TEST(StatusOrTest, AssignOrReturnMacro) {
   EXPECT_TRUE(UseMacros(21, &out).ok());
   EXPECT_EQ(out, 42);
   EXPECT_TRUE(UseMacros(-1, &out).IsInvalidArgument());
+}
+
+TEST(StatusTest, ToStringFormattingEdgeCases) {
+  // Empty message keeps the "<Code>: " shape — the code is never lost
+  // even when the caller had nothing to say.
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound: ");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  // Messages pass through verbatim: embedded separators, quotes and
+  // newlines are payload, not structure.
+  Status s = Status::ParseError("line 3: expected ']', got \"\\n\"");
+  EXPECT_EQ(s.ToString(), "ParseError: line 3: expected ']', got \"\\n\"");
+  EXPECT_EQ(s.message(), "line 3: expected ']', got \"\\n\"");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, IgnoreErrorIsAnExplicitNoOp) {
+  // The auditable escape hatch for the [[nodiscard]] discipline: callable
+  // on any status, changes nothing, and the reason string documents why
+  // dropping is safe at that call site.
+  Status s = Status::IoError("disk on fire");
+  s.IgnoreError("test: exercising the no-op path");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+  Status::OK().IgnoreError("test: ok statuses may be ignored too");
+}
+
+TEST(StatusOrTest, CopyAndMoveAcrossValueAndErrorStates) {
+  // value -> copy keeps both usable.
+  StatusOr<std::string> value = std::string("payload");
+  StatusOr<std::string> copy = value;
+  EXPECT_EQ(*copy, "payload");
+  EXPECT_EQ(*value, "payload");
+
+  // error -> copy-assign over a value: the error replaces the value.
+  StatusOr<std::string> error = Status::NotFound("gone");
+  copy = error;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_TRUE(copy.status().IsNotFound());
+
+  // value -> move-assign over an error: the value replaces the error.
+  copy = std::move(value);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(*copy, "payload");
+}
+
+TEST(StatusOrTest, RvalueValueMovesThePayloadOut) {
+  StatusOr<std::vector<int>> big = std::vector<int>{1, 2, 3};
+  std::vector<int> taken = std::move(big).value();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOrTest, ConstAccessorsAndArrow) {
+  const StatusOr<std::string> value = std::string("menu");
+  EXPECT_EQ(value.value(), "menu");
+  EXPECT_EQ(*value, "menu");
+  EXPECT_EQ(value->size(), 4u);
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> owned = std::make_unique<int>(7);
+  ASSERT_TRUE(owned.ok());
+  std::unique_ptr<int> taken = std::move(owned).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
 }
 
 TEST(TimestampTest, DateRoundTrip) {

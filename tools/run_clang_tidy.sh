@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the check set pinned in .clang-tidy over the implementation files,
+# driven by the compile database the default build exports
+# (CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS ON, so any configure
+# of build/ leaves build/compile_commands.json behind — no special
+# configuration needed). This is the lightweight path for hosts that have
+# clang-tidy but not clang as the compiler; the full -DTXML_ANALYZE=ON
+# configuration (scripts/check.sh stage 4) additionally runs the
+# thread-safety analysis and wires clang-tidy into every TU at build time.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+[[ "${1:-}" == "--" ]] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "ERROR: clang-tidy not found on PATH" >&2
+  exit 1
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "+ cmake -B $BUILD_DIR -S .  (exporting compile_commands.json)" >&2
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+
+# run-clang-tidy parallelizes when available; otherwise loop serially.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  exec run-clang-tidy -quiet -p "$BUILD_DIR" "$@" "src/.*\.cc\$"
+fi
+
+status=0
+while IFS= read -r file; do
+  echo "+ clang-tidy $file" >&2
+  clang-tidy -quiet -p "$BUILD_DIR" "$@" "$file" || status=1
+done < <(find src -name '*.cc' | sort)
+exit $status

@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""txml_lint: project-invariant lint for the txml tree.
+
+Plain-Python (no clang, no third-party packages) textual enforcement of
+repo invariants that the compiler cannot or does not check, run as a
+tier-1 ctest (tests/CMakeLists.txt) and as stage 7 of scripts/check.sh:
+
+  raw-primitive   No raw std::mutex / std::condition_variable /
+                  std::thread outside src/util/ — every lock goes through
+                  the rank-checked wrappers of src/util/synchronization.h
+                  and every thread through src/util/thread.h, so ordering
+                  and lifecycle instrumentation see all of them.
+  frame-coverage  Every wire FrameType enum value has (a) a fuzz corpus
+                  seed fuzz/corpus/wire/<snake_case_name> and (b) a
+                  FrameType::k<Name> reference somewhere under tests/ —
+                  a frame nobody fuzzes or tests is a frame whose format
+                  drifts silently.
+  lock-rank       Every Mutex/SharedMutex declaration in src/ names its
+                  LockRank (DESIGN.md §16) on the declaration line, or
+                  carries a `// rank:` comment pointing at the
+                  constructor that supplies it. (The missing default
+                  constructor enforces this at compile time too; the lint
+                  keeps the rank *visible at the declaration*.)
+  no-assert       No assert( in src/ or fuzz/ — release builds compile
+                  assert away (NDEBUG), so invariants use TXML_CHECK /
+                  TXML_DCHECK / TXML_LOG_FATAL instead. static_assert is
+                  fine. Tests may use whatever gtest wants.
+
+Usage:
+  txml_lint.py [--root REPO_DIR]   lint the tree; exit 1 on any finding
+  txml_lint.py --self-test         prove each rule rejects a seeded
+                                   violation and passes a clean tree
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CXX_EXTENSIONS = (".h", ".cc")
+
+RAW_PRIMITIVE_RE = re.compile(
+    r"std::(?:mutex|condition_variable|thread)\b")
+FRAME_ENUM_RE = re.compile(
+    r"^\s*k([A-Z]\w*)\s*=\s*\d+\s*,", re.MULTILINE)
+LOCK_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:Mutex|SharedMutex)\s+\w+\s*(?:;|\{)")
+ASSERT_RE = re.compile(r"(?<![\w])assert\s*\(")
+
+
+def strip_line_comment(line):
+    """Drops a // comment (naive: ignores // inside string literals,
+    which the tree's style never produces on lines these rules match)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def snake_case(name):
+    """CamelCase enum name -> corpus seed file name (QueryRequest ->
+    query_request)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def iter_source_files(root, subdir):
+    base = os.path.join(root, subdir)
+    for dirpath, _, filenames in os.walk(base):
+        for filename in sorted(filenames):
+            if filename.endswith(CXX_EXTENSIONS):
+                yield os.path.join(dirpath, filename)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+def check_raw_primitives(root):
+    """raw-primitive: std locking/threading types only inside src/util/."""
+    findings = []
+    for path in iter_source_files(root, "src"):
+        rel = relpath(root, path)
+        if rel.startswith(os.path.join("src", "util") + os.sep):
+            continue
+        with open(path, encoding="utf-8") as fp:
+            for lineno, line in enumerate(fp, 1):
+                code = strip_line_comment(line)
+                match = RAW_PRIMITIVE_RE.search(code)
+                if match:
+                    findings.append(
+                        ("raw-primitive", rel, lineno,
+                         f"{match.group(0)} outside src/util/; use the "
+                         "wrappers in src/util/synchronization.h / "
+                         "src/util/thread.h"))
+    return findings
+
+
+def parse_frame_types(root):
+    wire_h = os.path.join(root, "src", "net", "wire.h")
+    with open(wire_h, encoding="utf-8") as fp:
+        text = fp.read()
+    enum = re.search(
+        r"enum class FrameType[^{]*\{(.*?)\}\s*;", text, re.DOTALL)
+    if enum is None:
+        return None
+    return FRAME_ENUM_RE.findall(enum.group(1))
+
+
+def check_frame_coverage(root):
+    """frame-coverage: every FrameType has a corpus seed and a test ref."""
+    findings = []
+    names = parse_frame_types(root)
+    wire_rel = os.path.join("src", "net", "wire.h")
+    if names is None:
+        return [("frame-coverage", wire_rel, 1,
+                 "could not locate the FrameType enum")]
+    corpus_dir = os.path.join(root, "fuzz", "corpus", "wire")
+    tests_text = []
+    for path in iter_source_files(root, "tests"):
+        with open(path, encoding="utf-8") as fp:
+            tests_text.append(fp.read())
+    tests_text = "\n".join(tests_text)
+    for name in names:
+        seed = snake_case(name)
+        if not os.path.isfile(os.path.join(corpus_dir, seed)):
+            findings.append(
+                ("frame-coverage", wire_rel, 1,
+                 f"FrameType::k{name} has no fuzz corpus seed "
+                 f"fuzz/corpus/wire/{seed} (regenerate with "
+                 "build/fuzz/gen_seed_corpus fuzz/corpus)"))
+        if f"FrameType::k{name}" not in tests_text:
+            findings.append(
+                ("frame-coverage", wire_rel, 1,
+                 f"FrameType::k{name} is never referenced under tests/ "
+                 "(add it to WireTest.EveryFrameTypeHasACodecRoundTrip)"))
+    return findings
+
+
+def check_lock_ranks(root):
+    """lock-rank: lock declarations name their rank where they are
+    declared."""
+    findings = []
+    for path in iter_source_files(root, "src"):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as fp:
+            for lineno, line in enumerate(fp, 1):
+                if not LOCK_DECL_RE.match(line):
+                    continue
+                if "LockRank::" in line or "// rank:" in line:
+                    continue
+                findings.append(
+                    ("lock-rank", rel, lineno,
+                     "Mutex/SharedMutex declaration without a LockRank "
+                     "(see src/util/lock_rank.h and DESIGN.md §16); "
+                     "initialize with {LockRank::k...} or add a "
+                     "`// rank:` comment naming the constructor that "
+                     "supplies it"))
+    return findings
+
+
+def check_no_assert(root):
+    """no-assert: no NDEBUG-erasable assert( outside tests/."""
+    findings = []
+    for subdir in ("src", "fuzz"):
+        for path in iter_source_files(root, subdir):
+            rel = relpath(root, path)
+            with open(path, encoding="utf-8") as fp:
+                for lineno, line in enumerate(fp, 1):
+                    code = strip_line_comment(line)
+                    if ASSERT_RE.search(code):
+                        findings.append(
+                            ("no-assert", rel, lineno,
+                             "assert( compiles away under NDEBUG; use "
+                             "TXML_CHECK / TXML_DCHECK instead"))
+    return findings
+
+
+CHECKS = (
+    check_raw_primitives,
+    check_frame_coverage,
+    check_lock_ranks,
+    check_no_assert,
+)
+
+
+def run_lint(root):
+    findings = []
+    for check in CHECKS:
+        findings.extend(check(root))
+    return findings
+
+
+def report(findings):
+    for rule, rel, lineno, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    print(f"txml_lint: {len(findings)} finding(s)")
+
+
+# ---------------------------------------------------------------------------
+# self-test
+
+
+def write(root, rel, text):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write(text)
+
+
+CLEAN_WIRE_H = """
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,
+};
+"""
+
+SEEDED_WIRE_H = """
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,
+  kGhostFrame = 2,
+};
+"""
+
+
+def build_tree(root, seeded):
+    """A miniature repo; `seeded` plants exactly one violation per rule."""
+    write(root, "src/net/wire.h", SEEDED_WIRE_H if seeded else CLEAN_WIRE_H)
+    write(root, "fuzz/corpus/wire/query_request", "seed")
+    write(root, "tests/net_test.cc",
+          "// refs FrameType::kQueryRequest round trip\n")
+    write(root, "src/util/synchronization.h",
+          "// wrappers may use std::mutex here\n"
+          "#include <mutex>\nstd::mutex raw_;\n")
+    good = "mutable Mutex mu_{LockRank::kServer};\n"
+    bad = ("std::thread worker_;\n"          # raw-primitive
+           "Mutex mu_;\n"                    # lock-rank
+           "void F() { assert(true); }\n")   # no-assert
+    write(root, "src/core/widget.h", good + (bad if seeded else ""))
+    # Negative-space checks: commented-out primitives never count, and a
+    # ctor-supplied rank is accepted via the marker comment.
+    write(root, "src/core/ok.cc",
+          "// std::thread in a comment is fine\n"
+          "Mutex mu;  // rank: kCommitStripe (ctor-initialized)\n"
+          "static_assert(1 + 1 == 2);\n")
+
+
+def self_test():
+    with tempfile.TemporaryDirectory(prefix="txml_lint_selftest") as tmp:
+        clean = os.path.join(tmp, "clean")
+        seeded = os.path.join(tmp, "seeded")
+        build_tree(clean, seeded=False)
+        build_tree(seeded, seeded=True)
+
+        clean_findings = run_lint(clean)
+        if clean_findings:
+            print("self-test FAILED: clean tree produced findings:")
+            report(clean_findings)
+            return 1
+
+        findings = run_lint(seeded)
+        got_rules = {rule for rule, _, _, _ in findings}
+        want_rules = {"raw-primitive", "frame-coverage", "lock-rank",
+                      "no-assert"}
+        missing = want_rules - got_rules
+        if missing:
+            print(f"self-test FAILED: rules {sorted(missing)} did not "
+                  "reject their seeded violation; findings were:")
+            report(findings)
+            return 1
+        # The ghost frame must be flagged twice: no seed AND no test ref.
+        ghost = [f for f in findings if "kGhostFrame" in f[3]]
+        if len(ghost) != 2:
+            print("self-test FAILED: expected 2 kGhostFrame findings "
+                  f"(missing seed + missing test ref), got {len(ghost)}")
+            report(findings)
+            return 1
+        print(f"self-test OK: clean tree 0 findings, seeded tree "
+              f"{len(findings)} finding(s) across all {len(CHECKS)} rules")
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's ../)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule rejects a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = run_lint(root)
+    if findings:
+        report(findings)
+        return 1
+    print("txml_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
